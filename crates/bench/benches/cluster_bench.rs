@@ -1,0 +1,83 @@
+//! Criterion benches for the clustering module (§2.2): k-means, SOM,
+//! and GA at database-like sizes, plus hierarchy construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tdess_cluster::{build_hierarchy, ga_cluster, kmeans, som_cluster, GaParams, HierarchyParams, SomParams};
+
+fn blob_points(n: usize, dim: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(5);
+    let centers: Vec<Vec<f64>> = (0..10)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect())
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = &centers[rng.gen_range(0..10)];
+            c.iter().map(|&x| x + rng.gen_range(-1.0..1.0)).collect()
+        })
+        .collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clustering_113x5");
+    g.sample_size(20);
+    // Database-shaped workload: 113 points, 5 dimensions, k = 26.
+    let pts = blob_points(113, 5);
+    g.bench_function("kmeans", |b| b.iter(|| black_box(kmeans(&pts, 26, 7).sse)));
+    g.bench_function("som_6x5", |b| {
+        b.iter(|| {
+            black_box(
+                som_cluster(
+                    &pts,
+                    &SomParams {
+                        width: 6,
+                        height: 5,
+                        ..Default::default()
+                    },
+                    7,
+                )
+                .1
+                .sse,
+            )
+        })
+    });
+    g.bench_function("ga", |b| {
+        b.iter(|| black_box(ga_cluster(&pts, 26, &GaParams::default(), 7).sse))
+    });
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kmeans_scaling");
+    for &n in &[100usize, 1_000, 10_000] {
+        let pts = blob_points(n, 5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| black_box(kmeans(pts, 10, 3).sse))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let pts = blob_points(1_000, 5);
+    c.bench_function("hierarchy_1k", |b| {
+        b.iter(|| {
+            black_box(
+                build_hierarchy(
+                    &pts,
+                    &HierarchyParams {
+                        branching: 4,
+                        leaf_size: 8,
+                    },
+                    9,
+                )
+                .node_count(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_algorithms, bench_scaling, bench_hierarchy);
+criterion_main!(benches);

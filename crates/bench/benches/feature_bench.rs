@@ -1,0 +1,61 @@
+//! Criterion benches for the §3 feature-extraction pipeline: full
+//! extraction throughput per shape family and per voxel resolution,
+//! plus the individual stages that feed the four feature vectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tdess_dataset::Family;
+use tdess_features::{moment_invariants, normalize, FeatureExtractor};
+use tdess_geom::{mesh_moments, primitives, Vec3};
+
+fn bench_full_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extract_full");
+    g.sample_size(10);
+    for fam in [Family::Block, Family::Flange, Family::SpurGear, Family::Pipe] {
+        let mesh = fam.generate(&mut StdRng::seed_from_u64(1));
+        let ex = FeatureExtractor {
+            voxel_resolution: 32,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(fam.name()), &mesh, |b, m| {
+            b.iter(|| black_box(ex.extract(m).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_resolution_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extract_vs_resolution");
+    g.sample_size(10);
+    let mesh = Family::UChannel.generate(&mut StdRng::seed_from_u64(2));
+    for &res in &[24usize, 32, 48, 64] {
+        let ex = FeatureExtractor {
+            voxel_resolution: res,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(res), &mesh, |b, m| {
+            b.iter(|| black_box(ex.extract(m).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_moment_stages(c: &mut Criterion) {
+    let sphere = primitives::uv_sphere(1.0, 64, 32);
+    c.bench_function("mesh_moments_4k_tris", |b| {
+        b.iter(|| black_box(mesh_moments(&sphere)))
+    });
+    c.bench_function("moment_invariants", |b| {
+        let m = mesh_moments(&sphere);
+        b.iter(|| black_box(moment_invariants(&m)))
+    });
+    let box_mesh = primitives::box_mesh(Vec3::new(3.0, 2.0, 1.0));
+    c.bench_function("normalize_box", |b| {
+        b.iter(|| black_box(normalize(&box_mesh).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_full_extraction, bench_resolution_scaling, bench_moment_stages);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for end-to-end query processing on the indexed
+//! corpus: one-shot top-k, threshold queries, weighted scans, and
+//! multi-step search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tdess_core::{multi_step_search, MultiStepPlan, Query, QueryMode, ShapeDatabase, Weights};
+use tdess_dataset::build_corpus;
+use tdess_features::{FeatureExtractor, FeatureKind};
+
+fn indexed_db() -> ShapeDatabase {
+    let corpus = build_corpus(2004);
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: 24,
+        ..Default::default()
+    });
+    for s in &corpus.shapes {
+        db.insert(s.name.clone(), s.mesh.clone()).unwrap();
+    }
+    db
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let db = indexed_db();
+    let q = db.shapes()[42].features.clone();
+
+    c.bench_function("one_shot_topk10_pm", |b| {
+        b.iter(|| {
+            black_box(
+                db.search(&q, &Query::top_k(FeatureKind::PrincipalMoments, 10))
+                    .len(),
+            )
+        })
+    });
+    c.bench_function("one_shot_threshold085_mi", |b| {
+        b.iter(|| {
+            black_box(
+                db.search(&q, &Query::threshold(FeatureKind::MomentInvariants, 0.85))
+                    .len(),
+            )
+        })
+    });
+    c.bench_function("weighted_scan_gp", |b| {
+        let query = Query {
+            kind: FeatureKind::GeometricParams,
+            weights: Weights::new(vec![2.0, 2.0, 0.5, 1.0, 0.1]),
+            mode: QueryMode::TopK(10),
+        };
+        b.iter(|| black_box(db.search(&q, &query).len()))
+    });
+    c.bench_function("multi_step_pm_ev", |b| {
+        let plan = MultiStepPlan {
+            steps: vec![FeatureKind::PrincipalMoments, FeatureKind::Eigenvalues],
+            candidates: 30,
+            presented: 10,
+        };
+        b.iter(|| black_box(multi_step_search(&db, &q, &plan).len()))
+    });
+}
+
+fn bench_insert(c: &mut Criterion) {
+    // Full insert cost: extraction dominates (normalization,
+    // voxelization, thinning, graph, eigen) plus four index updates.
+    let corpus = build_corpus(7);
+    let mesh = corpus.shapes[0].mesh.clone();
+    let mut g = c.benchmark_group("db_insert");
+    g.sample_size(10);
+    g.bench_function("insert_res24", |b| {
+        b.iter_batched(
+            || {
+                ShapeDatabase::new(FeatureExtractor {
+                    voxel_resolution: 24,
+                    ..Default::default()
+                })
+            },
+            |mut db| black_box(db.insert("shape", mesh.clone()).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion benches for the multidimensional index (E-IDX, §2.3):
+//! R-tree build, kNN, and ball queries vs the linear-scan baseline,
+//! over clustered synthetic data at several scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tdess_index::{LinearScan, QueryStats, RTree};
+
+fn clustered_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..50)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-100.0..100.0)).collect())
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = &centers[rng.gen_range(0..50)];
+            c.iter().map(|&x| x + rng.gen_range(-2.0..2.0)).collect()
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree_build");
+    for &n in &[1_000usize, 10_000] {
+        let pts = clustered_points(n, 3, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut t: RTree<usize> = RTree::with_dim(3);
+                for (i, p) in pts.iter().enumerate() {
+                    t.insert(p.clone(), i);
+                }
+                black_box(t.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knn_k10");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let pts = clustered_points(n, 3, 2);
+        let mut tree: RTree<usize> = RTree::with_dim(3);
+        let mut scan: LinearScan<usize> = LinearScan::new(3);
+        for (i, p) in pts.iter().enumerate() {
+            tree.insert(p.clone(), i);
+            scan.insert(p.clone(), i);
+        }
+        let q = pts[n / 2].clone();
+        g.bench_with_input(BenchmarkId::new("rtree", n), &q, |b, q| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                black_box(tree.knn(q, 10, &mut s).len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("linear", n), &q, |b, q| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                black_box(scan.knn(q, 10, &mut s).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ball(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ball_query");
+    let n = 10_000;
+    for &dim in &[3usize, 8] {
+        let pts = clustered_points(n, dim, 3);
+        let mut tree: RTree<usize> = RTree::with_dim(dim);
+        let mut scan: LinearScan<usize> = LinearScan::new(dim);
+        for (i, p) in pts.iter().enumerate() {
+            tree.insert(p.clone(), i);
+            scan.insert(p.clone(), i);
+        }
+        let q = pts[17].clone();
+        g.bench_with_input(BenchmarkId::new("rtree", dim), &q, |b, q| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                black_box(tree.within_distance(q, 3.0, &mut s).len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("linear", dim), &q, |b, q| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                black_box(scan.within_distance(q, 3.0, &mut s).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_knn, bench_ball);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches for the voxelization and skeletonization
+//! substrates: surface rasterization, flood fill, thinning, and
+//! skeletal-graph construction at several resolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tdess_geom::primitives;
+use tdess_skeleton::{build_graph, skeletonize, ThinningParams};
+use tdess_voxel::{fill_flood, rasterize_surface, voxel_moments, voxelize, VoxelGrid, VoxelizeParams};
+
+fn bench_voxelize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("voxelize_sphere");
+    g.sample_size(20);
+    let mesh = primitives::uv_sphere(1.0, 32, 16);
+    for &res in &[32usize, 64, 96] {
+        g.bench_with_input(BenchmarkId::from_parameter(res), &res, |b, &res| {
+            b.iter(|| {
+                black_box(voxelize(
+                    &mesh,
+                    &VoxelizeParams {
+                        resolution: res,
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mesh = primitives::torus(1.0, 0.3, 32, 16);
+    let params = VoxelizeParams {
+        resolution: 48,
+        fill: false,
+        ..Default::default()
+    };
+    let shell = voxelize(&mesh, &params);
+
+    c.bench_function("rasterize_surface_48", |b| {
+        b.iter(|| {
+            let (nx, ny, nz) = shell.dims();
+            let mut g = VoxelGrid::new(nx, ny, nz, shell.origin, shell.voxel_size);
+            rasterize_surface(&mesh, &mut g);
+            black_box(g.count())
+        })
+    });
+    c.bench_function("fill_flood_48", |b| {
+        b.iter(|| {
+            let mut g = shell.clone();
+            fill_flood(&mut g);
+            black_box(g.count())
+        })
+    });
+
+    let solid = voxelize(
+        &mesh,
+        &VoxelizeParams {
+            resolution: 48,
+            ..Default::default()
+        },
+    );
+    c.bench_function("voxel_moments_48", |b| b.iter(|| black_box(voxel_moments(&solid))));
+
+    let mut g = c.benchmark_group("thinning");
+    g.sample_size(10);
+    g.bench_function("thin_torus_48", |b| {
+        b.iter(|| black_box(skeletonize(&solid, &ThinningParams::default()).count()))
+    });
+    g.finish();
+
+    let skel = skeletonize(&solid, &ThinningParams::default());
+    c.bench_function("build_graph_torus", |b| b.iter(|| black_box(build_graph(&skel).num_nodes())));
+}
+
+criterion_group!(benches, bench_voxelize, bench_stages);
+criterion_main!(benches);

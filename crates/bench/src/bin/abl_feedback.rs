@@ -1,0 +1,97 @@
+//! **Ablation: relevance feedback effectiveness.**
+//!
+//! The paper implements relevance feedback (query reconstruction +
+//! weight reconfiguration, §2.2) but keeps it *off* during all
+//! experiments. This ablation measures what one feedback round would
+//! have bought: for each representative query, the user marks the
+//! relevant/irrelevant shapes among the first 10 results, the system
+//! reconstructs the query (Rocchio) and reconfigures weights, and we
+//! compare recall@10 before and after.
+
+use tdess_bench::standard_context;
+use tdess_core::{
+    reconfigure_weights, reconstruct_query, Feedback, Query, QueryMode, RocchioParams,
+};
+use tdess_eval::{precision_recall, render_table};
+use tdess_features::FeatureKind;
+
+fn main() {
+    let ctx = standard_context();
+    let params = RocchioParams::default();
+
+    println!("\nAblation — one round of relevance feedback (marking the top 10), recall@10\n");
+    let mut rows = Vec::new();
+    for kind in FeatureKind::PAPER_FOUR {
+        let mut before_sum = 0.0;
+        let mut after_sum = 0.0;
+        let reps = ctx.group_representatives();
+        for &qi in &reps {
+            let query_id = ctx.ids[qi];
+            let relevant = ctx.relevant_set(qi);
+            let features = ctx.db.get(query_id).expect("query exists").features.clone();
+
+            // Round 1: plain query; the user marks the presented 10.
+            let first: Vec<_> = ctx
+                .db
+                .search(&features, &Query::top_k(kind, 11))
+                .into_iter()
+                .map(|h| h.id)
+                .filter(|&id| id != query_id)
+                .take(10)
+                .collect();
+            before_sum += precision_recall(&first, &relevant).recall;
+
+            let feedback = Feedback {
+                relevant: first.iter().copied().filter(|id| relevant.contains(id)).collect(),
+                irrelevant: first.iter().copied().filter(|id| !relevant.contains(id)).collect(),
+            };
+
+            // Round 2: reconstructed query + reconfigured weights.
+            let q0 = features.get(kind).to_vec();
+            let q1 = reconstruct_query(&ctx.db, kind, &q0, &feedback, &params);
+            let weights = reconfigure_weights(&ctx.db, kind, &feedback);
+            let mut adjusted = features.clone();
+            match kind {
+                FeatureKind::MomentInvariants => adjusted.moment_invariants = q1,
+                FeatureKind::GeometricParams => adjusted.geometric = q1,
+                FeatureKind::PrincipalMoments => adjusted.principal_moments = q1,
+                FeatureKind::Eigenvalues => adjusted.eigenvalues = q1,
+                _ => unreachable!("PAPER_FOUR only"),
+            }
+            let second: Vec<_> = ctx
+                .db
+                .search(
+                    &adjusted,
+                    &Query {
+                        kind,
+                        weights: weights.clone(),
+                        mode: QueryMode::TopK(11),
+                    },
+                )
+                .into_iter()
+                .map(|h| h.id)
+                .filter(|&id| id != query_id)
+                .take(10)
+                .collect();
+            after_sum += precision_recall(&second, &relevant).recall;
+        }
+        let n = reps.len() as f64;
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{:.3}", before_sum / n),
+            format!("{:.3}", after_sum / n),
+            format!("{:+.0}%", (after_sum / before_sum.max(1e-12) - 1.0) * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["feature vector", "recall@10 before", "recall@10 after", "change"], &rows)
+    );
+    println!("paper: relevance feedback implemented but switched off for all experiments (§2.2).");
+    println!("reading: one blind round helps the features whose dimensions are commensurate");
+    println!("(geometric parameters, principal moments — exactly the case §3.5.3 calls 'more");
+    println!("meaningful and simpler' for feedback) and *hurts* moment invariants, whose F1/F2/F3");
+    println!("spans differ by orders of magnitude: when a query finds no relevant shapes in its");
+    println!("top 10, pure-negative Rocchio pushes it off the data manifold. Feedback needs the");
+    println!("user in the loop — a good reason the paper benchmarked without it.");
+}

@@ -1,0 +1,113 @@
+//! **Ablation: noise sensitivity of moment orders.**
+//!
+//! §3.5.3 of the paper justifies stopping at second-order moments:
+//! "higher order moments are sensitive to noise." This experiment
+//! quantifies that claim on our corpus: each shape's vertices are
+//! jittered by a fraction of its bounding-box diagonal, and we measure
+//! the feature displacement relative to the feature space's diameter
+//! (a signal-to-noise proxy — how far noise moves a shape compared to
+//! how far shapes are from each other).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdess_bench::standard_corpus;
+use tdess_core::{weighted_distance, Weights};
+use tdess_eval::render_table;
+use tdess_features::{FeatureExtractor, FeatureKind};
+use tdess_geom::{TriMesh, Vec3};
+
+/// Feature kinds compared: second-order descriptors vs the
+/// higher-order extension.
+const KINDS: [FeatureKind; 4] = [
+    FeatureKind::MomentInvariants,
+    FeatureKind::PrincipalMoments,
+    FeatureKind::GeometricParams,
+    FeatureKind::HigherOrder,
+];
+
+fn jitter(mesh: &TriMesh, rel: f64, rng: &mut StdRng) -> TriMesh {
+    let diag = mesh.bounding_box().diagonal();
+    let amp = rel * diag;
+    let mut out = mesh.clone();
+    out.map_vertices(|v| {
+        v + Vec3::new(
+            rng.gen_range(-amp..amp),
+            rng.gen_range(-amp..amp),
+            rng.gen_range(-amp..amp),
+        )
+    });
+    out
+}
+
+fn main() {
+    let corpus = standard_corpus();
+    let ex = FeatureExtractor {
+        voxel_resolution: 32,
+        ..Default::default()
+    };
+    // A manageable subset: the 26 group representatives.
+    let shapes: Vec<&tdess_dataset::ShapeRecord> = {
+        let mut seen = std::collections::HashSet::new();
+        corpus
+            .shapes
+            .iter()
+            .filter(|s| s.group.is_some_and(|g| seen.insert(g)))
+            .collect()
+    };
+    eprintln!("[setup] extracting clean features for {} shapes...", shapes.len());
+    let clean: Vec<_> = shapes
+        .iter()
+        .map(|s| ex.extract(&s.mesh).expect("corpus shapes extract"))
+        .collect();
+
+    // Feature-space diameters over the clean subset (the "signal").
+    let diameter = |kind: FeatureKind| -> f64 {
+        let mut dmax: f64 = 0.0;
+        for i in 0..clean.len() {
+            for j in (i + 1)..clean.len() {
+                dmax = dmax.max(weighted_distance(
+                    clean[i].get(kind),
+                    clean[j].get(kind),
+                    &Weights::unit(),
+                ));
+            }
+        }
+        dmax
+    };
+    let diams: Vec<f64> = KINDS.iter().map(|&k| diameter(k)).collect();
+
+    println!("Ablation — feature displacement under vertex jitter,");
+    println!("as a fraction of the feature space's clean diameter (lower = more robust)\n");
+    let mut rows = Vec::new();
+    for rel in [0.002, 0.005, 0.01, 0.02] {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut sums = vec![0.0f64; KINDS.len()];
+        for (s, cf) in shapes.iter().zip(&clean) {
+            let noisy_mesh = jitter(&s.mesh, rel, &mut rng);
+            let nf = ex.extract(&noisy_mesh).expect("jittered shapes stay extractable");
+            for (ki, &kind) in KINDS.iter().enumerate() {
+                sums[ki] += weighted_distance(cf.get(kind), nf.get(kind), &Weights::unit());
+            }
+        }
+        let mut row = vec![format!("{:.3}", rel)];
+        for (ki, sum) in sums.iter().enumerate() {
+            let mean = sum / shapes.len() as f64;
+            row.push(format!("{:.4}", mean / diams[ki].max(1e-12)));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("jitter (rel)")
+        .chain(KINDS.iter().map(|k| k.label()))
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    // The paper's claim: higher order more sensitive than second order.
+    let last = rows.last().expect("non-empty sweep");
+    let pm: f64 = last[2].parse().expect("numeric cell");
+    let ho: f64 = last[4].parse().expect("numeric cell");
+    println!(
+        "at the largest jitter, higher-order displacement is {:.1}x the principal-moment displacement",
+        ho / pm.max(1e-12)
+    );
+    println!("paper (§3.5.3): \"higher order moments are sensitive to noise\" — hence the paper stops at second order.");
+}

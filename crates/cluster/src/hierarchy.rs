@@ -1,0 +1,212 @@
+//! Hierarchical organization of shapes for query-by-browsing (§2.1).
+//!
+//! The paper organizes the database into a hierarchy the user drills
+//! down through. We build it by recursive k-means: each internal node
+//! splits its items into at most `branching` children until a node
+//! holds `leaf_size` items or fewer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kmeans::kmeans;
+
+/// A node of the browsing hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierarchyNode {
+    /// Centroid of all items beneath this node.
+    pub centroid: Vec<f64>,
+    /// Indices (into the original point set) of the items beneath this
+    /// node.
+    pub items: Vec<usize>,
+    /// Child nodes (empty for leaves).
+    pub children: Vec<HierarchyNode>,
+}
+
+impl HierarchyNode {
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Depth of the subtree rooted here (leaf = 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
+    }
+
+    /// Total number of nodes in the subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+}
+
+/// Parameters for hierarchy construction.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HierarchyParams {
+    /// Maximum children per internal node.
+    pub branching: usize,
+    /// Maximum items in a leaf.
+    pub leaf_size: usize,
+}
+
+impl Default for HierarchyParams {
+    fn default() -> Self {
+        HierarchyParams {
+            branching: 4,
+            leaf_size: 8,
+        }
+    }
+}
+
+/// Builds the browsing hierarchy over `points`.
+pub fn build_hierarchy(points: &[Vec<f64>], params: &HierarchyParams, seed: u64) -> HierarchyNode {
+    assert!(!points.is_empty(), "cannot build a hierarchy over nothing");
+    assert!(params.branching >= 2, "branching must be at least 2");
+    let items: Vec<usize> = (0..points.len()).collect();
+    build_node(points, items, params, seed)
+}
+
+fn build_node(
+    points: &[Vec<f64>],
+    items: Vec<usize>,
+    params: &HierarchyParams,
+    seed: u64,
+) -> HierarchyNode {
+    let dim = points[0].len();
+    let mut centroid = vec![0.0; dim];
+    for &i in &items {
+        for d in 0..dim {
+            centroid[d] += points[i][d];
+        }
+    }
+    for v in centroid.iter_mut() {
+        *v /= items.len() as f64;
+    }
+
+    if items.len() <= params.leaf_size {
+        return HierarchyNode {
+            centroid,
+            items,
+            children: Vec::new(),
+        };
+    }
+
+    let subset: Vec<Vec<f64>> = items.iter().map(|&i| points[i].clone()).collect();
+    let clustering = kmeans(&subset, params.branching, seed);
+    // Group item ids by cluster.
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); clustering.k()];
+    for (local, &a) in clustering.assignments.iter().enumerate() {
+        groups[a].push(items[local]);
+    }
+    let groups: Vec<Vec<usize>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+
+    // Degenerate split (all points identical): stop here.
+    if groups.len() <= 1 {
+        return HierarchyNode {
+            centroid,
+            items,
+            children: Vec::new(),
+        };
+    }
+
+    let children = groups
+        .into_iter()
+        .enumerate()
+        .map(|(gi, g)| build_node(points, g, params, seed.wrapping_add(gi as u64 + 1)))
+        .collect();
+    HierarchyNode {
+        centroid,
+        items,
+        children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(n_per: usize) -> Vec<Vec<f64>> {
+        let centers = [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0), (20.0, 20.0)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pts = Vec::new();
+        for &(cx, cy) in &centers {
+            for _ in 0..n_per {
+                pts.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn hierarchy_covers_all_items_exactly_once() {
+        let pts = blobs(20);
+        let h = build_hierarchy(&pts, &HierarchyParams::default(), 5);
+        assert_eq!(h.items.len(), pts.len());
+        // Leaves partition the items.
+        fn leaf_items(n: &HierarchyNode, out: &mut Vec<usize>) {
+            if n.is_leaf() {
+                out.extend(&n.items);
+            } else {
+                for c in &n.children {
+                    leaf_items(c, out);
+                }
+            }
+        }
+        let mut all = Vec::new();
+        leaf_items(&h, &mut all);
+        all.sort_unstable();
+        let want: Vec<usize> = (0..pts.len()).collect();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn leaves_respect_leaf_size() {
+        let pts = blobs(25);
+        let params = HierarchyParams { branching: 3, leaf_size: 10 };
+        let h = build_hierarchy(&pts, &params, 2);
+        fn check(n: &HierarchyNode, leaf_size: usize) {
+            if n.is_leaf() {
+                assert!(n.items.len() <= leaf_size, "leaf with {} items", n.items.len());
+            } else {
+                for c in &n.children {
+                    check(c, leaf_size);
+                }
+            }
+        }
+        check(&h, 10);
+        assert!(h.depth() >= 2);
+    }
+
+    #[test]
+    fn identical_points_terminate() {
+        let pts = vec![vec![1.0, 1.0]; 50];
+        let h = build_hierarchy(&pts, &HierarchyParams { branching: 4, leaf_size: 8 }, 0);
+        // Can't split identical points: becomes a single (oversize) leaf.
+        assert!(h.is_leaf());
+        assert_eq!(h.items.len(), 50);
+    }
+
+    #[test]
+    fn root_centroid_is_global_mean() {
+        let pts = vec![vec![0.0, 0.0], vec![4.0, 0.0], vec![0.0, 4.0], vec![4.0, 4.0]];
+        let h = build_hierarchy(&pts, &HierarchyParams::default(), 1);
+        assert!((h.centroid[0] - 2.0).abs() < 1e-12);
+        assert!((h.centroid[1] - 2.0).abs() < 1e-12);
+        assert_eq!(h.node_count(), 1);
+    }
+
+    #[test]
+    fn drill_down_reaches_single_blob() {
+        let pts = blobs(20);
+        let h = build_hierarchy(&pts, &HierarchyParams { branching: 4, leaf_size: 25 }, 7);
+        // The four blobs should separate at the first level.
+        assert!(h.children.len() >= 2);
+        for c in &h.children {
+            // Each child's items should be spatially tight.
+            let xs: Vec<f64> = c.items.iter().map(|&i| pts[i][0]).collect();
+            let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(spread < 25.0, "child spans {spread}");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! k-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A flat clustering of a point set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their centroids.
+    pub sse: f64,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Indices of the points assigned to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Squared Euclidean distance.
+pub(crate) fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means with k-means++ initialization.
+///
+/// `points` must be non-empty and share a dimension; `k` is clamped to
+/// the number of points. Deterministic for a fixed `seed`.
+///
+/// ```
+/// use tdess_cluster::kmeans;
+/// let points = vec![vec![0.0], vec![0.1], vec![9.0], vec![9.1]];
+/// let c = kmeans(&points, 2, 42);
+/// assert_eq!(c.assignments[0], c.assignments[1]);
+/// assert_ne!(c.assignments[0], c.assignments[2]);
+/// ```
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
+    assert!(!points.is_empty(), "cannot cluster an empty point set");
+    let k = k.max(1).min(points.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut centroids = kmeans_pp_init(points, k, &mut rng);
+    let mut assignments = vec![0usize; points.len()];
+
+    for _iter in 0..200 {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = nearest(p, &centroids).0;
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let dim = points[0].len();
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for d in 0..dim {
+                sums[a][d] += p[d];
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from
+                // its centroid.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let da = dist_sq(a, &centroids[assignments[0]]);
+                        let db = dist_sq(b, &centroids[assignments[0]]);
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroids[c] = points[far].clone();
+            } else {
+                for d in 0..dim {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let sse = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| dist_sq(p, &centroids[a]))
+        .sum();
+    Clustering {
+        assignments,
+        centroids,
+        sse,
+    }
+}
+
+/// Index and squared distance of the nearest centroid.
+pub(crate) fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, cent) in centroids.iter().enumerate() {
+        let d = dist_sq(p, cent);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ seeding: the first centroid is uniform; each further
+/// centroid is sampled proportionally to D²(x).
+fn kmeans_pp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points.iter().map(|p| nearest(p, &centroids).1).collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with centroids: duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated 2-D blobs.
+    pub(crate) fn blobs(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [(0.0, 0.0), (10.0, 0.0), (5.0, 10.0)];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        let mut truth = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                pts.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+                truth.push(c);
+            }
+        }
+        (pts, truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (pts, truth) = blobs(1);
+        let c = kmeans(&pts, 3, 42);
+        assert_eq!(c.k(), 3);
+        // Every ground-truth cluster maps to exactly one k-means label.
+        for g in 0..3 {
+            let labels: std::collections::HashSet<usize> = truth
+                .iter()
+                .zip(&c.assignments)
+                .filter(|(&t, _)| t == g)
+                .map(|(_, &a)| a)
+                .collect();
+            assert_eq!(labels.len(), 1, "blob {g} split across labels");
+        }
+        assert!(c.sse < 90.0 * 2.0, "sse {}", c.sse);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let c = kmeans(&pts, 10, 0);
+        assert_eq!(c.k(), 2);
+        assert!(c.sse < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0], vec![2.0, 2.0]];
+        let c = kmeans(&pts, 1, 7);
+        assert_eq!(c.centroids.len(), 1);
+        assert!((c.centroids[0][0] - 1.0).abs() < 1e-12);
+        assert!((c.centroids[0][1] - 1.0).abs() < 1e-12);
+        assert!((c.sse - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (pts, _) = blobs(3);
+        let a = kmeans(&pts, 3, 99);
+        let b = kmeans(&pts, 3, 99);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.sse, b.sse);
+    }
+
+    #[test]
+    fn members_partition_points() {
+        let (pts, _) = blobs(5);
+        let c = kmeans(&pts, 3, 11);
+        let total: usize = (0..c.k()).map(|k| c.members(k).len()).sum();
+        assert_eq!(total, pts.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_rejected() {
+        let _ = kmeans(&[], 3, 0);
+    }
+}

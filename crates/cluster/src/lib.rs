@@ -1,0 +1,20 @@
+//! # tdess-cluster — clustering for 3DESS hierarchical browsing
+//!
+//! Implements the SERVER-layer clustering module of §2.2: k-means
+//! (with k-means++ seeding), self-organizing maps, genetic-algorithm
+//! clustering, a recursive partition hierarchy for query-by-browsing,
+//! and quality metrics (silhouette, Rand index, SSE).
+
+#![warn(missing_docs)]
+
+pub mod ga;
+pub mod hierarchy;
+pub mod kmeans;
+pub mod metrics;
+pub mod som;
+
+pub use ga::{ga_cluster, GaParams};
+pub use hierarchy::{build_hierarchy, HierarchyNode, HierarchyParams};
+pub use kmeans::{kmeans, Clustering};
+pub use metrics::{rand_index, silhouette, sse};
+pub use som::{som_cluster, Som, SomParams};

@@ -1,0 +1,138 @@
+//! Clustering quality metrics.
+
+use crate::kmeans::dist_sq;
+
+/// Mean silhouette coefficient of a clustering, in [-1, 1]; higher is
+/// better. Points in singleton clusters contribute 0.
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    assert_eq!(points.len(), assignments.len());
+    let n = points.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    if k <= 1 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignments[i];
+        // Mean intra-cluster distance (a) and smallest mean distance to
+        // another cluster (b).
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = dist_sq(&points[i], &points[j]).sqrt();
+            sums[assignments[j]] += d;
+            counts[assignments[j]] += 1;
+        }
+        if counts[own] == 0 {
+            continue; // singleton
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+/// Rand index between two labelings, in [0, 1]; 1 means identical
+/// partitions (up to label permutation).
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_a = a[i] == a[j];
+            let same_b = b[i] == b[j];
+            if same_a == same_b {
+                agree += 1;
+            }
+            total += 1;
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// Within-cluster sum of squared distances to centroids.
+pub fn sse(points: &[Vec<f64>], assignments: &[usize], centroids: &[Vec<f64>]) -> f64 {
+    points
+        .iter()
+        .zip(assignments)
+        .map(|(p, &a)| dist_sq(p, &centroids[a]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rand_index_identical_and_permuted() {
+        let a = vec![0, 0, 1, 1, 2];
+        assert_eq!(rand_index(&a, &a), 1.0);
+        let permuted = vec![2, 2, 0, 0, 1];
+        assert_eq!(rand_index(&a, &permuted), 1.0);
+    }
+
+    #[test]
+    fn rand_index_detects_disagreement() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1];
+        // Pairs: (0,1) same-diff, (2,3) same-diff, (0,2) diff-same,
+        // (1,3) diff-same, (0,3) diff-diff agree, (1,2) diff-diff agree.
+        assert!((rand_index(&a, &b) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_clusters() {
+        let mut pts = Vec::new();
+        let mut asg = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![i as f64 * 0.1, 0.0]);
+            asg.push(0);
+            pts.push(vec![100.0 + i as f64 * 0.1, 0.0]);
+            asg.push(1);
+        }
+        assert!(silhouette(&pts, &asg) > 0.95);
+    }
+
+    #[test]
+    fn silhouette_low_for_random_assignment() {
+        let mut pts = Vec::new();
+        let mut asg = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![(i % 10) as f64, 0.0]);
+            asg.push(i % 2); // interleaved labels: no structure
+        }
+        assert!(silhouette(&pts, &asg) < 0.2);
+    }
+
+    #[test]
+    fn sse_zero_when_points_equal_centroids() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let asg = vec![0, 1];
+        let cents = vec![vec![1.0], vec![2.0]];
+        assert_eq!(sse(&pts, &asg, &cents), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(silhouette(&[], &[]), 0.0);
+        assert_eq!(silhouette(&[vec![1.0]], &[0]), 0.0);
+        assert_eq!(rand_index(&[0], &[5]), 1.0);
+    }
+}

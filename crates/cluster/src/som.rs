@@ -1,0 +1,255 @@
+//! Self-Organizing Map clustering (§2.2 of the paper lists SOM among
+//! the implemented clustering algorithms).
+//!
+//! A rectangular lattice of units is trained with the classic online
+//! rule: at each step the best-matching unit (BMU) and its lattice
+//! neighborhood move toward the sample, with exponentially decaying
+//! learning rate and neighborhood radius. Points are then assigned to
+//! their BMU, giving a flat clustering with at most `width × height`
+//! clusters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::kmeans::{dist_sq, Clustering};
+
+/// SOM training configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SomParams {
+    /// Lattice width (number of unit columns).
+    pub width: usize,
+    /// Lattice height (number of unit rows).
+    pub height: usize,
+    /// Training epochs (full passes over the data).
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for SomParams {
+    fn default() -> Self {
+        SomParams {
+            width: 4,
+            height: 4,
+            epochs: 30,
+            learning_rate: 0.5,
+        }
+    }
+}
+
+/// A trained self-organizing map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Som {
+    /// Unit weight vectors, row-major (`height × width`).
+    pub units: Vec<Vec<f64>>,
+    /// Lattice width.
+    pub width: usize,
+    /// Lattice height.
+    pub height: usize,
+}
+
+impl Som {
+    /// Index of the best-matching unit for `p`.
+    pub fn bmu(&self, p: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (u, w) in self.units.iter().enumerate() {
+            let d = dist_sq(p, w);
+            if d < best_d {
+                best_d = d;
+                best = u;
+            }
+        }
+        best
+    }
+
+    /// Lattice coordinates of unit `u`.
+    pub fn coords(&self, u: usize) -> (f64, f64) {
+        ((u % self.width) as f64, (u / self.width) as f64)
+    }
+}
+
+/// Trains a SOM on `points` and returns it together with the induced
+/// clustering (points assigned to their BMU; empty units produce empty
+/// clusters that are dropped, with assignments renumbered).
+pub fn som_cluster(points: &[Vec<f64>], params: &SomParams, seed: u64) -> (Som, Clustering) {
+    assert!(!points.is_empty(), "cannot cluster an empty point set");
+    assert!(params.width >= 1 && params.height >= 1, "lattice must be non-empty");
+    let dim = points[0].len();
+    let n_units = params.width * params.height;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Initialize units at random data points (with jitter).
+    let mut units: Vec<Vec<f64>> = (0..n_units)
+        .map(|_| {
+            let base = &points[rng.gen_range(0..points.len())];
+            base.iter().map(|v| v + rng.gen_range(-1e-6..1e-6)).collect()
+        })
+        .collect();
+
+    let total_steps = (params.epochs * points.len()).max(1) as f64;
+    let radius0 = (params.width.max(params.height) as f64) / 2.0;
+    let mut step = 0f64;
+    let mut order: Vec<usize> = (0..points.len()).collect();
+
+    let som_coords = |u: usize| ((u % params.width) as f64, (u / params.width) as f64);
+
+    for _epoch in 0..params.epochs {
+        // Shuffle sample order each epoch.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &pi in &order {
+            let p = &points[pi];
+            let t = step / total_steps;
+            let lr = params.learning_rate * (-3.0 * t).exp();
+            let radius = (radius0 * (-3.0 * t).exp()).max(0.5);
+
+            // BMU.
+            let mut bmu = 0;
+            let mut best_d = f64::INFINITY;
+            for (u, w) in units.iter().enumerate() {
+                let d = dist_sq(p, w);
+                if d < best_d {
+                    best_d = d;
+                    bmu = u;
+                }
+            }
+            let (bx, by) = som_coords(bmu);
+            // Update neighborhood.
+            for (u, w) in units.iter_mut().enumerate() {
+                let (ux, uy) = som_coords(u);
+                let lat_d2 = (ux - bx).powi(2) + (uy - by).powi(2);
+                let h = (-lat_d2 / (2.0 * radius * radius)).exp();
+                if h < 1e-4 {
+                    continue;
+                }
+                for d in 0..dim {
+                    w[d] += lr * h * (p[d] - w[d]);
+                }
+            }
+            step += 1.0;
+        }
+    }
+
+    let som = Som {
+        units,
+        width: params.width,
+        height: params.height,
+    };
+
+    // Assign points to BMUs, dropping empty units.
+    let raw: Vec<usize> = points.iter().map(|p| som.bmu(p)).collect();
+    let mut remap = vec![usize::MAX; n_units];
+    let mut centroids: Vec<Vec<f64>> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    let mut assignments = vec![0usize; points.len()];
+    for (i, &u) in raw.iter().enumerate() {
+        if remap[u] == usize::MAX {
+            remap[u] = centroids.len();
+            centroids.push(vec![0.0; dim]);
+            counts.push(0);
+        }
+        let c = remap[u];
+        assignments[i] = c;
+        counts[c] += 1;
+        for d in 0..dim {
+            centroids[c][d] += points[i][d];
+        }
+    }
+    for (c, count) in counts.iter().enumerate() {
+        for x in centroids[c].iter_mut() {
+            *x /= *count as f64;
+        }
+    }
+    let sse = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| dist_sq(p, &centroids[a]))
+        .sum();
+    (
+        som,
+        Clustering {
+            assignments,
+            centroids,
+            sse,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [(0.0, 0.0), (10.0, 0.0), (5.0, 10.0)];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        let mut truth = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                pts.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+                truth.push(c);
+            }
+        }
+        (pts, truth)
+    }
+
+    #[test]
+    fn som_separates_blobs() {
+        let (pts, truth) = blobs(2);
+        let (_, c) = som_cluster(&pts, &SomParams::default(), 7);
+        // Points from different blobs must not share a BMU cluster:
+        // check that each cluster is pure.
+        for cl in 0..c.k() {
+            let members = c.members(cl);
+            if members.is_empty() {
+                continue;
+            }
+            let label = truth[members[0]];
+            for &m in &members {
+                assert_eq!(truth[m], label, "cluster {cl} mixes blobs");
+            }
+        }
+    }
+
+    #[test]
+    fn assignments_in_range_and_nonempty() {
+        let (pts, _) = blobs(9);
+        let (som, c) = som_cluster(&pts, &SomParams { width: 3, height: 2, ..Default::default() }, 1);
+        assert_eq!(som.units.len(), 6);
+        assert_eq!(c.assignments.len(), pts.len());
+        assert!(c.k() >= 1 && c.k() <= 6);
+        for &a in &c.assignments {
+            assert!(a < c.k());
+        }
+        // Every reported cluster has at least one member (empties dropped).
+        for cl in 0..c.k() {
+            assert!(!c.members(cl).is_empty());
+        }
+    }
+
+    #[test]
+    fn som_is_deterministic_for_seed() {
+        let (pts, _) = blobs(4);
+        let (_, a) = som_cluster(&pts, &SomParams::default(), 5);
+        let (_, b) = som_cluster(&pts, &SomParams::default(), 5);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn bmu_is_nearest_unit() {
+        let som = Som {
+            units: vec![vec![0.0, 0.0], vec![10.0, 0.0]],
+            width: 2,
+            height: 1,
+        };
+        assert_eq!(som.bmu(&[1.0, 0.0]), 0);
+        assert_eq!(som.bmu(&[9.0, 0.0]), 1);
+        let _ = som.coords(1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the clustering module.
+
+use proptest::prelude::*;
+use tdess_cluster::{build_hierarchy, kmeans, rand_index, silhouette, HierarchyParams};
+
+fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-50.0f64..50.0, 3..=3),
+        2..150,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// k-means SSE never increases when k grows (more clusters can
+    /// only tighten the partition, given the same seed discipline this
+    /// holds in expectation; we assert the weaker k = n bound: zero).
+    #[test]
+    fn kmeans_sse_nonnegative_and_zero_at_full_k(pts in arb_points()) {
+        let k3 = kmeans(&pts, 3, 7);
+        prop_assert!(k3.sse >= 0.0);
+        let kn = kmeans(&pts, pts.len(), 7);
+        prop_assert!(kn.sse < 1e-6, "sse {} with k = n", kn.sse);
+    }
+
+    /// Assignments always index a valid centroid and every centroid is
+    /// finite.
+    #[test]
+    fn kmeans_output_wellformed(pts in arb_points(), k in 1usize..10, seed in 0u64..100) {
+        let c = kmeans(&pts, k, seed);
+        prop_assert_eq!(c.assignments.len(), pts.len());
+        for &a in &c.assignments {
+            prop_assert!(a < c.k());
+        }
+        for cent in &c.centroids {
+            prop_assert!(cent.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// The Rand index is symmetric, reflexive, and bounded.
+    #[test]
+    fn rand_index_properties(
+        a in prop::collection::vec(0usize..5, 2..60),
+        seed in 0u64..100,
+    ) {
+        // Random second labeling of the same length.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let b: Vec<usize> = a.iter().map(|_| {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 5) as usize
+        }).collect();
+        let ab = rand_index(&a, &b);
+        let ba = rand_index(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12, "not symmetric");
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert_eq!(rand_index(&a, &a), 1.0);
+    }
+
+    /// Silhouette is bounded in [-1, 1] for any labeling.
+    #[test]
+    fn silhouette_bounded(pts in arb_points(), k in 1usize..6, seed in 0u64..50) {
+        let c = kmeans(&pts, k, seed);
+        let s = silhouette(&pts, &c.assignments);
+        prop_assert!((-1.0..=1.0).contains(&s), "silhouette {s}");
+    }
+
+    /// Hierarchies partition the items exactly, respect leaf size (up
+    /// to the identical-points escape hatch), and every node's items
+    /// equal the union of its children's.
+    #[test]
+    fn hierarchy_partition_invariants(pts in arb_points(), leaf in 2usize..12) {
+        let h = build_hierarchy(&pts, &HierarchyParams { branching: 3, leaf_size: leaf }, 11);
+        fn check(n: &tdess_cluster::HierarchyNode) -> Vec<usize> {
+            if n.is_leaf() {
+                return n.items.clone();
+            }
+            let mut union: Vec<usize> = n.children.iter().flat_map(check).collect();
+            union.sort_unstable();
+            let mut own = n.items.clone();
+            own.sort_unstable();
+            assert_eq!(union, own, "node items != union of children");
+            union
+        }
+        let mut all = check(&h);
+        all.sort_unstable();
+        let want: Vec<usize> = (0..pts.len()).collect();
+        prop_assert_eq!(all, want);
+    }
+}

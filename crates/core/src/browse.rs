@@ -1,0 +1,193 @@
+//! Query by browsing (§2.1): hierarchical organization of the
+//! database per feature vector, which the user drills down through.
+//!
+//! The paper builds a classification map per feature vector ("based on
+//! different feature vector, the classification of shapes in the
+//! database might be different") using the SERVER clustering module.
+
+use serde::{Deserialize, Serialize};
+use tdess_cluster::{build_hierarchy, HierarchyNode, HierarchyParams};
+use tdess_features::FeatureKind;
+
+use crate::db::{ShapeDatabase, ShapeId};
+
+/// A browsing hierarchy over the database in one feature space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrowseTree {
+    /// Feature space the hierarchy was built in.
+    pub kind: FeatureKind,
+    /// Root node; `items` hold positions into `ids`.
+    root: HierarchyNode,
+    /// Shape ids in the order the hierarchy indexes them.
+    ids: Vec<ShapeId>,
+}
+
+/// A drill-down cursor into a [`BrowseTree`].
+pub struct BrowseCursor<'a> {
+    tree: &'a BrowseTree,
+    node: &'a HierarchyNode,
+    path: Vec<usize>,
+}
+
+impl BrowseTree {
+    /// Builds the browsing hierarchy for `kind` over all shapes in the
+    /// database.
+    pub fn build(
+        db: &ShapeDatabase,
+        kind: FeatureKind,
+        params: &HierarchyParams,
+        seed: u64,
+    ) -> BrowseTree {
+        assert!(!db.is_empty(), "cannot browse an empty database");
+        let ids: Vec<ShapeId> = db.shapes().iter().map(|s| s.id).collect();
+        let points: Vec<Vec<f64>> = db
+            .shapes()
+            .iter()
+            .map(|s| s.features.get(kind).to_vec())
+            .collect();
+        let root = build_hierarchy(&points, params, seed);
+        BrowseTree { kind, root, ids }
+    }
+
+    /// Opens a cursor at the root.
+    pub fn cursor(&self) -> BrowseCursor<'_> {
+        BrowseCursor {
+            tree: self,
+            node: &self.root,
+            path: Vec::new(),
+        }
+    }
+
+    /// Total number of shapes organized by the tree.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+impl<'a> BrowseCursor<'a> {
+    /// Shape ids beneath the current node.
+    pub fn shape_ids(&self) -> Vec<ShapeId> {
+        self.node.items.iter().map(|&i| self.tree.ids[i]).collect()
+    }
+
+    /// Number of children at the current node (0 at a leaf).
+    pub fn num_children(&self) -> usize {
+        self.node.children.len()
+    }
+
+    /// Whether the cursor is at a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.node.is_leaf()
+    }
+
+    /// Descends into child `i`; panics when out of range.
+    pub fn descend(&mut self, i: usize) {
+        self.node = &self.node.children[i];
+        self.path.push(i);
+    }
+
+    /// Path of child indices from the root to the current node.
+    pub fn path(&self) -> &[usize] {
+        &self.path
+    }
+
+    /// Representative sizes of each child (for rendering the drill-down
+    /// menu).
+    pub fn child_sizes(&self) -> Vec<usize> {
+        self.node.children.iter().map(|c| c.items.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdess_features::FeatureExtractor;
+    use tdess_geom::{primitives, Vec3};
+
+    fn db() -> ShapeDatabase {
+        let mut db = ShapeDatabase::new(FeatureExtractor {
+            voxel_resolution: 16,
+            ..Default::default()
+        });
+        // Two clearly different populations: flat plates and rods.
+        for i in 0..6 {
+            let s = 1.0 + 0.05 * i as f64;
+            db.insert(format!("plate-{i}"), primitives::box_mesh(Vec3::new(4.0 * s, 3.0 * s, 0.2 * s)))
+                .unwrap();
+        }
+        for i in 0..6 {
+            let s = 1.0 + 0.05 * i as f64;
+            db.insert(format!("rod-{i}"), primitives::cylinder(0.2 * s, 6.0 * s, 12))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn tree_covers_all_shapes() {
+        let db = db();
+        let tree = BrowseTree::build(
+            &db,
+            FeatureKind::PrincipalMoments,
+            &HierarchyParams { branching: 2, leaf_size: 4 },
+            1,
+        );
+        assert_eq!(tree.len(), 12);
+        let cursor = tree.cursor();
+        assert_eq!(cursor.shape_ids().len(), 12);
+    }
+
+    #[test]
+    fn drill_down_separates_populations() {
+        let db = db();
+        let tree = BrowseTree::build(
+            &db,
+            FeatureKind::PrincipalMoments,
+            &HierarchyParams { branching: 2, leaf_size: 6 },
+            3,
+        );
+        let cursor = tree.cursor();
+        assert!(cursor.num_children() >= 2);
+        // Each first-level child should be (mostly) one population.
+        for c in 0..cursor.num_children() {
+            let mut child = tree.cursor();
+            child.descend(c);
+            let names: Vec<String> = child
+                .shape_ids()
+                .iter()
+                .map(|&id| db.get(id).unwrap().name.clone())
+                .collect();
+            let plates = names.iter().filter(|n| n.starts_with("plate")).count();
+            let rods = names.len() - plates;
+            assert!(
+                plates == 0 || rods == 0,
+                "child {c} mixes populations: {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_path_tracks_descent() {
+        let db = db();
+        let tree = BrowseTree::build(
+            &db,
+            FeatureKind::GeometricParams,
+            &HierarchyParams { branching: 2, leaf_size: 3 },
+            5,
+        );
+        let mut cursor = tree.cursor();
+        assert_eq!(cursor.path(), &[] as &[usize]);
+        while !cursor.is_leaf() {
+            let sizes = cursor.child_sizes();
+            assert!(!sizes.is_empty());
+            cursor.descend(0);
+        }
+        assert!(!cursor.path().is_empty());
+        assert!(cursor.shape_ids().len() <= 3);
+    }
+}

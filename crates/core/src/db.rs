@@ -1,0 +1,586 @@
+//! The shape database (§2.3) and one-shot query processing (§2.4).
+//!
+//! Inserting a shape assigns it a database id, runs the full feature
+//! extraction pipeline, stores all four feature vectors, and updates
+//! one R-tree per feature space — exactly the flow the paper describes
+//! ("whenever a shape is inserted in the database, a database ID is
+//! generated for it and all the feature vectors are extracted and
+//! stored ... then the index is updated").
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use tdess_features::{FeatureExtractor, FeatureKind, FeatureSet, NormalizeError};
+use tdess_geom::TriMesh;
+use tdess_index::{QueryStats, RTree, RTreeConfig};
+
+use crate::similarity::{similarity, threshold_to_radius, weighted_distance, Weights};
+
+/// A database shape identifier.
+pub type ShapeId = u64;
+
+/// A stored shape: id, name, original mesh, and its feature vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredShape {
+    /// Database id.
+    pub id: ShapeId,
+    /// Human-readable name.
+    pub name: String,
+    /// The original mesh (kept for result presentation / export).
+    pub mesh: TriMesh,
+    /// All extracted feature vectors.
+    pub features: FeatureSet,
+}
+
+/// How a query selects results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueryMode {
+    /// The `k` most similar shapes.
+    TopK(usize),
+    /// All shapes with similarity ≥ the threshold (Eq. 4.4).
+    Threshold(f64),
+}
+
+/// A one-shot query: one feature vector, optional per-dimension
+/// weights, and a selection mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Query {
+    /// Which feature vector to search with.
+    pub kind: FeatureKind,
+    /// Per-dimension weights (unit if not set).
+    pub weights: Weights,
+    /// Selection mode.
+    pub mode: QueryMode,
+}
+
+impl Query {
+    /// Top-k query with unit weights.
+    pub fn top_k(kind: FeatureKind, k: usize) -> Query {
+        Query {
+            kind,
+            weights: Weights::unit(),
+            mode: QueryMode::TopK(k),
+        }
+    }
+
+    /// Threshold query with unit weights.
+    pub fn threshold(kind: FeatureKind, threshold: f64) -> Query {
+        Query {
+            kind,
+            weights: Weights::unit(),
+            mode: QueryMode::Threshold(threshold),
+        }
+    }
+}
+
+/// One search result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// Database id of the matching shape.
+    pub id: ShapeId,
+    /// Weighted Euclidean distance to the query (Eq. 4.3).
+    pub distance: f64,
+    /// Similarity (Eq. 4.4).
+    pub similarity: f64,
+}
+
+/// Errors from database operations.
+#[derive(Debug)]
+pub enum DbError {
+    /// Feature extraction failed for the inserted/query mesh.
+    Extraction(NormalizeError),
+    /// The referenced shape id does not exist.
+    UnknownShape(ShapeId),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Extraction(e) => write!(f, "feature extraction failed: {e}"),
+            DbError::UnknownShape(id) => write!(f, "unknown shape id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<NormalizeError> for DbError {
+    fn from(e: NormalizeError) -> Self {
+        DbError::Extraction(e)
+    }
+}
+
+/// The 3DESS shape database.
+///
+/// ```
+/// use tdess_core::{Query, ShapeDatabase};
+/// use tdess_features::{FeatureExtractor, FeatureKind};
+/// use tdess_geom::{primitives, Vec3};
+///
+/// let mut db = ShapeDatabase::new(FeatureExtractor {
+///     voxel_resolution: 16,
+///     ..Default::default()
+/// });
+/// db.insert("box", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)))?;
+/// db.insert("ball", primitives::uv_sphere(1.0, 12, 6))?;
+///
+/// let query = primitives::box_mesh(Vec3::new(2.1, 1.0, 0.5));
+/// let hits = db.search_mesh(&query, &Query::top_k(FeatureKind::PrincipalMoments, 1))?;
+/// assert_eq!(db.get(hits[0].id).unwrap().name, "box");
+/// # Ok::<(), tdess_core::DbError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShapeDatabase {
+    extractor: FeatureExtractor,
+    next_id: ShapeId,
+    shapes: Vec<StoredShape>,
+    #[serde(skip, default)]
+    id_index: HashMap<ShapeId, usize>,
+    indexes: HashMap<FeatureKind, RTree<ShapeId>>,
+    /// Diameter (max pairwise distance) per feature space, maintained
+    /// incrementally; normalizes similarity (Eq. 4.4).
+    dmax: HashMap<FeatureKind, f64>,
+}
+
+impl ShapeDatabase {
+    /// Creates an empty database with the given extractor
+    /// configuration.
+    pub fn new(extractor: FeatureExtractor) -> ShapeDatabase {
+        let mut indexes = HashMap::new();
+        let mut dmax = HashMap::new();
+        for kind in FeatureKind::ALL {
+            indexes.insert(
+                kind,
+                RTree::new(extractor.dim(kind), RTreeConfig::default()),
+            );
+            dmax.insert(kind, 0.0);
+        }
+        ShapeDatabase {
+            extractor,
+            next_id: 1,
+            shapes: Vec::new(),
+            id_index: HashMap::new(),
+            indexes,
+            dmax,
+        }
+    }
+
+    /// Creates a database with default extraction settings.
+    pub fn with_defaults() -> ShapeDatabase {
+        ShapeDatabase::new(FeatureExtractor::default())
+    }
+
+    /// The extractor used by this database (queries must be extracted
+    /// with compatible settings).
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// Number of stored shapes.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// All stored shapes, in insertion order.
+    pub fn shapes(&self) -> &[StoredShape] {
+        &self.shapes
+    }
+
+    /// Looks up a shape by id.
+    pub fn get(&self, id: ShapeId) -> Option<&StoredShape> {
+        self.id_index.get(&id).map(|&i| &self.shapes[i])
+    }
+
+    /// Current similarity-normalization diameter for a feature space.
+    pub fn dmax(&self, kind: FeatureKind) -> f64 {
+        self.dmax[&kind]
+    }
+
+    /// Rebuilds the transient id → slot map (needed after
+    /// deserialization).
+    pub(crate) fn rebuild_id_index(&mut self) {
+        self.id_index = self
+            .shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, i))
+            .collect();
+    }
+
+    /// Inserts a mesh: extracts all feature vectors, stores the shape,
+    /// and updates every index. Returns the new id.
+    pub fn insert(&mut self, name: impl Into<String>, mesh: TriMesh) -> Result<ShapeId, DbError> {
+        let features = self.extractor.extract(&mesh)?;
+        Ok(self.insert_precomputed(name, mesh, features))
+    }
+
+    /// Inserts a shape whose features were already extracted (with an
+    /// extractor configured identically to this database's) — the
+    /// fast path used by parallel bulk indexing.
+    pub fn insert_precomputed(
+        &mut self,
+        name: impl Into<String>,
+        mesh: TriMesh,
+        features: FeatureSet,
+    ) -> ShapeId {
+        let id = self.next_id;
+        self.next_id += 1;
+
+        for kind in FeatureKind::ALL {
+            let v = features.get(kind);
+            // Maintain the diameter incrementally: the new point can
+            // only extend dmax via its distance to existing points.
+            let entry = self.dmax.get_mut(&kind).expect("all kinds initialized");
+            for s in &self.shapes {
+                let d = weighted_distance(v, s.features.get(kind), &Weights::unit());
+                if d > *entry {
+                    *entry = d;
+                }
+            }
+            self.indexes
+                .get_mut(&kind)
+                .expect("all kinds initialized")
+                .insert(v.to_vec(), id);
+        }
+
+        self.id_index.insert(id, self.shapes.len());
+        self.shapes.push(StoredShape {
+            id,
+            name: name.into(),
+            mesh,
+            features,
+        });
+        id
+    }
+
+    /// Removes a shape from the database and all indexes.
+    pub fn remove(&mut self, id: ShapeId) -> Result<StoredShape, DbError> {
+        let slot = *self.id_index.get(&id).ok_or(DbError::UnknownShape(id))?;
+        let shape = self.shapes.remove(slot);
+        for kind in FeatureKind::ALL {
+            let v = shape.features.get(kind);
+            self.indexes
+                .get_mut(&kind)
+                .expect("all kinds initialized")
+                .remove(v, |&p| p == id);
+        }
+        // Note: dmax is left as an upper bound (recomputing the exact
+        // diameter on every delete would be O(n²)); similarity stays
+        // well-defined, merely slightly conservative.
+        self.rebuild_id_index();
+        Ok(shape)
+    }
+
+    /// Extracts the feature vectors of a query mesh using this
+    /// database's extractor (the "query by example" entry point).
+    pub fn extract_query(&self, mesh: &TriMesh) -> Result<FeatureSet, DbError> {
+        Ok(self.extractor.extract(mesh)?)
+    }
+
+    /// One-shot search with an already-extracted query feature set.
+    ///
+    /// Unit-weight queries run on the R-tree; weighted queries scan the
+    /// stored features (a weighted metric changes the geometry the
+    /// index was built for).
+    pub fn search(&self, features: &FeatureSet, query: &Query) -> Vec<SearchHit> {
+        let mut stats = QueryStats::default();
+        self.search_with_stats(features, query, &mut stats)
+    }
+
+    /// Like [`ShapeDatabase::search`], also accumulating index
+    /// traversal statistics.
+    pub fn search_with_stats(
+        &self,
+        features: &FeatureSet,
+        query: &Query,
+        stats: &mut QueryStats,
+    ) -> Vec<SearchHit> {
+        let q = features.get(query.kind);
+        let dmax = self.dmax[&query.kind];
+
+        if query.weights.is_unit() {
+            let index = &self.indexes[&query.kind];
+            match query.mode {
+                QueryMode::TopK(k) => index
+                    .knn(q, k, stats)
+                    .into_iter()
+                    .map(|(_, &id, d)| SearchHit {
+                        id,
+                        distance: d,
+                        similarity: similarity(d, dmax),
+                    })
+                    .collect(),
+                QueryMode::Threshold(t) => {
+                    let radius = threshold_to_radius(t, dmax);
+                    index
+                        .within_distance(q, radius, stats)
+                        .into_iter()
+                        .map(|(_, &id, d)| SearchHit {
+                            id,
+                            distance: d,
+                            similarity: similarity(d, dmax),
+                        })
+                        .collect()
+                }
+            }
+        } else {
+            // Weighted scan.
+            let mut hits: Vec<SearchHit> = self
+                .shapes
+                .iter()
+                .map(|s| {
+                    stats.entries_checked += 1;
+                    let d = weighted_distance(q, s.features.get(query.kind), &query.weights);
+                    SearchHit {
+                        id: s.id,
+                        distance: d,
+                        similarity: similarity(d, dmax),
+                    }
+                })
+                .collect();
+            hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+            match query.mode {
+                QueryMode::TopK(k) => {
+                    hits.truncate(k);
+                    hits
+                }
+                QueryMode::Threshold(t) => hits
+                    .into_iter()
+                    .filter(|h| h.similarity >= t)
+                    .collect(),
+            }
+        }
+    }
+
+    /// Computes per-dimension standardization weights for a feature
+    /// space: `wᵢ = 1/σᵢ²` over all stored shapes, normalized to mean
+    /// 1 (so a weighted Euclidean distance becomes a Mahalanobis-like
+    /// distance with a diagonal covariance). Useful when a feature's
+    /// dimensions have very different spans — the geometric-parameter
+    /// vector mixes aspect ratios (≈1–5) with volumes (up to
+    /// hundreds), and unweighted distances let the big dimension
+    /// dominate. Returns unit weights if fewer than two shapes are
+    /// stored or every dimension is constant.
+    pub fn standardized_weights(&self, kind: FeatureKind) -> Weights {
+        if self.shapes.len() < 2 {
+            return Weights::unit();
+        }
+        let dim = self.extractor.dim(kind);
+        let n = self.shapes.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for s in &self.shapes {
+            for (m, v) in mean.iter_mut().zip(s.features.get(kind)) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dim];
+        for s in &self.shapes {
+            for d in 0..dim {
+                var[d] += (s.features.get(kind)[d] - mean[d]).powi(2);
+            }
+        }
+        if var.iter().all(|&v| v <= 0.0) {
+            return Weights::unit();
+        }
+        // Scale-aware floor keeps constant dimensions from exploding.
+        let mean_var: f64 = var.iter().sum::<f64>() / dim as f64 / n;
+        let mut w: Vec<f64> = var
+            .iter()
+            .map(|v| 1.0 / (v / n + 1e-6 * mean_var.max(1e-300)))
+            .collect();
+        let mean_w: f64 = w.iter().sum::<f64>() / dim as f64;
+        for x in w.iter_mut() {
+            *x /= mean_w;
+        }
+        Weights::new(w)
+    }
+
+    /// Convenience: query by example with a mesh.
+    pub fn search_mesh(&self, mesh: &TriMesh, query: &Query) -> Result<Vec<SearchHit>, DbError> {
+        let features = self.extract_query(mesh)?;
+        Ok(self.search(&features, query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdess_geom::{primitives, Vec3};
+
+    fn small_db() -> (ShapeDatabase, Vec<ShapeId>) {
+        let mut db = ShapeDatabase::new(FeatureExtractor {
+            voxel_resolution: 24,
+            ..Default::default()
+        });
+        let ids = vec![
+            db.insert("box-a", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5))).unwrap(),
+            db.insert("box-b", primitives::box_mesh(Vec3::new(2.2, 1.1, 0.55))).unwrap(),
+            db.insert("sphere", primitives::uv_sphere(1.0, 16, 8)).unwrap(),
+            db.insert("rod", primitives::cylinder(0.3, 5.0, 16)).unwrap(),
+            db.insert("torus", primitives::torus(1.5, 0.4, 24, 12)).unwrap(),
+        ];
+        (db, ids)
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let (db, ids) = small_db();
+        assert_eq!(db.len(), 5);
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+        assert_eq!(db.get(3).unwrap().name, "sphere");
+        assert!(db.get(99).is_none());
+    }
+
+    #[test]
+    fn similar_box_ranks_first() {
+        let (db, _) = small_db();
+        let q = primitives::box_mesh(Vec3::new(2.1, 1.05, 0.52));
+        for kind in [FeatureKind::MomentInvariants, FeatureKind::PrincipalMoments] {
+            let hits = db.search_mesh(&q, &Query::top_k(kind, 3)).unwrap();
+            assert_eq!(hits.len(), 3);
+            let top = db.get(hits[0].id).unwrap();
+            assert!(top.name.starts_with("box"), "{kind:?}: top hit {}", top.name);
+            // Similarities are sorted and in [0, 1].
+            for w in hits.windows(2) {
+                assert!(w[0].similarity >= w[1].similarity - 1e-12);
+            }
+            assert!(hits.iter().all(|h| (0.0..=1.0).contains(&h.similarity)));
+        }
+    }
+
+    #[test]
+    fn threshold_query_filters_by_similarity() {
+        let (db, _) = small_db();
+        let q = primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5));
+        let hits = db
+            .search_mesh(&q, &Query::threshold(FeatureKind::PrincipalMoments, 0.9))
+            .unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.similarity >= 0.9), "{hits:?}");
+        // Lowering the threshold can only add results.
+        let more = db
+            .search_mesh(&q, &Query::threshold(FeatureKind::PrincipalMoments, 0.1))
+            .unwrap();
+        assert!(more.len() >= hits.len());
+    }
+
+    #[test]
+    fn weighted_search_changes_ranking() {
+        let (db, _) = small_db();
+        let q = db.get(1).unwrap().features.clone();
+        // Unit weights: the identical shape is rank 1 at distance 0.
+        let unit = db.search(&q, &Query::top_k(FeatureKind::GeometricParams, 5));
+        assert_eq!(unit[0].id, 1);
+        assert!(unit[0].distance < 1e-9);
+        // Zero out every dimension: all shapes tie at distance 0.
+        let zero = db.search(
+            &q,
+            &Query {
+                kind: FeatureKind::GeometricParams,
+                weights: Weights::new(vec![0.0; 5]),
+                mode: QueryMode::TopK(5),
+            },
+        );
+        assert!(zero.iter().all(|h| h.distance == 0.0));
+    }
+
+    #[test]
+    fn remove_deletes_everywhere() {
+        let (mut db, _) = small_db();
+        let gone = db.remove(3).unwrap();
+        assert_eq!(gone.name, "sphere");
+        assert_eq!(db.len(), 4);
+        assert!(db.get(3).is_none());
+        // The removed shape no longer appears in results.
+        let q = primitives::uv_sphere(1.0, 16, 8);
+        let hits = db
+            .search_mesh(&q, &Query::top_k(FeatureKind::MomentInvariants, 4))
+            .unwrap();
+        assert!(hits.iter().all(|h| h.id != 3));
+        assert!(matches!(db.remove(3), Err(DbError::UnknownShape(3))));
+    }
+
+    #[test]
+    fn dmax_grows_monotonically() {
+        let mut db = ShapeDatabase::new(FeatureExtractor {
+            voxel_resolution: 20,
+            ..Default::default()
+        });
+        assert_eq!(db.dmax(FeatureKind::MomentInvariants), 0.0);
+        db.insert("a", primitives::box_mesh(Vec3::ONE)).unwrap();
+        assert_eq!(db.dmax(FeatureKind::MomentInvariants), 0.0);
+        db.insert("b", primitives::uv_sphere(1.0, 16, 8)).unwrap();
+        let d1 = db.dmax(FeatureKind::MomentInvariants);
+        assert!(d1 > 0.0);
+        db.insert("c", primitives::cylinder(0.2, 8.0, 16)).unwrap();
+        assert!(db.dmax(FeatureKind::MomentInvariants) >= d1);
+    }
+
+    #[test]
+    fn self_query_is_perfect_match() {
+        let (db, _) = small_db();
+        for kind in FeatureKind::ALL {
+            let q = db.get(2).unwrap().features.clone();
+            let hits = db.search(&q, &Query::top_k(kind, 1));
+            assert_eq!(hits[0].distance, 0.0, "{kind:?}");
+            assert_eq!(hits[0].similarity, 1.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn standardized_weights_normalize_dimension_spans() {
+        let (db, _) = small_db();
+        let w = db.standardized_weights(FeatureKind::GeometricParams);
+        assert!(!w.is_unit());
+        let wv = w.0.as_ref().unwrap();
+        assert_eq!(wv.len(), 5);
+        assert!(wv.iter().all(|&x| x > 0.0 && x.is_finite()));
+        // Mean weight is 1 by construction.
+        let mean: f64 = wv.iter().sum::<f64>() / wv.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9, "mean {mean}");
+        // Weights genuinely differ across dimensions (the point of
+        // standardization): high-variance dimensions are down-weighted.
+        let max = wv.iter().cloned().fold(f64::MIN, f64::max);
+        let min = wv.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 2.0, "weights barely vary: {wv:?}");
+        // Weighted self-query still matches perfectly.
+        let q = db.get(1).unwrap().features.clone();
+        let hits = db.search(
+            &q,
+            &Query {
+                kind: FeatureKind::GeometricParams,
+                weights: w,
+                mode: QueryMode::TopK(1),
+            },
+        );
+        assert_eq!(hits[0].id, 1);
+        assert!(hits[0].distance < 1e-9);
+    }
+
+    #[test]
+    fn standardized_weights_degenerate_cases() {
+        let db = ShapeDatabase::new(FeatureExtractor {
+            voxel_resolution: 16,
+            ..Default::default()
+        });
+        assert!(db.standardized_weights(FeatureKind::PrincipalMoments).is_unit());
+    }
+
+    #[test]
+    fn zero_volume_query_errors() {
+        let (db, _) = small_db();
+        let degenerate = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]);
+        assert!(matches!(
+            db.search_mesh(&degenerate, &Query::top_k(FeatureKind::MomentInvariants, 1)),
+            Err(DbError::Extraction(_))
+        ));
+    }
+}

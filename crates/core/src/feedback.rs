@@ -1,0 +1,288 @@
+//! Relevance feedback (§2.2 of the paper).
+//!
+//! Two mechanisms, exactly as the paper lists them:
+//!
+//! * **query reconstruction** — the query vector moves toward the
+//!   marked-relevant shapes and away from the irrelevant ones
+//!   (Rocchio's rule);
+//! * **weight reconfiguration** — per-dimension weights are updated
+//!   from the spread of the relevant set: dimensions on which relevant
+//!   shapes agree get more weight.
+//!
+//! The paper keeps relevance feedback switched off during its
+//! experiments; we do the same, but the machinery is fully functional
+//! and covered by tests.
+
+use serde::{Deserialize, Serialize};
+use tdess_features::FeatureKind;
+
+use crate::db::{ShapeDatabase, ShapeId};
+use crate::similarity::Weights;
+
+/// Rocchio coefficients for query reconstruction.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RocchioParams {
+    /// Weight of the original query.
+    pub alpha: f64,
+    /// Weight of the relevant centroid.
+    pub beta: f64,
+    /// Weight of the irrelevant centroid.
+    pub gamma: f64,
+}
+
+impl Default for RocchioParams {
+    fn default() -> Self {
+        RocchioParams {
+            alpha: 1.0,
+            beta: 0.75,
+            gamma: 0.25,
+        }
+    }
+}
+
+/// User feedback on a result set.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Feedback {
+    /// Shapes the user marked as relevant.
+    pub relevant: Vec<ShapeId>,
+    /// Shapes the user marked as irrelevant.
+    pub irrelevant: Vec<ShapeId>,
+}
+
+/// Reconstructs the query vector for feature space `kind` from
+/// feedback (Rocchio): `q' = α·q + β·mean(rel) − γ·mean(irrel)`.
+/// Ids missing from the database are ignored; with no valid relevant
+/// or irrelevant shapes the corresponding term drops out.
+pub fn reconstruct_query(
+    db: &ShapeDatabase,
+    kind: FeatureKind,
+    query: &[f64],
+    feedback: &Feedback,
+    params: &RocchioParams,
+) -> Vec<f64> {
+    let dim = query.len();
+    let centroid = |ids: &[ShapeId]| -> Option<Vec<f64>> {
+        let vectors: Vec<&[f64]> = ids
+            .iter()
+            .filter_map(|&id| db.get(id).map(|s| s.features.get(kind)))
+            .collect();
+        if vectors.is_empty() {
+            return None;
+        }
+        let mut c = vec![0.0; dim];
+        for v in &vectors {
+            for d in 0..dim {
+                c[d] += v[d];
+            }
+        }
+        for x in c.iter_mut() {
+            *x /= vectors.len() as f64;
+        }
+        Some(c)
+    };
+
+    let rel = centroid(&feedback.relevant);
+    let irr = centroid(&feedback.irrelevant);
+
+    let mut out = vec![0.0; dim];
+    for d in 0..dim {
+        out[d] = params.alpha * query[d];
+        if let Some(r) = &rel {
+            out[d] += params.beta * r[d];
+        }
+        if let Some(i) = &irr {
+            out[d] -= params.gamma * i[d];
+        }
+    }
+    // Keep the query at the original magnitude scale: normalize by the
+    // total positive mass so repeated feedback doesn't inflate it.
+    let mass = params.alpha + if rel.is_some() { params.beta } else { 0.0 };
+    if mass > 0.0 {
+        for x in out.iter_mut() {
+            *x /= mass;
+        }
+    }
+    out
+}
+
+/// Reconfigures per-dimension weights from the relevant set: the
+/// weight of dimension `i` is `1/(σᵢ + ε)`, normalized to mean 1 —
+/// dimensions where the relevant shapes agree tightly dominate the
+/// distance. Returns unit weights when fewer than two relevant shapes
+/// are known.
+pub fn reconfigure_weights(
+    db: &ShapeDatabase,
+    kind: FeatureKind,
+    feedback: &Feedback,
+) -> Weights {
+    let vectors: Vec<&[f64]> = feedback
+        .relevant
+        .iter()
+        .filter_map(|&id| db.get(id).map(|s| s.features.get(kind)))
+        .collect();
+    if vectors.len() < 2 {
+        return Weights::unit();
+    }
+    let dim = vectors[0].len();
+    let n = vectors.len() as f64;
+    let mut mean = vec![0.0; dim];
+    for v in &vectors {
+        for d in 0..dim {
+            mean[d] += v[d];
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= n;
+    }
+    let mut sigma = vec![0.0; dim];
+    for v in &vectors {
+        for d in 0..dim {
+            sigma[d] += (v[d] - mean[d]).powi(2);
+        }
+    }
+    // Scale-aware epsilon keeps weights finite when σ = 0.
+    let scale: f64 = mean.iter().map(|m| m.abs()).sum::<f64>() / dim as f64 + 1e-9;
+    let mut w: Vec<f64> = sigma
+        .iter()
+        .map(|s| 1.0 / ((s / n).sqrt() + 1e-3 * scale))
+        .collect();
+    let mean_w: f64 = w.iter().sum::<f64>() / dim as f64;
+    for x in w.iter_mut() {
+        *x /= mean_w;
+    }
+    Weights::new(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Query;
+    use tdess_features::FeatureExtractor;
+    use tdess_geom::{primitives, Vec3};
+
+    fn db() -> ShapeDatabase {
+        let mut db = ShapeDatabase::new(FeatureExtractor {
+            voxel_resolution: 20,
+            ..Default::default()
+        });
+        for i in 0..3 {
+            let s = 1.0 + 0.05 * i as f64;
+            db.insert(
+                format!("box-{i}"),
+                primitives::box_mesh(Vec3::new(2.0 * s, 1.0 * s, 0.5 * s)),
+            )
+            .unwrap();
+        }
+        db.insert("sphere", primitives::uv_sphere(1.0, 16, 8)).unwrap();
+        db.insert("rod", primitives::cylinder(0.25, 6.0, 16)).unwrap();
+        db
+    }
+
+    #[test]
+    fn rocchio_moves_query_toward_relevant() {
+        let db = db();
+        let kind = FeatureKind::PrincipalMoments;
+        // Start from the sphere; mark the boxes relevant.
+        let q0 = db.get(4).unwrap().features.get(kind).to_vec();
+        let fb = Feedback {
+            relevant: vec![1, 2, 3],
+            irrelevant: vec![],
+        };
+        let q1 = reconstruct_query(&db, kind, &q0, &fb, &RocchioParams::default());
+        // The reconstructed query must be closer to the box centroid.
+        let boxes: Vec<&[f64]> = (1..=3).map(|i| db.get(i).unwrap().features.get(kind)).collect();
+        let mut centroid = vec![0.0; q0.len()];
+        for b in &boxes {
+            for d in 0..q0.len() {
+                centroid[d] += b[d] / 3.0;
+            }
+        }
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        };
+        assert!(dist(&q1, &centroid) < dist(&q0, &centroid));
+    }
+
+    #[test]
+    fn rocchio_with_no_feedback_is_identity() {
+        let db = db();
+        let kind = FeatureKind::MomentInvariants;
+        let q0 = db.get(1).unwrap().features.get(kind).to_vec();
+        let q1 = reconstruct_query(&db, kind, &q0, &Feedback::default(), &RocchioParams::default());
+        for (a, b) in q0.iter().zip(&q1) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn irrelevant_shapes_subtract_their_centroid() {
+        let db = db();
+        let kind = FeatureKind::PrincipalMoments;
+        let q0 = db.get(1).unwrap().features.get(kind).to_vec();
+        let sphere = db.get(4).unwrap().features.get(kind).to_vec();
+        let fb = Feedback {
+            relevant: vec![],
+            irrelevant: vec![4],
+        };
+        let params = RocchioParams::default();
+        let q1 = reconstruct_query(&db, kind, &q0, &fb, &params);
+        // Contract: with no relevant set, q' = (α·q − γ·irr)/α.
+        for d in 0..q0.len() {
+            let want = (params.alpha * q0[d] - params.gamma * sphere[d]) / params.alpha;
+            assert!((q1[d] - want).abs() < 1e-12, "dim {d}: {} vs {want}", q1[d]);
+        }
+    }
+
+    #[test]
+    fn weight_reconfiguration_tightens_ranking() {
+        let db = db();
+        let kind = FeatureKind::GeometricParams;
+        let fb = Feedback {
+            relevant: vec![1, 2, 3],
+            irrelevant: vec![],
+        };
+        let w = reconfigure_weights(&db, kind, &fb);
+        assert!(!w.is_unit());
+        let wv = w.0.as_ref().unwrap();
+        assert_eq!(wv.len(), 5);
+        assert!(wv.iter().all(|&x| x > 0.0 && x.is_finite()));
+        // Weighted search with reconfigured weights still ranks a
+        // relevant shape first for a relevant query.
+        let q = db.get(2).unwrap().features.clone();
+        let hits = db.search(
+            &q,
+            &Query {
+                kind,
+                weights: w,
+                mode: crate::db::QueryMode::TopK(3),
+            },
+        );
+        assert_eq!(hits[0].id, 2);
+    }
+
+    #[test]
+    fn weights_unit_when_insufficient_feedback() {
+        let db = db();
+        let fb = Feedback {
+            relevant: vec![1],
+            irrelevant: vec![],
+        };
+        assert!(reconfigure_weights(&db, FeatureKind::MomentInvariants, &fb).is_unit());
+        assert!(reconfigure_weights(&db, FeatureKind::MomentInvariants, &Feedback::default()).is_unit());
+    }
+
+    #[test]
+    fn unknown_ids_ignored() {
+        let db = db();
+        let kind = FeatureKind::MomentInvariants;
+        let q0 = db.get(1).unwrap().features.get(kind).to_vec();
+        let fb = Feedback {
+            relevant: vec![999],
+            irrelevant: vec![888],
+        };
+        let q1 = reconstruct_query(&db, kind, &q0, &fb, &RocchioParams::default());
+        for (a, b) in q0.iter().zip(&q1) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # tdess-core — the 3DESS shape-search system
+//!
+//! The primary contribution of the reproduced paper: a content-based
+//! 3-D engineering shape search system. This crate ties the substrates
+//! together into the three-tier architecture of Fig. 1:
+//!
+//! * **database** ([`db`]) — shape storage, feature extraction on
+//!   insert, one R-tree per feature space, one-shot query processing
+//!   (top-k and similarity-threshold, Eq. 4.3–4.4);
+//! * **multi-step search** ([`multistep`]) — §4.2's candidate
+//!   retrieval + re-ranking strategy;
+//! * **relevance feedback** ([`feedback`]) — query reconstruction and
+//!   weight reconfiguration;
+//! * **browsing** ([`browse`]) — per-feature clustering hierarchies
+//!   for drill-down search;
+//! * **persistence** ([`persist`]) — JSON storage standing in for the
+//!   paper's Oracle 8i layer;
+//! * **server tier** ([`server`]) — thread-safe search handle and
+//!   parallel bulk indexing.
+
+#![warn(missing_docs)]
+
+pub mod browse;
+pub mod db;
+pub mod feedback;
+pub mod multistep;
+pub mod persist;
+pub mod server;
+pub mod similarity;
+
+pub use browse::{BrowseCursor, BrowseTree};
+pub use db::{DbError, Query, QueryMode, SearchHit, ShapeDatabase, ShapeId, StoredShape};
+pub use feedback::{reconfigure_weights, reconstruct_query, Feedback, RocchioParams};
+pub use multistep::{multi_step_search, MultiStepPlan};
+pub use server::{bulk_insert, SearchServer};
+pub use persist::{load, load_from_path, save, save_to_path, PersistError};
+pub use similarity::{similarity, threshold_to_radius, weighted_distance, Weights};

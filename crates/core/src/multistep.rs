@@ -1,0 +1,189 @@
+//! Multi-step similarity search (§4.2 of the paper).
+//!
+//! Instead of a single one-shot query, the user retrieves a candidate
+//! set with one feature vector and *filters/re-ranks* it with others —
+//! the paper's example retrieves 30 shapes by moment invariants,
+//! re-orders them by geometric parameters, and presents the 10 most
+//! similar. The paper reports this strategy beating every one-shot
+//! search (average recall +51% over principal moments).
+
+use serde::{Deserialize, Serialize};
+use tdess_features::{FeatureKind, FeatureSet};
+
+use crate::db::{Query, QueryMode, SearchHit, ShapeDatabase};
+use crate::similarity::{similarity, weighted_distance, Weights};
+
+/// A multi-step search plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiStepPlan {
+    /// Feature vector per step; the first retrieves candidates, later
+    /// ones re-rank them.
+    pub steps: Vec<FeatureKind>,
+    /// Candidate-set size retrieved by the first step (the paper uses
+    /// 30).
+    pub candidates: usize,
+    /// Number of results presented after the last step (the paper uses
+    /// 10).
+    pub presented: usize,
+}
+
+impl MultiStepPlan {
+    /// The paper's §4.2 configuration: moment invariants first, then
+    /// geometric parameters; 30 candidates, 10 presented.
+    pub fn paper_default() -> MultiStepPlan {
+        MultiStepPlan {
+            steps: vec![FeatureKind::MomentInvariants, FeatureKind::GeometricParams],
+            candidates: 30,
+            presented: 10,
+        }
+    }
+}
+
+/// Runs a multi-step search. Step 1 uses the database index; each
+/// subsequent step re-ranks the surviving candidates by its feature
+/// vector's distance. Results carry the similarity of the *final*
+/// step's feature space.
+pub fn multi_step_search(
+    db: &ShapeDatabase,
+    query: &FeatureSet,
+    plan: &MultiStepPlan,
+) -> Vec<SearchHit> {
+    assert!(!plan.steps.is_empty(), "plan needs at least one step");
+    assert!(plan.candidates >= 1 && plan.presented >= 1, "degenerate plan sizes");
+
+    // Step 1: candidate retrieval through the index.
+    let first = Query {
+        kind: plan.steps[0],
+        weights: Weights::unit(),
+        mode: QueryMode::TopK(plan.candidates),
+    };
+    let mut hits = db.search(query, &first);
+
+    // Later steps: re-rank candidates in the step's feature space.
+    for &kind in &plan.steps[1..] {
+        let qv = query.get(kind);
+        let dmax = db.dmax(kind);
+        for h in hits.iter_mut() {
+            let stored = db.get(h.id).expect("hit ids come from the database");
+            let d = weighted_distance(qv, stored.features.get(kind), &Weights::unit());
+            h.distance = d;
+            h.similarity = similarity(d, dmax);
+        }
+        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+    }
+
+    hits.truncate(plan.presented);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdess_features::FeatureExtractor;
+    use tdess_geom::{primitives, Vec3};
+
+    fn db_with_shapes() -> ShapeDatabase {
+        let mut db = ShapeDatabase::new(FeatureExtractor {
+            voxel_resolution: 20,
+            ..Default::default()
+        });
+        for i in 0..4 {
+            let s = 1.0 + i as f64 * 0.08;
+            db.insert(
+                format!("box-{i}"),
+                primitives::box_mesh(Vec3::new(2.0 * s, 1.0 * s, 0.5 * s)),
+            )
+            .unwrap();
+        }
+        db.insert("sphere", primitives::uv_sphere(1.0, 16, 8)).unwrap();
+        db.insert("rod", primitives::cylinder(0.3, 5.0, 16)).unwrap();
+        db.insert("torus", primitives::torus(1.5, 0.4, 24, 12)).unwrap();
+        db
+    }
+
+    #[test]
+    fn multi_step_returns_presented_count() {
+        let db = db_with_shapes();
+        let q = db.get(1).unwrap().features.clone();
+        let plan = MultiStepPlan {
+            steps: vec![FeatureKind::MomentInvariants, FeatureKind::GeometricParams],
+            candidates: 5,
+            presented: 3,
+        };
+        let hits = multi_step_search(&db, &q, &plan);
+        assert_eq!(hits.len(), 3);
+        // Sorted by the final step's distance.
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-12);
+        }
+    }
+
+    #[test]
+    fn second_step_rerank_uses_its_feature_space() {
+        let db = db_with_shapes();
+        let q = db.get(1).unwrap().features.clone();
+        let one_step = MultiStepPlan {
+            steps: vec![FeatureKind::MomentInvariants],
+            candidates: 7,
+            presented: 7,
+        };
+        let two_step = MultiStepPlan {
+            steps: vec![FeatureKind::MomentInvariants, FeatureKind::GeometricParams],
+            candidates: 7,
+            presented: 7,
+        };
+        let a = multi_step_search(&db, &q, &one_step);
+        let b = multi_step_search(&db, &q, &two_step);
+        assert_eq!(a.len(), b.len());
+        // The identical shape stays rank 1 in both.
+        assert_eq!(a[0].id, 1);
+        assert_eq!(b[0].id, 1);
+        // Distances in step-2 space differ from step-1 space for some
+        // candidate.
+        let same_everywhere = a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| (x.distance - y.distance).abs() < 1e-12);
+        assert!(!same_everywhere, "re-ranking had no effect at all");
+    }
+
+    #[test]
+    fn candidate_limit_caps_recall() {
+        let db = db_with_shapes();
+        let q = db.get(1).unwrap().features.clone();
+        // With 1 candidate, only the self-match can survive.
+        let plan = MultiStepPlan {
+            steps: vec![FeatureKind::MomentInvariants, FeatureKind::PrincipalMoments],
+            candidates: 1,
+            presented: 5,
+        };
+        let hits = multi_step_search(&db, &q, &plan);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 1);
+    }
+
+    #[test]
+    fn paper_default_plan_shape() {
+        let p = MultiStepPlan::paper_default();
+        assert_eq!(p.candidates, 30);
+        assert_eq!(p.presented, 10);
+        assert_eq!(p.steps[0], FeatureKind::MomentInvariants);
+        assert_eq!(p.steps[1], FeatureKind::GeometricParams);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_plan_rejected() {
+        let db = db_with_shapes();
+        let q = db.get(1).unwrap().features.clone();
+        let _ = multi_step_search(
+            &db,
+            &q,
+            &MultiStepPlan {
+                steps: vec![],
+                candidates: 5,
+                presented: 5,
+            },
+        );
+    }
+}

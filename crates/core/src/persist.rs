@@ -1,0 +1,132 @@
+//! Database persistence.
+//!
+//! The paper stores geometric models and feature vectors in Oracle 8i
+//! with the multidimensional index built on top; this module plays
+//! that storage role with JSON files (see DESIGN.md for the
+//! substitution rationale). Everything — shapes, meshes, features,
+//! and the R-trees themselves — round-trips.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::db::ShapeDatabase;
+
+/// Errors from persistence operations.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Serialization/deserialization failure.
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Serde(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Serde(e)
+    }
+}
+
+/// Serializes the database to a writer as JSON.
+pub fn save<W: Write>(db: &ShapeDatabase, w: W) -> Result<(), PersistError> {
+    serde_json::to_writer(w, db)?;
+    Ok(())
+}
+
+/// Deserializes a database from a reader.
+pub fn load<R: Read>(r: R) -> Result<ShapeDatabase, PersistError> {
+    let mut db: ShapeDatabase = serde_json::from_reader(r)?;
+    db.rebuild_id_index();
+    Ok(db)
+}
+
+/// Saves the database to a file path.
+pub fn save_to_path(db: &ShapeDatabase, path: &Path) -> Result<(), PersistError> {
+    let file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    save(db, file)
+}
+
+/// Loads a database from a file path.
+pub fn load_from_path(path: &Path) -> Result<ShapeDatabase, PersistError> {
+    let file = std::io::BufReader::new(std::fs::File::open(path)?);
+    load(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Query;
+    use tdess_features::{FeatureExtractor, FeatureKind};
+    use tdess_geom::{primitives, Vec3};
+
+    fn db() -> ShapeDatabase {
+        let mut db = ShapeDatabase::new(FeatureExtractor {
+            voxel_resolution: 16,
+            ..Default::default()
+        });
+        db.insert("box", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5))).unwrap();
+        db.insert("sphere", primitives::uv_sphere(1.0, 12, 6)).unwrap();
+        db.insert("rod", primitives::cylinder(0.3, 4.0, 12)).unwrap();
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_search_behavior() {
+        let db0 = db();
+        let mut buf = Vec::new();
+        save(&db0, &mut buf).unwrap();
+        let db1 = load(buf.as_slice()).unwrap();
+
+        assert_eq!(db0.len(), db1.len());
+        assert_eq!(db1.get(2).unwrap().name, "sphere");
+
+        let q = db0.get(1).unwrap().features.clone();
+        for kind in FeatureKind::ALL {
+            let a = db0.search(&q, &Query::top_k(kind, 3));
+            let b = db1.search(&q, &Query::top_k(kind, 3));
+            assert_eq!(a.len(), b.len(), "{kind:?}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id, "{kind:?}");
+                assert!((x.distance - y.distance).abs() < 1e-12, "{kind:?}");
+            }
+            assert!((db0.dmax(kind) - db1.dmax(kind)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("tdess_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        let db0 = db();
+        save_to_path(&db0, &path).unwrap();
+        let db1 = load_from_path(&path).unwrap();
+        assert_eq!(db0.len(), db1.len());
+        // Inserting into the reloaded DB continues id assignment.
+        let mut db1 = db1;
+        let id = db1.insert("torus", primitives::torus(1.5, 0.4, 16, 8)).unwrap();
+        assert_eq!(id, 4);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(load("not json at all".as_bytes()).is_err());
+        assert!(load_from_path(Path::new("/nonexistent/db.json")).is_err());
+    }
+}

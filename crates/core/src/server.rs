@@ -1,0 +1,263 @@
+//! The SERVER tier (§2.2): a thread-safe database handle and parallel
+//! bulk indexing.
+//!
+//! The paper's server layer handles "computation-intensive tasks" —
+//! chiefly feature extraction — for many interactive clients. This
+//! module provides:
+//!
+//! * [`SearchServer`] — a cloneable handle around the database with
+//!   reader-writer locking: any number of concurrent searches, with
+//!   exclusive access only while inserting/removing;
+//! * [`bulk_insert`] — feature extraction fanned out across worker
+//!   threads (extraction dominates insert cost by orders of
+//!   magnitude), with the index updates applied sequentially so ids
+//!   remain deterministic in input order.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use tdess_geom::TriMesh;
+
+use crate::db::{DbError, Query, SearchHit, ShapeDatabase, ShapeId};
+use crate::multistep::{multi_step_search, MultiStepPlan};
+
+/// A thread-safe, cloneable handle to a [`ShapeDatabase`].
+#[derive(Clone)]
+pub struct SearchServer {
+    inner: Arc<RwLock<ShapeDatabase>>,
+}
+
+impl SearchServer {
+    /// Wraps a database in a server handle.
+    pub fn new(db: ShapeDatabase) -> SearchServer {
+        SearchServer {
+            inner: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Runs a one-shot search under a shared (read) lock.
+    pub fn search_mesh(&self, mesh: &TriMesh, query: &Query) -> Result<Vec<SearchHit>, DbError> {
+        // Extract outside the lock — it is the expensive part and needs
+        // only the extractor configuration.
+        let features = {
+            let db = self.inner.read();
+            db.extractor().extract(mesh)?
+        };
+        Ok(self.inner.read().search(&features, query))
+    }
+
+    /// Runs a multi-step search under a shared (read) lock.
+    pub fn multi_step_mesh(
+        &self,
+        mesh: &TriMesh,
+        plan: &MultiStepPlan,
+    ) -> Result<Vec<SearchHit>, DbError> {
+        let features = {
+            let db = self.inner.read();
+            db.extractor().extract(mesh)?
+        };
+        Ok(multi_step_search(&self.inner.read(), &features, plan))
+    }
+
+    /// Inserts a shape under an exclusive (write) lock.
+    pub fn insert(&self, name: impl Into<String>, mesh: TriMesh) -> Result<ShapeId, DbError> {
+        self.inner.write().insert(name, mesh)
+    }
+
+    /// Removes a shape under an exclusive (write) lock.
+    pub fn remove(&self, id: ShapeId) -> Result<(), DbError> {
+        self.inner.write().remove(id).map(|_| ())
+    }
+
+    /// Number of stored shapes.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Name of a shape, if it exists.
+    pub fn name_of(&self, id: ShapeId) -> Option<String> {
+        self.inner.read().get(id).map(|s| s.name.clone())
+    }
+
+    /// Runs `f` with shared access to the underlying database.
+    pub fn with_db<R>(&self, f: impl FnOnce(&ShapeDatabase) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+/// Inserts many shapes, extracting features on `threads` worker
+/// threads. Returns ids in input order. Extraction failures abort with
+/// the first error encountered (in input order) and leave the database
+/// untouched.
+pub fn bulk_insert(
+    db: &mut ShapeDatabase,
+    shapes: Vec<(String, TriMesh)>,
+    threads: usize,
+) -> Result<Vec<ShapeId>, DbError> {
+    let threads = threads.max(1);
+    let extractor = *db.extractor();
+    let n = shapes.len();
+    let mut features = Vec::with_capacity(n);
+
+    if threads == 1 || n <= 1 {
+        for (_, mesh) in &shapes {
+            features.push(extractor.extract(mesh).map_err(DbError::Extraction)?);
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<RwLock<Option<Result<tdess_features::FeatureSet, DbError>>>> =
+            (0..n).map(|_| RwLock::new(None)).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..threads.min(n) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = extractor.extract(&shapes[i].1).map_err(DbError::Extraction);
+                    *results[i].write() = Some(out);
+                });
+            }
+        })
+        .expect("extraction workers do not panic");
+        for cell in results {
+            let res = cell.into_inner().expect("every slot was filled");
+            features.push(res?);
+        }
+    }
+
+    // Sequential index updates keep id assignment deterministic.
+    let mut ids = Vec::with_capacity(n);
+    for ((name, mesh), fs) in shapes.into_iter().zip(features) {
+        ids.push(db.insert_precomputed(name, mesh, fs));
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdess_features::{FeatureExtractor, FeatureKind};
+    use tdess_geom::{primitives, Vec3};
+
+    fn meshes(n: usize) -> Vec<(String, TriMesh)> {
+        (0..n)
+            .map(|i| {
+                let s = 1.0 + 0.1 * i as f64;
+                (
+                    format!("box-{i}"),
+                    primitives::box_mesh(Vec3::new(2.0 * s, 1.0 * s, 0.5 * s)),
+                )
+            })
+            .collect()
+    }
+
+    fn extractor() -> FeatureExtractor {
+        FeatureExtractor {
+            voxel_resolution: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bulk_insert_matches_sequential_insert() {
+        let shapes = meshes(6);
+        let mut seq = ShapeDatabase::new(extractor());
+        for (name, mesh) in shapes.clone() {
+            seq.insert(name, mesh).unwrap();
+        }
+        let mut par = ShapeDatabase::new(extractor());
+        let ids = bulk_insert(&mut par, shapes, 4).unwrap();
+        assert_eq!(ids, (1..=6).collect::<Vec<_>>());
+        assert_eq!(par.len(), seq.len());
+        for (a, b) in par.shapes().iter().zip(seq.shapes()) {
+            assert_eq!(a.name, b.name);
+            for kind in FeatureKind::ALL {
+                assert_eq!(a.features.get(kind), b.features.get(kind), "{}", a.name);
+            }
+        }
+        for kind in FeatureKind::ALL {
+            assert!((par.dmax(kind) - seq.dmax(kind)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bulk_insert_propagates_extraction_errors() {
+        let mut shapes = meshes(3);
+        shapes.insert(
+            1,
+            (
+                "degenerate".into(),
+                TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]),
+            ),
+        );
+        let mut db = ShapeDatabase::new(extractor());
+        assert!(bulk_insert(&mut db, shapes, 2).is_err());
+        assert!(db.is_empty(), "failed bulk insert must not partially apply");
+    }
+
+    #[test]
+    fn server_concurrent_searches() {
+        let mut db = ShapeDatabase::new(extractor());
+        bulk_insert(&mut db, meshes(5), 2).unwrap();
+        let server = SearchServer::new(db);
+        let query_mesh = primitives::box_mesh(Vec3::new(2.05, 1.0, 0.5));
+
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let server = server.clone();
+                let mesh = query_mesh.clone();
+                handles.push(scope.spawn(move |_| {
+                    server
+                        .search_mesh(&mesh, &Query::top_k(FeatureKind::PrincipalMoments, 3))
+                        .unwrap()
+                }));
+            }
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // Every thread sees the same answer.
+            for r in &results[1..] {
+                assert_eq!(r.len(), results[0].len());
+                for (a, b) in r.iter().zip(&results[0]) {
+                    assert_eq!(a.id, b.id);
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn server_insert_visible_to_searches() {
+        let server = SearchServer::new(ShapeDatabase::new(extractor()));
+        assert!(server.is_empty());
+        let id = server.insert("ring", primitives::torus(1.5, 0.4, 16, 8)).unwrap();
+        assert_eq!(server.len(), 1);
+        assert_eq!(server.name_of(id).as_deref(), Some("ring"));
+        server.remove(id).unwrap();
+        assert!(server.is_empty());
+        assert!(server.remove(id).is_err());
+    }
+
+    #[test]
+    fn server_multi_step() {
+        let mut db = ShapeDatabase::new(extractor());
+        bulk_insert(&mut db, meshes(6), 2).unwrap();
+        let server = SearchServer::new(db);
+        let hits = server
+            .multi_step_mesh(
+                &primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)),
+                &MultiStepPlan {
+                    steps: vec![FeatureKind::PrincipalMoments, FeatureKind::MomentInvariants],
+                    candidates: 5,
+                    presented: 3,
+                },
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 3);
+    }
+}

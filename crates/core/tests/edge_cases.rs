@@ -1,0 +1,163 @@
+//! Edge-case behavior of the search system: empty databases, extreme
+//! thresholds, degenerate plans, and persistence of empty/odd states.
+
+use tdess_core::{
+    load, multi_step_search, save, MultiStepPlan, Query, QueryMode, ShapeDatabase, Weights,
+};
+use tdess_features::{FeatureExtractor, FeatureKind};
+use tdess_geom::{primitives, Vec3};
+
+fn extractor() -> FeatureExtractor {
+    FeatureExtractor {
+        voxel_resolution: 16,
+        ..Default::default()
+    }
+}
+
+fn one_shape_db() -> ShapeDatabase {
+    let mut db = ShapeDatabase::new(extractor());
+    db.insert("only", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5))).unwrap();
+    db
+}
+
+#[test]
+fn empty_database_returns_no_hits() {
+    let db = ShapeDatabase::new(extractor());
+    assert!(db.is_empty());
+    let q = extractor()
+        .extract(&primitives::box_mesh(Vec3::ONE))
+        .unwrap();
+    for kind in FeatureKind::ALL {
+        assert!(db.search(&q, &Query::top_k(kind, 5)).is_empty(), "{kind:?}");
+        assert!(db.search(&q, &Query::threshold(kind, 0.5)).is_empty(), "{kind:?}");
+    }
+}
+
+#[test]
+fn single_shape_database_similarity_degenerates_gracefully() {
+    let db = one_shape_db();
+    // dmax is 0 with one shape: self-query has similarity 1, any other
+    // query similarity 0 — but results still come back ranked.
+    let self_q = db.shapes()[0].features.clone();
+    let hits = db.search(&self_q, &Query::top_k(FeatureKind::PrincipalMoments, 3));
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].similarity, 1.0);
+
+    let other = extractor().extract(&primitives::uv_sphere(1.0, 12, 6)).unwrap();
+    let hits = db.search(&other, &Query::top_k(FeatureKind::PrincipalMoments, 3));
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].similarity, 0.0);
+}
+
+#[test]
+fn threshold_bounds_behave() {
+    let mut db = ShapeDatabase::new(extractor());
+    db.insert("a", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5))).unwrap();
+    db.insert("b", primitives::uv_sphere(1.0, 12, 6)).unwrap();
+    db.insert("c", primitives::cylinder(0.3, 4.0, 12)).unwrap();
+    let q = db.shapes()[0].features.clone();
+    // Threshold 0 returns everything.
+    let all = db.search(&q, &Query::threshold(FeatureKind::MomentInvariants, 0.0));
+    assert_eq!(all.len(), 3);
+    // Threshold 1 returns only exact matches.
+    let exact = db.search(&q, &Query::threshold(FeatureKind::MomentInvariants, 1.0));
+    assert_eq!(exact.len(), 1);
+    assert_eq!(exact[0].distance, 0.0);
+}
+
+#[test]
+#[should_panic(expected = "threshold must be in [0, 1]")]
+fn out_of_range_threshold_panics() {
+    let db = one_shape_db();
+    let q = db.shapes()[0].features.clone();
+    let _ = db.search(&q, &Query::threshold(FeatureKind::MomentInvariants, 1.5));
+}
+
+#[test]
+fn multistep_presented_exceeding_candidates_is_capped() {
+    let mut db = ShapeDatabase::new(extractor());
+    for i in 0..5 {
+        let s = 1.0 + 0.1 * i as f64;
+        db.insert(format!("b{i}"), primitives::box_mesh(Vec3::new(2.0 * s, s, 0.5 * s)))
+            .unwrap();
+    }
+    let q = db.shapes()[0].features.clone();
+    let hits = multi_step_search(
+        &db,
+        &q,
+        &MultiStepPlan {
+            steps: vec![FeatureKind::PrincipalMoments, FeatureKind::MomentInvariants],
+            candidates: 2,
+            presented: 10,
+        },
+    );
+    assert_eq!(hits.len(), 2, "cannot present more than the candidate set");
+}
+
+#[test]
+fn multistep_single_step_equals_one_shot() {
+    let mut db = ShapeDatabase::new(extractor());
+    for i in 0..6 {
+        let s = 1.0 + 0.07 * i as f64;
+        db.insert(format!("b{i}"), primitives::box_mesh(Vec3::new(2.0 * s, s, 0.4 * s)))
+            .unwrap();
+    }
+    let q = db.shapes()[2].features.clone();
+    let plan = MultiStepPlan {
+        steps: vec![FeatureKind::PrincipalMoments],
+        candidates: 4,
+        presented: 4,
+    };
+    let ms: Vec<_> = multi_step_search(&db, &q, &plan).into_iter().map(|h| h.id).collect();
+    let os: Vec<_> = db
+        .search(&q, &Query::top_k(FeatureKind::PrincipalMoments, 4))
+        .into_iter()
+        .map(|h| h.id)
+        .collect();
+    assert_eq!(ms, os);
+}
+
+#[test]
+fn weighted_query_with_partial_weights_panics() {
+    let db = one_shape_db();
+    let q = db.shapes()[0].features.clone();
+    let result = std::panic::catch_unwind(|| {
+        db.search(
+            &q,
+            &Query {
+                kind: FeatureKind::PrincipalMoments, // dim 3
+                weights: Weights::new(vec![1.0, 1.0]), // wrong dim
+                mode: QueryMode::TopK(1),
+            },
+        )
+    });
+    assert!(result.is_err(), "dimension mismatch must not pass silently");
+}
+
+#[test]
+fn empty_database_persists_and_reloads() {
+    let db = ShapeDatabase::new(extractor());
+    let mut buf = Vec::new();
+    save(&db, &mut buf).unwrap();
+    let mut restored = load(buf.as_slice()).unwrap();
+    assert!(restored.is_empty());
+    // And keeps working after a fresh insert.
+    let id = restored
+        .insert("first", primitives::box_mesh(Vec3::ONE))
+        .unwrap();
+    assert_eq!(id, 1);
+}
+
+#[test]
+fn reinserting_identical_mesh_gives_zero_distance_pair() {
+    let mut db = ShapeDatabase::new(extractor());
+    let mesh = primitives::torus(1.5, 0.4, 16, 8);
+    let a = db.insert("dup-a", mesh.clone()).unwrap();
+    let b = db.insert("dup-b", mesh).unwrap();
+    let q = db.get(a).unwrap().features.clone();
+    let hits = db.search(&q, &Query::top_k(FeatureKind::MomentInvariants, 2));
+    assert_eq!(hits.len(), 2);
+    assert!(hits.iter().all(|h| h.distance < 1e-12));
+    let ids: std::collections::HashSet<_> = hits.iter().map(|h| h.id).collect();
+    assert!(ids.contains(&a) && ids.contains(&b));
+}

@@ -1,0 +1,534 @@
+//! Parametric engineering-part families.
+//!
+//! Each family is a generator of watertight meshes whose members share
+//! an engineering character (bracket, channel, flange, gear, …) but
+//! differ in jittered dimensions — the structure the paper's manually
+//! classified groups have. All generators use only extrusion,
+//! revolution, and closed primitives, so every produced mesh is
+//! watertight and exact moment integration applies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tdess_geom::polygon::{rect_ring, regular_ngon};
+use tdess_geom::{extrude, primitives, revolve, Polygon, TriMesh, Vec3, P2};
+
+/// The twenty-six part families of the evaluation corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Extruded L-profile bracket.
+    LBracket,
+    /// Extruded T-section.
+    TSection,
+    /// Extruded U-channel.
+    UChannel,
+    /// Extruded I-beam.
+    IBeam,
+    /// Extruded Z-section.
+    ZSection,
+    /// Extruded plus/cross section.
+    PlusSection,
+    /// Rectangular plate with four corner bolt holes.
+    PlateFourHoles,
+    /// Rectangular plate with one central hole.
+    PlateOneHole,
+    /// Thin washer (annular plate).
+    Washer,
+    /// Spur gear blank with teeth and a center bore.
+    SpurGear,
+    /// Extruded star profile.
+    Star,
+    /// Hexagonal prism (nut blank).
+    HexPrism,
+    /// Revolved stepped shaft (three diameters).
+    SteppedShaft,
+    /// Revolved flange: disk base with a hub.
+    Flange,
+    /// Revolved bushing (thick-walled tube).
+    Bushing,
+    /// Revolved cone frustum.
+    ConeFrustum,
+    /// Revolved pulley with a V-groove rim.
+    Pulley,
+    /// Revolved bottle (body, shoulder, neck).
+    Bottle,
+    /// Torus (O-ring).
+    Torus,
+    /// Ellipsoid.
+    Ellipsoid,
+    /// Rectangular block.
+    Block,
+    /// Slender cylindrical rod.
+    Rod,
+    /// Long thin-walled pipe.
+    Pipe,
+    /// Extruded right-triangle wedge.
+    Wedge,
+    /// Extruded open C-ring (annulus sector).
+    CRing,
+    /// Solid cone.
+    Cone,
+}
+
+impl Family {
+    /// All families, in corpus order.
+    pub const ALL: [Family; 26] = [
+        Family::LBracket,
+        Family::TSection,
+        Family::UChannel,
+        Family::IBeam,
+        Family::ZSection,
+        Family::PlusSection,
+        Family::PlateFourHoles,
+        Family::PlateOneHole,
+        Family::Washer,
+        Family::SpurGear,
+        Family::Star,
+        Family::HexPrism,
+        Family::SteppedShaft,
+        Family::Flange,
+        Family::Bushing,
+        Family::ConeFrustum,
+        Family::Pulley,
+        Family::Bottle,
+        Family::Torus,
+        Family::Ellipsoid,
+        Family::Block,
+        Family::Rod,
+        Family::Pipe,
+        Family::Wedge,
+        Family::CRing,
+        Family::Cone,
+    ];
+
+    /// Short name used in shape identifiers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::LBracket => "l-bracket",
+            Family::TSection => "t-section",
+            Family::UChannel => "u-channel",
+            Family::IBeam => "i-beam",
+            Family::ZSection => "z-section",
+            Family::PlusSection => "plus-section",
+            Family::PlateFourHoles => "plate-4holes",
+            Family::PlateOneHole => "plate-1hole",
+            Family::Washer => "washer",
+            Family::SpurGear => "spur-gear",
+            Family::Star => "star",
+            Family::HexPrism => "hex-prism",
+            Family::SteppedShaft => "stepped-shaft",
+            Family::Flange => "flange",
+            Family::Bushing => "bushing",
+            Family::ConeFrustum => "cone-frustum",
+            Family::Pulley => "pulley",
+            Family::Bottle => "bottle",
+            Family::Torus => "torus",
+            Family::Ellipsoid => "ellipsoid",
+            Family::Block => "block",
+            Family::Rod => "rod",
+            Family::Pipe => "pipe",
+            Family::Wedge => "wedge",
+            Family::CRing => "c-ring",
+            Family::Cone => "cone",
+        }
+    }
+
+    /// Generates one member of the family with jittered dimensions.
+    /// The mesh is produced in a canonical pose; callers typically
+    /// apply a random rigid transform afterwards.
+    pub fn generate(self, rng: &mut StdRng) -> TriMesh {
+        // Relative jitter around a base dimension.
+        fn j(rng: &mut StdRng, base: f64, rel: f64) -> f64 {
+            base * (1.0 + rng.gen_range(-rel..rel))
+        }
+
+        match self {
+            Family::LBracket => {
+                let w = j(rng, 3.0, 0.2);
+                let h = j(rng, 4.0, 0.2);
+                let t = j(rng, 0.8, 0.15);
+                let depth = j(rng, 1.5, 0.2);
+                let profile = Polygon::simple(vec![
+                    P2::new(0.0, 0.0),
+                    P2::new(w, 0.0),
+                    P2::new(w, t),
+                    P2::new(t, t),
+                    P2::new(t, h),
+                    P2::new(0.0, h),
+                ]);
+                extrude(&profile, depth)
+            }
+            Family::TSection => {
+                let w = j(rng, 4.0, 0.2);
+                let h = j(rng, 3.5, 0.2);
+                let t = j(rng, 0.7, 0.15);
+                let depth = j(rng, 1.8, 0.2);
+                let profile = Polygon::simple(vec![
+                    P2::new(-w / 2.0, 0.0),
+                    P2::new(w / 2.0, 0.0),
+                    P2::new(w / 2.0, t),
+                    P2::new(t / 2.0, t),
+                    P2::new(t / 2.0, h),
+                    P2::new(-t / 2.0, h),
+                    P2::new(-t / 2.0, t),
+                    P2::new(-w / 2.0, t),
+                ]);
+                extrude(&profile, depth)
+            }
+            Family::UChannel => {
+                let w = j(rng, 3.0, 0.2);
+                let h = j(rng, 2.5, 0.2);
+                let t = j(rng, 0.5, 0.15);
+                let depth = j(rng, 5.0, 0.25);
+                let profile = Polygon::simple(vec![
+                    P2::new(0.0, 0.0),
+                    P2::new(w, 0.0),
+                    P2::new(w, h),
+                    P2::new(w - t, h),
+                    P2::new(w - t, t),
+                    P2::new(t, t),
+                    P2::new(t, h),
+                    P2::new(0.0, h),
+                ]);
+                extrude(&profile, depth)
+            }
+            Family::IBeam => {
+                let w = j(rng, 3.0, 0.2); // flange width
+                let h = j(rng, 4.0, 0.2); // total height
+                let tf = j(rng, 0.6, 0.15); // flange thickness
+                let tw = j(rng, 0.5, 0.15); // web thickness
+                let depth = j(rng, 6.0, 0.25);
+                let profile = Polygon::simple(vec![
+                    P2::new(-w / 2.0, 0.0),
+                    P2::new(w / 2.0, 0.0),
+                    P2::new(w / 2.0, tf),
+                    P2::new(tw / 2.0, tf),
+                    P2::new(tw / 2.0, h - tf),
+                    P2::new(w / 2.0, h - tf),
+                    P2::new(w / 2.0, h),
+                    P2::new(-w / 2.0, h),
+                    P2::new(-w / 2.0, h - tf),
+                    P2::new(-tw / 2.0, h - tf),
+                    P2::new(-tw / 2.0, tf),
+                    P2::new(-w / 2.0, tf),
+                ]);
+                extrude(&profile, depth)
+            }
+            Family::ZSection => {
+                let b = j(rng, 2.0, 0.2); // flange width
+                let h = j(rng, 4.0, 0.2);
+                let t = j(rng, 0.6, 0.15);
+                let depth = j(rng, 5.0, 0.25);
+                let profile = Polygon::simple(vec![
+                    P2::new(0.0, 0.0),
+                    P2::new(b, 0.0),
+                    P2::new(b, t),
+                    P2::new(t, t),
+                    P2::new(t, h),
+                    P2::new(t - b, h),
+                    P2::new(t - b, h - t),
+                    P2::new(0.0, h - t),
+                ]);
+                extrude(&profile, depth)
+            }
+            Family::PlusSection => {
+                let a = j(rng, 4.0, 0.2); // arm span
+                let t = j(rng, 1.0, 0.15); // arm thickness
+                let depth = j(rng, 1.2, 0.2);
+                let (ha, ht) = (a / 2.0, t / 2.0);
+                let profile = Polygon::simple(vec![
+                    P2::new(-ht, -ha),
+                    P2::new(ht, -ha),
+                    P2::new(ht, -ht),
+                    P2::new(ha, -ht),
+                    P2::new(ha, ht),
+                    P2::new(ht, ht),
+                    P2::new(ht, ha),
+                    P2::new(-ht, ha),
+                    P2::new(-ht, ht),
+                    P2::new(-ha, ht),
+                    P2::new(-ha, -ht),
+                    P2::new(-ht, -ht),
+                ]);
+                extrude(&profile, depth)
+            }
+            Family::PlateFourHoles => {
+                let w = j(rng, 5.0, 0.2);
+                let h = j(rng, 3.0, 0.2);
+                let t = j(rng, 0.5, 0.2);
+                let r = j(rng, 0.4, 0.15);
+                let inset = 0.22;
+                let holes = [
+                    (-w * (0.5 - inset), -h * (0.5 - inset)),
+                    (w * (0.5 - inset), -h * (0.5 - inset)),
+                    (w * (0.5 - inset), h * (0.5 - inset)),
+                    (-w * (0.5 - inset), h * (0.5 - inset)),
+                ]
+                .iter()
+                .map(|&(cx, cy)| regular_ngon(12, r, cx, cy, 0.1))
+                .collect();
+                let profile = Polygon::new(rect_ring(-w / 2.0, -h / 2.0, w / 2.0, h / 2.0), holes);
+                extrude(&profile, t)
+            }
+            Family::PlateOneHole => {
+                let w = j(rng, 4.0, 0.2);
+                let h = j(rng, 4.0, 0.2);
+                let t = j(rng, 0.6, 0.2);
+                let r = j(rng, 1.0, 0.2);
+                let profile = Polygon::new(
+                    rect_ring(-w / 2.0, -h / 2.0, w / 2.0, h / 2.0),
+                    vec![regular_ngon(16, r.min(w.min(h) * 0.35), 0.0, 0.0, 0.05)],
+                );
+                extrude(&profile, t)
+            }
+            Family::Washer => {
+                let ro = j(rng, 2.0, 0.2);
+                let ri = ro * j(rng, 0.55, 0.1);
+                let t = j(rng, 0.35, 0.2);
+                let profile = Polygon::new(
+                    regular_ngon(24, ro, 0.0, 0.0, 0.0),
+                    vec![regular_ngon(24, ri, 0.0, 0.0, 0.03)],
+                );
+                extrude(&profile, t)
+            }
+            Family::SpurGear => {
+                let teeth = rng.gen_range(8..14usize);
+                let r_root = j(rng, 2.0, 0.15);
+                let r_tip = r_root * j(rng, 1.25, 0.05);
+                let bore = r_root * j(rng, 0.3, 0.1);
+                let t = j(rng, 0.8, 0.2);
+                // Four profile points per tooth: root-root-tip-tip.
+                let mut ring = Vec::with_capacity(teeth * 4);
+                for i in 0..teeth {
+                    let base = 2.0 * std::f64::consts::PI * i as f64 / teeth as f64;
+                    let step = 2.0 * std::f64::consts::PI / teeth as f64 / 4.0;
+                    for (s, r) in [(0.0, r_root), (1.0, r_tip), (2.0, r_tip), (3.0, r_root)] {
+                        let a = base + s * step;
+                        ring.push(P2::new(r * a.cos(), r * a.sin()));
+                    }
+                }
+                let profile =
+                    Polygon::new(ring, vec![regular_ngon(12, bore, 0.0, 0.0, 0.07)]);
+                extrude(&profile, t)
+            }
+            Family::Star => {
+                let points = rng.gen_range(5..8usize);
+                let ro = j(rng, 2.5, 0.15);
+                let ri = ro * j(rng, 0.45, 0.1);
+                let t = j(rng, 0.7, 0.2);
+                let mut ring = Vec::with_capacity(points * 2);
+                for i in 0..points * 2 {
+                    let r = if i % 2 == 0 { ro } else { ri };
+                    let a = std::f64::consts::PI * i as f64 / points as f64;
+                    ring.push(P2::new(r * a.cos(), r * a.sin()));
+                }
+                extrude(&Polygon::simple(ring), t)
+            }
+            Family::HexPrism => {
+                let r = j(rng, 1.8, 0.2);
+                let t = j(rng, 1.2, 0.25);
+                extrude(&Polygon::simple(regular_ngon(6, r, 0.0, 0.0, 0.0)), t)
+            }
+            Family::SteppedShaft => {
+                let r1 = j(rng, 1.0, 0.15);
+                let r2 = r1 * j(rng, 0.65, 0.1);
+                let r3 = r1 * j(rng, 0.4, 0.1);
+                let h1 = j(rng, 2.0, 0.2);
+                let h2 = j(rng, 2.5, 0.2);
+                let h3 = j(rng, 1.5, 0.2);
+                let profile = vec![
+                    P2::new(0.0, 0.0),
+                    P2::new(r1, 0.0),
+                    P2::new(r1, h1),
+                    P2::new(r2, h1),
+                    P2::new(r2, h1 + h2),
+                    P2::new(r3, h1 + h2),
+                    P2::new(r3, h1 + h2 + h3),
+                    P2::new(0.0, h1 + h2 + h3),
+                ];
+                revolve(&profile, 32)
+            }
+            Family::Flange => {
+                let rb = j(rng, 2.5, 0.15); // base radius
+                let tb = j(rng, 0.6, 0.2); // base thickness
+                let rh = rb * j(rng, 0.4, 0.1); // hub radius
+                let hh = j(rng, 1.8, 0.2); // hub height
+                let profile = vec![
+                    P2::new(0.0, 0.0),
+                    P2::new(rb, 0.0),
+                    P2::new(rb, tb),
+                    P2::new(rh, tb),
+                    P2::new(rh, tb + hh),
+                    P2::new(0.0, tb + hh),
+                ];
+                revolve(&profile, 32)
+            }
+            Family::Bushing => {
+                let ro = j(rng, 1.5, 0.15);
+                let ri = ro * j(rng, 0.6, 0.1);
+                let h = j(rng, 2.0, 0.25);
+                revolve(&rect_ring(ri, 0.0, ro, h), 32)
+            }
+            Family::ConeFrustum => {
+                let r1 = j(rng, 2.0, 0.15);
+                let r2 = r1 * j(rng, 0.5, 0.15);
+                let h = j(rng, 2.5, 0.2);
+                let profile = vec![
+                    P2::new(0.0, 0.0),
+                    P2::new(r1, 0.0),
+                    P2::new(r2, h),
+                    P2::new(0.0, h),
+                ];
+                revolve(&profile, 32)
+            }
+            Family::Pulley => {
+                let r = j(rng, 2.2, 0.15);
+                let h = j(rng, 1.2, 0.2);
+                let g = h * 0.22; // groove half-width
+                let d = r * j(rng, 0.25, 0.1); // groove depth
+                let bore = r * 0.25;
+                let profile = vec![
+                    P2::new(bore, 0.0),
+                    P2::new(r, 0.0),
+                    P2::new(r, h / 2.0 - g),
+                    P2::new(r - d, h / 2.0),
+                    P2::new(r, h / 2.0 + g),
+                    P2::new(r, h),
+                    P2::new(bore, h),
+                ];
+                revolve(&profile, 32)
+            }
+            Family::Bottle => {
+                let rb = j(rng, 1.5, 0.15); // body radius
+                let rn = rb * j(rng, 0.35, 0.1); // neck radius
+                let hb = j(rng, 3.0, 0.2);
+                let hs = j(rng, 0.8, 0.2); // shoulder
+                let hn = j(rng, 1.0, 0.2); // neck
+                let profile = vec![
+                    P2::new(0.0, 0.0),
+                    P2::new(rb, 0.0),
+                    P2::new(rb, hb),
+                    P2::new(rn, hb + hs),
+                    P2::new(rn, hb + hs + hn),
+                    P2::new(0.0, hb + hs + hn),
+                ];
+                revolve(&profile, 32)
+            }
+            Family::Torus => {
+                let big = j(rng, 2.0, 0.15);
+                let small = big * j(rng, 0.3, 0.15);
+                primitives::torus(big, small, 32, 16)
+            }
+            Family::Ellipsoid => {
+                let a = j(rng, 2.0, 0.2);
+                let b = j(rng, 1.3, 0.2);
+                let c = j(rng, 0.8, 0.2);
+                let mut m = primitives::uv_sphere(1.0, 24, 12);
+                m.map_vertices(|v| Vec3::new(v.x * a, v.y * b, v.z * c));
+                m
+            }
+            Family::Block => {
+                let x = j(rng, 3.0, 0.25);
+                let y = j(rng, 2.0, 0.25);
+                let z = j(rng, 1.2, 0.25);
+                primitives::box_mesh(Vec3::new(x, y, z))
+            }
+            Family::Rod => {
+                let r = j(rng, 0.4, 0.2);
+                let h = j(rng, 6.0, 0.2);
+                primitives::cylinder(r, h, 24)
+            }
+            Family::Pipe => {
+                let ro = j(rng, 1.0, 0.15);
+                let ri = ro * j(rng, 0.8, 0.05);
+                let h = j(rng, 7.0, 0.2);
+                let profile = Polygon::new(
+                    regular_ngon(24, ro, 0.0, 0.0, 0.0),
+                    vec![regular_ngon(24, ri, 0.0, 0.0, 0.03)],
+                );
+                extrude(&profile, h)
+            }
+            Family::Wedge => {
+                let a = j(rng, 3.0, 0.2);
+                let b = j(rng, 2.0, 0.2);
+                let t = j(rng, 1.5, 0.25);
+                let profile = Polygon::simple(vec![
+                    P2::new(0.0, 0.0),
+                    P2::new(a, 0.0),
+                    P2::new(0.0, b),
+                ]);
+                extrude(&profile, t)
+            }
+            Family::CRing => {
+                let ro = j(rng, 2.2, 0.15);
+                let ri = ro * j(rng, 0.65, 0.08);
+                let opening = j(rng, 1.1, 0.2); // radians of the gap
+                let t = j(rng, 0.8, 0.2);
+                let n = 24usize;
+                let a0 = opening / 2.0;
+                let a1 = 2.0 * std::f64::consts::PI - opening / 2.0;
+                let mut ring = Vec::with_capacity(2 * (n + 1));
+                for i in 0..=n {
+                    let a = a0 + (a1 - a0) * i as f64 / n as f64;
+                    ring.push(P2::new(ro * a.cos(), ro * a.sin()));
+                }
+                for i in (0..=n).rev() {
+                    let a = a0 + (a1 - a0) * i as f64 / n as f64;
+                    ring.push(P2::new(ri * a.cos(), ri * a.sin()));
+                }
+                extrude(&Polygon::simple(ring), t)
+            }
+            Family::Cone => {
+                let r = j(rng, 1.8, 0.2);
+                let h = j(rng, 3.0, 0.2);
+                primitives::cone(r, h, 28)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_family_generates_watertight_positive_volume() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for fam in Family::ALL {
+            for rep in 0..3 {
+                let mesh = fam.generate(&mut rng);
+                assert!(
+                    mesh.is_watertight(),
+                    "{} rep {rep}: {:?}",
+                    fam.name(),
+                    mesh.validate().first()
+                );
+                let v = mesh.signed_volume();
+                assert!(v > 0.0, "{} rep {rep}: volume {v}", fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let names: std::collections::HashSet<_> = Family::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), Family::ALL.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Family::SpurGear.generate(&mut StdRng::seed_from_u64(5));
+        let b = Family::SpurGear.generate(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.vertices[0], b.vertices[0]);
+    }
+
+    #[test]
+    fn members_of_a_family_differ() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Family::Flange.generate(&mut rng);
+        let b = Family::Flange.generate(&mut rng);
+        assert!((a.signed_volume() - b.signed_volume()).abs() > 1e-6);
+    }
+}

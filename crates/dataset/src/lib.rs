@@ -1,0 +1,17 @@
+//! # tdess-dataset — the evaluation corpus for 3DESS
+//!
+//! A deterministic, procedural substitute for the paper's proprietary
+//! database of 113 engineering shapes: 26 parametric part families
+//! (86 classified shapes in groups of 2–8, matching Figure 4) plus 27
+//! unclassified noise shapes, every one watertight and posed with a
+//! random rigid transform.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod families;
+pub mod noise;
+
+pub use builder::{build_corpus, build_corpus_custom, build_corpus_scaled, Corpus, ShapeRecord, GROUP_SIZES, NUM_NOISE};
+pub use families::Family;
+pub use noise::noise_shape;

@@ -1,0 +1,116 @@
+//! Unclassified "noisy shapes" (§4 of the paper: 27 shapes that do not
+//! belong to any group).
+//!
+//! Each noise shape is a one-off: a random polygon prism, a random
+//! revolved staircase, or an extreme-parameter primitive — deliberately
+//! unlike the 26 families, so they act as distractors during retrieval.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tdess_geom::polygon::regular_ngon;
+use tdess_geom::{extrude, primitives, revolve, Polygon, TriMesh, Vec3, P2};
+
+/// Generates the `i`-th noise shape. Varies the construction recipe by
+/// index so all 27 distractors are structurally different.
+pub fn noise_shape(i: usize, rng: &mut StdRng) -> TriMesh {
+    match i % 6 {
+        0 => random_polygon_prism(rng),
+        1 => random_revolved_staircase(rng),
+        2 => {
+            // Squashed ellipsoid with extreme eccentricity.
+            let a = rng.gen_range(2.5..4.0);
+            let b = rng.gen_range(0.3..0.8);
+            let c = rng.gen_range(0.8..1.5);
+            let mut m = primitives::uv_sphere(1.0, 20, 10);
+            m.map_vertices(|v| Vec3::new(v.x * a, v.y * b, v.z * c));
+            m
+        }
+        3 => {
+            // Very flat or very tall random n-gon.
+            let n = rng.gen_range(3..9usize);
+            let r = rng.gen_range(0.5..3.0);
+            let t = if rng.gen_bool(0.5) {
+                rng.gen_range(0.05..0.15)
+            } else {
+                rng.gen_range(6.0..9.0)
+            };
+            extrude(&Polygon::simple(regular_ngon(n, r, 0.0, 0.0, rng.gen_range(0.0..1.0))), t)
+        }
+        4 => {
+            // Skinny torus or fat torus.
+            let big = rng.gen_range(1.5..3.0);
+            let frac = if rng.gen_bool(0.5) { 0.08 } else { 0.45 };
+            primitives::torus(big, big * frac, 28, 12)
+        }
+        _ => random_bumpy_disk(rng),
+    }
+}
+
+/// A prism over a random star-like polygon with 5–9 irregular radii.
+fn random_polygon_prism(rng: &mut StdRng) -> TriMesh {
+    let n = rng.gen_range(5..10usize);
+    let mut ring = Vec::with_capacity(n);
+    for k in 0..n {
+        let a = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        let r = rng.gen_range(0.8..3.0);
+        ring.push(P2::new(r * a.cos(), r * a.sin()));
+    }
+    extrude(&Polygon::simple(ring), rng.gen_range(0.4..2.5))
+}
+
+/// A revolved monotone staircase profile with 3–6 random steps.
+fn random_revolved_staircase(rng: &mut StdRng) -> TriMesh {
+    let steps = rng.gen_range(3..7usize);
+    let mut profile = vec![P2::new(0.0, 0.0)];
+    let mut z = 0.0;
+    for _ in 0..steps {
+        let r = rng.gen_range(0.4..2.5);
+        let h = rng.gen_range(0.4..1.5);
+        profile.push(P2::new(r, z));
+        z += h;
+        profile.push(P2::new(r, z));
+    }
+    profile.push(P2::new(0.0, z));
+    revolve(&profile, 24)
+}
+
+/// A disk with a wavy rim (random amplitude and lobe count).
+fn random_bumpy_disk(rng: &mut StdRng) -> TriMesh {
+    let lobes = rng.gen_range(3..8usize);
+    let base = rng.gen_range(1.5..2.5);
+    let amp = rng.gen_range(0.2..0.6);
+    let n = 48;
+    let mut ring = Vec::with_capacity(n);
+    for k in 0..n {
+        let a = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        let r = base + amp * (lobes as f64 * a).sin();
+        ring.push(P2::new(r * a.cos(), r * a.sin()));
+    }
+    extrude(&Polygon::simple(ring), rng.gen_range(0.3..1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_noise_shapes_are_watertight() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for i in 0..27 {
+            let m = noise_shape(i, &mut rng);
+            assert!(m.is_watertight(), "noise-{i}: {:?}", m.validate().first());
+            assert!(m.signed_volume() > 0.0, "noise-{i}");
+        }
+    }
+
+    #[test]
+    fn recipes_cycle_by_index() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let a = noise_shape(0, &mut r1);
+        let b = noise_shape(6, &mut r2); // same recipe branch, same rng state
+        // Same recipe with identical rng state gives identical shapes.
+        assert_eq!(a.num_vertices(), b.num_vertices());
+    }
+}

@@ -1,0 +1,472 @@
+//! The paper's effectiveness experiments (§4) as library functions.
+//!
+//! Each figure of the evaluation has a runner here; the `tdess-bench`
+//! binaries call these and print the corresponding rows/series.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+use tdess_core::{
+    multi_step_search, MultiStepPlan, Query, QueryMode, ShapeDatabase, ShapeId, Weights,
+};
+use tdess_dataset::Corpus;
+use tdess_features::{FeatureExtractor, FeatureKind};
+
+use crate::metrics::{mean_metrics, ranked_metrics, RankedMetrics};
+use crate::pr::{precision_recall, PrCurvePoint, PrRe};
+
+/// A corpus indexed into a shape database, with ground truth retained.
+pub struct EvalContext {
+    /// The database holding all 113 shapes.
+    pub db: ShapeDatabase,
+    /// Shape id per corpus index (insertion order).
+    pub ids: Vec<ShapeId>,
+    /// Ground-truth group per corpus index (`None` = noise).
+    pub groups: Vec<Option<usize>>,
+    /// Number of groups.
+    pub num_groups: usize,
+}
+
+impl EvalContext {
+    /// Inserts every corpus shape into a fresh database, extracting
+    /// features on all available cores.
+    pub fn build(corpus: &Corpus, extractor: FeatureExtractor) -> EvalContext {
+        let mut db = ShapeDatabase::new(extractor);
+        let shapes: Vec<(String, tdess_geom::TriMesh)> = corpus
+            .shapes
+            .iter()
+            .map(|s| (s.name.clone(), s.mesh.clone()))
+            .collect();
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let ids = tdess_core::bulk_insert(&mut db, shapes, threads)
+            .expect("corpus shapes are watertight with positive volume");
+        let groups = corpus.shapes.iter().map(|s| s.group).collect();
+        EvalContext {
+            db,
+            ids,
+            groups,
+            num_groups: corpus.num_groups(),
+        }
+    }
+
+    /// Ground-truth relevant set for a query at corpus index `qi`:
+    /// same-group members, excluding the query itself.
+    pub fn relevant_set(&self, qi: usize) -> HashSet<ShapeId> {
+        let Some(g) = self.groups[qi] else {
+            return HashSet::new();
+        };
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|&(i, &gi)| gi == Some(g) && i != qi)
+            .map(|(i, _)| self.ids[i])
+            .collect()
+    }
+
+    /// Corpus index of the first member of each group (the
+    /// representative queries of Figure 15/16).
+    pub fn group_representatives(&self) -> Vec<usize> {
+        let mut reps = Vec::with_capacity(self.num_groups);
+        for g in 0..self.num_groups {
+            let idx = self
+                .groups
+                .iter()
+                .position(|&gi| gi == Some(g))
+                .expect("every group is non-empty");
+            reps.push(idx);
+        }
+        reps
+    }
+}
+
+/// A search strategy under evaluation: a one-shot feature vector or a
+/// multi-step plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Strategy {
+    /// One-shot search with a single feature vector.
+    OneShot(FeatureKind),
+    /// Multi-step candidate retrieval + re-ranking.
+    MultiStep(MultiStepPlan),
+}
+
+impl Strategy {
+    /// Label used in report tables.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::OneShot(k) => format!("{}, one-shot", k.label()),
+            Strategy::MultiStep(p) => {
+                let steps: Vec<&str> = p.steps.iter().map(|k| k.label()).collect();
+                format!("multi-step [{}]", steps.join(" -> "))
+            }
+        }
+    }
+
+    /// The paper's five strategies of Figures 15–16: the four one-shot
+    /// feature vectors plus the multi-step strategy.
+    ///
+    /// The multi-step plan retrieves candidates by principal moments
+    /// (the strongest one-shot feature) and re-ranks them by the
+    /// skeletal-graph eigenvalues — the topological signal the paper
+    /// found too weak alone but valuable as "other local geometric
+    /// information to improve selectiveness". Re-ranking is a stable
+    /// sort, so shapes the eigenvalues cannot distinguish keep their
+    /// principal-moment order.
+    pub fn paper_set() -> Vec<Strategy> {
+        vec![
+            Strategy::OneShot(FeatureKind::MomentInvariants),
+            Strategy::OneShot(FeatureKind::GeometricParams),
+            Strategy::OneShot(FeatureKind::PrincipalMoments),
+            Strategy::OneShot(FeatureKind::Eigenvalues),
+            Strategy::MultiStep(MultiStepPlan {
+                steps: vec![FeatureKind::PrincipalMoments, FeatureKind::Eigenvalues],
+                candidates: 30,
+                presented: 10,
+            }),
+        ]
+    }
+}
+
+/// Runs a strategy, returning up to `k` result ids with the query
+/// itself removed. Internally retrieves `k + 1` so the guaranteed
+/// self-match does not consume a result slot.
+pub fn retrieve_k(ctx: &EvalContext, qi: usize, strategy: &Strategy, k: usize) -> Vec<ShapeId> {
+    let query_id = ctx.ids[qi];
+    let features = ctx
+        .db
+        .get(query_id)
+        .expect("query id exists")
+        .features
+        .clone();
+    let hits = match strategy {
+        Strategy::OneShot(kind) => ctx.db.search(
+            &features,
+            &Query {
+                kind: *kind,
+                weights: Weights::unit(),
+                mode: QueryMode::TopK(k + 1),
+            },
+        ),
+        Strategy::MultiStep(plan) => {
+            let padded = MultiStepPlan {
+                steps: plan.steps.clone(),
+                candidates: plan.candidates + 1,
+                presented: k + 1,
+            };
+            multi_step_search(&ctx.db, &features, &padded)
+        }
+    };
+    hits.into_iter()
+        .map(|h| h.id)
+        .filter(|&id| id != query_id)
+        .take(k)
+        .collect()
+}
+
+/// Figure 7-style single threshold query: returns (precision, recall,
+/// retrieved ids) at a similarity threshold, query excluded.
+pub fn threshold_query(
+    ctx: &EvalContext,
+    qi: usize,
+    kind: FeatureKind,
+    threshold: f64,
+) -> (PrRe, Vec<ShapeId>) {
+    let query_id = ctx.ids[qi];
+    let features = ctx.db.get(query_id).expect("query id exists").features.clone();
+    let retrieved: Vec<ShapeId> = ctx
+        .db
+        .search(&features, &Query::threshold(kind, threshold))
+        .into_iter()
+        .map(|h| h.id)
+        .filter(|&id| id != query_id)
+        .collect();
+    let relevant = ctx.relevant_set(qi);
+    (precision_recall(&retrieved, &relevant), retrieved)
+}
+
+/// Figures 8–12: the precision-recall curve of one query shape for one
+/// feature vector, swept over `steps` similarity thresholds in [0, 1].
+pub fn pr_curve(ctx: &EvalContext, qi: usize, kind: FeatureKind, steps: usize) -> Vec<PrCurvePoint> {
+    assert!(steps >= 2, "need at least two thresholds");
+    let mut curve = Vec::with_capacity(steps);
+    for s in 0..steps {
+        let threshold = s as f64 / (steps - 1) as f64;
+        let (pr, retrieved) = threshold_query(ctx, qi, kind, threshold);
+        curve.push(PrCurvePoint {
+            threshold,
+            retrieved: retrieved.len(),
+            precision: pr.precision,
+            recall: pr.recall,
+        });
+    }
+    curve
+}
+
+/// How many results each query of the average-effectiveness experiment
+/// retrieves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetrievalSize {
+    /// Retrieve as many shapes as the query's relevant-set size
+    /// (`|R| = |A|`, where precision = recall).
+    GroupSize,
+    /// Retrieve a fixed number of shapes (the paper uses 10).
+    Fixed(usize),
+}
+
+/// One row of the Figure 15/16 tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EffectivenessRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Mean precision over the 26 representative queries.
+    pub avg_precision: f64,
+    /// Mean recall over the 26 representative queries.
+    pub avg_recall: f64,
+}
+
+/// Figures 15–16: average precision/recall of one query per group,
+/// for each strategy, at the given retrieval size.
+pub fn average_effectiveness(
+    ctx: &EvalContext,
+    strategies: &[Strategy],
+    size: RetrievalSize,
+) -> Vec<EffectivenessRow> {
+    let reps = ctx.group_representatives();
+    strategies
+        .iter()
+        .map(|strategy| {
+            let mut sum_p = 0.0;
+            let mut sum_r = 0.0;
+            for &qi in &reps {
+                let relevant = ctx.relevant_set(qi);
+                let k = match size {
+                    RetrievalSize::GroupSize => relevant.len(),
+                    RetrievalSize::Fixed(k) => k,
+                };
+                let retrieved = retrieve_k(ctx, qi, strategy, k);
+                let pr = precision_recall(&retrieved, &relevant);
+                sum_p += pr.precision;
+                sum_r += pr.recall;
+            }
+            EffectivenessRow {
+                strategy: strategy.label(),
+                avg_precision: sum_p / reps.len() as f64,
+                avg_recall: sum_r / reps.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Full-ranking metrics of a strategy averaged over the 26
+/// representative queries: nearest-neighbor accuracy, first/second
+/// tier, and mean average precision. Each query ranks the entire
+/// database (minus itself).
+pub fn extended_metrics(ctx: &EvalContext, strategy: &Strategy) -> RankedMetrics {
+    let reps = ctx.group_representatives();
+    let full = ctx.db.len().saturating_sub(1);
+    let per_query: Vec<RankedMetrics> = reps
+        .iter()
+        .map(|&qi| {
+            let ranking = retrieve_k(ctx, qi, strategy, full);
+            ranked_metrics(&ranking, &ctx.relevant_set(qi))
+        })
+        .collect();
+    mean_metrics(&per_query)
+}
+
+/// Figures 13–14: one query compared between the best one-shot search
+/// and the multi-step strategy (candidates → re-rank → present).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiStepComparison {
+    /// Query shape name.
+    pub query: String,
+    /// One-shot label, precision, recall.
+    pub one_shot: (String, f64, f64),
+    /// Multi-step label, precision, recall.
+    pub multi_step: (String, f64, f64),
+}
+
+/// Runs the Figure 13/14 comparison for one query: one-shot with
+/// `one_shot_kind` vs a multi-step plan, both presenting `presented`
+/// results.
+pub fn multistep_comparison(
+    ctx: &EvalContext,
+    qi: usize,
+    one_shot_kind: FeatureKind,
+    plan: &MultiStepPlan,
+) -> MultiStepComparison {
+    let relevant = ctx.relevant_set(qi);
+    let k = plan.presented;
+
+    let os = retrieve_k(ctx, qi, &Strategy::OneShot(one_shot_kind), k);
+    let ospr = precision_recall(&os, &relevant);
+    let ms = retrieve_k(ctx, qi, &Strategy::MultiStep(plan.clone()), k);
+    let mspr = precision_recall(&ms, &relevant);
+
+    MultiStepComparison {
+        query: ctx
+            .db
+            .get(ctx.ids[qi])
+            .expect("query id exists")
+            .name
+            .clone(),
+        one_shot: (
+            format!("{}, one-shot", one_shot_kind.label()),
+            ospr.precision,
+            ospr.recall,
+        ),
+        multi_step: (
+            Strategy::MultiStep(plan.clone()).label(),
+            mspr.precision,
+            mspr.recall,
+        ),
+    }
+}
+
+/// The five representative queries of Figures 8–12: one shape from
+/// each of five different groups, preferring the largest groups (the
+/// paper chooses five shapes "from the twenty-six groups and no two
+/// models are from same group").
+pub fn representative_queries(ctx: &EvalContext) -> Vec<usize> {
+    // Groups sorted by size descending; take the first member of each
+    // of the five largest.
+    let mut group_sizes: Vec<(usize, usize)> = (0..ctx.num_groups)
+        .map(|g| {
+            (
+                g,
+                ctx.groups.iter().filter(|&&gi| gi == Some(g)).count(),
+            )
+        })
+        .collect();
+    group_sizes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    group_sizes
+        .iter()
+        .take(5)
+        .map(|&(g, _)| {
+            self::EvalContext::group_representatives(ctx)[g]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdess_dataset::build_corpus;
+
+    /// A small context shared by the tests (low resolution to keep
+    /// debug-mode runtime reasonable). Built once.
+    fn ctx() -> &'static EvalContext {
+        use std::sync::OnceLock;
+        static CTX: OnceLock<EvalContext> = OnceLock::new();
+        CTX.get_or_init(|| {
+            let corpus = build_corpus(2004);
+            EvalContext::build(
+                &corpus,
+                FeatureExtractor {
+                    voxel_resolution: 20,
+                    ..Default::default()
+                },
+            )
+        })
+    }
+
+    #[test]
+    fn context_indexes_whole_corpus() {
+        let c = ctx();
+        assert_eq!(c.db.len(), 113);
+        assert_eq!(c.ids.len(), 113);
+        assert_eq!(c.num_groups, 26);
+        assert_eq!(c.group_representatives().len(), 26);
+    }
+
+    #[test]
+    fn relevant_sets_match_group_sizes() {
+        let c = ctx();
+        for (qi, g) in c.groups.iter().enumerate() {
+            let rel = c.relevant_set(qi);
+            match g {
+                Some(g) => {
+                    let size = c.groups.iter().filter(|&&x| x == Some(*g)).count();
+                    assert_eq!(rel.len(), size - 1);
+                    assert!(!rel.contains(&c.ids[qi]), "query in its own relevant set");
+                }
+                None => assert!(rel.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn retrieve_k_excludes_query_and_respects_k() {
+        let c = ctx();
+        let qi = c.group_representatives()[25]; // largest group (size 8)
+        for strategy in [
+            Strategy::OneShot(FeatureKind::PrincipalMoments),
+            Strategy::MultiStep(MultiStepPlan::paper_default()),
+        ] {
+            let got = retrieve_k(c, qi, &strategy, 10);
+            assert_eq!(got.len(), 10, "{}", strategy.label());
+            assert!(!got.contains(&c.ids[qi]), "{}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn pr_curve_is_monotone_in_retrieved_count() {
+        let c = ctx();
+        let qi = c.group_representatives()[25];
+        let curve = pr_curve(c, qi, FeatureKind::PrincipalMoments, 11);
+        assert_eq!(curve.len(), 11);
+        // Higher thresholds retrieve fewer (or equal) shapes.
+        for w in curve.windows(2) {
+            assert!(w[0].retrieved >= w[1].retrieved);
+        }
+        // Recall is non-increasing as the threshold rises.
+        for w in curve.windows(2) {
+            assert!(w[0].recall >= w[1].recall - 1e-12);
+        }
+    }
+
+    #[test]
+    fn average_effectiveness_produces_sane_rows() {
+        let c = ctx();
+        let rows = average_effectiveness(c, &Strategy::paper_set(), RetrievalSize::GroupSize);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.avg_precision), "{r:?}");
+            assert!((0.0..=1.0).contains(&r.avg_recall), "{r:?}");
+            // |R| = |A| makes precision equal recall.
+            assert!(
+                (r.avg_precision - r.avg_recall).abs() < 1e-9,
+                "Pr != Re at |R|=|A|: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn representative_queries_are_five_distinct_groups() {
+        let c = ctx();
+        let reps = representative_queries(c);
+        assert_eq!(reps.len(), 5);
+        let gs: std::collections::HashSet<_> = reps.iter().map(|&qi| c.groups[qi]).collect();
+        assert_eq!(gs.len(), 5);
+        // Largest group (size 8) must be among them.
+        let sizes: Vec<usize> = reps
+            .iter()
+            .map(|&qi| c.relevant_set(qi).len() + 1)
+            .collect();
+        assert!(sizes.contains(&8), "{sizes:?}");
+    }
+
+    #[test]
+    fn multistep_comparison_reports_both_rows() {
+        let c = ctx();
+        let qi = c.group_representatives()[25];
+        let cmp = multistep_comparison(
+            c,
+            qi,
+            FeatureKind::PrincipalMoments,
+            &MultiStepPlan::paper_default(),
+        );
+        assert!(cmp.one_shot.1 >= 0.0 && cmp.one_shot.1 <= 1.0);
+        assert!(cmp.multi_step.2 >= 0.0 && cmp.multi_step.2 <= 1.0);
+        assert!(!cmp.query.is_empty());
+    }
+}

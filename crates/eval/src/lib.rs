@@ -1,0 +1,21 @@
+//! # tdess-eval — evaluation harness for 3DESS
+//!
+//! Implements §4 of the paper: precision/recall (Eq. 4.1–4.2),
+//! precision-recall curves, and the effectiveness experiments behind
+//! Figures 7–16, plus plain-text/JSON reporting used by the
+//! `tdess-bench` figure regenerators.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod pr;
+pub mod report;
+
+pub use experiments::{
+    average_effectiveness, extended_metrics, multistep_comparison, pr_curve, representative_queries, retrieve_k,
+    threshold_query, EffectivenessRow, EvalContext, MultiStepComparison, RetrievalSize, Strategy,
+};
+pub use metrics::{mean_metrics, ranked_metrics, RankedMetrics};
+pub use pr::{precision_recall, PrCurvePoint, PrRe};
+pub use report::{f3, render_bars, render_table, to_json};

@@ -1,0 +1,142 @@
+//! Extended retrieval metrics over full rankings.
+//!
+//! Beyond the paper's precision/recall-at-k, these are the measures
+//! the later shape-retrieval literature standardized on (e.g. the
+//! Princeton Shape Benchmark): nearest-neighbor accuracy, first/second
+//! tier, and average precision. They let the reproduced system be
+//! compared against both the paper's own numbers and newer work.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one query's full ranking.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RankedMetrics {
+    /// 1.0 if the top-ranked result is relevant.
+    pub nearest_neighbor: f64,
+    /// Recall within the first `|A|` results.
+    pub first_tier: f64,
+    /// Recall within the first `2·|A|` results.
+    pub second_tier: f64,
+    /// Average precision (area under the precision-recall curve of the
+    /// ranking).
+    pub average_precision: f64,
+}
+
+/// Computes ranked-retrieval metrics for one query.
+///
+/// `ranking` is the full result list, best first, with the query
+/// itself already removed; `relevant` is the ground-truth set (also
+/// excluding the query). Returns all-zero metrics when `relevant` is
+/// empty.
+pub fn ranked_metrics<I: std::hash::Hash + Eq + Copy>(
+    ranking: &[I],
+    relevant: &HashSet<I>,
+) -> RankedMetrics {
+    let n_rel = relevant.len();
+    if n_rel == 0 || ranking.is_empty() {
+        return RankedMetrics::default();
+    }
+
+    let mut hits = 0usize;
+    let mut ap_sum = 0.0;
+    let mut first_tier_hits = 0usize;
+    let mut second_tier_hits = 0usize;
+    for (rank0, item) in ranking.iter().enumerate() {
+        if relevant.contains(item) {
+            hits += 1;
+            ap_sum += hits as f64 / (rank0 + 1) as f64;
+            if rank0 < n_rel {
+                first_tier_hits += 1;
+            }
+            if rank0 < 2 * n_rel {
+                second_tier_hits += 1;
+            }
+        }
+    }
+
+    RankedMetrics {
+        nearest_neighbor: if relevant.contains(&ranking[0]) { 1.0 } else { 0.0 },
+        first_tier: first_tier_hits as f64 / n_rel as f64,
+        second_tier: second_tier_hits as f64 / n_rel as f64,
+        average_precision: ap_sum / n_rel as f64,
+    }
+}
+
+/// Element-wise mean of a set of metric records.
+pub fn mean_metrics(all: &[RankedMetrics]) -> RankedMetrics {
+    if all.is_empty() {
+        return RankedMetrics::default();
+    }
+    let n = all.len() as f64;
+    RankedMetrics {
+        nearest_neighbor: all.iter().map(|m| m.nearest_neighbor).sum::<f64>() / n,
+        first_tier: all.iter().map(|m| m.first_tier).sum::<f64>() / n,
+        second_tier: all.iter().map(|m| m.second_tier).sum::<f64>() / n,
+        average_precision: all.iter().map(|m| m.average_precision).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u32]) -> HashSet<u32> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_ranking() {
+        let m = ranked_metrics(&[1, 2, 3, 9, 8], &set(&[1, 2, 3]));
+        assert_eq!(m.nearest_neighbor, 1.0);
+        assert_eq!(m.first_tier, 1.0);
+        assert_eq!(m.second_tier, 1.0);
+        assert!((m.average_precision - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking() {
+        let m = ranked_metrics(&[9, 8, 7, 6, 5], &set(&[1, 2]));
+        assert_eq!(m.nearest_neighbor, 0.0);
+        assert_eq!(m.first_tier, 0.0);
+        assert_eq!(m.second_tier, 0.0);
+        assert_eq!(m.average_precision, 0.0);
+    }
+
+    #[test]
+    fn interleaved_ranking_ap() {
+        // Ranking: R N R N; A = {a, b}.
+        // AP = (1/1 + 2/3) / 2 = 5/6.
+        let m = ranked_metrics(&[1, 9, 2, 8], &set(&[1, 2]));
+        assert!((m.average_precision - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(m.nearest_neighbor, 1.0);
+        assert_eq!(m.first_tier, 0.5); // first 2 ranks contain 1 of 2
+        assert_eq!(m.second_tier, 1.0); // first 4 ranks contain both
+    }
+
+    #[test]
+    fn empty_cases() {
+        let m = ranked_metrics::<u32>(&[], &set(&[1]));
+        assert_eq!(m.average_precision, 0.0);
+        let m = ranked_metrics(&[1, 2], &HashSet::new());
+        assert_eq!(m.average_precision, 0.0);
+    }
+
+    #[test]
+    fn mean_is_elementwise() {
+        let a = RankedMetrics {
+            nearest_neighbor: 1.0,
+            first_tier: 0.5,
+            second_tier: 1.0,
+            average_precision: 0.8,
+        };
+        let b = RankedMetrics::default();
+        let m = mean_metrics(&[a, b]);
+        assert_eq!(m.nearest_neighbor, 0.5);
+        assert_eq!(m.first_tier, 0.25);
+        assert_eq!(m.second_tier, 0.5);
+        assert!((m.average_precision - 0.4).abs() < 1e-12);
+        assert_eq!(mean_metrics(&[]).first_tier, 0.0);
+    }
+}

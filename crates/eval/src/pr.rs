@@ -1,0 +1,123 @@
+//! Precision and recall (§4.1, Eq. 4.1–4.2).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+/// A precision/recall pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrRe {
+    /// Precision: |A ∩ R| / |R|.
+    pub precision: f64,
+    /// Recall: |A ∩ R| / |A|.
+    pub recall: f64,
+}
+
+/// Computes precision and recall of a retrieved set `retrieved` (R)
+/// against the relevant set `relevant` (A). Both sets are of item
+/// identifiers; the caller must already have excluded the query shape
+/// from both, as the paper does ("we do not count the query shape
+/// itself, because it is guaranteed to be retrieved").
+///
+/// Empty `R` yields precision 1 by convention only when `A` is also
+/// empty; otherwise precision of an empty retrieval is defined as 0
+/// here (the conservative choice for curves).
+pub fn precision_recall<I: std::hash::Hash + Eq + Copy>(
+    retrieved: &[I],
+    relevant: &HashSet<I>,
+) -> PrRe {
+    if relevant.is_empty() {
+        return PrRe {
+            precision: if retrieved.is_empty() { 1.0 } else { 0.0 },
+            recall: 1.0,
+        };
+    }
+    if retrieved.is_empty() {
+        return PrRe {
+            precision: 0.0,
+            recall: 0.0,
+        };
+    }
+    let hits = retrieved.iter().filter(|i| relevant.contains(i)).count();
+    // Recall counts distinct relevant items, so duplicated retrievals
+    // cannot push it past 1.
+    let distinct_hits = retrieved
+        .iter()
+        .filter(|i| relevant.contains(i))
+        .collect::<HashSet<_>>()
+        .len();
+    PrRe {
+        precision: hits as f64 / retrieved.len() as f64,
+        recall: distinct_hits as f64 / relevant.len() as f64,
+    }
+}
+
+/// One point of a precision-recall curve: the similarity threshold it
+/// was measured at, plus the retrieved-set size.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PrCurvePoint {
+    /// Similarity threshold of this measurement.
+    pub threshold: f64,
+    /// Number of shapes retrieved at this threshold.
+    pub retrieved: usize,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u32]) -> HashSet<u32> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_retrieval() {
+        let pr = precision_recall(&[1, 2, 3], &set(&[1, 2, 3]));
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn partial_retrieval() {
+        // R = {1,2,3,4}, A = {1,2,9}: hits = 2.
+        let pr = precision_recall(&[1, 2, 3, 4], &set(&[1, 2, 9]));
+        assert_eq!(pr.precision, 0.5);
+        assert!((pr.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_fig7_example() {
+        // Figure 7: group of 5, query excluded → |A| = 4... the paper
+        // reports Pr = 0.50, Re = 0.22 for a query retrieving 2
+        // relevant of 4 with |R| = 4 → Pr 0.5, Re 0.5. The exact
+        // counts differ (their |A| = 9); what matters here is that the
+        // arithmetic matches Eq. 4.1–4.2.
+        let pr = precision_recall(&[10, 11, 20, 21], &set(&[10, 11, 30, 31, 32, 33, 34, 35, 36]));
+        assert_eq!(pr.precision, 0.5);
+        assert!((pr.recall - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let pr = precision_recall::<u32>(&[], &set(&[1]));
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 0.0);
+        let pr = precision_recall::<u32>(&[], &HashSet::new());
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+        let pr = precision_recall(&[1], &HashSet::new());
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn duplicates_in_retrieved_count_against_precision() {
+        let pr = precision_recall(&[1, 1, 2], &set(&[1]));
+        assert!((pr.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pr.recall, 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Report formatting: fixed-width terminal tables and JSON dumps.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+/// Renders a fixed-width table. `headers` sets the column count; each
+/// row must have the same arity.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), cols, "row {i} has {} cells, expected {cols}", r.len());
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (c, cell) in r.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let render_row = |cells: &[String], out: &mut String| {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect();
+        let _ = writeln!(out, "{}", line.join("|"));
+    };
+    render_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &mut out,
+    );
+    let _ = writeln!(out, "{sep}");
+    for r in rows {
+        render_row(r, &mut out);
+    }
+    out
+}
+
+/// Formats a float with 3 decimal places for table cells.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Serializes any experiment payload to pretty JSON for machine
+/// consumption (dumped next to the printed tables).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("experiment payloads are serializable")
+}
+
+/// Renders a crude ASCII bar chart (value in [0, 1] per labeled row),
+/// used by the figure regenerators to show orderings at a glance.
+pub fn render_bars(rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, v) in rows {
+        let filled = ((v.clamp(0.0, 1.0)) * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} | {}{} {v:.3}",
+            "#".repeat(filled),
+            " ".repeat(width - filled)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.000".into()],
+                vec!["longer-name".into(), "0.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w || l.contains('-')));
+        assert!(t.contains("longer-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn ragged_rows_rejected() {
+        let _ = render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn bars_clamp_and_scale() {
+        let b = render_bars(
+            &[("full".into(), 1.0), ("half".into(), 0.5), ("over".into(), 1.5)],
+            10,
+        );
+        let lines: Vec<&str> = b.lines().collect();
+        assert_eq!(lines[0].matches('#').count(), 10);
+        assert_eq!(lines[1].matches('#').count(), 5);
+        assert_eq!(lines[2].matches('#').count(), 10);
+    }
+
+    #[test]
+    fn json_dump_works() {
+        #[derive(serde::Serialize)]
+        struct Row {
+            x: f64,
+        }
+        let s = to_json(&vec![Row { x: 1.5 }]);
+        assert!(s.contains("1.5"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the IR metrics.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use tdess_eval::{precision_recall, ranked_metrics};
+
+fn arb_sets() -> impl Strategy<Value = (Vec<u32>, HashSet<u32>)> {
+    (
+        prop::collection::vec(0u32..50, 0..40),
+        prop::collection::hash_set(0u32..50, 0..20),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Precision and recall are always in [0, 1].
+    #[test]
+    fn pr_bounded((retrieved, relevant) in arb_sets()) {
+        let pr = precision_recall(&retrieved, &relevant);
+        prop_assert!((0.0..=1.0).contains(&pr.precision), "P {}", pr.precision);
+        prop_assert!((0.0..=1.0).contains(&pr.recall), "R {}", pr.recall);
+    }
+
+    /// Appending an irrelevant item never increases precision and never
+    /// changes recall.
+    #[test]
+    fn irrelevant_append_monotonicity((retrieved, relevant) in arb_sets()) {
+        prop_assume!(!relevant.is_empty());
+        let before = precision_recall(&retrieved, &relevant);
+        let mut extended = retrieved.clone();
+        extended.push(999); // guaranteed irrelevant (ids < 50)
+        let after = precision_recall(&extended, &relevant);
+        prop_assert!(after.precision <= before.precision + 1e-12);
+        prop_assert!((after.recall - before.recall).abs() < 1e-12);
+    }
+
+    /// Appending a *new* relevant item never decreases recall.
+    #[test]
+    fn relevant_append_monotonicity((retrieved, relevant) in arb_sets()) {
+        prop_assume!(!relevant.is_empty());
+        let before = precision_recall(&retrieved, &relevant);
+        let fresh = relevant.iter().find(|r| !retrieved.contains(r));
+        prop_assume!(fresh.is_some());
+        let mut extended = retrieved.clone();
+        extended.push(*fresh.unwrap());
+        let after = precision_recall(&extended, &relevant);
+        prop_assert!(after.recall >= before.recall - 1e-12);
+    }
+
+    /// All ranked metrics are in [0, 1], and second tier dominates
+    /// first tier.
+    #[test]
+    fn ranked_metrics_bounds((ranking, relevant) in arb_sets()) {
+        // A ranking must not repeat items.
+        let mut seen = HashSet::new();
+        let ranking: Vec<u32> = ranking.into_iter().filter(|x| seen.insert(*x)).collect();
+        let m = ranked_metrics(&ranking, &relevant);
+        for v in [m.nearest_neighbor, m.first_tier, m.second_tier, m.average_precision] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v}");
+        }
+        prop_assert!(m.second_tier >= m.first_tier - 1e-12);
+    }
+
+    /// Swapping a relevant item earlier in the ranking never lowers
+    /// average precision.
+    #[test]
+    fn ap_rewards_earlier_relevants((ranking, relevant) in arb_sets(), at in 0usize..40) {
+        let mut seen = HashSet::new();
+        let mut ranking: Vec<u32> = ranking.into_iter().filter(|x| seen.insert(*x)).collect();
+        prop_assume!(ranking.len() >= 2 && !relevant.is_empty());
+        let at = at % (ranking.len() - 1) + 1; // position >= 1
+        // Only meaningful if ranking[at] is relevant and ranking[at-1] is not.
+        prop_assume!(relevant.contains(&ranking[at]) && !relevant.contains(&ranking[at - 1]));
+        let before = ranked_metrics(&ranking, &relevant).average_precision;
+        ranking.swap(at, at - 1);
+        let after = ranked_metrics(&ranking, &relevant).average_precision;
+        prop_assert!(after >= before - 1e-12, "AP fell from {before} to {after}");
+    }
+}

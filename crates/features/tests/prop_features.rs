@@ -1,0 +1,104 @@
+//! Property tests for the feature extractors: invariance under
+//! similarity transforms across the full family zoo, and normalization
+//! idempotence on random profiles.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdess_dataset::Family;
+use tdess_features::{moment_invariants, normalize, principal_moments};
+use tdess_geom::polygon::regular_ngon;
+use tdess_geom::{extrude, mesh_moments, Mat3, Polygon, Vec3};
+
+fn arb_family() -> impl Strategy<Value = Family> {
+    prop::sample::select(Family::ALL.to_vec())
+}
+
+fn arb_rotation() -> impl Strategy<Value = Mat3> {
+    (
+        (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0),
+        0.0f64..std::f64::consts::TAU,
+    )
+        .prop_filter_map("axis too short", |((x, y, z), angle)| {
+            Vec3::new(x, y, z)
+                .normalized()
+                .map(|axis| Mat3::rotation_axis_angle(axis, angle))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Moment invariants of ANY corpus family are invariant under
+    /// similarity transforms (translation + rotation + uniform scale).
+    #[test]
+    fn family_moment_invariants_are_invariant(
+        fam in arb_family(),
+        seed in 0u64..500,
+        r in arb_rotation(),
+        s in 0.5f64..2.5,
+        tx in -20.0f64..20.0,
+    ) {
+        let mesh = fam.generate(&mut StdRng::seed_from_u64(seed));
+        let f0 = moment_invariants(&mesh_moments(&mesh));
+        let mut moved = mesh.clone();
+        moved.scale_uniform(s);
+        moved.rotate(&r);
+        moved.translate(Vec3::new(tx, -tx * 0.5, tx * 0.3));
+        let f1 = moment_invariants(&mesh_moments(&moved));
+        for i in 0..3 {
+            prop_assert!(
+                (f0[i] - f1[i]).abs() < 1e-7 * (1.0 + f0[i].abs()),
+                "{}: F{} {} vs {}", fam.name(), i + 1, f0[i], f1[i]
+            );
+        }
+    }
+
+    /// Principal moments of the normalized model are similarity-
+    /// invariant for every family, and always sorted.
+    #[test]
+    fn family_principal_moments_are_invariant(
+        fam in arb_family(),
+        seed in 0u64..500,
+        r in arb_rotation(),
+        s in 0.5f64..2.5,
+    ) {
+        let mesh = fam.generate(&mut StdRng::seed_from_u64(seed));
+        let p0 = principal_moments(&normalize(&mesh).unwrap());
+        prop_assert!(p0[0] >= p0[1] && p0[1] >= p0[2], "{p0:?}");
+        let mut moved = mesh.clone();
+        moved.scale_uniform(s);
+        moved.rotate(&r);
+        let p1 = principal_moments(&normalize(&moved).unwrap());
+        for i in 0..3 {
+            prop_assert!(
+                (p0[i] - p1[i]).abs() < 1e-6 * (1.0 + p0[i].abs()),
+                "{}: PM{} {} vs {}", fam.name(), i, p0[i], p1[i]
+            );
+        }
+    }
+
+    /// Normalization of random extruded n-gon prisms is idempotent and
+    /// produces unit volume with sorted second moments.
+    #[test]
+    fn normalization_idempotent_on_random_prisms(
+        n in 3usize..16,
+        radius in 0.3f64..3.0,
+        height in 0.2f64..5.0,
+        phase in 0.0f64..6.0,
+    ) {
+        let mesh = extrude(
+            &Polygon::simple(regular_ngon(n, radius, 0.0, 0.0, phase)),
+            height,
+        );
+        let nm1 = normalize(&mesh).unwrap();
+        prop_assert!((nm1.mesh.signed_volume() - 1.0).abs() < 1e-9);
+        let nm2 = normalize(&nm1.mesh).unwrap();
+        prop_assert!((nm2.scale - 1.0).abs() < 1e-9, "rescaled by {}", nm2.scale);
+        let mu1 = mesh_moments(&nm1.mesh).central();
+        let mu2 = mesh_moments(&nm2.mesh).central();
+        prop_assert!((mu1.m200 - mu2.m200).abs() < 1e-9);
+        prop_assert!((mu1.m020 - mu2.m020).abs() < 1e-9);
+        prop_assert!((mu1.m002 - mu2.m002).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! Axis-aligned bounding boxes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vec3::Vec3;
+
+/// An axis-aligned bounding box in 3-D.
+///
+/// An `Aabb` is either empty (contains no points) or spans
+/// `[min, max]` inclusively on each axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// An empty box: grows from nothing when points are added.
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+        max: Vec3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+    };
+
+    /// Creates a box from explicit corners. Panics in debug builds if
+    /// the corners are inverted on any axis.
+    pub fn new(min: Vec3, max: Vec3) -> Aabb {
+        debug_assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "inverted AABB corners: {min:?} > {max:?}"
+        );
+        Aabb { min, max }
+    }
+
+    /// The smallest box containing all points in the iterator; empty if
+    /// the iterator is empty.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Aabb {
+        let mut b = Aabb::EMPTY;
+        for p in points {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// Returns `true` if the box contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Grows the box to include `p`.
+    #[inline]
+    pub fn expand(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Grows the box to include another box.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Extent (size) on each axis; zero vector when empty.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        if self.is_empty() {
+            Vec3::ZERO
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Center point. Meaningless for empty boxes.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Volume of the box; zero when empty.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let e = self.extent();
+        e.x * e.y * e.z
+    }
+
+    /// Length of the space diagonal.
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        self.extent().norm()
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Returns `true` if the two boxes overlap (closed intervals).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Expands the box symmetrically by `pad` on every axis.
+    pub fn padded(&self, pad: f64) -> Aabb {
+        if self.is_empty() {
+            return *self;
+        }
+        Aabb {
+            min: self.min - Vec3::splat(pad),
+            max: self.max + Vec3::splat(pad),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box() {
+        let b = Aabb::EMPTY;
+        assert!(b.is_empty());
+        assert_eq!(b.extent(), Vec3::ZERO);
+        assert_eq!(b.volume(), 0.0);
+        assert!(!b.contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn from_points_and_expand() {
+        let b = Aabb::from_points([
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-1.0, 5.0, 0.0),
+            Vec3::new(0.0, 0.0, 4.0),
+        ]);
+        assert_eq!(b.min, Vec3::new(-1.0, 0.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 5.0, 4.0));
+        assert_eq!(b.extent(), Vec3::new(2.0, 5.0, 4.0));
+        assert_eq!(b.volume(), 40.0);
+        assert_eq!(b.center(), Vec3::new(0.0, 2.5, 2.0));
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert!(b.contains(Vec3::ZERO));
+        assert!(b.contains(Vec3::ONE));
+        assert!(b.contains(Vec3::splat(0.5)));
+        assert!(!b.contains(Vec3::new(1.0001, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let b = Aabb::new(Vec3::splat(0.5), Vec3::splat(2.0));
+        let c = Aabb::new(Vec3::splat(3.0), Vec3::splat(4.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        // Touching boxes intersect (closed intervals).
+        let d = Aabb::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
+        assert!(a.intersects(&d));
+        let u = a.union(&c);
+        assert_eq!(u.min, Vec3::ZERO);
+        assert_eq!(u.max, Vec3::splat(4.0));
+        // Union with empty is identity.
+        assert_eq!(a.union(&Aabb::EMPTY), a);
+        assert_eq!(Aabb::EMPTY.union(&a), a);
+    }
+
+    #[test]
+    fn padding() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::ONE).padded(0.5);
+        assert_eq!(a.min, Vec3::splat(-0.5));
+        assert_eq!(a.max, Vec3::splat(1.5));
+        assert!(Aabb::EMPTY.padded(1.0).is_empty());
+    }
+
+    #[test]
+    fn diagonal_length() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(3.0, 4.0, 0.0));
+        assert_eq!(b.diagonal(), 5.0);
+    }
+}

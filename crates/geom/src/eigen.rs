@@ -1,0 +1,282 @@
+//! Eigen-decomposition of real symmetric matrices via the cyclic
+//! Jacobi method.
+//!
+//! Two entry points are provided:
+//!
+//! * [`sym3_eigen`] — specialized for the 3×3 moment/covariance matrices
+//!   used during pose normalization and principal-moment extraction.
+//! * [`sym_eigenvalues`] — a dense N×N symmetric solver used for the
+//!   adjacency matrices of skeletal graphs.
+//!
+//! Jacobi iteration is slow for very large matrices but is simple,
+//! numerically robust, and more than fast enough for the small, dense
+//! matrices this system produces (N is the node count of a skeletal
+//! graph, typically < 50).
+
+use crate::mat3::Mat3;
+use crate::vec3::Vec3;
+
+/// Result of a 3×3 symmetric eigen-decomposition.
+///
+/// Eigenvalues are sorted in **descending** order, and `vectors.col(i)`
+/// is the unit eigenvector for `values[i]`. The eigenvector basis is
+/// chosen to form a proper rotation (`det = +1`).
+#[derive(Debug, Clone, Copy)]
+pub struct Eigen3 {
+    /// Eigenvalues in descending order.
+    pub values: Vec3,
+    /// Matrix whose *columns* are the corresponding unit eigenvectors.
+    pub vectors: Mat3,
+}
+
+/// Maximum Jacobi sweeps before giving up; convergence for small
+/// matrices typically takes < 10 sweeps.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes the eigen-decomposition of a symmetric 3×3 matrix.
+///
+/// The input is symmetrized as `(M + Mᵀ)/2` so tiny asymmetries from
+/// floating-point accumulation do not matter.
+pub fn sym3_eigen(m: &Mat3) -> Eigen3 {
+    // Flatten to the generic solver and reassemble.
+    let sym = [
+        [m.get(0, 0), 0.5 * (m.get(0, 1) + m.get(1, 0)), 0.5 * (m.get(0, 2) + m.get(2, 0))],
+        [0.5 * (m.get(0, 1) + m.get(1, 0)), m.get(1, 1), 0.5 * (m.get(1, 2) + m.get(2, 1))],
+        [0.5 * (m.get(0, 2) + m.get(2, 0)), 0.5 * (m.get(1, 2) + m.get(2, 1)), m.get(2, 2)],
+    ];
+    let mut a = vec![vec![0.0; 3]; 3];
+    for r in 0..3 {
+        for c in 0..3 {
+            a[r][c] = sym[r][c];
+        }
+    }
+    let (vals, vecs) = jacobi(&mut a);
+    // Sort descending by eigenvalue.
+    let mut order = [0usize, 1, 2];
+    order.sort_by(|&i, &j| vals[j].partial_cmp(&vals[i]).unwrap());
+    let values = Vec3::new(vals[order[0]], vals[order[1]], vals[order[2]]);
+    let mut cols = [Vec3::ZERO; 3];
+    for (k, &oi) in order.iter().enumerate() {
+        cols[k] = Vec3::new(vecs[0][oi], vecs[1][oi], vecs[2][oi]);
+    }
+    // Make the basis a proper rotation.
+    let mut vectors = Mat3::from_cols(cols[0], cols[1], cols[2]);
+    if vectors.det() < 0.0 {
+        let c2 = -vectors.col(2);
+        vectors = Mat3::from_cols(vectors.col(0), vectors.col(1), c2);
+    }
+    Eigen3 { values, vectors }
+}
+
+/// Computes the eigenvalues of a dense symmetric N×N matrix, sorted in
+/// descending order.
+///
+/// The input is given as a flat row-major slice of length `n*n`; only
+/// the symmetric part is used. Returns an empty vector for `n = 0`.
+pub fn sym_eigenvalues(matrix: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(matrix.len(), n * n, "matrix slice must be n*n");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut a = vec![vec![0.0; n]; n];
+    for r in 0..n {
+        for c in 0..n {
+            a[r][c] = 0.5 * (matrix[r * n + c] + matrix[c * n + r]);
+        }
+    }
+    let (mut vals, _) = jacobi(&mut a);
+    vals.sort_by(|x, y| y.partial_cmp(x).unwrap());
+    vals
+}
+
+/// Cyclic Jacobi eigen-decomposition of a symmetric matrix.
+///
+/// Destroys `a`; returns `(eigenvalues, eigenvectors)` where
+/// `eigenvectors[r][c]` is component `r` of eigenvector `c` (unsorted).
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix algebra
+fn jacobi(a: &mut [Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    if n == 1 {
+        return (vec![a[0][0]], v);
+    }
+
+    for _sweep in 0..MAX_SWEEPS {
+        // Sum of absolute off-diagonal elements.
+        let mut off = 0.0;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += a[r][c].abs();
+            }
+        }
+        if off < 1e-14 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p][q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                let tau = s / (1.0 + c);
+
+                let app = a[p][p];
+                let aqq = a[q][q];
+                a[p][p] = app - t * apq;
+                a[q][q] = aqq + t * apq;
+                a[p][q] = 0.0;
+                a[q][p] = 0.0;
+                for r in 0..n {
+                    if r != p && r != q {
+                        let arp = a[r][p];
+                        let arq = a[r][q];
+                        a[r][p] = arp - s * (arq + tau * arp);
+                        a[p][r] = a[r][p];
+                        a[r][q] = arq + s * (arp - tau * arq);
+                        a[q][r] = a[r][q];
+                    }
+                }
+                for row in v.iter_mut() {
+                    let vp = row[p];
+                    let vq = row[q];
+                    row[p] = vp - s * (vq + tau * vp);
+                    row[q] = vq + s * (vp - tau * vq);
+                }
+            }
+        }
+    }
+
+    let vals = (0..n).map(|i| a[i][i]).collect();
+    (vals, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_eigen3(m: &Mat3, eig: &Eigen3, eps: f64) {
+        // A v = λ v for each column.
+        for i in 0..3 {
+            let v = eig.vectors.col(i);
+            let av = *m * v;
+            let lv = v * eig.values[i];
+            assert!(
+                av.approx_eq(lv, eps),
+                "eigen pair {i} failed: Av={av:?}, λv={lv:?}"
+            );
+            assert!((v.norm() - 1.0).abs() < eps, "eigenvector {i} not unit");
+        }
+        // Descending order.
+        assert!(eig.values.x >= eig.values.y - eps);
+        assert!(eig.values.y >= eig.values.z - eps);
+        // Proper rotation basis.
+        assert!(eig.vectors.is_rotation(1e-9));
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let m = Mat3::diagonal(Vec3::new(2.0, 5.0, 3.0));
+        let e = sym3_eigen(&m);
+        assert!(e.values.approx_eq(Vec3::new(5.0, 3.0, 2.0), 1e-12));
+        check_eigen3(&m, &e, 1e-10);
+    }
+
+    #[test]
+    fn known_symmetric_matrix() {
+        // [[2,1,0],[1,2,0],[0,0,3]] has eigenvalues 3, 3, 1.
+        let m = Mat3::from_rows(
+            Vec3::new(2.0, 1.0, 0.0),
+            Vec3::new(1.0, 2.0, 0.0),
+            Vec3::new(0.0, 0.0, 3.0),
+        );
+        let e = sym3_eigen(&m);
+        assert!((e.values.x - 3.0).abs() < 1e-10);
+        assert!((e.values.y - 3.0).abs() < 1e-10);
+        assert!((e.values.z - 1.0).abs() < 1e-10);
+        check_eigen3(&m, &e, 1e-9);
+    }
+
+    #[test]
+    fn rotated_diagonal_recovers_spectrum() {
+        let d = Mat3::diagonal(Vec3::new(7.0, 4.0, 1.0));
+        let r = Mat3::rotation_axis_angle(Vec3::new(1.0, 1.0, 0.3), 0.8);
+        let m = r * d * r.transpose();
+        let e = sym3_eigen(&m);
+        assert!(e.values.approx_eq(Vec3::new(7.0, 4.0, 1.0), 1e-10));
+        check_eigen3(&m, &e, 1e-9);
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        let m = Mat3::diagonal(Vec3::new(2.0, 2.0, 2.0));
+        let e = sym3_eigen(&m);
+        assert!(e.values.approx_eq(Vec3::splat(2.0), 1e-12));
+        check_eigen3(&m, &e, 1e-10);
+    }
+
+    #[test]
+    fn general_eigenvalues_small_graph() {
+        // Path graph P3 adjacency: eigenvalues ±sqrt(2), 0.
+        let a = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let vals = sym_eigenvalues(&a, 3);
+        let s2 = 2f64.sqrt();
+        assert!((vals[0] - s2).abs() < 1e-10);
+        assert!(vals[1].abs() < 1e-10);
+        assert!((vals[2] + s2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn general_eigenvalues_cycle_graph() {
+        // Cycle C4 adjacency: eigenvalues 2, 0, 0, -2.
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            let j = (i + 1) % n;
+            a[i * n + j] = 1.0;
+            a[j * n + i] = 1.0;
+        }
+        let vals = sym_eigenvalues(&a, n);
+        assert!((vals[0] - 2.0).abs() < 1e-10);
+        assert!(vals[1].abs() < 1e-10);
+        assert!(vals[2].abs() < 1e-10);
+        assert!((vals[3] + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let n = 6;
+        let mut a = vec![0.0; n * n];
+        // Deterministic pseudo-random symmetric matrix.
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for r in 0..n {
+            for c in r..n {
+                let v = next();
+                a[r * n + c] = v;
+                a[c * n + r] = v;
+            }
+        }
+        let trace: f64 = (0..n).map(|i| a[i * n + i]).sum();
+        let vals = sym_eigenvalues(&a, n);
+        let sum: f64 = vals.iter().sum();
+        assert!((trace - sum).abs() < 1e-9, "trace {trace} vs eigensum {sum}");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(sym_eigenvalues(&[], 0).is_empty());
+        let vals = sym_eigenvalues(&[5.0], 1);
+        assert_eq!(vals, vec![5.0]);
+    }
+}

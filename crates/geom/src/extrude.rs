@@ -1,0 +1,132 @@
+//! Linear extrusion of 2-D profiles into watertight prisms.
+
+use crate::mesh::TriMesh;
+use crate::polygon::{triangulate, Polygon};
+use crate::vec3::Vec3;
+
+/// Extrudes `profile` along Z into a solid of height `h`, centered so
+/// the caps sit at `z = ±h/2`.
+///
+/// The profile's triangulation supplies both caps (bottom flipped), and
+/// every ring (outer and holes) contributes a wall strip. Because all
+/// rings are oriented outer-CCW / holes-CW, one winding formula yields
+/// outward normals everywhere, and the result is watertight without
+/// welding.
+pub fn extrude(profile: &Polygon, h: f64) -> TriMesh {
+    assert!(h > 0.0, "extrusion height must be positive, got {h}");
+    let pts = profile.all_points();
+    let n = pts.len();
+    let tris2d = triangulate(profile);
+
+    let hz = h * 0.5;
+    let mut vertices = Vec::with_capacity(2 * n);
+    // Bottom layer [0, n), top layer [n, 2n).
+    for p in &pts {
+        vertices.push(Vec3::new(p.x, p.y, -hz));
+    }
+    for p in &pts {
+        vertices.push(Vec3::new(p.x, p.y, hz));
+    }
+
+    let mut triangles = Vec::with_capacity(2 * tris2d.len() + 2 * n);
+    // Bottom cap, flipped to face -Z.
+    for t in &tris2d {
+        triangles.push([t[0], t[2], t[1]]);
+    }
+    // Top cap faces +Z.
+    let nu = n as u32;
+    for t in &tris2d {
+        triangles.push([t[0] + nu, t[1] + nu, t[2] + nu]);
+    }
+    // Walls, one strip per ring.
+    for range in profile.ring_ranges() {
+        let len = range.len();
+        let start = range.start as u32;
+        for k in 0..len {
+            let a = start + k as u32;
+            let b = start + ((k + 1) % len) as u32;
+            // Quad (bottom a, bottom b, top b, top a), outward normal.
+            triangles.push([a, b, b + nu]);
+            triangles.push([a, b + nu, a + nu]);
+        }
+    }
+    TriMesh::new(vertices, triangles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::mesh_moments;
+    use crate::polygon::{rect_ring, regular_ngon, P2};
+
+    #[test]
+    fn extruded_square_is_a_box() {
+        let p = Polygon::simple(rect_ring(-1.0, -1.5, 1.0, 1.5));
+        let m = extrude(&p, 4.0);
+        assert!(m.is_watertight(), "{:?}", m.validate());
+        assert!((m.signed_volume() - 2.0 * 3.0 * 4.0).abs() < 1e-12);
+        assert!((m.surface_area() - 2.0 * (6.0 + 8.0 + 12.0)).abs() < 1e-12);
+        let c = mesh_moments(&m).centroid();
+        assert!(c.approx_eq(Vec3::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn extruded_lshape_volume() {
+        let l = vec![
+            P2::new(0.0, 0.0),
+            P2::new(3.0, 0.0),
+            P2::new(3.0, 1.0),
+            P2::new(1.0, 1.0),
+            P2::new(1.0, 3.0),
+            P2::new(0.0, 3.0),
+        ];
+        let p = Polygon::simple(l);
+        let m = extrude(&p, 2.0);
+        assert!(m.is_watertight(), "{:?}", m.validate());
+        assert!((m.signed_volume() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extruded_plate_with_hole() {
+        let p = Polygon::new(
+            rect_ring(-2.0, -1.0, 2.0, 1.0),
+            vec![regular_ngon(24, 0.5, 0.0, 0.0, 0.0)],
+        );
+        let m = extrude(&p, 0.5);
+        assert!(m.is_watertight(), "{:?}", m.validate());
+        let expected = p.area() * 0.5;
+        assert!((m.signed_volume() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extruded_plate_with_many_holes() {
+        let mut holes = Vec::new();
+        for (cx, cy) in [(-1.2, -0.5), (1.2, -0.5), (1.2, 0.5), (-1.2, 0.5), (0.0, 0.0)] {
+            holes.push(regular_ngon(10, 0.25, cx, cy, 0.3));
+        }
+        let p = Polygon::new(rect_ring(-2.0, -1.0, 2.0, 1.0), holes);
+        let m = extrude(&p, 0.4);
+        assert!(m.is_watertight(), "{:?}", m.validate());
+        let expected = p.area() * 0.4;
+        assert!((m.signed_volume() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extruded_annulus_is_a_tube() {
+        let p = Polygon::new(
+            regular_ngon(48, 1.0, 0.0, 0.0, 0.0),
+            vec![regular_ngon(48, 0.6, 0.0, 0.0, 0.0)],
+        );
+        let m = extrude(&p, 3.0);
+        assert!(m.is_watertight(), "{:?}", m.validate());
+        let expected = p.area() * 3.0;
+        assert!((m.signed_volume() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_height_rejected() {
+        let p = Polygon::simple(rect_ring(0.0, 0.0, 1.0, 1.0));
+        let _ = extrude(&p, 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # tdess-geom — geometry substrate for 3DESS
+//!
+//! This crate is the geometric kernel of the 3DESS reproduction (the
+//! role ACIS played in the original system): double-precision linear
+//! algebra, watertight triangle meshes, exact polyhedral moments,
+//! symmetric eigensolvers, procedural modeling (primitives, extrusion,
+//! revolution), and STL/OFF I/O.
+//!
+//! Everything downstream — voxelization, skeletonization, feature
+//! extraction — consumes [`mesh::TriMesh`] values produced here.
+
+#![warn(missing_docs)]
+
+pub mod aabb;
+pub mod eigen;
+pub mod extrude;
+pub mod io;
+pub mod mat3;
+pub mod mesh;
+pub mod moments;
+pub mod moments3;
+pub mod polygon;
+pub mod primitives;
+pub mod render;
+pub mod revolve;
+pub mod sample;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use eigen::{sym3_eigen, sym_eigenvalues, Eigen3};
+pub use extrude::extrude;
+pub use mat3::Mat3;
+pub use mesh::{MeshDefect, TriMesh};
+pub use moments::{mesh_moments, Moments};
+pub use moments3::{central_third_moments, mesh_third_moments, ThirdMoments};
+pub use polygon::{triangulate, Polygon, P2};
+pub use render::{render, Image, RenderParams};
+pub use revolve::revolve;
+pub use sample::sample_surface;
+pub use vec3::Vec3;

@@ -1,0 +1,346 @@
+//! 3×3 matrices, rotations, and rigid/affine transform helpers.
+
+use std::ops::{Add, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::vec3::Vec3;
+
+/// A 3×3 matrix stored row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [Vec3; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        rows: [Vec3::X, Vec3::Y, Vec3::Z],
+    };
+
+    /// The zero matrix.
+    pub const ZERO: Mat3 = Mat3 {
+        rows: [Vec3::ZERO, Vec3::ZERO, Vec3::ZERO],
+    };
+
+    /// Builds a matrix from three rows.
+    #[inline]
+    pub const fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
+        Mat3 { rows: [r0, r1, r2] }
+    }
+
+    /// Builds a matrix from three columns.
+    #[inline]
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Mat3 {
+        Mat3::from_rows(
+            Vec3::new(c0.x, c1.x, c2.x),
+            Vec3::new(c0.y, c1.y, c2.y),
+            Vec3::new(c0.z, c1.z, c2.z),
+        )
+    }
+
+    /// Builds a diagonal matrix.
+    #[inline]
+    pub fn diagonal(d: Vec3) -> Mat3 {
+        Mat3::from_rows(
+            Vec3::new(d.x, 0.0, 0.0),
+            Vec3::new(0.0, d.y, 0.0),
+            Vec3::new(0.0, 0.0, d.z),
+        )
+    }
+
+    /// Element access (row, column).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.rows[r][c]
+    }
+
+    /// Mutable element access (row, column).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.rows[r][c] = v;
+    }
+
+    /// Returns column `c`.
+    #[inline]
+    pub fn col(&self, c: usize) -> Vec3 {
+        Vec3::new(self.rows[0][c], self.rows[1][c], self.rows[2][c])
+    }
+
+    /// Matrix transpose.
+    #[inline]
+    pub fn transpose(&self) -> Mat3 {
+        Mat3::from_rows(self.col(0), self.col(1), self.col(2))
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        let [a, b, c] = self.rows;
+        a.dot(b.cross(c))
+    }
+
+    /// Trace (sum of diagonal elements).
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.rows[0].x + self.rows[1].y + self.rows[2].z
+    }
+
+    /// Matrix inverse, or `None` if the matrix is singular.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let d = self.det();
+        if d.abs() < 1e-300 {
+            return None;
+        }
+        let [r0, r1, r2] = self.rows;
+        // Columns of the inverse are cross products of rows over det.
+        let c0 = r1.cross(r2) / d;
+        let c1 = r2.cross(r0) / d;
+        let c2 = r0.cross(r1) / d;
+        // These are rows of the inverse transpose, i.e. columns of inverse.
+        Some(Mat3::from_rows(c0, c1, c2).transpose())
+    }
+
+    /// Rotation about the X axis by `angle` radians.
+    pub fn rotation_x(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows(
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, c, -s),
+            Vec3::new(0.0, s, c),
+        )
+    }
+
+    /// Rotation about the Y axis by `angle` radians.
+    pub fn rotation_y(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows(
+            Vec3::new(c, 0.0, s),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(-s, 0.0, c),
+        )
+    }
+
+    /// Rotation about the Z axis by `angle` radians.
+    pub fn rotation_z(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows(
+            Vec3::new(c, -s, 0.0),
+            Vec3::new(s, c, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Rotation about an arbitrary unit axis by `angle` radians
+    /// (Rodrigues' formula). The axis is normalized internally; a zero
+    /// axis yields the identity.
+    pub fn rotation_axis_angle(axis: Vec3, angle: f64) -> Mat3 {
+        let Some(u) = axis.normalized() else {
+            return Mat3::IDENTITY;
+        };
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        Mat3::from_rows(
+            Vec3::new(t * u.x * u.x + c, t * u.x * u.y - s * u.z, t * u.x * u.z + s * u.y),
+            Vec3::new(t * u.x * u.y + s * u.z, t * u.y * u.y + c, t * u.y * u.z - s * u.x),
+            Vec3::new(t * u.x * u.z - s * u.y, t * u.y * u.z + s * u.x, t * u.z * u.z + c),
+        )
+    }
+
+    /// Returns `true` if `R^T R ≈ I` within `eps` and `det ≈ +1`
+    /// (proper rotation).
+    pub fn is_rotation(&self, eps: f64) -> bool {
+        let i = *self * self.transpose();
+        let id = Mat3::IDENTITY;
+        for r in 0..3 {
+            for c in 0..3 {
+                if (i.get(r, c) - id.get(r, c)).abs() > eps {
+                    return false;
+                }
+            }
+        }
+        (self.det() - 1.0).abs() <= eps
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.rows.iter().map(|r| r.norm_sq()).sum::<f64>().sqrt()
+    }
+
+    /// Approximate equality per element.
+    pub fn approx_eq(&self, rhs: &Mat3, eps: f64) -> bool {
+        self.rows
+            .iter()
+            .zip(rhs.rows.iter())
+            .all(|(a, b)| a.approx_eq(*b, eps))
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let t = rhs.transpose();
+        Mat3::from_rows(
+            Vec3::new(self.rows[0].dot(t.rows[0]), self.rows[0].dot(t.rows[1]), self.rows[0].dot(t.rows[2])),
+            Vec3::new(self.rows[1].dot(t.rows[0]), self.rows[1].dot(t.rows[1]), self.rows[1].dot(t.rows[2])),
+            Vec3::new(self.rows[2].dot(t.rows[0]), self.rows[2].dot(t.rows[1]), self.rows[2].dot(t.rows[2])),
+        )
+    }
+}
+
+impl Mul<f64> for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn mul(self, s: f64) -> Mat3 {
+        Mat3::from_rows(self.rows[0] * s, self.rows[1] * s, self.rows[2] * s)
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn add(self, rhs: Mat3) -> Mat3 {
+        Mat3::from_rows(
+            self.rows[0] + rhs.rows[0],
+            self.rows[1] + rhs.rows[1],
+            self.rows[2] + rhs.rows[2],
+        )
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn sub(self, rhs: Mat3) -> Mat3 {
+        Mat3::from_rows(
+            self.rows[0] - rhs.rows[0],
+            self.rows[1] - rhs.rows[1],
+            self.rows[2] - rhs.rows[2],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_behaves() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY * v, v);
+        assert_eq!(Mat3::IDENTITY * Mat3::IDENTITY, Mat3::IDENTITY);
+        assert_eq!(Mat3::IDENTITY.det(), 1.0);
+        assert_eq!(Mat3::IDENTITY.trace(), 3.0);
+    }
+
+    #[test]
+    fn transpose_and_cols() {
+        let m = Mat3::from_rows(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(4.0, 5.0, 6.0),
+            Vec3::new(7.0, 8.0, 9.0),
+        );
+        assert_eq!(m.col(0), Vec3::new(1.0, 4.0, 7.0));
+        assert_eq!(m.transpose().rows[0], Vec3::new(1.0, 4.0, 7.0));
+        assert_eq!(m.transpose().transpose(), m);
+        let mc = Mat3::from_cols(m.col(0), m.col(1), m.col(2));
+        assert_eq!(mc, m);
+    }
+
+    #[test]
+    fn determinant_and_inverse() {
+        let m = Mat3::from_rows(
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 3.0, 0.0),
+            Vec3::new(0.0, 0.0, 4.0),
+        );
+        assert_eq!(m.det(), 24.0);
+        let inv = m.inverse().unwrap();
+        assert!((m * inv).approx_eq(&Mat3::IDENTITY, 1e-14));
+
+        // A non-trivial invertible matrix.
+        let a = Mat3::from_rows(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(0.0, 1.0, 4.0),
+            Vec3::new(5.0, 6.0, 0.0),
+        );
+        assert_eq!(a.det(), 1.0);
+        let ai = a.inverse().unwrap();
+        assert!((a * ai).approx_eq(&Mat3::IDENTITY, 1e-12));
+        assert!((ai * a).approx_eq(&Mat3::IDENTITY, 1e-12));
+
+        // Singular matrix has no inverse.
+        let s = Mat3::from_rows(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(2.0, 4.0, 6.0),
+            Vec3::new(0.0, 1.0, 1.0),
+        );
+        assert!(s.inverse().is_none());
+    }
+
+    #[test]
+    fn axis_rotations() {
+        let rx = Mat3::rotation_x(FRAC_PI_2);
+        assert!((rx * Vec3::Y).approx_eq(Vec3::Z, 1e-15));
+        let ry = Mat3::rotation_y(FRAC_PI_2);
+        assert!((ry * Vec3::Z).approx_eq(Vec3::X, 1e-15));
+        let rz = Mat3::rotation_z(FRAC_PI_2);
+        assert!((rz * Vec3::X).approx_eq(Vec3::Y, 1e-15));
+        assert!(rx.is_rotation(1e-12));
+        assert!(ry.is_rotation(1e-12));
+        assert!(rz.is_rotation(1e-12));
+    }
+
+    #[test]
+    fn rodrigues_matches_axis_rotations() {
+        for angle in [0.3, 1.2, PI - 0.1] {
+            let a = Mat3::rotation_axis_angle(Vec3::X, angle);
+            let b = Mat3::rotation_x(angle);
+            assert!(a.approx_eq(&b, 1e-14), "angle {angle}");
+            let a = Mat3::rotation_axis_angle(Vec3::Z, angle);
+            let b = Mat3::rotation_z(angle);
+            assert!(a.approx_eq(&b, 1e-14), "angle {angle}");
+        }
+        // Arbitrary axis rotation is a proper rotation.
+        let r = Mat3::rotation_axis_angle(Vec3::new(1.0, 2.0, -0.5), 0.7);
+        assert!(r.is_rotation(1e-12));
+        // Zero axis yields identity.
+        assert_eq!(Mat3::rotation_axis_angle(Vec3::ZERO, 1.0), Mat3::IDENTITY);
+    }
+
+    #[test]
+    fn matrix_products() {
+        let a = Mat3::rotation_z(0.5);
+        let b = Mat3::rotation_z(0.25);
+        let c = Mat3::rotation_z(0.75);
+        assert!((a * b).approx_eq(&c, 1e-14));
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        assert!(((a * b) * v).approx_eq(a * (b * v), 1e-14));
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Mat3::diagonal(Vec3::new(1.0, 2.0, 3.0));
+        let b = Mat3::diagonal(Vec3::new(4.0, 5.0, 6.0));
+        assert_eq!(a + b, Mat3::diagonal(Vec3::new(5.0, 7.0, 9.0)));
+        assert_eq!(b - a, Mat3::diagonal(Vec3::new(3.0, 3.0, 3.0)));
+        assert_eq!(a * 2.0, Mat3::diagonal(Vec3::new(2.0, 4.0, 6.0)));
+        assert!((a.frobenius_norm() - (14.0f64).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn improper_rotation_detected() {
+        // A reflection: orthogonal but det = -1.
+        let refl = Mat3::diagonal(Vec3::new(-1.0, 1.0, 1.0));
+        assert!(!refl.is_rotation(1e-12));
+    }
+}

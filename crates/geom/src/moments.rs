@@ -1,0 +1,295 @@
+//! Exact volume moments of polyhedra, up to second order.
+//!
+//! The paper (Eq. 3.1) defines the moment of a solid with density
+//! `f(x,y,z)` as `m_lmn = ∭ x^l y^m z^n f dx dy dz`. For a solid bounded
+//! by a watertight, outward-oriented triangle mesh with `f ≡ 1`, all
+//! moments with `l+m+n ≤ 2` have closed forms obtained by decomposing
+//! the solid into signed tetrahedra `(O, a, b, c)` — one per surface
+//! triangle — and summing the exact simplex integrals.
+//!
+//! These exact moments drive pose normalization (Eq. 3.2–3.4), moment
+//! invariants (Eq. 3.6–3.9), and principal moments (Eq. 3.10).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mat3::Mat3;
+use crate::mesh::TriMesh;
+use crate::vec3::Vec3;
+
+/// Raw (origin-referenced) moments of a solid, to second order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Moments {
+    /// Zeroth order: the volume.
+    pub m000: f64,
+    /// First order.
+    pub m100: f64,
+    /// First order.
+    pub m010: f64,
+    /// First order.
+    pub m001: f64,
+    /// Second order, pure.
+    pub m200: f64,
+    /// Second order, pure.
+    pub m020: f64,
+    /// Second order, pure.
+    pub m002: f64,
+    /// Second order, mixed.
+    pub m110: f64,
+    /// Second order, mixed.
+    pub m101: f64,
+    /// Second order, mixed.
+    pub m011: f64,
+}
+
+impl Moments {
+    /// Centroid of the solid. Panics if the volume is zero; callers
+    /// should check [`Moments::m000`] first for possibly-empty solids.
+    pub fn centroid(&self) -> Vec3 {
+        assert!(self.m000.abs() > 0.0, "centroid of zero-volume solid");
+        Vec3::new(self.m100, self.m010, self.m001) / self.m000
+    }
+
+    /// Central (centroid-referenced) second moments µ_lmn, obtained by
+    /// the parallel-axis relations. Returns a moments struct whose
+    /// first-order entries are exactly zero.
+    pub fn central(&self) -> Moments {
+        if self.m000.abs() == 0.0 {
+            return *self;
+        }
+        let c = self.centroid();
+        Moments {
+            m000: self.m000,
+            m100: 0.0,
+            m010: 0.0,
+            m001: 0.0,
+            m200: self.m200 - self.m000 * c.x * c.x,
+            m020: self.m020 - self.m000 * c.y * c.y,
+            m002: self.m002 - self.m000 * c.z * c.z,
+            m110: self.m110 - self.m000 * c.x * c.y,
+            m101: self.m101 - self.m000 * c.x * c.z,
+            m011: self.m011 - self.m000 * c.y * c.z,
+        }
+    }
+
+    /// The symmetric second-moment matrix of Eq. 3.10:
+    /// `[[m200, m110, m101], [m110, m020, m011], [m101, m011, m002]]`.
+    pub fn second_moment_matrix(&self) -> Mat3 {
+        Mat3::from_rows(
+            Vec3::new(self.m200, self.m110, self.m101),
+            Vec3::new(self.m110, self.m020, self.m011),
+            Vec3::new(self.m101, self.m011, self.m002),
+        )
+    }
+
+    /// Transforms the moments under the rotation `x' = R x` applied to
+    /// the solid. Rotation maps the second-moment matrix `M → R M Rᵀ`
+    /// and the first-order vector `m1 → R m1`; volume is unchanged.
+    pub fn rotated(&self, r: &Mat3) -> Moments {
+        let m1 = *r * Vec3::new(self.m100, self.m010, self.m001);
+        let m2 = *r * self.second_moment_matrix() * r.transpose();
+        Moments {
+            m000: self.m000,
+            m100: m1.x,
+            m010: m1.y,
+            m001: m1.z,
+            m200: m2.get(0, 0),
+            m020: m2.get(1, 1),
+            m002: m2.get(2, 2),
+            m110: m2.get(0, 1),
+            m101: m2.get(0, 2),
+            m011: m2.get(1, 2),
+        }
+    }
+
+    /// Transforms the moments under uniform scaling `x' = s·x` of the
+    /// solid: `m_lmn → s^(l+m+n+3) m_lmn`.
+    pub fn scaled(&self, s: f64) -> Moments {
+        let s3 = s * s * s;
+        let s4 = s3 * s;
+        let s5 = s4 * s;
+        Moments {
+            m000: self.m000 * s3,
+            m100: self.m100 * s4,
+            m010: self.m010 * s4,
+            m001: self.m001 * s4,
+            m200: self.m200 * s5,
+            m020: self.m020 * s5,
+            m002: self.m002 * s5,
+            m110: self.m110 * s5,
+            m101: self.m101 * s5,
+            m011: self.m011 * s5,
+        }
+    }
+}
+
+/// Computes the exact moments of the solid bounded by `mesh`.
+///
+/// Each surface triangle `(a, b, c)` spans a signed tetrahedron with
+/// the origin; the closed-form simplex integrals are
+///
+/// * `∫ 1  dV = V`
+/// * `∫ xᵢ dV = (V/4) Σₖ xᵢₖ`
+/// * `∫ xᵢxⱼ dV = (V/20) (Σₖ xᵢₖ xⱼₖ + Σₖ xᵢₖ · Σₖ xⱼₖ)`
+///
+/// summed over the four tet vertices `k` (one of which is the origin).
+/// The result is exact for watertight, consistently outward-oriented
+/// meshes, regardless of where the origin lies relative to the solid.
+pub fn mesh_moments(mesh: &TriMesh) -> Moments {
+    let mut m = Moments::default();
+    for [a, b, c] in mesh.triangle_iter() {
+        let vol = a.dot(b.cross(c)) / 6.0;
+        m.m000 += vol;
+
+        let s = a + b + c; // origin contributes zero to vertex sums
+        m.m100 += vol * s.x / 4.0;
+        m.m010 += vol * s.y / 4.0;
+        m.m001 += vol * s.z / 4.0;
+
+        // Σₖ xᵢₖ xⱼₖ over vertices {O, a, b, c}.
+        let sxx = a.x * a.x + b.x * b.x + c.x * c.x;
+        let syy = a.y * a.y + b.y * b.y + c.y * c.y;
+        let szz = a.z * a.z + b.z * b.z + c.z * c.z;
+        let sxy = a.x * a.y + b.x * b.y + c.x * c.y;
+        let sxz = a.x * a.z + b.x * b.z + c.x * c.z;
+        let syz = a.y * a.z + b.y * b.z + c.y * c.z;
+
+        let k = vol / 20.0;
+        m.m200 += k * (sxx + s.x * s.x);
+        m.m020 += k * (syy + s.y * s.y);
+        m.m002 += k * (szz + s.z * s.z);
+        m.m110 += k * (sxy + s.x * s.y);
+        m.m101 += k * (sxz + s.x * s.z);
+        m.m011 += k * (syz + s.y * s.z);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives;
+
+    fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn unit_cube_moments() {
+        // Cube [-1/2, 1/2]^3: volume 1, centroid 0, µ200 = 1/12.
+        let mesh = primitives::box_mesh(Vec3::ONE);
+        let m = mesh_moments(&mesh);
+        assert_close(m.m000, 1.0, 1e-12, "volume");
+        assert!(m.centroid().approx_eq(Vec3::ZERO, 1e-12));
+        assert_close(m.m200, 1.0 / 12.0, 1e-12, "m200");
+        assert_close(m.m020, 1.0 / 12.0, 1e-12, "m020");
+        assert_close(m.m002, 1.0 / 12.0, 1e-12, "m002");
+        assert_close(m.m110, 0.0, 1e-12, "m110");
+    }
+
+    #[test]
+    fn shifted_cube_parallel_axis() {
+        // Shift the cube; raw moments change, central moments do not.
+        let mut mesh = primitives::box_mesh(Vec3::ONE);
+        mesh.translate(Vec3::new(3.0, -2.0, 5.0));
+        let m = mesh_moments(&mesh);
+        assert_close(m.m000, 1.0, 1e-12, "volume");
+        assert!(m.centroid().approx_eq(Vec3::new(3.0, -2.0, 5.0), 1e-12));
+        let mu = m.central();
+        assert_close(mu.m200, 1.0 / 12.0, 1e-10, "central m200");
+        assert_close(mu.m110, 0.0, 1e-10, "central m110");
+        // Raw second moment includes the parallel-axis term.
+        assert_close(m.m200, 1.0 / 12.0 + 9.0, 1e-10, "raw m200");
+    }
+
+    #[test]
+    fn anisotropic_box_moments() {
+        // Box with extents (a, b, c): µ200 = a²/12 · V.
+        let (a, b, c) = (2.0, 3.0, 4.0);
+        let mesh = primitives::box_mesh(Vec3::new(a, b, c));
+        let m = mesh_moments(&mesh);
+        let v = a * b * c;
+        assert_close(m.m000, v, 1e-12, "volume");
+        assert_close(m.m200, v * a * a / 12.0, 1e-12, "m200");
+        assert_close(m.m020, v * b * b / 12.0, 1e-12, "m020");
+        assert_close(m.m002, v * c * c / 12.0, 1e-12, "m002");
+    }
+
+    #[test]
+    fn sphere_moments_converge() {
+        // Sphere radius r: V = 4πr³/3, µ200 = V r²/5.
+        let r = 1.3;
+        let mesh = primitives::uv_sphere(r, 64, 32);
+        let m = mesh_moments(&mesh);
+        let v = 4.0 / 3.0 * std::f64::consts::PI * r.powi(3);
+        assert_close(m.m000, v, 5e-3, "volume");
+        assert_close(m.m200, v * r * r / 5.0, 1e-2, "m200");
+        assert!(m.centroid().approx_eq(Vec3::ZERO, 1e-9));
+    }
+
+    #[test]
+    fn cylinder_moments_converge() {
+        // Cylinder radius r height h along Z, centered:
+        // V = πr²h, µ002 = V h²/12, µ200 = µ020 = V r²/4.
+        let (r, h) = (0.8, 2.5);
+        let mesh = primitives::cylinder(r, h, 128);
+        let m = mesh_moments(&mesh);
+        let v = std::f64::consts::PI * r * r * h;
+        assert_close(m.m000, v, 2e-3, "volume");
+        assert_close(m.m002, v * h * h / 12.0, 5e-3, "m002");
+        assert_close(m.m200, v * r * r / 4.0, 5e-3, "m200");
+        assert_close(m.m020, v * r * r / 4.0, 5e-3, "m020");
+    }
+
+    #[test]
+    fn rotation_transform_rule() {
+        let mesh = primitives::box_mesh(Vec3::new(1.0, 2.0, 3.0));
+        let m = mesh_moments(&mesh);
+        let r = Mat3::rotation_axis_angle(Vec3::new(1.0, -1.0, 0.5), 0.9);
+        // Rotate the mesh and recompute; compare with the analytic rule.
+        let mut rotated = mesh.clone();
+        rotated.rotate(&r);
+        let m_rot = mesh_moments(&rotated);
+        let m_rule = m.rotated(&r);
+        assert_close(m_rot.m000, m_rule.m000, 1e-10, "volume");
+        assert_close(m_rot.m200, m_rule.m200, 1e-10, "m200");
+        assert_close(m_rot.m110, m_rule.m110, 1e-10, "m110");
+        assert_close(m_rot.m011, m_rule.m011, 1e-10, "m011");
+    }
+
+    #[test]
+    fn scaling_transform_rule() {
+        let mesh = primitives::box_mesh(Vec3::new(1.0, 2.0, 3.0));
+        let m = mesh_moments(&mesh);
+        let s = 1.7;
+        let mut scaled = mesh.clone();
+        scaled.scale_uniform(s);
+        let m_scaled = mesh_moments(&scaled);
+        let m_rule = m.scaled(s);
+        assert_close(m_scaled.m000, m_rule.m000, 1e-12, "volume");
+        assert_close(m_scaled.m200, m_rule.m200, 1e-12, "m200");
+        assert_close(m_scaled.m100, m_rule.m100, 1e-12, "m100");
+    }
+
+    #[test]
+    fn origin_independence() {
+        // The tetrahedral decomposition must give identical results no
+        // matter where the solid sits relative to the origin.
+        let mesh = primitives::cylinder(0.5, 1.0, 48);
+        let mu0 = mesh_moments(&mesh).central();
+        let mut moved = mesh.clone();
+        moved.translate(Vec3::new(100.0, 50.0, -80.0));
+        let mu1 = mesh_moments(&moved).central();
+        assert_close(mu0.m200, mu1.m200, 1e-7, "central m200");
+        assert_close(mu0.m011, mu1.m011, 1e-7, "central m011");
+        assert_close(mu0.m000, mu1.m000, 1e-9, "volume");
+    }
+
+    #[test]
+    fn second_moment_matrix_symmetry() {
+        let mesh = primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5));
+        let m = mesh_moments(&mesh).central();
+        let mat = m.second_moment_matrix();
+        assert!(mat.approx_eq(&mat.transpose(), 0.0));
+        assert_close(mat.trace(), m.m200 + m.m020 + m.m002, 1e-15, "trace");
+    }
+}

@@ -1,0 +1,603 @@
+//! 2-D polygons and ear-clipping triangulation (with holes).
+//!
+//! Extruded profiles are the main source of engineering shapes in this
+//! system (plates with holes, brackets, channels, gears, …). A profile
+//! is a [`Polygon`]: one counter-clockwise outer ring plus zero or more
+//! clockwise hole rings. [`triangulate`] produces a triangulation whose
+//! vertices are exactly the input ring vertices, which lets the
+//! extruder build watertight solids without vertex welding.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct P2 {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl P2 {
+    /// Creates a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> P2 {
+        P2 { x, y }
+    }
+}
+
+/// Twice the signed area of triangle (a, b, c); positive when the
+/// triangle is counter-clockwise.
+#[inline]
+fn cross(a: P2, b: P2, c: P2) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Signed area of a ring (positive when counter-clockwise).
+pub fn signed_area(ring: &[P2]) -> f64 {
+    let n = ring.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..n {
+        let a = ring[i];
+        let b = ring[(i + 1) % n];
+        acc += a.x * b.y - b.x * a.y;
+    }
+    acc * 0.5
+}
+
+/// Returns `true` if `p` lies strictly inside the ring (even-odd rule).
+pub fn point_in_ring(p: P2, ring: &[P2]) -> bool {
+    let n = ring.len();
+    let mut inside = false;
+    let mut j = n - 1;
+    for i in 0..n {
+        let (a, b) = (ring[i], ring[j]);
+        if (a.y > p.y) != (b.y > p.y) {
+            let t = (p.y - a.y) / (b.y - a.y);
+            let xi = a.x + t * (b.x - a.x);
+            if p.x < xi {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    inside
+}
+
+/// A polygon with holes: a counter-clockwise outer ring and clockwise
+/// hole rings. [`Polygon::new`] fixes ring orientations automatically.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Polygon {
+    /// Outer boundary, counter-clockwise.
+    pub outer: Vec<P2>,
+    /// Hole boundaries, clockwise.
+    pub holes: Vec<Vec<P2>>,
+}
+
+impl Polygon {
+    /// Creates a polygon, re-orienting rings as needed (outer CCW,
+    /// holes CW). Panics if the outer ring has fewer than 3 vertices.
+    pub fn new(mut outer: Vec<P2>, mut holes: Vec<Vec<P2>>) -> Polygon {
+        assert!(outer.len() >= 3, "outer ring needs at least 3 vertices");
+        if signed_area(&outer) < 0.0 {
+            outer.reverse();
+        }
+        for h in &mut holes {
+            assert!(h.len() >= 3, "hole ring needs at least 3 vertices");
+            if signed_area(h) > 0.0 {
+                h.reverse();
+            }
+        }
+        Polygon { outer, holes }
+    }
+
+    /// A polygon with no holes.
+    pub fn simple(outer: Vec<P2>) -> Polygon {
+        Polygon::new(outer, Vec::new())
+    }
+
+    /// Area of the polygon (outer minus holes).
+    pub fn area(&self) -> f64 {
+        signed_area(&self.outer) + self.holes.iter().map(|h| signed_area(h)).sum::<f64>()
+    }
+
+    /// Total perimeter (outer plus hole boundaries).
+    pub fn perimeter(&self) -> f64 {
+        let ring_len = |r: &[P2]| -> f64 {
+            (0..r.len())
+                .map(|i| {
+                    let a = r[i];
+                    let b = r[(i + 1) % r.len()];
+                    ((b.x - a.x).powi(2) + (b.y - a.y).powi(2)).sqrt()
+                })
+                .sum()
+        };
+        ring_len(&self.outer) + self.holes.iter().map(|h| ring_len(h)).sum::<f64>()
+    }
+
+    /// All ring vertices, outer first then holes in order. Triangle
+    /// indices from [`triangulate`] refer to this list.
+    pub fn all_points(&self) -> Vec<P2> {
+        let mut pts = self.outer.clone();
+        for h in &self.holes {
+            pts.extend_from_slice(h);
+        }
+        pts
+    }
+
+    /// Ring index ranges into [`Polygon::all_points`]: element 0 is the
+    /// outer ring, then one range per hole.
+    pub fn ring_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let mut ranges = Vec::with_capacity(1 + self.holes.len());
+        let mut start = 0;
+        ranges.push(start..self.outer.len());
+        start += self.outer.len();
+        for h in &self.holes {
+            ranges.push(start..start + h.len());
+            start += h.len();
+        }
+        ranges
+    }
+}
+
+/// Builds a regular `n`-gon of circumradius `r` centered at `(cx, cy)`,
+/// counter-clockwise, starting at angle `phase` radians.
+pub fn regular_ngon(n: usize, r: f64, cx: f64, cy: f64, phase: f64) -> Vec<P2> {
+    assert!(n >= 3 && r > 0.0, "degenerate n-gon");
+    (0..n)
+        .map(|i| {
+            let t = phase + 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            P2::new(cx + r * t.cos(), cy + r * t.sin())
+        })
+        .collect()
+}
+
+/// Builds an axis-aligned rectangle ring (CCW) with corners
+/// `(x0, y0)`–`(x1, y1)`.
+pub fn rect_ring(x0: f64, y0: f64, x1: f64, y1: f64) -> Vec<P2> {
+    assert!(x1 > x0 && y1 > y0, "degenerate rectangle");
+    vec![P2::new(x0, y0), P2::new(x1, y0), P2::new(x1, y1), P2::new(x0, y1)]
+}
+
+/// Triangulates a polygon with holes by bridging each hole into the
+/// outer ring and ear-clipping the resulting simple polygon.
+///
+/// Returns index triples (counter-clockwise) into
+/// [`Polygon::all_points`]. The triangulation covers the polygon
+/// exactly: total triangle area equals [`Polygon::area`].
+pub fn triangulate(poly: &Polygon) -> Vec<[u32; 3]> {
+    let points = poly.all_points();
+    let ranges = poly.ring_ranges();
+
+    // Working polygon: list of indices into `points`, CCW.
+    let mut ring: Vec<u32> = (ranges[0].clone()).map(|i| i as u32).collect();
+
+    // Sort holes by max x, descending: bridge right-most holes first so
+    // bridges never cross other unprocessed holes' right extremes.
+    let mut hole_order: Vec<usize> = (1..ranges.len()).collect();
+    let hole_max_x = |h: usize| -> f64 {
+        ranges[h]
+            .clone()
+            .map(|i| points[i].x)
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    hole_order.sort_by(|&a, &b| hole_max_x(b).partial_cmp(&hole_max_x(a)).unwrap());
+
+    for h in hole_order {
+        bridge_hole(&mut ring, &points, ranges[h].clone());
+    }
+
+    ear_clip(&ring, &points)
+}
+
+/// Connects a hole ring into `ring` by finding the hole vertex with
+/// maximum x and a mutually visible outer vertex (David Eberly's
+/// method), then splicing the hole in with a doubled bridge edge.
+fn bridge_hole(ring: &mut Vec<u32>, points: &[P2], hole: std::ops::Range<usize>) {
+    let hole_idx: Vec<u32> = hole.map(|i| i as u32).collect();
+    // Hole vertex with maximum x.
+    let (mi, &m) = hole_idx
+        .iter()
+        .enumerate()
+        .max_by(|(_, &a), (_, &b)| {
+            let pa = points[a as usize];
+            let pb = points[b as usize];
+            pa.x.partial_cmp(&pb.x).unwrap().then(pa.y.partial_cmp(&pb.y).unwrap())
+        })
+        .expect("hole ring is non-empty");
+    let mp = points[m as usize];
+
+    // Cast a ray +x from mp; find the closest intersection with ring
+    // edges, then the visible ring vertex.
+    let mut best_t = f64::INFINITY;
+    let mut best_edge = usize::MAX;
+    let mut best_point = P2::new(f64::INFINITY, mp.y);
+    let n = ring.len();
+    for i in 0..n {
+        let a = points[ring[i] as usize];
+        let b = points[ring[(i + 1) % n] as usize];
+        // Edge must straddle the horizontal line y = mp.y.
+        if (a.y > mp.y) == (b.y > mp.y) {
+            continue;
+        }
+        let t = (mp.y - a.y) / (b.y - a.y);
+        let x = a.x + t * (b.x - a.x);
+        if x >= mp.x - 1e-12 && x < best_t {
+            best_t = x;
+            best_edge = i;
+            best_point = P2::new(x, mp.y);
+        }
+    }
+    assert!(
+        best_edge != usize::MAX,
+        "hole is not inside the outer ring (no +x ray intersection)"
+    );
+
+    // Candidate visible vertex: endpoint of the intersected edge with
+    // larger x (Eberly). If some reflex ring vertex lies inside the
+    // triangle (mp, intersection, candidate), take the one minimizing
+    // the angle with +x instead.
+    let ea = ring[best_edge];
+    let eb = ring[(best_edge + 1) % n];
+    let mut cand_pos =
+        if points[ea as usize].x > points[eb as usize].x { best_edge } else { (best_edge + 1) % n };
+    let cand_p = points[ring[cand_pos] as usize];
+    let tri = [mp, best_point, cand_p];
+    let mut best_metric = f64::INFINITY;
+    for (i, &v) in ring.iter().enumerate() {
+        if i == cand_pos {
+            continue;
+        }
+        let p = points[v as usize];
+        // Only reflex vertices can block visibility.
+        let prev = points[ring[(i + n - 1) % n] as usize];
+        let next = points[ring[(i + 1) % n] as usize];
+        if cross(prev, p, next) >= 0.0 {
+            continue;
+        }
+        if point_in_tri_inclusive(p, tri) {
+            // Prefer the blocking vertex closest in angle to +x, then
+            // nearest.
+            let dx = p.x - mp.x;
+            let dy = (p.y - mp.y).abs();
+            if dx > 1e-12 {
+                let metric = dy / dx;
+                if metric < best_metric {
+                    best_metric = metric;
+                    cand_pos = i;
+                }
+            }
+        }
+    }
+
+    // The chosen vertex may occur several times in the ring (it can
+    // already be a bridge endpoint). Splice at an occurrence whose
+    // local interior cone contains the new bridge direction, otherwise
+    // the ring would self-cross at the shared vertex.
+    let cand_coord = points[ring[cand_pos] as usize];
+    let bridge_dir = P2::new(mp.x - cand_coord.x, mp.y - cand_coord.y);
+    let mut chosen = cand_pos;
+    for (i, &v) in ring.iter().enumerate() {
+        let p = points[v as usize];
+        if (p.x - cand_coord.x).abs() > 1e-12 || (p.y - cand_coord.y).abs() > 1e-12 {
+            continue;
+        }
+        let ap = points[ring[(i + n - 1) % n] as usize];
+        let an = points[ring[(i + 1) % n] as usize];
+        if dir_locally_inside(ap, p, an, bridge_dir) {
+            chosen = i;
+            break;
+        }
+    }
+    let cand_pos = chosen;
+
+    // Splice: ring[..=cand_pos] ++ hole[mi..] ++ hole[..=mi] ++ ring[cand_pos..]
+    // (the bridge edge cand→m is traversed in both directions).
+    let mut new_ring = Vec::with_capacity(ring.len() + hole_idx.len() + 2);
+    new_ring.extend_from_slice(&ring[..=cand_pos]);
+    // Hole is CW, which is the correct traversal direction once it is
+    // connected to the CCW outer ring.
+    for k in 0..=hole_idx.len() {
+        new_ring.push(hole_idx[(mi + k) % hole_idx.len()]);
+    }
+    new_ring.extend_from_slice(&ring[cand_pos..]);
+    *ring = new_ring;
+}
+
+/// Returns `true` if direction `d` from corner `a` (with CCW neighbors
+/// `ap → a → an`, interior on the left) points into the polygon's
+/// interior cone at that corner.
+fn dir_locally_inside(ap: P2, a: P2, an: P2, d: P2) -> bool {
+    let u = P2::new(a.x - ap.x, a.y - ap.y); // incoming edge direction
+    let v = P2::new(an.x - a.x, an.y - a.y); // outgoing edge direction
+    let c2 = |p: P2, q: P2| p.x * q.y - p.y * q.x;
+    if c2(u, v) >= 0.0 {
+        // Convex (or straight) corner: intersection of half-planes.
+        c2(u, d) > 0.0 && c2(v, d) > 0.0
+    } else {
+        // Reflex corner: union of half-planes.
+        c2(u, d) > 0.0 || c2(v, d) > 0.0
+    }
+}
+
+/// Inclusive point-in-triangle test (boundary counts as inside).
+fn point_in_tri_inclusive(p: P2, tri: [P2; 3]) -> bool {
+    let d1 = cross(tri[0], tri[1], p);
+    let d2 = cross(tri[1], tri[2], p);
+    let d3 = cross(tri[2], tri[0], p);
+    let has_neg = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+    let has_pos = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+    !(has_neg && has_pos)
+}
+
+/// Ear-clips a simple CCW polygon given as indices into `points`.
+fn ear_clip(ring: &[u32], points: &[P2]) -> Vec<[u32; 3]> {
+    let mut idx: Vec<u32> = ring.to_vec();
+    let mut triangles = Vec::with_capacity(idx.len().saturating_sub(2));
+
+    // Remove immediately repeated indices (can appear at bridge seams).
+    idx.dedup();
+    if idx.len() >= 2 && idx[0] == *idx.last().unwrap() {
+        idx.pop();
+    }
+
+    // `strict` controls the blocking test: in the first pass a reflex
+    // vertex on the ear boundary blocks; if the polygon deadlocks
+    // (possible at collinear bridge seams), a second pass lets
+    // boundary-touching vertices through.
+    let mut strict = true;
+    let mut guard = 0usize;
+    while idx.len() > 3 {
+        let n = idx.len();
+        let mut clipped = false;
+        for i in 0..n {
+            let ip = (i + n - 1) % n;
+            let inx = (i + 1) % n;
+            let (a, b, c) = (
+                points[idx[ip] as usize],
+                points[idx[i] as usize],
+                points[idx[inx] as usize],
+            );
+            let conv = cross(a, b, c);
+            if conv <= 1e-12 {
+                continue; // reflex or collinear corner, not an ear
+            }
+            // No *reflex* vertex of the ring may lie inside the ear
+            // (convex vertices cannot block an ear of a simple polygon).
+            let mut blocked = false;
+            for (j, &vj) in idx.iter().enumerate() {
+                if j == ip || j == i || j == inx {
+                    continue;
+                }
+                // Skip duplicates of the ear corners (bridge seams).
+                if vj == idx[ip] || vj == idx[i] || vj == idx[inx] {
+                    continue;
+                }
+                let jp = points[idx[(j + n - 1) % n] as usize];
+                let jn = points[idx[(j + 1) % n] as usize];
+                let p = points[vj as usize];
+                if cross(jp, p, jn) > 1e-12 {
+                    continue; // convex vertex, cannot block
+                }
+                if point_in_tri(p, [a, b, c], strict) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if blocked {
+                continue;
+            }
+            triangles.push([idx[ip], idx[i], idx[inx]]);
+            idx.remove(i);
+            clipped = true;
+            break;
+        }
+        if !clipped {
+            if strict {
+                strict = false; // relax boundary blocking and retry
+                continue;
+            }
+            // Still stuck: the remainder is a degenerate sliver chain.
+            // Drop the corner with the smallest absolute area so the
+            // loop terminates without emitting flipped triangles.
+            let n = idx.len();
+            let mut best = 0;
+            let mut best_abs = f64::INFINITY;
+            for i in 0..n {
+                let ip = (i + n - 1) % n;
+                let inx = (i + 1) % n;
+                let cr = cross(
+                    points[idx[ip] as usize],
+                    points[idx[i] as usize],
+                    points[idx[inx] as usize],
+                )
+                .abs();
+                if cr < best_abs {
+                    best_abs = cr;
+                    best = i;
+                }
+            }
+            idx.remove(best);
+            continue;
+        }
+        strict = true;
+        guard += 1;
+        assert!(guard < 1_000_000, "ear clipping failed to terminate");
+    }
+    if idx.len() == 3 {
+        triangles.push([idx[0], idx[1], idx[2]]);
+    }
+    triangles
+}
+
+/// Point-in-triangle for ear blocking. With `strict_boundary`, points
+/// on the boundary count as blocking; otherwise only strictly interior
+/// points do.
+fn point_in_tri(p: P2, tri: [P2; 3], strict_boundary: bool) -> bool {
+    let d1 = cross(tri[0], tri[1], p);
+    let d2 = cross(tri[1], tri[2], p);
+    let d3 = cross(tri[2], tri[0], p);
+    let eps = 1e-12;
+    if strict_boundary {
+        d1 >= -eps && d2 >= -eps && d3 >= -eps && (d1 > eps || d2 > eps || d3 > eps)
+    } else {
+        d1 > eps && d2 > eps && d3 > eps
+    }
+}
+
+/// Sum of triangle areas for a triangulation of `poly` — used by tests
+/// and debug assertions to check coverage.
+pub fn triangulation_area(poly: &Polygon, triangles: &[[u32; 3]]) -> f64 {
+    let pts = poly.all_points();
+    triangles
+        .iter()
+        .map(|t| 0.5 * cross(pts[t[0] as usize], pts[t[1] as usize], pts[t[2] as usize]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_area(poly: &Polygon, tol: f64) {
+        let tris = triangulate(poly);
+        let ta = triangulation_area(poly, &tris);
+        let pa = poly.area();
+        assert!(
+            (ta - pa).abs() <= tol * (1.0 + pa.abs()),
+            "triangulation area {ta} vs polygon area {pa} ({} tris)",
+            tris.len()
+        );
+        // All triangles CCW (non-negative area).
+        let pts = poly.all_points();
+        for t in &tris {
+            let a = cross(pts[t[0] as usize], pts[t[1] as usize], pts[t[2] as usize]);
+            assert!(a > -1e-9, "clockwise triangle in output: {t:?} area {a}");
+        }
+    }
+
+    #[test]
+    fn ring_orientation_fixed_by_constructor() {
+        let cw = vec![P2::new(0.0, 0.0), P2::new(0.0, 1.0), P2::new(1.0, 1.0), P2::new(1.0, 0.0)];
+        let p = Polygon::simple(cw);
+        assert!(signed_area(&p.outer) > 0.0);
+        let hole_ccw = regular_ngon(6, 0.2, 0.5, 0.5, 0.0);
+        let p = Polygon::new(rect_ring(0.0, 0.0, 1.0, 1.0), vec![hole_ccw]);
+        assert!(signed_area(&p.holes[0]) < 0.0);
+    }
+
+    #[test]
+    fn square_area_and_triangulation() {
+        let p = Polygon::simple(rect_ring(0.0, 0.0, 2.0, 3.0));
+        assert!((p.area() - 6.0).abs() < 1e-12);
+        assert!((p.perimeter() - 10.0).abs() < 1e-12);
+        let tris = triangulate(&p);
+        assert_eq!(tris.len(), 2);
+        assert_area(&p, 1e-12);
+    }
+
+    #[test]
+    fn convex_ngon_triangulation() {
+        for n in [3usize, 5, 8, 17, 64] {
+            let p = Polygon::simple(regular_ngon(n, 1.0, 0.0, 0.0, 0.3));
+            let tris = triangulate(&p);
+            assert_eq!(tris.len(), n - 2, "n = {n}");
+            assert_area(&p, 1e-10);
+        }
+    }
+
+    #[test]
+    fn concave_polygon_triangulation() {
+        // An L-shape.
+        let l = vec![
+            P2::new(0.0, 0.0),
+            P2::new(3.0, 0.0),
+            P2::new(3.0, 1.0),
+            P2::new(1.0, 1.0),
+            P2::new(1.0, 3.0),
+            P2::new(0.0, 3.0),
+        ];
+        let p = Polygon::simple(l);
+        assert!((p.area() - 5.0).abs() < 1e-12);
+        assert_area(&p, 1e-12);
+    }
+
+    #[test]
+    fn star_polygon_triangulation() {
+        // A 5-pointed star outline (concave decagon).
+        let mut ring = Vec::new();
+        for i in 0..10 {
+            let r = if i % 2 == 0 { 1.0 } else { 0.4 };
+            let t = std::f64::consts::PI * i as f64 / 5.0;
+            ring.push(P2::new(r * t.cos(), r * t.sin()));
+        }
+        let p = Polygon::simple(ring);
+        assert_area(&p, 1e-10);
+    }
+
+    #[test]
+    fn square_with_center_hole() {
+        let hole = regular_ngon(16, 0.5, 0.0, 0.0, 0.1);
+        let p = Polygon::new(rect_ring(-1.0, -1.0, 1.0, 1.0), vec![hole]);
+        let expected = 4.0 - signed_area(&regular_ngon(16, 0.5, 0.0, 0.0, 0.1));
+        assert!((p.area() - expected).abs() < 1e-12);
+        assert_area(&p, 1e-10);
+    }
+
+    #[test]
+    fn plate_with_four_holes() {
+        let mut holes = Vec::new();
+        for (cx, cy) in [(-0.6, -0.6), (0.6, -0.6), (0.6, 0.6), (-0.6, 0.6)] {
+            holes.push(regular_ngon(12, 0.2, cx, cy, 0.0));
+        }
+        let p = Polygon::new(rect_ring(-1.0, -1.0, 1.0, 1.0), holes);
+        assert_area(&p, 1e-9);
+    }
+
+    #[test]
+    fn annulus_triangulation() {
+        // Ring: outer circle with concentric inner hole.
+        let p = Polygon::new(
+            regular_ngon(32, 2.0, 0.0, 0.0, 0.0),
+            vec![regular_ngon(32, 1.0, 0.0, 0.0, 0.05)],
+        );
+        assert_area(&p, 1e-9);
+    }
+
+    #[test]
+    fn holes_offset_from_center() {
+        let p = Polygon::new(
+            regular_ngon(24, 3.0, 0.0, 0.0, 0.0),
+            vec![
+                regular_ngon(10, 0.5, 1.5, 0.0, 0.0),
+                regular_ngon(10, 0.5, -1.5, 0.5, 0.2),
+                regular_ngon(10, 0.4, 0.0, -1.6, 0.4),
+            ],
+        );
+        assert_area(&p, 1e-9);
+    }
+
+    #[test]
+    fn point_in_ring_basics() {
+        let sq = rect_ring(0.0, 0.0, 1.0, 1.0);
+        assert!(point_in_ring(P2::new(0.5, 0.5), &sq));
+        assert!(!point_in_ring(P2::new(1.5, 0.5), &sq));
+        assert!(!point_in_ring(P2::new(-0.1, 0.5), &sq));
+    }
+
+    #[test]
+    fn all_points_and_ranges() {
+        let p = Polygon::new(
+            rect_ring(0.0, 0.0, 1.0, 1.0),
+            vec![regular_ngon(3, 0.1, 0.5, 0.5, 0.0)],
+        );
+        let pts = p.all_points();
+        assert_eq!(pts.len(), 7);
+        let rr = p.ring_ranges();
+        assert_eq!(rr[0], 0..4);
+        assert_eq!(rr[1], 4..7);
+    }
+}

@@ -1,0 +1,259 @@
+//! Watertight procedural primitive meshes.
+//!
+//! All primitives are centered at the origin (unless documented
+//! otherwise), consistently outward-oriented, and watertight, so exact
+//! moment integration and voxelization apply directly.
+
+use crate::mesh::TriMesh;
+use crate::vec3::Vec3;
+
+/// An axis-aligned box with the given extents, centered at the origin.
+pub fn box_mesh(extent: Vec3) -> TriMesh {
+    assert!(
+        extent.x > 0.0 && extent.y > 0.0 && extent.z > 0.0,
+        "box extents must be positive: {extent:?}"
+    );
+    let h = extent * 0.5;
+    let v = vec![
+        Vec3::new(-h.x, -h.y, -h.z), // 0
+        Vec3::new(h.x, -h.y, -h.z),  // 1
+        Vec3::new(h.x, h.y, -h.z),   // 2
+        Vec3::new(-h.x, h.y, -h.z),  // 3
+        Vec3::new(-h.x, -h.y, h.z),  // 4
+        Vec3::new(h.x, -h.y, h.z),   // 5
+        Vec3::new(h.x, h.y, h.z),    // 6
+        Vec3::new(-h.x, h.y, h.z),   // 7
+    ];
+    let t = vec![
+        // bottom (z = -h.z), normal -Z
+        [0, 2, 1],
+        [0, 3, 2],
+        // top (z = +h.z), normal +Z
+        [4, 5, 6],
+        [4, 6, 7],
+        // front (y = -h.y), normal -Y
+        [0, 1, 5],
+        [0, 5, 4],
+        // back (y = +h.y), normal +Y
+        [2, 3, 7],
+        [2, 7, 6],
+        // left (x = -h.x), normal -X
+        [0, 4, 7],
+        [0, 7, 3],
+        // right (x = +h.x), normal +X
+        [1, 2, 6],
+        [1, 6, 5],
+    ];
+    TriMesh::new(v, t)
+}
+
+/// A UV sphere of radius `r` with `seg` longitudinal segments and
+/// `rings` latitudinal rings, centered at the origin.
+pub fn uv_sphere(r: f64, seg: usize, rings: usize) -> TriMesh {
+    assert!(r > 0.0 && seg >= 3 && rings >= 2, "degenerate sphere parameters");
+    let mut vertices = Vec::with_capacity(2 + seg * (rings - 1));
+    let mut triangles = Vec::with_capacity(2 * seg * (rings - 1));
+
+    // Poles.
+    vertices.push(Vec3::new(0.0, 0.0, r)); // 0: north
+    vertices.push(Vec3::new(0.0, 0.0, -r)); // 1: south
+
+    // Interior rings from north to south.
+    for ring in 1..rings {
+        let phi = std::f64::consts::PI * ring as f64 / rings as f64;
+        let (sp, cp) = phi.sin_cos();
+        for s in 0..seg {
+            let theta = 2.0 * std::f64::consts::PI * s as f64 / seg as f64;
+            let (st, ct) = theta.sin_cos();
+            vertices.push(Vec3::new(r * sp * ct, r * sp * st, r * cp));
+        }
+    }
+    let ring_start = |ring: usize| 2 + (ring - 1) * seg;
+
+    // North cap.
+    for s in 0..seg {
+        let a = ring_start(1) + s;
+        let b = ring_start(1) + (s + 1) % seg;
+        triangles.push([0, a as u32, b as u32]);
+    }
+    // Bands.
+    for ring in 1..rings - 1 {
+        for s in 0..seg {
+            let a = ring_start(ring) + s;
+            let b = ring_start(ring) + (s + 1) % seg;
+            let c = ring_start(ring + 1) + s;
+            let d = ring_start(ring + 1) + (s + 1) % seg;
+            triangles.push([a as u32, c as u32, d as u32]);
+            triangles.push([a as u32, d as u32, b as u32]);
+        }
+    }
+    // South cap.
+    for s in 0..seg {
+        let a = ring_start(rings - 1) + s;
+        let b = ring_start(rings - 1) + (s + 1) % seg;
+        triangles.push([1, b as u32, a as u32]);
+    }
+    TriMesh::new(vertices, triangles)
+}
+
+/// A solid cylinder of radius `r` and height `h` along Z, centered at
+/// the origin, with `seg` circumferential segments.
+pub fn cylinder(r: f64, h: f64, seg: usize) -> TriMesh {
+    assert!(r > 0.0 && h > 0.0 && seg >= 3, "degenerate cylinder parameters");
+    let hz = h * 0.5;
+    let mut vertices = Vec::with_capacity(2 + 2 * seg);
+    vertices.push(Vec3::new(0.0, 0.0, -hz)); // 0: bottom center
+    vertices.push(Vec3::new(0.0, 0.0, hz)); // 1: top center
+    for s in 0..seg {
+        let theta = 2.0 * std::f64::consts::PI * s as f64 / seg as f64;
+        let (st, ct) = theta.sin_cos();
+        vertices.push(Vec3::new(r * ct, r * st, -hz));
+    }
+    for s in 0..seg {
+        let theta = 2.0 * std::f64::consts::PI * s as f64 / seg as f64;
+        let (st, ct) = theta.sin_cos();
+        vertices.push(Vec3::new(r * ct, r * st, hz));
+    }
+    let bot = |s: usize| (2 + s) as u32;
+    let top = |s: usize| (2 + seg + s) as u32;
+    let mut triangles = Vec::with_capacity(4 * seg);
+    for s in 0..seg {
+        let sn = (s + 1) % seg;
+        // Bottom cap (normal -Z).
+        triangles.push([0, bot(sn), bot(s)]);
+        // Top cap (normal +Z).
+        triangles.push([1, top(s), top(sn)]);
+        // Side wall.
+        triangles.push([bot(s), bot(sn), top(sn)]);
+        triangles.push([bot(s), top(sn), top(s)]);
+    }
+    TriMesh::new(vertices, triangles)
+}
+
+/// A solid cone of base radius `r` and height `h`, with base at
+/// `z = -h/2` and apex at `z = +h/2`.
+pub fn cone(r: f64, h: f64, seg: usize) -> TriMesh {
+    assert!(r > 0.0 && h > 0.0 && seg >= 3, "degenerate cone parameters");
+    let hz = h * 0.5;
+    let mut vertices = Vec::with_capacity(2 + seg);
+    vertices.push(Vec3::new(0.0, 0.0, -hz)); // 0: base center
+    vertices.push(Vec3::new(0.0, 0.0, hz)); // 1: apex
+    for s in 0..seg {
+        let theta = 2.0 * std::f64::consts::PI * s as f64 / seg as f64;
+        let (st, ct) = theta.sin_cos();
+        vertices.push(Vec3::new(r * ct, r * st, -hz));
+    }
+    let rim = |s: usize| (2 + s) as u32;
+    let mut triangles = Vec::with_capacity(2 * seg);
+    for s in 0..seg {
+        let sn = (s + 1) % seg;
+        triangles.push([0, rim(sn), rim(s)]); // base, normal -Z
+        triangles.push([1, rim(s), rim(sn)]); // flank
+    }
+    TriMesh::new(vertices, triangles)
+}
+
+/// A torus with major radius `major` (ring center) and minor radius
+/// `minor` (tube), lying in the XY plane, centered at the origin.
+pub fn torus(major: f64, minor: f64, seg_major: usize, seg_minor: usize) -> TriMesh {
+    assert!(
+        major > minor && minor > 0.0 && seg_major >= 3 && seg_minor >= 3,
+        "degenerate torus parameters"
+    );
+    let mut vertices = Vec::with_capacity(seg_major * seg_minor);
+    for i in 0..seg_major {
+        let u = 2.0 * std::f64::consts::PI * i as f64 / seg_major as f64;
+        let (su, cu) = u.sin_cos();
+        for j in 0..seg_minor {
+            let v = 2.0 * std::f64::consts::PI * j as f64 / seg_minor as f64;
+            let (sv, cv) = v.sin_cos();
+            let ring = major + minor * cv;
+            vertices.push(Vec3::new(ring * cu, ring * su, minor * sv));
+        }
+    }
+    let idx = |i: usize, j: usize| (i % seg_major * seg_minor + j % seg_minor) as u32;
+    let mut triangles = Vec::with_capacity(2 * seg_major * seg_minor);
+    for i in 0..seg_major {
+        for j in 0..seg_minor {
+            let a = idx(i, j);
+            let b = idx(i + 1, j);
+            let c = idx(i + 1, j + 1);
+            let d = idx(i, j + 1);
+            triangles.push([a, b, c]);
+            triangles.push([a, c, d]);
+        }
+    }
+    TriMesh::new(vertices, triangles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::mesh_moments;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn box_is_watertight_with_correct_volume() {
+        let m = box_mesh(Vec3::new(2.0, 3.0, 4.0));
+        assert!(m.is_watertight(), "{:?}", m.validate());
+        assert!((m.signed_volume() - 24.0).abs() < 1e-12);
+        assert!((m.surface_area() - 2.0 * (6.0 + 8.0 + 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sphere_is_watertight_and_converges() {
+        let m = uv_sphere(1.0, 32, 16);
+        assert!(m.is_watertight(), "{:?}", m.validate());
+        let v = m.signed_volume();
+        let exact = 4.0 / 3.0 * PI;
+        assert!((v - exact).abs() / exact < 0.02, "volume {v} vs {exact}");
+        // Finer tessellation gets closer.
+        let m2 = uv_sphere(1.0, 64, 32);
+        let v2 = m2.signed_volume();
+        assert!((v2 - exact).abs() < (v - exact).abs());
+    }
+
+    #[test]
+    fn cylinder_is_watertight_and_converges() {
+        let m = cylinder(1.0, 2.0, 64);
+        assert!(m.is_watertight(), "{:?}", m.validate());
+        let exact = PI * 2.0;
+        assert!((m.signed_volume() - exact).abs() / exact < 0.01);
+        // Bounding box symmetric about origin.
+        let bb = m.bounding_box();
+        assert!(bb.center().approx_eq(Vec3::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn cone_is_watertight_with_correct_volume() {
+        let m = cone(1.0, 3.0, 64);
+        assert!(m.is_watertight(), "{:?}", m.validate());
+        let exact = PI / 3.0 * 3.0;
+        assert!((m.signed_volume() - exact).abs() / exact < 0.01);
+        // Cone centroid is at -h/4 from base center... i.e. z = -h/2 + h/4.
+        let c = mesh_moments(&m).centroid();
+        assert!((c.z - (-1.5 + 0.75)).abs() < 0.02, "centroid z {}", c.z);
+    }
+
+    #[test]
+    fn torus_is_watertight_and_converges() {
+        let m = torus(2.0, 0.5, 48, 24);
+        assert!(m.is_watertight(), "{:?}", m.validate());
+        // V = 2 π² R r².
+        let exact = 2.0 * PI * PI * 2.0 * 0.25;
+        let v = m.signed_volume();
+        assert!((v - exact).abs() / exact < 0.02, "volume {v} vs {exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_sphere_rejected() {
+        let _ = uv_sphere(1.0, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn degenerate_box_rejected() {
+        let _ = box_mesh(Vec3::new(1.0, 0.0, 1.0));
+    }
+}

@@ -1,0 +1,246 @@
+//! Software rendering of meshes to images.
+//!
+//! The paper's SERVER tier has a "3D View Generation" module that
+//! produces triangulated views of search results for the interface
+//! (via Java3D/ACIS). This module plays that role headlessly: an
+//! orthographic z-buffer rasterizer with Lambertian shading that
+//! writes portable PPM/PGM images any viewer can open.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::mesh::TriMesh;
+use crate::vec3::Vec3;
+
+/// A simple 8-bit grayscale image.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixel intensities (0 = black).
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Creates a black image.
+    pub fn new(width: usize, height: usize) -> Image {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image {
+            width,
+            height,
+            pixels: vec![0; width * height],
+        }
+    }
+
+    /// Pixel intensity at (x, y); (0, 0) is the top-left corner.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Fraction of pixels that are non-black (coverage).
+    pub fn coverage(&self) -> f64 {
+        let lit = self.pixels.iter().filter(|&&p| p > 0).count();
+        lit as f64 / self.pixels.len() as f64
+    }
+
+    /// Writes the image as binary PGM (P5).
+    pub fn write_pgm<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(w, "P5\n{} {}\n255\n", self.width, self.height)?;
+        w.write_all(&self.pixels)
+    }
+
+    /// Saves the image as a `.pgm` file.
+    pub fn save_pgm(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_pgm(&mut f)
+    }
+}
+
+/// Rendering configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderParams {
+    /// Output width in pixels.
+    pub width: usize,
+    /// Output height in pixels.
+    pub height: usize,
+    /// View direction (from the camera toward the model); the camera
+    /// is orthographic.
+    pub view_dir: Vec3,
+    /// Light direction (from the light toward the model).
+    pub light_dir: Vec3,
+    /// Fraction of the frame the model's bounding sphere fills.
+    pub fill: f64,
+}
+
+impl Default for RenderParams {
+    fn default() -> Self {
+        RenderParams {
+            width: 256,
+            height: 256,
+            view_dir: Vec3::new(-0.5, -0.7, -0.6),
+            light_dir: Vec3::new(-0.3, -0.5, -0.8),
+            fill: 0.85,
+        }
+    }
+}
+
+/// Renders a mesh with orthographic projection, a z-buffer, and
+/// two-sided Lambertian shading (search-result thumbnails do not care
+/// about winding).
+pub fn render(mesh: &TriMesh, params: &RenderParams) -> Image {
+    let mut img = Image::new(params.width, params.height);
+    if mesh.num_triangles() == 0 {
+        return img;
+    }
+
+    // Camera basis: view direction w, plus any orthonormal u, v.
+    let w = params.view_dir.normalized().unwrap_or(Vec3::new(0.0, 0.0, -1.0));
+    let pick = if w.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+    let u = w.cross(pick).normalized().expect("non-parallel basis pick");
+    let v = w.cross(u);
+
+    // Fit the model into the frame.
+    let bb = mesh.bounding_box();
+    let center = bb.center();
+    let radius = bb.diagonal() * 0.5;
+    let half_extent = radius / params.fill.clamp(0.05, 1.0);
+    let scale = (params.width.min(params.height) as f64) * 0.5 / half_extent.max(1e-12);
+
+    let project = |p: Vec3| -> (f64, f64, f64) {
+        let d = p - center;
+        (
+            params.width as f64 * 0.5 + d.dot(u) * scale,
+            params.height as f64 * 0.5 - d.dot(v) * scale,
+            d.dot(w), // depth along the view direction (larger = farther)
+        )
+    };
+
+    let light = params.light_dir.normalized().unwrap_or(w);
+    let mut zbuf = vec![f64::INFINITY; params.width * params.height];
+
+    for [a, b, c] in mesh.triangle_iter() {
+        let normal = match (b - a).cross(c - a).normalized() {
+            Some(n) => n,
+            None => continue, // degenerate triangle
+        };
+        // Two-sided shading with a bit of ambient.
+        let intensity = (0.2 + 0.8 * normal.dot(light).abs()).clamp(0.0, 1.0);
+        let shade = (intensity * 255.0) as u8;
+
+        let (ax, ay, az) = project(a);
+        let (bx, by, bz) = project(b);
+        let (cx, cy, cz) = project(c);
+
+        // Bounding box clipped to the frame.
+        let min_x = ax.min(bx).min(cx).floor().max(0.0) as usize;
+        let max_x = (ax.max(bx).max(cx).ceil() as usize).min(params.width - 1);
+        let min_y = ay.min(by).min(cy).floor().max(0.0) as usize;
+        let max_y = (ay.max(by).max(cy).ceil() as usize).min(params.height - 1);
+        if min_x > max_x || min_y > max_y {
+            continue;
+        }
+
+        let area = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+        if area.abs() < 1e-12 {
+            continue; // edge-on
+        }
+        for y in min_y..=max_y {
+            for x in min_x..=max_x {
+                let (px, py) = (x as f64 + 0.5, y as f64 + 0.5);
+                // Barycentric coordinates in screen space.
+                let w0 = ((bx - ax) * (py - ay) - (by - ay) * (px - ax)) / area;
+                let w1 = ((px - ax) * (cy - ay) - (py - ay) * (cx - ax)) / area;
+                let w2 = 1.0 - w0 - w1;
+                // Note: w0 is the weight of c, w1 of b, w2 of a.
+                if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+                    continue;
+                }
+                let depth = w2 * az + w1 * bz + w0 * cz;
+                let idx = y * params.width + x;
+                if depth < zbuf[idx] {
+                    zbuf[idx] = depth;
+                    img.pixels[idx] = shade;
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives;
+
+    #[test]
+    fn sphere_renders_a_disk() {
+        let mesh = primitives::uv_sphere(1.0, 24, 12);
+        let img = render(&mesh, &RenderParams::default());
+        // The frame is fitted to the bounding *box* diagonal (√3·r for
+        // a sphere), so the projected disk covers roughly
+        // π/4 · (0.85/√3)² ≈ 0.19 of the frame.
+        let cov = img.coverage();
+        assert!(cov > 0.12 && cov < 0.30, "coverage {cov}");
+        // Center pixel is lit; corner pixel is background.
+        assert!(img.get(128, 128) > 0);
+        assert_eq!(img.get(2, 2), 0);
+    }
+
+    #[test]
+    fn nearer_surface_wins_depth_test() {
+        // Two parallel plates; the nearer one (along the view) must
+        // own the center pixel. View direction -z means the plate with
+        // larger z is nearer.
+        let mut near = primitives::box_mesh(Vec3::new(2.0, 2.0, 0.1));
+        near.translate(Vec3::new(0.0, 0.0, 1.0));
+        let mut far = primitives::box_mesh(Vec3::new(2.0, 2.0, 0.1));
+        far.translate(Vec3::new(0.0, 0.0, -1.0));
+
+        let params = RenderParams {
+            view_dir: Vec3::new(0.0, 0.0, -1.0),
+            light_dir: Vec3::new(0.3, 0.0, -1.0),
+            ..Default::default()
+        };
+        // Render each alone to learn its shade at center.
+        let near_only = render(&near, &params);
+        let shade_near = near_only.get(128, 128);
+
+        let mut both = near.clone();
+        both.append(&far);
+        let img = render(&both, &params);
+        assert_eq!(img.get(128, 128), shade_near, "far plate leaked through");
+    }
+
+    #[test]
+    fn rod_occupies_less_than_plate() {
+        let rod = render(&primitives::cylinder(0.2, 6.0, 16), &RenderParams::default());
+        let plate = render(
+            &primitives::box_mesh(Vec3::new(3.0, 3.0, 0.2)),
+            &RenderParams::default(),
+        );
+        assert!(rod.coverage() < plate.coverage());
+        assert!(rod.coverage() > 0.01, "rod invisible");
+    }
+
+    #[test]
+    fn pgm_output_is_well_formed() {
+        let img = render(&primitives::uv_sphere(1.0, 12, 6), &RenderParams {
+            width: 64,
+            height: 48,
+            ..Default::default()
+        });
+        let mut buf = Vec::new();
+        img.write_pgm(&mut buf).unwrap();
+        let header = b"P5\n64 48\n255\n";
+        assert!(buf.starts_with(header));
+        assert_eq!(buf.len(), header.len() + 64 * 48);
+    }
+
+    #[test]
+    fn empty_mesh_renders_black() {
+        let img = render(&TriMesh::default(), &RenderParams::default());
+        assert_eq!(img.coverage(), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+
+use tdess_geom::eigen::{sym3_eigen, sym_eigenvalues};
+use tdess_geom::extrude::extrude;
+use tdess_geom::mat3::Mat3;
+use tdess_geom::mesh::TriMesh;
+use tdess_geom::moments::mesh_moments;
+use tdess_geom::polygon::{regular_ngon, triangulate, triangulation_area, Polygon, P2};
+use tdess_geom::primitives;
+use tdess_geom::vec3::Vec3;
+
+fn arb_unit_axis() -> impl Strategy<Value = Vec3> {
+    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0)
+        .prop_filter_map("axis too short", |(x, y, z)| {
+            Vec3::new(x, y, z).normalized()
+        })
+}
+
+fn arb_rotation() -> impl Strategy<Value = Mat3> {
+    (arb_unit_axis(), 0.0f64..std::f64::consts::TAU)
+        .prop_map(|(axis, angle)| Mat3::rotation_axis_angle(axis, angle))
+}
+
+fn arb_box() -> impl Strategy<Value = TriMesh> {
+    (0.1f64..5.0, 0.1f64..5.0, 0.1f64..5.0)
+        .prop_map(|(x, y, z)| primitives::box_mesh(Vec3::new(x, y, z)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rotations preserve volume, surface area, and the eigenvalues of
+    /// the central second-moment matrix.
+    #[test]
+    fn rigid_motion_invariants(mesh in arb_box(), r in arb_rotation(),
+                               tx in -10.0f64..10.0, ty in -10.0f64..10.0, tz in -10.0f64..10.0) {
+        let m0 = mesh_moments(&mesh).central();
+        let e0 = sym3_eigen(&m0.second_moment_matrix());
+
+        let mut moved = mesh.clone();
+        moved.rotate(&r);
+        moved.translate(Vec3::new(tx, ty, tz));
+        let m1 = mesh_moments(&moved).central();
+        let e1 = sym3_eigen(&m1.second_moment_matrix());
+
+        prop_assert!((m0.m000 - m1.m000).abs() < 1e-8 * (1.0 + m0.m000.abs()));
+        prop_assert!((mesh.surface_area() - moved.surface_area()).abs() < 1e-8 * (1.0 + mesh.surface_area()));
+        prop_assert!(e0.values.approx_eq(e1.values, 1e-6 * (1.0 + e0.values.x.abs())));
+    }
+
+    /// The analytic rotation rule for moments matches recomputation.
+    #[test]
+    fn moment_rotation_rule(mesh in arb_box(), r in arb_rotation()) {
+        let m = mesh_moments(&mesh);
+        let mut rotated = mesh.clone();
+        rotated.rotate(&r);
+        let direct = mesh_moments(&rotated);
+        let rule = m.rotated(&r);
+        prop_assert!((direct.m200 - rule.m200).abs() < 1e-8 * (1.0 + rule.m200.abs()));
+        prop_assert!((direct.m110 - rule.m110).abs() < 1e-8 * (1.0 + rule.m110.abs()));
+        prop_assert!((direct.m101 - rule.m101).abs() < 1e-8 * (1.0 + rule.m101.abs()));
+    }
+
+    /// Scaling rule: m_lmn scales with s^(l+m+n+3).
+    #[test]
+    fn moment_scaling_rule(mesh in arb_box(), s in 0.1f64..4.0) {
+        let m = mesh_moments(&mesh);
+        let mut scaled = mesh.clone();
+        scaled.scale_uniform(s);
+        let direct = mesh_moments(&scaled);
+        let rule = m.scaled(s);
+        prop_assert!((direct.m000 - rule.m000).abs() < 1e-9 * (1.0 + rule.m000.abs()));
+        prop_assert!((direct.m200 - rule.m200).abs() < 1e-9 * (1.0 + rule.m200.abs()));
+    }
+
+    /// Triangulating a random convex polygon covers its area exactly
+    /// and emits n-2 triangles.
+    #[test]
+    fn convex_triangulation_area(n in 3usize..40, r in 0.1f64..10.0, phase in 0.0f64..6.2) {
+        let p = Polygon::simple(regular_ngon(n, r, 0.0, 0.0, phase));
+        let tris = triangulate(&p);
+        prop_assert_eq!(tris.len(), n - 2);
+        let ta = triangulation_area(&p, &tris);
+        prop_assert!((ta - p.area()).abs() < 1e-9 * (1.0 + p.area()));
+    }
+
+    /// Plates with 1-4 random non-overlapping holes triangulate to the
+    /// correct area, and their extrusions are watertight.
+    #[test]
+    fn holed_plate_triangulation(
+        k in 1usize..5,
+        hn in 4usize..12,
+        hr in 0.05f64..0.18,
+        phase in 0.0f64..6.0,
+    ) {
+        // Hole centers on a fixed grid keep them disjoint for any radius < 0.25.
+        let centers = [(-0.5, -0.5), (0.5, -0.5), (0.5, 0.5), (-0.5, 0.5)];
+        let holes: Vec<Vec<P2>> = centers[..k]
+            .iter()
+            .map(|&(cx, cy)| regular_ngon(hn, hr, cx, cy, phase))
+            .collect();
+        let p = Polygon::new(
+            tdess_geom::polygon::rect_ring(-1.0, -1.0, 1.0, 1.0),
+            holes,
+        );
+        let tris = triangulate(&p);
+        let ta = triangulation_area(&p, &tris);
+        prop_assert!((ta - p.area()).abs() < 1e-9 * (1.0 + p.area()),
+                     "area {} vs {}", ta, p.area());
+
+        let mesh = extrude(&p, 0.5);
+        prop_assert!(mesh.is_watertight(), "{:?}", mesh.validate());
+        prop_assert!((mesh.signed_volume() - 0.5 * p.area()).abs() < 1e-8);
+    }
+
+    /// Jacobi eigenvalues of R D Rᵀ recover the diagonal.
+    #[test]
+    fn eigen_recovers_spectrum(r in arb_rotation(),
+                               a in -10.0f64..10.0, b in -10.0f64..10.0, c in -10.0f64..10.0) {
+        let d = Mat3::diagonal(Vec3::new(a, b, c));
+        let m = r * d * r.transpose();
+        let e = sym3_eigen(&m);
+        let mut expected = [a, b, c];
+        expected.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        prop_assert!((e.values.x - expected[0]).abs() < 1e-8);
+        prop_assert!((e.values.y - expected[1]).abs() < 1e-8);
+        prop_assert!((e.values.z - expected[2]).abs() < 1e-8);
+    }
+
+    /// Eigenvalue sum equals trace and the spectrum is rotation-order
+    /// independent for random symmetric matrices up to 10×10.
+    #[test]
+    fn nxn_eigen_trace(n in 1usize..10, seed in 0u64..1000) {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        let mut m = vec![0.0; n * n];
+        for r in 0..n {
+            for c in r..n {
+                let v = next();
+                m[r * n + c] = v;
+                m[c * n + r] = v;
+            }
+        }
+        let trace: f64 = (0..n).map(|i| m[i * n + i]).sum();
+        let vals = sym_eigenvalues(&m, n);
+        prop_assert_eq!(vals.len(), n);
+        let sum: f64 = vals.iter().sum();
+        prop_assert!((sum - trace).abs() < 1e-8 * (1.0 + trace.abs()));
+        // Sorted descending.
+        for w in vals.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    /// STL binary round-trip preserves triangle count and volume to
+    /// f32 precision.
+    #[test]
+    fn stl_roundtrip(mesh in arb_box()) {
+        let mut buf = Vec::new();
+        tdess_geom::io::write_stl_binary(&mesh, &mut buf).unwrap();
+        let got = tdess_geom::io::read_stl(&mut buf.as_slice(), 1e-5).unwrap();
+        prop_assert_eq!(got.num_triangles(), mesh.num_triangles());
+        let rel = (got.signed_volume() - mesh.signed_volume()).abs() / mesh.signed_volume();
+        prop_assert!(rel < 1e-4);
+    }
+}

@@ -1,0 +1,19 @@
+//! # tdess-index — multidimensional access methods for 3DESS
+//!
+//! Implements §2.3 of the paper: an R-tree index over feature-space
+//! points (Guttman quadratic split; range, similarity-ball, and
+//! best-first kNN queries with MINDIST pruning) plus a linear-scan
+//! baseline, both instrumented with node-access counters for the
+//! index-efficiency experiment.
+
+#![warn(missing_docs)]
+
+pub mod linear;
+pub mod rect;
+pub mod rtree;
+pub mod stats;
+
+pub use linear::LinearScan;
+pub use rect::Rect;
+pub use rtree::{RTree, RTreeConfig};
+pub use stats::QueryStats;

@@ -1,0 +1,145 @@
+//! Linear-scan baseline with the same query API as the R-tree.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rect::Rect;
+use crate::stats::QueryStats;
+
+/// A flat list of points, scanned exhaustively for every query. The
+/// baseline the index-efficiency experiment compares against.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinearScan<T> {
+    dim: usize,
+    entries: Vec<(Vec<f64>, T)>,
+}
+
+impl<T: Clone> LinearScan<T> {
+    /// Creates an empty scan structure for `dim`-dimensional points.
+    pub fn new(dim: usize) -> LinearScan<T> {
+        assert!(dim > 0, "dimension must be positive");
+        LinearScan {
+            dim,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a point with payload.
+    pub fn insert(&mut self, point: Vec<f64>, payload: T) {
+        assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        self.entries.push((point, payload));
+    }
+
+    /// Removes one matching point; returns its payload.
+    pub fn remove(&mut self, point: &[f64], pred: impl Fn(&T) -> bool) -> Option<T> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|(p, t)| p.as_slice() == point && pred(t))?;
+        Some(self.entries.swap_remove(pos).1)
+    }
+
+    /// All points inside `rect`.
+    pub fn range(&self, rect: &Rect, stats: &mut QueryStats) -> Vec<(&[f64], &T)> {
+        stats.nodes_visited += 1;
+        stats.leaves_visited += 1;
+        self.entries
+            .iter()
+            .inspect(|_| stats.entries_checked += 1)
+            .filter(|(p, _)| rect.contains_point(p))
+            .map(|(p, t)| (p.as_slice(), t))
+            .collect()
+    }
+
+    /// All points within `radius` of `center`, sorted by distance.
+    pub fn within_distance(
+        &self,
+        center: &[f64],
+        radius: f64,
+        stats: &mut QueryStats,
+    ) -> Vec<(&[f64], &T, f64)> {
+        stats.nodes_visited += 1;
+        stats.leaves_visited += 1;
+        let r2 = radius * radius;
+        let mut out: Vec<(&[f64], &T, f64)> = self
+            .entries
+            .iter()
+            .inspect(|_| stats.entries_checked += 1)
+            .filter_map(|(p, t)| {
+                let d2: f64 = p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2 <= r2).then(|| (p.as_slice(), t, d2.sqrt()))
+            })
+            .collect();
+        out.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances"));
+        out
+    }
+
+    /// The `k` nearest neighbors of `center`, nearest first.
+    pub fn knn(&self, center: &[f64], k: usize, stats: &mut QueryStats) -> Vec<(&[f64], &T, f64)> {
+        stats.nodes_visited += 1;
+        stats.leaves_visited += 1;
+        let mut all: Vec<(&[f64], &T, f64)> = self
+            .entries
+            .iter()
+            .inspect(|_| stats.entries_checked += 1)
+            .map(|(p, t)| {
+                let d2: f64 = p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
+                (p.as_slice(), t, d2.sqrt())
+            })
+            .collect();
+        all.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances"));
+        all.truncate(k);
+        all
+    }
+
+    /// Iterates over all stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], &T)> {
+        self.entries.iter().map(|(p, t)| (p.as_slice(), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_queries() {
+        let mut s: LinearScan<u32> = LinearScan::new(2);
+        s.insert(vec![0.0, 0.0], 0);
+        s.insert(vec![1.0, 0.0], 1);
+        s.insert(vec![5.0, 5.0], 2);
+        assert_eq!(s.len(), 3);
+
+        let mut stats = QueryStats::default();
+        let knn = s.knn(&[0.2, 0.0], 2, &mut stats);
+        assert_eq!(*knn[0].1, 0);
+        assert_eq!(*knn[1].1, 1);
+        assert_eq!(stats.entries_checked, 3);
+
+        let ball = s.within_distance(&[0.0, 0.0], 1.5, &mut stats);
+        assert_eq!(ball.len(), 2);
+
+        let rect = Rect::new(vec![4.0, 4.0], vec![6.0, 6.0]);
+        let range = s.range(&rect, &mut stats);
+        assert_eq!(range.len(), 1);
+        assert_eq!(*range[0].1, 2);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut s: LinearScan<u32> = LinearScan::new(1);
+        s.insert(vec![1.0], 7);
+        assert_eq!(s.remove(&[1.0], |&t| t == 7), Some(7));
+        assert_eq!(s.remove(&[1.0], |&t| t == 7), None);
+        assert!(s.is_empty());
+    }
+}

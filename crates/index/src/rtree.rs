@@ -1,0 +1,841 @@
+//! An R-tree over feature-space points (§2.3 of the paper).
+//!
+//! Classic Guttman R-tree with quadratic split, storing points at the
+//! leaves. Supports range queries, similarity-ball queries, and
+//! best-first k-nearest-neighbor search with MINDIST pruning
+//! (Roussopoulos et al. / Hjaltason & Samet). All traversals are
+//! instrumented with node-access counters so the index-efficiency
+//! experiment can compare against a linear scan.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rect::Rect;
+use crate::stats::QueryStats;
+
+/// Tree fan-out configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RTreeConfig {
+    /// Maximum entries per node before a split (Guttman's `M`).
+    pub max_entries: usize,
+    /// Minimum entries per node (Guttman's `m ≤ M/2`).
+    pub min_entries: usize,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        RTreeConfig {
+            max_entries: 16,
+            min_entries: 6,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node<T> {
+    Leaf(Vec<(Vec<f64>, T)>),
+    Inner(Vec<(Rect, Node<T>)>),
+}
+
+impl<T> Node<T> {
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf(e) => e.len(),
+            Node::Inner(e) => e.len(),
+        }
+    }
+
+    fn bounding_rect(&self, dim: usize) -> Rect {
+        let mut r: Option<Rect> = None;
+        match self {
+            Node::Leaf(entries) => {
+                for (p, _) in entries {
+                    let pr = Rect::from_point(p);
+                    match &mut r {
+                        Some(acc) => acc.union_in_place(&pr),
+                        None => r = Some(pr),
+                    }
+                }
+            }
+            Node::Inner(entries) => {
+                for (er, _) in entries {
+                    match &mut r {
+                        Some(acc) => acc.union_in_place(er),
+                        None => r = Some(er.clone()),
+                    }
+                }
+            }
+        }
+        r.unwrap_or_else(|| Rect::new(vec![0.0; dim], vec![0.0; dim]))
+    }
+}
+
+/// A point R-tree with payloads of type `T`.
+///
+/// ```
+/// use tdess_index::{QueryStats, RTree};
+///
+/// let mut tree: RTree<&str> = RTree::with_dim(2);
+/// tree.insert(vec![0.0, 0.0], "origin");
+/// tree.insert(vec![5.0, 5.0], "far");
+///
+/// let mut stats = QueryStats::default();
+/// let nearest = tree.knn(&[0.2, 0.1], 1, &mut stats);
+/// assert_eq!(*nearest[0].1, "origin");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RTree<T> {
+    config: RTreeConfig,
+    dim: usize,
+    len: usize,
+    root: Node<T>,
+}
+
+impl<T: Clone> RTree<T> {
+    /// Creates an empty tree for `dim`-dimensional points.
+    pub fn new(dim: usize, config: RTreeConfig) -> RTree<T> {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            config.min_entries >= 1 && config.min_entries * 2 <= config.max_entries,
+            "need 1 <= min_entries <= max_entries/2"
+        );
+        RTree {
+            config,
+            dim,
+            len: 0,
+            root: Node::Leaf(Vec::new()),
+        }
+    }
+
+    /// Creates an empty tree with the default fan-out.
+    pub fn with_dim(dim: usize) -> RTree<T> {
+        RTree::new(dim, RTreeConfig::default())
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Point dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Inner(entries) = node {
+            h += 1;
+            node = &entries[0].1;
+        }
+        h
+    }
+
+    /// Inserts a point with payload.
+    pub fn insert(&mut self, point: Vec<f64>, payload: T) {
+        assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        assert!(point.iter().all(|v| v.is_finite()), "point must be finite");
+        self.len += 1;
+        if let Some((r1, n1, r2, n2)) = Self::insert_rec(
+            &mut self.root,
+            point,
+            payload,
+            &self.config,
+            self.dim,
+        ) {
+            // Root split: grow the tree.
+            self.root = Node::Inner(vec![(r1, n1), (r2, n2)]);
+        }
+    }
+
+    /// Recursive insert; returns `Some(split)` if the child split and
+    /// the parent must absorb two nodes instead of one.
+    fn insert_rec(
+        node: &mut Node<T>,
+        point: Vec<f64>,
+        payload: T,
+        config: &RTreeConfig,
+        dim: usize,
+    ) -> Option<(Rect, Node<T>, Rect, Node<T>)> {
+        match node {
+            Node::Leaf(entries) => {
+                entries.push((point, payload));
+                if entries.len() > config.max_entries {
+                    let (a, b) = split_leaf(std::mem::take(entries), config);
+                    let ra = a.bounding_rect(dim);
+                    let rb = b.bounding_rect(dim);
+                    return Some((ra, a, rb, b));
+                }
+                None
+            }
+            Node::Inner(entries) => {
+                // ChooseLeaf: least enlargement, ties by smallest volume.
+                let pr = Rect::from_point(&point);
+                let mut best = 0usize;
+                let mut best_enl = f64::INFINITY;
+                let mut best_vol = f64::INFINITY;
+                for (i, (r, _)) in entries.iter().enumerate() {
+                    let enl = r.enlargement(&pr);
+                    let vol = r.volume();
+                    if enl < best_enl || (enl == best_enl && vol < best_vol) {
+                        best = i;
+                        best_enl = enl;
+                        best_vol = vol;
+                    }
+                }
+                let split = Self::insert_rec(&mut entries[best].1, point, payload, config, dim);
+                match split {
+                    None => {
+                        // Tighten the bounding rect.
+                        entries[best].0 = entries[best].1.bounding_rect(dim);
+                        None
+                    }
+                    Some((ra, a, rb, b)) => {
+                        entries.remove(best);
+                        entries.push((ra, a));
+                        entries.push((rb, b));
+                        if entries.len() > config.max_entries {
+                            let (x, y) = split_inner(std::mem::take(entries), config);
+                            let rx = x.bounding_rect(dim);
+                            let ry = y.bounding_rect(dim);
+                            return Some((rx, x, ry, y));
+                        }
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes one point equal to `point` (exact comparison) whose
+    /// payload satisfies `pred`. Returns the payload if found.
+    /// Underflowed nodes are condensed by reinserting their entries.
+    pub fn remove(&mut self, point: &[f64], pred: impl Fn(&T) -> bool) -> Option<T> {
+        assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        let mut orphans: Vec<(Vec<f64>, T)> = Vec::new();
+        let removed = Self::remove_rec(
+            &mut self.root,
+            point,
+            &pred,
+            self.config.min_entries,
+            &mut orphans,
+        )?;
+        self.len -= 1;
+        // Collapse a root with a single inner child.
+        loop {
+            let replace = match &mut self.root {
+                Node::Inner(entries) if entries.len() == 1 => {
+                    let (_, child) = entries.pop().expect("len checked");
+                    Some(child)
+                }
+                _ => None,
+            };
+            match replace {
+                Some(child) => self.root = child,
+                None => break,
+            }
+        }
+        let n_orphans = orphans.len();
+        for (p, t) in orphans {
+            self.insert(p, t);
+        }
+        self.len -= n_orphans; // inserts incremented; net unchanged
+        Some(removed)
+    }
+
+    fn remove_rec(
+        node: &mut Node<T>,
+        point: &[f64],
+        pred: &impl Fn(&T) -> bool,
+        min_entries: usize,
+        orphans: &mut Vec<(Vec<f64>, T)>,
+    ) -> Option<T> {
+        match node {
+            Node::Leaf(entries) => {
+                let pos = entries
+                    .iter()
+                    .position(|(p, t)| p.as_slice() == point && pred(t))?;
+                let (_, t) = entries.remove(pos);
+                Some(t)
+            }
+            Node::Inner(entries) => {
+                let dim = point.len();
+                for i in 0..entries.len() {
+                    if !entries[i].0.contains_point(point) {
+                        continue;
+                    }
+                    if let Some(t) =
+                        Self::remove_rec(&mut entries[i].1, point, pred, min_entries, orphans)
+                    {
+                        if entries[i].1.len() < min_entries {
+                            // Condense: orphan the whole child.
+                            let (_, child) = entries.remove(i);
+                            collect_entries(child, orphans);
+                        } else {
+                            entries[i].0 = entries[i].1.bounding_rect(dim);
+                        }
+                        return Some(t);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// All points inside `rect` (boundary inclusive).
+    pub fn range(&self, rect: &Rect, stats: &mut QueryStats) -> Vec<(&[f64], &T)> {
+        let mut out = Vec::new();
+        let mut stack = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            stats.nodes_visited += 1;
+            match node {
+                Node::Leaf(entries) => {
+                    stats.leaves_visited += 1;
+                    for (p, t) in entries {
+                        stats.entries_checked += 1;
+                        if rect.contains_point(p) {
+                            out.push((p.as_slice(), t));
+                        }
+                    }
+                }
+                Node::Inner(entries) => {
+                    for (r, child) in entries {
+                        stats.entries_checked += 1;
+                        if r.intersects(rect) {
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All points within Euclidean distance `radius` of `center`.
+    pub fn within_distance(
+        &self,
+        center: &[f64],
+        radius: f64,
+        stats: &mut QueryStats,
+    ) -> Vec<(&[f64], &T, f64)> {
+        let r2 = radius * radius;
+        let mut out = Vec::new();
+        let mut stack = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            stats.nodes_visited += 1;
+            match node {
+                Node::Leaf(entries) => {
+                    stats.leaves_visited += 1;
+                    for (p, t) in entries {
+                        stats.entries_checked += 1;
+                        let d2 = dist_sq(p, center);
+                        if d2 <= r2 {
+                            out.push((p.as_slice(), t, d2.sqrt()));
+                        }
+                    }
+                }
+                Node::Inner(entries) => {
+                    for (r, child) in entries {
+                        stats.entries_checked += 1;
+                        if r.min_dist_sq(center) <= r2 {
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances"));
+        out
+    }
+
+    /// The `k` nearest neighbors of `center`, nearest first, via
+    /// best-first search on a priority queue of MINDIST values.
+    pub fn knn(&self, center: &[f64], k: usize, stats: &mut QueryStats) -> Vec<(&[f64], &T, f64)> {
+        use std::collections::BinaryHeap;
+
+        enum Item<'a, T> {
+            Node(&'a Node<T>),
+            Point(&'a [f64], &'a T),
+        }
+
+        // Min-heap on (distance², insertion order).
+        struct HeapEntry<'a, T> {
+            d2: f64,
+            seq: usize,
+            item: Item<'a, T>,
+        }
+        impl<T> PartialEq for HeapEntry<'_, T> {
+            fn eq(&self, other: &Self) -> bool {
+                self.d2 == other.d2 && self.seq == other.seq
+            }
+        }
+        impl<T> Eq for HeapEntry<'_, T> {}
+        impl<T> PartialOrd for HeapEntry<'_, T> {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<T> Ord for HeapEntry<'_, T> {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reversed: BinaryHeap is a max-heap, we want min-d2 first.
+                other
+                    .d2
+                    .partial_cmp(&self.d2)
+                    .expect("finite distance")
+                    .then(other.seq.cmp(&self.seq))
+            }
+        }
+
+        let mut heap: BinaryHeap<HeapEntry<'_, T>> = BinaryHeap::new();
+        let mut tiebreak = 0usize;
+        heap.push(HeapEntry {
+            d2: 0.0,
+            seq: tiebreak,
+            item: Item::Node(&self.root),
+        });
+        let mut out = Vec::with_capacity(k);
+
+        while let Some(HeapEntry { d2, item, .. }) = heap.pop() {
+            if out.len() >= k {
+                break;
+            }
+            match item {
+                Item::Point(p, t) => out.push((p, t, d2.sqrt())),
+                Item::Node(node) => {
+                    stats.nodes_visited += 1;
+                    match node {
+                        Node::Leaf(entries) => {
+                            stats.leaves_visited += 1;
+                            for (p, t) in entries {
+                                stats.entries_checked += 1;
+                                tiebreak += 1;
+                                heap.push(HeapEntry {
+                                    d2: dist_sq(p, center),
+                                    seq: tiebreak,
+                                    item: Item::Point(p, t),
+                                });
+                            }
+                        }
+                        Node::Inner(entries) => {
+                            for (r, child) in entries {
+                                stats.entries_checked += 1;
+                                tiebreak += 1;
+                                heap.push(HeapEntry {
+                                    d2: r.min_dist_sq(center),
+                                    seq: tiebreak,
+                                    item: Item::Node(child),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over all stored (point, payload) pairs.
+    pub fn iter(&self) -> Vec<(&[f64], &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            match node {
+                Node::Leaf(entries) => {
+                    out.extend(entries.iter().map(|(p, t)| (p.as_slice(), t)));
+                }
+                Node::Inner(entries) => stack.extend(entries.iter().map(|(_, c)| c)),
+            }
+        }
+        out
+    }
+
+    /// Checks structural invariants (for tests): bounding rectangles
+    /// cover children, node occupancy within [min, max] except the
+    /// root, uniform leaf depth.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn depth_of<T>(node: &Node<T>) -> usize {
+            match node {
+                Node::Leaf(_) => 1,
+                Node::Inner(entries) => 1 + depth_of(&entries[0].1),
+            }
+        }
+        fn rec<T>(
+            node: &Node<T>,
+            dim: usize,
+            config: &RTreeConfig,
+            depth: usize,
+            leaf_depth: usize,
+            is_root: bool,
+        ) -> Result<usize, String> {
+            match node {
+                Node::Leaf(entries) => {
+                    if depth != leaf_depth {
+                        return Err(format!("leaf at depth {depth}, expected {leaf_depth}"));
+                    }
+                    if !is_root && entries.len() < config.min_entries {
+                        return Err(format!("leaf underflow: {}", entries.len()));
+                    }
+                    if entries.len() > config.max_entries {
+                        return Err(format!("leaf overflow: {}", entries.len()));
+                    }
+                    Ok(entries.len())
+                }
+                Node::Inner(entries) => {
+                    if !is_root && entries.len() < config.min_entries {
+                        return Err(format!("inner underflow: {}", entries.len()));
+                    }
+                    if entries.len() > config.max_entries {
+                        return Err(format!("inner overflow: {}", entries.len()));
+                    }
+                    let mut total = 0;
+                    for (r, child) in entries {
+                        let cr = child.bounding_rect(dim);
+                        if !(r.contains_point(&cr.min) && r.contains_point(&cr.max)) {
+                            return Err("bounding rect does not cover child".into());
+                        }
+                        total += rec(child, dim, config, depth + 1, leaf_depth, false)?;
+                    }
+                    Ok(total)
+                }
+            }
+        }
+        let leaf_depth = depth_of(&self.root);
+        let count = rec(&self.root, self.dim, &self.config, 1, leaf_depth, true)?;
+        if count != self.len {
+            return Err(format!("stored count {count} != len {}", self.len));
+        }
+        Ok(())
+    }
+}
+
+/// Collects all leaf entries beneath `node` into `out`.
+fn collect_entries<T>(node: Node<T>, out: &mut Vec<(Vec<f64>, T)>) {
+    match node {
+        Node::Leaf(entries) => out.extend(entries),
+        Node::Inner(entries) => {
+            for (_, child) in entries {
+                collect_entries(child, out);
+            }
+        }
+    }
+}
+
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Quadratic split (Guttman): pick the pair of entries wasting the
+/// most area as seeds, then assign the rest greedily by enlargement.
+fn split_leaf<T>(entries: Vec<(Vec<f64>, T)>, config: &RTreeConfig) -> (Node<T>, Node<T>) {
+    let rects: Vec<Rect> = entries.iter().map(|(p, _)| Rect::from_point(p)).collect();
+    let (ga, gb) = quadratic_split_assign(&rects, config);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for (i, e) in entries.into_iter().enumerate() {
+        if ga.contains(&i) {
+            a.push(e);
+        } else {
+            debug_assert!(gb.contains(&i));
+            b.push(e);
+        }
+    }
+    (Node::Leaf(a), Node::Leaf(b))
+}
+
+fn split_inner<T>(entries: Vec<(Rect, Node<T>)>, config: &RTreeConfig) -> (Node<T>, Node<T>) {
+    let rects: Vec<Rect> = entries.iter().map(|(r, _)| r.clone()).collect();
+    let (ga, gb) = quadratic_split_assign(&rects, config);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for (i, e) in entries.into_iter().enumerate() {
+        if ga.contains(&i) {
+            a.push(e);
+        } else {
+            debug_assert!(gb.contains(&i));
+            b.push(e);
+        }
+    }
+    (Node::Inner(a), Node::Inner(b))
+}
+
+/// Returns the index sets of the two split groups.
+fn quadratic_split_assign(
+    rects: &[Rect],
+    config: &RTreeConfig,
+) -> (std::collections::HashSet<usize>, std::collections::HashSet<usize>) {
+    let n = rects.len();
+    debug_assert!(n >= 2);
+    // PickSeeds: pair with the greatest dead space.
+    let (mut s1, mut s2, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dead = rects[i].union(&rects[j]).volume() - rects[i].volume() - rects[j].volume();
+            if dead > worst {
+                worst = dead;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    let mut ga: std::collections::HashSet<usize> = [s1].into();
+    let mut gb: std::collections::HashSet<usize> = [s2].into();
+    let mut ra = rects[s1].clone();
+    let mut rb = rects[s2].clone();
+    let mut rest: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
+
+    while !rest.is_empty() {
+        // Force assignment when one group must absorb all remaining to
+        // reach min_entries.
+        if ga.len() + rest.len() == config.min_entries {
+            for i in rest.drain(..) {
+                ga.insert(i);
+            }
+            break;
+        }
+        if gb.len() + rest.len() == config.min_entries {
+            for i in rest.drain(..) {
+                gb.insert(i);
+            }
+            break;
+        }
+        // PickNext: entry with the greatest preference difference.
+        let (mut pick, mut pick_pos, mut best_diff) = (rest[0], 0usize, f64::NEG_INFINITY);
+        for (pos, &i) in rest.iter().enumerate() {
+            let da = ra.enlargement(&rects[i]);
+            let db = rb.enlargement(&rects[i]);
+            let diff = (da - db).abs();
+            if diff > best_diff {
+                best_diff = diff;
+                pick = i;
+                pick_pos = pos;
+            }
+        }
+        rest.swap_remove(pick_pos);
+        let da = ra.enlargement(&rects[pick]);
+        let db = rb.enlargement(&rects[pick]);
+        let to_a = match da.partial_cmp(&db).expect("finite enlargements") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                // Ties: smaller volume, then fewer entries.
+                if ra.volume() != rb.volume() {
+                    ra.volume() < rb.volume()
+                } else {
+                    ga.len() <= gb.len()
+                }
+            }
+        };
+        if to_a {
+            ga.insert(pick);
+            ra.union_in_place(&rects[pick]);
+        } else {
+            gb.insert(pick);
+            rb.union_in_place(&rects[pick]);
+        }
+    }
+    (ga, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points_2d(n: usize) -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                pts.push(vec![i as f64, j as f64]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut t: RTree<usize> = RTree::with_dim(2);
+        assert!(t.is_empty());
+        for (i, p) in grid_points_2d(10).into_iter().enumerate() {
+            t.insert(p, i);
+        }
+        assert_eq!(t.len(), 100);
+        assert!(t.height() > 1, "tree should have split");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let mut t: RTree<usize> = RTree::with_dim(2);
+        let pts = grid_points_2d(12);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i);
+        }
+        let rect = Rect::new(vec![2.5, 3.0], vec![6.0, 7.5]);
+        let mut stats = QueryStats::default();
+        let got: Vec<usize> = {
+            let mut ids: Vec<usize> = t.range(&rect, &mut stats).iter().map(|(_, &t)| t).collect();
+            ids.sort_unstable();
+            ids
+        };
+        let mut want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| rect.contains_point(p))
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(stats.nodes_visited > 0);
+    }
+
+    #[test]
+    fn knn_returns_sorted_nearest() {
+        let mut t: RTree<usize> = RTree::with_dim(2);
+        let pts = grid_points_2d(12);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i);
+        }
+        let q = [5.2, 5.7];
+        let mut stats = QueryStats::default();
+        let got = t.knn(&q, 5, &mut stats);
+        assert_eq!(got.len(), 5);
+        // Distances non-decreasing.
+        for w in got.windows(2) {
+            assert!(w[0].2 <= w[1].2 + 1e-12);
+        }
+        // Matches brute force.
+        let mut brute: Vec<(usize, f64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, ((p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2)).sqrt()))
+            .collect();
+        brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for (g, b) in got.iter().zip(&brute) {
+            assert!((g.2 - b.1).abs() < 1e-12);
+        }
+        // Best-first must prune: visiting every node would defeat the
+        // index.
+        let total_nodes = {
+            // crude upper bound: every leaf holds >= min_entries
+            144 / 6 + 10
+        };
+        assert!(stats.nodes_visited < total_nodes, "no pruning happened");
+    }
+
+    #[test]
+    fn within_distance_matches_brute_force() {
+        let mut t: RTree<usize> = RTree::with_dim(3);
+        let mut pts = Vec::new();
+        // Deterministic pseudo-random points.
+        let mut s = 7u64;
+        let mut rnd = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 10.0
+        };
+        for i in 0..500 {
+            let p = vec![rnd(), rnd(), rnd()];
+            pts.push(p.clone());
+            t.insert(p, i);
+        }
+        let q = [5.0, 5.0, 5.0];
+        let mut stats = QueryStats::default();
+        let got: Vec<usize> = t
+            .within_distance(&q, 2.0, &mut stats)
+            .iter()
+            .map(|(_, &i, _)| i)
+            .collect();
+        let want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                let d2: f64 = p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                d2 <= 4.0
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut got_sorted = got.clone();
+        got_sorted.sort_unstable();
+        assert_eq!(got_sorted, want);
+        // Results sorted by distance.
+        let ds: Vec<f64> = t
+            .within_distance(&q, 2.0, &mut QueryStats::default())
+            .iter()
+            .map(|r| r.2)
+            .collect();
+        for w in ds.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn remove_then_query() {
+        let mut t: RTree<usize> = RTree::with_dim(2);
+        let pts = grid_points_2d(8);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i);
+        }
+        // Remove a handful.
+        for i in [0usize, 17, 33, 63] {
+            let removed = t.remove(&pts[i], |&p| p == i);
+            assert_eq!(removed, Some(i));
+        }
+        assert_eq!(t.len(), 60);
+        t.check_invariants().unwrap();
+        // Removed points are gone from knn of themselves.
+        let mut stats = QueryStats::default();
+        let nn = t.knn(&pts[17], 1, &mut stats);
+        assert_ne!(*nn[0].1, 17);
+        // Removing a non-existent point is None.
+        assert_eq!(t.remove(&[100.0, 100.0], |_| true), None);
+    }
+
+    #[test]
+    fn duplicate_points_supported() {
+        let mut t: RTree<u32> = RTree::with_dim(2);
+        for i in 0..10 {
+            t.insert(vec![1.0, 1.0], i);
+        }
+        assert_eq!(t.len(), 10);
+        let mut stats = QueryStats::default();
+        let got = t.knn(&[1.0, 1.0], 10, &mut stats);
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|g| g.2 == 0.0));
+    }
+
+    #[test]
+    fn knn_k_larger_than_len() {
+        let mut t: RTree<u32> = RTree::with_dim(2);
+        t.insert(vec![0.0, 0.0], 1);
+        t.insert(vec![1.0, 0.0], 2);
+        let got = t.knn(&[0.0, 0.0], 10, &mut QueryStats::default());
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_rejected() {
+        let mut t: RTree<u32> = RTree::with_dim(3);
+        t.insert(vec![1.0, 2.0], 0);
+    }
+
+    #[test]
+    fn invariants_hold_under_churn() {
+        let mut t: RTree<usize> = RTree::new(2, RTreeConfig { max_entries: 8, min_entries: 3 });
+        let pts = grid_points_2d(15);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i);
+            if i % 7 == 0 && i > 0 {
+                let victim = i / 2;
+                t.remove(&pts[victim], |&p| p == victim);
+            }
+        }
+        t.check_invariants().unwrap();
+    }
+}

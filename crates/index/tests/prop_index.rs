@@ -1,0 +1,129 @@
+//! Property tests: the R-tree must agree with the linear scan on every
+//! query, for any point set and any fan-out configuration.
+
+use proptest::prelude::*;
+
+use tdess_index::{LinearScan, QueryStats, RTree, RTreeConfig, Rect};
+
+fn arb_points(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, dim..=dim),
+        1..300,
+    )
+}
+
+fn build(dim: usize, pts: &[Vec<f64>], max_entries: usize) -> (RTree<usize>, LinearScan<usize>) {
+    let mut t = RTree::new(
+        dim,
+        RTreeConfig {
+            max_entries,
+            min_entries: (max_entries / 2).max(1).min(max_entries / 2).max(1),
+        },
+    );
+    let mut l = LinearScan::new(dim);
+    for (i, p) in pts.iter().enumerate() {
+        t.insert(p.clone(), i);
+        l.insert(p.clone(), i);
+    }
+    (t, l)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn knn_matches_linear(pts in arb_points(3), qx in -120.0f64..120.0, qy in -120.0f64..120.0,
+                          qz in -120.0f64..120.0, k in 1usize..20) {
+        let (t, l) = build(3, &pts, 8);
+        t.check_invariants().map_err(TestCaseError::fail)?;
+        let q = [qx, qy, qz];
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        let a = t.knn(&q, k, &mut s1);
+        let b = l.knn(&q, k, &mut s2);
+        prop_assert_eq!(a.len(), b.len());
+        // Distances must match (payloads may differ on exact ties).
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.2 - y.2).abs() < 1e-9, "knn distance {} vs {}", x.2, y.2);
+        }
+    }
+
+    #[test]
+    fn ball_query_matches_linear(pts in arb_points(4), r in 0.0f64..150.0) {
+        let (t, l) = build(4, &pts, 12);
+        let q = [0.0, 0.0, 0.0, 0.0];
+        let mut s = QueryStats::default();
+        let mut a: Vec<usize> = t.within_distance(&q, r, &mut s).iter().map(|e| *e.1).collect();
+        let mut b: Vec<usize> = l.within_distance(&q, r, &mut s).iter().map(|e| *e.1).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_query_matches_linear(pts in arb_points(2),
+                                  x0 in -120.0f64..0.0, y0 in -120.0f64..0.0,
+                                  w in 0.0f64..200.0, h in 0.0f64..200.0) {
+        let (t, l) = build(2, &pts, 6);
+        let rect = Rect::new(vec![x0, y0], vec![x0 + w, y0 + h]);
+        let mut s = QueryStats::default();
+        let mut a: Vec<usize> = t.range(&rect, &mut s).iter().map(|e| *e.1).collect();
+        let mut b: Vec<usize> = l.range(&rect, &mut s).iter().map(|e| *e.1).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn removal_preserves_agreement(pts in arb_points(3), seed in 0u64..1000) {
+        let (mut t, mut l) = build(3, &pts, 8);
+        // Remove roughly half the points, pseudo-randomly.
+        let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
+        for (i, p) in pts.iter().enumerate() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            if s % 2 == 0 {
+                let a = t.remove(p, |&x| x == i);
+                let b = l.remove(p, |&x| x == i);
+                prop_assert_eq!(a.is_some(), b.is_some());
+            }
+        }
+        prop_assert_eq!(t.len(), l.len());
+        t.check_invariants().map_err(TestCaseError::fail)?;
+        let q = [1.0, 2.0, 3.0];
+        let mut st = QueryStats::default();
+        let a = t.knn(&q, 5, &mut st);
+        let b = l.knn(&q, 5, &mut st);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.2 - y.2).abs() < 1e-9);
+        }
+    }
+
+    /// On clustered data the R-tree must prune: kNN touches far fewer
+    /// entries than the linear scan for large point sets.
+    #[test]
+    fn knn_prunes_on_clustered_data(seed in 0u64..100) {
+        let n_clusters = 20usize;
+        let per = 100usize;
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut rnd = || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut t: RTree<usize> = RTree::with_dim(3);
+        let mut id = 0usize;
+        for c in 0..n_clusters {
+            let cx = (c as f64) * 50.0;
+            for _ in 0..per {
+                t.insert(vec![cx + rnd(), rnd(), rnd()], id);
+                id += 1;
+            }
+        }
+        let mut stats = QueryStats::default();
+        let got = t.knn(&[250.0, 0.5, 0.5], 10, &mut stats);
+        prop_assert_eq!(got.len(), 10);
+        // Pruning bound: far fewer entry checks than the 2000 points.
+        prop_assert!(stats.entries_checked < 1200,
+                     "checked {} entries of 2000", stats.entries_checked);
+    }
+}

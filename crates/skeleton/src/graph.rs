@@ -1,0 +1,582 @@
+//! Skeletal graph construction (§3.4 of the paper).
+//!
+//! After thinning, skeleton voxels are classified by their degree in
+//! the skeleton's 26-adjacency: *endpoints* (≤ 1 neighbor), *regular*
+//! voxels (2), and *junction* voxels (≥ 3). Junction voxels cluster
+//! into joints; maximal regular paths between joints/endpoints become
+//! graph **nodes** typed `Line`, `Curve`, or `Loop` (the paper's three
+//! node types); two nodes are connected by an **edge** when their
+//! segments meet at a joint. The typed adjacency matrix of this graph
+//! feeds the eigenvalue feature vector.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use tdess_geom::Vec3;
+use tdess_voxel::{n26, VoxelGrid};
+
+/// Classification of a skeleton segment (a node of the skeletal graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// A straight chain of voxels.
+    Line,
+    /// A bent (non-straight) open chain.
+    Curve,
+    /// A closed chain (cycle), or an open chain with both ends on the
+    /// same joint.
+    Loop,
+}
+
+/// One segment of the skeleton: a node of the skeletal graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Segment {
+    /// Node classification.
+    pub kind: SegmentKind,
+    /// Voxel path in traversal order (world coordinates are available
+    /// through the skeleton grid).
+    pub voxels: Vec<(usize, usize, usize)>,
+    /// Joint id at the start of the path, if the path starts at a
+    /// junction cluster.
+    pub start_joint: Option<usize>,
+    /// Joint id at the end of the path.
+    pub end_joint: Option<usize>,
+    /// Polyline length in world units.
+    pub length: f64,
+}
+
+/// The skeletal graph of a thinned voxel model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkeletalGraph {
+    /// Graph nodes.
+    pub segments: Vec<Segment>,
+    /// Number of junction clusters (joints).
+    pub num_joints: usize,
+    /// Adjacency: pairs of segment indices sharing a joint, with the
+    /// joint id.
+    pub edges: Vec<(usize, usize, usize)>,
+}
+
+/// Relative straightness threshold for classifying a segment as a
+/// `Line`: maximum perpendicular deviation from the end-to-end chord,
+/// in voxel units.
+const LINE_DEVIATION_VOXELS: f64 = 1.25;
+
+/// Builds the skeletal graph of a thinned skeleton grid.
+pub fn build_graph(skel: &VoxelGrid) -> SkeletalGraph {
+    let voxels: Vec<(usize, usize, usize)> = skel.iter_filled().collect();
+    let index: HashMap<(usize, usize, usize), usize> =
+        voxels.iter().enumerate().map(|(n, &v)| (v, n)).collect();
+
+    // Adjacency lists over skeleton voxels (26-connectivity).
+    let neighbors: Vec<Vec<usize>> = voxels
+        .iter()
+        .map(|&(i, j, k)| {
+            n26()
+                .filter_map(|(dx, dy, dz)| {
+                    let key = (
+                        i.checked_add_signed(dx)?,
+                        j.checked_add_signed(dy)?,
+                        k.checked_add_signed(dz)?,
+                    );
+                    index.get(&key).copied()
+                })
+                .collect()
+        })
+        .collect();
+
+    let degree: Vec<usize> = neighbors.iter().map(|n| n.len()).collect();
+    let is_junction: Vec<bool> = degree.iter().map(|&d| d >= 3).collect();
+
+    // Junction clusters (joints): 26-connected components of junction
+    // voxels.
+    let mut joint_of = vec![usize::MAX; voxels.len()];
+    let mut num_joints = 0usize;
+    for v in 0..voxels.len() {
+        if !is_junction[v] || joint_of[v] != usize::MAX {
+            continue;
+        }
+        let joint = num_joints;
+        num_joints += 1;
+        let mut stack = vec![v];
+        joint_of[v] = joint;
+        while let Some(c) = stack.pop() {
+            for &n in &neighbors[c] {
+                if is_junction[n] && joint_of[n] == usize::MAX {
+                    joint_of[n] = joint;
+                    stack.push(n);
+                }
+            }
+        }
+    }
+
+    // Trace maximal regular (non-junction) paths. Seeds: regular voxels
+    // adjacent to a joint, and endpoints.
+    let mut visited = vec![false; voxels.len()];
+    let mut segments: Vec<Segment> = Vec::new();
+
+    let trace = |start: usize,
+                     from_joint: Option<usize>,
+                     visited: &mut Vec<bool>|
+     -> Option<Segment> {
+        if visited[start] || is_junction[start] {
+            return None;
+        }
+        let mut path = vec![start];
+        visited[start] = true;
+        let mut end_joint = None;
+        let mut prev: Option<usize> = None;
+        let mut cur = start;
+        loop {
+            // Next regular neighbor not yet visited, or a joint.
+            let mut next_regular = None;
+            let mut next_joint = None;
+            for &n in &neighbors[cur] {
+                if Some(n) == prev {
+                    continue;
+                }
+                if is_junction[n] {
+                    // Don't immediately return into the joint we left.
+                    if path.len() == 1 && from_joint.is_some() && joint_of[n] == from_joint.unwrap() {
+                        // Remember it only as a fallback if nothing else.
+                        if next_joint.is_none() {
+                            next_joint = Some(n);
+                        }
+                        continue;
+                    }
+                    next_joint = Some(n);
+                } else if !visited[n] && next_regular.is_none() {
+                    next_regular = Some(n);
+                }
+            }
+            if let Some(n) = next_regular {
+                visited[n] = true;
+                path.push(n);
+                prev = Some(cur);
+                cur = n;
+                continue;
+            }
+            if let Some(j) = next_joint {
+                end_joint = Some(joint_of[j]);
+            }
+            break;
+        }
+        Some(make_segment(skel, &voxels, path, from_joint, end_joint))
+    };
+
+    // 1. Paths emanating from joints.
+    for v in 0..voxels.len() {
+        if !is_junction[v] {
+            continue;
+        }
+        let joint = joint_of[v];
+        let starts: Vec<usize> = neighbors[v]
+            .iter()
+            .copied()
+            .filter(|&n| !is_junction[n] && !visited[n])
+            .collect();
+        for s in starts {
+            if let Some(seg) = trace(s, Some(joint), &mut visited) {
+                segments.push(seg);
+            }
+        }
+    }
+    // 2. Paths from endpoints not yet covered (components without
+    // junctions, e.g. a plain line).
+    for v in 0..voxels.len() {
+        if degree[v] <= 1 && !visited[v] && !is_junction[v] {
+            if let Some(seg) = trace(v, None, &mut visited) {
+                segments.push(seg);
+            }
+        }
+    }
+    // 3. Remaining regular voxels form pure cycles (isolated rings).
+    for v in 0..voxels.len() {
+        if visited[v] || is_junction[v] {
+            continue;
+        }
+        // Walk the cycle.
+        let mut path = vec![v];
+        visited[v] = true;
+        let mut prev = None;
+        let mut cur = v;
+        loop {
+            let mut advanced = false;
+            for &n in &neighbors[cur] {
+                if Some(n) == prev || visited[n] || is_junction[n] {
+                    continue;
+                }
+                visited[n] = true;
+                path.push(n);
+                prev = Some(cur);
+                cur = n;
+                advanced = true;
+                break;
+            }
+            if !advanced {
+                break;
+            }
+        }
+        let mut seg = make_segment(skel, &voxels, path, None, None);
+        seg.kind = SegmentKind::Loop;
+        segments.push(seg);
+    }
+
+    // Isolated single voxels (degree 0) were captured by the endpoint
+    // pass; a bare voxel yields a 1-voxel Line segment.
+
+    // Dissolve pass-through joints: a joint incident to exactly two
+    // segment ends is a thinning artifact, not a real branch point.
+    // Merging across it reconstitutes chains (and closed rings) that
+    // junction noise chopped up.
+    dissolve_degree2_joints(skel, &mut segments, num_joints);
+
+    // Edges: segments sharing a joint.
+    let mut edges = Vec::new();
+    for joint in 0..num_joints {
+        let members: Vec<usize> = segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.start_joint == Some(joint) || s.end_joint == Some(joint))
+            .map(|(i, _)| i)
+            .collect();
+        for a in 0..members.len() {
+            for b in (a + 1)..members.len() {
+                edges.push((members[a], members[b], joint));
+            }
+        }
+    }
+
+    SkeletalGraph {
+        segments,
+        num_joints,
+        edges,
+    }
+}
+
+/// Merges segments across joints that connect exactly two segment
+/// ends. A joint where both ends of the *same* segment meet closes
+/// that segment into a loop.
+fn dissolve_degree2_joints(skel: &VoxelGrid, segments: &mut Vec<Segment>, num_joints: usize) {
+    loop {
+        // Incidences: joint -> list of (segment index, is_start).
+        let mut incidence: Vec<Vec<(usize, bool)>> = vec![Vec::new(); num_joints];
+        for (si, s) in segments.iter().enumerate() {
+            if let Some(j) = s.start_joint {
+                incidence[j].push((si, true));
+            }
+            if let Some(j) = s.end_joint {
+                incidence[j].push((si, false));
+            }
+        }
+        let Some((_joint, ends)) = incidence
+            .iter()
+            .enumerate()
+            .find(|(_, inc)| inc.len() == 2)
+            .map(|(j, inc)| (j, inc.clone()))
+        else {
+            return;
+        };
+
+        let (sa, a_is_start) = ends[0];
+        let (sb, b_is_start) = ends[1];
+        if sa == sb {
+            // Both ends of one segment meet here: it is a closed ring.
+            let s = &mut segments[sa];
+            s.kind = SegmentKind::Loop;
+            s.start_joint = None;
+            s.end_joint = None;
+            continue;
+        }
+
+        // Orient A to *end* at the joint and B to *start* at it, then
+        // concatenate.
+        let mut a = segments[sa].clone();
+        let mut b = segments[sb].clone();
+        if a_is_start {
+            a.voxels.reverse();
+            std::mem::swap(&mut a.start_joint, &mut a.end_joint);
+        }
+        if !b_is_start {
+            b.voxels.reverse();
+            std::mem::swap(&mut b.start_joint, &mut b.end_joint);
+        }
+        let mut merged_voxels = a.voxels;
+        merged_voxels.extend(b.voxels);
+        let pts: Vec<Vec3> = merged_voxels
+            .iter()
+            .map(|&(i, j, k)| skel.voxel_center(i, j, k))
+            .collect();
+        let length: f64 = pts.windows(2).map(|w| w[0].distance(w[1])).sum();
+        let (start_joint, end_joint) = (a.start_joint, b.end_joint);
+        let kind = if start_joint.is_some() && start_joint == end_joint {
+            SegmentKind::Loop
+        } else if is_straight(&pts, skel.voxel_size) {
+            SegmentKind::Line
+        } else {
+            SegmentKind::Curve
+        };
+        let merged = Segment {
+            kind,
+            voxels: merged_voxels,
+            start_joint,
+            end_joint,
+            length,
+        };
+        // Replace A, drop B (preserve other indices via swap_remove
+        // then fix-up: simpler to rebuild the vec).
+        let keep_b = sb;
+        segments[sa] = merged;
+        segments.remove(keep_b);
+    }
+}
+
+/// Builds a segment from a traced voxel path, classifying it as Line,
+/// Curve, or Loop.
+fn make_segment(
+    skel: &VoxelGrid,
+    voxels: &[(usize, usize, usize)],
+    path: Vec<usize>,
+    start_joint: Option<usize>,
+    end_joint: Option<usize>,
+) -> Segment {
+    let pts: Vec<Vec3> = path
+        .iter()
+        .map(|&v| {
+            let (i, j, k) = voxels[v];
+            skel.voxel_center(i, j, k)
+        })
+        .collect();
+    let length: f64 = pts.windows(2).map(|w| w[0].distance(w[1])).sum();
+
+    let kind = if start_joint.is_some() && start_joint == end_joint {
+        SegmentKind::Loop
+    } else if is_straight(&pts, skel.voxel_size) {
+        SegmentKind::Line
+    } else {
+        SegmentKind::Curve
+    };
+
+    Segment {
+        kind,
+        voxels: path.iter().map(|&v| voxels[v]).collect(),
+        start_joint,
+        end_joint,
+        length,
+    }
+}
+
+/// A path is straight when every voxel center lies within
+/// [`LINE_DEVIATION_VOXELS`] of the chord between its ends.
+fn is_straight(pts: &[Vec3], voxel_size: f64) -> bool {
+    if pts.len() <= 2 {
+        return true;
+    }
+    let a = pts[0];
+    let b = *pts.last().expect("non-empty path");
+    let chord = b - a;
+    let Some(dir) = chord.normalized() else {
+        return false; // closed path (ends coincide): not a line
+    };
+    let tol = LINE_DEVIATION_VOXELS * voxel_size;
+    pts.iter().all(|&p| {
+        let d = p - a;
+        let along = d.dot(dir);
+        let perp = (d - dir * along).norm();
+        perp <= tol
+    })
+}
+
+impl SkeletalGraph {
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Count of segments of a given kind.
+    pub fn count_kind(&self, kind: SegmentKind) -> usize {
+        self.segments.iter().filter(|s| s.kind == kind).count()
+    }
+
+    /// Builds the typed adjacency matrix of the graph (row-major,
+    /// `n × n`). Off-diagonal entries carry the connection weight for
+    /// the pair of node types (the paper values, e.g., loop-to-loop
+    /// differently from loop-to-line); diagonal entries encode the node
+    /// type itself so that even edgeless graphs are distinguishable.
+    pub fn adjacency_matrix(&self) -> (Vec<f64>, usize) {
+        let n = self.segments.len();
+        let mut a = vec![0.0; n * n];
+        for (i, s) in self.segments.iter().enumerate() {
+            a[i * n + i] = type_code(s.kind);
+        }
+        for &(i, j, _) in &self.edges {
+            let w = connection_weight(self.segments[i].kind, self.segments[j].kind);
+            // Parallel edges (two segments sharing both joints)
+            // accumulate, which distinguishes theta-shapes from simple
+            // chains.
+            a[i * n + j] += w;
+            a[j * n + i] += w;
+        }
+        (a, n)
+    }
+}
+
+/// Diagonal code for a node type.
+fn type_code(kind: SegmentKind) -> f64 {
+    match kind {
+        SegmentKind::Line => 1.0,
+        SegmentKind::Curve => 2.0,
+        SegmentKind::Loop => 3.0,
+    }
+}
+
+/// Connection weight for an edge between two node types.
+fn connection_weight(a: SegmentKind, b: SegmentKind) -> f64 {
+    use SegmentKind::*;
+    match (a.min_ord(b), a.max_ord(b)) {
+        (Line, Line) => 1.0,
+        (Line, Curve) => 1.5,
+        (Curve, Curve) => 2.0,
+        (Line, Loop) => 2.5,
+        (Curve, Loop) => 3.0,
+        (Loop, Loop) => 3.5,
+        _ => unreachable!("min/max ordering covers all pairs"),
+    }
+}
+
+impl SegmentKind {
+    fn rank(self) -> u8 {
+        match self {
+            SegmentKind::Line => 0,
+            SegmentKind::Curve => 1,
+            SegmentKind::Loop => 2,
+        }
+    }
+    fn min_ord(self, other: Self) -> Self {
+        if self.rank() <= other.rank() {
+            self
+        } else {
+            other
+        }
+    }
+    fn max_ord(self, other: Self) -> Self {
+        if self.rank() >= other.rank() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thinning::{skeletonize, ThinningParams};
+    use tdess_geom::{primitives, Vec3};
+    use tdess_voxel::{voxelize, VoxelizeParams};
+
+    fn graph_of(mesh: &tdess_geom::TriMesh, res: usize) -> SkeletalGraph {
+        let grid = voxelize(mesh, &VoxelizeParams { resolution: res, ..Default::default() });
+        let skel = skeletonize(&grid, &ThinningParams::default());
+        build_graph(&skel)
+    }
+
+    #[test]
+    fn rod_graph_is_single_line() {
+        let mesh = primitives::box_mesh(Vec3::new(4.0, 0.5, 0.5));
+        let g = graph_of(&mesh, 48);
+        assert_eq!(g.num_nodes(), 1, "{:?}", g.segments.iter().map(|s| s.kind).collect::<Vec<_>>());
+        assert_eq!(g.segments[0].kind, SegmentKind::Line);
+        assert_eq!(g.num_joints, 0);
+        assert!(g.edges.is_empty());
+        assert!(g.segments[0].length > 3.0, "length {}", g.segments[0].length);
+    }
+
+    #[test]
+    fn torus_graph_is_single_loop() {
+        let mesh = primitives::torus(1.0, 0.28, 48, 20);
+        let g = graph_of(&mesh, 40);
+        assert_eq!(g.count_kind(SegmentKind::Loop), 1, "{:?}", g.segments.iter().map(|s| (s.kind, s.voxels.len())).collect::<Vec<_>>());
+        assert_eq!(g.num_nodes(), 1);
+        // Loop length close to 2πR.
+        let len = g.segments[0].length;
+        let expected = std::f64::consts::TAU;
+        assert!((len - expected).abs() / expected < 0.25, "loop length {len}");
+    }
+
+    #[test]
+    fn elbow_is_a_curve_or_two_lines() {
+        // An L-shaped solid: thinning yields either one bent path or
+        // two lines joined at a joint, depending on corner geometry.
+        let mut mesh = primitives::box_mesh(Vec3::new(3.0, 0.5, 0.5));
+        let mut arm = primitives::box_mesh(Vec3::new(0.5, 3.0, 0.5));
+        arm.translate(Vec3::new(-1.25, 1.75, 0.0));
+        mesh.append(&arm);
+        let g = graph_of(&mesh, 48);
+        let bent = g.count_kind(SegmentKind::Curve) >= 1;
+        let two_lines = g.num_nodes() >= 2;
+        assert!(bent || two_lines, "unexpected graph: {:?}", g.segments.iter().map(|s| s.kind).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cross_shape_has_junction() {
+        // A plus-sign solid: four arms meeting at a joint.
+        let mut mesh = primitives::box_mesh(Vec3::new(4.0, 0.6, 0.6));
+        let mut arm = primitives::box_mesh(Vec3::new(0.6, 4.0, 0.6));
+        arm.translate(Vec3::new(0.0, 0.0, 0.0));
+        mesh.append(&arm);
+        let g = graph_of(&mesh, 48);
+        assert!(g.num_joints >= 1, "no joints found");
+        assert!(g.num_nodes() >= 3, "expected several arms, got {}", g.num_nodes());
+        assert!(!g.edges.is_empty(), "arms must be connected through the joint");
+    }
+
+    #[test]
+    fn adjacency_matrix_is_symmetric_with_typed_diagonal() {
+        let mesh = primitives::torus(1.0, 0.28, 48, 20);
+        let g = graph_of(&mesh, 40);
+        let (a, n) = g.adjacency_matrix();
+        assert_eq!(a.len(), n * n);
+        for r in 0..n {
+            for c in 0..n {
+                assert_eq!(a[r * n + c], a[c * n + r]);
+            }
+        }
+        // Loop node carries the loop type code on the diagonal.
+        assert!(a.contains(&3.0));
+    }
+
+    #[test]
+    fn straightness_classifier() {
+        let line: Vec<Vec3> = (0..10).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        assert!(is_straight(&line, 1.0));
+        let bent: Vec<Vec3> = (0..10)
+            .map(|i| {
+                if i < 5 {
+                    Vec3::new(i as f64, 0.0, 0.0)
+                } else {
+                    Vec3::new(4.0, (i - 4) as f64, 0.0)
+                }
+            })
+            .collect();
+        assert!(!is_straight(&bent, 1.0));
+    }
+
+    #[test]
+    fn connection_weights_are_symmetric() {
+        use SegmentKind::*;
+        for a in [Line, Curve, Loop] {
+            for b in [Line, Curve, Loop] {
+                assert_eq!(connection_weight(a, b), connection_weight(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_skeleton_gives_empty_graph() {
+        let g = build_graph(&tdess_voxel::VoxelGrid::new(4, 4, 4, Vec3::ZERO, 1.0));
+        assert_eq!(g.num_nodes(), 0);
+        let (a, n) = g.adjacency_matrix();
+        assert_eq!(n, 0);
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Topology-preserving "simple point" test for 3-D thinning.
+//!
+//! A filled voxel is *simple* when deleting it changes neither the
+//! number of object components, nor the number of background
+//! components, nor the genus — i.e. thinning may remove it safely. We
+//! use the classical local characterization (Bertrand & Malandain,
+//! Malandain & Bertrand 1992) for (26, 6) connectivity:
+//!
+//! 1. the object voxels in the 26-neighborhood of `p` (excluding `p`)
+//!    form exactly **one** 26-connected component, and
+//! 2. the background voxels in the 18-neighborhood of `p` that are
+//!    6-adjacent to `p` form exactly **one** 6-connected component
+//!    *within* the 18-neighborhood.
+
+// 3×3×3 patches are most readable with explicit index loops.
+#![allow(clippy::needless_range_loop)]
+
+/// A 3×3×3 occupancy patch around a voxel. Index `[dz+1][dy+1][dx+1]`;
+/// the center is `patch[1][1][1]`.
+pub type Patch = [[[bool; 3]; 3]; 3];
+
+/// Extracts the 3×3×3 neighborhood of `(i, j, k)` from a grid
+/// accessor. `get(di, dj, dk)` must return occupancy at the *absolute*
+/// offset from the voxel.
+pub fn extract_patch(get: impl Fn(isize, isize, isize) -> bool) -> Patch {
+    let mut p = [[[false; 3]; 3]; 3];
+    for (dz, plane) in p.iter_mut().enumerate() {
+        for (dy, row) in plane.iter_mut().enumerate() {
+            for (dx, cell) in row.iter_mut().enumerate() {
+                *cell = get(dx as isize - 1, dy as isize - 1, dz as isize - 1);
+            }
+        }
+    }
+    p
+}
+
+/// Number of object voxels in the 26-neighborhood (center excluded).
+pub fn object_neighbors(patch: &Patch) -> usize {
+    let mut n = 0;
+    for z in 0..3 {
+        for y in 0..3 {
+            for x in 0..3 {
+                if (x, y, z) != (1, 1, 1) && patch[z][y][x] {
+                    n += 1;
+                }
+            }
+        }
+    }
+    n
+}
+
+/// Returns `true` if the center voxel of `patch` is simple for
+/// (26, 6)-connectivity.
+pub fn is_simple(patch: &Patch) -> bool {
+    object_components_26(patch) == 1 && background_components_6(patch) == 1
+}
+
+/// Counts 26-connected components of object voxels in the
+/// 26-neighborhood of the center (center excluded).
+fn object_components_26(patch: &Patch) -> usize {
+    // Cells are indexed 0..27, skipping the center (13).
+    let occ = |i: usize| -> bool {
+        let (x, y, z) = (i % 3, (i / 3) % 3, i / 9);
+        (x, y, z) != (1, 1, 1) && patch[z][y][x]
+    };
+    let mut seen = [false; 27];
+    let mut comps = 0;
+    for start in 0..27 {
+        if !occ(start) || seen[start] {
+            continue;
+        }
+        comps += 1;
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(c) = stack.pop() {
+            let (cx, cy, cz) = ((c % 3) as isize, ((c / 3) % 3) as isize, (c / 9) as isize);
+            for dz in -1..=1isize {
+                for dy in -1..=1isize {
+                    for dx in -1..=1isize {
+                        if dx == 0 && dy == 0 && dz == 0 {
+                            continue;
+                        }
+                        let (nx, ny, nz) = (cx + dx, cy + dy, cz + dz);
+                        if !(0..3).contains(&nx) || !(0..3).contains(&ny) || !(0..3).contains(&nz) {
+                            continue;
+                        }
+                        let n = (nx + ny * 3 + nz * 9) as usize;
+                        if occ(n) && !seen[n] {
+                            seen[n] = true;
+                            stack.push(n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// Counts 6-connected components of *background* voxels within the
+/// 18-neighborhood of the center that are 6-adjacent to the center.
+/// Connectivity paths may only pass through the 18-neighborhood.
+fn background_components_6(patch: &Patch) -> usize {
+    // 18-neighborhood = cells with Chebyshev distance 1 and Manhattan
+    // distance ≤ 2 (faces + edges, no corners), center excluded.
+    let in_n18 = |x: isize, y: isize, z: isize| -> bool {
+        let (ax, ay, az) = ((x - 1).abs(), (y - 1).abs(), (z - 1).abs());
+        let manhattan = ax + ay + az;
+        (1..=2).contains(&manhattan) && ax <= 1 && ay <= 1 && az <= 1
+    };
+    let bg = |x: isize, y: isize, z: isize| -> bool {
+        in_n18(x, y, z) && !patch[z as usize][y as usize][x as usize]
+    };
+    // Seeds: background voxels 6-adjacent to the center.
+    let seeds: [(isize, isize, isize); 6] = [
+        (0, 1, 1),
+        (2, 1, 1),
+        (1, 0, 1),
+        (1, 2, 1),
+        (1, 1, 0),
+        (1, 1, 2),
+    ];
+    let mut seen = [[[false; 3]; 3]; 3];
+    let mut comps = 0;
+    for &(sx, sy, sz) in &seeds {
+        if !bg(sx, sy, sz) || seen[sz as usize][sy as usize][sx as usize] {
+            continue;
+        }
+        comps += 1;
+        let mut stack = vec![(sx, sy, sz)];
+        seen[sz as usize][sy as usize][sx as usize] = true;
+        while let Some((cx, cy, cz)) = stack.pop() {
+            for (dx, dy, dz) in [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)] {
+                let (nx, ny, nz) = (cx + dx, cy + dy, cz + dz);
+                if !(0..3).contains(&nx) || !(0..3).contains(&ny) || !(0..3).contains(&nz) {
+                    continue;
+                }
+                if bg(nx, ny, nz) && !seen[nz as usize][ny as usize][nx as usize] {
+                    seen[nz as usize][ny as usize][nx as usize] = true;
+                    stack.push((nx, ny, nz));
+                }
+            }
+        }
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patch_from(voxels: &[(isize, isize, isize)]) -> Patch {
+        let mut p = [[[false; 3]; 3]; 3];
+        p[1][1][1] = true;
+        for &(x, y, z) in voxels {
+            p[(z + 1) as usize][(y + 1) as usize][(x + 1) as usize] = true;
+        }
+        p
+    }
+
+    #[test]
+    fn isolated_voxel_is_not_simple() {
+        // Deleting the last voxel of a component changes topology.
+        let p = patch_from(&[]);
+        assert!(!is_simple(&p));
+        assert_eq!(object_neighbors(&p), 0);
+    }
+
+    #[test]
+    fn end_of_line_is_simple() {
+        // A voxel with a single neighbor can be deleted without
+        // topology change (that is why thinning protects endpoints
+        // explicitly, not via simplicity).
+        let p = patch_from(&[(1, 0, 0)]);
+        assert!(is_simple(&p));
+        assert_eq!(object_neighbors(&p), 1);
+    }
+
+    #[test]
+    fn middle_of_line_is_not_simple() {
+        // Two opposite neighbors: deleting the center disconnects them.
+        let p = patch_from(&[(1, 0, 0), (-1, 0, 0)]);
+        assert!(!is_simple(&p));
+    }
+
+    #[test]
+    fn corner_of_full_block_is_simple() {
+        // Center of a 2×2×2 full corner: removable surface voxel.
+        let mut p = [[[false; 3]; 3]; 3];
+        for z in 1..3 {
+            for y in 1..3 {
+                for x in 1..3 {
+                    p[z][y][x] = true;
+                }
+            }
+        }
+        assert!(is_simple(&p));
+    }
+
+    #[test]
+    fn interior_of_solid_is_not_simple() {
+        // Fully surrounded voxel: deleting it creates a cavity.
+        let p = [[[true; 3]; 3]; 3];
+        assert!(!is_simple(&p));
+    }
+
+    #[test]
+    fn diagonal_pair_bridge_not_simple() {
+        // Center bridges two voxels touching it only diagonally.
+        let p = patch_from(&[(1, 1, 0), (-1, -1, 0)]);
+        assert!(!is_simple(&p));
+    }
+
+    #[test]
+    fn plate_center_is_not_simple() {
+        // Center of a 3×3 one-voxel-thick plate: deleting it would
+        // pierce a tunnel through the plate.
+        let mut p = [[[false; 3]; 3]; 3];
+        for y in 0..3 {
+            for x in 0..3 {
+                p[1][y][x] = true;
+            }
+        }
+        assert!(!is_simple(&p));
+    }
+
+    #[test]
+    fn plate_edge_is_simple() {
+        // A voxel on the rim of a plate has one object component and
+        // one background component: removable.
+        let mut p = [[[false; 3]; 3]; 3];
+        // Plate occupies x in 0..3, y in 1..3 at z = 1; center at (1,1,1)
+        // sits on the rim (y = 1 edge).
+        for y in 1..3 {
+            for x in 0..3 {
+                p[1][y][x] = true;
+            }
+        }
+        assert!(is_simple(&p));
+    }
+
+    #[test]
+    fn extract_patch_reads_offsets() {
+        let p = extract_patch(|dx, dy, dz| dx == 1 && dy == 0 && dz == -1);
+        assert!(p[0][1][2]);
+        assert_eq!(
+            p.iter().flatten().flatten().filter(|&&b| b).count(),
+            1
+        );
+    }
+}

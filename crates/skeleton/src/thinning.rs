@@ -1,0 +1,283 @@
+//! Iterative topology-preserving 3-D thinning (§3.3 of the paper).
+//!
+//! The paper extracts a curve skeleton from the voxel model with a
+//! thinning algorithm that "retains the topology of the original
+//! model". We implement directional iterative thinning: in each pass,
+//! border voxels of one of the six face directions are deleted if they
+//! are simple points (see [`crate::simple_point`]) and not curve
+//! endpoints. Deletions are applied sequentially with re-checking, so
+//! every individual deletion is topology-preserving by construction.
+
+use tdess_voxel::VoxelGrid;
+
+use crate::simple_point::{extract_patch, is_simple, object_neighbors};
+
+/// Options for the thinning pass.
+#[derive(Debug, Clone, Copy)]
+pub struct ThinningParams {
+    /// Keep curve endpoints (voxels with exactly one 26-neighbor).
+    /// Disabling this shrinks every component without cycles to a
+    /// single voxel ("topological kernel").
+    pub preserve_endpoints: bool,
+    /// Safety cap on full sweeps; thinning of any practical model
+    /// terminates far earlier.
+    pub max_iterations: usize,
+}
+
+impl Default for ThinningParams {
+    fn default() -> Self {
+        ThinningParams {
+            preserve_endpoints: true,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// The six face directions used for directional sub-iterations.
+const DIRECTIONS: [(isize, isize, isize); 6] = [
+    (0, 0, 1),
+    (0, 0, -1),
+    (0, 1, 0),
+    (0, -1, 0),
+    (1, 0, 0),
+    (-1, 0, 0),
+];
+
+/// Thins `grid` in place to a one-voxel-wide curve skeleton.
+/// Returns the number of voxels deleted.
+pub fn thin(grid: &mut VoxelGrid, params: &ThinningParams) -> usize {
+    let (nx, ny, nz) = grid.dims();
+    let mut total_deleted = 0usize;
+
+    for _iter in 0..params.max_iterations {
+        let mut deleted_this_sweep = 0usize;
+        for dir in DIRECTIONS {
+            // Candidates: border voxels in this direction.
+            let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+            for k in 0..nz {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        if !grid.get(i as isize, j as isize, k as isize) {
+                            continue;
+                        }
+                        if grid.get(i as isize + dir.0, j as isize + dir.1, k as isize + dir.2) {
+                            continue; // not a border voxel for this direction
+                        }
+                        candidates.push((i, j, k));
+                    }
+                }
+            }
+            // Sequential deletion with re-checking keeps every step
+            // topology-preserving.
+            for (i, j, k) in candidates {
+                let patch = extract_patch(|dx, dy, dz| {
+                    grid.get(i as isize + dx, j as isize + dy, k as isize + dz)
+                });
+                if params.preserve_endpoints && object_neighbors(&patch) <= 1 {
+                    continue;
+                }
+                if is_simple(&patch) {
+                    grid.set(i, j, k, false);
+                    deleted_this_sweep += 1;
+                }
+            }
+        }
+        total_deleted += deleted_this_sweep;
+        if deleted_this_sweep == 0 {
+            break;
+        }
+    }
+    total_deleted
+}
+
+/// Convenience: thins a copy and returns it, leaving `grid` untouched.
+pub fn skeletonize(grid: &VoxelGrid, params: &ThinningParams) -> VoxelGrid {
+    let mut skel = grid.clone();
+    thin(&mut skel, params);
+    skel
+}
+
+/// Removes spur branches from a thinned skeleton: any chain that runs
+/// from a free endpoint to a junction in fewer than `min_len` voxels
+/// is deleted. Repeats until stable (pruning can expose new spurs).
+///
+/// Spurs are a classic thinning artifact — a thick region sheds short
+/// whiskers where the boundary was rough — and they fragment the
+/// skeletal graph with fake junctions. Chains connecting two endpoints
+/// (whole path components) are never pruned.
+///
+/// Returns the number of voxels removed.
+pub fn prune_spurs(skel: &mut VoxelGrid, min_len: usize) -> usize {
+    let (nx, ny, nz) = skel.dims();
+    let mut removed = 0usize;
+    loop {
+        let mut changed = false;
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if !skel.get(i as isize, j as isize, k as isize) {
+                        continue;
+                    }
+                    if skel.neighbor_count26(i, j, k) != 1 {
+                        continue; // not an endpoint
+                    }
+                    // Walk the chain from this endpoint.
+                    let mut path = vec![(i, j, k)];
+                    let mut prev = (i, j, k);
+                    let mut cur = unique_neighbor(skel, i, j, k, None)
+                        .expect("endpoint has one neighbor");
+                    loop {
+                        let deg = skel.neighbor_count26(cur.0, cur.1, cur.2);
+                        if deg >= 3 {
+                            // Reached a junction: candidate spur.
+                            if path.len() < min_len {
+                                for &(x, y, z) in &path {
+                                    skel.set(x, y, z, false);
+                                }
+                                removed += path.len();
+                                changed = true;
+                            }
+                            break;
+                        }
+                        if deg <= 1 {
+                            // Endpoint-to-endpoint: a main path, keep.
+                            break;
+                        }
+                        path.push(cur);
+                        let next = unique_neighbor(skel, cur.0, cur.1, cur.2, Some(prev))
+                            .expect("degree-2 voxel has a forward neighbor");
+                        prev = cur;
+                        cur = next;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return removed;
+        }
+    }
+}
+
+/// The unique filled 26-neighbor of `(i, j, k)` other than `skip`
+/// (used for walking degree-≤2 chains).
+fn unique_neighbor(
+    skel: &VoxelGrid,
+    i: usize,
+    j: usize,
+    k: usize,
+    skip: Option<(usize, usize, usize)>,
+) -> Option<(usize, usize, usize)> {
+    for dz in -1..=1isize {
+        for dy in -1..=1isize {
+            for dx in -1..=1isize {
+                if dx == 0 && dy == 0 && dz == 0 {
+                    continue;
+                }
+                let (ni, nj, nk) = (i as isize + dx, j as isize + dy, k as isize + dz);
+                if ni < 0 || nj < 0 || nk < 0 {
+                    continue;
+                }
+                let key = (ni as usize, nj as usize, nk as usize);
+                if Some(key) == skip {
+                    continue;
+                }
+                if skel.get(ni, nj, nk) {
+                    return Some(key);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdess_geom::{primitives, Vec3};
+    use tdess_voxel::{connected_components_26, voxelize, VoxelizeParams};
+
+    fn thin_mesh(mesh: &tdess_geom::TriMesh, res: usize) -> VoxelGrid {
+        let grid = voxelize(mesh, &VoxelizeParams { resolution: res, ..Default::default() });
+        skeletonize(&grid, &ThinningParams::default())
+    }
+
+    /// Maximum 26-neighbor count over skeleton voxels (thinness proxy).
+    fn max_degree(g: &VoxelGrid) -> usize {
+        g.iter_filled()
+            .map(|(i, j, k)| g.neighbor_count26(i, j, k))
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn rod_thins_to_a_curve() {
+        let mesh = primitives::box_mesh(Vec3::new(4.0, 0.5, 0.5));
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 48, ..Default::default() });
+        let before = grid.count();
+        let skel = skeletonize(&grid, &ThinningParams::default());
+        let after = skel.count();
+        assert!(after < before / 5, "skeleton kept {after} of {before} voxels");
+        // One component, and essentially a path: every voxel has ≤ 2
+        // neighbors except possibly tiny junction artifacts.
+        assert_eq!(connected_components_26(&skel).count, 1);
+        assert!(max_degree(&skel) <= 3, "degree {}", max_degree(&skel));
+        // Length comparable to the rod's long axis (48 voxels).
+        assert!(after >= 30, "skeleton too short: {after}");
+        assert!(after <= 70, "skeleton too long: {after}");
+    }
+
+    #[test]
+    fn torus_skeleton_is_a_cycle() {
+        let mesh = primitives::torus(1.0, 0.28, 48, 20);
+        let skel = thin_mesh(&mesh, 40);
+        assert_eq!(connected_components_26(&skel).count, 1);
+        // A cycle has no endpoints: every voxel has ≥ 2 neighbors.
+        for (i, j, k) in skel.iter_filled() {
+            assert!(
+                skel.neighbor_count26(i, j, k) >= 2,
+                "endpoint at ({i},{j},{k}) on torus skeleton"
+            );
+        }
+        assert!(skel.count() > 20, "cycle too short: {}", skel.count());
+    }
+
+    #[test]
+    fn sphere_without_endpoint_preservation_shrinks_to_point() {
+        let mesh = primitives::uv_sphere(0.8, 16, 8);
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 20, ..Default::default() });
+        let skel = skeletonize(
+            &grid,
+            &ThinningParams { preserve_endpoints: false, ..Default::default() },
+        );
+        assert_eq!(skel.count(), 1, "topological kernel of a ball is one voxel");
+    }
+
+    #[test]
+    fn thinning_preserves_component_count() {
+        // Two disjoint boxes stay two components.
+        let mut mesh = primitives::box_mesh(Vec3::new(1.0, 0.4, 0.4));
+        let mut other = primitives::box_mesh(Vec3::new(1.0, 0.4, 0.4));
+        other.translate(Vec3::new(0.0, 2.0, 0.0));
+        mesh.append(&other);
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 32, ..Default::default() });
+        assert_eq!(connected_components_26(&grid).count, 2);
+        let skel = skeletonize(&grid, &ThinningParams::default());
+        assert_eq!(connected_components_26(&skel).count, 2);
+    }
+
+    #[test]
+    fn thinning_empty_grid_is_noop() {
+        let mut g = VoxelGrid::new(4, 4, 4, Vec3::ZERO, 1.0);
+        assert_eq!(thin(&mut g, &ThinningParams::default()), 0);
+        assert_eq!(g.count(), 0);
+    }
+
+    #[test]
+    fn thinning_is_idempotent() {
+        let mesh = primitives::box_mesh(Vec3::new(3.0, 0.5, 0.5));
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 32, ..Default::default() });
+        let skel1 = skeletonize(&grid, &ThinningParams::default());
+        let skel2 = skeletonize(&skel1, &ThinningParams::default());
+        assert_eq!(skel1.count(), skel2.count(), "second pass deleted voxels");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for thinning: topology preservation over randomized
+//! solid shapes.
+
+// 3×3×3 patches are most readable with explicit index loops.
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use tdess_geom::{primitives, Mat3, Vec3};
+use tdess_skeleton::{build_graph, is_simple, prune_spurs, skeletonize, Patch, SegmentKind, ThinningParams};
+use tdess_voxel::{connected_components_26, voxelize, VoxelizeParams};
+
+fn arb_patch() -> impl Strategy<Value = Patch> {
+    prop::array::uniform32(any::<bool>()).prop_map(|bits| {
+        let mut p = [[[false; 3]; 3]; 3];
+        let mut i = 0;
+        for z in 0..3 {
+            for y in 0..3 {
+                for x in 0..3 {
+                    if (x, y, z) != (1, 1, 1) {
+                        p[z][y][x] = bits[i % 32];
+                        i += 1;
+                    }
+                }
+            }
+        }
+        p[1][1][1] = true;
+        p
+    })
+}
+
+/// Brute-force topology check for the 3×3×3 patch: deleting the center
+/// must keep (a) the number of 26-connected object components within
+/// the patch and (b) the number of 6-connected background components
+/// unchanged (cavity/tunnel creation shows up as a background-count
+/// change in this local window for the configurations we generate).
+fn object_components(patch: &Patch, include_center: bool) -> usize {
+    let occ = |x: usize, y: usize, z: usize| -> bool {
+        if (x, y, z) == (1, 1, 1) {
+            include_center
+        } else {
+            patch[z][y][x]
+        }
+    };
+    let mut seen = [[[false; 3]; 3]; 3];
+    let mut comps = 0;
+    for sz in 0..3 {
+        for sy in 0..3 {
+            for sx in 0..3 {
+                if !occ(sx, sy, sz) || seen[sz][sy][sx] {
+                    continue;
+                }
+                comps += 1;
+                let mut stack = vec![(sx, sy, sz)];
+                seen[sz][sy][sx] = true;
+                while let Some((x, y, z)) = stack.pop() {
+                    for dz in -1i32..=1 {
+                        for dy in -1i32..=1 {
+                            for dx in -1i32..=1 {
+                                let (nx, ny, nz) =
+                                    (x as i32 + dx, y as i32 + dy, z as i32 + dz);
+                                if !(0..3).contains(&nx) || !(0..3).contains(&ny) || !(0..3).contains(&nz) {
+                                    continue;
+                                }
+                                let (nx, ny, nz) = (nx as usize, ny as usize, nz as usize);
+                                if occ(nx, ny, nz) && !seen[nz][ny][nx] {
+                                    seen[nz][ny][nx] = true;
+                                    stack.push((nx, ny, nz));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    comps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A voxel classified as simple must not change the local object
+    /// component count when deleted (necessary condition for topology
+    /// preservation; the full criterion also covers tunnels, checked
+    /// by the geometric tests below).
+    #[test]
+    fn simple_points_preserve_local_components(patch in arb_patch()) {
+        if is_simple(&patch) {
+            let with = object_components(&patch, true);
+            let without = object_components(&patch, false);
+            prop_assert_eq!(with, without,
+                "simple point deletion changed local components");
+        }
+    }
+
+    /// Thinning never changes the number of 26-connected components of
+    /// randomly posed two-box scenes (0, 1, or 2 components depending
+    /// on overlap).
+    #[test]
+    fn thinning_preserves_component_count(
+        dx in 0.0f64..4.0,
+        angle in 0.0f64..1.5,
+        res in 16usize..28,
+    ) {
+        let mut mesh = primitives::box_mesh(Vec3::new(1.5, 0.6, 0.6));
+        let mut other = primitives::box_mesh(Vec3::new(0.6, 1.5, 0.6));
+        other.rotate(&Mat3::rotation_axis_angle(Vec3::Z, angle));
+        other.translate(Vec3::new(dx, 0.0, 0.0));
+        mesh.append(&other);
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: res, ..Default::default() });
+        let before = connected_components_26(&grid).count;
+        let skel = skeletonize(&grid, &ThinningParams::default());
+        let after = connected_components_26(&skel).count;
+        prop_assert_eq!(before, after, "thinning changed component count");
+    }
+
+    /// Tori of random proportions always skeletonize to a graph
+    /// containing a loop, and the loop survives as the dominant
+    /// segment.
+    #[test]
+    fn torus_always_yields_a_loop(major in 0.8f64..2.0, frac in 0.2f64..0.4) {
+        let mesh = primitives::torus(major, major * frac, 32, 16);
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 36, ..Default::default() });
+        let mut skel = skeletonize(&grid, &ThinningParams::default());
+        prune_spurs(&mut skel, 6);
+        let graph = build_graph(&skel);
+        prop_assert!(graph.count_kind(SegmentKind::Loop) >= 1,
+            "no loop in torus skeleton: {:?}",
+            graph.segments.iter().map(|s| s.kind).collect::<Vec<_>>());
+    }
+
+    /// Boxes of random aspect never produce loops.
+    #[test]
+    fn box_never_yields_a_loop(x in 0.5f64..3.0, y in 0.5f64..3.0, z in 0.5f64..3.0) {
+        let mesh = primitives::box_mesh(Vec3::new(x, y, z));
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 24, ..Default::default() });
+        let mut skel = skeletonize(&grid, &ThinningParams::default());
+        prune_spurs(&mut skel, 4);
+        let graph = build_graph(&skel);
+        prop_assert_eq!(graph.count_kind(SegmentKind::Loop), 0,
+            "phantom loop in a genus-0 solid");
+    }
+}

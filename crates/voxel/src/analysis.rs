@@ -1,0 +1,280 @@
+//! Discrete analysis of voxel models: moments, surface area, and
+//! connected components.
+
+use tdess_geom::{Moments, Vec3};
+
+use crate::grid::{VoxelGrid, N6};
+
+/// Computes the discrete volume moments of a voxel model, treating
+/// each filled voxel as a point mass `voxel_size³` at its center
+/// (Eq. 3.1 evaluated on the paper's discrete density function).
+///
+/// For second-order moments the voxel's own spread contributes
+/// `voxel_size²/12` per axis, which is included so the discrete result
+/// converges to the exact polyhedral moments as resolution grows.
+pub fn voxel_moments(grid: &VoxelGrid) -> Moments {
+    let dv = grid.voxel_size.powi(3);
+    let self_term = grid.voxel_size * grid.voxel_size / 12.0;
+    let mut m = Moments::default();
+    for (i, j, k) in grid.iter_filled() {
+        let c = grid.voxel_center(i, j, k);
+        m.m000 += dv;
+        m.m100 += dv * c.x;
+        m.m010 += dv * c.y;
+        m.m001 += dv * c.z;
+        m.m200 += dv * (c.x * c.x + self_term);
+        m.m020 += dv * (c.y * c.y + self_term);
+        m.m002 += dv * (c.z * c.z + self_term);
+        m.m110 += dv * c.x * c.y;
+        m.m101 += dv * c.x * c.z;
+        m.m011 += dv * c.y * c.z;
+    }
+    m
+}
+
+/// Estimates the surface area of the filled region by counting exposed
+/// voxel faces. Overestimates smooth surfaces by up to a factor of
+/// ~1.5 (the classic Manhattan-surface effect) but is consistent
+/// across models at fixed resolution.
+pub fn exposed_surface_area(grid: &VoxelGrid) -> f64 {
+    let face = grid.voxel_size * grid.voxel_size;
+    let mut faces = 0usize;
+    for (i, j, k) in grid.iter_filled() {
+        for d in N6 {
+            if !grid.get(i as isize + d.0, j as isize + d.1, k as isize + d.2) {
+                faces += 1;
+            }
+        }
+    }
+    faces as f64 * face
+}
+
+/// Labels 26-connected components of the filled voxels. Returns the
+/// component id per filled voxel (in `iter_filled` order is *not*
+/// guaranteed; use the returned map) and the number of components.
+pub struct Components {
+    /// Dense label array, `usize::MAX` for empty voxels.
+    labels: Vec<usize>,
+    nx: usize,
+    ny: usize,
+    /// Number of components found.
+    pub count: usize,
+    /// Voxel count of each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Label of voxel `(i, j, k)`, or `None` when empty.
+    pub fn label(&self, i: usize, j: usize, k: usize) -> Option<usize> {
+        let l = self.labels[i + self.nx * (j + self.ny * k)];
+        if l == usize::MAX {
+            None
+        } else {
+            Some(l)
+        }
+    }
+}
+
+/// Computes 26-connected components of the filled region.
+pub fn connected_components_26(grid: &VoxelGrid) -> Components {
+    connected_components(grid, true, true)
+}
+
+/// Computes 6-connected components of the filled (or empty, when
+/// `foreground = false`) region.
+pub fn connected_components_6(grid: &VoxelGrid, foreground: bool) -> Components {
+    connected_components(grid, false, foreground)
+}
+
+fn connected_components(grid: &VoxelGrid, conn26: bool, foreground: bool) -> Components {
+    let (nx, ny, nz) = grid.dims();
+    let idx = |i: usize, j: usize, k: usize| i + nx * (j + ny * k);
+    let mut labels = vec![usize::MAX; nx * ny * nz];
+    let mut sizes = Vec::new();
+    let mut count = 0usize;
+    let mut stack = Vec::new();
+
+    let wanted = |g: &VoxelGrid, i: isize, j: isize, k: isize| g.get(i, j, k) == foreground;
+
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                if !wanted(grid, i as isize, j as isize, k as isize) || labels[idx(i, j, k)] != usize::MAX
+                {
+                    continue;
+                }
+                let label = count;
+                count += 1;
+                let mut size = 0usize;
+                labels[idx(i, j, k)] = label;
+                stack.push((i, j, k));
+                while let Some((ci, cj, ck)) = stack.pop() {
+                    size += 1;
+                    let visit = |ni: isize, nj: isize, nk: isize, labels: &mut Vec<usize>, stack: &mut Vec<(usize, usize, usize)>| {
+                        if ni < 0 || nj < 0 || nk < 0 {
+                            return;
+                        }
+                        let (ui, uj, uk) = (ni as usize, nj as usize, nk as usize);
+                        if ui >= nx || uj >= ny || uk >= nz {
+                            return;
+                        }
+                        if wanted(grid, ni, nj, nk) && labels[idx(ui, uj, uk)] == usize::MAX {
+                            labels[idx(ui, uj, uk)] = label;
+                            stack.push((ui, uj, uk));
+                        }
+                    };
+                    if conn26 {
+                        for d in crate::grid::n26() {
+                            visit(ci as isize + d.0, cj as isize + d.1, ck as isize + d.2, &mut labels, &mut stack);
+                        }
+                    } else {
+                        for d in N6 {
+                            visit(ci as isize + d.0, cj as isize + d.1, ck as isize + d.2, &mut labels, &mut stack);
+                        }
+                    }
+                }
+                sizes.push(size);
+            }
+        }
+    }
+    Components {
+        labels,
+        nx,
+        ny,
+        count,
+        sizes,
+    }
+}
+
+/// Geometric parameter helper: centroid of the filled voxels in world
+/// space, or `None` for an empty grid.
+pub fn voxel_centroid(grid: &VoxelGrid) -> Option<Vec3> {
+    let m = voxel_moments(grid);
+    if m.m000 <= 0.0 {
+        None
+    } else {
+        Some(m.centroid())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voxelize::{voxelize, VoxelizeParams};
+    use tdess_geom::{mesh_moments, primitives};
+
+    #[test]
+    fn voxel_moments_match_exact_for_rotated_box() {
+        // A slightly rotated box avoids the axis-aligned worst case
+        // where faces sit exactly on voxel boundaries and the shell is
+        // counted twice.
+        let mut mesh = primitives::box_mesh(Vec3::new(1.0, 2.0, 0.5));
+        mesh.rotate(&tdess_geom::Mat3::rotation_axis_angle(
+            Vec3::new(1.0, 0.7, 0.3),
+            0.4,
+        ));
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 64, ..Default::default() });
+        let vm = voxel_moments(&grid).central();
+        let em = mesh_moments(&mesh).central();
+        assert!((vm.m000 - em.m000).abs() / em.m000 < 0.25, "volume {} vs {}", vm.m000, em.m000);
+        // Compare the rotation-invariant spectrum of per-volume second
+        // moments, which is what the feature extractors consume.
+        let ve = tdess_geom::sym3_eigen(&vm.second_moment_matrix()).values / vm.m000;
+        let ee = tdess_geom::sym3_eigen(&em.second_moment_matrix()).values / em.m000;
+        for i in 0..3 {
+            let rel = (ve[i] - ee[i]).abs() / ee[i];
+            assert!(rel < 0.25, "principal moment {i}: {} vs {} (rel {rel})", ve[i], ee[i]);
+        }
+    }
+
+    #[test]
+    fn axis_aligned_box_overestimates_boundedly() {
+        // Faces exactly on voxel boundaries mark both adjacent layers;
+        // the overestimate must stay within the double-shell bound.
+        let mesh = primitives::box_mesh(Vec3::new(1.0, 2.0, 0.5));
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 64, ..Default::default() });
+        let v = voxel_moments(&grid).m000;
+        assert!(v >= 1.0, "voxel volume {v} below exact");
+        let vs = grid.voxel_size;
+        let bound = (1.0 + 4.0 * vs) * (2.0 + 4.0 * vs) * (0.5 + 4.0 * vs);
+        assert!(v <= bound, "voxel volume {v} above double-shell bound {bound}");
+    }
+
+    #[test]
+    fn voxel_centroid_matches_solid_centroid() {
+        let mut mesh = primitives::cylinder(0.5, 2.0, 32);
+        mesh.translate(Vec3::new(3.0, -1.0, 0.5));
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 48, ..Default::default() });
+        let vc = voxel_centroid(&grid).unwrap();
+        let ec = mesh.solid_centroid().unwrap();
+        assert!(vc.approx_eq(ec, 0.05), "{vc:?} vs {ec:?}");
+    }
+
+    #[test]
+    fn exposed_area_of_single_voxel() {
+        let mut g = VoxelGrid::new(3, 3, 3, Vec3::ZERO, 2.0);
+        g.set(1, 1, 1, true);
+        assert!((exposed_surface_area(&g) - 6.0 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exposed_area_of_two_adjacent_voxels() {
+        let mut g = VoxelGrid::new(4, 3, 3, Vec3::ZERO, 1.0);
+        g.set(1, 1, 1, true);
+        g.set(2, 1, 1, true);
+        // 12 faces total minus 2 shared = 10 exposed.
+        assert!((exposed_surface_area(&g) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_of_two_blobs() {
+        let mut g = VoxelGrid::new(10, 4, 4, Vec3::ZERO, 1.0);
+        g.set(0, 0, 0, true);
+        g.set(1, 1, 1, true); // diagonal: 26-connected to (0,0,0)
+        g.set(8, 2, 2, true);
+        let c26 = connected_components_26(&g);
+        assert_eq!(c26.count, 2);
+        assert_eq!(c26.label(0, 0, 0), c26.label(1, 1, 1));
+        assert_ne!(c26.label(0, 0, 0), c26.label(8, 2, 2));
+        // With 6-connectivity the diagonal pair splits.
+        let c6 = connected_components_6(&g, true);
+        assert_eq!(c6.count, 3);
+    }
+
+    #[test]
+    fn background_components_detect_cavity() {
+        // A 5³ grid with a hollow 3³ shell: background = outside + the
+        // single interior voxel.
+        let mut g = VoxelGrid::new(5, 5, 5, Vec3::ZERO, 1.0);
+        for k in 1..4 {
+            for j in 1..4 {
+                for i in 1..4 {
+                    if i == 2 && j == 2 && k == 2 {
+                        continue;
+                    }
+                    g.set(i, j, k, true);
+                }
+            }
+        }
+        let bg = connected_components_6(&g, false);
+        assert_eq!(bg.count, 2, "outside plus the cavity");
+        assert!(bg.sizes.contains(&1));
+    }
+
+    #[test]
+    fn empty_grid_moments() {
+        let g = VoxelGrid::new(4, 4, 4, Vec3::ZERO, 1.0);
+        let m = voxel_moments(&g);
+        assert_eq!(m.m000, 0.0);
+        assert!(voxel_centroid(&g).is_none());
+    }
+
+    #[test]
+    fn component_sizes_sum_to_count() {
+        let mesh = primitives::uv_sphere(1.0, 16, 8);
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 24, ..Default::default() });
+        let c = connected_components_26(&grid);
+        assert_eq!(c.count, 1, "a sphere is one component");
+        assert_eq!(c.sizes.iter().sum::<usize>(), grid.count());
+    }
+}

@@ -1,0 +1,21 @@
+//! # tdess-voxel — voxelization substrate for 3DESS
+//!
+//! Implements §3.2 of the paper: converting triangle meshes into
+//! bit-packed `N³` occupancy grids (surface rasterization via
+//! separating-axis triangle/box tests, interior recovery via exterior
+//! flood fill or ray parity), plus the discrete analysis the feature
+//! extractors need (voxel moments, exposed surface area, connected
+//! components).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod grid;
+pub mod voxelize;
+
+pub use analysis::{
+    connected_components_26, connected_components_6, exposed_surface_area, voxel_centroid,
+    voxel_moments, Components,
+};
+pub use grid::{n26, VoxelGrid, N18, N6};
+pub use voxelize::{fill_flood, fill_parity, rasterize_surface, tri_box_overlap, voxelize, VoxelizeParams};

@@ -1,0 +1,442 @@
+//! Mesh → voxel conversion (§3.2 of the paper).
+//!
+//! Voxelization follows the paper's recipe: bound the model with a box,
+//! divide it into a lattice of equal voxels, and mark each voxel that
+//! intersects the model. Two complementary fill strategies recover the
+//! solid interior:
+//!
+//! * [`fill_flood`] — flood the *exterior* from the grid boundary
+//!   through 6-connected empty voxels and take the complement; robust
+//!   for any watertight surface shell (the default).
+//! * [`fill_parity`] — per-column ray parity using exact triangle
+//!   crossings; used as an independent cross-check in tests.
+
+use tdess_geom::{Aabb, TriMesh, Vec3};
+
+use crate::grid::{VoxelGrid, N6};
+
+/// Parameters controlling voxelization.
+#[derive(Debug, Clone, Copy)]
+pub struct VoxelizeParams {
+    /// Number of voxels along the longest axis of the model's bounding
+    /// box (the paper's `N`). Voxels are cubes.
+    pub resolution: usize,
+    /// Empty voxel layers added around the bounding box so the
+    /// exterior stays 6-connected for flood filling.
+    pub padding: usize,
+    /// Whether to fill the interior after rasterizing the surface.
+    pub fill: bool,
+}
+
+impl Default for VoxelizeParams {
+    fn default() -> Self {
+        VoxelizeParams {
+            resolution: 64,
+            padding: 1,
+            fill: true,
+        }
+    }
+}
+
+/// Voxelizes a mesh: rasterizes the surface and (optionally) fills the
+/// interior by exterior flood fill.
+///
+/// ```
+/// use tdess_geom::{primitives, Vec3};
+/// use tdess_voxel::{voxelize, VoxelizeParams};
+///
+/// let cube = primitives::box_mesh(Vec3::ONE);
+/// let grid = voxelize(&cube, &VoxelizeParams { resolution: 16, ..Default::default() });
+/// // Filled volume approximates the exact volume (1.0) from above.
+/// assert!(grid.filled_volume() >= 1.0 && grid.filled_volume() < 1.6);
+/// ```
+pub fn voxelize(mesh: &TriMesh, params: &VoxelizeParams) -> VoxelGrid {
+    assert!(params.resolution >= 2, "resolution must be at least 2");
+    let bb = mesh.bounding_box();
+    assert!(!bb.is_empty(), "cannot voxelize an empty mesh");
+    let extent = bb.extent();
+    let longest = extent.max_element().max(1e-12);
+    let voxel_size = longest / params.resolution as f64;
+
+    let pad = params.padding as f64 * voxel_size;
+    let origin = bb.min - Vec3::splat(pad);
+    let cells = |e: f64| ((e / voxel_size).ceil() as usize).max(1) + 2 * params.padding;
+    let (nx, ny, nz) = (cells(extent.x), cells(extent.y), cells(extent.z));
+
+    let mut grid = VoxelGrid::new(nx, ny, nz, origin, voxel_size);
+    rasterize_surface(mesh, &mut grid);
+    if params.fill {
+        fill_flood(&mut grid);
+    }
+    grid
+}
+
+/// Marks every voxel whose cube overlaps some triangle of the mesh.
+pub fn rasterize_surface(mesh: &TriMesh, grid: &mut VoxelGrid) {
+    let (nx, ny, nz) = grid.dims();
+    let vs = grid.voxel_size;
+    let half = Vec3::splat(vs * 0.5);
+    for tri in mesh.triangle_iter() {
+        let tb = Aabb::from_points(tri);
+        // Voxel index range overlapped by the triangle's AABB,
+        // expanded by one voxel on each side so triangles lying exactly
+        // on a voxel boundary are tested against both adjacent layers
+        // (floating-point rounding must never drop a layer).
+        let lo = (tb.min - grid.origin) / vs;
+        let hi = (tb.max - grid.origin) / vs;
+        let i0 = ((lo.x.floor() - 1.0).max(0.0)) as usize;
+        let j0 = ((lo.y.floor() - 1.0).max(0.0)) as usize;
+        let k0 = ((lo.z.floor() - 1.0).max(0.0)) as usize;
+        let i1 = ((hi.x.floor() + 1.0).max(0.0) as usize).min(nx - 1);
+        let j1 = ((hi.y.floor() + 1.0).max(0.0) as usize).min(ny - 1);
+        let k1 = ((hi.z.floor() + 1.0).max(0.0) as usize).min(nz - 1);
+        for k in k0..=k1 {
+            for j in j0..=j1 {
+                for i in i0..=i1 {
+                    if grid.get(i as isize, j as isize, k as isize) {
+                        continue;
+                    }
+                    let center = grid.voxel_center(i, j, k);
+                    if tri_box_overlap(center, half, tri) {
+                        grid.set(i, j, k, true);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fills the interior: flood-fills the exterior from all boundary
+/// voxels through empty 6-connected space, then sets everything not
+/// reached. Assumes the surface shell separates inside from outside
+/// (watertight mesh, adequate resolution, padding ≥ 1).
+pub fn fill_flood(grid: &mut VoxelGrid) {
+    let (nx, ny, nz) = grid.dims();
+    let mut outside = vec![false; nx * ny * nz];
+    let idx = |i: usize, j: usize, k: usize| i + nx * (j + ny * k);
+    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+
+    // Seed with all empty boundary voxels.
+    let seed = |i: usize, j: usize, k: usize, grid: &VoxelGrid, outside: &mut [bool], stack: &mut Vec<(usize, usize, usize)>| {
+        if !grid.get(i as isize, j as isize, k as isize) && !outside[idx(i, j, k)] {
+            outside[idx(i, j, k)] = true;
+            stack.push((i, j, k));
+        }
+    };
+    for j in 0..ny {
+        for i in 0..nx {
+            seed(i, j, 0, grid, &mut outside, &mut stack);
+            seed(i, j, nz - 1, grid, &mut outside, &mut stack);
+        }
+    }
+    for k in 0..nz {
+        for i in 0..nx {
+            seed(i, 0, k, grid, &mut outside, &mut stack);
+            seed(i, ny - 1, k, grid, &mut outside, &mut stack);
+        }
+        for j in 0..ny {
+            seed(0, j, k, grid, &mut outside, &mut stack);
+            seed(nx - 1, j, k, grid, &mut outside, &mut stack);
+        }
+    }
+
+    while let Some((i, j, k)) = stack.pop() {
+        for d in N6 {
+            let (ni, nj, nk) = (i as isize + d.0, j as isize + d.1, k as isize + d.2);
+            if ni < 0 || nj < 0 || nk < 0 {
+                continue;
+            }
+            let (ni, nj, nk) = (ni as usize, nj as usize, nk as usize);
+            if ni >= nx || nj >= ny || nk >= nz {
+                continue;
+            }
+            if !grid.get(ni as isize, nj as isize, nk as isize) && !outside[idx(ni, nj, nk)] {
+                outside[idx(ni, nj, nk)] = true;
+                stack.push((ni, nj, nk));
+            }
+        }
+    }
+
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                if !outside[idx(i, j, k)] {
+                    grid.set(i, j, k, true);
+                }
+            }
+        }
+    }
+}
+
+/// Fills the interior by per-column parity counting: for every (i, j)
+/// column, casts a +z ray through the voxel-center line and toggles
+/// inside/outside at each triangle crossing. Returns a fresh grid
+/// (surface voxels are *not* included unless parity covers them).
+pub fn fill_parity(mesh: &TriMesh, grid: &VoxelGrid) -> VoxelGrid {
+    let (nx, ny, nz) = grid.dims();
+    let mut out = VoxelGrid::new(nx, ny, nz, grid.origin, grid.voxel_size);
+    // Tiny deterministic offset avoids rays passing exactly through
+    // vertices/edges of axis-aligned geometry.
+    let eps = grid.voxel_size * 1e-4;
+
+    // Bucket triangles by the columns their xy-projections touch.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nx * ny];
+    for (t, tri) in mesh.triangle_iter().enumerate() {
+        let bb = Aabb::from_points(tri);
+        let lo = (bb.min - grid.origin) / grid.voxel_size;
+        let hi = (bb.max - grid.origin) / grid.voxel_size;
+        let i0 = lo.x.floor().max(0.0) as usize;
+        let j0 = lo.y.floor().max(0.0) as usize;
+        let i1 = (hi.x.floor() as usize).min(nx - 1);
+        let j1 = (hi.y.floor() as usize).min(ny - 1);
+        for j in j0..=j1 {
+            for i in i0..=i1 {
+                buckets[i + nx * j].push(t as u32);
+            }
+        }
+    }
+
+    for j in 0..ny {
+        for i in 0..nx {
+            let tris = &buckets[i + nx * j];
+            if tris.is_empty() {
+                continue;
+            }
+            let c = grid.voxel_center(i, j, 0);
+            let (rx, ry) = (c.x + eps, c.y + eps * 0.7);
+            // Collect z-crossings of the vertical line (rx, ry, ·).
+            let mut crossings: Vec<f64> = Vec::new();
+            for &t in tris {
+                let [a, b, cc] = mesh.triangle(t as usize);
+                if let Some(z) = ray_z_crossing(rx, ry, a, b, cc) {
+                    crossings.push(z);
+                }
+            }
+            crossings.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            crossings.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            if !crossings.len().is_multiple_of(2) {
+                // Degenerate hit (grazing edge); skip this column — the
+                // flood fill remains the authoritative result.
+                continue;
+            }
+            // Walk the column, toggling at crossings.
+            let mut ci = 0;
+            for k in 0..nz {
+                let z = grid.voxel_center(i, j, k).z;
+                while ci < crossings.len() && crossings[ci] < z {
+                    ci += 1;
+                }
+                if ci % 2 == 1 {
+                    out.set(i, j, k, true);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Intersection z of the vertical line through (x, y) with triangle
+/// (a, b, c), if the line pierces the triangle's xy-projection.
+fn ray_z_crossing(x: f64, y: f64, a: Vec3, b: Vec3, c: Vec3) -> Option<f64> {
+    // Barycentric coordinates in the xy-plane.
+    let d = (b.y - c.y) * (a.x - c.x) + (c.x - b.x) * (a.y - c.y);
+    if d.abs() < 1e-300 {
+        return None; // triangle is vertical in projection
+    }
+    let w0 = ((b.y - c.y) * (x - c.x) + (c.x - b.x) * (y - c.y)) / d;
+    let w1 = ((c.y - a.y) * (x - c.x) + (a.x - c.x) * (y - c.y)) / d;
+    let w2 = 1.0 - w0 - w1;
+    if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+        return None;
+    }
+    Some(w0 * a.z + w1 * b.z + w2 * c.z)
+}
+
+/// Separating-axis triangle/axis-aligned-box overlap test
+/// (Akenine-Möller). `center` and `half` describe the box; `tri` the
+/// triangle corners in world space.
+pub fn tri_box_overlap(center: Vec3, half: Vec3, tri: [Vec3; 3]) -> bool {
+    // Pad the box by a relative epsilon so triangles lying exactly on a
+    // box face still register as overlapping despite floating-point
+    // rounding in the translation below.
+    let eps = (center.abs().max_element() + half.max_element() + 1.0) * 1e-12;
+    let half = half + Vec3::splat(eps);
+    // Translate so the box is at the origin.
+    let v0 = tri[0] - center;
+    let v1 = tri[1] - center;
+    let v2 = tri[2] - center;
+
+    let e0 = v1 - v0;
+    let e1 = v2 - v1;
+    let e2 = v0 - v2;
+
+    // 1. Box axes (x, y, z): test triangle AABB against box.
+    let max3 = |a: f64, b: f64, c: f64| a.max(b).max(c);
+    let min3 = |a: f64, b: f64, c: f64| a.min(b).min(c);
+    if min3(v0.x, v1.x, v2.x) > half.x || max3(v0.x, v1.x, v2.x) < -half.x {
+        return false;
+    }
+    if min3(v0.y, v1.y, v2.y) > half.y || max3(v0.y, v1.y, v2.y) < -half.y {
+        return false;
+    }
+    if min3(v0.z, v1.z, v2.z) > half.z || max3(v0.z, v1.z, v2.z) < -half.z {
+        return false;
+    }
+
+    // 2. Triangle plane normal.
+    let normal = e0.cross(e1);
+    let d = -normal.dot(v0);
+    let r = half.x * normal.x.abs() + half.y * normal.y.abs() + half.z * normal.z.abs();
+    if d.abs() > r {
+        return false;
+    }
+
+    // 3. Nine cross-product axes a_ij = e_i × box_axis_j.
+    let axis_test = |axis: Vec3| -> bool {
+        // Degenerate axis (edge parallel to box axis): skip.
+        let r = half.x * axis.x.abs() + half.y * axis.y.abs() + half.z * axis.z.abs();
+        let p0 = axis.dot(v0);
+        let p1 = axis.dot(v1);
+        let p2 = axis.dot(v2);
+        let lo = min3(p0, p1, p2);
+        let hi = max3(p0, p1, p2);
+        lo <= r && hi >= -r
+    };
+    for e in [e0, e1, e2] {
+        if !axis_test(Vec3::new(0.0, -e.z, e.y)) {
+            return false; // X × e
+        }
+        if !axis_test(Vec3::new(e.z, 0.0, -e.x)) {
+            return false; // Y × e
+        }
+        if !axis_test(Vec3::new(-e.y, e.x, 0.0)) {
+            return false; // Z × e
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdess_geom::primitives;
+
+    #[test]
+    fn tri_box_overlap_basics() {
+        let half = Vec3::splat(0.5);
+        let c = Vec3::ZERO;
+        // Triangle through the box center.
+        assert!(tri_box_overlap(
+            c,
+            half,
+            [Vec3::new(-1.0, 0.0, 0.0), Vec3::new(1.0, 0.1, 0.0), Vec3::new(0.0, 1.0, 0.2)]
+        ));
+        // Triangle far away.
+        assert!(!tri_box_overlap(
+            c,
+            half,
+            [Vec3::new(5.0, 5.0, 5.0), Vec3::new(6.0, 5.0, 5.0), Vec3::new(5.0, 6.0, 5.0)]
+        ));
+        // Large triangle whose plane misses the box (separating axis =
+        // normal).
+        assert!(!tri_box_overlap(
+            c,
+            half,
+            [Vec3::new(-10.0, -10.0, 2.0), Vec3::new(10.0, -10.0, 2.0), Vec3::new(0.0, 10.0, 2.0)]
+        ));
+        // Large triangle whose plane cuts the box but whose projection
+        // excludes it — tests the cross-product axes.
+        assert!(!tri_box_overlap(
+            c,
+            half,
+            [Vec3::new(2.0, -1.0, 0.0), Vec3::new(3.0, 1.0, 0.0), Vec3::new(2.5, 0.0, 1.0)]
+        ));
+    }
+
+    #[test]
+    fn voxelized_cube_volume_converges() {
+        let mesh = primitives::box_mesh(Vec3::ONE);
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 32, ..Default::default() });
+        let v = grid.filled_volume();
+        // Volume overestimates slightly (surface voxels), but should be
+        // within ~2 voxel layers.
+        assert!(v >= 1.0, "filled volume {v} below exact");
+        assert!(v < 1.35, "filled volume {v} too large");
+    }
+
+    #[test]
+    fn higher_resolution_tightens_volume() {
+        let mesh = primitives::uv_sphere(1.0, 32, 16);
+        let exact = 4.0 / 3.0 * std::f64::consts::PI;
+        let mut prev_err = f64::INFINITY;
+        for res in [16, 32, 64] {
+            let grid = voxelize(&mesh, &VoxelizeParams { resolution: res, ..Default::default() });
+            let err = (grid.filled_volume() - exact).abs() / exact;
+            assert!(err < prev_err, "resolution {res}: error {err} vs {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 0.1, "residual error {prev_err}");
+    }
+
+    #[test]
+    fn hollow_vs_filled_cube() {
+        let mesh = primitives::box_mesh(Vec3::ONE);
+        let shell = voxelize(&mesh, &VoxelizeParams { resolution: 24, fill: false, ..Default::default() });
+        let solid = voxelize(&mesh, &VoxelizeParams { resolution: 24, fill: true, ..Default::default() });
+        assert!(solid.count() > shell.count(), "fill added interior voxels");
+        // Interior voxel is filled only in the solid version.
+        let center = solid.world_to_voxel(Vec3::ZERO).unwrap();
+        assert!(solid.get(center.0 as isize, center.1 as isize, center.2 as isize));
+        assert!(!shell.get(center.0 as isize, center.1 as isize, center.2 as isize));
+    }
+
+    #[test]
+    fn parity_fill_agrees_with_flood_fill() {
+        for mesh in [
+            primitives::box_mesh(Vec3::new(1.0, 0.7, 0.4)),
+            primitives::uv_sphere(0.8, 24, 12),
+            primitives::cylinder(0.5, 1.2, 24),
+        ] {
+            let solid = voxelize(&mesh, &VoxelizeParams { resolution: 32, ..Default::default() });
+            let parity = fill_parity(&mesh, &solid);
+            // Parity fill excludes pure-surface voxels, so it is a
+            // subset; the difference is at most the surface shell.
+            let shell = voxelize(&mesh, &VoxelizeParams { resolution: 32, fill: false, ..Default::default() });
+            let mut mismatch = 0usize;
+            let (nx, ny, nz) = solid.dims();
+            for k in 0..nz {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let s = solid.get(i as isize, j as isize, k as isize);
+                        let p = parity.get(i as isize, j as isize, k as isize);
+                        let sh = shell.get(i as isize, j as isize, k as isize);
+                        if s != p && !sh {
+                            mismatch += 1;
+                        }
+                    }
+                }
+            }
+            assert_eq!(mismatch, 0, "interior disagreement between fills");
+        }
+    }
+
+    #[test]
+    fn torus_hole_not_filled() {
+        let mesh = primitives::torus(1.0, 0.3, 32, 16);
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 48, ..Default::default() });
+        // The voxel at the torus center must stay empty.
+        let c = grid.world_to_voxel(Vec3::ZERO).unwrap();
+        assert!(!grid.get(c.0 as isize, c.1 as isize, c.2 as isize));
+        // Volume close to exact.
+        let exact = 2.0 * std::f64::consts::PI.powi(2) * 1.0 * 0.09;
+        let err = (grid.filled_volume() - exact).abs() / exact;
+        assert!(err < 0.25, "torus volume error {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn tiny_resolution_rejected() {
+        let mesh = primitives::box_mesh(Vec3::ONE);
+        let _ = voxelize(&mesh, &VoxelizeParams { resolution: 1, ..Default::default() });
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for voxelization: conservativeness of the fill,
+//! agreement between fill strategies, and moment convergence.
+
+use proptest::prelude::*;
+use tdess_geom::{primitives, Mat3, Vec3};
+use tdess_voxel::{connected_components_26, fill_parity, voxel_moments, voxelize, VoxelizeParams};
+
+fn arb_rotation() -> impl Strategy<Value = Mat3> {
+    (
+        (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0),
+        0.0f64..std::f64::consts::TAU,
+    )
+        .prop_filter_map("axis too short", |((x, y, z), angle)| {
+            Vec3::new(x, y, z)
+                .normalized()
+                .map(|axis| Mat3::rotation_axis_angle(axis, angle))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Voxel volume is a conservative overestimate of the exact volume
+    /// for arbitrarily rotated boxes, within the surface-shell bound.
+    #[test]
+    fn voxel_volume_bounds_exact_volume(
+        x in 0.4f64..3.0, y in 0.4f64..3.0, z in 0.4f64..3.0,
+        r in arb_rotation(),
+        res in 20usize..40,
+    ) {
+        let mut mesh = primitives::box_mesh(Vec3::new(x, y, z));
+        mesh.rotate(&r);
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: res, ..Default::default() });
+        let exact = x * y * z;
+        let voxel = grid.filled_volume();
+        prop_assert!(voxel >= exact * 0.98, "voxel {voxel} below exact {exact}");
+        // Overestimate bounded by a surface shell of ~2.2 voxel widths
+        // (each boundary cell can be grabbed from either side).
+        let area = mesh.surface_area();
+        let bound = exact + 2.2 * area * grid.voxel_size + 20.0 * grid.voxel_size.powi(3);
+        prop_assert!(voxel <= bound, "voxel {voxel} above bound {bound}");
+    }
+
+    /// Flood fill and ray-parity fill agree on the interior for rotated
+    /// convex solids (disagreements only in the surface shell).
+    #[test]
+    fn fill_strategies_agree(r in arb_rotation(), res in 20usize..36) {
+        let mut mesh = primitives::cylinder(0.6, 1.8, 24);
+        mesh.rotate(&r);
+        let solid = voxelize(&mesh, &VoxelizeParams { resolution: res, ..Default::default() });
+        let shell = voxelize(&mesh, &VoxelizeParams { resolution: res, fill: false, ..Default::default() });
+        let parity = fill_parity(&mesh, &solid);
+        let (nx, ny, nz) = solid.dims();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let s = solid.get(i as isize, j as isize, k as isize);
+                    let p = parity.get(i as isize, j as isize, k as isize);
+                    let sh = shell.get(i as isize, j as isize, k as isize);
+                    if s != p && !sh {
+                        prop_assert!(false, "interior fill disagreement at ({i},{j},{k})");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A voxelized convex solid is one 26-connected component, and the
+    /// voxel centroid matches the exact centroid to within two voxels.
+    #[test]
+    fn voxelization_is_connected_with_correct_centroid(
+        r in arb_rotation(),
+        tx in -4.0f64..4.0,
+        res in 20usize..36,
+    ) {
+        let mut mesh = primitives::uv_sphere(0.9, 20, 10);
+        mesh.rotate(&r);
+        mesh.translate(Vec3::new(tx, -tx, tx * 0.5));
+        let grid = voxelize(&mesh, &VoxelizeParams { resolution: res, ..Default::default() });
+        prop_assert_eq!(connected_components_26(&grid).count, 1);
+        let vm = voxel_moments(&grid);
+        let vc = vm.centroid();
+        let ec = mesh.solid_centroid().expect("sphere has volume");
+        prop_assert!(vc.distance(ec) < 2.0 * grid.voxel_size,
+            "centroid off by {} ({} voxels)", vc.distance(ec), vc.distance(ec) / grid.voxel_size);
+    }
+}

@@ -1,0 +1,82 @@
+//! Query by browsing (§2.1): cluster the database per feature vector
+//! and drill down the hierarchy, comparing the three clustering
+//! algorithms the paper's SERVER layer implements (k-means, SOM, GA).
+//!
+//! ```sh
+//! cargo run --release --example browse_by_cluster
+//! ```
+
+use threedess::cluster::{ga_cluster, kmeans, rand_index, som_cluster, GaParams, HierarchyParams, SomParams};
+use threedess::core::{BrowseTree, ShapeDatabase};
+use threedess::dataset::build_corpus;
+use threedess::features::{FeatureExtractor, FeatureKind};
+
+fn main() {
+    let corpus = build_corpus(2004);
+    println!("indexing the {}-shape corpus...", corpus.shapes.len());
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: 32,
+        ..Default::default()
+    });
+    for s in &corpus.shapes {
+        db.insert(s.name.clone(), s.mesh.clone()).unwrap();
+    }
+
+    // --- Flat clustering: compare k-means, SOM, and GA against the
+    // ground-truth families (ids follow insertion order = corpus order).
+    let kind = FeatureKind::PrincipalMoments;
+    let points: Vec<Vec<f64>> = db
+        .shapes()
+        .iter()
+        .map(|s| s.features.get(kind).to_vec())
+        .collect();
+    let truth: Vec<usize> = corpus
+        .shapes
+        .iter()
+        .map(|s| s.group.map_or(26, |g| g)) // noise shapes share a bucket
+        .collect();
+
+    println!("\nflat clustering into 26 clusters ({}):", kind.label());
+    let km = kmeans(&points, 26, 42);
+    println!("  k-means: SSE {:9.4}, Rand index vs ground truth {:.3}", km.sse, rand_index(&km.assignments, &truth));
+    let (_, som) = som_cluster(&points, &SomParams { width: 6, height: 5, ..Default::default() }, 42);
+    println!("  SOM:     SSE {:9.4}, Rand index vs ground truth {:.3}", som.sse, rand_index(&som.assignments, &truth));
+    let ga = ga_cluster(&points, 26, &GaParams::default(), 42);
+    println!("  GA:      SSE {:9.4}, Rand index vs ground truth {:.3}", ga.sse, rand_index(&ga.assignments, &truth));
+
+    // --- Hierarchical browsing: build the drill-down tree and walk the
+    // largest branch to a leaf.
+    println!("\nhierarchical browsing ({}):", kind.label());
+    let tree = BrowseTree::build(
+        &db,
+        kind,
+        &HierarchyParams { branching: 4, leaf_size: 8 },
+        7,
+    );
+    let mut cursor = tree.cursor();
+    loop {
+        let ids = cursor.shape_ids();
+        println!(
+            "  level {}: {} shapes, {} children {:?}",
+            cursor.path().len(),
+            ids.len(),
+            cursor.num_children(),
+            cursor.child_sizes()
+        );
+        if cursor.is_leaf() {
+            println!("  leaf contents:");
+            for id in ids {
+                println!("    - {}", db.get(id).unwrap().name);
+            }
+            break;
+        }
+        // Always descend into the largest child.
+        let (biggest, _) = cursor
+            .child_sizes()
+            .into_iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| s)
+            .expect("non-leaf has children");
+        cursor.descend(biggest);
+    }
+}

@@ -1,0 +1,83 @@
+//! Multi-step search on the 113-shape evaluation corpus: retrieve
+//! candidates with principal moments, re-rank them with the
+//! skeletal-graph eigenvalues, and compare against the one-shot
+//! search (§4.2 of the paper).
+//!
+//! ```sh
+//! cargo run --release --example multi_step_search
+//! ```
+
+use threedess::core::{multi_step_search, MultiStepPlan, Query, ShapeDatabase};
+use threedess::dataset::build_corpus;
+use threedess::features::{FeatureExtractor, FeatureKind};
+
+fn main() {
+    let corpus = build_corpus(2004);
+    println!("indexing the {}-shape corpus (this takes a few seconds)...", corpus.shapes.len());
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: 32,
+        ..Default::default()
+    });
+    let mut names = std::collections::HashMap::new();
+    for s in &corpus.shapes {
+        let id = db.insert(s.name.clone(), s.mesh.clone()).unwrap();
+        names.insert(id, (s.name.clone(), s.group));
+    }
+
+    // Query with a pipe; its group has 5 members.
+    let query_record = corpus
+        .shapes
+        .iter()
+        .find(|s| s.name == "pipe-0")
+        .expect("corpus contains pipe-0");
+    let query = db.extract_query(&query_record.mesh).unwrap();
+    let query_group = query_record.group;
+
+    println!("\nquery: {} (group: {:?})", query_record.name, query_group);
+
+    // One-shot: top 10 by principal moments.
+    let one_shot = db.search(&query, &Query::top_k(FeatureKind::PrincipalMoments, 11));
+    println!("\none-shot (principal moments), top 10:");
+    print_hits(&db, &one_shot, query_group, &query_record.name);
+
+    // Multi-step: 30 candidates by principal moments, re-ranked by the
+    // eigenvalues of the skeletal graph, 10 presented.
+    let plan = MultiStepPlan {
+        steps: vec![FeatureKind::PrincipalMoments, FeatureKind::Eigenvalues],
+        candidates: 31,
+        presented: 11,
+    };
+    let multi = multi_step_search(&db, &query, &plan);
+    println!("\nmulti-step (principal moments -> eigenvalues), top 10:");
+    print_hits(&db, &multi, query_group, &query_record.name);
+}
+
+fn print_hits(
+    db: &ShapeDatabase,
+    hits: &[threedess::core::SearchHit],
+    query_group: Option<usize>,
+    query_name: &str,
+) {
+    let mut shown = 0;
+    for h in hits {
+        let s = db.get(h.id).unwrap();
+        if s.name == query_name {
+            continue; // skip the guaranteed self-match
+        }
+        shown += 1;
+        if shown > 10 {
+            break;
+        }
+        // Group membership is recoverable from the name prefix.
+        let same_family = query_group.is_some()
+            && s.name.rsplit_once('-').map(|(f, _)| f)
+                == query_name.rsplit_once('-').map(|(f, _)| f);
+        println!(
+            "  {:2}. {:20} sim {:.3} {}",
+            shown,
+            s.name,
+            h.similarity,
+            if same_family { "<- same family" } else { "" }
+        );
+    }
+}

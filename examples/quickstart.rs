@@ -1,0 +1,65 @@
+//! Quickstart: build a small shape database, run a query by example,
+//! and print the ranked results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use threedess::core::{Query, ShapeDatabase};
+use threedess::features::{FeatureExtractor, FeatureKind};
+use threedess::geom::{primitives, Vec3};
+
+fn main() {
+    // A database with a moderate voxel resolution (trade extraction
+    // speed for skeleton fidelity with `voxel_resolution`).
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: 32,
+        ..Default::default()
+    });
+
+    // Insert a handful of parts. Every insert runs the full §3
+    // pipeline: normalization → voxelization → skeletonization →
+    // feature vectors, then updates one R-tree per feature space.
+    println!("indexing shapes...");
+    db.insert("small-box", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5))).unwrap();
+    db.insert("large-box", primitives::box_mesh(Vec3::new(4.0, 2.0, 1.0))).unwrap();
+    db.insert("cube", primitives::box_mesh(Vec3::new(1.5, 1.5, 1.5))).unwrap();
+    db.insert("sphere", primitives::uv_sphere(1.0, 24, 12)).unwrap();
+    db.insert("rod", primitives::cylinder(0.3, 6.0, 24)).unwrap();
+    db.insert("disk", primitives::cylinder(2.0, 0.4, 24)).unwrap();
+    db.insert("ring", primitives::torus(1.5, 0.4, 32, 16)).unwrap();
+
+    // Query by example: a box similar (up to pose and scale) to the
+    // stored boxes. The features are pose- and scale-invariant, so the
+    // random-looking pose below does not matter.
+    let mut query = primitives::box_mesh(Vec3::new(2.1, 1.05, 0.5));
+    query.rotate(&threedess::geom::Mat3::rotation_axis_angle(
+        Vec3::new(1.0, 0.3, -0.5),
+        1.1,
+    ));
+    query.translate(Vec3::new(7.0, -2.0, 3.0));
+
+    for kind in [FeatureKind::PrincipalMoments, FeatureKind::MomentInvariants] {
+        println!("\ntop-5 by {}:", kind.label());
+        let hits = db.search_mesh(&query, &Query::top_k(kind, 5)).unwrap();
+        for (rank, h) in hits.iter().enumerate() {
+            let shape = db.get(h.id).unwrap();
+            println!(
+                "  {}. {:10} similarity {:.3} (distance {:.4})",
+                rank + 1,
+                shape.name,
+                h.similarity,
+                h.distance
+            );
+        }
+    }
+
+    // Threshold query: everything at least 90% similar.
+    let hits = db
+        .search_mesh(&query, &Query::threshold(FeatureKind::PrincipalMoments, 0.9))
+        .unwrap();
+    println!("\nshapes with similarity >= 0.9 (principal moments): {}", hits.len());
+    for h in &hits {
+        println!("  {} ({:.3})", db.get(h.id).unwrap().name, h.similarity);
+    }
+}

@@ -1,0 +1,111 @@
+//! Relevance feedback: run a query, mark relevant/irrelevant results,
+//! and let the system reconstruct the query (Rocchio) and reconfigure
+//! the per-dimension weights (§2.2 of the paper).
+//!
+//! ```sh
+//! cargo run --release --example relevance_feedback
+//! ```
+
+use threedess::core::{
+    reconfigure_weights, reconstruct_query, Feedback, Query, QueryMode, RocchioParams,
+    ShapeDatabase,
+};
+use threedess::features::{FeatureExtractor, FeatureKind};
+use threedess::geom::{primitives, Vec3};
+
+fn main() {
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: 28,
+        ..Default::default()
+    });
+
+    // Populate: a family of flat plates, a family of long rods, and
+    // some distractors.
+    for i in 0..4 {
+        let s = 1.0 + 0.06 * i as f64;
+        db.insert(
+            format!("plate-{i}"),
+            primitives::box_mesh(Vec3::new(4.0 * s, 3.0 * s, 0.25 * s)),
+        )
+        .unwrap();
+    }
+    for i in 0..4 {
+        let s = 1.0 + 0.06 * i as f64;
+        db.insert(format!("rod-{i}"), primitives::cylinder(0.25 * s, 6.0 * s, 20))
+            .unwrap();
+    }
+    db.insert("sphere", primitives::uv_sphere(1.2, 20, 10)).unwrap();
+    db.insert("ring", primitives::torus(1.5, 0.4, 28, 14)).unwrap();
+
+    let kind = FeatureKind::GeometricParams;
+
+    // Initial query: a plate-like box, searched with geometric
+    // parameters (where plates and slabs can be confused).
+    let qmesh = primitives::box_mesh(Vec3::new(4.2, 3.1, 0.26));
+    let features = db.extract_query(&qmesh).unwrap();
+    let initial = db.search(&features, &Query::top_k(kind, 6));
+    println!("initial results ({}):", kind.label());
+    for h in &initial {
+        println!("  {:10} sim {:.3}", db.get(h.id).unwrap().name, h.similarity);
+    }
+
+    // The user marks plates relevant and everything else irrelevant.
+    let feedback = Feedback {
+        relevant: initial
+            .iter()
+            .filter(|h| db.get(h.id).unwrap().name.starts_with("plate"))
+            .map(|h| h.id)
+            .collect(),
+        irrelevant: initial
+            .iter()
+            .filter(|h| !db.get(h.id).unwrap().name.starts_with("plate"))
+            .map(|h| h.id)
+            .collect(),
+    };
+    println!(
+        "\nfeedback: {} relevant, {} irrelevant",
+        feedback.relevant.len(),
+        feedback.irrelevant.len()
+    );
+
+    // 1. Query reconstruction (Rocchio).
+    let q0 = features.get(kind).to_vec();
+    let q1 = reconstruct_query(&db, kind, &q0, &feedback, &RocchioParams::default());
+    println!("query vector moved by {:.4} in feature space", dist(&q0, &q1));
+
+    // 2. Weight reconfiguration from the relevant set.
+    let weights = reconfigure_weights(&db, kind, &feedback);
+    println!("reconfigured weights: {:?}", weights.0.as_ref().unwrap());
+
+    // Re-run the search with both adjustments.
+    let mut adjusted = features.clone();
+    adjusted.geometric = q1;
+    let refined = db.search(
+        &adjusted,
+        &Query {
+            kind,
+            weights,
+            mode: QueryMode::TopK(6),
+        },
+    );
+    println!("\nrefined results:");
+    for h in &refined {
+        println!("  {:10} sim {:.3}", db.get(h.id).unwrap().name, h.similarity);
+    }
+
+    let plates_before = initial
+        .iter()
+        .take(4)
+        .filter(|h| db.get(h.id).unwrap().name.starts_with("plate"))
+        .count();
+    let plates_after = refined
+        .iter()
+        .take(4)
+        .filter(|h| db.get(h.id).unwrap().name.starts_with("plate"))
+        .count();
+    println!("\nplates in the top 4: {plates_before} before feedback, {plates_after} after");
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}

@@ -1,0 +1,323 @@
+//! `tdess` — command-line interface to the 3DESS shape-search system.
+//!
+//! ```text
+//! tdess corpus <dir>                         generate & export the 113-shape corpus
+//! tdess index  <db.json> <mesh>...           create/extend a database from STL/OFF files
+//! tdess info   <db.json>                     database statistics
+//! tdess query  <db.json> <mesh> [options]    query by example
+//!        --kind mi|gp|pm|ev|ho    feature vector        (default pm)
+//!        --top K                  top-K results         (default 10)
+//!        --threshold S            similarity threshold instead of top-K
+//!        --render DIR             write a PGM thumbnail per result
+//! tdess multistep <db.json> <mesh> [options] multi-step search
+//!        --steps a,b,...          features per step     (default pm,ev)
+//!        --candidates K           candidate-set size    (default 30)
+//!        --present R              presented results     (default 10)
+//! tdess browse <db.json> [--kind pm]         print the browsing hierarchy
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use threedess::cluster::HierarchyParams;
+use threedess::core::{
+    load_from_path, multi_step_search, save_to_path, BrowseTree, MultiStepPlan, Query, QueryMode,
+    ShapeDatabase, Weights,
+};
+use threedess::dataset::build_corpus;
+use threedess::features::{FeatureExtractor, FeatureKind};
+use threedess::geom::io::{load_mesh, save_mesh};
+use threedess::geom::{render, RenderParams};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "corpus" => cmd_corpus(&args[1..]),
+        "index" => cmd_index(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "multistep" => cmd_multistep(&args[1..]),
+        "browse" => cmd_browse(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: tdess <corpus|index|info|query|multistep|browse|help> ... (see `tdess help`)".into()
+}
+
+/// Parses a feature-kind flag value.
+fn parse_kind(s: &str) -> Result<FeatureKind, String> {
+    match s {
+        "mi" => Ok(FeatureKind::MomentInvariants),
+        "gp" => Ok(FeatureKind::GeometricParams),
+        "pm" => Ok(FeatureKind::PrincipalMoments),
+        "ev" => Ok(FeatureKind::Eigenvalues),
+        "ho" => Ok(FeatureKind::HigherOrder),
+        other => Err(format!("unknown feature kind `{other}` (expected mi|gp|pm|ev|ho)")),
+    }
+}
+
+/// Parsed command line: positional arguments and `--flag value` pairs.
+type ParsedArgs = (Vec<String>, Vec<(String, String)>);
+
+/// Extracts `--flag value` pairs; returns (positional, flags).
+fn split_flags(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.push((name.to_string(), v.clone()));
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    Ok((pos, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn cmd_corpus(args: &[String]) -> Result<(), String> {
+    let dir: PathBuf = args
+        .first()
+        .ok_or("usage: tdess corpus <dir>")?
+        .into();
+    std::fs::create_dir_all(dir.join("meshes")).map_err(|e| e.to_string())?;
+    let corpus = build_corpus(2004);
+    for s in &corpus.shapes {
+        let p = dir.join("meshes").join(format!("{}.off", s.name));
+        save_mesh(&s.mesh, &p).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {} OFF files to {}", corpus.shapes.len(), dir.join("meshes").display());
+    Ok(())
+}
+
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let [db_path, meshes @ ..] = &pos[..] else {
+        return Err("usage: tdess index <db.json> <mesh>... [--resolution N]".into());
+    };
+    if meshes.is_empty() {
+        return Err("no mesh files given".into());
+    }
+    let db_path = Path::new(db_path);
+    let mut db = if db_path.exists() {
+        load_from_path(db_path).map_err(|e| e.to_string())?
+    } else {
+        let resolution = flag(&flags, "resolution")
+            .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+            .transpose()?
+            .unwrap_or(48);
+        ShapeDatabase::new(FeatureExtractor {
+            voxel_resolution: resolution,
+            ..Default::default()
+        })
+    };
+    for m in meshes {
+        let path = Path::new(m);
+        let mesh = load_mesh(path).map_err(|e| format!("{m}: {e}"))?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("shape")
+            .to_string();
+        let id = db.insert(name.clone(), mesh).map_err(|e| format!("{m}: {e}"))?;
+        println!("indexed {name} as id {id}");
+    }
+    save_to_path(&db, db_path).map_err(|e| e.to_string())?;
+    println!("database saved to {} ({} shapes)", db_path.display(), db.len());
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let db_path = args.first().ok_or("usage: tdess info <db.json>")?;
+    let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
+    println!("shapes: {}", db.len());
+    println!("extractor: voxel resolution {}, spectrum dim {}",
+        db.extractor().voxel_resolution, db.extractor().spectrum_dim);
+    for kind in FeatureKind::ALL {
+        println!(
+            "  {:22} dim {:2}  dmax {:.4}",
+            kind.label(),
+            db.extractor().dim(kind),
+            db.dmax(kind)
+        );
+    }
+    for s in db.shapes().iter().take(20) {
+        println!("  #{:<4} {:24} {:6} tris", s.id, s.name, s.mesh.num_triangles());
+    }
+    if db.len() > 20 {
+        println!("  ... and {} more", db.len() - 20);
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let [db_path, mesh_path] = &pos[..] else {
+        return Err("usage: tdess query <db.json> <mesh> [--kind pm] [--top 10 | --threshold 0.9]".into());
+    };
+    let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
+    let mesh = load_mesh(Path::new(mesh_path)).map_err(|e| e.to_string())?;
+    let kind = parse_kind(flag(&flags, "kind").unwrap_or("pm"))?;
+    let mode = if let Some(t) = flag(&flags, "threshold") {
+        QueryMode::Threshold(t.parse::<f64>().map_err(|e| e.to_string())?)
+    } else {
+        let k = flag(&flags, "top")
+            .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+            .transpose()?
+            .unwrap_or(10);
+        QueryMode::TopK(k)
+    };
+    let hits = db
+        .search_mesh(&mesh, &Query { kind, weights: Weights::unit(), mode })
+        .map_err(|e| e.to_string())?;
+    println!("{} results ({})", hits.len(), kind.label());
+    for (rank, h) in hits.iter().enumerate() {
+        let s = db.get(h.id).expect("hit exists");
+        println!("{:3}. {:24} sim {:.3}  dist {:.4}", rank + 1, s.name, h.similarity, h.distance);
+    }
+    // Optional result thumbnails — the SERVER tier's "3D view
+    // generation" for terminals.
+    if let Some(dir) = flag(&flags, "render") {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        for (rank, h) in hits.iter().enumerate() {
+            let s = db.get(h.id).expect("hit exists");
+            let img = render(&s.mesh, &RenderParams::default());
+            let p = dir.join(format!("{:02}-{}.pgm", rank + 1, s.name));
+            img.save_pgm(&p).map_err(|e| e.to_string())?;
+        }
+        println!("thumbnails written to {}", dir.display());
+    }
+    Ok(())
+}
+
+fn cmd_multistep(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let [db_path, mesh_path] = &pos[..] else {
+        return Err("usage: tdess multistep <db.json> <mesh> [--steps pm,ev] [--candidates 30] [--present 10]".into());
+    };
+    let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
+    let mesh = load_mesh(Path::new(mesh_path)).map_err(|e| e.to_string())?;
+    let steps: Vec<FeatureKind> = flag(&flags, "steps")
+        .unwrap_or("pm,ev")
+        .split(',')
+        .map(parse_kind)
+        .collect::<Result<_, _>>()?;
+    let candidates = flag(&flags, "candidates")
+        .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(30);
+    let presented = flag(&flags, "present")
+        .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(10);
+    let features = db.extract_query(&mesh).map_err(|e| e.to_string())?;
+    let hits = multi_step_search(&db, &features, &MultiStepPlan { steps, candidates, presented });
+    println!("{} results (multi-step)", hits.len());
+    for (rank, h) in hits.iter().enumerate() {
+        let s = db.get(h.id).expect("hit exists");
+        println!("{:3}. {:24} sim {:.3}", rank + 1, s.name, h.similarity);
+    }
+    Ok(())
+}
+
+fn cmd_browse(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let db_path = pos.first().ok_or("usage: tdess browse <db.json> [--kind pm]")?;
+    let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
+    if db.is_empty() {
+        return Err("database is empty".into());
+    }
+    let kind = parse_kind(flag(&flags, "kind").unwrap_or("pm"))?;
+    let tree = BrowseTree::build(&db, kind, &HierarchyParams::default(), 7);
+    print_node(&db, &tree, &mut tree.cursor(), 0);
+    Ok(())
+}
+
+fn print_node(
+    db: &ShapeDatabase,
+    tree: &BrowseTree,
+    cursor: &mut threedess::core::BrowseCursor<'_>,
+    depth: usize,
+) {
+    let indent = "  ".repeat(depth);
+    if cursor.is_leaf() {
+        for id in cursor.shape_ids() {
+            println!("{indent}- {}", db.get(id).expect("id exists").name);
+        }
+        return;
+    }
+    let n = cursor.num_children();
+    for c in 0..n {
+        let mut child = tree.cursor();
+        for &step in cursor.path() {
+            child.descend(step);
+        }
+        child.descend(c);
+        println!("{indent}+ cluster {c} ({} shapes)", child.shape_ids().len());
+        print_node(db, tree, &mut child, depth + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parsing() {
+        assert_eq!(parse_kind("pm").unwrap(), FeatureKind::PrincipalMoments);
+        assert_eq!(parse_kind("ev").unwrap(), FeatureKind::Eigenvalues);
+        assert!(parse_kind("xx").is_err());
+    }
+
+    #[test]
+    fn flag_splitting() {
+        let args: Vec<String> = ["a.json", "--top", "5", "b.off", "--kind", "mi"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (pos, flags) = split_flags(&args).unwrap();
+        assert_eq!(pos, vec!["a.json", "b.off"]);
+        assert_eq!(flag(&flags, "top"), Some("5"));
+        assert_eq!(flag(&flags, "kind"), Some("mi"));
+        assert_eq!(flag(&flags, "missing"), None);
+        // Trailing flag without value errors.
+        let bad: Vec<String> = ["--top".to_string()].to_vec();
+        assert!(split_flags(&bad).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&["help".to_string()]).is_ok());
+    }
+}

@@ -1,0 +1,22 @@
+//! # threedess — facade crate for the 3DESS workspace
+//!
+//! Re-exports the public API of every subsystem so examples and
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use threedess::geom::primitives;
+//! let cube = primitives::box_mesh(threedess::geom::Vec3::ONE);
+//! assert!(cube.is_watertight());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tdess_cluster as cluster;
+pub use tdess_core as core;
+pub use tdess_dataset as dataset;
+pub use tdess_eval as eval;
+pub use tdess_features as features;
+pub use tdess_geom as geom;
+pub use tdess_index as index;
+pub use tdess_skeleton as skeleton;
+pub use tdess_voxel as voxel;

@@ -1,0 +1,114 @@
+//! Integration tests for the `tdess` CLI binary, driven through the
+//! real executable (Cargo exposes its path via `CARGO_BIN_EXE_tdess`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tdess() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tdess"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tdess_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Writes a couple of small OFF meshes for indexing.
+fn write_meshes(dir: &std::path::Path) -> Vec<PathBuf> {
+    use threedess::geom::io::save_mesh;
+    use threedess::geom::{primitives, Vec3};
+    let specs: Vec<(&str, threedess::geom::TriMesh)> = vec![
+        ("boxy", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5))),
+        ("bally", primitives::uv_sphere(1.0, 12, 6)),
+        ("roddy", primitives::cylinder(0.3, 4.0, 12)),
+    ];
+    specs
+        .into_iter()
+        .map(|(name, mesh)| {
+            let p = dir.join(format!("{name}.off"));
+            save_mesh(&mesh, &p).expect("write mesh");
+            p
+        })
+        .collect()
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = tdess().arg("help").output().expect("run tdess");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage:"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = tdess().arg("frobnicate").output().expect("run tdess");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"), "{err}");
+}
+
+#[test]
+fn index_query_info_roundtrip() {
+    let dir = temp_dir("roundtrip");
+    let meshes = write_meshes(&dir);
+    let db = dir.join("db.json");
+
+    // Index three shapes at a low resolution for speed.
+    let mut cmd = tdess();
+    cmd.arg("index").arg(&db);
+    for m in &meshes {
+        cmd.arg(m);
+    }
+    cmd.args(["--resolution", "16"]);
+    let out = cmd.output().expect("run tdess index");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(db.exists());
+
+    // Query with a similar box: the stored box must rank first.
+    let out = tdess()
+        .arg("query")
+        .arg(&db)
+        .arg(&meshes[0])
+        .args(["--kind", "pm", "--top", "2"])
+        .output()
+        .expect("run tdess query");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let first_line = text.lines().nth(1).unwrap_or("");
+    assert!(first_line.contains("boxy"), "{text}");
+
+    // Info reports the shape count.
+    let out = tdess().arg("info").arg(&db).output().expect("run tdess info");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("shapes: 3"));
+
+    // Multistep also runs.
+    let out = tdess()
+        .arg("multistep")
+        .arg(&db)
+        .arg(&meshes[0])
+        .args(["--steps", "pm,ev", "--candidates", "3", "--present", "2"])
+        .output()
+        .expect("run tdess multistep");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_missing_database_fails_cleanly() {
+    let dir = temp_dir("missing");
+    let meshes = write_meshes(&dir);
+    let out = tdess()
+        .arg("query")
+        .arg(dir.join("nope.json"))
+        .arg(&meshes[0])
+        .output()
+        .expect("run tdess query");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,138 @@
+//! End-to-end integration: corpus generation → feature extraction →
+//! database indexing → query processing → persistence, spanning every
+//! crate in the workspace.
+
+use std::sync::OnceLock;
+
+use threedess::core::{
+    load, multi_step_search, save, MultiStepPlan, Query, ShapeDatabase,
+};
+use threedess::dataset::build_corpus;
+use threedess::features::{FeatureExtractor, FeatureKind};
+use threedess::geom::{Mat3, Vec3};
+
+const RES: usize = 20;
+
+/// A database over the first 40 corpus shapes, built once.
+type DbWithMeta = (ShapeDatabase, Vec<(String, Option<usize>)>);
+
+fn small_db() -> &'static DbWithMeta {
+    static DB: OnceLock<DbWithMeta> = OnceLock::new();
+    DB.get_or_init(|| {
+        let corpus = build_corpus(2004);
+        let mut db = ShapeDatabase::new(FeatureExtractor {
+            voxel_resolution: RES,
+            ..Default::default()
+        });
+        let mut meta = Vec::new();
+        for s in corpus.shapes.iter().take(40) {
+            db.insert(s.name.clone(), s.mesh.clone()).unwrap();
+            meta.push((s.name.clone(), s.group));
+        }
+        (db, meta)
+    })
+}
+
+#[test]
+fn every_inserted_shape_is_its_own_nearest_neighbor() {
+    let (db, _) = small_db();
+    for s in db.shapes() {
+        for kind in FeatureKind::ALL {
+            let hits = db.search(&s.features, &Query::top_k(kind, 1));
+            assert_eq!(hits[0].distance, 0.0, "{}: {kind:?}", s.name);
+        }
+    }
+}
+
+#[test]
+fn posed_query_finds_the_stored_original() {
+    let (db, _) = small_db();
+    // Take a stored shape's mesh, re-pose it, query by example: the
+    // original must rank first (features are pose-invariant).
+    let victim = db.shapes()[5].clone();
+    let mut mesh = victim.mesh.clone();
+    mesh.rotate(&Mat3::rotation_axis_angle(Vec3::new(0.4, -1.0, 0.2), 2.2));
+    mesh.translate(Vec3::new(40.0, -13.0, 8.0));
+    let hits = db
+        .search_mesh(&mesh, &Query::top_k(FeatureKind::MomentInvariants, 3))
+        .unwrap();
+    assert_eq!(hits[0].id, victim.id, "re-posed query missed its original");
+    assert!(hits[0].distance < 1e-6, "distance {}", hits[0].distance);
+}
+
+#[test]
+fn multi_step_pipeline_runs_end_to_end() {
+    let (db, _) = small_db();
+    let q = db.shapes()[0].features.clone();
+    let plan = MultiStepPlan {
+        steps: vec![FeatureKind::PrincipalMoments, FeatureKind::Eigenvalues],
+        candidates: 15,
+        presented: 5,
+    };
+    let hits = multi_step_search(db, &q, &plan);
+    assert_eq!(hits.len(), 5);
+    assert_eq!(hits[0].id, db.shapes()[0].id, "self-match must survive re-ranking");
+}
+
+#[test]
+fn persistence_roundtrip_over_real_shapes() {
+    let (db, _) = small_db();
+    let mut buf = Vec::new();
+    save(db, &mut buf).unwrap();
+    let restored = load(buf.as_slice()).unwrap();
+    assert_eq!(restored.len(), db.len());
+    // Identical query results after the round-trip.
+    let q = db.shapes()[7].features.clone();
+    for kind in FeatureKind::ALL {
+        let a = db.search(&q, &Query::top_k(kind, 5));
+        let b = restored.search(&q, &Query::top_k(kind, 5));
+        let ai: Vec<_> = a.iter().map(|h| h.id).collect();
+        let bi: Vec<_> = b.iter().map(|h| h.id).collect();
+        assert_eq!(ai, bi, "{kind:?}");
+    }
+}
+
+#[test]
+fn feature_dimensions_consistent_across_corpus() {
+    let (db, _) = small_db();
+    let ex = db.extractor();
+    for s in db.shapes() {
+        for kind in FeatureKind::ALL {
+            assert_eq!(
+                s.features.get(kind).len(),
+                ex.dim(kind),
+                "{}: {kind:?}",
+                s.name
+            );
+            assert!(
+                s.features.get(kind).iter().all(|v| v.is_finite()),
+                "{}: {kind:?} has non-finite entries",
+                s.name
+            );
+        }
+    }
+}
+
+#[test]
+fn removal_keeps_database_queryable() {
+    let corpus = build_corpus(77);
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: RES,
+        ..Default::default()
+    });
+    let mut ids = Vec::new();
+    for s in corpus.shapes.iter().take(12) {
+        ids.push(db.insert(s.name.clone(), s.mesh.clone()).unwrap());
+    }
+    // Remove every other shape.
+    for &id in ids.iter().step_by(2) {
+        db.remove(id).unwrap();
+    }
+    assert_eq!(db.len(), 6);
+    let q = db.shapes()[0].features.clone();
+    let hits = db.search(&q, &Query::top_k(FeatureKind::PrincipalMoments, 6));
+    assert_eq!(hits.len(), 6);
+    for h in &hits {
+        assert!(ids.iter().skip(1).step_by(2).any(|&id| id == h.id));
+    }
+}

@@ -1,0 +1,158 @@
+//! Regression tests for the paper's qualitative findings (§4 / §5),
+//! evaluated on the full 113-shape corpus.
+//!
+//! These pin the *shape* of the results — orderings and who-beats-whom
+//! — not absolute numbers, which depend on the procedural corpus.
+
+use std::sync::OnceLock;
+
+use threedess::dataset::build_corpus;
+use threedess::eval::{
+    average_effectiveness, pr_curve, representative_queries, EvalContext, RetrievalSize, Strategy,
+};
+use threedess::features::{FeatureExtractor, FeatureKind};
+
+fn ctx() -> &'static EvalContext {
+    static CTX: OnceLock<EvalContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let corpus = build_corpus(2004);
+        EvalContext::build(
+            &corpus,
+            FeatureExtractor {
+                voxel_resolution: 24,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+/// §5: "the descending order of average recalls of feature vectors is:
+/// principal moments, moment invariants, geometric parameters, and
+/// eigenvalues."
+#[test]
+fn one_shot_ordering_matches_paper() {
+    let rows = average_effectiveness(ctx(), &Strategy::paper_set(), RetrievalSize::GroupSize);
+    let (mi, gp, pm, ev) = (rows[0].avg_recall, rows[1].avg_recall, rows[2].avg_recall, rows[3].avg_recall);
+    assert!(pm > mi, "PM {pm} should beat MI {mi}");
+    assert!(mi > gp, "MI {mi} should beat GP {gp}");
+    assert!(gp > ev, "GP {gp} should beat EV {ev}");
+}
+
+/// §5: "A multi-step search strategy significantly improves the recall
+/// of the search system" — the paper measures +51% over the best
+/// one-shot (principal moments); we require a substantial (> 20%) win.
+#[test]
+fn multi_step_beats_best_one_shot() {
+    let rows = average_effectiveness(ctx(), &Strategy::paper_set(), RetrievalSize::GroupSize);
+    let best_one_shot = rows[..4].iter().map(|r| r.avg_recall).fold(f64::MIN, f64::max);
+    let multi = rows[4].avg_recall;
+    assert!(
+        multi > best_one_shot * 1.2,
+        "multi-step {multi} vs best one-shot {best_one_shot}"
+    );
+}
+
+/// Figure 15's |R| = 10 variant keeps principal moments as the best
+/// one-shot feature and eigenvalues as the worst.
+#[test]
+fn fixed_ten_retrieval_ordering() {
+    let rows = average_effectiveness(ctx(), &Strategy::paper_set(), RetrievalSize::Fixed(10));
+    let pm = rows[2].avg_recall;
+    let ev = rows[3].avg_recall;
+    for (i, r) in rows.iter().enumerate().take(4) {
+        assert!(pm >= r.avg_recall, "row {i}: PM {pm} vs {}", r.avg_recall);
+        assert!(ev <= r.avg_recall, "row {i}: EV {ev} vs {}", r.avg_recall);
+    }
+}
+
+/// Figure 16: at |R| = 10 the precision of every strategy is (much)
+/// smaller than its recall, and precision ≈ recall scaled by a common
+/// factor (mean |A| / 10).
+#[test]
+fn precision_is_scaled_recall_at_fixed_ten() {
+    let rows = average_effectiveness(ctx(), &Strategy::paper_set(), RetrievalSize::Fixed(10));
+    let mut ratios = Vec::new();
+    for r in &rows {
+        assert!(
+            r.avg_precision < r.avg_recall,
+            "{}: P {} >= R {}",
+            r.strategy,
+            r.avg_precision,
+            r.avg_recall
+        );
+        if r.avg_recall > 0.0 {
+            ratios.push(r.avg_precision / r.avg_recall);
+        }
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    for r in &ratios {
+        assert!(
+            (r - mean).abs() < 0.12,
+            "P/R ratio {r} deviates from mean {mean}"
+        );
+    }
+}
+
+/// Figures 8–12: moment-invariant and principal-moment PR curves show
+/// the inverse precision/recall relationship — raising the similarity
+/// threshold shrinks the retrieved set and recall falls from 1 toward
+/// 0 while precision (generally) improves.
+#[test]
+fn pr_curves_show_inverse_relationship() {
+    let c = ctx();
+    for &qi in representative_queries(c).iter().take(3) {
+        for kind in [FeatureKind::MomentInvariants, FeatureKind::PrincipalMoments] {
+            let curve = pr_curve(c, qi, kind, 21);
+            // Lowest threshold retrieves everything: recall 1.
+            assert!(curve[0].recall > 0.99, "{kind:?}: recall at t=0 is {}", curve[0].recall);
+            // Highest threshold retrieves (almost) nothing.
+            assert!(
+                curve.last().unwrap().retrieved <= 2,
+                "{kind:?}: {} retrieved at t=1",
+                curve.last().unwrap().retrieved
+            );
+            // Recall is non-increasing along the sweep.
+            for w in curve.windows(2) {
+                assert!(w[0].recall >= w[1].recall - 1e-9, "{kind:?}");
+            }
+            // Precision at some tight threshold exceeds precision at
+            // the loosest one (the inverse trade).
+            let loose_p = curve[0].precision;
+            let best_tight_p = curve
+                .iter()
+                .filter(|p| p.retrieved > 0)
+                .map(|p| p.precision)
+                .fold(f64::MIN, f64::max);
+            assert!(
+                best_tight_p > loose_p,
+                "{kind:?}: no precision gain from thresholding"
+            );
+        }
+    }
+}
+
+/// The paper's eigenvalue diagnosis: skeletal graphs are small, so the
+/// eigenvalue signature collapses many shapes together — measured here
+/// as distinct signature count being far below the corpus size.
+#[test]
+fn eigenvalue_signatures_collapse_shapes() {
+    let c = ctx();
+    let mut distinct: Vec<&[f64]> = Vec::new();
+    for s in c.db.shapes() {
+        let sig = s.features.get(FeatureKind::Eigenvalues);
+        if !distinct
+            .iter()
+            .any(|d| d.iter().zip(sig).all(|(a, b)| (a - b).abs() < 1e-9))
+        {
+            distinct.push(sig);
+        }
+    }
+    assert!(
+        distinct.len() < c.db.len() / 2,
+        "{} distinct eigenvalue signatures across {} shapes — too discriminative to explain the paper's finding",
+        distinct.len(),
+        c.db.len()
+    );
+    // But not degenerate either: there are several distinct topologies.
+    assert!(distinct.len() >= 5, "only {} distinct signatures", distinct.len());
+}
