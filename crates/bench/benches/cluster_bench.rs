@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use tdess_cluster::{build_hierarchy, ga_cluster, kmeans, som_cluster, GaParams, HierarchyParams, SomParams};
+use tdess_cluster::{
+    build_hierarchy, ga_cluster, kmeans, som_cluster, GaParams, HierarchyParams, SomParams,
+};
 
 fn blob_points(n: usize, dim: usize) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(5);
@@ -14,7 +16,7 @@ fn blob_points(n: usize, dim: usize) -> Vec<Vec<f64>> {
         .collect();
     (0..n)
         .map(|_| {
-            let c = &centers[rng.gen_range(0..10)];
+            let c = &centers[rng.gen_range(0..10usize)];
             c.iter().map(|&x| x + rng.gen_range(-1.0..1.0)).collect()
         })
         .collect()

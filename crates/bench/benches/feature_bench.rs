@@ -13,7 +13,12 @@ use tdess_geom::{mesh_moments, primitives, Vec3};
 fn bench_full_extraction(c: &mut Criterion) {
     let mut g = c.benchmark_group("extract_full");
     g.sample_size(10);
-    for fam in [Family::Block, Family::Flange, Family::SpurGear, Family::Pipe] {
+    for fam in [
+        Family::Block,
+        Family::Flange,
+        Family::SpurGear,
+        Family::Pipe,
+    ] {
         let mesh = fam.generate(&mut StdRng::seed_from_u64(1));
         let ex = FeatureExtractor {
             voxel_resolution: 32,
@@ -57,5 +62,10 @@ fn bench_moment_stages(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_full_extraction, bench_resolution_scaling, bench_moment_stages);
+criterion_group!(
+    benches,
+    bench_full_extraction,
+    bench_resolution_scaling,
+    bench_moment_stages
+);
 criterion_main!(benches);

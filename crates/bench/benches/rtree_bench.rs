@@ -15,7 +15,7 @@ fn clustered_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
         .collect();
     (0..n)
         .map(|_| {
-            let c = &centers[rng.gen_range(0..50)];
+            let c = &centers[rng.gen_range(0..50usize)];
             c.iter().map(|&x| x + rng.gen_range(-2.0..2.0)).collect()
         })
         .collect()

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tdess_geom::primitives;
 use tdess_skeleton::{build_graph, skeletonize, ThinningParams};
-use tdess_voxel::{fill_flood, rasterize_surface, voxel_moments, voxelize, VoxelGrid, VoxelizeParams};
+use tdess_voxel::{
+    fill_flood, rasterize_surface, voxel_moments, voxelize, VoxelGrid, VoxelizeParams,
+};
 
 fn bench_voxelize(c: &mut Criterion) {
     let mut g = c.benchmark_group("voxelize_sphere");
@@ -60,7 +62,9 @@ fn bench_stages(c: &mut Criterion) {
             ..Default::default()
         },
     );
-    c.bench_function("voxel_moments_48", |b| b.iter(|| black_box(voxel_moments(&solid))));
+    c.bench_function("voxel_moments_48", |b| {
+        b.iter(|| black_box(voxel_moments(&solid)))
+    });
 
     let mut g = c.benchmark_group("thinning");
     g.sample_size(10);
@@ -70,7 +74,9 @@ fn bench_stages(c: &mut Criterion) {
     g.finish();
 
     let skel = skeletonize(&solid, &ThinningParams::default());
-    c.bench_function("build_graph_torus", |b| b.iter(|| black_box(build_graph(&skel).num_nodes())));
+    c.bench_function("build_graph_torus", |b| {
+        b.iter(|| black_box(build_graph(&skel).num_nodes()))
+    });
 }
 
 criterion_group!(benches, bench_voxelize, bench_stages);

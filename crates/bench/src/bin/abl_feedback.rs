@@ -42,8 +42,16 @@ fn main() {
             before_sum += precision_recall(&first, &relevant).recall;
 
             let feedback = Feedback {
-                relevant: first.iter().copied().filter(|id| relevant.contains(id)).collect(),
-                irrelevant: first.iter().copied().filter(|id| !relevant.contains(id)).collect(),
+                relevant: first
+                    .iter()
+                    .copied()
+                    .filter(|id| relevant.contains(id))
+                    .collect(),
+                irrelevant: first
+                    .iter()
+                    .copied()
+                    .filter(|id| !relevant.contains(id))
+                    .collect(),
             };
 
             // Round 2: reconstructed query + reconfigured weights.
@@ -85,7 +93,15 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["feature vector", "recall@10 before", "recall@10 after", "change"], &rows)
+        render_table(
+            &[
+                "feature vector",
+                "recall@10 before",
+                "recall@10 after",
+                "change"
+            ],
+            &rows
+        )
     );
     println!("paper: relevance feedback implemented but switched off for all experiments (§2.2).");
     println!("reading: one blind round helps the features whose dimensions are commensurate");

@@ -70,11 +70,13 @@ fn main() {
             ]);
         }
     }
-    rows.sort_by(|x, y| y[2].partial_cmp(&x[2]).expect("table cells compare"));
+    rows.sort_by(|x, y| y[2].cmp(&x[2]));
     println!(
         "{}",
         render_table(&["retrieve by", "re-rank by", "avg recall"], &rows)
     );
-    println!("reading: the strongest retriever (PM) + a complementary re-ranker (EV, topology) wins;");
+    println!(
+        "reading: the strongest retriever (PM) + a complementary re-ranker (EV, topology) wins;"
+    );
     println!("re-ranking by a feature weaker than the retriever *and* correlated with it hurts.");
 }

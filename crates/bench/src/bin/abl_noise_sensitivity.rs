@@ -54,7 +54,10 @@ fn main() {
             .filter(|s| s.group.is_some_and(|g| seen.insert(g)))
             .collect()
     };
-    eprintln!("[setup] extracting clean features for {} shapes...", shapes.len());
+    eprintln!(
+        "[setup] extracting clean features for {} shapes...",
+        shapes.len()
+    );
     let clean: Vec<_> = shapes
         .iter()
         .map(|s| ex.extract(&s.mesh).expect("corpus shapes extract"))
@@ -84,7 +87,9 @@ fn main() {
         let mut sums = vec![0.0f64; KINDS.len()];
         for (s, cf) in shapes.iter().zip(&clean) {
             let noisy_mesh = jitter(&s.mesh, rel, &mut rng);
-            let nf = ex.extract(&noisy_mesh).expect("jittered shapes stay extractable");
+            let nf = ex
+                .extract(&noisy_mesh)
+                .expect("jittered shapes stay extractable");
             for (ki, &kind) in KINDS.iter().enumerate() {
                 sums[ki] += weighted_distance(cf.get(kind), nf.get(kind), &Weights::unit());
             }

@@ -16,7 +16,9 @@ use tdess_features::FeatureExtractor;
 
 fn main() {
     let corpus = standard_corpus();
-    println!("Ablation — average recall (|R| = |A|) vs voxel resolution (corpus seed {CORPUS_SEED})\n");
+    println!(
+        "Ablation — average recall (|R| = |A|) vs voxel resolution (corpus seed {CORPUS_SEED})\n"
+    );
     let strategies = Strategy::paper_set();
     let mut rows = Vec::new();
     for res in [16usize, 24, 32, 48, 64] {
@@ -42,7 +44,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["resolution N", "principal moments", "moment invariants", "eigenvalues", "multi-step", "index time (s)"],
+            &[
+                "resolution N",
+                "principal moments",
+                "moment invariants",
+                "eigenvalues",
+                "multi-step",
+                "index time (s)"
+            ],
             &rows
         )
     );

@@ -21,11 +21,13 @@ fn main() {
         .collect();
     let points: Vec<Vec<f64>> = (0..n)
         .map(|_| {
-            let c = &centers[rng.gen_range(0..50)];
+            let c = &centers[rng.gen_range(0..50usize)];
             c.iter().map(|&x| x + rng.gen_range(-2.0..2.0)).collect()
         })
         .collect();
-    let queries: Vec<Vec<f64>> = (0..200).map(|_| points[rng.gen_range(0..n)].clone()).collect();
+    let queries: Vec<Vec<f64>> = (0..200)
+        .map(|_| points[rng.gen_range(0..n)].clone())
+        .collect();
 
     println!("Ablation — R-tree fan-out M, kNN k = 10 on {n} clustered points (200 queries)\n");
     let mut rows = Vec::new();
@@ -58,10 +60,19 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["M", "height", "build (s)", "nodes/query", "entries/query", "µs/query"],
+            &[
+                "M",
+                "height",
+                "build (s)",
+                "nodes/query",
+                "entries/query",
+                "µs/query"
+            ],
             &rows
         )
     );
-    println!("reading: small M = deep trees, many node hops; large M = flat trees, big node scans;");
+    println!(
+        "reading: small M = deep trees, many node hops; large M = flat trees, big node scans;"
+    );
     println!("the default M = 16 sits at the usual sweet spot for in-memory points.");
 }

@@ -26,7 +26,10 @@ fn main() {
     let mut rows = Vec::new();
     for mult in [1usize, 4, 16] {
         let corpus = build_corpus_custom(2004, 1, mult);
-        eprintln!("[setup] indexing {} shapes (noise x{mult})...", corpus.shapes.len());
+        eprintln!(
+            "[setup] indexing {} shapes (noise x{mult})...",
+            corpus.shapes.len()
+        );
         let ctx = EvalContext::build(
             &corpus,
             FeatureExtractor {
@@ -62,7 +65,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["size", "PM recall", "MI recall", "EV recall", "multi-step", "rtree entries/query", "µs/query"],
+            &[
+                "size",
+                "PM recall",
+                "MI recall",
+                "EV recall",
+                "multi-step",
+                "rtree entries/query",
+                "µs/query"
+            ],
             &rows
         )
     );
@@ -72,7 +83,8 @@ fn main() {
     let ev_loss = 1.0 - parse(&rows[2][3]) / parse(&rows[0][3]).max(1e-12);
     println!(
         "1x -> 16x relative recall loss: principal moments {:.0}%, eigenvalues {:.0}%",
-        pm_loss * 100.0, ev_loss * 100.0
+        pm_loss * 100.0,
+        ev_loss * 100.0
     );
     println!("paper (§4.1) predicts the eigenvalues' weakness \"will become worse when the");
     println!("database becomes larger\". Measured: every feature degrades as distractors grow,");

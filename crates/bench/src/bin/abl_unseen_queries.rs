@@ -11,9 +11,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tdess_bench::standard_context;
+use tdess_core::{multi_step_search, MultiStepPlan, Query, QueryMode, Weights};
 use tdess_dataset::Family;
 use tdess_eval::{precision_recall, render_table, Strategy};
-use tdess_core::{multi_step_search, MultiStepPlan, Query, QueryMode, Weights};
 
 fn main() {
     let ctx = standard_context();
@@ -40,7 +40,10 @@ fn main() {
                 .filter(|s| s.name.starts_with(fam.name()))
                 .map(|s| s.id)
                 .collect();
-            let features = ctx.db.extract_query(mesh).expect("fresh family members extract");
+            let features = ctx
+                .db
+                .extract_query(mesh)
+                .expect("fresh family members extract");
             let run = |k: usize| -> f64 {
                 let ids: Vec<_> = match strategy {
                     Strategy::OneShot(kind) => ctx

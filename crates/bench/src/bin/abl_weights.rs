@@ -61,7 +61,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["feature vector", "unit weights", "standardized", "change"], &rows)
+        render_table(
+            &["feature vector", "unit weights", "standardized", "change"],
+            &rows
+        )
     );
     println!("reading: every moment-based feature improves substantially — their dimensions");
     println!("have wildly different variances (F1 >> F2 >> F3 for the invariants; lambda1 >>");

@@ -12,7 +12,10 @@ fn main() {
         .collect();
     sizes.sort_by_key(|&(_, s)| s);
 
-    println!("Figure 4 — sizes of the {} groups (ascending)", corpus.num_groups());
+    println!(
+        "Figure 4 — sizes of the {} groups (ascending)",
+        corpus.num_groups()
+    );
     println!();
     let rows: Vec<Vec<String>> = sizes
         .iter()
@@ -42,7 +45,5 @@ fn main() {
         corpus.num_groups(),
         corpus.noise_shapes().len()
     );
-    println!(
-        "paper: 113 shapes = 86 classified in 26 groups (sizes 2-8) + 27 noise"
-    );
+    println!("paper: 113 shapes = 86 classified in 26 groups (sizes 2-8) + 27 noise");
 }

@@ -39,7 +39,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["threshold", "|R|", "precision", "recall"], &sweep));
+    println!(
+        "{}",
+        render_table(&["threshold", "|R|", "precision", "recall"], &sweep)
+    );
 
     let threshold = 0.85;
     let (pr, retrieved) = threshold_query(&ctx, qi, FeatureKind::MomentInvariants, threshold);
@@ -58,7 +61,11 @@ fn main() {
         })
         .collect();
     println!("{}", render_table(&["rank", "shape", "relevant"], &rows));
-    println!("measured: Pr = {:.2}, Re = {:.2} ({} retrieved, query excluded)",
-        pr.precision, pr.recall, retrieved.len());
+    println!(
+        "measured: Pr = {:.2}, Re = {:.2} ({} retrieved, query excluded)",
+        pr.precision,
+        pr.recall,
+        retrieved.len()
+    );
     println!("paper:    Pr = 0.50, Re = 0.22");
 }

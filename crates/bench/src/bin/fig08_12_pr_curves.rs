@@ -8,7 +8,7 @@
 //! the eigenvalue curves degenerate (recall or precision barely moves).
 
 use tdess_bench::standard_context;
-use tdess_eval::{pr_curve, representative_queries, render_table};
+use tdess_eval::{pr_curve, render_table, representative_queries};
 use tdess_features::FeatureKind;
 
 fn main() {
@@ -18,7 +18,11 @@ fn main() {
     for (fig, &qi) in queries.iter().enumerate() {
         let name = &ctx.db.get(ctx.ids[qi]).expect("query exists").name;
         let group_size = ctx.relevant_set(qi).len() + 1;
-        println!("\nFigure {} — query shape No. {}: {name} (group of {group_size})", fig + 8, fig + 1);
+        println!(
+            "\nFigure {} — query shape No. {}: {name} (group of {group_size})",
+            fig + 8,
+            fig + 1
+        );
 
         let mut rows = Vec::new();
         for kind in FeatureKind::PAPER_FOUR {
@@ -35,7 +39,10 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&["feature vector", "threshold", "|R|", "recall", "precision"], &rows)
+            render_table(
+                &["feature vector", "threshold", "|R|", "recall", "precision"],
+                &rows
+            )
         );
     }
 

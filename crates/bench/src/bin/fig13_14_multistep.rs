@@ -41,17 +41,31 @@ fn main() {
     let (qi, _) = best.expect("the corpus has groups of size ≥ 5");
     let c = multistep_comparison(&ctx, qi, FeatureKind::PrincipalMoments, &plan);
 
-    println!("Figures 13-14 — one-shot vs multi-step for query {}", c.query);
+    println!(
+        "Figures 13-14 — one-shot vs multi-step for query {}",
+        c.query
+    );
     println!(
         "(plan: {} candidates, {} presented; multi-step strictly beat one-shot on {wins}/{tried} large-group queries — the paper, too, notes not every query benefits)",
         plan.candidates, plan.presented
     );
     println!();
     let rows = vec![
-        vec![c.one_shot.0.clone(), format!("{:.2}", c.one_shot.1), format!("{:.2}", c.one_shot.2)],
-        vec![c.multi_step.0.clone(), format!("{:.2}", c.multi_step.1), format!("{:.2}", c.multi_step.2)],
+        vec![
+            c.one_shot.0.clone(),
+            format!("{:.2}", c.one_shot.1),
+            format!("{:.2}", c.one_shot.2),
+        ],
+        vec![
+            c.multi_step.0.clone(),
+            format!("{:.2}", c.multi_step.1),
+            format!("{:.2}", c.multi_step.2),
+        ],
     ];
-    println!("{}", render_table(&["strategy", "precision", "recall"], &rows));
+    println!(
+        "{}",
+        render_table(&["strategy", "precision", "recall"], &rows)
+    );
     println!("paper: one-shot Pr = 0.30 / Re = 0.43; multi-step Pr = 0.50 / Re = 0.71");
 
     print_result_list(&ctx, qi, &plan);
@@ -70,7 +84,11 @@ fn print_result_list(ctx: &EvalContext, qi: usize, plan: &MultiStepPlan) {
             vec![
                 (rank + 1).to_string(),
                 ctx.db.get(*id).expect("id exists").name.clone(),
-                if relevant.contains(id) { "yes".into() } else { "no".into() },
+                if relevant.contains(id) {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]
         })
         .collect();

@@ -14,8 +14,14 @@ fn main() {
     let strategies = Strategy::paper_set();
 
     for (label, size) in [
-        ("retrieved as many shapes as group size (|R| = |A|)", RetrievalSize::GroupSize),
-        ("retrieved 10 shapes for every query (|R| = 10)", RetrievalSize::Fixed(10)),
+        (
+            "retrieved as many shapes as group size (|R| = |A|)",
+            RetrievalSize::GroupSize,
+        ),
+        (
+            "retrieved 10 shapes for every query (|R| = 10)",
+            RetrievalSize::Fixed(10),
+        ),
     ] {
         let rows = average_effectiveness(&ctx, &strategies, size);
         println!("\nFigure 15 — average recall, {label}");

@@ -29,11 +29,17 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["#", "strategy", "avg recall", "avg precision", "P/R ratio"], &table)
+        render_table(
+            &["#", "strategy", "avg recall", "avg precision", "P/R ratio"],
+            &table
+        )
     );
 
     println!("recall bars:");
-    let bars: Vec<(String, f64)> = rows.iter().map(|r| (r.strategy.clone(), r.avg_recall)).collect();
+    let bars: Vec<(String, f64)> = rows
+        .iter()
+        .map(|r| (r.strategy.clone(), r.avg_recall))
+        .collect();
     println!("{}", render_bars(&bars, 40));
     println!("precision bars:");
     let bars: Vec<(String, f64)> = rows

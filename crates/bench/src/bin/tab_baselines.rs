@@ -8,9 +8,7 @@
 //! full-ranking metrics (nearest neighbor, first/second tier, mAP).
 
 use tdess_bench::standard_context;
-use tdess_eval::{
-    average_effectiveness, extended_metrics, render_table, RetrievalSize, Strategy,
-};
+use tdess_eval::{average_effectiveness, extended_metrics, render_table, RetrievalSize, Strategy};
 use tdess_features::FeatureKind;
 
 fn main() {
@@ -35,7 +33,7 @@ fn main() {
             ]
         })
         .collect();
-    rows.sort_by(|p, q| q[1].partial_cmp(&p[1]).expect("table cells compare"));
+    rows.sort_by(|p, q| q[1].cmp(&p[1]));
     println!(
         "{}",
         render_table(&["strategy", "recall |R|=|A|", "recall |R|=10"], &rows)
@@ -53,7 +51,7 @@ fn main() {
             format!("{:.3}", m.average_precision),
         ]);
     }
-    rows.sort_by(|p, q| q[4].partial_cmp(&p[4]).expect("table cells compare"));
+    rows.sort_by(|p, q| q[4].cmp(&p[4]));
     println!(
         "{}",
         render_table(&["strategy", "NN", "1st tier", "2nd tier", "mAP"], &rows)

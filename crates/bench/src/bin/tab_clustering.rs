@@ -57,7 +57,12 @@ fn main() {
             },
             42,
         );
-        run("SOM 7x4", som.assignments, som.sse, t.elapsed().as_secs_f64());
+        run(
+            "SOM 7x4",
+            som.assignments,
+            som.sse,
+            t.elapsed().as_secs_f64(),
+        );
 
         let t = Instant::now();
         let ga = ga_cluster(&points, k, &GaParams::default(), 42);
@@ -66,7 +71,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["feature space", "algorithm", "Rand index", "silhouette", "SSE", "time (s)"],
+            &[
+                "feature space",
+                "algorithm",
+                "Rand index",
+                "silhouette",
+                "SSE",
+                "time (s)"
+            ],
             &rows
         )
     );

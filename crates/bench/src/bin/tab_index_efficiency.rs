@@ -60,7 +60,14 @@ fn real_database() {
     println!(
         "{}",
         render_table(
-            &["feature space", "dim", "rtree entries/query", "scan entries/query", "rtree µs/query", "scan µs/query"],
+            &[
+                "feature space",
+                "dim",
+                "rtree entries/query",
+                "scan entries/query",
+                "rtree µs/query",
+                "scan µs/query"
+            ],
             &rows
         )
     );
@@ -98,14 +105,25 @@ fn synthetic_databases() {
                 format!("{}", ls.entries_checked / 100),
                 format!("{:.1}", tree_time.as_secs_f64() * 1e6 / 100.0),
                 format!("{:.1}", scan_time.as_secs_f64() * 1e6 / 100.0),
-                format!("{:.1}x", scan_time.as_secs_f64() / tree_time.as_secs_f64().max(1e-12)),
+                format!(
+                    "{:.1}x",
+                    scan_time.as_secs_f64() / tree_time.as_secs_f64().max(1e-12)
+                ),
             ]);
         }
     }
     println!(
         "{}",
         render_table(
-            &["points", "dim", "rtree entries/query", "scan entries/query", "rtree µs/query", "scan µs/query", "speedup"],
+            &[
+                "points",
+                "dim",
+                "rtree entries/query",
+                "scan entries/query",
+                "rtree µs/query",
+                "scan µs/query",
+                "speedup"
+            ],
             &rows
         )
     );
@@ -114,9 +132,13 @@ fn synthetic_databases() {
 
 /// Builds a clustered point set (mixture of 50 Gaussian-ish blobs) and
 /// both index structures over it.
-fn build_synthetic(n: usize, dim: usize, seed: u64) -> (RTree<usize>, LinearScan<usize>, Vec<Vec<f64>>) {
+fn build_synthetic(
+    n: usize,
+    dim: usize,
+    seed: u64,
+) -> (RTree<usize>, LinearScan<usize>, Vec<Vec<f64>>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let clusters = 50;
+    let clusters = 50usize;
     let centers: Vec<Vec<f64>> = (0..clusters)
         .map(|_| (0..dim).map(|_| rng.gen_range(-100.0..100.0)).collect())
         .collect();

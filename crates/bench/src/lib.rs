@@ -5,6 +5,7 @@
 //! series/rows of the corresponding paper artifact; see EXPERIMENTS.md
 //! for the paper-vs-measured record.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use tdess_dataset::{build_corpus, Corpus};

@@ -58,12 +58,12 @@ pub fn ga_cluster(points: &[Vec<f64>], k: usize, params: &GaParams, seed: u64) -
 
     type Chromosome = Vec<Vec<f64>>;
     let random_chromosome = |rng: &mut StdRng| -> Chromosome {
-        (0..k).map(|_| points[rng.gen_range(0..points.len())].clone()).collect()
+        (0..k)
+            .map(|_| points[rng.gen_range(0..points.len())].clone())
+            .collect()
     };
 
-    let sse_of = |c: &Chromosome| -> f64 {
-        points.iter().map(|p| nearest(p, c).1).sum()
-    };
+    let sse_of = |c: &Chromosome| -> f64 { points.iter().map(|p| nearest(p, c).1).sum() };
 
     // One Lloyd step: reassign and move centroids to member means.
     let lloyd_step = |c: &mut Chromosome| {
@@ -98,7 +98,8 @@ pub fn ga_cluster(points: &[Vec<f64>], k: usize, params: &GaParams, seed: u64) -
         // Elitism: carry the best chromosome over.
         let best = population
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite SSE"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            // lint: allow(unwrap) — population.max(2) guarantees at least two entries
             .expect("non-empty population")
             .clone();
         next.push(best);
@@ -139,7 +140,8 @@ pub fn ga_cluster(points: &[Vec<f64>], k: usize, params: &GaParams, seed: u64) -
 
     let (best, _) = population
         .into_iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite SSE"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        // lint: allow(unwrap) — population.max(2) guarantees at least two entries
         .expect("non-empty population");
 
     let assignments: Vec<usize> = points.iter().map(|p| nearest(p, &best).0).collect();
@@ -169,7 +171,10 @@ mod tests {
         let mut truth = Vec::new();
         for (c, &(cx, cy)) in centers.iter().enumerate() {
             for _ in 0..25 {
-                pts.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+                pts.push(vec![
+                    cx + rng.gen_range(-1.0..1.0),
+                    cy + rng.gen_range(-1.0..1.0),
+                ]);
                 truth.push(c);
             }
         }

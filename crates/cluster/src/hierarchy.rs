@@ -131,7 +131,10 @@ mod tests {
         let mut pts = Vec::new();
         for &(cx, cy) in &centers {
             for _ in 0..n_per {
-                pts.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+                pts.push(vec![
+                    cx + rng.gen_range(-1.0..1.0),
+                    cy + rng.gen_range(-1.0..1.0),
+                ]);
             }
         }
         pts
@@ -162,11 +165,18 @@ mod tests {
     #[test]
     fn leaves_respect_leaf_size() {
         let pts = blobs(25);
-        let params = HierarchyParams { branching: 3, leaf_size: 10 };
+        let params = HierarchyParams {
+            branching: 3,
+            leaf_size: 10,
+        };
         let h = build_hierarchy(&pts, &params, 2);
         fn check(n: &HierarchyNode, leaf_size: usize) {
             if n.is_leaf() {
-                assert!(n.items.len() <= leaf_size, "leaf with {} items", n.items.len());
+                assert!(
+                    n.items.len() <= leaf_size,
+                    "leaf with {} items",
+                    n.items.len()
+                );
             } else {
                 for c in &n.children {
                     check(c, leaf_size);
@@ -180,7 +190,14 @@ mod tests {
     #[test]
     fn identical_points_terminate() {
         let pts = vec![vec![1.0, 1.0]; 50];
-        let h = build_hierarchy(&pts, &HierarchyParams { branching: 4, leaf_size: 8 }, 0);
+        let h = build_hierarchy(
+            &pts,
+            &HierarchyParams {
+                branching: 4,
+                leaf_size: 8,
+            },
+            0,
+        );
         // Can't split identical points: becomes a single (oversize) leaf.
         assert!(h.is_leaf());
         assert_eq!(h.items.len(), 50);
@@ -188,7 +205,12 @@ mod tests {
 
     #[test]
     fn root_centroid_is_global_mean() {
-        let pts = vec![vec![0.0, 0.0], vec![4.0, 0.0], vec![0.0, 4.0], vec![4.0, 4.0]];
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![4.0, 0.0],
+            vec![0.0, 4.0],
+            vec![4.0, 4.0],
+        ];
         let h = build_hierarchy(&pts, &HierarchyParams::default(), 1);
         assert!((h.centroid[0] - 2.0).abs() < 1e-12);
         assert!((h.centroid[1] - 2.0).abs() < 1e-12);
@@ -198,7 +220,14 @@ mod tests {
     #[test]
     fn drill_down_reaches_single_blob() {
         let pts = blobs(20);
-        let h = build_hierarchy(&pts, &HierarchyParams { branching: 4, leaf_size: 25 }, 7);
+        let h = build_hierarchy(
+            &pts,
+            &HierarchyParams {
+                branching: 4,
+                leaf_size: 25,
+            },
+            7,
+        );
         // The four blobs should separate at the first level.
         assert!(h.children.len() >= 2);
         for c in &h.children {

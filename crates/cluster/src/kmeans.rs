@@ -87,7 +87,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
                     .max_by(|(_, a), (_, b)| {
                         let da = dist_sq(a, &centroids[assignments[0]]);
                         let db = dist_sq(b, &centroids[assignments[0]]);
-                        da.partial_cmp(&db).expect("finite distances")
+                        da.total_cmp(&db)
                     })
                     .map(|(i, _)| i)
                     .unwrap_or(0);
@@ -168,7 +168,10 @@ mod tests {
         let mut truth = Vec::new();
         for (c, &(cx, cy)) in centers.iter().enumerate() {
             for _ in 0..30 {
-                pts.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+                pts.push(vec![
+                    cx + rng.gen_range(-1.0..1.0),
+                    cy + rng.gen_range(-1.0..1.0),
+                ]);
                 truth.push(c);
             }
         }
@@ -203,7 +206,12 @@ mod tests {
 
     #[test]
     fn single_cluster_centroid_is_mean() {
-        let pts = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0], vec![2.0, 2.0]];
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![0.0, 2.0],
+            vec![2.0, 2.0],
+        ];
         let c = kmeans(&pts, 1, 7);
         assert_eq!(c.centroids.len(), 1);
         assert!((c.centroids[0][0] - 1.0).abs() < 1e-12);

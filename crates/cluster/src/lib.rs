@@ -5,6 +5,7 @@
 //! clustering, a recursive partition hierarchy for query-by-browsing,
 //! and quality metrics (silhouette, Rand index, SSE).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ga;

@@ -75,7 +75,10 @@ impl Som {
 /// clusters that are dropped, with assignments renumbered).
 pub fn som_cluster(points: &[Vec<f64>], params: &SomParams, seed: u64) -> (Som, Clustering) {
     assert!(!points.is_empty(), "cannot cluster an empty point set");
-    assert!(params.width >= 1 && params.height >= 1, "lattice must be non-empty");
+    assert!(
+        params.width >= 1 && params.height >= 1,
+        "lattice must be non-empty"
+    );
     let dim = points[0].len();
     let n_units = params.width * params.height;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -84,7 +87,9 @@ pub fn som_cluster(points: &[Vec<f64>], params: &SomParams, seed: u64) -> (Som, 
     let mut units: Vec<Vec<f64>> = (0..n_units)
         .map(|_| {
             let base = &points[rng.gen_range(0..points.len())];
-            base.iter().map(|v| v + rng.gen_range(-1e-6..1e-6)).collect()
+            base.iter()
+                .map(|v| v + rng.gen_range(-1e-6..1e-6))
+                .collect()
         })
         .collect();
 
@@ -192,7 +197,10 @@ mod tests {
         let mut truth = Vec::new();
         for (c, &(cx, cy)) in centers.iter().enumerate() {
             for _ in 0..30 {
-                pts.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+                pts.push(vec![
+                    cx + rng.gen_range(-1.0..1.0),
+                    cy + rng.gen_range(-1.0..1.0),
+                ]);
                 truth.push(c);
             }
         }
@@ -220,7 +228,15 @@ mod tests {
     #[test]
     fn assignments_in_range_and_nonempty() {
         let (pts, _) = blobs(9);
-        let (som, c) = som_cluster(&pts, &SomParams { width: 3, height: 2, ..Default::default() }, 1);
+        let (som, c) = som_cluster(
+            &pts,
+            &SomParams {
+                width: 3,
+                height: 2,
+                ..Default::default()
+            },
+            1,
+        );
         assert_eq!(som.units.len(), 6);
         assert_eq!(c.assignments.len(), pts.len());
         assert!(c.k() >= 1 && c.k() <= 6);

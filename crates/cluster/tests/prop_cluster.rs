@@ -4,10 +4,7 @@ use proptest::prelude::*;
 use tdess_cluster::{build_hierarchy, kmeans, rand_index, silhouette, HierarchyParams};
 
 fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-50.0f64..50.0, 3..=3),
-        2..150,
-    )
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3..=3), 2..150)
 }
 
 proptest! {

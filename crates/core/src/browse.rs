@@ -117,13 +117,19 @@ mod tests {
         // Two clearly different populations: flat plates and rods.
         for i in 0..6 {
             let s = 1.0 + 0.05 * i as f64;
-            db.insert(format!("plate-{i}"), primitives::box_mesh(Vec3::new(4.0 * s, 3.0 * s, 0.2 * s)))
-                .unwrap();
+            db.insert(
+                format!("plate-{i}"),
+                primitives::box_mesh(Vec3::new(4.0 * s, 3.0 * s, 0.2 * s)),
+            )
+            .unwrap();
         }
         for i in 0..6 {
             let s = 1.0 + 0.05 * i as f64;
-            db.insert(format!("rod-{i}"), primitives::cylinder(0.2 * s, 6.0 * s, 12))
-                .unwrap();
+            db.insert(
+                format!("rod-{i}"),
+                primitives::cylinder(0.2 * s, 6.0 * s, 12),
+            )
+            .unwrap();
         }
         db
     }
@@ -134,7 +140,10 @@ mod tests {
         let tree = BrowseTree::build(
             &db,
             FeatureKind::PrincipalMoments,
-            &HierarchyParams { branching: 2, leaf_size: 4 },
+            &HierarchyParams {
+                branching: 2,
+                leaf_size: 4,
+            },
             1,
         );
         assert_eq!(tree.len(), 12);
@@ -148,7 +157,10 @@ mod tests {
         let tree = BrowseTree::build(
             &db,
             FeatureKind::PrincipalMoments,
-            &HierarchyParams { branching: 2, leaf_size: 6 },
+            &HierarchyParams {
+                branching: 2,
+                leaf_size: 6,
+            },
             3,
         );
         let cursor = tree.cursor();
@@ -177,7 +189,10 @@ mod tests {
         let tree = BrowseTree::build(
             &db,
             FeatureKind::GeometricParams,
-            &HierarchyParams { branching: 2, leaf_size: 3 },
+            &HierarchyParams {
+                branching: 2,
+                leaf_size: 3,
+            },
             5,
         );
         let mut cursor = tree.cursor();

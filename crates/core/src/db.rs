@@ -91,6 +91,8 @@ pub enum DbError {
     Extraction(NormalizeError),
     /// The referenced shape id does not exist.
     UnknownShape(ShapeId),
+    /// A parallel worker died or failed to report its result.
+    WorkerFailure(&'static str),
 }
 
 impl std::fmt::Display for DbError {
@@ -98,6 +100,7 @@ impl std::fmt::Display for DbError {
         match self {
             DbError::Extraction(e) => write!(f, "feature extraction failed: {e}"),
             DbError::UnknownShape(id) => write!(f, "unknown shape id {id}"),
+            DbError::WorkerFailure(what) => write!(f, "parallel worker failure: {what}"),
         }
     }
 }
@@ -235,6 +238,7 @@ impl ShapeDatabase {
             let v = features.get(kind);
             // Maintain the diameter incrementally: the new point can
             // only extend dmax via its distance to existing points.
+            // lint: allow(unwrap) — dmax holds every FeatureKind from new(); keys are never removed
             let entry = self.dmax.get_mut(&kind).expect("all kinds initialized");
             for s in &self.shapes {
                 let d = weighted_distance(v, s.features.get(kind), &Weights::unit());
@@ -244,6 +248,7 @@ impl ShapeDatabase {
             }
             self.indexes
                 .get_mut(&kind)
+                // lint: allow(unwrap) — indexes holds every FeatureKind from new(); keys are never removed
                 .expect("all kinds initialized")
                 .insert(v.to_vec(), id);
         }
@@ -266,6 +271,7 @@ impl ShapeDatabase {
             let v = shape.features.get(kind);
             self.indexes
                 .get_mut(&kind)
+                // lint: allow(unwrap) — indexes holds every FeatureKind from new(); keys are never removed
                 .expect("all kinds initialized")
                 .remove(v, |&p| p == id);
         }
@@ -343,16 +349,13 @@ impl ShapeDatabase {
                     }
                 })
                 .collect();
-            hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+            hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
             match query.mode {
                 QueryMode::TopK(k) => {
                     hits.truncate(k);
                     hits
                 }
-                QueryMode::Threshold(t) => hits
-                    .into_iter()
-                    .filter(|h| h.similarity >= t)
-                    .collect(),
+                QueryMode::Threshold(t) => hits.into_iter().filter(|h| h.similarity >= t).collect(),
             }
         }
     }
@@ -421,11 +424,16 @@ mod tests {
             ..Default::default()
         });
         let ids = vec![
-            db.insert("box-a", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5))).unwrap(),
-            db.insert("box-b", primitives::box_mesh(Vec3::new(2.2, 1.1, 0.55))).unwrap(),
-            db.insert("sphere", primitives::uv_sphere(1.0, 16, 8)).unwrap(),
-            db.insert("rod", primitives::cylinder(0.3, 5.0, 16)).unwrap(),
-            db.insert("torus", primitives::torus(1.5, 0.4, 24, 12)).unwrap(),
+            db.insert("box-a", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)))
+                .unwrap(),
+            db.insert("box-b", primitives::box_mesh(Vec3::new(2.2, 1.1, 0.55)))
+                .unwrap(),
+            db.insert("sphere", primitives::uv_sphere(1.0, 16, 8))
+                .unwrap(),
+            db.insert("rod", primitives::cylinder(0.3, 5.0, 16))
+                .unwrap(),
+            db.insert("torus", primitives::torus(1.5, 0.4, 24, 12))
+                .unwrap(),
         ];
         (db, ids)
     }
@@ -447,7 +455,11 @@ mod tests {
             let hits = db.search_mesh(&q, &Query::top_k(kind, 3)).unwrap();
             assert_eq!(hits.len(), 3);
             let top = db.get(hits[0].id).unwrap();
-            assert!(top.name.starts_with("box"), "{kind:?}: top hit {}", top.name);
+            assert!(
+                top.name.starts_with("box"),
+                "{kind:?}: top hit {}",
+                top.name
+            );
             // Similarities are sorted and in [0, 1].
             for w in hits.windows(2) {
                 assert!(w[0].similarity >= w[1].similarity - 1e-12);
@@ -571,7 +583,9 @@ mod tests {
             voxel_resolution: 16,
             ..Default::default()
         });
-        assert!(db.standardized_weights(FeatureKind::PrincipalMoments).is_unit());
+        assert!(db
+            .standardized_weights(FeatureKind::PrincipalMoments)
+            .is_unit());
     }
 
     #[test]

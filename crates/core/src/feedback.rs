@@ -110,11 +110,7 @@ pub fn reconstruct_query(
 /// dimensions where the relevant shapes agree tightly dominate the
 /// distance. Returns unit weights when fewer than two relevant shapes
 /// are known.
-pub fn reconfigure_weights(
-    db: &ShapeDatabase,
-    kind: FeatureKind,
-    feedback: &Feedback,
-) -> Weights {
+pub fn reconfigure_weights(db: &ShapeDatabase, kind: FeatureKind, feedback: &Feedback) -> Weights {
     let vectors: Vec<&[f64]> = feedback
         .relevant
         .iter()
@@ -173,8 +169,10 @@ mod tests {
             )
             .unwrap();
         }
-        db.insert("sphere", primitives::uv_sphere(1.0, 16, 8)).unwrap();
-        db.insert("rod", primitives::cylinder(0.25, 6.0, 16)).unwrap();
+        db.insert("sphere", primitives::uv_sphere(1.0, 16, 8))
+            .unwrap();
+        db.insert("rod", primitives::cylinder(0.25, 6.0, 16))
+            .unwrap();
         db
     }
 
@@ -190,7 +188,9 @@ mod tests {
         };
         let q1 = reconstruct_query(&db, kind, &q0, &fb, &RocchioParams::default());
         // The reconstructed query must be closer to the box centroid.
-        let boxes: Vec<&[f64]> = (1..=3).map(|i| db.get(i).unwrap().features.get(kind)).collect();
+        let boxes: Vec<&[f64]> = (1..=3)
+            .map(|i| db.get(i).unwrap().features.get(kind))
+            .collect();
         let mut centroid = vec![0.0; q0.len()];
         for b in &boxes {
             for d in 0..q0.len() {
@@ -198,7 +198,11 @@ mod tests {
             }
         }
         let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         assert!(dist(&q1, &centroid) < dist(&q0, &centroid));
     }
@@ -208,7 +212,13 @@ mod tests {
         let db = db();
         let kind = FeatureKind::MomentInvariants;
         let q0 = db.get(1).unwrap().features.get(kind).to_vec();
-        let q1 = reconstruct_query(&db, kind, &q0, &Feedback::default(), &RocchioParams::default());
+        let q1 = reconstruct_query(
+            &db,
+            kind,
+            &q0,
+            &Feedback::default(),
+            &RocchioParams::default(),
+        );
         for (a, b) in q0.iter().zip(&q1) {
             assert!((a - b).abs() < 1e-12);
         }
@@ -268,7 +278,9 @@ mod tests {
             irrelevant: vec![],
         };
         assert!(reconfigure_weights(&db, FeatureKind::MomentInvariants, &fb).is_unit());
-        assert!(reconfigure_weights(&db, FeatureKind::MomentInvariants, &Feedback::default()).is_unit());
+        assert!(
+            reconfigure_weights(&db, FeatureKind::MomentInvariants, &Feedback::default()).is_unit()
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! * **server tier** ([`server`]) — thread-safe search handle and
 //!   parallel bulk indexing.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod browse;
@@ -32,6 +33,6 @@ pub use browse::{BrowseCursor, BrowseTree};
 pub use db::{DbError, Query, QueryMode, SearchHit, ShapeDatabase, ShapeId, StoredShape};
 pub use feedback::{reconfigure_weights, reconstruct_query, Feedback, RocchioParams};
 pub use multistep::{multi_step_search, MultiStepPlan};
-pub use server::{bulk_insert, SearchServer};
 pub use persist::{load, load_from_path, save, save_to_path, PersistError};
+pub use server::{bulk_insert, SearchServer};
 pub use similarity::{similarity, threshold_to_radius, weighted_distance, Weights};

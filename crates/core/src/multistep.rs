@@ -49,7 +49,10 @@ pub fn multi_step_search(
     plan: &MultiStepPlan,
 ) -> Vec<SearchHit> {
     assert!(!plan.steps.is_empty(), "plan needs at least one step");
-    assert!(plan.candidates >= 1 && plan.presented >= 1, "degenerate plan sizes");
+    assert!(
+        plan.candidates >= 1 && plan.presented >= 1,
+        "degenerate plan sizes"
+    );
 
     // Step 1: candidate retrieval through the index.
     let first = Query {
@@ -64,12 +67,14 @@ pub fn multi_step_search(
         let qv = query.get(kind);
         let dmax = db.dmax(kind);
         for h in hits.iter_mut() {
-            let stored = db.get(h.id).expect("hit ids come from the database");
+            let Some(stored) = db.get(h.id) else {
+                continue; // defensive: search only returns live ids
+            };
             let d = weighted_distance(qv, stored.features.get(kind), &Weights::unit());
             h.distance = d;
             h.similarity = similarity(d, dmax);
         }
-        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
     }
 
     hits.truncate(plan.presented);
@@ -95,9 +100,12 @@ mod tests {
             )
             .unwrap();
         }
-        db.insert("sphere", primitives::uv_sphere(1.0, 16, 8)).unwrap();
-        db.insert("rod", primitives::cylinder(0.3, 5.0, 16)).unwrap();
-        db.insert("torus", primitives::torus(1.5, 0.4, 24, 12)).unwrap();
+        db.insert("sphere", primitives::uv_sphere(1.0, 16, 8))
+            .unwrap();
+        db.insert("rod", primitives::cylinder(0.3, 5.0, 16))
+            .unwrap();
+        db.insert("torus", primitives::torus(1.5, 0.4, 24, 12))
+            .unwrap();
         db
     }
 

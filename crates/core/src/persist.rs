@@ -80,9 +80,12 @@ mod tests {
             voxel_resolution: 16,
             ..Default::default()
         });
-        db.insert("box", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5))).unwrap();
-        db.insert("sphere", primitives::uv_sphere(1.0, 12, 6)).unwrap();
-        db.insert("rod", primitives::cylinder(0.3, 4.0, 12)).unwrap();
+        db.insert("box", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)))
+            .unwrap();
+        db.insert("sphere", primitives::uv_sphere(1.0, 12, 6))
+            .unwrap();
+        db.insert("rod", primitives::cylinder(0.3, 4.0, 12))
+            .unwrap();
         db
     }
 
@@ -120,7 +123,9 @@ mod tests {
         assert_eq!(db0.len(), db1.len());
         // Inserting into the reloaded DB continues id assignment.
         let mut db1 = db1;
-        let id = db1.insert("torus", primitives::torus(1.5, 0.4, 16, 8)).unwrap();
+        let id = db1
+            .insert("torus", primitives::torus(1.5, 0.4, 16, 8))
+            .unwrap();
         assert_eq!(id, 4);
     }
 

@@ -124,9 +124,11 @@ pub fn bulk_insert(
                 });
             }
         })
-        .expect("extraction workers do not panic");
+        .map_err(|_| DbError::WorkerFailure("extraction worker panicked"))?;
         for cell in results {
-            let res = cell.into_inner().expect("every slot was filled");
+            let res = cell
+                .into_inner()
+                .ok_or(DbError::WorkerFailure("extraction result slot left empty"))?;
             features.push(res?);
         }
     }
@@ -235,7 +237,9 @@ mod tests {
     fn server_insert_visible_to_searches() {
         let server = SearchServer::new(ShapeDatabase::new(extractor()));
         assert!(server.is_empty());
-        let id = server.insert("ring", primitives::torus(1.5, 0.4, 16, 8)).unwrap();
+        let id = server
+            .insert("ring", primitives::torus(1.5, 0.4, 16, 8))
+            .unwrap();
         assert_eq!(server.len(), 1);
         assert_eq!(server.name_of(id).as_deref(), Some("ring"));
         server.remove(id).unwrap();

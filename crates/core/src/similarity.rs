@@ -15,7 +15,10 @@ impl Weights {
 
     /// Explicit weights; must be non-negative.
     pub fn new(w: Vec<f64>) -> Weights {
-        assert!(w.iter().all(|&v| v >= 0.0 && v.is_finite()), "weights must be finite and non-negative");
+        assert!(
+            w.iter().all(|&v| v >= 0.0 && v.is_finite()),
+            "weights must be finite and non-negative"
+        );
         Weights(Some(w))
     }
 
@@ -62,7 +65,10 @@ pub fn similarity(distance: f64, dmax: f64) -> f64 {
 /// Distance radius corresponding to a similarity threshold:
 /// `d = (1 − s)·dmax`.
 pub fn threshold_to_radius(threshold: f64, dmax: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "threshold must be in [0, 1]"
+    );
     (1.0 - threshold) * dmax.max(0.0)
 }
 

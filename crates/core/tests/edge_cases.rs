@@ -16,7 +16,8 @@ fn extractor() -> FeatureExtractor {
 
 fn one_shape_db() -> ShapeDatabase {
     let mut db = ShapeDatabase::new(extractor());
-    db.insert("only", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5))).unwrap();
+    db.insert("only", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)))
+        .unwrap();
     db
 }
 
@@ -29,7 +30,10 @@ fn empty_database_returns_no_hits() {
         .unwrap();
     for kind in FeatureKind::ALL {
         assert!(db.search(&q, &Query::top_k(kind, 5)).is_empty(), "{kind:?}");
-        assert!(db.search(&q, &Query::threshold(kind, 0.5)).is_empty(), "{kind:?}");
+        assert!(
+            db.search(&q, &Query::threshold(kind, 0.5)).is_empty(),
+            "{kind:?}"
+        );
     }
 }
 
@@ -43,7 +47,9 @@ fn single_shape_database_similarity_degenerates_gracefully() {
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].similarity, 1.0);
 
-    let other = extractor().extract(&primitives::uv_sphere(1.0, 12, 6)).unwrap();
+    let other = extractor()
+        .extract(&primitives::uv_sphere(1.0, 12, 6))
+        .unwrap();
     let hits = db.search(&other, &Query::top_k(FeatureKind::PrincipalMoments, 3));
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].similarity, 0.0);
@@ -52,7 +58,8 @@ fn single_shape_database_similarity_degenerates_gracefully() {
 #[test]
 fn threshold_bounds_behave() {
     let mut db = ShapeDatabase::new(extractor());
-    db.insert("a", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5))).unwrap();
+    db.insert("a", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)))
+        .unwrap();
     db.insert("b", primitives::uv_sphere(1.0, 12, 6)).unwrap();
     db.insert("c", primitives::cylinder(0.3, 4.0, 12)).unwrap();
     let q = db.shapes()[0].features.clone();
@@ -78,8 +85,11 @@ fn multistep_presented_exceeding_candidates_is_capped() {
     let mut db = ShapeDatabase::new(extractor());
     for i in 0..5 {
         let s = 1.0 + 0.1 * i as f64;
-        db.insert(format!("b{i}"), primitives::box_mesh(Vec3::new(2.0 * s, s, 0.5 * s)))
-            .unwrap();
+        db.insert(
+            format!("b{i}"),
+            primitives::box_mesh(Vec3::new(2.0 * s, s, 0.5 * s)),
+        )
+        .unwrap();
     }
     let q = db.shapes()[0].features.clone();
     let hits = multi_step_search(
@@ -99,8 +109,11 @@ fn multistep_single_step_equals_one_shot() {
     let mut db = ShapeDatabase::new(extractor());
     for i in 0..6 {
         let s = 1.0 + 0.07 * i as f64;
-        db.insert(format!("b{i}"), primitives::box_mesh(Vec3::new(2.0 * s, s, 0.4 * s)))
-            .unwrap();
+        db.insert(
+            format!("b{i}"),
+            primitives::box_mesh(Vec3::new(2.0 * s, s, 0.4 * s)),
+        )
+        .unwrap();
     }
     let q = db.shapes()[2].features.clone();
     let plan = MultiStepPlan {
@@ -108,7 +121,10 @@ fn multistep_single_step_equals_one_shot() {
         candidates: 4,
         presented: 4,
     };
-    let ms: Vec<_> = multi_step_search(&db, &q, &plan).into_iter().map(|h| h.id).collect();
+    let ms: Vec<_> = multi_step_search(&db, &q, &plan)
+        .into_iter()
+        .map(|h| h.id)
+        .collect();
     let os: Vec<_> = db
         .search(&q, &Query::top_k(FeatureKind::PrincipalMoments, 4))
         .into_iter()
@@ -125,7 +141,7 @@ fn weighted_query_with_partial_weights_panics() {
         db.search(
             &q,
             &Query {
-                kind: FeatureKind::PrincipalMoments, // dim 3
+                kind: FeatureKind::PrincipalMoments,   // dim 3
                 weights: Weights::new(vec![1.0, 1.0]), // wrong dim
                 mode: QueryMode::TopK(1),
             },

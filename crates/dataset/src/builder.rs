@@ -130,7 +130,10 @@ pub fn build_corpus_scaled(seed: u64, multiplier: usize) -> Corpus {
 /// relevant sets stay fixed — the cleanest probe of how retrieval
 /// degrades in larger databases.
 pub fn build_corpus_custom(seed: u64, group_multiplier: usize, noise_multiplier: usize) -> Corpus {
-    assert!(group_multiplier >= 1 && noise_multiplier >= 1, "multipliers must be at least 1");
+    assert!(
+        group_multiplier >= 1 && noise_multiplier >= 1,
+        "multipliers must be at least 1"
+    );
     let multiplier = group_multiplier;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut shapes = Vec::with_capacity(113);

@@ -307,8 +307,7 @@ impl Family {
                         ring.push(P2::new(r * a.cos(), r * a.sin()));
                     }
                 }
-                let profile =
-                    Polygon::new(ring, vec![regular_ngon(12, bore, 0.0, 0.0, 0.07)]);
+                let profile = Polygon::new(ring, vec![regular_ngon(12, bore, 0.0, 0.0, 0.07)]);
                 extrude(&profile, t)
             }
             Family::Star => {
@@ -452,11 +451,8 @@ impl Family {
                 let a = j(rng, 3.0, 0.2);
                 let b = j(rng, 2.0, 0.2);
                 let t = j(rng, 1.5, 0.25);
-                let profile = Polygon::simple(vec![
-                    P2::new(0.0, 0.0),
-                    P2::new(a, 0.0),
-                    P2::new(0.0, b),
-                ]);
+                let profile =
+                    Polygon::simple(vec![P2::new(0.0, 0.0), P2::new(a, 0.0), P2::new(0.0, b)]);
                 extrude(&profile, t)
             }
             Family::CRing => {

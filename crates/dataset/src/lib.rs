@@ -6,12 +6,16 @@
 //! unclassified noise shapes, every one watertight and posed with a
 //! random rigid transform.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
 pub mod families;
 pub mod noise;
 
-pub use builder::{build_corpus, build_corpus_custom, build_corpus_scaled, Corpus, ShapeRecord, GROUP_SIZES, NUM_NOISE};
+pub use builder::{
+    build_corpus, build_corpus_custom, build_corpus_scaled, Corpus, ShapeRecord, GROUP_SIZES,
+    NUM_NOISE,
+};
 pub use families::Family;
 pub use noise::noise_shape;

@@ -34,7 +34,10 @@ pub fn noise_shape(i: usize, rng: &mut StdRng) -> TriMesh {
             } else {
                 rng.gen_range(6.0..9.0)
             };
-            extrude(&Polygon::simple(regular_ngon(n, r, 0.0, 0.0, rng.gen_range(0.0..1.0))), t)
+            extrude(
+                &Polygon::simple(regular_ngon(n, r, 0.0, 0.0, rng.gen_range(0.0..1.0))),
+                t,
+            )
         }
         4 => {
             // Skinny torus or fat torus.
@@ -110,7 +113,7 @@ mod tests {
         let mut r2 = StdRng::seed_from_u64(1);
         let a = noise_shape(0, &mut r1);
         let b = noise_shape(6, &mut r2); // same recipe branch, same rng state
-        // Same recipe with identical rng state gives identical shapes.
+                                         // Same recipe with identical rng state gives identical shapes.
         assert_eq!(a.num_vertices(), b.num_vertices());
     }
 }

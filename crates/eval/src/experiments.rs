@@ -39,6 +39,7 @@ impl EvalContext {
             .collect();
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         let ids = tdess_core::bulk_insert(&mut db, shapes, threads)
+            // lint: allow(unwrap) — generated corpus meshes are watertight with positive volume
             .expect("corpus shapes are watertight with positive volume");
         let groups = corpus.shapes.iter().map(|s| s.group).collect();
         EvalContext {
@@ -72,6 +73,7 @@ impl EvalContext {
                 .groups
                 .iter()
                 .position(|&gi| gi == Some(g))
+                // lint: allow(unwrap) — the corpus generator emits every group at least once
                 .expect("every group is non-empty");
             reps.push(idx);
         }
@@ -134,6 +136,7 @@ pub fn retrieve_k(ctx: &EvalContext, qi: usize, strategy: &Strategy, k: usize) -
     let features = ctx
         .db
         .get(query_id)
+        // lint: allow(unwrap) — ctx.ids are the ids bulk_insert returned for this database
         .expect("query id exists")
         .features
         .clone();
@@ -171,7 +174,13 @@ pub fn threshold_query(
     threshold: f64,
 ) -> (PrRe, Vec<ShapeId>) {
     let query_id = ctx.ids[qi];
-    let features = ctx.db.get(query_id).expect("query id exists").features.clone();
+    let features = ctx
+        .db
+        .get(query_id)
+        // lint: allow(unwrap) — ctx.ids are the ids bulk_insert returned for this database
+        .expect("query id exists")
+        .features
+        .clone();
     let retrieved: Vec<ShapeId> = ctx
         .db
         .search(&features, &Query::threshold(kind, threshold))
@@ -185,7 +194,12 @@ pub fn threshold_query(
 
 /// Figures 8–12: the precision-recall curve of one query shape for one
 /// feature vector, swept over `steps` similarity thresholds in [0, 1].
-pub fn pr_curve(ctx: &EvalContext, qi: usize, kind: FeatureKind, steps: usize) -> Vec<PrCurvePoint> {
+pub fn pr_curve(
+    ctx: &EvalContext,
+    qi: usize,
+    kind: FeatureKind,
+    steps: usize,
+) -> Vec<PrCurvePoint> {
     assert!(steps >= 2, "need at least two thresholds");
     let mut curve = Vec::with_capacity(steps);
     for s in 0..steps {
@@ -306,6 +320,7 @@ pub fn multistep_comparison(
         query: ctx
             .db
             .get(ctx.ids[qi])
+            // lint: allow(unwrap) — ctx.ids are the ids bulk_insert returned for this database
             .expect("query id exists")
             .name
             .clone(),
@@ -330,20 +345,13 @@ pub fn representative_queries(ctx: &EvalContext) -> Vec<usize> {
     // Groups sorted by size descending; take the first member of each
     // of the five largest.
     let mut group_sizes: Vec<(usize, usize)> = (0..ctx.num_groups)
-        .map(|g| {
-            (
-                g,
-                ctx.groups.iter().filter(|&&gi| gi == Some(g)).count(),
-            )
-        })
+        .map(|g| (g, ctx.groups.iter().filter(|&&gi| gi == Some(g)).count()))
         .collect();
     group_sizes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     group_sizes
         .iter()
         .take(5)
-        .map(|&(g, _)| {
-            self::EvalContext::group_representatives(ctx)[g]
-        })
+        .map(|&(g, _)| self::EvalContext::group_representatives(ctx)[g])
         .collect()
 }
 

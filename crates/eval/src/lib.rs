@@ -5,6 +5,7 @@
 //! Figures 7–16, plus plain-text/JSON reporting used by the
 //! `tdess-bench` figure regenerators.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
@@ -13,8 +14,9 @@ pub mod pr;
 pub mod report;
 
 pub use experiments::{
-    average_effectiveness, extended_metrics, multistep_comparison, pr_curve, representative_queries, retrieve_k,
-    threshold_query, EffectivenessRow, EvalContext, MultiStepComparison, RetrievalSize, Strategy,
+    average_effectiveness, extended_metrics, multistep_comparison, pr_curve,
+    representative_queries, retrieve_k, threshold_query, EffectivenessRow, EvalContext,
+    MultiStepComparison, RetrievalSize, Strategy,
 };
 pub use metrics::{mean_metrics, ranked_metrics, RankedMetrics};
 pub use pr::{precision_recall, PrCurvePoint, PrRe};

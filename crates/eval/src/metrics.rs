@@ -57,7 +57,11 @@ pub fn ranked_metrics<I: std::hash::Hash + Eq + Copy>(
     }
 
     RankedMetrics {
-        nearest_neighbor: if relevant.contains(&ranking[0]) { 1.0 } else { 0.0 },
+        nearest_neighbor: if relevant.contains(&ranking[0]) {
+            1.0
+        } else {
+            0.0
+        },
         first_tier: first_tier_hits as f64 / n_rel as f64,
         second_tier: second_tier_hits as f64 / n_rel as f64,
         average_precision: ap_sum / n_rel as f64,

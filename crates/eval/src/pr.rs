@@ -96,7 +96,10 @@ mod tests {
         // relevant of 4 with |R| = 4 → Pr 0.5, Re 0.5. The exact
         // counts differ (their |A| = 9); what matters here is that the
         // arithmetic matches Eq. 4.1–4.2.
-        let pr = precision_recall(&[10, 11, 20, 21], &set(&[10, 11, 30, 31, 32, 33, 34, 35, 36]));
+        let pr = precision_recall(
+            &[10, 11, 20, 21],
+            &set(&[10, 11, 30, 31, 32, 33, 34, 35, 36]),
+        );
         assert_eq!(pr.precision, 0.5);
         assert!((pr.recall - 2.0 / 9.0).abs() < 1e-12);
     }

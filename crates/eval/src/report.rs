@@ -9,7 +9,12 @@ use serde::Serialize;
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let cols = headers.len();
     for (i, r) in rows.iter().enumerate() {
-        assert_eq!(r.len(), cols, "row {i} has {} cells, expected {cols}", r.len());
+        assert_eq!(
+            r.len(),
+            cols,
+            "row {i} has {} cells, expected {cols}",
+            r.len()
+        );
     }
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for r in rows {
@@ -50,6 +55,7 @@ pub fn f3(v: f64) -> String {
 /// Serializes any experiment payload to pretty JSON for machine
 /// consumption (dumped next to the printed tables).
 pub fn to_json<T: Serialize>(value: &T) -> String {
+    // lint: allow(unwrap) — experiment payloads are plain data with no unserializable parts
     serde_json::to_string_pretty(value).expect("experiment payloads are serializable")
 }
 
@@ -100,7 +106,11 @@ mod tests {
     #[test]
     fn bars_clamp_and_scale() {
         let b = render_bars(
-            &[("full".into(), 1.0), ("half".into(), 0.5), ("over".into(), 1.5)],
+            &[
+                ("full".into(), 1.0),
+                ("half".into(), 0.5),
+                ("over".into(), 1.5),
+            ],
             10,
         );
         let lines: Vec<&str> = b.lines().collect();

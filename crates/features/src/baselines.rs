@@ -129,7 +129,11 @@ mod tests {
     use tdess_geom::{primitives, Mat3, Vec3};
 
     fn l2(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]
@@ -157,7 +161,8 @@ mod tests {
 
     #[test]
     fn d2_distinguishes_sphere_from_rod() {
-        let sphere = shape_distribution_d2(&primitives::uv_sphere(1.0, 24, 12), &D2Params::default());
+        let sphere =
+            shape_distribution_d2(&primitives::uv_sphere(1.0, 24, 12), &D2Params::default());
         let rod = shape_distribution_d2(&primitives::cylinder(0.2, 6.0, 24), &D2Params::default());
         assert!(l2(&sphere, &rod) > 0.1, "distance {}", l2(&sphere, &rod));
     }

@@ -5,6 +5,7 @@
 //! parameters, principal moments, and skeletal-graph eigenvalues —
 //! orchestrated by a pipeline that mirrors Fig. 2's query processing.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;
@@ -15,4 +16,6 @@ pub mod vectors;
 pub use baselines::{shape_distribution_d2, shell_histogram, D2Params, ShellParams};
 pub use normalize::{normalize, NormalizeError, NormalizedModel};
 pub use pipeline::{FeatureExtractor, FeatureSet, PipelineArtifacts, DEFAULT_SPECTRUM_DIM};
-pub use vectors::{geometric_params, higher_order_moments, moment_invariants, principal_moments, FeatureKind};
+pub use vectors::{
+    geometric_params, higher_order_moments, moment_invariants, principal_moments, FeatureKind,
+};

@@ -127,7 +127,11 @@ mod tests {
         // Unit volume.
         assert!((m.m000 - 1.0).abs() < 1e-9, "volume {}", m.m000);
         // Centroid at origin.
-        assert!(m.centroid().approx_eq(Vec3::ZERO, 1e-9), "{:?}", m.centroid());
+        assert!(
+            m.centroid().approx_eq(Vec3::ZERO, 1e-9),
+            "{:?}",
+            m.centroid()
+        );
         // Off-diagonal second moments vanish.
         assert!(m.m110.abs() < 1e-8, "m110 {}", m.m110);
         assert!(m.m101.abs() < 1e-8, "m101 {}", m.m101);
@@ -209,10 +213,7 @@ mod tests {
     #[test]
     fn degenerate_mesh_rejected() {
         // A single triangle has no volume.
-        let mesh = TriMesh::new(
-            vec![Vec3::ZERO, Vec3::X, Vec3::Y],
-            vec![[0, 1, 2]],
-        );
+        let mesh = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]);
         assert!(matches!(normalize(&mesh), Err(NormalizeError::ZeroVolume)));
     }
 }

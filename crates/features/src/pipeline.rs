@@ -7,11 +7,13 @@
 
 use serde::{Deserialize, Serialize};
 use tdess_geom::{mesh_moments, TriMesh};
-use tdess_skeleton::{build_graph, prune_spurs, skeletonize, spectral_signature, SkeletalGraph, ThinningParams};
+use tdess_skeleton::{
+    build_graph, prune_spurs, skeletonize, spectral_signature, SkeletalGraph, ThinningParams,
+};
 use tdess_voxel::{voxelize, VoxelGrid, VoxelizeParams};
 
-use crate::normalize::{normalize, NormalizeError, NormalizedModel};
 use crate::baselines::{shape_distribution_d2, shell_histogram, D2Params, ShellParams};
+use crate::normalize::{normalize, NormalizeError, NormalizedModel};
 use crate::vectors::{
     geometric_params, higher_order_moments, moment_invariants, principal_moments, FeatureKind,
 };
@@ -131,6 +133,12 @@ impl FeatureExtractor {
             shape_distribution: d2,
             shell_histogram: sh,
         };
+        debug_assert!(
+            FeatureKind::ALL
+                .iter()
+                .all(|&k| features.get(k).iter().all(|v| v.is_finite())),
+            "extracted feature vectors must be finite"
+        );
         Ok(PipelineArtifacts {
             normalized,
             voxels,
@@ -164,9 +172,15 @@ mod tests {
         let ex = FeatureExtractor::default();
         let mesh = primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5));
         let fs = ex.extract(&mesh).unwrap();
-        assert_eq!(fs.moment_invariants.len(), ex.dim(FeatureKind::MomentInvariants));
+        assert_eq!(
+            fs.moment_invariants.len(),
+            ex.dim(FeatureKind::MomentInvariants)
+        );
         assert_eq!(fs.geometric.len(), ex.dim(FeatureKind::GeometricParams));
-        assert_eq!(fs.principal_moments.len(), ex.dim(FeatureKind::PrincipalMoments));
+        assert_eq!(
+            fs.principal_moments.len(),
+            ex.dim(FeatureKind::PrincipalMoments)
+        );
         assert_eq!(fs.eigenvalues.len(), ex.dim(FeatureKind::Eigenvalues));
         for kind in FeatureKind::ALL {
             assert!(!fs.get(kind).is_empty());
@@ -176,7 +190,10 @@ mod tests {
 
     #[test]
     fn features_stable_under_rigid_motion() {
-        let ex = FeatureExtractor { voxel_resolution: 32, ..Default::default() };
+        let ex = FeatureExtractor {
+            voxel_resolution: 32,
+            ..Default::default()
+        };
         let mesh = primitives::box_mesh(Vec3::new(3.0, 1.5, 0.8));
         let f0 = ex.extract(&mesh).unwrap();
 
@@ -206,8 +223,13 @@ mod tests {
 
     #[test]
     fn eigenvalue_signature_reflects_topology() {
-        let ex = FeatureExtractor { voxel_resolution: 40, ..Default::default() };
-        let rod = ex.extract(&primitives::box_mesh(Vec3::new(4.0, 0.5, 0.5))).unwrap();
+        let ex = FeatureExtractor {
+            voxel_resolution: 40,
+            ..Default::default()
+        };
+        let rod = ex
+            .extract(&primitives::box_mesh(Vec3::new(4.0, 0.5, 0.5)))
+            .unwrap();
         let ring = ex.extract(&primitives::torus(1.0, 0.28, 48, 20)).unwrap();
         let d: f64 = rod
             .eigenvalues
@@ -221,7 +243,10 @@ mod tests {
 
     #[test]
     fn artifacts_are_consistent() {
-        let ex = FeatureExtractor { voxel_resolution: 32, ..Default::default() };
+        let ex = FeatureExtractor {
+            voxel_resolution: 32,
+            ..Default::default()
+        };
         let mesh = primitives::cylinder(0.6, 2.5, 24);
         let art = ex.extract_detailed(&mesh).unwrap();
         // Skeleton is a subset of the voxel model.

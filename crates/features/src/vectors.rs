@@ -89,10 +89,7 @@ pub fn moment_invariants(moments: &Moments) -> [f64; 3] {
     let i011 = mu.m011 / denom;
 
     let f1 = i200 + i020 + i002;
-    let f2 = i002 * i200 + i002 * i020 + i020 * i200
-        - i101 * i101
-        - i110 * i110
-        - i011 * i011;
+    let f2 = i002 * i200 + i002 * i020 + i020 * i200 - i101 * i101 - i110 * i110 - i011 * i011;
     let f3 = i002 * i200 * i020 + 2.0 * i110 * i011 * i101
         - i101 * i101 * i020
         - i011 * i011 * i200
@@ -164,7 +161,12 @@ mod tests {
         let f = moment_invariants(&mesh_moments(&mesh));
         let v: f64 = 4.0 / 3.0 * std::f64::consts::PI;
         let i = 1.0 / (5.0 * v.powf(2.0 / 3.0));
-        assert!((f[0] - 3.0 * i).abs() / (3.0 * i) < 0.01, "F1 {} vs {}", f[0], 3.0 * i);
+        assert!(
+            (f[0] - 3.0 * i).abs() / (3.0 * i) < 0.01,
+            "F1 {} vs {}",
+            f[0],
+            3.0 * i
+        );
         assert!((f[1] - 3.0 * i * i).abs() / (3.0 * i * i) < 0.02);
         assert!((f[2] - i * i * i).abs() / (i * i * i) < 0.03);
     }
@@ -243,7 +245,12 @@ mod tests {
         let block = primitives::cylinder(1.0, 2.0, 32);
         let g_tube = geometric_params(&tube, &normalize(&tube).unwrap());
         let g_block = geometric_params(&block, &normalize(&block).unwrap());
-        assert!(g_tube[2] > 3.0 * g_block[2], "tube S/V {} vs block {}", g_tube[2], g_block[2]);
+        assert!(
+            g_tube[2] > 3.0 * g_block[2],
+            "tube S/V {} vs block {}",
+            g_tube[2],
+            g_block[2]
+        );
     }
 
     #[test]

@@ -40,9 +40,21 @@ const MAX_SWEEPS: usize = 64;
 pub fn sym3_eigen(m: &Mat3) -> Eigen3 {
     // Flatten to the generic solver and reassemble.
     let sym = [
-        [m.get(0, 0), 0.5 * (m.get(0, 1) + m.get(1, 0)), 0.5 * (m.get(0, 2) + m.get(2, 0))],
-        [0.5 * (m.get(0, 1) + m.get(1, 0)), m.get(1, 1), 0.5 * (m.get(1, 2) + m.get(2, 1))],
-        [0.5 * (m.get(0, 2) + m.get(2, 0)), 0.5 * (m.get(1, 2) + m.get(2, 1)), m.get(2, 2)],
+        [
+            m.get(0, 0),
+            0.5 * (m.get(0, 1) + m.get(1, 0)),
+            0.5 * (m.get(0, 2) + m.get(2, 0)),
+        ],
+        [
+            0.5 * (m.get(0, 1) + m.get(1, 0)),
+            m.get(1, 1),
+            0.5 * (m.get(1, 2) + m.get(2, 1)),
+        ],
+        [
+            0.5 * (m.get(0, 2) + m.get(2, 0)),
+            0.5 * (m.get(1, 2) + m.get(2, 1)),
+            m.get(2, 2),
+        ],
     ];
     let mut a = vec![vec![0.0; 3]; 3];
     for r in 0..3 {
@@ -53,7 +65,7 @@ pub fn sym3_eigen(m: &Mat3) -> Eigen3 {
     let (vals, vecs) = jacobi(&mut a);
     // Sort descending by eigenvalue.
     let mut order = [0usize, 1, 2];
-    order.sort_by(|&i, &j| vals[j].partial_cmp(&vals[i]).unwrap());
+    order.sort_by(|&i, &j| vals[j].total_cmp(&vals[i]));
     let values = Vec3::new(vals[order[0]], vals[order[1]], vals[order[2]]);
     let mut cols = [Vec3::ZERO; 3];
     for (k, &oi) in order.iter().enumerate() {
@@ -85,7 +97,7 @@ pub fn sym_eigenvalues(matrix: &[f64], n: usize) -> Vec<f64> {
         }
     }
     let (mut vals, _) = jacobi(&mut a);
-    vals.sort_by(|x, y| y.partial_cmp(x).unwrap());
+    vals.sort_by(|x, y| y.total_cmp(x));
     vals
 }
 
@@ -257,7 +269,9 @@ mod tests {
         // Deterministic pseudo-random symmetric matrix.
         let mut seed = 42u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for r in 0..n {
@@ -270,7 +284,10 @@ mod tests {
         let trace: f64 = (0..n).map(|i| a[i * n + i]).sum();
         let vals = sym_eigenvalues(&a, n);
         let sum: f64 = vals.iter().sum();
-        assert!((trace - sum).abs() < 1e-9, "trace {trace} vs eigensum {sum}");
+        assert!(
+            (trace - sum).abs() < 1e-9,
+            "trace {trace} vs eigensum {sum}"
+        );
     }
 
     #[test]

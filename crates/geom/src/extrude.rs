@@ -101,7 +101,13 @@ mod tests {
     #[test]
     fn extruded_plate_with_many_holes() {
         let mut holes = Vec::new();
-        for (cx, cy) in [(-1.2, -0.5), (1.2, -0.5), (1.2, 0.5), (-1.2, 0.5), (0.0, 0.0)] {
+        for (cx, cy) in [
+            (-1.2, -0.5),
+            (1.2, -0.5),
+            (1.2, 0.5),
+            (-1.2, 0.5),
+            (0.0, 0.0),
+        ] {
             holes.push(regular_ngon(10, 0.25, cx, cy, 0.3));
         }
         let p = Polygon::new(rect_ring(-2.0, -1.0, 2.0, 1.0), holes);

@@ -150,7 +150,9 @@ fn read_stl_ascii_bytes(data: &[u8]) -> Result<TriMesh, IoError> {
             let mut it = rest.split_whitespace();
             let mut next = || -> Result<f64, IoError> {
                 it.next()
-                    .ok_or_else(|| parse_err(format!("line {}: missing vertex coordinate", lineno + 1)))?
+                    .ok_or_else(|| {
+                        parse_err(format!("line {}: missing vertex coordinate", lineno + 1))
+                    })?
                     .parse::<f64>()
                     .map_err(|e| parse_err(format!("line {}: {e}", lineno + 1)))
             };
@@ -292,10 +294,9 @@ pub fn read_obj<R: Read>(r: &mut R) -> Result<TriMesh, IoError> {
             Some("f") => {
                 let mut idx: Vec<u32> = Vec::new();
                 for part in tok {
-                    let first = part
-                        .split('/')
-                        .next()
-                        .ok_or_else(|| parse_err(format!("line {}: empty face index", lineno + 1)))?;
+                    let first = part.split('/').next().ok_or_else(|| {
+                        parse_err(format!("line {}: empty face index", lineno + 1))
+                    })?;
                     let raw: i64 = first
                         .parse()
                         .map_err(|e| parse_err(format!("line {}: {e}", lineno + 1)))?;
@@ -315,7 +316,10 @@ pub fn read_obj<R: Read>(r: &mut R) -> Result<TriMesh, IoError> {
                     idx.push(resolved as u32);
                 }
                 if idx.len() < 3 {
-                    return Err(parse_err(format!("line {}: face with < 3 vertices", lineno + 1)));
+                    return Err(parse_err(format!(
+                        "line {}: face with < 3 vertices",
+                        lineno + 1
+                    )));
                 }
                 for j in 1..idx.len() - 1 {
                     triangles.push([idx[0], idx[j], idx[j + 1]]);
@@ -453,7 +457,8 @@ mod tests {
     fn obj_rejects_bad_faces() {
         assert!(read_obj(&mut "v 0 0 0\nf 1 2 3\n".as_bytes()).is_err()); // out of range
         assert!(read_obj(&mut "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 0 3\n".as_bytes()).is_err()); // index 0
-        assert!(read_obj(&mut "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2\n".as_bytes()).is_err()); // arity
+        assert!(read_obj(&mut "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2\n".as_bytes()).is_err());
+        // arity
     }
 
     #[test]
@@ -465,7 +470,10 @@ mod tests {
             let p = dir.join(name);
             save_mesh(&mesh, &p).unwrap();
             let got = load_mesh(&p).unwrap();
-            assert!((got.signed_volume() - mesh.signed_volume()).abs() < 1e-5, "{name}");
+            assert!(
+                (got.signed_volume() - mesh.signed_volume()).abs() < 1e-5,
+                "{name}"
+            );
         }
         assert!(save_mesh(&mesh, &dir.join("m.xyz")).is_err());
     }

@@ -9,6 +9,7 @@
 //! Everything downstream — voxelization, skeletonization, feature
 //! extraction — consumes [`mesh::TriMesh`] values produced here.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aabb;

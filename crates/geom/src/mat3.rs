@@ -141,9 +141,21 @@ impl Mat3 {
         let (s, c) = angle.sin_cos();
         let t = 1.0 - c;
         Mat3::from_rows(
-            Vec3::new(t * u.x * u.x + c, t * u.x * u.y - s * u.z, t * u.x * u.z + s * u.y),
-            Vec3::new(t * u.x * u.y + s * u.z, t * u.y * u.y + c, t * u.y * u.z - s * u.x),
-            Vec3::new(t * u.x * u.z - s * u.y, t * u.y * u.z + s * u.x, t * u.z * u.z + c),
+            Vec3::new(
+                t * u.x * u.x + c,
+                t * u.x * u.y - s * u.z,
+                t * u.x * u.z + s * u.y,
+            ),
+            Vec3::new(
+                t * u.x * u.y + s * u.z,
+                t * u.y * u.y + c,
+                t * u.y * u.z - s * u.x,
+            ),
+            Vec3::new(
+                t * u.x * u.z - s * u.y,
+                t * u.y * u.z + s * u.x,
+                t * u.z * u.z + c,
+            ),
         )
     }
 
@@ -180,7 +192,11 @@ impl Mul<Vec3> for Mat3 {
     type Output = Vec3;
     #[inline]
     fn mul(self, v: Vec3) -> Vec3 {
-        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+        Vec3::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
     }
 }
 
@@ -189,9 +205,21 @@ impl Mul for Mat3 {
     fn mul(self, rhs: Mat3) -> Mat3 {
         let t = rhs.transpose();
         Mat3::from_rows(
-            Vec3::new(self.rows[0].dot(t.rows[0]), self.rows[0].dot(t.rows[1]), self.rows[0].dot(t.rows[2])),
-            Vec3::new(self.rows[1].dot(t.rows[0]), self.rows[1].dot(t.rows[1]), self.rows[1].dot(t.rows[2])),
-            Vec3::new(self.rows[2].dot(t.rows[0]), self.rows[2].dot(t.rows[1]), self.rows[2].dot(t.rows[2])),
+            Vec3::new(
+                self.rows[0].dot(t.rows[0]),
+                self.rows[0].dot(t.rows[1]),
+                self.rows[0].dot(t.rows[2]),
+            ),
+            Vec3::new(
+                self.rows[1].dot(t.rows[0]),
+                self.rows[1].dot(t.rows[1]),
+                self.rows[1].dot(t.rows[2]),
+            ),
+            Vec3::new(
+                self.rows[2].dot(t.rows[0]),
+                self.rows[2].dot(t.rows[1]),
+                self.rows[2].dot(t.rows[2]),
+            ),
         )
     }
 }

@@ -67,7 +67,10 @@ impl std::fmt::Display for MeshDefect {
                 write!(f, "triangle {triangle} repeats a vertex")
             }
             MeshDefect::NonManifoldEdge { a, b, count } => {
-                write!(f, "edge ({a},{b}) is used by {count} triangles (expected 2)")
+                write!(
+                    f,
+                    "edge ({a},{b}) is used by {count} triangles (expected 2)"
+                )
             }
             MeshDefect::InconsistentOrientation { a, b } => {
                 write!(f, "edge ({a},{b}) is traversed twice in the same direction")
@@ -79,7 +82,10 @@ impl std::fmt::Display for MeshDefect {
 impl TriMesh {
     /// Creates a mesh from raw parts.
     pub fn new(vertices: Vec<Vec3>, triangles: Vec<[u32; 3]>) -> TriMesh {
-        TriMesh { vertices, triangles }
+        TriMesh {
+            vertices,
+            triangles,
+        }
     }
 
     /// Number of triangles.
@@ -178,8 +184,12 @@ impl TriMesh {
     pub fn append(&mut self, other: &TriMesh) {
         let base = self.vertices.len() as u32;
         self.vertices.extend_from_slice(&other.vertices);
-        self.triangles
-            .extend(other.triangles.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+        self.triangles.extend(
+            other
+                .triangles
+                .iter()
+                .map(|t| [t[0] + base, t[1] + base, t[2] + base]),
+        );
     }
 
     /// Checks structural soundness: indices in range, no degenerate
@@ -250,11 +260,9 @@ impl TriMesh {
         let mut remap = vec![0u32; self.vertices.len()];
         let mut new_vertices: Vec<Vec3> = Vec::with_capacity(self.vertices.len());
         for (i, &v) in self.vertices.iter().enumerate() {
-            let key = (
-                (v.x * inv).round() as i64,
-                (v.y * inv).round() as i64,
-                (v.z * inv).round() as i64,
-            );
+            // lint: allow(lossy-cast) — quantization key: saturating cast of a finite scaled coordinate
+            let quant = |c: f64| (c * inv).round() as i64;
+            let key = (quant(v.x), quant(v.y), quant(v.z));
             let idx = *map.entry(key).or_insert_with(|| {
                 new_vertices.push(v);
                 (new_vertices.len() - 1) as u32
@@ -265,7 +273,13 @@ impl TriMesh {
         self.triangles = self
             .triangles
             .iter()
-            .map(|t| [remap[t[0] as usize], remap[t[1] as usize], remap[t[2] as usize]])
+            .map(|t| {
+                [
+                    remap[t[0] as usize],
+                    remap[t[1] as usize],
+                    remap[t[2] as usize],
+                ]
+            })
             .filter(|t| t[0] != t[1] && t[1] != t[2] && t[0] != t[2])
             .collect();
     }
@@ -347,9 +361,15 @@ mod tests {
     #[test]
     fn validate_detects_bad_index_and_degenerate() {
         let m = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 5]]);
-        assert!(matches!(m.validate()[0], MeshDefect::IndexOutOfBounds { triangle: 0 }));
+        assert!(matches!(
+            m.validate()[0],
+            MeshDefect::IndexOutOfBounds { triangle: 0 }
+        ));
         let m = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 1]]);
-        assert!(matches!(m.validate()[0], MeshDefect::DegenerateTriangle { triangle: 0 }));
+        assert!(matches!(
+            m.validate()[0],
+            MeshDefect::DegenerateTriangle { triangle: 0 }
+        ));
     }
 
     #[test]

@@ -50,8 +50,8 @@ impl ThirdMoments {
     /// `[m300, m030, m003, m210, m201, m120, m021, m102, m012, m111]`.
     pub fn to_array(&self) -> [f64; 10] {
         [
-            self.m300, self.m030, self.m003, self.m210, self.m201, self.m120, self.m021,
-            self.m102, self.m012, self.m111,
+            self.m300, self.m030, self.m003, self.m210, self.m201, self.m120, self.m021, self.m102,
+            self.m012, self.m111,
         ]
     }
 
@@ -188,9 +188,15 @@ mod tests {
         let mesh = primitives::cone(1.0, 2.0, 64);
         let t = central_third_moments(&mesh);
         assert!(t.m003.abs() > 1e-4, "m003 = {}", t.m003);
-        for (name, v) in [("m300", t.m300), ("m030", t.m030), ("m111", t.m111),
-                          ("m210", t.m210), ("m120", t.m120), ("m012", t.m012),
-                          ("m102", t.m102)] {
+        for (name, v) in [
+            ("m300", t.m300),
+            ("m030", t.m030),
+            ("m111", t.m111),
+            ("m210", t.m210),
+            ("m120", t.m120),
+            ("m012", t.m012),
+            ("m102", t.m102),
+        ] {
             assert!(v.abs() < 1e-3 * t.m003.abs().max(1e-3), "{name} = {v}");
         }
         // m201 ≈ m021 by the rotational symmetry.

@@ -159,7 +159,12 @@ pub fn regular_ngon(n: usize, r: f64, cx: f64, cy: f64, phase: f64) -> Vec<P2> {
 /// `(x0, y0)`–`(x1, y1)`.
 pub fn rect_ring(x0: f64, y0: f64, x1: f64, y1: f64) -> Vec<P2> {
     assert!(x1 > x0 && y1 > y0, "degenerate rectangle");
-    vec![P2::new(x0, y0), P2::new(x1, y0), P2::new(x1, y1), P2::new(x0, y1)]
+    vec![
+        P2::new(x0, y0),
+        P2::new(x1, y0),
+        P2::new(x1, y1),
+        P2::new(x0, y1),
+    ]
 }
 
 /// Triangulates a polygon with holes by bridging each hole into the
@@ -184,7 +189,7 @@ pub fn triangulate(poly: &Polygon) -> Vec<[u32; 3]> {
             .map(|i| points[i].x)
             .fold(f64::NEG_INFINITY, f64::max)
     };
-    hole_order.sort_by(|&a, &b| hole_max_x(b).partial_cmp(&hole_max_x(a)).unwrap());
+    hole_order.sort_by(|&a, &b| hole_max_x(b).total_cmp(&hole_max_x(a)));
 
     for h in hole_order {
         bridge_hole(&mut ring, &points, ranges[h].clone());
@@ -205,8 +210,9 @@ fn bridge_hole(ring: &mut Vec<u32>, points: &[P2], hole: std::ops::Range<usize>)
         .max_by(|(_, &a), (_, &b)| {
             let pa = points[a as usize];
             let pb = points[b as usize];
-            pa.x.partial_cmp(&pb.x).unwrap().then(pa.y.partial_cmp(&pb.y).unwrap())
+            pa.x.total_cmp(&pb.x).then(pa.y.total_cmp(&pb.y))
         })
+        // lint: allow(unwrap) — triangulate() never passes an empty hole ring
         .expect("hole ring is non-empty");
     let mp = points[m as usize];
 
@@ -242,8 +248,11 @@ fn bridge_hole(ring: &mut Vec<u32>, points: &[P2], hole: std::ops::Range<usize>)
     // the angle with +x instead.
     let ea = ring[best_edge];
     let eb = ring[(best_edge + 1) % n];
-    let mut cand_pos =
-        if points[ea as usize].x > points[eb as usize].x { best_edge } else { (best_edge + 1) % n };
+    let mut cand_pos = if points[ea as usize].x > points[eb as usize].x {
+        best_edge
+    } else {
+        (best_edge + 1) % n
+    };
     let cand_p = points[ring[cand_pos] as usize];
     let tri = [mp, best_point, cand_p];
     let mut best_metric = f64::INFINITY;
@@ -340,7 +349,7 @@ fn ear_clip(ring: &[u32], points: &[P2]) -> Vec<[u32; 3]> {
 
     // Remove immediately repeated indices (can appear at bridge seams).
     idx.dedup();
-    if idx.len() >= 2 && idx[0] == *idx.last().unwrap() {
+    if idx.len() >= 2 && idx.first() == idx.last() {
         idx.pop();
     }
 
@@ -454,7 +463,10 @@ pub fn triangulation_area(poly: &Polygon, triangles: &[[u32; 3]]) -> f64 {
     let pts = poly.all_points();
     triangles
         .iter()
-        .map(|t| 0.5 * cross(pts[t[0] as usize], pts[t[1] as usize], pts[t[2] as usize]))
+        .map(|t| {
+            let (a, b, c) = (t[0] as usize, t[1] as usize, t[2] as usize);
+            0.5 * cross(pts[a], pts[b], pts[c])
+        })
         .sum()
 }
 
@@ -481,7 +493,12 @@ mod tests {
 
     #[test]
     fn ring_orientation_fixed_by_constructor() {
-        let cw = vec![P2::new(0.0, 0.0), P2::new(0.0, 1.0), P2::new(1.0, 1.0), P2::new(1.0, 0.0)];
+        let cw = vec![
+            P2::new(0.0, 0.0),
+            P2::new(0.0, 1.0),
+            P2::new(1.0, 1.0),
+            P2::new(1.0, 0.0),
+        ];
         let p = Polygon::simple(cw);
         assert!(signed_area(&p.outer) > 0.0);
         let hole_ccw = regular_ngon(6, 0.2, 0.5, 0.5, 0.0);

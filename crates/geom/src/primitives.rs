@@ -50,7 +50,10 @@ pub fn box_mesh(extent: Vec3) -> TriMesh {
 /// A UV sphere of radius `r` with `seg` longitudinal segments and
 /// `rings` latitudinal rings, centered at the origin.
 pub fn uv_sphere(r: f64, seg: usize, rings: usize) -> TriMesh {
-    assert!(r > 0.0 && seg >= 3 && rings >= 2, "degenerate sphere parameters");
+    assert!(
+        r > 0.0 && seg >= 3 && rings >= 2,
+        "degenerate sphere parameters"
+    );
     let mut vertices = Vec::with_capacity(2 + seg * (rings - 1));
     let mut triangles = Vec::with_capacity(2 * seg * (rings - 1));
 
@@ -99,7 +102,10 @@ pub fn uv_sphere(r: f64, seg: usize, rings: usize) -> TriMesh {
 /// A solid cylinder of radius `r` and height `h` along Z, centered at
 /// the origin, with `seg` circumferential segments.
 pub fn cylinder(r: f64, h: f64, seg: usize) -> TriMesh {
-    assert!(r > 0.0 && h > 0.0 && seg >= 3, "degenerate cylinder parameters");
+    assert!(
+        r > 0.0 && h > 0.0 && seg >= 3,
+        "degenerate cylinder parameters"
+    );
     let hz = h * 0.5;
     let mut vertices = Vec::with_capacity(2 + 2 * seg);
     vertices.push(Vec3::new(0.0, 0.0, -hz)); // 0: bottom center

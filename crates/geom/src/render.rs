@@ -86,6 +86,14 @@ impl Default for RenderParams {
     }
 }
 
+/// Saturating conversion of a finite pixel coordinate to an index:
+/// negatives clamp to 0, and float → usize `as` saturates at the top.
+#[inline]
+fn px(coord: f64) -> usize {
+    // lint: allow(lossy-cast) — projected coordinate is finite and clamped non-negative
+    coord.max(0.0) as usize
+}
+
 /// Renders a mesh with orthographic projection, a z-buffer, and
 /// two-sided Lambertian shading (search-result thumbnails do not care
 /// about winding).
@@ -96,8 +104,12 @@ pub fn render(mesh: &TriMesh, params: &RenderParams) -> Image {
     }
 
     // Camera basis: view direction w, plus any orthonormal u, v.
-    let w = params.view_dir.normalized().unwrap_or(Vec3::new(0.0, 0.0, -1.0));
+    let w = params
+        .view_dir
+        .normalized()
+        .unwrap_or(Vec3::new(0.0, 0.0, -1.0));
     let pick = if w.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+    // lint: allow(unwrap) — pick is chosen orthogonal-ish to w, so the cross product is nonzero
     let u = w.cross(pick).normalized().expect("non-parallel basis pick");
     let v = w.cross(u);
 
@@ -127,6 +139,7 @@ pub fn render(mesh: &TriMesh, params: &RenderParams) -> Image {
         };
         // Two-sided shading with a bit of ambient.
         let intensity = (0.2 + 0.8 * normal.dot(light).abs()).clamp(0.0, 1.0);
+        // lint: allow(lossy-cast) — intensity is clamped to [0, 1], so the scaled value fits u8
         let shade = (intensity * 255.0) as u8;
 
         let (ax, ay, az) = project(a);
@@ -134,10 +147,10 @@ pub fn render(mesh: &TriMesh, params: &RenderParams) -> Image {
         let (cx, cy, cz) = project(c);
 
         // Bounding box clipped to the frame.
-        let min_x = ax.min(bx).min(cx).floor().max(0.0) as usize;
-        let max_x = (ax.max(bx).max(cx).ceil() as usize).min(params.width - 1);
-        let min_y = ay.min(by).min(cy).floor().max(0.0) as usize;
-        let max_y = (ay.max(by).max(cy).ceil() as usize).min(params.height - 1);
+        let min_x = px(ax.min(bx).min(cx).floor());
+        let max_x = px(ax.max(bx).max(cx).ceil()).min(params.width - 1);
+        let min_y = px(ay.min(by).min(cy).floor());
+        let max_y = px(ay.max(by).max(cy).ceil()).min(params.height - 1);
         if min_x > max_x || min_y > max_y {
             continue;
         }
@@ -215,7 +228,10 @@ mod tests {
 
     #[test]
     fn rod_occupies_less_than_plate() {
-        let rod = render(&primitives::cylinder(0.2, 6.0, 16), &RenderParams::default());
+        let rod = render(
+            &primitives::cylinder(0.2, 6.0, 16),
+            &RenderParams::default(),
+        );
         let plate = render(
             &primitives::box_mesh(Vec3::new(3.0, 3.0, 0.2)),
             &RenderParams::default(),
@@ -226,11 +242,14 @@ mod tests {
 
     #[test]
     fn pgm_output_is_well_formed() {
-        let img = render(&primitives::uv_sphere(1.0, 12, 6), &RenderParams {
-            width: 64,
-            height: 48,
-            ..Default::default()
-        });
+        let img = render(
+            &primitives::uv_sphere(1.0, 12, 6),
+            &RenderParams {
+                width: 64,
+                height: 48,
+                ..Default::default()
+            },
+        );
         let mut buf = Vec::new();
         img.write_pgm(&mut buf).unwrap();
         let header = b"P5\n64 48\n255\n";

@@ -5,7 +5,9 @@
 //! operators, plus the handful of products and norms the moment and
 //! voxelization code needs.
 
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 use serde::{Deserialize, Serialize};
 
@@ -22,15 +24,35 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// The vector (1, 1, 1).
-    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ONE: Vec3 = Vec3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
     /// Unit X axis.
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit Y axis.
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit Z axis.
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Creates a vector from its components.
     #[inline]
@@ -153,7 +175,9 @@ impl Vec3 {
     /// Approximate equality with absolute tolerance `eps` per component.
     #[inline]
     pub fn approx_eq(self, rhs: Vec3, eps: f64) -> bool {
-        (self.x - rhs.x).abs() <= eps && (self.y - rhs.y).abs() <= eps && (self.z - rhs.z).abs() <= eps
+        (self.x - rhs.x).abs() <= eps
+            && (self.y - rhs.y).abs() <= eps
+            && (self.z - rhs.z).abs() <= eps
     }
 }
 
@@ -241,6 +265,7 @@ impl Index<usize> for Vec3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
+            // lint: allow(unwrap) — Index contract: out-of-range is a caller bug, as with slices
             _ => panic!("Vec3 index out of range: {i}"),
         }
     }
@@ -253,6 +278,7 @@ impl IndexMut<usize> for Vec3 {
             0 => &mut self.x,
             1 => &mut self.y,
             2 => &mut self.z,
+            // lint: allow(unwrap) — Index contract: out-of-range is a caller bug, as with slices
             _ => panic!("Vec3 index out of range: {i}"),
         }
     }

@@ -12,10 +12,9 @@ use tdess_geom::primitives;
 use tdess_geom::vec3::Vec3;
 
 fn arb_unit_axis() -> impl Strategy<Value = Vec3> {
-    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0)
-        .prop_filter_map("axis too short", |(x, y, z)| {
-            Vec3::new(x, y, z).normalized()
-        })
+    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0).prop_filter_map("axis too short", |(x, y, z)| {
+        Vec3::new(x, y, z).normalized()
+    })
 }
 
 fn arb_rotation() -> impl Strategy<Value = Mat3> {

@@ -6,6 +6,7 @@
 //! baseline, both instrumented with node-access counters for the
 //! index-efficiency experiment.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod linear;

@@ -79,7 +79,7 @@ impl<T: Clone> LinearScan<T> {
                 (d2 <= r2).then(|| (p.as_slice(), t, d2.sqrt()))
             })
             .collect();
-        out.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances"));
+        out.sort_by(|a, b| a.2.total_cmp(&b.2));
         out
     }
 
@@ -96,7 +96,7 @@ impl<T: Clone> LinearScan<T> {
                 (p.as_slice(), t, d2.sqrt())
             })
             .collect();
-        all.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances"));
+        all.sort_by(|a, b| a.2.total_cmp(&b.2));
         all.truncate(k);
         all
     }

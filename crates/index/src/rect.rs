@@ -33,6 +33,12 @@ impl Rect {
         Rect { min, max }
     }
 
+    /// Whether every min coordinate is ≤ its max — false for
+    /// inverted corners and for NaN holes. Used by debug assertions.
+    pub fn is_ordered(&self) -> bool {
+        self.min.len() == self.max.len() && self.min.iter().zip(&self.max).all(|(a, b)| a <= b)
+    }
+
     /// Dimensionality.
     #[inline]
     pub fn dim(&self) -> usize {
@@ -56,11 +62,7 @@ impl Rect {
 
     /// Hyper-volume (product of side lengths).
     pub fn volume(&self) -> f64 {
-        self.min
-            .iter()
-            .zip(&self.max)
-            .map(|(a, b)| b - a)
-            .product()
+        self.min.iter().zip(&self.max).map(|(a, b)| b - a).product()
     }
 
     /// Sum of side lengths (the "margin", used as a split tiebreak).

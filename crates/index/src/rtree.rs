@@ -142,13 +142,9 @@ impl<T: Clone> RTree<T> {
         assert_eq!(point.len(), self.dim, "point dimension mismatch");
         assert!(point.iter().all(|v| v.is_finite()), "point must be finite");
         self.len += 1;
-        if let Some((r1, n1, r2, n2)) = Self::insert_rec(
-            &mut self.root,
-            point,
-            payload,
-            &self.config,
-            self.dim,
-        ) {
+        if let Some((r1, n1, r2, n2)) =
+            Self::insert_rec(&mut self.root, point, payload, &self.config, self.dim)
+        {
             // Root split: grow the tree.
             self.root = Node::Inner(vec![(r1, n1), (r2, n2)]);
         }
@@ -170,6 +166,10 @@ impl<T: Clone> RTree<T> {
                     let (a, b) = split_leaf(std::mem::take(entries), config);
                     let ra = a.bounding_rect(dim);
                     let rb = b.bounding_rect(dim);
+                    debug_assert!(
+                        ra.is_ordered() && rb.is_ordered(),
+                        "leaf split produced an inverted bounding rect"
+                    );
                     return Some((ra, a, rb, b));
                 }
                 None
@@ -204,6 +204,10 @@ impl<T: Clone> RTree<T> {
                             let (x, y) = split_inner(std::mem::take(entries), config);
                             let rx = x.bounding_rect(dim);
                             let ry = y.bounding_rect(dim);
+                            debug_assert!(
+                                rx.is_ordered() && ry.is_ordered(),
+                                "inner split produced an inverted bounding rect"
+                            );
                             return Some((rx, x, ry, y));
                         }
                         None
@@ -230,10 +234,7 @@ impl<T: Clone> RTree<T> {
         // Collapse a root with a single inner child.
         loop {
             let replace = match &mut self.root {
-                Node::Inner(entries) if entries.len() == 1 => {
-                    let (_, child) = entries.pop().expect("len checked");
-                    Some(child)
-                }
+                Node::Inner(entries) if entries.len() == 1 => entries.pop().map(|(_, child)| child),
                 _ => None,
             };
             match replace {
@@ -350,7 +351,7 @@ impl<T: Clone> RTree<T> {
                 }
             }
         }
-        out.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances"));
+        out.sort_by(|a, b| a.2.total_cmp(&b.2));
         out
     }
 
@@ -384,11 +385,7 @@ impl<T: Clone> RTree<T> {
         impl<T> Ord for HeapEntry<'_, T> {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
                 // Reversed: BinaryHeap is a max-heap, we want min-d2 first.
-                other
-                    .d2
-                    .partial_cmp(&self.d2)
-                    .expect("finite distance")
-                    .then(other.seq.cmp(&self.seq))
+                other.d2.total_cmp(&self.d2).then(other.seq.cmp(&self.seq))
             }
         }
 
@@ -568,7 +565,10 @@ fn split_inner<T>(entries: Vec<(Rect, Node<T>)>, config: &RTreeConfig) -> (Node<
 fn quadratic_split_assign(
     rects: &[Rect],
     config: &RTreeConfig,
-) -> (std::collections::HashSet<usize>, std::collections::HashSet<usize>) {
+) -> (
+    std::collections::HashSet<usize>,
+    std::collections::HashSet<usize>,
+) {
     let n = rects.len();
     debug_assert!(n >= 2);
     // PickSeeds: pair with the greatest dead space.
@@ -619,7 +619,7 @@ fn quadratic_split_assign(
         rest.swap_remove(pick_pos);
         let da = ra.enlargement(&rects[pick]);
         let db = rb.enlargement(&rects[pick]);
-        let to_a = match da.partial_cmp(&db).expect("finite enlargements") {
+        let to_a = match da.total_cmp(&db) {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Greater => false,
             std::cmp::Ordering::Equal => {
@@ -827,7 +827,13 @@ mod tests {
 
     #[test]
     fn invariants_hold_under_churn() {
-        let mut t: RTree<usize> = RTree::new(2, RTreeConfig { max_entries: 8, min_entries: 3 });
+        let mut t: RTree<usize> = RTree::new(
+            2,
+            RTreeConfig {
+                max_entries: 8,
+                min_entries: 3,
+            },
+        );
         let pts = grid_points_2d(15);
         for (i, p) in pts.iter().enumerate() {
             t.insert(p.clone(), i);

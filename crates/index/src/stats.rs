@@ -29,9 +29,24 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = QueryStats { nodes_visited: 1, leaves_visited: 2, entries_checked: 3 };
-        let b = QueryStats { nodes_visited: 10, leaves_visited: 20, entries_checked: 30 };
+        let mut a = QueryStats {
+            nodes_visited: 1,
+            leaves_visited: 2,
+            entries_checked: 3,
+        };
+        let b = QueryStats {
+            nodes_visited: 10,
+            leaves_visited: 20,
+            entries_checked: 30,
+        };
         a.merge(&b);
-        assert_eq!(a, QueryStats { nodes_visited: 11, leaves_visited: 22, entries_checked: 33 });
+        assert_eq!(
+            a,
+            QueryStats {
+                nodes_visited: 11,
+                leaves_visited: 22,
+                entries_checked: 33
+            }
+        );
     }
 }

@@ -6,10 +6,7 @@ use proptest::prelude::*;
 use tdess_index::{LinearScan, QueryStats, RTree, RTreeConfig, Rect};
 
 fn arb_points(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0f64..100.0, dim..=dim),
-        1..300,
-    )
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, dim..=dim), 1..300)
 }
 
 fn build(dim: usize, pts: &[Vec<f64>], max_entries: usize) -> (RTree<usize>, LinearScan<usize>) {

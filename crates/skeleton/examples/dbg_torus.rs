@@ -3,15 +3,28 @@ use tdess_skeleton::*;
 use tdess_voxel::{voxelize, VoxelizeParams};
 
 fn main() {
-    let mesh = primitives::torus(0.8, 0.8*0.3942, 32, 16);
-    let grid = voxelize(&mesh, &VoxelizeParams { resolution: 36, ..Default::default() });
+    let mesh = primitives::torus(0.8, 0.8 * 0.3942, 32, 16);
+    let grid = voxelize(
+        &mesh,
+        &VoxelizeParams {
+            resolution: 36,
+            ..Default::default()
+        },
+    );
     let mut skel = skeletonize(&grid, &ThinningParams::default());
     let pruned = prune_spurs(&mut skel, 6);
     println!("skeleton voxels: {} ({} pruned)", skel.count(), pruned);
     let g = build_graph(&skel);
     println!("joints: {}, segments: {}", g.num_joints, g.segments.len());
     for (i, s) in g.segments.iter().enumerate() {
-        println!("  seg {i}: {:?} len {:.2} voxels {} joints {:?}-{:?}", s.kind, s.length, s.voxels.len(), s.start_joint, s.end_joint);
+        println!(
+            "  seg {i}: {:?} len {:.2} voxels {} joints {:?}-{:?}",
+            s.kind,
+            s.length,
+            s.voxels.len(),
+            s.start_joint,
+            s.end_joint
+        );
     }
     println!("edges: {:?}", g.edges);
 }

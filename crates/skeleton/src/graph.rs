@@ -114,54 +114,52 @@ pub fn build_graph(skel: &VoxelGrid) -> SkeletalGraph {
     let mut visited = vec![false; voxels.len()];
     let mut segments: Vec<Segment> = Vec::new();
 
-    let trace = |start: usize,
-                     from_joint: Option<usize>,
-                     visited: &mut Vec<bool>|
-     -> Option<Segment> {
-        if visited[start] || is_junction[start] {
-            return None;
-        }
-        let mut path = vec![start];
-        visited[start] = true;
-        let mut end_joint = None;
-        let mut prev: Option<usize> = None;
-        let mut cur = start;
-        loop {
-            // Next regular neighbor not yet visited, or a joint.
-            let mut next_regular = None;
-            let mut next_joint = None;
-            for &n in &neighbors[cur] {
-                if Some(n) == prev {
-                    continue;
-                }
-                if is_junction[n] {
-                    // Don't immediately return into the joint we left.
-                    if path.len() == 1 && from_joint.is_some() && joint_of[n] == from_joint.unwrap() {
-                        // Remember it only as a fallback if nothing else.
-                        if next_joint.is_none() {
-                            next_joint = Some(n);
-                        }
+    let trace =
+        |start: usize, from_joint: Option<usize>, visited: &mut Vec<bool>| -> Option<Segment> {
+            if visited[start] || is_junction[start] {
+                return None;
+            }
+            let mut path = vec![start];
+            visited[start] = true;
+            let mut end_joint = None;
+            let mut prev: Option<usize> = None;
+            let mut cur = start;
+            loop {
+                // Next regular neighbor not yet visited, or a joint.
+                let mut next_regular = None;
+                let mut next_joint = None;
+                for &n in &neighbors[cur] {
+                    if Some(n) == prev {
                         continue;
                     }
-                    next_joint = Some(n);
-                } else if !visited[n] && next_regular.is_none() {
-                    next_regular = Some(n);
+                    if is_junction[n] {
+                        // Don't immediately return into the joint we left.
+                        if path.len() == 1 && from_joint == Some(joint_of[n]) {
+                            // Remember it only as a fallback if nothing else.
+                            if next_joint.is_none() {
+                                next_joint = Some(n);
+                            }
+                            continue;
+                        }
+                        next_joint = Some(n);
+                    } else if !visited[n] && next_regular.is_none() {
+                        next_regular = Some(n);
+                    }
                 }
+                if let Some(n) = next_regular {
+                    visited[n] = true;
+                    path.push(n);
+                    prev = Some(cur);
+                    cur = n;
+                    continue;
+                }
+                if let Some(j) = next_joint {
+                    end_joint = Some(joint_of[j]);
+                }
+                break;
             }
-            if let Some(n) = next_regular {
-                visited[n] = true;
-                path.push(n);
-                prev = Some(cur);
-                cur = n;
-                continue;
-            }
-            if let Some(j) = next_joint {
-                end_joint = Some(joint_of[j]);
-            }
-            break;
-        }
-        Some(make_segment(skel, &voxels, path, from_joint, end_joint))
-    };
+            Some(make_segment(skel, &voxels, path, from_joint, end_joint))
+        };
 
     // 1. Paths emanating from joints.
     for v in 0..voxels.len() {
@@ -371,8 +369,9 @@ fn is_straight(pts: &[Vec3], voxel_size: f64) -> bool {
     if pts.len() <= 2 {
         return true;
     }
-    let a = pts[0];
-    let b = *pts.last().expect("non-empty path");
+    let &[a, .., b] = pts else {
+        return true; // already handled by the length check above
+    };
     let chord = b - a;
     let Some(dir) = chord.normalized() else {
         return false; // closed path (ends coincide): not a line
@@ -439,6 +438,7 @@ fn connection_weight(a: SegmentKind, b: SegmentKind) -> f64 {
         (Line, Loop) => 2.5,
         (Curve, Loop) => 3.0,
         (Loop, Loop) => 3.5,
+        // lint: allow(unwrap) — min_ord/max_ord normalize the pair; all ordered pairs are listed
         _ => unreachable!("min/max ordering covers all pairs"),
     }
 }
@@ -475,7 +475,13 @@ mod tests {
     use tdess_voxel::{voxelize, VoxelizeParams};
 
     fn graph_of(mesh: &tdess_geom::TriMesh, res: usize) -> SkeletalGraph {
-        let grid = voxelize(mesh, &VoxelizeParams { resolution: res, ..Default::default() });
+        let grid = voxelize(
+            mesh,
+            &VoxelizeParams {
+                resolution: res,
+                ..Default::default()
+            },
+        );
         let skel = skeletonize(&grid, &ThinningParams::default());
         build_graph(&skel)
     }
@@ -484,23 +490,43 @@ mod tests {
     fn rod_graph_is_single_line() {
         let mesh = primitives::box_mesh(Vec3::new(4.0, 0.5, 0.5));
         let g = graph_of(&mesh, 48);
-        assert_eq!(g.num_nodes(), 1, "{:?}", g.segments.iter().map(|s| s.kind).collect::<Vec<_>>());
+        assert_eq!(
+            g.num_nodes(),
+            1,
+            "{:?}",
+            g.segments.iter().map(|s| s.kind).collect::<Vec<_>>()
+        );
         assert_eq!(g.segments[0].kind, SegmentKind::Line);
         assert_eq!(g.num_joints, 0);
         assert!(g.edges.is_empty());
-        assert!(g.segments[0].length > 3.0, "length {}", g.segments[0].length);
+        assert!(
+            g.segments[0].length > 3.0,
+            "length {}",
+            g.segments[0].length
+        );
     }
 
     #[test]
     fn torus_graph_is_single_loop() {
         let mesh = primitives::torus(1.0, 0.28, 48, 20);
         let g = graph_of(&mesh, 40);
-        assert_eq!(g.count_kind(SegmentKind::Loop), 1, "{:?}", g.segments.iter().map(|s| (s.kind, s.voxels.len())).collect::<Vec<_>>());
+        assert_eq!(
+            g.count_kind(SegmentKind::Loop),
+            1,
+            "{:?}",
+            g.segments
+                .iter()
+                .map(|s| (s.kind, s.voxels.len()))
+                .collect::<Vec<_>>()
+        );
         assert_eq!(g.num_nodes(), 1);
         // Loop length close to 2πR.
         let len = g.segments[0].length;
         let expected = std::f64::consts::TAU;
-        assert!((len - expected).abs() / expected < 0.25, "loop length {len}");
+        assert!(
+            (len - expected).abs() / expected < 0.25,
+            "loop length {len}"
+        );
     }
 
     #[test]
@@ -514,7 +540,11 @@ mod tests {
         let g = graph_of(&mesh, 48);
         let bent = g.count_kind(SegmentKind::Curve) >= 1;
         let two_lines = g.num_nodes() >= 2;
-        assert!(bent || two_lines, "unexpected graph: {:?}", g.segments.iter().map(|s| s.kind).collect::<Vec<_>>());
+        assert!(
+            bent || two_lines,
+            "unexpected graph: {:?}",
+            g.segments.iter().map(|s| s.kind).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -526,8 +556,15 @@ mod tests {
         mesh.append(&arm);
         let g = graph_of(&mesh, 48);
         assert!(g.num_joints >= 1, "no joints found");
-        assert!(g.num_nodes() >= 3, "expected several arms, got {}", g.num_nodes());
-        assert!(!g.edges.is_empty(), "arms must be connected through the joint");
+        assert!(
+            g.num_nodes() >= 3,
+            "expected several arms, got {}",
+            g.num_nodes()
+        );
+        assert!(
+            !g.edges.is_empty(),
+            "arms must be connected through the joint"
+        );
     }
 
     #[test]

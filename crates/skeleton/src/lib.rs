@@ -6,6 +6,7 @@
 //! kind line / curve / loop, edges for joint connectivity), and the
 //! eigenvalue signature of the graph's adjacency matrix.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod graph;

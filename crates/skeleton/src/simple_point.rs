@@ -130,7 +130,14 @@ fn background_components_6(patch: &Patch) -> usize {
         let mut stack = vec![(sx, sy, sz)];
         seen[sz as usize][sy as usize][sx as usize] = true;
         while let Some((cx, cy, cz)) = stack.pop() {
-            for (dx, dy, dz) in [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)] {
+            for (dx, dy, dz) in [
+                (1, 0, 0),
+                (-1, 0, 0),
+                (0, 1, 0),
+                (0, -1, 0),
+                (0, 0, 1),
+                (0, 0, -1),
+            ] {
                 let (nx, ny, nz) = (cx + dx, cy + dy, cz + dz);
                 if !(0..3).contains(&nx) || !(0..3).contains(&ny) || !(0..3).contains(&nz) {
                     continue;
@@ -243,9 +250,6 @@ mod tests {
     fn extract_patch_reads_offsets() {
         let p = extract_patch(|dx, dy, dz| dx == 1 && dy == 0 && dz == -1);
         assert!(p[0][1][2]);
-        assert_eq!(
-            p.iter().flatten().flatten().filter(|&&b| b).count(),
-            1
-        );
+        assert_eq!(p.iter().flatten().flatten().filter(|&&b| b).count(), 1);
     }
 }

@@ -18,8 +18,12 @@ pub const SPECTRUM_DIM: usize = 8;
 /// preserved), padded with zeros or truncated to `dim` entries.
 pub fn spectral_signature(graph: &SkeletalGraph, dim: usize) -> Vec<f64> {
     let (a, n) = graph.adjacency_matrix();
+    debug_assert!(
+        (0..n).all(|i| (i..n).all(|j| a[i * n + j] == a[j * n + i])),
+        "typed adjacency matrix must be symmetric before eigendecomposition"
+    );
     let mut vals = sym_eigenvalues(&a, n);
-    vals.sort_by(|x, y| y.abs().partial_cmp(&x.abs()).expect("finite eigenvalues"));
+    vals.sort_by(|x, y| y.abs().total_cmp(&x.abs()));
     vals.resize(dim.max(vals.len()), 0.0);
     vals.truncate(dim);
     vals
@@ -34,7 +38,13 @@ mod tests {
     use tdess_voxel::{voxelize, VoxelizeParams};
 
     fn signature_of(mesh: &tdess_geom::TriMesh, res: usize) -> Vec<f64> {
-        let grid = voxelize(mesh, &VoxelizeParams { resolution: res, ..Default::default() });
+        let grid = voxelize(
+            mesh,
+            &VoxelizeParams {
+                resolution: res,
+                ..Default::default()
+            },
+        );
         let skel = skeletonize(&grid, &ThinningParams::default());
         spectral_signature(&build_graph(&skel), SPECTRUM_DIM)
     }
@@ -52,7 +62,10 @@ mod tests {
     fn loop_and_line_have_distinct_signatures() {
         let line = signature_of(&primitives::box_mesh(Vec3::new(3.0, 0.5, 0.5)), 32);
         let ring = signature_of(&primitives::torus(1.0, 0.28, 48, 20), 40);
-        assert!((line[0] - ring[0]).abs() > 0.5, "line {line:?} vs ring {ring:?}");
+        assert!(
+            (line[0] - ring[0]).abs() > 0.5,
+            "line {line:?} vs ring {ring:?}"
+        );
     }
 
     #[test]
@@ -79,7 +92,13 @@ mod tests {
         let mut mesh = primitives::box_mesh(Vec3::new(4.0, 0.6, 0.6));
         let arm = primitives::box_mesh(Vec3::new(0.6, 4.0, 0.6));
         mesh.append(&arm);
-        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 48, ..Default::default() });
+        let grid = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 48,
+                ..Default::default()
+            },
+        );
         let skel = skeletonize(&grid, &ThinningParams::default());
         let g = build_graph(&skel);
         let full = spectral_signature(&g, 32);

@@ -124,8 +124,9 @@ pub fn prune_spurs(skel: &mut VoxelGrid, min_len: usize) -> usize {
                     // Walk the chain from this endpoint.
                     let mut path = vec![(i, j, k)];
                     let mut prev = (i, j, k);
-                    let mut cur = unique_neighbor(skel, i, j, k, None)
-                        .expect("endpoint has one neighbor");
+                    let Some(mut cur) = unique_neighbor(skel, i, j, k, None) else {
+                        continue; // endpoint test guarantees one neighbor
+                    };
                     loop {
                         let deg = skel.neighbor_count26(cur.0, cur.1, cur.2);
                         if deg >= 3 {
@@ -144,8 +145,10 @@ pub fn prune_spurs(skel: &mut VoxelGrid, min_len: usize) -> usize {
                             break;
                         }
                         path.push(cur);
-                        let next = unique_neighbor(skel, cur.0, cur.1, cur.2, Some(prev))
-                            .expect("degree-2 voxel has a forward neighbor");
+                        let Some(next) = unique_neighbor(skel, cur.0, cur.1, cur.2, Some(prev))
+                        else {
+                            break; // degree-2 voxel always has a forward neighbor
+                        };
                         prev = cur;
                         cur = next;
                     }
@@ -197,7 +200,13 @@ mod tests {
     use tdess_voxel::{connected_components_26, voxelize, VoxelizeParams};
 
     fn thin_mesh(mesh: &tdess_geom::TriMesh, res: usize) -> VoxelGrid {
-        let grid = voxelize(mesh, &VoxelizeParams { resolution: res, ..Default::default() });
+        let grid = voxelize(
+            mesh,
+            &VoxelizeParams {
+                resolution: res,
+                ..Default::default()
+            },
+        );
         skeletonize(&grid, &ThinningParams::default())
     }
 
@@ -212,11 +221,20 @@ mod tests {
     #[test]
     fn rod_thins_to_a_curve() {
         let mesh = primitives::box_mesh(Vec3::new(4.0, 0.5, 0.5));
-        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 48, ..Default::default() });
+        let grid = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 48,
+                ..Default::default()
+            },
+        );
         let before = grid.count();
         let skel = skeletonize(&grid, &ThinningParams::default());
         let after = skel.count();
-        assert!(after < before / 5, "skeleton kept {after} of {before} voxels");
+        assert!(
+            after < before / 5,
+            "skeleton kept {after} of {before} voxels"
+        );
         // One component, and essentially a path: every voxel has ≤ 2
         // neighbors except possibly tiny junction artifacts.
         assert_eq!(connected_components_26(&skel).count, 1);
@@ -244,10 +262,19 @@ mod tests {
     #[test]
     fn sphere_without_endpoint_preservation_shrinks_to_point() {
         let mesh = primitives::uv_sphere(0.8, 16, 8);
-        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 20, ..Default::default() });
+        let grid = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 20,
+                ..Default::default()
+            },
+        );
         let skel = skeletonize(
             &grid,
-            &ThinningParams { preserve_endpoints: false, ..Default::default() },
+            &ThinningParams {
+                preserve_endpoints: false,
+                ..Default::default()
+            },
         );
         assert_eq!(skel.count(), 1, "topological kernel of a ball is one voxel");
     }
@@ -259,7 +286,13 @@ mod tests {
         let mut other = primitives::box_mesh(Vec3::new(1.0, 0.4, 0.4));
         other.translate(Vec3::new(0.0, 2.0, 0.0));
         mesh.append(&other);
-        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 32, ..Default::default() });
+        let grid = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 32,
+                ..Default::default()
+            },
+        );
         assert_eq!(connected_components_26(&grid).count, 2);
         let skel = skeletonize(&grid, &ThinningParams::default());
         assert_eq!(connected_components_26(&skel).count, 2);
@@ -275,7 +308,13 @@ mod tests {
     #[test]
     fn thinning_is_idempotent() {
         let mesh = primitives::box_mesh(Vec3::new(3.0, 0.5, 0.5));
-        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 32, ..Default::default() });
+        let grid = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 32,
+                ..Default::default()
+            },
+        );
         let skel1 = skeletonize(&grid, &ThinningParams::default());
         let skel2 = skeletonize(&skel1, &ThinningParams::default());
         assert_eq!(skel1.count(), skel2.count(), "second pass deleted voxels");

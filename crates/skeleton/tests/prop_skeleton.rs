@@ -6,7 +6,9 @@
 
 use proptest::prelude::*;
 use tdess_geom::{primitives, Mat3, Vec3};
-use tdess_skeleton::{build_graph, is_simple, prune_spurs, skeletonize, Patch, SegmentKind, ThinningParams};
+use tdess_skeleton::{
+    build_graph, is_simple, prune_spurs, skeletonize, Patch, SegmentKind, ThinningParams,
+};
 use tdess_voxel::{connected_components_26, voxelize, VoxelizeParams};
 
 fn arb_patch() -> impl Strategy<Value = Patch> {
@@ -56,9 +58,11 @@ fn object_components(patch: &Patch, include_center: bool) -> usize {
                     for dz in -1i32..=1 {
                         for dy in -1i32..=1 {
                             for dx in -1i32..=1 {
-                                let (nx, ny, nz) =
-                                    (x as i32 + dx, y as i32 + dy, z as i32 + dz);
-                                if !(0..3).contains(&nx) || !(0..3).contains(&ny) || !(0..3).contains(&nz) {
+                                let (nx, ny, nz) = (x as i32 + dx, y as i32 + dy, z as i32 + dz);
+                                if !(0..3).contains(&nx)
+                                    || !(0..3).contains(&ny)
+                                    || !(0..3).contains(&nz)
+                                {
                                     continue;
                                 }
                                 let (nx, ny, nz) = (nx as usize, ny as usize, nz as usize);

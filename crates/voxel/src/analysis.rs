@@ -99,7 +99,8 @@ fn connected_components(grid: &VoxelGrid, conn26: bool, foreground: bool) -> Com
     for k in 0..nz {
         for j in 0..ny {
             for i in 0..nx {
-                if !wanted(grid, i as isize, j as isize, k as isize) || labels[idx(i, j, k)] != usize::MAX
+                if !wanted(grid, i as isize, j as isize, k as isize)
+                    || labels[idx(i, j, k)] != usize::MAX
                 {
                     continue;
                 }
@@ -110,26 +111,43 @@ fn connected_components(grid: &VoxelGrid, conn26: bool, foreground: bool) -> Com
                 stack.push((i, j, k));
                 while let Some((ci, cj, ck)) = stack.pop() {
                     size += 1;
-                    let visit = |ni: isize, nj: isize, nk: isize, labels: &mut Vec<usize>, stack: &mut Vec<(usize, usize, usize)>| {
-                        if ni < 0 || nj < 0 || nk < 0 {
-                            return;
-                        }
-                        let (ui, uj, uk) = (ni as usize, nj as usize, nk as usize);
-                        if ui >= nx || uj >= ny || uk >= nz {
-                            return;
-                        }
-                        if wanted(grid, ni, nj, nk) && labels[idx(ui, uj, uk)] == usize::MAX {
-                            labels[idx(ui, uj, uk)] = label;
-                            stack.push((ui, uj, uk));
-                        }
-                    };
+                    let visit =
+                        |ni: isize,
+                         nj: isize,
+                         nk: isize,
+                         labels: &mut Vec<usize>,
+                         stack: &mut Vec<(usize, usize, usize)>| {
+                            if ni < 0 || nj < 0 || nk < 0 {
+                                return;
+                            }
+                            let (ui, uj, uk) = (ni as usize, nj as usize, nk as usize);
+                            if ui >= nx || uj >= ny || uk >= nz {
+                                return;
+                            }
+                            if wanted(grid, ni, nj, nk) && labels[idx(ui, uj, uk)] == usize::MAX {
+                                labels[idx(ui, uj, uk)] = label;
+                                stack.push((ui, uj, uk));
+                            }
+                        };
                     if conn26 {
                         for d in crate::grid::n26() {
-                            visit(ci as isize + d.0, cj as isize + d.1, ck as isize + d.2, &mut labels, &mut stack);
+                            visit(
+                                ci as isize + d.0,
+                                cj as isize + d.1,
+                                ck as isize + d.2,
+                                &mut labels,
+                                &mut stack,
+                            );
                         }
                     } else {
                         for d in N6 {
-                            visit(ci as isize + d.0, cj as isize + d.1, ck as isize + d.2, &mut labels, &mut stack);
+                            visit(
+                                ci as isize + d.0,
+                                cj as isize + d.1,
+                                ck as isize + d.2,
+                                &mut labels,
+                                &mut stack,
+                            );
                         }
                     }
                 }
@@ -173,17 +191,33 @@ mod tests {
             Vec3::new(1.0, 0.7, 0.3),
             0.4,
         ));
-        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 64, ..Default::default() });
+        let grid = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 64,
+                ..Default::default()
+            },
+        );
         let vm = voxel_moments(&grid).central();
         let em = mesh_moments(&mesh).central();
-        assert!((vm.m000 - em.m000).abs() / em.m000 < 0.25, "volume {} vs {}", vm.m000, em.m000);
+        assert!(
+            (vm.m000 - em.m000).abs() / em.m000 < 0.25,
+            "volume {} vs {}",
+            vm.m000,
+            em.m000
+        );
         // Compare the rotation-invariant spectrum of per-volume second
         // moments, which is what the feature extractors consume.
         let ve = tdess_geom::sym3_eigen(&vm.second_moment_matrix()).values / vm.m000;
         let ee = tdess_geom::sym3_eigen(&em.second_moment_matrix()).values / em.m000;
         for i in 0..3 {
             let rel = (ve[i] - ee[i]).abs() / ee[i];
-            assert!(rel < 0.25, "principal moment {i}: {} vs {} (rel {rel})", ve[i], ee[i]);
+            assert!(
+                rel < 0.25,
+                "principal moment {i}: {} vs {} (rel {rel})",
+                ve[i],
+                ee[i]
+            );
         }
     }
 
@@ -192,19 +226,34 @@ mod tests {
         // Faces exactly on voxel boundaries mark both adjacent layers;
         // the overestimate must stay within the double-shell bound.
         let mesh = primitives::box_mesh(Vec3::new(1.0, 2.0, 0.5));
-        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 64, ..Default::default() });
+        let grid = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 64,
+                ..Default::default()
+            },
+        );
         let v = voxel_moments(&grid).m000;
         assert!(v >= 1.0, "voxel volume {v} below exact");
         let vs = grid.voxel_size;
         let bound = (1.0 + 4.0 * vs) * (2.0 + 4.0 * vs) * (0.5 + 4.0 * vs);
-        assert!(v <= bound, "voxel volume {v} above double-shell bound {bound}");
+        assert!(
+            v <= bound,
+            "voxel volume {v} above double-shell bound {bound}"
+        );
     }
 
     #[test]
     fn voxel_centroid_matches_solid_centroid() {
         let mut mesh = primitives::cylinder(0.5, 2.0, 32);
         mesh.translate(Vec3::new(3.0, -1.0, 0.5));
-        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 48, ..Default::default() });
+        let grid = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 48,
+                ..Default::default()
+            },
+        );
         let vc = voxel_centroid(&grid).unwrap();
         let ec = mesh.solid_centroid().unwrap();
         assert!(vc.approx_eq(ec, 0.05), "{vc:?} vs {ec:?}");
@@ -272,7 +321,13 @@ mod tests {
     #[test]
     fn component_sizes_sum_to_count() {
         let mesh = primitives::uv_sphere(1.0, 16, 8);
-        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 24, ..Default::default() });
+        let grid = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 24,
+                ..Default::default()
+            },
+        );
         let c = connected_components_26(&grid);
         assert_eq!(c.count, 1, "a sphere is one component");
         assert_eq!(c.sizes.iter().sum::<usize>(), grid.count());

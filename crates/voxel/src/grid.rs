@@ -26,7 +26,10 @@ pub struct VoxelGrid {
 impl VoxelGrid {
     /// Creates an empty grid of the given dimensions.
     pub fn new(nx: usize, ny: usize, nz: usize, origin: Vec3, voxel_size: f64) -> VoxelGrid {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be positive"
+        );
         assert!(voxel_size > 0.0, "voxel size must be positive");
         let words = (nx * ny * nz).div_ceil(64);
         VoxelGrid {

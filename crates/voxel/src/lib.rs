@@ -7,6 +7,7 @@
 //! extractors need (voxel moments, exposed surface area, connected
 //! components).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
@@ -18,4 +19,6 @@ pub use analysis::{
     voxel_moments, Components,
 };
 pub use grid::{n26, VoxelGrid, N18, N6};
-pub use voxelize::{fill_flood, fill_parity, rasterize_surface, tri_box_overlap, voxelize, VoxelizeParams};
+pub use voxelize::{
+    fill_flood, fill_parity, rasterize_surface, tri_box_overlap, voxelize, VoxelizeParams,
+};

@@ -38,6 +38,16 @@ impl Default for VoxelizeParams {
     }
 }
 
+/// Saturating conversion of a finite cell coordinate to a grid index.
+/// Negative coordinates clamp to 0; float → usize `as` saturates at the
+/// top end, so the result is always a valid starting index.
+#[inline]
+fn cell_index(coord: f64) -> usize {
+    debug_assert!(coord.is_finite(), "cell coordinate must be finite");
+    // lint: allow(lossy-cast) — coordinate is finite and clamped non-negative; the cast saturates
+    coord.max(0.0) as usize
+}
+
 /// Voxelizes a mesh: rasterizes the surface and (optionally) fills the
 /// interior by exterior flood fill.
 ///
@@ -60,7 +70,7 @@ pub fn voxelize(mesh: &TriMesh, params: &VoxelizeParams) -> VoxelGrid {
 
     let pad = params.padding as f64 * voxel_size;
     let origin = bb.min - Vec3::splat(pad);
-    let cells = |e: f64| ((e / voxel_size).ceil() as usize).max(1) + 2 * params.padding;
+    let cells = |e: f64| cell_index((e / voxel_size).ceil()).max(1) + 2 * params.padding;
     let (nx, ny, nz) = (cells(extent.x), cells(extent.y), cells(extent.z));
 
     let mut grid = VoxelGrid::new(nx, ny, nz, origin, voxel_size);
@@ -84,12 +94,12 @@ pub fn rasterize_surface(mesh: &TriMesh, grid: &mut VoxelGrid) {
         // (floating-point rounding must never drop a layer).
         let lo = (tb.min - grid.origin) / vs;
         let hi = (tb.max - grid.origin) / vs;
-        let i0 = ((lo.x.floor() - 1.0).max(0.0)) as usize;
-        let j0 = ((lo.y.floor() - 1.0).max(0.0)) as usize;
-        let k0 = ((lo.z.floor() - 1.0).max(0.0)) as usize;
-        let i1 = ((hi.x.floor() + 1.0).max(0.0) as usize).min(nx - 1);
-        let j1 = ((hi.y.floor() + 1.0).max(0.0) as usize).min(ny - 1);
-        let k1 = ((hi.z.floor() + 1.0).max(0.0) as usize).min(nz - 1);
+        let i0 = cell_index(lo.x.floor() - 1.0);
+        let j0 = cell_index(lo.y.floor() - 1.0);
+        let k0 = cell_index(lo.z.floor() - 1.0);
+        let i1 = cell_index(hi.x.floor() + 1.0).min(nx - 1);
+        let j1 = cell_index(hi.y.floor() + 1.0).min(ny - 1);
+        let k1 = cell_index(hi.z.floor() + 1.0).min(nz - 1);
         for k in k0..=k1 {
             for j in j0..=j1 {
                 for i in i0..=i1 {
@@ -117,7 +127,12 @@ pub fn fill_flood(grid: &mut VoxelGrid) {
     let mut stack: Vec<(usize, usize, usize)> = Vec::new();
 
     // Seed with all empty boundary voxels.
-    let seed = |i: usize, j: usize, k: usize, grid: &VoxelGrid, outside: &mut [bool], stack: &mut Vec<(usize, usize, usize)>| {
+    let seed = |i: usize,
+                j: usize,
+                k: usize,
+                grid: &VoxelGrid,
+                outside: &mut [bool],
+                stack: &mut Vec<(usize, usize, usize)>| {
         if !grid.get(i as isize, j as isize, k as isize) && !outside[idx(i, j, k)] {
             outside[idx(i, j, k)] = true;
             stack.push((i, j, k));
@@ -185,10 +200,10 @@ pub fn fill_parity(mesh: &TriMesh, grid: &VoxelGrid) -> VoxelGrid {
         let bb = Aabb::from_points(tri);
         let lo = (bb.min - grid.origin) / grid.voxel_size;
         let hi = (bb.max - grid.origin) / grid.voxel_size;
-        let i0 = lo.x.floor().max(0.0) as usize;
-        let j0 = lo.y.floor().max(0.0) as usize;
-        let i1 = (hi.x.floor() as usize).min(nx - 1);
-        let j1 = (hi.y.floor() as usize).min(ny - 1);
+        let i0 = cell_index(lo.x.floor());
+        let j0 = cell_index(lo.y.floor());
+        let i1 = cell_index(hi.x.floor()).min(nx - 1);
+        let j1 = cell_index(hi.y.floor()).min(ny - 1);
         for j in j0..=j1 {
             for i in i0..=i1 {
                 buckets[i + nx * j].push(t as u32);
@@ -212,7 +227,7 @@ pub fn fill_parity(mesh: &TriMesh, grid: &VoxelGrid) -> VoxelGrid {
                     crossings.push(z);
                 }
             }
-            crossings.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            crossings.sort_by(|x, y| x.total_cmp(y));
             crossings.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
             if !crossings.len().is_multiple_of(2) {
                 // Degenerate hit (grazing edge); skip this column — the
@@ -329,34 +344,56 @@ mod tests {
         assert!(tri_box_overlap(
             c,
             half,
-            [Vec3::new(-1.0, 0.0, 0.0), Vec3::new(1.0, 0.1, 0.0), Vec3::new(0.0, 1.0, 0.2)]
+            [
+                Vec3::new(-1.0, 0.0, 0.0),
+                Vec3::new(1.0, 0.1, 0.0),
+                Vec3::new(0.0, 1.0, 0.2)
+            ]
         ));
         // Triangle far away.
         assert!(!tri_box_overlap(
             c,
             half,
-            [Vec3::new(5.0, 5.0, 5.0), Vec3::new(6.0, 5.0, 5.0), Vec3::new(5.0, 6.0, 5.0)]
+            [
+                Vec3::new(5.0, 5.0, 5.0),
+                Vec3::new(6.0, 5.0, 5.0),
+                Vec3::new(5.0, 6.0, 5.0)
+            ]
         ));
         // Large triangle whose plane misses the box (separating axis =
         // normal).
         assert!(!tri_box_overlap(
             c,
             half,
-            [Vec3::new(-10.0, -10.0, 2.0), Vec3::new(10.0, -10.0, 2.0), Vec3::new(0.0, 10.0, 2.0)]
+            [
+                Vec3::new(-10.0, -10.0, 2.0),
+                Vec3::new(10.0, -10.0, 2.0),
+                Vec3::new(0.0, 10.0, 2.0)
+            ]
         ));
         // Large triangle whose plane cuts the box but whose projection
         // excludes it — tests the cross-product axes.
         assert!(!tri_box_overlap(
             c,
             half,
-            [Vec3::new(2.0, -1.0, 0.0), Vec3::new(3.0, 1.0, 0.0), Vec3::new(2.5, 0.0, 1.0)]
+            [
+                Vec3::new(2.0, -1.0, 0.0),
+                Vec3::new(3.0, 1.0, 0.0),
+                Vec3::new(2.5, 0.0, 1.0)
+            ]
         ));
     }
 
     #[test]
     fn voxelized_cube_volume_converges() {
         let mesh = primitives::box_mesh(Vec3::ONE);
-        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 32, ..Default::default() });
+        let grid = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 32,
+                ..Default::default()
+            },
+        );
         let v = grid.filled_volume();
         // Volume overestimates slightly (surface voxels), but should be
         // within ~2 voxel layers.
@@ -370,9 +407,18 @@ mod tests {
         let exact = 4.0 / 3.0 * std::f64::consts::PI;
         let mut prev_err = f64::INFINITY;
         for res in [16, 32, 64] {
-            let grid = voxelize(&mesh, &VoxelizeParams { resolution: res, ..Default::default() });
+            let grid = voxelize(
+                &mesh,
+                &VoxelizeParams {
+                    resolution: res,
+                    ..Default::default()
+                },
+            );
             let err = (grid.filled_volume() - exact).abs() / exact;
-            assert!(err < prev_err, "resolution {res}: error {err} vs {prev_err}");
+            assert!(
+                err < prev_err,
+                "resolution {res}: error {err} vs {prev_err}"
+            );
             prev_err = err;
         }
         assert!(prev_err < 0.1, "residual error {prev_err}");
@@ -381,8 +427,22 @@ mod tests {
     #[test]
     fn hollow_vs_filled_cube() {
         let mesh = primitives::box_mesh(Vec3::ONE);
-        let shell = voxelize(&mesh, &VoxelizeParams { resolution: 24, fill: false, ..Default::default() });
-        let solid = voxelize(&mesh, &VoxelizeParams { resolution: 24, fill: true, ..Default::default() });
+        let shell = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 24,
+                fill: false,
+                ..Default::default()
+            },
+        );
+        let solid = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 24,
+                fill: true,
+                ..Default::default()
+            },
+        );
         assert!(solid.count() > shell.count(), "fill added interior voxels");
         // Interior voxel is filled only in the solid version.
         let center = solid.world_to_voxel(Vec3::ZERO).unwrap();
@@ -397,11 +457,24 @@ mod tests {
             primitives::uv_sphere(0.8, 24, 12),
             primitives::cylinder(0.5, 1.2, 24),
         ] {
-            let solid = voxelize(&mesh, &VoxelizeParams { resolution: 32, ..Default::default() });
+            let solid = voxelize(
+                &mesh,
+                &VoxelizeParams {
+                    resolution: 32,
+                    ..Default::default()
+                },
+            );
             let parity = fill_parity(&mesh, &solid);
             // Parity fill excludes pure-surface voxels, so it is a
             // subset; the difference is at most the surface shell.
-            let shell = voxelize(&mesh, &VoxelizeParams { resolution: 32, fill: false, ..Default::default() });
+            let shell = voxelize(
+                &mesh,
+                &VoxelizeParams {
+                    resolution: 32,
+                    fill: false,
+                    ..Default::default()
+                },
+            );
             let mut mismatch = 0usize;
             let (nx, ny, nz) = solid.dims();
             for k in 0..nz {
@@ -423,7 +496,13 @@ mod tests {
     #[test]
     fn torus_hole_not_filled() {
         let mesh = primitives::torus(1.0, 0.3, 32, 16);
-        let grid = voxelize(&mesh, &VoxelizeParams { resolution: 48, ..Default::default() });
+        let grid = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 48,
+                ..Default::default()
+            },
+        );
         // The voxel at the torus center must stay empty.
         let c = grid.world_to_voxel(Vec3::ZERO).unwrap();
         assert!(!grid.get(c.0 as isize, c.1 as isize, c.2 as isize));
@@ -437,6 +516,12 @@ mod tests {
     #[should_panic(expected = "resolution")]
     fn tiny_resolution_rejected() {
         let mesh = primitives::box_mesh(Vec3::ONE);
-        let _ = voxelize(&mesh, &VoxelizeParams { resolution: 1, ..Default::default() });
+        let _ = voxelize(
+            &mesh,
+            &VoxelizeParams {
+                resolution: 1,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -1,0 +1,21 @@
+//! Workspace automation tasks (the cargo-xtask pattern).
+//!
+//! The only task so far is `lint`: a lightweight, zero-dependency
+//! static-analysis pass enforcing the workspace's panic-freedom and
+//! NaN-safety policy. Run it as `cargo xtask lint` (the alias lives in
+//! `.cargo/config.toml`).
+//!
+//! The scanner is intentionally a line/token heuristic, not a full
+//! parser: it masks comments and string literals, tracks `#[cfg(test)]`
+//! regions by brace depth, and pattern-matches the rules. That keeps
+//! the tool instant and dependency-free at the cost of line-local
+//! matching (multi-line violations are invisible). The waiver syntax
+//! (`// lint: allow(<rule>) — <reason>`) is the escape hatch for
+//! justified exceptions — the reason text is mandatory.
+
+#![forbid(unsafe_code)]
+
+pub mod lint;
+pub mod mask;
+
+pub use lint::{lint_root, Finding, Report, Rule};

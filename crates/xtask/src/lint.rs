@@ -1,0 +1,550 @@
+//! The rule engine behind `cargo xtask lint`.
+//!
+//! Four rules, scoped per crate (see README "Static analysis &
+//! error-handling policy"):
+//!
+//! * `unwrap` — no `.unwrap()` / `.expect(..)` / `panic!(..)` /
+//!   `unreachable!(..)` in non-test library code of the tdess-*
+//!   library crates;
+//! * `float-cmp` — no NaN-unsafe comparators
+//!   (`partial_cmp(..).unwrap()`-style) anywhere in scanned code;
+//! * `forbid-unsafe` — every crate root declares
+//!   `#![forbid(unsafe_code)]`;
+//! * `lossy-cast` — heuristically flagged float↔int `as` casts in the
+//!   numeric substrate crates (geom, voxel, index).
+//!
+//! Any finding can be waived in place with
+//! `// lint: allow(<rule>) — <reason>`; the reason is mandatory.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::mask::{mask, Waiver};
+
+/// Crates whose library code must be panic-free (rule `unwrap`).
+const PANIC_FREE_CRATES: [&str; 9] = [
+    "geom", "voxel", "skeleton", "features", "index", "cluster", "core", "dataset", "eval",
+];
+
+/// Crates whose `as` casts are audited (rule `lossy-cast`).
+const CAST_AUDITED_CRATES: [&str; 3] = ["geom", "voxel", "index"];
+
+/// The four lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Panic-freedom in library code.
+    Unwrap,
+    /// NaN-unsafe float comparators.
+    FloatCmp,
+    /// Missing `#![forbid(unsafe_code)]` at a crate root.
+    ForbidUnsafe,
+    /// Heuristically lossy float↔int `as` cast.
+    LossyCast,
+}
+
+impl Rule {
+    /// The name used in output and in `allow(...)` waivers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Unwrap => "unwrap",
+            Rule::FloatCmp => "float-cmp",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::LossyCast => "lossy-cast",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation, waived or not.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path relative to the scanned root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+    /// The waiver reason, when a matching waiver covers this line.
+    pub waiver: Option<String>,
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, waived and unwaived, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by a waiver (these fail the build).
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waiver.is_none())
+    }
+
+    /// Number of waived findings.
+    pub fn waived_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.waiver.is_some()).count()
+    }
+
+    /// Number of unwaived findings.
+    pub fn unwaived_count(&self) -> usize {
+        self.findings.len() - self.waived_count()
+    }
+}
+
+/// Lints the workspace rooted at `root`: the root package's `src/`
+/// plus every `crates/*/src/`. Returns an error string on I/O
+/// problems.
+pub fn lint_root(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    let mut units: Vec<(String, PathBuf)> = Vec::new(); // (crate name, src dir)
+
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        units.push(("threedess".to_string(), root_src));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<String> = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
+            .filter_map(|entry| entry.ok())
+            .filter(|entry| entry.path().is_dir())
+            .map(|entry| entry.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        for name in names {
+            let src = crates_dir.join(&name).join("src");
+            if src.is_dir() {
+                units.push((name, src));
+            }
+        }
+    }
+
+    for (crate_name, src_dir) in &units {
+        let mut files = Vec::new();
+        collect_rs_files(src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            report.files_scanned += 1;
+            let source = std::fs::read_to_string(&file)
+                .map_err(|e| format!("read {}: {e}", file.display()))?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .into_owned();
+            let is_crate_root = file
+                .file_name()
+                .is_some_and(|n| n == "lib.rs" || n == "main.rs")
+                && file.parent().is_some_and(|p| p.ends_with("src"));
+            lint_file(
+                &mut report,
+                &rel,
+                &source,
+                FileScope {
+                    panic_free: PANIC_FREE_CRATES.contains(&crate_name.as_str()),
+                    cast_audited: CAST_AUDITED_CRATES.contains(&crate_name.as_str()),
+                    is_crate_root,
+                },
+            );
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(report)
+}
+
+/// Which rules apply to a given file.
+struct FileScope {
+    panic_free: bool,
+    cast_audited: bool,
+    is_crate_root: bool,
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))? {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn lint_file(report: &mut Report, rel: &str, source: &str, scope: FileScope) {
+    let masked = mask(source);
+    let lines: Vec<&str> = masked.text.lines().collect();
+
+    if scope.is_crate_root && !masked.text.contains("#![forbid(unsafe_code)]") {
+        push_finding(
+            report,
+            &masked.waivers,
+            &lines,
+            rel,
+            1,
+            Rule::ForbidUnsafe,
+            "crate root does not declare #![forbid(unsafe_code)]".to_string(),
+        );
+    }
+
+    // Brace-tracked skip regions for test code: a block opened after
+    // `#[cfg(test)]` or `#[test]`.
+    let mut depth: usize = 0;
+    let mut skip_stack: Vec<usize> = Vec::new();
+    let mut pending_skip = false;
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let in_test = !skip_stack.is_empty() || pending_skip;
+
+        if !in_test {
+            check_code_line(report, &masked.waivers, &lines, rel, lineno, line, &scope);
+        }
+
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_skip {
+                        skip_stack.push(depth);
+                        pending_skip = false;
+                    }
+                }
+                '}' => {
+                    if skip_stack.last() == Some(&depth) {
+                        skip_stack.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[test]") {
+            pending_skip = true;
+        }
+    }
+}
+
+fn check_code_line(
+    report: &mut Report,
+    waivers: &[Waiver],
+    lines: &[&str],
+    rel: &str,
+    lineno: usize,
+    line: &str,
+    scope: &FileScope,
+) {
+    let nan_unsafe =
+        line.contains("partial_cmp") && (line.contains(".unwrap()") || line.contains(".expect("));
+    if nan_unsafe {
+        push_finding(
+            report,
+            waivers,
+            lines,
+            rel,
+            lineno,
+            Rule::FloatCmp,
+            "NaN-unsafe comparator: partial_cmp(..).unwrap()/.expect(..) — \
+             use f64::total_cmp or waive with a documented finiteness guard"
+                .to_string(),
+        );
+    }
+
+    if scope.panic_free && !nan_unsafe {
+        for (pattern, what) in [
+            (".unwrap()", ".unwrap()"),
+            (".expect(", ".expect(..)"),
+            ("panic!(", "panic!(..)"),
+            ("unreachable!(", "unreachable!(..)"),
+        ] {
+            if find_pattern(line, pattern) {
+                push_finding(
+                    report,
+                    waivers,
+                    lines,
+                    rel,
+                    lineno,
+                    Rule::Unwrap,
+                    format!(
+                        "{what} in library code — return a typed error \
+                         (see PersistError in crates/core/src/persist.rs) or waive with a reason"
+                    ),
+                );
+                break; // one finding per line is enough
+            }
+        }
+    }
+
+    if scope.cast_audited {
+        if let Some(message) = lossy_cast_on_line(line) {
+            push_finding(
+                report,
+                waivers,
+                lines,
+                rel,
+                lineno,
+                Rule::LossyCast,
+                message,
+            );
+        }
+    }
+}
+
+/// Matches `pattern` in `line`. For patterns starting with an
+/// identifier character (`panic!(`, `unreachable!(`), a match that is
+/// the suffix of a longer identifier (e.g. a hypothetical
+/// `my_panic!(`) is rejected; method patterns starting with `.` match
+/// anywhere.
+fn find_pattern(line: &str, pattern: &str) -> bool {
+    let ident_start = pattern
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(pattern) {
+        let abs = start + pos;
+        let prev = line[..abs].chars().next_back();
+        let prev_is_ident = prev.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !(ident_start && prev_is_ident) {
+            return true;
+        }
+        start = abs + pattern.len();
+    }
+    false
+}
+
+/// Integer type names that make a float→int cast lossy.
+const INT_TYPES: [&str; 12] = [
+    "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Tokens indicating the line manipulates floats.
+const FLOAT_EVIDENCE: [&str; 7] = [
+    "f64", "f32", ".floor()", ".ceil()", ".round()", ".trunc()", ".sqrt(",
+];
+
+/// Heuristic lossy-cast detection on one masked line.
+///
+/// * `<float expr> as <int>` — flagged when the line shows float
+///   evidence (an `f64`/`f32` token, a rounding call, or a float
+///   literal): truncation and range overflow are silent.
+/// * `<f64 expr> as f32` — flagged when the line mentions `f64`:
+///   silent precision loss.
+///
+/// Being line-local it can both miss cross-line casts and flag casts
+/// whose operand is integral; waivers exist for the latter.
+fn lossy_cast_on_line(line: &str) -> Option<String> {
+    let mut search = 0;
+    while let Some(pos) = line[search..].find(" as ") {
+        let abs = search + pos;
+        let target: String = line[abs + 4..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        search = abs + 4;
+        if INT_TYPES.contains(&target.as_str()) {
+            let evidence =
+                FLOAT_EVIDENCE.iter().any(|t| line.contains(t)) || has_float_literal(line);
+            if evidence {
+                return Some(format!(
+                    "possible lossy float → {target} `as` cast — use a checked \
+                     conversion helper or waive with a range/finiteness argument"
+                ));
+            }
+        } else if target == "f32" && line.contains("f64") {
+            return Some(
+                "f64 → f32 `as` cast silently drops precision — waive if the \
+                 value range is known to fit"
+                    .to_string(),
+            );
+        }
+    }
+    None
+}
+
+/// Does the line contain a float literal like `1.5` or `2.`?
+fn has_float_literal(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'.'
+            && i > 0
+            && bytes[i - 1].is_ascii_digit()
+            && bytes
+                .get(i + 1)
+                .is_none_or(|c| !c.is_ascii_alphabetic() && *c != b'.')
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Records a finding, attaching a waiver when one covers the line.
+fn push_finding(
+    report: &mut Report,
+    waivers: &[Waiver],
+    lines: &[&str],
+    rel: &str,
+    lineno: usize,
+    rule: Rule,
+    message: String,
+) {
+    let waiver = waivers.iter().find_map(|w| {
+        if w.rule != rule.name() {
+            return None;
+        }
+        let covered = if w.inline {
+            w.line == lineno
+        } else {
+            standalone_target(lines, w.line) == Some(lineno)
+        };
+        covered.then(|| w.reason.clone())
+    });
+    report.findings.push(Finding {
+        file: rel.to_string(),
+        line: lineno,
+        rule,
+        message,
+        waiver,
+    });
+}
+
+/// The line a standalone waiver comment covers: the next non-blank
+/// line of (masked) code after it.
+fn standalone_target(lines: &[&str], waiver_line: usize) -> Option<usize> {
+    lines
+        .iter()
+        .enumerate()
+        .skip(waiver_line) // lines[waiver_line] is the line after (0-based vs 1-based)
+        .find(|(_, l)| !l.trim().is_empty())
+        .map(|(idx, _)| idx + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope_all() -> FileScope {
+        FileScope {
+            panic_free: true,
+            cast_audited: true,
+            is_crate_root: false,
+        }
+    }
+
+    fn run(src: &str, scope: FileScope) -> Report {
+        let mut report = Report::default();
+        lint_file(&mut report, "test.rs", src, scope);
+        report
+    }
+
+    #[test]
+    fn flags_unwrap_and_friends() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\nfn g() { panic!(\"no\") }\n";
+        let r = run(src, scope_all());
+        assert_eq!(r.findings.len(), 2);
+        assert!(r.findings.iter().all(|f| f.rule == Rule::Unwrap));
+    }
+
+    #[test]
+    fn float_cmp_wins_over_unwrap() {
+        let src = "fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let r = run(src, scope_all());
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, Rule::FloatCmp);
+        assert_eq!(r.findings[0].line, 2);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "\
+fn lib() -> u8 { 1 }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(3u8).unwrap();
+    }
+}
+";
+        let r = run(src, scope_all());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn waivers_cover_inline_and_preceding() {
+        let src = "\
+fn f(x: Option<u8>) -> u8 {
+    x.unwrap() // lint: allow(unwrap) — checked by caller invariant
+}
+fn g(v: &mut [f64]) {
+    // lint: allow(float-cmp) — inputs validated finite at API boundary
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+";
+        let r = run(src, scope_all());
+        assert_eq!(r.findings.len(), 2);
+        assert!(r.findings.iter().all(|f| f.waiver.is_some()));
+        assert_eq!(r.unwaived_count(), 0);
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_cover() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // lint: allow(float-cmp) — wrong rule\n}\n";
+        let r = run(src, scope_all());
+        assert_eq!(r.unwaived_count(), 1);
+    }
+
+    #[test]
+    fn lossy_casts() {
+        assert!(lossy_cast_on_line("let i = (x / step).floor() as usize;").is_some());
+        assert!(lossy_cast_on_line("let i = 2.5 as u32;").is_some());
+        assert!(lossy_cast_on_line("let y = narrow(x) as f32;").is_none()); // no f64 evidence
+        assert!(lossy_cast_on_line("let y: f32 = narrow(x) as f32; let z: f64 = 0.0;").is_some());
+        assert!(lossy_cast_on_line("let n = len as u32;").is_none());
+        assert!(lossy_cast_on_line("let f = count as f64;").is_none());
+    }
+
+    #[test]
+    fn crate_root_must_forbid_unsafe() {
+        let scope = FileScope {
+            panic_free: false,
+            cast_audited: false,
+            is_crate_root: true,
+        };
+        let r = run("pub fn ok() {}\n", scope);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, Rule::ForbidUnsafe);
+
+        let scope = FileScope {
+            panic_free: false,
+            cast_audited: false,
+            is_crate_root: true,
+        };
+        let r = run("#![forbid(unsafe_code)]\npub fn ok() {}\n", scope);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn strings_do_not_trip_rules() {
+        let src = "fn f() -> &'static str {\n    \"call .unwrap() and panic!(now)\"\n}\n";
+        let r = run(src, scope_all());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+}

@@ -1,0 +1,164 @@
+//! `cargo xtask` — workspace automation CLI.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{lint_root, Report};
+
+const USAGE: &str = "\
+cargo xtask <task>
+
+tasks:
+  lint [--json] [--root <dir>]   check the panic-freedom / NaN-safety policy
+                                 (--json emits machine-readable output;
+                                  --root overrides the workspace root)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_command(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown task `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint_command(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(workspace_root);
+    if !root.join("crates").is_dir() {
+        // A typo'd --root would otherwise scan zero files and pass.
+        eprintln!(
+            "xtask lint: `{}` has no crates/ directory — not a workspace root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let report = match lint_root(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", render_json(&report));
+    } else {
+        render_text(&report);
+    }
+
+    if report.unwaived_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: the parent of this crate's directory
+/// (`crates/xtask` at build time), or the current directory as a
+/// fallback.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|crates| crates.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn render_text(report: &Report) {
+    for finding in report.unwaived() {
+        println!(
+            "{}:{}: {}: {}",
+            finding.file, finding.line, finding.rule, finding.message
+        );
+    }
+    eprintln!(
+        "xtask lint: {} file(s) scanned, {} finding(s): {} unwaived, {} waived",
+        report.files_scanned,
+        report.findings.len(),
+        report.unwaived_count(),
+        report.waived_count(),
+    );
+}
+
+/// Hand-rolled JSON (keeps xtask dependency-free so the lint builds
+/// fast and cold).
+fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"unwaived\": {},\n  \"waived\": {},\n  \"findings\": [",
+        report.files_scanned,
+        report.unwaived_count(),
+        report.waived_count(),
+    ));
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"waived\": {}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule.name()),
+            json_str(&f.message),
+            f.waiver.is_some(),
+        ));
+        if let Some(reason) = &f.waiver {
+            out.push_str(&format!(", \"waiver_reason\": {}", json_str(reason)));
+        }
+        out.push('}');
+    }
+    if report.findings.is_empty() {
+        out.push_str("]\n}");
+    } else {
+        out.push_str("\n  ]\n}");
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,326 @@
+//! Source masking: blanks out comments and string literals so the
+//! rule matchers never fire on text inside them, while extracting
+//! `// lint: allow(...)` waiver comments.
+//!
+//! The mask preserves byte-for-byte line structure — every line of the
+//! masked output aligns with the same line of the input, so findings
+//! carry real line numbers.
+
+/// A `// lint: allow(<rule>) — <reason>` waiver found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line the waiver comment sits on.
+    pub line: usize,
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+    /// The justification after the dash separator.
+    pub reason: String,
+    /// True if the waiver comment shares its line with code (then it
+    /// covers that line); false if it stands alone (then it covers the
+    /// next code line).
+    pub inline: bool,
+}
+
+/// Result of masking one file.
+pub struct Masked {
+    /// The source with comments and string/char literals blanked.
+    pub text: String,
+    /// All waivers found in comments, in order.
+    pub waivers: Vec<Waiver>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Masks `src`, blanking comments and literals and collecting waivers.
+pub fn mask(src: &str) -> Masked {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut waivers = Vec::new();
+    let mut state = State::Code;
+    let mut i = 0;
+    let mut line = 1usize;
+    // Whether any code byte has appeared on the current line (decides
+    // inline vs standalone waivers).
+    let mut line_has_code = false;
+    // Comment bytes being accumulated for waiver parsing. Kept as raw
+    // bytes so multi-byte UTF-8 (e.g. the `—` separator) survives;
+    // decoded once at flush time.
+    let mut comment_buf: Vec<u8> = Vec::new();
+    let mut comment_line = 1usize;
+    let mut comment_inline = false;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if state == State::LineComment {
+                flush_comment(
+                    &mut waivers,
+                    &String::from_utf8_lossy(&comment_buf),
+                    comment_line,
+                    comment_inline,
+                );
+                comment_buf.clear();
+                state = State::Code;
+            }
+            out.push(b'\n');
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    comment_line = line;
+                    comment_inline = line_has_code;
+                    comment_buf.clear();
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str;
+                    out.push(b'"');
+                    line_has_code = true;
+                    i += 1;
+                } else if b == b'r' && matches!(bytes.get(i + 1), Some(b'"' | b'#')) {
+                    // Raw string r"..." or r#"..."#.
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        state = State::RawStr(hashes);
+                        out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                        line_has_code = true;
+                        i = j + 1;
+                    } else {
+                        out.push(b);
+                        line_has_code = true;
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // Either a char literal or a lifetime. A lifetime
+                    // is 'ident not followed by a closing quote.
+                    if is_char_literal(bytes, i) {
+                        state = State::Char;
+                        out.push(b'\'');
+                        line_has_code = true;
+                        i += 1;
+                    } else {
+                        out.push(b);
+                        line_has_code = true;
+                        i += 1;
+                    }
+                } else {
+                    if !b.is_ascii_whitespace() {
+                        line_has_code = true;
+                    }
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment_buf.push(b);
+                out.push(b' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Code;
+                    out.push(b'"');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    state = State::Code;
+                    out.extend(std::iter::repeat_n(b' ', hashes as usize + 1));
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'\'' {
+                    state = State::Code;
+                    out.push(b'\'');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if state == State::LineComment {
+        flush_comment(
+            &mut waivers,
+            &String::from_utf8_lossy(&comment_buf),
+            comment_line,
+            comment_inline,
+        );
+    }
+
+    Masked {
+        // The mask only rewrites ASCII bytes in code state and blanks
+        // everything else, so the output is valid UTF-8 whenever the
+        // input was. Fall back to lossy just in case.
+        text: String::from_utf8(out)
+            .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned()),
+        waivers,
+    }
+}
+
+/// Is the `'` at `i` opening a char literal (vs a lifetime)?
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(&c) => {
+            if c == b'\'' {
+                return false; // '' is nothing valid; treat as lifetime-ish
+            }
+            // 'x' → char; 'ident (no closing quote soon) → lifetime.
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                bytes.get(i + 2) == Some(&b'\'')
+            } else {
+                // Punctuation like '(' — must be a char literal.
+                true
+            }
+        }
+        None => false,
+    }
+}
+
+/// Does the `"` at `i` close a raw string opened with `hashes` hashes?
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| bytes.get(i + 1 + k) == Some(&b'#'))
+}
+
+/// Parses a completed `//` comment body for a waiver.
+///
+/// Accepted form: `lint: allow(<rule>) <dash> <reason>` where `<dash>`
+/// is `—`, `–`, `-`, or `:`. The reason must be non-empty — an
+/// undocumented waiver is not a waiver.
+fn flush_comment(waivers: &mut Vec<Waiver>, comment: &str, line: usize, inline: bool) {
+    let text = comment.trim();
+    let Some(rest) = text.strip_prefix("lint:") else {
+        return;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    let rule = rest[..close].trim().to_string();
+    let mut reason = rest[close + 1..].trim_start();
+    for dash in ["—", "–", "-", ":"] {
+        if let Some(r) = reason.strip_prefix(dash) {
+            reason = r.trim_start();
+            break;
+        }
+    }
+    if rule.is_empty() || reason.is_empty() {
+        return;
+    }
+    waivers.push(Waiver {
+        line,
+        rule,
+        reason: reason.trim_end().to_string(),
+        inline,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let m = mask("let x = \"panic!(boom)\"; // .unwrap() in comment\nlet y = 1;\n");
+        assert!(!m.text.contains("panic!"));
+        assert!(!m.text.contains(".unwrap()"));
+        assert!(m.text.contains("let y = 1;"));
+        assert_eq!(m.text.lines().count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let m = mask("let s = r#\"a \".unwrap()\" b\"#; let c = '\\''; let l: &'static str = s;");
+        assert!(!m.text.contains("unwrap"));
+        assert!(m.text.contains("&'static str"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask("/* outer /* inner .unwrap() */ still comment */ let x = 5;");
+        assert!(!m.text.contains("unwrap"));
+        assert!(m.text.contains("let x = 5;"));
+    }
+
+    #[test]
+    fn waiver_parsing() {
+        let src = "\
+foo(); // lint: allow(unwrap) — index is bounds-checked above
+// lint: allow(float-cmp) - inputs are finite by construction
+bar();
+// not a waiver: lint allow(x)
+// lint: allow(no-reason)
+";
+        let m = mask(src);
+        assert_eq!(m.waivers.len(), 2);
+        assert_eq!(m.waivers[0].rule, "unwrap");
+        assert!(m.waivers[0].inline);
+        assert_eq!(m.waivers[0].line, 1);
+        // The em-dash separator is multi-byte UTF-8; the reason must
+        // come out clean, with the whole separator stripped.
+        assert_eq!(m.waivers[0].reason, "index is bounds-checked above");
+        assert_eq!(m.waivers[1].rule, "float-cmp");
+        assert!(!m.waivers[1].inline);
+        assert_eq!(m.waivers[1].line, 2);
+        assert_eq!(m.waivers[1].reason, "inputs are finite by construction");
+    }
+}

@@ -1,0 +1,27 @@
+// Negative fixture: everything the lint checks is either clean, waived
+// with a reason, or inside test code.
+
+#![forbid(unsafe_code)]
+
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn first(v: &[i32]) -> i32 {
+    // lint: allow(unwrap) — callers guarantee a non-empty slice
+    *v.first().unwrap()
+}
+
+pub fn bucket(x: f64) -> usize {
+    // lint: allow(lossy-cast) — x is finite and clamped non-negative
+    x.floor().max(0.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+// Positive fixture: `.unwrap()` / `panic!` in non-test library code of
+// a panic-free crate (unwrap rule).
+
+#![forbid(unsafe_code)]
+
+pub fn first(v: &[i32]) -> i32 {
+    *v.first().unwrap()
+}
+
+pub fn boom() {
+    panic!("nope");
+}

@@ -1,0 +1,6 @@
+// Positive fixture: missing `#![forbid(unsafe_code)]` (forbid-unsafe)
+// and a lossy float → int cast in a cast-audited crate (lossy-cast).
+
+pub fn bucket(x: f64) -> usize {
+    x.floor() as usize
+}

@@ -1,0 +1,7 @@
+// Positive fixture: NaN-unsafe comparator (float-cmp rule).
+
+#![forbid(unsafe_code)]
+
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

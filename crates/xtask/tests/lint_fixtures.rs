@@ -1,0 +1,74 @@
+//! Integration tests: run the lint over the fixture trees (as a
+//! library call and through the built binary) and check that every
+//! rule fires on the positive fixture and stays quiet on the negative
+//! one.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use xtask::lint_root;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn positive_fixture_trips_every_rule() {
+    let report = lint_root(&fixture("positive")).unwrap();
+    let rules: Vec<&str> = report.unwaived().map(|f| f.rule.name()).collect();
+    for rule in ["unwrap", "float-cmp", "forbid-unsafe", "lossy-cast"] {
+        assert!(rules.contains(&rule), "rule {rule} did not fire: {rules:?}");
+    }
+    assert_eq!(report.waived_count(), 0);
+    // The float-cmp line must not double-report as unwrap.
+    let index_findings: Vec<_> = report
+        .unwaived()
+        .filter(|f| f.file.contains("index"))
+        .collect();
+    assert_eq!(index_findings.len(), 1, "{index_findings:?}");
+    assert_eq!(index_findings[0].rule.name(), "float-cmp");
+}
+
+#[test]
+fn negative_fixture_is_clean_with_waivers_counted() {
+    let report = lint_root(&fixture("negative")).unwrap();
+    assert_eq!(
+        report.unwaived_count(),
+        0,
+        "unexpected findings: {:?}",
+        report.unwaived().collect::<Vec<_>>()
+    );
+    // One waived unwrap + one waived cast, each with a written reason.
+    assert_eq!(report.waived_count(), 2);
+    for f in &report.findings {
+        let reason = f.waiver.as_deref().unwrap_or("");
+        assert!(!reason.is_empty(), "waiver without a reason: {f:?}");
+    }
+}
+
+#[test]
+fn binary_exits_nonzero_on_positive_and_zero_on_negative() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+
+    let out = Command::new(bin)
+        .args(["lint", "--root"])
+        .arg(fixture("positive"))
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("forbid-unsafe"), "stdout: {text}");
+
+    let out = Command::new(bin)
+        .args(["lint", "--json", "--root"])
+        .arg(fixture("negative"))
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"unwaived\": 0"), "json: {json}");
+    assert!(json.contains("\"waived\": 2"), "json: {json}");
+    assert!(json.contains("\"waiver_reason\""), "json: {json}");
+}

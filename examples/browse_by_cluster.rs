@@ -6,7 +6,9 @@
 //! cargo run --release --example browse_by_cluster
 //! ```
 
-use threedess::cluster::{ga_cluster, kmeans, rand_index, som_cluster, GaParams, HierarchyParams, SomParams};
+use threedess::cluster::{
+    ga_cluster, kmeans, rand_index, som_cluster, GaParams, HierarchyParams, SomParams,
+};
 use threedess::core::{BrowseTree, ShapeDatabase};
 use threedess::dataset::build_corpus;
 use threedess::features::{FeatureExtractor, FeatureKind};
@@ -38,11 +40,31 @@ fn main() {
 
     println!("\nflat clustering into 26 clusters ({}):", kind.label());
     let km = kmeans(&points, 26, 42);
-    println!("  k-means: SSE {:9.4}, Rand index vs ground truth {:.3}", km.sse, rand_index(&km.assignments, &truth));
-    let (_, som) = som_cluster(&points, &SomParams { width: 6, height: 5, ..Default::default() }, 42);
-    println!("  SOM:     SSE {:9.4}, Rand index vs ground truth {:.3}", som.sse, rand_index(&som.assignments, &truth));
+    println!(
+        "  k-means: SSE {:9.4}, Rand index vs ground truth {:.3}",
+        km.sse,
+        rand_index(&km.assignments, &truth)
+    );
+    let (_, som) = som_cluster(
+        &points,
+        &SomParams {
+            width: 6,
+            height: 5,
+            ..Default::default()
+        },
+        42,
+    );
+    println!(
+        "  SOM:     SSE {:9.4}, Rand index vs ground truth {:.3}",
+        som.sse,
+        rand_index(&som.assignments, &truth)
+    );
     let ga = ga_cluster(&points, 26, &GaParams::default(), 42);
-    println!("  GA:      SSE {:9.4}, Rand index vs ground truth {:.3}", ga.sse, rand_index(&ga.assignments, &truth));
+    println!(
+        "  GA:      SSE {:9.4}, Rand index vs ground truth {:.3}",
+        ga.sse,
+        rand_index(&ga.assignments, &truth)
+    );
 
     // --- Hierarchical browsing: build the drill-down tree and walk the
     // largest branch to a leaf.
@@ -50,7 +72,10 @@ fn main() {
     let tree = BrowseTree::build(
         &db,
         kind,
-        &HierarchyParams { branching: 4, leaf_size: 8 },
+        &HierarchyParams {
+            branching: 4,
+            leaf_size: 8,
+        },
         7,
     );
     let mut cursor = tree.cursor();

@@ -22,7 +22,11 @@ fn main() {
     std::fs::create_dir_all(out.join("meshes")).expect("create output directory");
 
     let corpus = build_corpus(2004);
-    println!("exporting {} shapes to {}", corpus.shapes.len(), out.display());
+    println!(
+        "exporting {} shapes to {}",
+        corpus.shapes.len(),
+        out.display()
+    );
 
     // 1. One OFF file per shape.
     for s in &corpus.shapes {

@@ -13,7 +13,10 @@ use threedess::features::{FeatureExtractor, FeatureKind};
 
 fn main() {
     let corpus = build_corpus(2004);
-    println!("indexing the {}-shape corpus (this takes a few seconds)...", corpus.shapes.len());
+    println!(
+        "indexing the {}-shape corpus (this takes a few seconds)...",
+        corpus.shapes.len()
+    );
     let mut db = ShapeDatabase::new(FeatureExtractor {
         voxel_resolution: 32,
         ..Default::default()

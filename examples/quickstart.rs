@@ -21,13 +21,20 @@ fn main() {
     // pipeline: normalization → voxelization → skeletonization →
     // feature vectors, then updates one R-tree per feature space.
     println!("indexing shapes...");
-    db.insert("small-box", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5))).unwrap();
-    db.insert("large-box", primitives::box_mesh(Vec3::new(4.0, 2.0, 1.0))).unwrap();
-    db.insert("cube", primitives::box_mesh(Vec3::new(1.5, 1.5, 1.5))).unwrap();
-    db.insert("sphere", primitives::uv_sphere(1.0, 24, 12)).unwrap();
-    db.insert("rod", primitives::cylinder(0.3, 6.0, 24)).unwrap();
-    db.insert("disk", primitives::cylinder(2.0, 0.4, 24)).unwrap();
-    db.insert("ring", primitives::torus(1.5, 0.4, 32, 16)).unwrap();
+    db.insert("small-box", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)))
+        .unwrap();
+    db.insert("large-box", primitives::box_mesh(Vec3::new(4.0, 2.0, 1.0)))
+        .unwrap();
+    db.insert("cube", primitives::box_mesh(Vec3::new(1.5, 1.5, 1.5)))
+        .unwrap();
+    db.insert("sphere", primitives::uv_sphere(1.0, 24, 12))
+        .unwrap();
+    db.insert("rod", primitives::cylinder(0.3, 6.0, 24))
+        .unwrap();
+    db.insert("disk", primitives::cylinder(2.0, 0.4, 24))
+        .unwrap();
+    db.insert("ring", primitives::torus(1.5, 0.4, 32, 16))
+        .unwrap();
 
     // Query by example: a box similar (up to pose and scale) to the
     // stored boxes. The features are pose- and scale-invariant, so the
@@ -56,9 +63,15 @@ fn main() {
 
     // Threshold query: everything at least 90% similar.
     let hits = db
-        .search_mesh(&query, &Query::threshold(FeatureKind::PrincipalMoments, 0.9))
+        .search_mesh(
+            &query,
+            &Query::threshold(FeatureKind::PrincipalMoments, 0.9),
+        )
         .unwrap();
-    println!("\nshapes with similarity >= 0.9 (principal moments): {}", hits.len());
+    println!(
+        "\nshapes with similarity >= 0.9 (principal moments): {}",
+        hits.len()
+    );
     for h in &hits {
         println!("  {} ({:.3})", db.get(h.id).unwrap().name, h.similarity);
     }

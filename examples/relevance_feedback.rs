@@ -31,11 +31,16 @@ fn main() {
     }
     for i in 0..4 {
         let s = 1.0 + 0.06 * i as f64;
-        db.insert(format!("rod-{i}"), primitives::cylinder(0.25 * s, 6.0 * s, 20))
-            .unwrap();
+        db.insert(
+            format!("rod-{i}"),
+            primitives::cylinder(0.25 * s, 6.0 * s, 20),
+        )
+        .unwrap();
     }
-    db.insert("sphere", primitives::uv_sphere(1.2, 20, 10)).unwrap();
-    db.insert("ring", primitives::torus(1.5, 0.4, 28, 14)).unwrap();
+    db.insert("sphere", primitives::uv_sphere(1.2, 20, 10))
+        .unwrap();
+    db.insert("ring", primitives::torus(1.5, 0.4, 28, 14))
+        .unwrap();
 
     let kind = FeatureKind::GeometricParams;
 
@@ -46,7 +51,11 @@ fn main() {
     let initial = db.search(&features, &Query::top_k(kind, 6));
     println!("initial results ({}):", kind.label());
     for h in &initial {
-        println!("  {:10} sim {:.3}", db.get(h.id).unwrap().name, h.similarity);
+        println!(
+            "  {:10} sim {:.3}",
+            db.get(h.id).unwrap().name,
+            h.similarity
+        );
     }
 
     // The user marks plates relevant and everything else irrelevant.
@@ -71,7 +80,10 @@ fn main() {
     // 1. Query reconstruction (Rocchio).
     let q0 = features.get(kind).to_vec();
     let q1 = reconstruct_query(&db, kind, &q0, &feedback, &RocchioParams::default());
-    println!("query vector moved by {:.4} in feature space", dist(&q0, &q1));
+    println!(
+        "query vector moved by {:.4} in feature space",
+        dist(&q0, &q1)
+    );
 
     // 2. Weight reconfiguration from the relevant set.
     let weights = reconfigure_weights(&db, kind, &feedback);
@@ -90,7 +102,11 @@ fn main() {
     );
     println!("\nrefined results:");
     for h in &refined {
-        println!("  {:10} sim {:.3}", db.get(h.id).unwrap().name, h.similarity);
+        println!(
+            "  {:10} sim {:.3}",
+            db.get(h.id).unwrap().name,
+            h.similarity
+        );
     }
 
     let plates_before = initial
@@ -107,5 +123,9 @@ fn main() {
 }
 
 fn dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }

@@ -24,11 +24,16 @@ fn main() {
         voxel_resolution: 28,
         ..Default::default()
     });
-    db.insert("plate", primitives::box_mesh(Vec3::new(4.0, 3.0, 0.3))).unwrap();
-    db.insert("block", primitives::box_mesh(Vec3::new(2.0, 1.5, 1.0))).unwrap();
-    db.insert("ball", primitives::uv_sphere(1.2, 24, 12)).unwrap();
-    db.insert("ring", primitives::torus(1.5, 0.4, 32, 16)).unwrap();
-    db.insert("rod", primitives::cylinder(0.3, 5.0, 24)).unwrap();
+    db.insert("plate", primitives::box_mesh(Vec3::new(4.0, 3.0, 0.3)))
+        .unwrap();
+    db.insert("block", primitives::box_mesh(Vec3::new(2.0, 1.5, 1.0)))
+        .unwrap();
+    db.insert("ball", primitives::uv_sphere(1.2, 24, 12))
+        .unwrap();
+    db.insert("ring", primitives::torus(1.5, 0.4, 32, 16))
+        .unwrap();
+    db.insert("rod", primitives::cylinder(0.3, 5.0, 24))
+        .unwrap();
     db.insert("flange", {
         use threedess::geom::{revolve, P2};
         revolve(
@@ -50,24 +55,46 @@ fn main() {
         .search_mesh(&query, &Query::top_k(FeatureKind::PrincipalMoments, 4))
         .unwrap();
 
-    println!("query: a torus — rendering the top {} results to {}", hits.len(), out.display());
+    println!(
+        "query: a torus — rendering the top {} results to {}",
+        hits.len(),
+        out.display()
+    );
     // Render the query itself plus each result from two viewpoints.
     let views = [
         ("iso", Vec3::new(-0.5, -0.7, -0.6)),
         ("front", Vec3::new(0.0, -1.0, -0.15)),
     ];
     for (vname, dir) in views {
-        let img = render(&query, &RenderParams { view_dir: dir, ..Default::default() });
-        img.save_pgm(&out.join(format!("query-{vname}.pgm"))).unwrap();
+        let img = render(
+            &query,
+            &RenderParams {
+                view_dir: dir,
+                ..Default::default()
+            },
+        );
+        img.save_pgm(&out.join(format!("query-{vname}.pgm")))
+            .unwrap();
     }
     for (rank, h) in hits.iter().enumerate() {
         let shape = db.get(h.id).unwrap();
         for (vname, dir) in views {
-            let img = render(&shape.mesh, &RenderParams { view_dir: dir, ..Default::default() });
+            let img = render(
+                &shape.mesh,
+                &RenderParams {
+                    view_dir: dir,
+                    ..Default::default()
+                },
+            );
             let name = format!("{:02}-{}-{vname}.pgm", rank + 1, shape.name);
             img.save_pgm(&out.join(&name)).unwrap();
         }
-        println!("  {}. {:8} similarity {:.3}", rank + 1, shape.name, h.similarity);
+        println!(
+            "  {}. {:8} similarity {:.3}",
+            rank + 1,
+            shape.name,
+            h.similarity
+        );
     }
     println!("open the .pgm files with any image viewer.");
 }

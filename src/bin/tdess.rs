@@ -71,7 +71,9 @@ fn parse_kind(s: &str) -> Result<FeatureKind, String> {
         "pm" => Ok(FeatureKind::PrincipalMoments),
         "ev" => Ok(FeatureKind::Eigenvalues),
         "ho" => Ok(FeatureKind::HigherOrder),
-        other => Err(format!("unknown feature kind `{other}` (expected mi|gp|pm|ev|ho)")),
+        other => Err(format!(
+            "unknown feature kind `{other}` (expected mi|gp|pm|ev|ho)"
+        )),
     }
 }
 
@@ -104,17 +106,18 @@ fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
 }
 
 fn cmd_corpus(args: &[String]) -> Result<(), String> {
-    let dir: PathBuf = args
-        .first()
-        .ok_or("usage: tdess corpus <dir>")?
-        .into();
+    let dir: PathBuf = args.first().ok_or("usage: tdess corpus <dir>")?.into();
     std::fs::create_dir_all(dir.join("meshes")).map_err(|e| e.to_string())?;
     let corpus = build_corpus(2004);
     for s in &corpus.shapes {
         let p = dir.join("meshes").join(format!("{}.off", s.name));
         save_mesh(&s.mesh, &p).map_err(|e| e.to_string())?;
     }
-    println!("wrote {} OFF files to {}", corpus.shapes.len(), dir.join("meshes").display());
+    println!(
+        "wrote {} OFF files to {}",
+        corpus.shapes.len(),
+        dir.join("meshes").display()
+    );
     Ok(())
 }
 
@@ -147,11 +150,17 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
             .and_then(|s| s.to_str())
             .unwrap_or("shape")
             .to_string();
-        let id = db.insert(name.clone(), mesh).map_err(|e| format!("{m}: {e}"))?;
+        let id = db
+            .insert(name.clone(), mesh)
+            .map_err(|e| format!("{m}: {e}"))?;
         println!("indexed {name} as id {id}");
     }
     save_to_path(&db, db_path).map_err(|e| e.to_string())?;
-    println!("database saved to {} ({} shapes)", db_path.display(), db.len());
+    println!(
+        "database saved to {} ({} shapes)",
+        db_path.display(),
+        db.len()
+    );
     Ok(())
 }
 
@@ -159,8 +168,11 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let db_path = args.first().ok_or("usage: tdess info <db.json>")?;
     let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
     println!("shapes: {}", db.len());
-    println!("extractor: voxel resolution {}, spectrum dim {}",
-        db.extractor().voxel_resolution, db.extractor().spectrum_dim);
+    println!(
+        "extractor: voxel resolution {}, spectrum dim {}",
+        db.extractor().voxel_resolution,
+        db.extractor().spectrum_dim
+    );
     for kind in FeatureKind::ALL {
         println!(
             "  {:22} dim {:2}  dmax {:.4}",
@@ -170,7 +182,12 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         );
     }
     for s in db.shapes().iter().take(20) {
-        println!("  #{:<4} {:24} {:6} tris", s.id, s.name, s.mesh.num_triangles());
+        println!(
+            "  #{:<4} {:24} {:6} tris",
+            s.id,
+            s.name,
+            s.mesh.num_triangles()
+        );
     }
     if db.len() > 20 {
         println!("  ... and {} more", db.len() - 20);
@@ -181,7 +198,9 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
     let [db_path, mesh_path] = &pos[..] else {
-        return Err("usage: tdess query <db.json> <mesh> [--kind pm] [--top 10 | --threshold 0.9]".into());
+        return Err(
+            "usage: tdess query <db.json> <mesh> [--kind pm] [--top 10 | --threshold 0.9]".into(),
+        );
     };
     let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
     let mesh = load_mesh(Path::new(mesh_path)).map_err(|e| e.to_string())?;
@@ -196,12 +215,25 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         QueryMode::TopK(k)
     };
     let hits = db
-        .search_mesh(&mesh, &Query { kind, weights: Weights::unit(), mode })
+        .search_mesh(
+            &mesh,
+            &Query {
+                kind,
+                weights: Weights::unit(),
+                mode,
+            },
+        )
         .map_err(|e| e.to_string())?;
     println!("{} results ({})", hits.len(), kind.label());
     for (rank, h) in hits.iter().enumerate() {
         let s = db.get(h.id).expect("hit exists");
-        println!("{:3}. {:24} sim {:.3}  dist {:.4}", rank + 1, s.name, h.similarity, h.distance);
+        println!(
+            "{:3}. {:24} sim {:.3}  dist {:.4}",
+            rank + 1,
+            s.name,
+            h.similarity,
+            h.distance
+        );
     }
     // Optional result thumbnails — the SERVER tier's "3D view
     // generation" for terminals.
@@ -240,7 +272,15 @@ fn cmd_multistep(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(10);
     let features = db.extract_query(&mesh).map_err(|e| e.to_string())?;
-    let hits = multi_step_search(&db, &features, &MultiStepPlan { steps, candidates, presented });
+    let hits = multi_step_search(
+        &db,
+        &features,
+        &MultiStepPlan {
+            steps,
+            candidates,
+            presented,
+        },
+    );
     println!("{} results (multi-step)", hits.len());
     for (rank, h) in hits.iter().enumerate() {
         let s = db.get(h.id).expect("hit exists");
@@ -251,7 +291,9 @@ fn cmd_multistep(args: &[String]) -> Result<(), String> {
 
 fn cmd_browse(args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
-    let db_path = pos.first().ok_or("usage: tdess browse <db.json> [--kind pm]")?;
+    let db_path = pos
+        .first()
+        .ok_or("usage: tdess browse <db.json> [--kind pm]")?;
     let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
     if db.is_empty() {
         return Err("database is empty".into());

@@ -9,6 +9,7 @@
 //! assert!(cube.is_watertight());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use tdess_cluster as cluster;

@@ -64,7 +64,11 @@ fn index_query_info_roundtrip() {
     }
     cmd.args(["--resolution", "16"]);
     let out = cmd.output().expect("run tdess index");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(db.exists());
 
     // Query with a similar box: the stored box must rank first.
@@ -75,13 +79,21 @@ fn index_query_info_roundtrip() {
         .args(["--kind", "pm", "--top", "2"])
         .output()
         .expect("run tdess query");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     let first_line = text.lines().nth(1).unwrap_or("");
     assert!(first_line.contains("boxy"), "{text}");
 
     // Info reports the shape count.
-    let out = tdess().arg("info").arg(&db).output().expect("run tdess info");
+    let out = tdess()
+        .arg("info")
+        .arg(&db)
+        .output()
+        .expect("run tdess info");
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("shapes: 3"));
 
@@ -93,7 +105,11 @@ fn index_query_info_roundtrip() {
         .args(["--steps", "pm,ev", "--candidates", "3", "--present", "2"])
         .output()
         .expect("run tdess multistep");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

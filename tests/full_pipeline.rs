@@ -4,9 +4,7 @@
 
 use std::sync::OnceLock;
 
-use threedess::core::{
-    load, multi_step_search, save, MultiStepPlan, Query, ShapeDatabase,
-};
+use threedess::core::{load, multi_step_search, save, MultiStepPlan, Query, ShapeDatabase};
 use threedess::dataset::build_corpus;
 use threedess::features::{FeatureExtractor, FeatureKind};
 use threedess::geom::{Mat3, Vec3};
@@ -71,7 +69,11 @@ fn multi_step_pipeline_runs_end_to_end() {
     };
     let hits = multi_step_search(db, &q, &plan);
     assert_eq!(hits.len(), 5);
-    assert_eq!(hits[0].id, db.shapes()[0].id, "self-match must survive re-ranking");
+    assert_eq!(
+        hits[0].id,
+        db.shapes()[0].id,
+        "self-match must survive re-ranking"
+    );
 }
 
 #[test]

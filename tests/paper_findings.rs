@@ -32,7 +32,12 @@ fn ctx() -> &'static EvalContext {
 #[test]
 fn one_shot_ordering_matches_paper() {
     let rows = average_effectiveness(ctx(), &Strategy::paper_set(), RetrievalSize::GroupSize);
-    let (mi, gp, pm, ev) = (rows[0].avg_recall, rows[1].avg_recall, rows[2].avg_recall, rows[3].avg_recall);
+    let (mi, gp, pm, ev) = (
+        rows[0].avg_recall,
+        rows[1].avg_recall,
+        rows[2].avg_recall,
+        rows[3].avg_recall,
+    );
     assert!(pm > mi, "PM {pm} should beat MI {mi}");
     assert!(mi > gp, "MI {mi} should beat GP {gp}");
     assert!(gp > ev, "GP {gp} should beat EV {ev}");
@@ -44,7 +49,10 @@ fn one_shot_ordering_matches_paper() {
 #[test]
 fn multi_step_beats_best_one_shot() {
     let rows = average_effectiveness(ctx(), &Strategy::paper_set(), RetrievalSize::GroupSize);
-    let best_one_shot = rows[..4].iter().map(|r| r.avg_recall).fold(f64::MIN, f64::max);
+    let best_one_shot = rows[..4]
+        .iter()
+        .map(|r| r.avg_recall)
+        .fold(f64::MIN, f64::max);
     let multi = rows[4].avg_recall;
     assert!(
         multi > best_one_shot * 1.2,
@@ -104,7 +112,11 @@ fn pr_curves_show_inverse_relationship() {
         for kind in [FeatureKind::MomentInvariants, FeatureKind::PrincipalMoments] {
             let curve = pr_curve(c, qi, kind, 21);
             // Lowest threshold retrieves everything: recall 1.
-            assert!(curve[0].recall > 0.99, "{kind:?}: recall at t=0 is {}", curve[0].recall);
+            assert!(
+                curve[0].recall > 0.99,
+                "{kind:?}: recall at t=0 is {}",
+                curve[0].recall
+            );
             // Highest threshold retrieves (almost) nothing.
             assert!(
                 curve.last().unwrap().retrieved <= 2,
@@ -154,5 +166,9 @@ fn eigenvalue_signatures_collapse_shapes() {
         c.db.len()
     );
     // But not degenerate either: there are several distinct topologies.
-    assert!(distinct.len() >= 5, "only {} distinct signatures", distinct.len());
+    assert!(
+        distinct.len() >= 5,
+        "only {} distinct signatures",
+        distinct.len()
+    );
 }

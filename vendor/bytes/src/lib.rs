@@ -1,0 +1,139 @@
+//! Offline shim for `bytes`: the `Buf`/`BufMut` accessors used by the
+//! binary STL reader/writer (`get_*_le` on `&[u8]`, `put_*_le` on
+//! `Vec<u8>`).
+//!
+//! See `vendor/README.md` for scope and caveats.
+
+#![forbid(unsafe_code)]
+
+/// Read cursor over a byte source. Mirrors the subset of `bytes::Buf`
+/// this workspace uses; `get_*` methods panic if the source is too
+/// short, exactly like the real crate.
+pub trait Buf {
+    /// Number of bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Advances the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies `dst.len()` bytes into `dst` and advances.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// Write sink for bytes. Mirrors the subset of `bytes::BufMut` this
+/// workspace uses.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u32_le(0xDEADBEEF);
+        out.put_f32_le(1.5);
+        out.put_u16_le(7);
+        let mut cur: &[u8] = &out;
+        assert_eq!(cur.remaining(), 10);
+        assert_eq!(cur.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(cur.get_f32_le(), 1.5);
+        assert_eq!(cur.get_u16_le(), 7);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn short_read_panics() {
+        let mut cur: &[u8] = &[1, 2];
+        let _ = cur.get_u32_le();
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline shim for `criterion`: the registration/measurement API the
+//! workspace's benches use, backed by a minimal wall-clock timer.
+//!
+//! No statistics, plots, or baselines — each routine is warmed up once
+//! and timed over a handful of iterations, and the median per-iteration
+//! time is printed. Good enough to spot order-of-magnitude regressions
+//! by eye; not a replacement for real criterion. See
+//! `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites like `criterion::black_box(x)` work; the
+/// std hint is the real implementation.
+pub use std::hint::black_box;
+
+/// Timed samples collected per routine (after one warm-up run).
+const SAMPLES: usize = 5;
+
+/// The benchmark manager: registers and runs routines.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `routine` as a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sample count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` under this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into_id()), routine);
+        self
+    }
+
+    /// Runs `routine` with a shared input under this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.into_id()), |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display form of the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Batch sizing for [`Bencher::iter_batched`] (ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Passed to routines to time the measured section.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..=SAMPLES {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed);
+        }
+        // Drop the warm-up sample.
+        self.samples.remove(0);
+    }
+
+    /// Times `routine` over inputs built by `setup` (setup time
+    /// excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..=SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed);
+        }
+        self.samples.remove(0);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut routine: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+    };
+    routine(&mut bencher);
+    bencher.samples.sort();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "bench {id:<50} median {median:>12.3?} ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Declares a group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes flags like `--bench`; nothing to parse
+            // in the shim.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > SAMPLES);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut hits = 0;
+        g.bench_with_input(BenchmarkId::new("f", 3), &7usize, |b, &x| {
+            b.iter(|| hits += x)
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(9), &2usize, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(hits > 0);
+    }
+}

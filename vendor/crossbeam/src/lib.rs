@@ -1,0 +1,87 @@
+//! Offline shim for `crossbeam`: scoped threads on top of
+//! `std::thread::scope`, with crossbeam's `Result`-returning `scope`
+//! entry point and `spawn(|scope| ...)` closure shape.
+//!
+//! See `vendor/README.md` for scope and caveats.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::thread;
+
+/// Result of a scope: `Err` carries the payload of a panicking child
+/// thread (crossbeam's contract; std would propagate the panic).
+pub type ScopeResult<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+/// A handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or the
+    /// panic payload.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// A scope in which child threads borrowing from the environment can
+/// be spawned. Mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (so it
+    /// can spawn further threads), matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the
+/// caller's stack. All spawned threads are joined before `scope`
+/// returns. A panic in an unjoined child surfaces as `Err` with the
+/// panic payload rather than propagating (crossbeam's behavior).
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|v| s.spawn(move |_| *v * 10)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn panic_in_child_becomes_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,579 @@
+//! Offline shim for `proptest`: deterministic property-based testing
+//! over the combinators this workspace uses.
+//!
+//! Differences from real proptest (see `vendor/README.md`):
+//!
+//! * deterministic — the RNG is seeded from the test's module path and
+//!   name, so runs are reproducible but never explore new cases;
+//! * no shrinking — a failure reports the assertion message only;
+//! * `prop_filter_map` rejections retry with fresh draws, bounded by a
+//!   global attempt cap.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinator adapters.
+
+    use rand::rngs::StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// `sample` returns `None` when a filter rejected the draw; the
+    /// runner retries with fresh randomness.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value, or `None` on filter rejection.
+        fn sample(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Maps through `f`, rejecting draws where `f` returns `None`.
+        /// `reason` labels the rejection (kept for API compatibility;
+        /// the shim does not report per-reason statistics).
+        fn prop_filter_map<U, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap {
+                inner: self,
+                f,
+                _reason: reason,
+            }
+        }
+
+        /// Keeps only draws satisfying `pred`.
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                pred,
+                _reason: reason,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<U> {
+            self.inner.sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+        pub(crate) _reason: &'static str,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<U> {
+            self.inner.sample(rng).and_then(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) pred: F,
+        pub(crate) _reason: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            self.inner.sample(rng).filter(|v| (self.pred)(v))
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    // Ranges are strategies, e.g. `-1.0f64..1.0` or `1usize..20`.
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rand::Rng::gen_range(rng, self.clone()))
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rand::Rng::gen_range(rng, self.clone()))
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.sample(rng)?,)+))
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A: 0);
+        (A: 0, B: 1);
+        (A: 0, B: 1, C: 2);
+        (A: 0, B: 1, C: 2, D: 3);
+        (A: 0, B: 1, C: 2, D: 3, E: 4);
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`: the standard-distribution strategy for `T`.
+
+    use rand::rngs::StdRng;
+    use rand::StandardSample;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy drawing from the standard distribution of `T`.
+    pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+    /// Creates the standard strategy for `T`.
+    pub fn any<T: StandardSample>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: StandardSample> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<T> {
+            Some(T::sample_standard(rng))
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `hash_set`.
+
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    use rand::rngs::StdRng;
+
+    use crate::strategy::Strategy;
+
+    /// Size specifications accepted by collection strategies.
+    pub trait SizeRange: Clone {
+        /// Draws a target size.
+        fn sample_size(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_size(&self, rng: &mut StdRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_size(&self, rng: &mut StdRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn sample_size(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a size drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Generates vectors of `element` values.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let n = self.size.sample_size(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<T>`. Duplicate draws collapse, so the
+    /// result may be smaller than the drawn size (fine for the uses in
+    /// this workspace, which only bound sizes from above).
+    pub struct HashSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Generates hash sets of `element` values.
+    pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        R: SizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        R: SizeRange,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<HashSet<S::Value>> {
+            let n = self.size.sample_size(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies drawing from fixed collections.
+
+    use rand::rngs::StdRng;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy picking one element of `options` uniformly.
+    pub struct Select<T>(Vec<T>);
+
+    /// Picks uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty options");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<T> {
+            let i = rand::Rng::gen_range(rng, 0..self.0.len());
+            Some(self.0[i].clone())
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use rand::rngs::StdRng;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy for `[T; 32]` drawing each element from `element`.
+    pub struct Uniform32<S>(S);
+
+    /// Generates `[T; 32]` arrays.
+    pub fn uniform32<S: Strategy>(element: S) -> Uniform32<S> {
+        Uniform32(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform32<S> {
+        type Value = [S::Value; 32];
+
+        fn sample(&self, rng: &mut StdRng) -> Option<[S::Value; 32]> {
+            let items: Option<Vec<S::Value>> = (0..32).map(|_| self.0.sample(rng)).collect();
+            <[S::Value; 32]>::try_from(items?).ok()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Config, error type, and the runner entry point the `proptest!`
+    //! macro expands into.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Run configuration (only `cases` is honored by the shim).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case failed an assertion: the whole test fails.
+        Fail(String),
+        /// The case rejected its inputs (`prop_assume!`): retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case with the given message.
+        pub fn fail(msg: impl std::fmt::Display) -> TestCaseError {
+            TestCaseError::Fail(msg.to_string())
+        }
+
+        /// A rejected case with the given reason.
+        pub fn reject(msg: impl std::fmt::Display) -> TestCaseError {
+            TestCaseError::Reject(msg.to_string())
+        }
+    }
+
+    /// Deterministic per-test RNG: FNV-1a over the test's identity.
+    pub fn rng_for_test(module: &str, name: &str) -> StdRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in module.bytes().chain([b':', b':']).chain(name.bytes()) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(hash)
+    }
+
+    /// Drives one property: draws inputs and runs `case` until
+    /// `cases` draws pass, a case fails, or the retry budget (for
+    /// filter/assume rejections) is exhausted.
+    pub fn run<F>(config: &ProptestConfig, module: &str, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<bool, TestCaseError>,
+    {
+        let mut rng = rng_for_test(module, name);
+        let mut passed: u32 = 0;
+        let mut attempts: u64 = 0;
+        let budget = u64::from(config.cases) * 64 + 4096;
+        while passed < config.cases {
+            attempts += 1;
+            assert!(
+                attempts <= budget,
+                "{module}::{name}: too many rejected cases ({passed}/{} passed after {attempts} attempts)",
+                config.cases
+            );
+            match case(&mut rng) {
+                Ok(true) => passed += 1,
+                Ok(false) => {} // strategy rejected the draw
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{module}::{name} failed after {passed} passing cases: {msg}")
+                }
+            }
+        }
+    }
+}
+
+/// `prop::...` paths used by tests (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` that draws inputs and checks the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run(
+                    &__config,
+                    module_path!(),
+                    stringify!($name),
+                    |__rng| {
+                        $(
+                            let __drawn = $crate::strategy::Strategy::sample(&($strat), __rng);
+                            let $pat = match __drawn {
+                                ::core::option::Option::Some(v) => v,
+                                ::core::option::Option::None => return ::core::result::Result::Ok(false),
+                            };
+                        )+
+                        let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                            (|| { $body ::core::result::Result::Ok(()) })();
+                        __outcome.map(|()| true)
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`: fails
+/// the current case without panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with an optional format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {:?} != {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}: {:?} != {:?}",
+            ::std::format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// `prop_assume!(cond)`: rejects the current case (retried with fresh
+/// inputs) instead of failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, -1.0f64..1.0), n in 1usize..5) {
+            prop_assert!(a < 10);
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn filter_map_retries(v in (0u32..100).prop_filter_map("odd only", |x| {
+            if x % 2 == 1 { Some(x) } else { None }
+        })) {
+            prop_assert_eq!(v % 2, 1);
+        }
+
+        #[test]
+        fn collections(xs in prop::collection::vec(0u8..255, 0..20),
+                       set in prop::collection::hash_set(0u32..50, 0..20)) {
+            prop_assert!(xs.len() < 20);
+            prop_assert!(set.len() < 20);
+        }
+
+        #[test]
+        fn arrays(bits in prop::array::uniform32(any::<bool>())) {
+            prop_assert_eq!(bits.len(), 32);
+        }
+
+        #[test]
+        fn assume_rejects(v in 0u32..100) {
+            prop_assume!(v >= 50);
+            prop_assert!(v >= 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1000, 0.0f64..1.0);
+        let mut r1 = crate::test_runner::rng_for_test("m", "t");
+        let mut r2 = crate::test_runner::rng_for_test("m", "t");
+        for _ in 0..100 {
+            assert_eq!(strat.sample(&mut r1), strat.sample(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,614 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented with a hand-rolled token
+//! parser (no `syn`/`quote`, which are unavailable offline).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields (any visibility), including generics
+//!   like `struct Foo<T> { .. }`;
+//! * tuple structs (newtype and n-ary);
+//! * unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   like real serde's default representation);
+//! * field attributes `#[serde(default)]`, `#[serde(skip)]`, and
+//!   `#[serde(skip, default)]`.
+//!
+//! Anything else (lifetimes, const generics, `where` clauses, rename
+//! attributes, internally tagged enums, ...) is rejected with a
+//! compile error naming the construct, so failures are loud instead of
+//! silently wrong. See `vendor/README.md`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field-level `#[serde(...)]` flags this shim understands.
+#[derive(Debug, Clone, Copy, Default)]
+struct FieldFlags {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    flags: FieldFlags,
+}
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive shim emitted bad code: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({:?});", msg)
+        .parse()
+        .expect("compile_error! literal always parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    /// Skips attributes (`#[...]`), returning accumulated serde flags.
+    fn skip_attrs(&mut self) -> Result<FieldFlags, String> {
+        let mut flags = FieldFlags::default();
+        while self.at_punct('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    merge_serde_flags(&mut flags, g.stream())?;
+                }
+                _ => return Err("malformed attribute".into()),
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips a type (or any token run) until a top-level `,`, counting
+    /// `<`/`>` depth. Consumes the trailing comma if present.
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn merge_serde_flags(flags: &mut FieldFlags, attr: TokenStream) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    let [TokenTree::Ident(head), rest @ ..] = tokens.as_slice() else {
+        return Ok(());
+    };
+    if head.to_string() != "serde" {
+        return Ok(()); // doc comments, cfg_attr leftovers, ...
+    }
+    let [TokenTree::Group(g)] = rest else {
+        return Err("malformed #[serde(...)] attribute".into());
+    };
+    for t in g.stream() {
+        match &t {
+            TokenTree::Ident(i) if i.to_string() == "skip" => flags.skip = true,
+            TokenTree::Ident(i) if i.to_string() == "default" => flags.default = true,
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => {
+                return Err(format!(
+                    "unsupported serde attribute `{other}` (shim supports only skip/default)"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor {
+        tokens: input.into_iter().collect(),
+        pos: 0,
+    };
+    cur.skip_attrs()?;
+    cur.skip_vis();
+
+    let kind_kw = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    let generics = parse_generics(&mut cur)?;
+
+    if cur.at_ident("where") {
+        return Err("`where` clauses are not supported by the serde_derive shim".into());
+    }
+
+    let kind = match kind_kw.as_str() {
+        "struct" => ItemKind::Struct(parse_struct_fields(&mut cur)?),
+        "enum" => ItemKind::Enum(parse_variants(&mut cur)?),
+        other => return Err(format!("cannot derive serde traits for `{other}`")),
+    };
+
+    Ok(Item {
+        name,
+        generics,
+        kind,
+    })
+}
+
+fn parse_generics(cur: &mut Cursor) -> Result<Vec<String>, String> {
+    if !cur.at_punct('<') {
+        return Ok(Vec::new());
+    }
+    cur.next();
+    let mut params = Vec::new();
+    let mut depth = 1i32;
+    let mut expect_param = true;
+    while depth > 0 {
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                return Err("lifetime generics are not supported by the serde_derive shim".into())
+            }
+            Some(TokenTree::Ident(i)) => {
+                let word = i.to_string();
+                if word == "const" {
+                    return Err("const generics are not supported by the serde_derive shim".into());
+                }
+                if expect_param && depth == 1 {
+                    params.push(word);
+                    expect_param = false;
+                }
+            }
+            Some(_) => {}
+            None => return Err("unterminated generic parameter list".into()),
+        }
+    }
+    Ok(params)
+}
+
+fn parse_struct_fields(cur: &mut Cursor) -> Result<Fields, String> {
+    match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            parse_named_fields(g.stream())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Fields::Tuple(count_tuple_fields(g.stream())?))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Fields::Unit),
+        other => Err(format!("unexpected struct body: {other:?}")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Fields, String> {
+    let mut cur = Cursor {
+        tokens: stream.into_iter().collect(),
+        pos: 0,
+    };
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let flags = cur.skip_attrs()?;
+        cur.skip_vis();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        cur.skip_until_top_level_comma();
+        fields.push(Field { name, flags });
+    }
+    Ok(Fields::Named(fields))
+}
+
+/// Counts the comma-separated fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let mut cur = Cursor {
+        tokens: stream.into_iter().collect(),
+        pos: 0,
+    };
+    let mut count = 0;
+    while cur.peek().is_some() {
+        let _ = cur.skip_attrs()?;
+        cur.skip_vis();
+        if cur.peek().is_none() {
+            break; // trailing comma
+        }
+        count += 1;
+        cur.skip_until_top_level_comma();
+    }
+    Ok(count)
+}
+
+fn parse_variants(cur: &mut Cursor) -> Result<Vec<Variant>, String> {
+    let body = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => return Err(format!("expected enum body, got {other:?}")),
+    };
+    let mut cur = Cursor {
+        tokens: body.into_iter().collect(),
+        pos: 0,
+    };
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let _ = cur.skip_attrs()?;
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream())?;
+                cur.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                cur.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        if cur.at_punct('=') {
+            return Err("explicit discriminants are not supported by the serde_derive shim".into());
+        }
+        if cur.at_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// `impl<T: ::serde::Serialize> ... for Name<T>` header pieces.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("<{}>", item.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = impl_header(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => gen_serialize_fields(fields, "self"),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_serialize_variant(name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Serialization expression for struct bodies (`self.<field>` access).
+fn gen_serialize_fields(fields: &Fields, recv: &str) -> String {
+    match fields {
+        Fields::Named(fs) => {
+            let pushes: Vec<String> = fs
+                .iter()
+                .filter(|f| !f.flags.skip)
+                .map(|f| {
+                    format!(
+                        "__obj.push((::std::string::String::from({:?}), \
+                         ::serde::Serialize::to_value(&{recv}.{})));",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {} ::serde::Value::Obj(__obj) }}",
+                pushes.join(" ")
+            )
+        }
+        Fields::Tuple(1) => format!("::serde::Serialize::to_value(&{recv}.0)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&{recv}.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+fn gen_serialize_variant(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => format!(
+            "{enum_name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+        ),
+        Fields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Obj(::std::vec![\
+                 (::std::string::String::from({vname:?}), {payload})]),",
+                binders.join(", ")
+            )
+        }
+        Fields::Named(fs) => {
+            let binders: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+            let pushes: Vec<String> = fs
+                .iter()
+                .filter(|f| !f.flags.skip)
+                .map(|f| {
+                    format!(
+                        "__obj.push((::std::string::String::from({:?}), \
+                         ::serde::Serialize::to_value({})));",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {} }} => {{ \
+                 let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {} \
+                 ::serde::Value::Obj(::std::vec![(::std::string::String::from({vname:?}), \
+                 ::serde::Value::Obj(__obj))]) }},",
+                binders.join(", "),
+                pushes.join(" ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => gen_deserialize_struct(name, fields),
+        ItemKind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> \
+             {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Field initializer for named-field construction, honoring
+/// skip/default flags.
+fn field_init(ctx: &str, f: &Field, src: &str) -> String {
+    let fname = &f.name;
+    if f.flags.skip {
+        return format!("{fname}: ::core::default::Default::default(),");
+    }
+    let missing = if f.flags.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::core::result::Result::Err(::serde::Error::custom(\
+             ::std::format!(\"missing field `{fname}` in {ctx}\")))"
+        )
+    };
+    format!(
+        "{fname}: match {src}.get({fname:?}) {{ \
+         ::core::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+         ::core::option::Option::None => {missing} }},"
+    )
+}
+
+fn gen_deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(fs) => {
+            let inits: Vec<String> = fs.iter().map(|f| field_init(name, f, "__v")).collect();
+            format!(
+                "if __v.as_obj().is_none() {{ \
+                 return ::core::result::Result::Err(::serde::Error::expected(\
+                 \"object\", {name:?}, __v)); }} \
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_arr().ok_or_else(|| \
+                 ::serde::Error::expected(\"array\", {name:?}, __v))?; \
+                 if __items.len() != {n} {{ \
+                 return ::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected {n} items for {name}, got {{}}\", __items.len()))); }} \
+                 ::core::result::Result::Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Fields::Unit => format!("::core::result::Result::Ok({name})"),
+    }
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    // Externally tagged: unit variants arrive as Str("Variant"), payload
+    // variants as a single-key Obj [("Variant", payload)].
+    let mut unit_arms = Vec::new();
+    let mut payload_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push(format!(
+                "{vname:?} => ::core::result::Result::Ok({name}::{vname}),"
+            )),
+            Fields::Tuple(1) => payload_arms.push(format!(
+                "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                 ::serde::Deserialize::from_value(__payload)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let gets: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                payload_arms.push(format!(
+                    "{vname:?} => {{ \
+                     let __items = __payload.as_arr().ok_or_else(|| \
+                     ::serde::Error::expected(\"array\", {vname:?}, __payload))?; \
+                     if __items.len() != {n} {{ \
+                     return ::core::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"expected {n} items for {name}::{vname}, got {{}}\", \
+                     __items.len()))); }} \
+                     ::core::result::Result::Ok({name}::{vname}({})) }},",
+                    gets.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                let ctx = format!("{name}::{vname}");
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| field_init(&ctx, f, "__payload"))
+                    .collect();
+                payload_arms.push(format!(
+                    "{vname:?} => {{ \
+                     if __payload.as_obj().is_none() {{ \
+                     return ::core::result::Result::Err(::serde::Error::expected(\
+                     \"object\", {vname:?}, __payload)); }} \
+                     ::core::result::Result::Ok({name}::{vname} {{ {} }}) }},",
+                    inits.join(" ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{ \
+         ::serde::Value::Str(__s) => match __s.as_str() {{ \
+             {} \
+             __other => ::core::result::Result::Err(::serde::Error::custom(\
+             ::std::format!(\"unknown variant `{{__other}}` for {name}\"))), \
+         }}, \
+         ::serde::Value::Obj(__pairs) if __pairs.len() == 1 => {{ \
+             let (__tag, __payload) = &__pairs[0]; \
+             match __tag.as_str() {{ \
+                 {} \
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` for {name}\"))), \
+             }} \
+         }}, \
+         __other => ::core::result::Result::Err(::serde::Error::expected(\
+         \"string or single-key object\", {name:?}, __other)), \
+         }}",
+        unit_arms.join(" "),
+        payload_arms.join(" ")
+    )
+}

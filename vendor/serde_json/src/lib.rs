@@ -1,0 +1,545 @@
+//! Offline shim for `serde_json`: JSON text to and from the sibling
+//! serde shim's [`Value`] tree.
+//!
+//! Covers exactly what this workspace calls: [`to_string`],
+//! [`to_string_pretty`], [`to_writer`], [`from_str`], [`from_reader`],
+//! the [`json!`] macro, and an [`Error`] type usable in error enums.
+//!
+//! Floats are printed with Rust's `{}` formatting, which emits the
+//! shortest string that parses back to the identical bits — so
+//! serialize/deserialize round trips are exact, which the persistence
+//! tests rely on. Non-finite floats print as `null` (real serde_json's
+//! behavior). See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::io::{Read, Write};
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+// Re-export for `json!` expansion: callers of the macro may not
+// depend on `serde` directly.
+#[doc(hidden)]
+pub use serde as __serde;
+
+/// JSON error: syntax errors, shape mismatches (via the serde shim's
+/// error), or I/O failures from reader/writer entry points.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+    io: Option<std::io::Error>,
+}
+
+impl Error {
+    fn syntax(msg: impl Into<String>) -> Error {
+        Error {
+            msg: msg.into(),
+            io: None,
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.io.as_ref().map(|e| e as _)
+    }
+}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error::syntax(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error {
+            msg: format!("io error: {e}"),
+            io: Some(e),
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-ish literal syntax. Supports the
+/// subset this workspace writes: objects with literal keys and
+/// serializable expression values, arrays of expressions, and `null`.
+/// (Unlike real serde_json, values cannot be nested `{...}` object
+/// literals — bind those to a variable first.)
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Arr(vec![ $( $crate::__serde::Serialize::to_value(&$item) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Obj(vec![
+            $( (
+                ::std::string::String::from($key),
+                $crate::__serde::Serialize::to_value(&$val),
+            ) ),*
+        ])
+    };
+    ($other:expr) => { $crate::__serde::Serialize::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------
+// Serialization (printing)
+// ---------------------------------------------------------------------
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (2-space
+/// indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Serializes `value` as pretty-printed JSON into `writer`.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let s = to_string_pretty(value)?;
+    writer.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => write_seq(out, indent, depth, items.len(), '[', ']', |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Value::Obj(pairs) => write_seq(out, indent, depth, pairs.len(), '{', '}', |out, i| {
+            let (k, val) = &pairs[i];
+            write_string(out, k);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(out, val, indent, depth + 1);
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{}` prints the shortest string that round-trips exactly.
+        let s = format!("{f}");
+        out.push_str(&s);
+        // Keep a float marker so the value parses back as Float, not
+        // Int (matches real serde_json printing "1.0" for 1.0_f64).
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Deserialization (parsing)
+// ---------------------------------------------------------------------
+
+/// Deserializes a `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::syntax(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+/// Deserializes a `T` from a reader (reads to end first; JSON values
+/// here are whole documents).
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(Error::syntax(format!(
+                "expected `{}` at byte {}",
+                b as char,
+                self.pos.saturating_sub(1)
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::syntax(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error::syntax(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+            None => Err(Error::syntax("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(Value::Arr(items)),
+                _ => {
+                    return Err(Error::syntax(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Value::Obj(pairs)),
+                _ => {
+                    return Err(Error::syntax(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let cp = self.parse_hex4()?;
+                        // Surrogate pair handling for astral chars.
+                        let c = if (0xD800..0xDC00).contains(&cp) {
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::syntax("invalid low surrogate"));
+                            }
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(combined)
+                        } else {
+                            char::from_u32(cp)
+                        };
+                        out.push(c.ok_or_else(|| Error::syntax("invalid unicode escape"))?);
+                    }
+                    _ => return Err(Error::syntax("invalid escape sequence")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: the input came from &str, so
+                    // re-decode the full sequence.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| Error::syntax("invalid utf-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+                None => return Err(Error::syntax("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .bump()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| Error::syntax("invalid \\u escape"))?;
+            cp = cp * 16 + d;
+        }
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::syntax("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::syntax(format!("invalid number `{text}` at byte {start}")))
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_floats() {
+        let values = [
+            0.1,
+            -1.0 / 3.0,
+            1e-300,
+            6.02214076e23,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            1.0,
+            -0.0,
+        ];
+        for &f in &values {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(f.to_bits(), back.to_bits(), "{f} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_u64_bits() {
+        let v: Vec<u64> = vec![0, 1, u64::MAX, 0x8000_0000_0000_0001];
+        let s = to_string(&v).unwrap();
+        let back: Vec<u64> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let s = "he said \"hi\"\n\ttab \\ slash \u{1F600} ünïcode";
+        let json = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let back: String = from_str(r#""A😀""#).unwrap();
+        assert_eq!(back, "A\u{1F600}");
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let v = json!({ "a": 1, "b": [true, false], "c": Option::<u8>::None });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\"a\": 1"));
+        let reparsed: Value = from_str(&pretty).unwrap();
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<f64>("1.2.3").is_err());
+        assert!(from_str::<Vec<u8>>("[1, 2,").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<bool>("true false").is_err());
+    }
+}
