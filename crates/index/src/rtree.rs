@@ -714,7 +714,7 @@ mod tests {
             .enumerate()
             .map(|(i, p)| (i, ((p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2)).sqrt()))
             .collect();
-        brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        brute.sort_by(|a, b| a.1.total_cmp(&b.1));
         for (g, b) in got.iter().zip(&brute) {
             assert!((g.2 - b.1).abs() < 1e-12);
         }

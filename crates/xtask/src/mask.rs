@@ -158,7 +158,16 @@ pub fn mask(src: &str) -> Masked {
             }
             State::Str => {
                 if b == b'\\' && i + 1 < bytes.len() {
-                    out.extend_from_slice(b"  ");
+                    if bytes[i + 1] == b'\n' {
+                        // String line-continuation: the escape consumes
+                        // the newline, but the mask must still emit it
+                        // to stay line-aligned with the source.
+                        out.extend_from_slice(b" \n");
+                        line += 1;
+                        line_has_code = false;
+                    } else {
+                        out.extend_from_slice(b"  ");
+                    }
                     i += 2;
                 } else if b == b'"' {
                     state = State::Code;
@@ -181,7 +190,15 @@ pub fn mask(src: &str) -> Masked {
             }
             State::Char => {
                 if b == b'\\' && i + 1 < bytes.len() {
-                    out.extend_from_slice(b"  ");
+                    if bytes[i + 1] == b'\n' {
+                        // Not valid Rust, but keep line alignment even
+                        // on malformed input.
+                        out.extend_from_slice(b" \n");
+                        line += 1;
+                        line_has_code = false;
+                    } else {
+                        out.extend_from_slice(b"  ");
+                    }
                     i += 2;
                 } else if b == b'\'' {
                     state = State::Code;
@@ -299,6 +316,19 @@ mod tests {
         let m = mask("/* outer /* inner .unwrap() */ still comment */ let x = 5;");
         assert!(!m.text.contains("unwrap"));
         assert!(m.text.contains("let x = 5;"));
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_alignment() {
+        // The `\` at end of line 1 is a string line-continuation: the
+        // escape consumes the newline, which must still appear in the
+        // mask so later line numbers stay aligned.
+        let src = "let s = \"abc\\\ndef\";\nbaz(); // lint: allow(unwrap) — reason here\n";
+        let m = mask(src);
+        assert_eq!(m.text.lines().count(), src.lines().count());
+        assert_eq!(m.waivers.len(), 1);
+        assert_eq!(m.waivers[0].line, 3);
+        assert!(m.waivers[0].inline);
     }
 
     #[test]

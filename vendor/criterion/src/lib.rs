@@ -179,7 +179,28 @@ impl Bencher {
     }
 }
 
+/// Prints the shim warning once per process, before the first
+/// benchmark line.
+fn print_shim_banner() {
+    static BANNER: std::sync::Once = std::sync::Once::new();
+    BANNER.call_once(|| {
+        eprintln!(
+            "\n\
+             ================================================================\n\
+             criterion SHIM — TIMINGS NOT MEANINGFUL\n\
+             This is the offline vendor/criterion shim: {SAMPLES} raw samples\n\
+             per routine, no statistics, no outlier rejection, no baselines.\n\
+             Numbers below are only good for spotting order-of-magnitude\n\
+             regressions by eye. For real measurements, build against\n\
+             crates.io criterion (see vendor/README.md for the switch-back\n\
+             path).\n\
+             ================================================================"
+        );
+    });
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut routine: F) {
+    print_shim_banner();
     let mut bencher = Bencher {
         samples: Vec::new(),
     };

@@ -1,30 +1,30 @@
-//! Offline shim for `rand` 0.8: the `Rng`/`SeedableRng` traits and a
-//! seedable `StdRng` built on xoshiro256++.
+//! Offline shim for `rand` 0.8, stream-compatible with the real crate.
 //!
-//! Deterministic for a given seed, but the byte stream differs from
-//! rand 0.8's real `StdRng` (ChaCha12). See `vendor/README.md`.
+//! `StdRng` reimplements rand 0.8's generator stack from scratch —
+//! ChaCha12 block cipher core, `rand_core`'s `BlockRng` buffering, and
+//! the PCG32-based `seed_from_u64` expansion — and the sampling methods
+//! reproduce rand 0.8.5's algorithms bit-for-bit (multiply-based
+//! `Standard` floats, Lemire widening-multiply integer ranges, the
+//! `[1, 2)`-mantissa method for float ranges, Bernoulli `gen_bool`).
+//! Seeded runs therefore produce **exactly** the same values as the
+//! real `rand` 0.8 + `rand_chacha` pair for the API surface below;
+//! regenerating the procedural corpus under this shim matches corpora
+//! generated against crates.io rand. See `vendor/README.md`.
 
 #![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
 
-/// Low-level random source: a stream of `u64`s.
+/// Low-level random source (required methods mirror `rand_core`).
 pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
     /// Next 64 random bits.
     fn next_u64(&mut self) -> u64;
 
-    /// Next 32 random bits.
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
     /// Fills `dest` with random bytes.
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(8) {
-            let bytes = self.next_u64().to_le_bytes();
-            chunk.copy_from_slice(&bytes[..chunk.len()]);
-        }
-    }
+    fn fill_bytes(&mut self, dest: &mut [u8]);
 }
 
 /// A generator that can be created from a seed.
@@ -35,26 +35,29 @@ pub trait SeedableRng: Sized {
     /// Creates a generator from a full seed.
     fn from_seed(seed: Self::Seed) -> Self;
 
-    /// Creates a generator from a `u64`, expanding it with SplitMix64
-    /// (the same convention rand_core uses).
+    /// Creates a generator from a `u64`, expanding it with the PCG32
+    /// (XSH-RR 64/32) sequence — byte-identical to `rand_core` 0.6's
+    /// default `seed_from_u64`.
     fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+
         let mut seed = Self::Seed::default();
-        for chunk in seed.as_mut().chunks_mut(8) {
-            // SplitMix64 step.
-            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^= z >> 31;
-            let bytes = z.to_le_bytes();
-            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        for chunk in seed.as_mut().chunks_exact_mut(4) {
+            // Advance the state first (to get away from the input
+            // value, in case it has low Hamming weight).
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
         }
         Self::from_seed(seed)
     }
 }
 
 /// Types producible by [`Rng::gen`] (the shim's stand-in for sampling
-/// from rand's `Standard` distribution).
+/// from rand's `Standard` distribution). Each impl consumes the same
+/// generator words as rand 0.8.5's `Standard`.
 pub trait StandardSample {
     /// Draws one value from `rng`.
     fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
@@ -62,7 +65,7 @@ pub trait StandardSample {
 
 impl StandardSample for f64 {
     fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
-        // 53 uniform bits in [0, 1).
+        // Multiply-based method: 53 uniform bits in [0, 1).
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
@@ -75,11 +78,26 @@ impl StandardSample for f32 {
 
 impl StandardSample for bool {
     fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
-        rng.next_u64() & 1 == 1
+        // rand 0.8 compares against the most significant bit of a u32.
+        rng.next_u32() & (1 << 31) != 0
     }
 }
 
-macro_rules! impl_standard_int {
+/// `Standard` integer impls: types up to 32 bits consume one `u32`
+/// word, 64-bit types one `u64` — matching rand's word consumption so
+/// the stream position stays aligned.
+macro_rules! impl_standard_int_32 {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int_32!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! impl_standard_int_64 {
     ($($t:ty),*) => {$(
         impl StandardSample for $t {
             fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
@@ -88,7 +106,9 @@ macro_rules! impl_standard_int {
         }
     )*};
 }
-impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+// usize/isize assume a 64-bit target, like everything else in this
+// workspace.
+impl_standard_int_64!(u64, i64, usize, isize);
 
 /// Ranges that [`Rng::gen_range`] can sample from.
 pub trait SampleRange<T> {
@@ -96,60 +116,242 @@ pub trait SampleRange<T> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
-/// Maps 64 random bits into `[0, span)` by widening multiplication.
-/// Bias is at most `span / 2^64` — negligible for every span this
-/// workspace uses.
-fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
-    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
-}
-
+/// Integer uniform sampling, transcribed from rand 0.8.5's
+/// `UniformInt::sample_single_inclusive` (Lemire widening multiply
+/// with the conservative zone approximation; u8/u16 use the exact
+/// modulus zone, as upstream does).
 macro_rules! impl_sample_range_int {
-    ($($t:ty),*) => {$(
+    ($($t:ty, $unsigned:ty, $u_large:ty, $wide:ty);* $(;)?) => {$(
         impl SampleRange<$t> for Range<$t> {
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
-                assert!(self.start < self.end, "gen_range: empty range");
-                let span = (self.end as i128 - self.start as i128) as u64;
-                (self.start as i128 + bounded_u64(rng, span) as i128) as $t
+                assert!(self.start < self.end, "cannot sample empty range");
+                sample_inclusive_impl::<R, $t, $unsigned, $u_large, $wide>(
+                    self.start,
+                    self.end - 1,
+                    rng,
+                )
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
-                let (lo, hi) = (*self.start(), *self.end());
-                assert!(lo <= hi, "gen_range: empty range");
-                let span = (hi as i128 - lo as i128 + 1) as u64;
-                if span == 0 {
-                    // Full u64 domain: every draw is in range.
-                    return rng.next_u64() as $t;
-                }
-                (lo as i128 + bounded_u64(rng, span) as i128) as $t
+                assert!(
+                    self.start() <= self.end(),
+                    "cannot sample empty range"
+                );
+                sample_inclusive_impl::<R, $t, $unsigned, $u_large, $wide>(
+                    *self.start(),
+                    *self.end(),
+                    rng,
+                )
             }
         }
     )*};
 }
-impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-macro_rules! impl_sample_range_float {
-    ($($t:ty),*) => {$(
-        impl SampleRange<$t> for Range<$t> {
-            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
-                assert!(self.start < self.end, "gen_range: empty range");
-                let unit = <$t as StandardSample>::sample_standard(rng);
-                let v = self.start + (self.end - self.start) * unit;
-                // Guard against rounding up to the excluded endpoint.
-                if v < self.end { v } else { <$t>::midpoint(self.start, self.end) }
-            }
+/// Shared body for the integer impls above. `$u_large` is the word
+/// type rand draws (`u32` for ≤ 32-bit integers, `u64` for 64-bit),
+/// `$wide` its double-width type for the widening multiply.
+fn sample_inclusive_impl<R, T, U, L, W>(low: T, high: T, rng: &mut R) -> T
+where
+    R: RngCore + ?Sized,
+    T: IntSample<U, L>,
+    U: UnsignedWord,
+    L: UnsignedWord + LargeWord<W, R>,
+{
+    let range = T::range_to_large(low, high);
+    if range == L::ZERO {
+        // Full domain: every draw is in range.
+        return T::from_large(L::draw(rng));
+    }
+    let zone = if U::IS_SMALL {
+        // u8/u16: exact zone via modulus (upstream's fast path for
+        // small types).
+        let ints_to_reject = (L::MAX - range + L::ONE) % range;
+        L::MAX - ints_to_reject
+    } else {
+        // Conservative but fast approximation; `- 1` allows the same
+        // comparison without bias.
+        (range << range.leading_zeros()).wrapping_sub(L::ONE)
+    };
+    loop {
+        let v = L::draw(rng);
+        let (hi, lo) = L::wmul(v, range);
+        if lo <= zone {
+            return T::add_offset(low, hi);
         }
-        impl SampleRange<$t> for RangeInclusive<$t> {
-            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
-                let (lo, hi) = (*self.start(), *self.end());
-                assert!(lo <= hi, "gen_range: empty range");
-                let unit = <$t as StandardSample>::sample_standard(rng);
-                lo + (hi - lo) * unit
+    }
+}
+
+/// Word-level operations the Lemire sampler needs.
+trait UnsignedWord:
+    Copy
+    + PartialEq
+    + PartialOrd
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Rem<Output = Self>
+    + std::ops::Shl<u32, Output = Self>
+{
+    const ZERO: Self;
+    const ONE: Self;
+    const MAX: Self;
+    /// True for u8/u16 (`MAX <= u16::MAX`), selecting the modulus zone.
+    const IS_SMALL: bool;
+    fn leading_zeros(self) -> u32;
+    fn wrapping_sub(self, rhs: Self) -> Self;
+}
+
+macro_rules! impl_unsigned_word {
+    ($($t:ty),*) => {$(
+        impl UnsignedWord for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            const MAX: Self = <$t>::MAX;
+            const IS_SMALL: bool = (<$t>::MAX as u128) <= (u16::MAX as u128);
+            fn leading_zeros(self) -> u32 {
+                <$t>::leading_zeros(self)
+            }
+            fn wrapping_sub(self, rhs: Self) -> Self {
+                <$t>::wrapping_sub(self, rhs)
             }
         }
     )*};
 }
-impl_sample_range_float!(f32, f64);
+impl_unsigned_word!(u8, u16, u32, u64, usize);
+
+/// Drawing and widening-multiplying the large word type.
+trait LargeWord<W, R: RngCore + ?Sized>: Sized {
+    fn draw(rng: &mut R) -> Self;
+    fn wmul(self, rhs: Self) -> (Self, Self);
+}
+
+impl<R: RngCore + ?Sized> LargeWord<u64, R> for u32 {
+    fn draw(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+    fn wmul(self, rhs: u32) -> (u32, u32) {
+        let product = self as u64 * rhs as u64;
+        ((product >> 32) as u32, product as u32)
+    }
+}
+
+impl<R: RngCore + ?Sized> LargeWord<u128, R> for u64 {
+    fn draw(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+    fn wmul(self, rhs: u64) -> (u64, u64) {
+        let product = self as u128 * rhs as u128;
+        ((product >> 64) as u64, product as u64)
+    }
+}
+
+impl<R: RngCore + ?Sized> LargeWord<u128, R> for usize {
+    fn draw(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+    fn wmul(self, rhs: usize) -> (usize, usize) {
+        let product = self as u128 * rhs as u128;
+        ((product >> 64) as usize, product as usize)
+    }
+}
+
+/// Conversions between a sampled integer type and its large word.
+trait IntSample<U, L>: Copy {
+    fn range_to_large(low: Self, high: Self) -> L;
+    fn from_large(v: L) -> Self;
+    fn add_offset(low: Self, hi: L) -> Self;
+}
+
+macro_rules! impl_int_sample {
+    ($($t:ty, $unsigned:ty, $u_large:ty);* $(;)?) => {$(
+        impl IntSample<$unsigned, $u_large> for $t {
+            fn range_to_large(low: $t, high: $t) -> $u_large {
+                high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large
+            }
+            fn from_large(v: $u_large) -> $t {
+                v as $t
+            }
+            fn add_offset(low: $t, hi: $u_large) -> $t {
+                low.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+impl_int_sample!(
+    u8, u8, u32; u16, u16, u32; u32, u32, u32;
+    i8, u8, u32; i16, u16, u32; i32, u32, u32;
+    u64, u64, u64; i64, u64, u64;
+    usize, usize, usize; isize, usize, usize;
+);
+
+impl_sample_range_int!(
+    u8, u8, u32, u64; u16, u16, u32, u64; u32, u32, u32, u64;
+    i8, u8, u32, u64; i16, u16, u32, u64; i32, u32, u32, u64;
+    u64, u64, u64, u128; i64, u64, u64, u128;
+    usize, usize, usize, u128; isize, usize, usize, u128;
+);
+
+/// Float uniform sampling, transcribed from rand 0.8.5's
+/// `UniformFloat`: a value in `[1, 2)` built from the top mantissa
+/// bits, shifted to `[0, 1)`, then scaled — with upstream's
+/// ULP-decrement rejection loop for the half-open form.
+macro_rules! impl_sample_range_float {
+    ($($t:ty, $uty:ty, $bits_to_discard:expr, $exp_bits:expr);* $(;)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (self.start, self.end);
+                assert!(low < high, "cannot sample empty range");
+                let mut scale = high - low;
+                assert!(scale.is_finite(), "gen_range: range overflow");
+                loop {
+                    // Value in [1, 2): exponent 0, random mantissa.
+                    let mantissa = <$t as StandardDraw<$uty>>::draw(rng) >> $bits_to_discard;
+                    let value1_2 = <$t>::from_bits(mantissa | $exp_bits);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Upstream edge-case handling: shave one ULP off
+                    // the scale and redraw.
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let scale = (high - low) / (1.0 - <$t>::EPSILON / 2.0);
+                assert!(scale.is_finite(), "gen_range: range overflow");
+                let mantissa = <$t as StandardDraw<$uty>>::draw(rng) >> $bits_to_discard;
+                let value1_2 = <$t>::from_bits(mantissa | $exp_bits);
+                let res = (value1_2 - 1.0) * scale + low;
+                if res > high { high } else { res }
+            }
+        }
+    )*};
+}
+
+/// Ties a float type to the word type rand draws for it.
+trait StandardDraw<U> {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> U;
+}
+impl StandardDraw<u64> for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+impl StandardDraw<u32> for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl_sample_range_float!(
+    f64, u64, 12u32, 1023u64 << 52;
+    f32, u32, 9u32, 127u32 << 23;
+);
 
 /// User-facing generator methods, blanket-implemented for every
 /// [`RngCore`] (mirrors rand 0.8's `Rng`).
@@ -164,10 +366,21 @@ pub trait Rng: RngCore {
         range.sample_from(self)
     }
 
-    /// Returns `true` with probability `p`.
+    /// Returns `true` with probability `p` (rand 0.8's Bernoulli:
+    /// compare one `u64` draw against `p · 2⁶⁴`; `p == 1` short-circuits
+    /// without drawing).
     fn gen_bool(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
-        f64::sample_standard(self) < p
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Fills `dest` with random data (forwards to [`RngCore`]).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
     }
 }
 
@@ -177,25 +390,167 @@ impl<R: RngCore + ?Sized> Rng for R {}
 pub mod rngs {
     use super::{RngCore, SeedableRng};
 
-    /// The shim's standard generator: xoshiro256++ (fast, high
-    /// quality; **not** stream-compatible with rand 0.8's ChaCha12).
+    /// Number of 32-bit words buffered per core refill (4 ChaCha
+    /// blocks, as `rand_chacha` generates).
+    const BUF_WORDS: usize = 64;
+
+    /// ChaCha block-cipher core with a 64-bit block counter in state
+    /// words 12–13 and a 64-bit stream id in words 14–15 — the layout
+    /// `rand_chacha` uses. Each refill emits 4 consecutive blocks.
     #[derive(Debug, Clone)]
-    pub struct StdRng {
-        s: [u64; 4],
+    struct ChaChaCore {
+        key: [u32; 8],
+        counter: u64,
+        /// Double-rounds per block (6 for ChaCha12).
+        double_rounds: u32,
     }
 
+    impl ChaChaCore {
+        fn generate(&mut self, results: &mut [u32; BUF_WORDS]) {
+            for block in 0..BUF_WORDS / 16 {
+                let initial = [
+                    0x6170_7865,
+                    0x3320_646e,
+                    0x7962_2d32,
+                    0x6b20_6574,
+                    self.key[0],
+                    self.key[1],
+                    self.key[2],
+                    self.key[3],
+                    self.key[4],
+                    self.key[5],
+                    self.key[6],
+                    self.key[7],
+                    self.counter as u32,
+                    (self.counter >> 32) as u32,
+                    0,
+                    0,
+                ];
+                let mut s = initial;
+                for _ in 0..self.double_rounds {
+                    quarter(&mut s, 0, 4, 8, 12);
+                    quarter(&mut s, 1, 5, 9, 13);
+                    quarter(&mut s, 2, 6, 10, 14);
+                    quarter(&mut s, 3, 7, 11, 15);
+                    quarter(&mut s, 0, 5, 10, 15);
+                    quarter(&mut s, 1, 6, 11, 12);
+                    quarter(&mut s, 2, 7, 8, 13);
+                    quarter(&mut s, 3, 4, 9, 14);
+                }
+                for (w, out) in results[block * 16..(block + 1) * 16].iter_mut().enumerate() {
+                    *out = s[w].wrapping_add(initial[w]);
+                }
+                self.counter = self.counter.wrapping_add(1);
+            }
+        }
+    }
+
+    fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    /// The standard generator: ChaCha12 behind `BlockRng` buffering,
+    /// stream-compatible with rand 0.8's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        core: ChaChaCore,
+        results: [u32; BUF_WORDS],
+        /// Next unread word; `BUF_WORDS` means the buffer is spent.
+        index: usize,
+    }
+
+    impl StdRng {
+        fn with_rounds(seed: [u8; 32], double_rounds: u32) -> StdRng {
+            let mut key = [0u32; 8];
+            for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(chunk);
+                *k = u32::from_le_bytes(b);
+            }
+            StdRng {
+                core: ChaChaCore {
+                    key,
+                    counter: 0,
+                    double_rounds,
+                },
+                results: [0; BUF_WORDS],
+                index: BUF_WORDS,
+            }
+        }
+
+        /// Test hook: a ChaCha20 generator for checking the core
+        /// against published keystream vectors.
+        #[cfg(test)]
+        pub(crate) fn chacha20_for_tests(seed: [u8; 32]) -> StdRng {
+            StdRng::with_rounds(seed, 10)
+        }
+
+        fn generate_and_set(&mut self, index: usize) {
+            self.core.generate(&mut self.results);
+            self.index = index;
+        }
+    }
+
+    /// `rand_core::block::BlockRng`'s exact word-consumption rules:
+    /// `next_u32` takes one buffered word; `next_u64` takes two
+    /// consecutive words (low half first), straddling a refill when
+    /// only one word remains.
     impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.generate_and_set(0);
+            }
+            let value = self.results[self.index];
+            self.index += 1;
+            value
+        }
+
         fn next_u64(&mut self) -> u64 {
-            let s = &mut self.s;
-            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
-            let t = s[1] << 17;
-            s[2] ^= s[0];
-            s[3] ^= s[1];
-            s[1] ^= s[2];
-            s[0] ^= s[3];
-            s[2] ^= t;
-            s[3] = s[3].rotate_left(45);
-            result
+            let read_u64 = |results: &[u32; BUF_WORDS], i: usize| {
+                (u64::from(results[i + 1]) << 32) | u64::from(results[i])
+            };
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                read_u64(&self.results, index)
+            } else if index >= BUF_WORDS {
+                self.generate_and_set(2);
+                read_u64(&self.results, 0)
+            } else {
+                let x = u64::from(self.results[BUF_WORDS - 1]);
+                self.generate_and_set(1);
+                let y = u64::from(self.results[0]);
+                (y << 32) | x
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut read_len = 0;
+            while read_len < dest.len() {
+                if self.index >= BUF_WORDS {
+                    self.generate_and_set(0);
+                }
+                // fill_via_u32_chunks: little-endian words; a partially
+                // consumed word's remaining bytes are discarded.
+                let mut consumed = 0;
+                for (word, chunk) in self.results[self.index..]
+                    .iter()
+                    .zip(dest[read_len..].chunks_mut(4))
+                {
+                    let bytes = word.to_le_bytes();
+                    chunk.copy_from_slice(&bytes[..chunk.len()]);
+                    consumed += 1;
+                    read_len += chunk.len();
+                }
+                self.index += consumed;
+            }
         }
     }
 
@@ -203,22 +558,7 @@ pub mod rngs {
         type Seed = [u8; 32];
 
         fn from_seed(seed: [u8; 32]) -> StdRng {
-            let mut s = [0u64; 4];
-            for (i, chunk) in seed.chunks_exact(8).enumerate() {
-                let mut b = [0u8; 8];
-                b.copy_from_slice(chunk);
-                s[i] = u64::from_le_bytes(b);
-            }
-            // xoshiro must not start from the all-zero state.
-            if s == [0, 0, 0, 0] {
-                s = [
-                    0x9E37_79B9_7F4A_7C15,
-                    0xBF58_476D_1CE4_E5B9,
-                    0x94D0_49BB_1331_11EB,
-                    0x2545_F491_4F6C_DD1D,
-                ];
-            }
-            StdRng { s }
+            StdRng::with_rounds(seed, 6)
         }
     }
 }
@@ -226,7 +566,59 @@ pub mod rngs {
 #[cfg(test)]
 mod tests {
     use super::rngs::StdRng;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// Published ChaCha20 keystream for the all-zero key and nonce
+    /// (draft-agl-tls-chacha20poly1305 / rand_chacha's own test
+    /// vector), blocks 0 and 1. Validates the block function, the
+    /// little-endian word order, and the per-block counter increment.
+    #[test]
+    fn chacha_core_matches_published_vectors() {
+        const EXPECTED: [u8; 128] = [
+            0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+            0xbd, 0x28, 0xbd, 0xd2, 0x19, 0xb8, 0xa0, 0x8d, 0xed, 0x1a, 0xa8, 0x36, 0xef, 0xcc,
+            0x8b, 0x77, 0x0d, 0xc7, 0xda, 0x41, 0x59, 0x7c, 0x51, 0x57, 0x48, 0x8d, 0x77, 0x24,
+            0xe0, 0x3f, 0xb8, 0xd8, 0x4a, 0x37, 0x6a, 0x43, 0xb8, 0xf4, 0x15, 0x18, 0xa1, 0x1c,
+            0xc3, 0x87, 0xb6, 0x69, 0xb2, 0xee, 0x65, 0x86, 0x9f, 0x07, 0xe7, 0xbe, 0x55, 0x51,
+            0x38, 0x7a, 0x98, 0xba, 0x97, 0x7c, 0x73, 0x2d, 0x08, 0x0d, 0xcb, 0x0f, 0x29, 0xa0,
+            0x48, 0xe3, 0x65, 0x69, 0x12, 0xc6, 0x53, 0x3e, 0x32, 0xee, 0x7a, 0xed, 0x29, 0xb7,
+            0x21, 0x76, 0x9c, 0xe6, 0x4e, 0x43, 0xd5, 0x71, 0x33, 0xb0, 0x74, 0xd8, 0x39, 0xd5,
+            0x31, 0xed, 0x1f, 0x28, 0x51, 0x0a, 0xfb, 0x45, 0xac, 0xe1, 0x0a, 0x1f, 0x4b, 0x79,
+            0x4d, 0x6f,
+        ];
+        let mut rng = StdRng::chacha20_for_tests([0u8; 32]);
+        let mut out = [0u8; 128];
+        rng.fill_bytes(&mut out);
+        assert_eq!(out, EXPECTED);
+    }
+
+    /// BlockRng word rules: u32 consumes one word, u64 two (low word
+    /// first), and a refill boundary straddle keeps the documented
+    /// order.
+    #[test]
+    fn block_rng_word_consumption() {
+        let mut words = StdRng::seed_from_u64(99);
+        let expected: Vec<u32> = (0..130).map(|_| words.next_u32()).collect();
+
+        let mut rng = StdRng::seed_from_u64(99);
+        assert_eq!(rng.next_u32(), expected[0]);
+        let w = rng.next_u64();
+        assert_eq!(w as u32, expected[1]);
+        assert_eq!((w >> 32) as u32, expected[2]);
+
+        // Drive to the last word of the 64-word buffer, then straddle:
+        // low half is the final buffered word, high half the first word
+        // of the next refill.
+        let mut rng = StdRng::seed_from_u64(99);
+        for e in &expected[..63] {
+            assert_eq!(rng.next_u32(), *e);
+        }
+        let w = rng.next_u64();
+        assert_eq!(w as u32, expected[63]);
+        assert_eq!((w >> 32) as u32, expected[64]);
+        // index is now 1 into the refilled buffer.
+        assert_eq!(rng.next_u32(), expected[65]);
+    }
 
     #[test]
     fn deterministic_for_seed() {
@@ -245,6 +637,8 @@ mod tests {
         for _ in 0..10_000 {
             let f = rng.gen_range(-1.5f64..2.5);
             assert!((-1.5..2.5).contains(&f));
+            let g = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&g));
             let u = rng.gen_range(3usize..8);
             assert!((3..8).contains(&u));
             let i = rng.gen_range(-5i32..=5);
@@ -255,9 +649,23 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_ranges() {
+        let mut rng = StdRng::seed_from_u64(13);
+        assert_eq!(rng.gen_range(5usize..=5), 5);
+        assert_eq!(rng.gen_range(7usize..8), 7);
+        // Full-domain inclusive range exercises the `range == 0` path.
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+    }
+
+    #[test]
     fn gen_bool_frequency() {
         let mut rng = StdRng::seed_from_u64(11);
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
         assert!((2000..3000).contains(&hits), "got {hits}");
+        // p = 1 short-circuits without consuming a draw.
+        let mut x = StdRng::seed_from_u64(5);
+        let mut y = StdRng::seed_from_u64(5);
+        assert!(x.gen_bool(1.0));
+        assert_eq!(x.next_u64(), y.next_u64());
     }
 }
