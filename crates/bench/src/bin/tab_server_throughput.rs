@@ -1,0 +1,189 @@
+//! SERVER-tier throughput: batched concurrent queries against one
+//! snapshot, 1 worker thread vs 8.
+//!
+//! The paper's architecture (Fig. 1) puts query processing in a
+//! server tier that many clients hit concurrently; this bench
+//! measures what the snapshot-isolated [`SearchServer`] delivers for
+//! that workload. Every corpus mesh is replayed as a query — first
+//! one-shot top-10 searches, then multi-step searches — through
+//! `search_batch`/`multi_step_batch` at each thread count.
+//!
+//! Outputs:
+//! * `BENCH_server_throughput.json` — machine-readable numbers
+//!   (including `available_parallelism`, since the speedup ceiling is
+//!   the host's core count);
+//! * `results/tab_server_throughput.txt` — the rendered table.
+//!
+//! `--smoke` runs a small corpus subset at low voxel resolution for
+//! CI: same code path, seconds instead of minutes.
+
+use std::time::Instant;
+
+use tdess_bench::{standard_corpus, CORPUS_SEED, RESOLUTION};
+use tdess_core::{bulk_insert, MultiStepPlan, Query, SearchServer, ShapeDatabase};
+use tdess_eval::render_table;
+use tdess_features::{FeatureExtractor, FeatureKind};
+use tdess_geom::TriMesh;
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (resolution, take) = if smoke {
+        (12, 12)
+    } else {
+        (RESOLUTION, usize::MAX)
+    };
+
+    let corpus = standard_corpus();
+    let shapes: Vec<(String, TriMesh)> = corpus
+        .shapes
+        .iter()
+        .take(take)
+        .map(|s| (s.name.clone(), s.mesh.clone()))
+        .collect();
+    let n = shapes.len();
+    eprintln!(
+        "[setup] indexing {n} shapes at voxel resolution {resolution} (seed {CORPUS_SEED})..."
+    );
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: resolution,
+        ..Default::default()
+    });
+    match bulk_insert(&mut db, shapes.clone(), 8) {
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("error: corpus indexing failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    let server = SearchServer::new(db);
+    eprintln!("[setup] done.");
+
+    let parallelism = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let query = Query::top_k(FeatureKind::PrincipalMoments, 10);
+    let plan = MultiStepPlan {
+        steps: vec![FeatureKind::PrincipalMoments, FeatureKind::Eigenvalues],
+        candidates: 30,
+        presented: 10,
+    };
+
+    // (workload, threads, secs, qps) per run.
+    let mut runs: Vec<(&str, usize, f64, f64)> = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let t0 = Instant::now();
+        let result = server.search_batch(shapes.clone(), &query, threads);
+        let secs = t0.elapsed().as_secs_f64();
+        match result {
+            Ok(hits) => assert_eq!(hits.len(), n),
+            Err(e) => {
+                eprintln!("error: one-shot batch failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        runs.push(("one-shot top-10", threads, secs, n as f64 / secs));
+    }
+    for &threads in &THREAD_COUNTS {
+        let t0 = Instant::now();
+        let result = server.multi_step_batch(shapes.clone(), &plan, threads);
+        let secs = t0.elapsed().as_secs_f64();
+        match result {
+            Ok(hits) => assert_eq!(hits.len(), n),
+            Err(e) => {
+                eprintln!("error: multi-step batch failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        runs.push(("multi-step pm,ev", threads, secs, n as f64 / secs));
+    }
+
+    let speedup = |workload: &str| -> f64 {
+        let qps_at = |t: usize| {
+            runs.iter()
+                .find(|(w, th, _, _)| *w == workload && *th == t)
+                .map_or(f64::NAN, |&(_, _, _, qps)| qps)
+        };
+        qps_at(THREAD_COUNTS[1]) / qps_at(THREAD_COUNTS[0])
+    };
+
+    let table = render_table(
+        &["workload", "threads", "total s", "queries/s", "speedup"],
+        &runs
+            .iter()
+            .map(|&(workload, threads, secs, qps)| {
+                vec![
+                    workload.to_string(),
+                    threads.to_string(),
+                    format!("{secs:.3}"),
+                    format!("{qps:.1}"),
+                    if threads == THREAD_COUNTS[0] {
+                        "1.0x (baseline)".to_string()
+                    } else {
+                        format!("{:.2}x", speedup(workload))
+                    },
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nServer throughput — {n} batched queries per run, host parallelism {parallelism}{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+    println!("{table}");
+
+    let metrics = server.metrics();
+    println!("server metrics after all runs:");
+    println!("  queries served: {}", metrics.queries_served);
+    println!("  index: {}", metrics.index_stats);
+
+    let json = serde_json::json!({
+        "bench": "tab_server_throughput",
+        "smoke": smoke,
+        "available_parallelism": parallelism,
+        "corpus_size": n,
+        "voxel_resolution": resolution,
+        "runs": runs.iter().map(|&(workload, threads, secs, qps)| serde_json::json!({
+            "workload": workload,
+            "threads": threads,
+            "total_s": secs,
+            "queries_per_s": qps,
+        })).collect::<Vec<_>>(),
+        "speedup_8_vs_1": serde_json::json!({
+            "one_shot": speedup("one-shot top-10"),
+            "multi_step": speedup("multi-step pm,ev"),
+        }),
+        "metrics": serde_json::json!({
+            "queries_served": metrics.queries_served,
+            "snapshot_swaps": metrics.snapshot_swaps,
+            "one_shot_mean_s": metrics.one_shot.mean_s,
+            "multi_step_mean_s": metrics.multi_step.mean_s,
+            "entries_checked": metrics.index_stats.entries_checked,
+            "node_accesses": metrics.index_stats.node_accesses(),
+        }),
+    });
+    let pretty = match serde_json::to_string_pretty(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: serializing results: {e}");
+            std::process::exit(1);
+        }
+    };
+    write_or_die("BENCH_server_throughput.json", &pretty);
+    if !smoke {
+        let _ = std::fs::create_dir_all("results");
+        write_or_die(
+            "results/tab_server_throughput.txt",
+            &format!(
+                "Server throughput — {n} batched queries per run, host parallelism {parallelism}\n{table}\n"
+            ),
+        );
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: writing {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[out] wrote {path}");
+}

@@ -231,9 +231,6 @@ impl ShapeDatabase {
         mesh: TriMesh,
         features: FeatureSet,
     ) -> ShapeId {
-        let id = self.next_id;
-        self.next_id += 1;
-
         for kind in FeatureKind::ALL {
             let v = features.get(kind);
             // Maintain the diameter incrementally: the new point can
@@ -246,11 +243,55 @@ impl ShapeDatabase {
                     *entry = d;
                 }
             }
+        }
+        self.insert_indexed(name, mesh, features)
+    }
+
+    /// Inserts a batch of shapes with precomputed features, updating
+    /// each feature space's `dmax` in a single pruned diameter pass
+    /// over the union of stored and incoming points instead of one
+    /// full scan per inserted shape. The resulting `dmax` is exactly
+    /// the value the sequential [`ShapeDatabase::insert_precomputed`]
+    /// path produces (the pruning only skips pairs that provably
+    /// cannot extend the diameter). Ids are assigned in input order.
+    pub fn insert_batch_precomputed(
+        &mut self,
+        items: Vec<(String, TriMesh, FeatureSet)>,
+    ) -> Vec<ShapeId> {
+        for kind in FeatureKind::ALL {
+            let points: Vec<&[f64]> = self
+                .shapes
+                .iter()
+                .map(|s| s.features.get(kind))
+                .chain(items.iter().map(|(_, _, f)| f.get(kind)))
+                .collect();
+            // lint: allow(unwrap) — dmax holds every FeatureKind from new(); keys are never removed
+            let entry = self.dmax.get_mut(&kind).expect("all kinds initialized");
+            *entry = diameter_with_bound(&points, *entry);
+        }
+        items
+            .into_iter()
+            .map(|(name, mesh, features)| self.insert_indexed(name, mesh, features))
+            .collect()
+    }
+
+    /// Stores a shape and updates every index, leaving `dmax`
+    /// maintenance to the caller.
+    fn insert_indexed(
+        &mut self,
+        name: impl Into<String>,
+        mesh: TriMesh,
+        features: FeatureSet,
+    ) -> ShapeId {
+        let id = self.next_id;
+        self.next_id += 1;
+
+        for kind in FeatureKind::ALL {
             self.indexes
                 .get_mut(&kind)
                 // lint: allow(unwrap) — indexes holds every FeatureKind from new(); keys are never removed
                 .expect("all kinds initialized")
-                .insert(v.to_vec(), id);
+                .insert(features.get(kind).to_vec(), id);
         }
 
         self.id_index.insert(id, self.shapes.len());
@@ -322,8 +363,22 @@ impl ShapeDatabase {
                     })
                     .collect(),
                 QueryMode::Threshold(t) => {
+                    if t <= 0.0 {
+                        // Similarity clamps at 0, so a zero threshold
+                        // admits every shape — no distance ball can
+                        // express that for a query outside the stored
+                        // set; scan instead.
+                        return self.scan_all_sorted(q, query, dmax, stats);
+                    }
+                    // Inflate the ball by a hair so float rounding in
+                    // `d ≤ (1−t)·dmax` vs `1 − d/dmax ≥ t` cannot drop
+                    // a boundary shape, then post-filter by the
+                    // similarity the caller actually sees — the
+                    // indexed path returns exactly the set the
+                    // weighted scan would.
                     let radius = threshold_to_radius(t, dmax);
-                    index
+                    let radius = radius * (1.0 + 1e-12);
+                    let mut hits: Vec<SearchHit> = index
                         .within_distance(q, radius, stats)
                         .into_iter()
                         .map(|(_, &id, d)| SearchHit {
@@ -331,7 +386,10 @@ impl ShapeDatabase {
                             distance: d,
                             similarity: similarity(d, dmax),
                         })
-                        .collect()
+                        .filter(|h| h.similarity >= t)
+                        .collect();
+                    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+                    hits
                 }
             }
         } else {
@@ -358,6 +416,32 @@ impl ShapeDatabase {
                 QueryMode::Threshold(t) => hits.into_iter().filter(|h| h.similarity >= t).collect(),
             }
         }
+    }
+
+    /// Distance-sorted hits for every stored shape (the degenerate
+    /// `Threshold(0)` case, where similarity's clamp at 0 admits all).
+    fn scan_all_sorted(
+        &self,
+        q: &[f64],
+        query: &Query,
+        dmax: f64,
+        stats: &mut QueryStats,
+    ) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = self
+            .shapes
+            .iter()
+            .map(|s| {
+                stats.entries_checked += 1;
+                let d = weighted_distance(q, s.features.get(query.kind), &Weights::unit());
+                SearchHit {
+                    id: s.id,
+                    distance: d,
+                    similarity: similarity(d, dmax),
+                }
+            })
+            .collect();
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        hits
     }
 
     /// Computes per-dimension standardization weights for a feature
@@ -411,6 +495,66 @@ impl ShapeDatabase {
         let features = self.extract_query(mesh)?;
         Ok(self.search(&features, query))
     }
+}
+
+/// Exact diameter (max pairwise Euclidean distance) of `points`,
+/// seeded with a known lower bound `best` (pairs that cannot beat it
+/// are never evaluated).
+///
+/// Points are sorted by distance `rᵢ` from their centroid; by the
+/// triangle inequality a pair `(i, j)` can only extend the diameter
+/// if `rᵢ + rⱼ` exceeds the current best, so the double loop breaks
+/// out as soon as the sorted radius sums drop below it — in practice
+/// only the outer shell of each feature-space point cloud is ever
+/// compared. The pruning bound carries a conservative slack far
+/// larger than float rounding, so the result is bit-identical to the
+/// full pairwise scan.
+fn diameter_with_bound(points: &[&[f64]], mut best: f64) -> f64 {
+    let Some(first) = points.first() else {
+        return best;
+    };
+    let n = points.len();
+    if n < 2 {
+        return best;
+    }
+    let dim = first.len();
+    let mut centroid = vec![0.0; dim];
+    for p in points {
+        for (c, v) in centroid.iter_mut().zip(*p) {
+            *c += v;
+        }
+    }
+    for c in centroid.iter_mut() {
+        *c /= n as f64;
+    }
+    let mut by_radius: Vec<(f64, usize)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (weighted_distance(p, &centroid, &Weights::unit()), i))
+        .collect();
+    by_radius.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (a, &(ra, ia)) in by_radius.iter().enumerate() {
+        if 2.0 * ra <= prune_bound(best) {
+            break;
+        }
+        for &(rb, ib) in &by_radius[a + 1..] {
+            if ra + rb <= prune_bound(best) {
+                break;
+            }
+            let d = weighted_distance(points[ia], points[ib], &Weights::unit());
+            if d > best {
+                best = d;
+            }
+        }
+    }
+    best
+}
+
+/// Pairs whose centroid-radius sum is at or below this value provably
+/// cannot beat `best`, even allowing for floating-point rounding in
+/// the radius and distance computations.
+fn prune_bound(best: f64) -> f64 {
+    best - 1e-9 * best.abs().max(1.0)
 }
 
 #[cfg(test)]
@@ -586,6 +730,106 @@ mod tests {
         assert!(db
             .standardized_weights(FeatureKind::PrincipalMoments)
             .is_unit());
+    }
+
+    #[test]
+    fn diameter_pruning_matches_full_scan() {
+        // Deterministic pseudo-random point clouds; the pruned
+        // diameter must equal the full pairwise maximum exactly.
+        let mut s = 0x1234_5678_9abc_def0u64;
+        let mut rnd = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0
+        };
+        for (n, dim) in [(1usize, 3usize), (2, 3), (17, 3), (120, 5), (64, 8)] {
+            let pts: Vec<Vec<f64>> = (0..n).map(|_| (0..dim).map(|_| rnd()).collect()).collect();
+            let refs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+            let mut full = 0.0f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = weighted_distance(&pts[i], &pts[j], &Weights::unit());
+                    if d > full {
+                        full = d;
+                    }
+                }
+            }
+            assert_eq!(diameter_with_bound(&refs, 0.0), full, "n={n} dim={dim}");
+            // Seeding with the answer (or better) leaves it unchanged.
+            assert_eq!(diameter_with_bound(&refs, full), full);
+            assert_eq!(diameter_with_bound(&refs, full + 1.0), full + 1.0);
+        }
+    }
+
+    #[test]
+    fn batch_insert_matches_sequential_dmax_and_ids() {
+        let meshes: Vec<(String, TriMesh)> = vec![
+            ("box".into(), primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5))),
+            ("sphere".into(), primitives::uv_sphere(1.0, 12, 6)),
+            ("rod".into(), primitives::cylinder(0.3, 4.0, 12)),
+            ("torus".into(), primitives::torus(1.5, 0.4, 16, 8)),
+        ];
+        let extractor = FeatureExtractor {
+            voxel_resolution: 16,
+            ..Default::default()
+        };
+        let mut seq = ShapeDatabase::new(extractor);
+        let mut bat = ShapeDatabase::new(extractor);
+        let mut items = Vec::new();
+        for (name, mesh) in meshes {
+            let features = extractor.extract(&mesh).unwrap();
+            seq.insert_precomputed(name.clone(), mesh.clone(), features.clone());
+            items.push((name, mesh, features));
+        }
+        let ids = bat.insert_batch_precomputed(items);
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+        for kind in FeatureKind::ALL {
+            assert_eq!(seq.dmax(kind), bat.dmax(kind), "{kind:?}");
+        }
+        // The batch-built database answers queries identically.
+        let q = seq.get(2).unwrap().features.clone();
+        for kind in FeatureKind::ALL {
+            let a = seq.search(&q, &Query::top_k(kind, 4));
+            let b = bat.search(&q, &Query::top_k(kind, 4));
+            assert_eq!(a, b, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_paths_agree_on_boundary_shapes() {
+        let (db, _) = small_db();
+        let q = db.get(1).unwrap().features.clone();
+        let kind = FeatureKind::PrincipalMoments;
+        // Sweep thresholds including exact stored similarities (the
+        // boundary cases where the two paths used to disagree).
+        let mut thresholds: Vec<f64> = vec![0.0, 0.1, 0.5, 0.9, 0.999, 1.0];
+        for s in db.shapes() {
+            let d = weighted_distance(q.get(kind), s.features.get(kind), &Weights::unit());
+            thresholds.push(similarity(d, db.dmax(kind)));
+        }
+        for t in thresholds {
+            let indexed = db.search(&q, &Query::threshold(kind, t));
+            // Brute-force similarity scan (what the weighted path does
+            // with unit weights spelled out explicitly).
+            let mut scan: Vec<ShapeId> = db
+                .shapes()
+                .iter()
+                .filter(|s| {
+                    let d = weighted_distance(q.get(kind), s.features.get(kind), &Weights::unit());
+                    similarity(d, db.dmax(kind)) >= t
+                })
+                .map(|s| s.id)
+                .collect();
+            let mut got: Vec<ShapeId> = indexed.iter().map(|h| h.id).collect();
+            got.sort_unstable();
+            scan.sort_unstable();
+            assert_eq!(got, scan, "threshold {t}");
+            // Hits come back distance-sorted.
+            for w in indexed.windows(2) {
+                assert!(w[0].distance <= w[1].distance);
+            }
+        }
     }
 
     #[test]

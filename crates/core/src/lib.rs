@@ -14,9 +14,10 @@
 //! * **browsing** ([`browse`]) — per-feature clustering hierarchies
 //!   for drill-down search;
 //! * **persistence** ([`persist`]) — JSON storage standing in for the
-//!   paper's Oracle 8i layer;
-//! * **server tier** ([`server`]) — thread-safe search handle and
-//!   parallel bulk indexing.
+//!   paper's Oracle 8i layer, with atomic (temp-file + rename) saves;
+//! * **server tier** ([`server`]) — snapshot-isolated concurrent
+//!   search handle (reads never block writes and vice versa), batched
+//!   concurrent queries, query metrics, and parallel bulk indexing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,7 +33,7 @@ pub mod similarity;
 pub use browse::{BrowseCursor, BrowseTree};
 pub use db::{DbError, Query, QueryMode, SearchHit, ShapeDatabase, ShapeId, StoredShape};
 pub use feedback::{reconfigure_weights, reconstruct_query, Feedback, RocchioParams};
-pub use multistep::{multi_step_search, MultiStepPlan};
+pub use multistep::{multi_step_search, multi_step_search_with_stats, MultiStepPlan};
 pub use persist::{load, load_from_path, save, save_to_path, PersistError};
-pub use server::{bulk_insert, SearchServer};
+pub use server::{bulk_insert, LatencyStats, SearchServer, ServerMetrics};
 pub use similarity::{similarity, threshold_to_radius, weighted_distance, Weights};

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use tdess_features::{FeatureKind, FeatureSet};
+use tdess_index::QueryStats;
 
 use crate::db::{Query, QueryMode, SearchHit, ShapeDatabase};
 use crate::similarity::{similarity, weighted_distance, Weights};
@@ -48,6 +49,19 @@ pub fn multi_step_search(
     query: &FeatureSet,
     plan: &MultiStepPlan,
 ) -> Vec<SearchHit> {
+    let mut stats = QueryStats::default();
+    multi_step_search_with_stats(db, query, plan, &mut stats)
+}
+
+/// Like [`multi_step_search`], also accumulating index traversal
+/// statistics: step 1's index accesses, plus one checked entry per
+/// candidate distance computed in each re-ranking step.
+pub fn multi_step_search_with_stats(
+    db: &ShapeDatabase,
+    query: &FeatureSet,
+    plan: &MultiStepPlan,
+    stats: &mut QueryStats,
+) -> Vec<SearchHit> {
     assert!(!plan.steps.is_empty(), "plan needs at least one step");
     assert!(
         plan.candidates >= 1 && plan.presented >= 1,
@@ -60,7 +74,7 @@ pub fn multi_step_search(
         weights: Weights::unit(),
         mode: QueryMode::TopK(plan.candidates),
     };
-    let mut hits = db.search(query, &first);
+    let mut hits = db.search_with_stats(query, &first, stats);
 
     // Later steps: re-rank candidates in the step's feature space.
     for &kind in &plan.steps[1..] {
@@ -70,6 +84,7 @@ pub fn multi_step_search(
             let Some(stored) = db.get(h.id) else {
                 continue; // defensive: search only returns live ids
             };
+            stats.entries_checked += 1;
             let d = weighted_distance(qv, stored.features.get(kind), &Weights::unit());
             h.distance = d;
             h.similarity = similarity(d, dmax);

@@ -56,10 +56,42 @@ pub fn load<R: Read>(r: R) -> Result<ShapeDatabase, PersistError> {
     Ok(db)
 }
 
-/// Saves the database to a file path.
+/// Saves the database to a file path, atomically: the JSON is written
+/// to a sibling temporary file, fsynced, and renamed over the target,
+/// so a crash or error mid-serialize can never destroy an existing
+/// database file.
 pub fn save_to_path(db: &ShapeDatabase, path: &Path) -> Result<(), PersistError> {
-    let file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    save(db, file)
+    atomic_write(path, |w| save(db, w))
+}
+
+/// Writes a file atomically: `write` streams into a sibling temp
+/// file, which is fsynced and renamed over `path` only on success.
+/// On any error the temp file is removed and `path` is left exactly
+/// as it was.
+fn atomic_write(
+    path: &Path,
+    write: impl FnOnce(&mut dyn Write) -> Result<(), PersistError>,
+) -> Result<(), PersistError> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("db.json");
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        write(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        Ok(())
+    })();
+    match result.and_then(|()| std::fs::rename(&tmp, path).map_err(PersistError::from)) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Best-effort cleanup; the error we report is the write's.
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 /// Loads a database from a file path.
@@ -133,5 +165,57 @@ mod tests {
     fn load_rejects_garbage() {
         assert!(load("not json at all".as_bytes()).is_err());
         assert!(load_from_path(Path::new("/nonexistent/db.json")).is_err());
+    }
+
+    #[test]
+    fn failed_save_leaves_existing_file_intact() {
+        let dir = std::env::temp_dir().join("tdess_persist_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        let db0 = db();
+        save_to_path(&db0, &path).unwrap();
+
+        // A writer that emits partial bytes and then fails — the
+        // shape of a crash mid-serialize.
+        let failed = atomic_write(&path, |w| {
+            w.write_all(b"{\"partial\": ")?;
+            Err(PersistError::Io(std::io::Error::other(
+                "simulated mid-write failure",
+            )))
+        });
+        assert!(failed.is_err());
+
+        // The old file still loads in full and no temp file remains.
+        let db1 = load_from_path(&path).unwrap();
+        assert_eq!(db1.len(), db0.len());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+    }
+
+    #[test]
+    fn save_replaces_existing_file_atomically() {
+        let dir = std::env::temp_dir().join("tdess_persist_replace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        // Seed the path with garbage; a successful save must fully
+        // replace it.
+        std::fs::write(&path, b"not json at all").unwrap();
+        let db0 = db();
+        save_to_path(&db0, &path).unwrap();
+        let db1 = load_from_path(&path).unwrap();
+        assert_eq!(db1.len(), db0.len());
+    }
+
+    #[test]
+    fn save_to_missing_directory_errors() {
+        let db0 = db();
+        assert!(save_to_path(&db0, Path::new("/nonexistent/dir/db.json")).is_err());
     }
 }

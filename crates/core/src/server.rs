@@ -1,99 +1,407 @@
-//! The SERVER tier (§2.2): a thread-safe database handle and parallel
-//! bulk indexing.
+//! The SERVER tier (§2.2): snapshot-isolated concurrent search,
+//! batched queries, query metrics, and parallel bulk indexing.
 //!
 //! The paper's server layer handles "computation-intensive tasks" —
-//! chiefly feature extraction — for many interactive clients. This
-//! module provides:
+//! chiefly feature extraction — for many interactive clients. A naive
+//! reader-writer lock around the database makes one slow query block
+//! every insert (and, under fair locking, queued writers then block
+//! all subsequent readers). This module instead keeps the database
+//! behind an atomically swappable snapshot:
 //!
-//! * [`SearchServer`] — a cloneable handle around the database with
-//!   reader-writer locking: any number of concurrent searches, with
-//!   exclusive access only while inserting/removing;
+//! * [`SearchServer`] — a cloneable handle whose readers clone an
+//!   `Arc<ShapeDatabase>` in a critical section of a few instructions
+//!   and then run *entirely lock-free*: feature extraction, one-shot
+//!   search, and multi-step search all execute against an immutable
+//!   snapshot. Writers serialize on a dedicated mutex, clone the
+//!   current snapshot, mutate the clone, and publish it with a
+//!   pointer swap — a search in flight never delays an insert, and an
+//!   insert never delays a search;
+//! * [`SearchServer::search_batch`] / [`SearchServer::multi_step_batch`]
+//!   — a batch of query meshes fanned out across worker threads, all
+//!   answered from one consistent snapshot;
+//! * [`ServerMetrics`] — queries served, per-kind latency min/mean/max,
+//!   aggregated index-traversal counters, and snapshot-swap count,
+//!   readable via [`SearchServer::metrics`];
 //! * [`bulk_insert`] — feature extraction fanned out across worker
 //!   threads (extraction dominates insert cost by orders of
-//!   magnitude), with the index updates applied sequentially so ids
+//!   magnitude), with the index updates applied in one batch so ids
 //!   remain deterministic in input order.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use tdess_features::FeatureSet;
 use tdess_geom::TriMesh;
+use tdess_index::QueryStats;
 
 use crate::db::{DbError, Query, SearchHit, ShapeDatabase, ShapeId};
-use crate::multistep::{multi_step_search, MultiStepPlan};
+use crate::multistep::{multi_step_search_with_stats, MultiStepPlan};
 
-/// A thread-safe, cloneable handle to a [`ShapeDatabase`].
+/// Latency summary (seconds) for one kind of query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of queries recorded.
+    pub count: u64,
+    /// Fastest query, seconds (0 when no queries ran).
+    pub min_s: f64,
+    /// Mean latency, seconds (0 when no queries ran).
+    pub mean_s: f64,
+    /// Slowest query, seconds (0 when no queries ran).
+    pub max_s: f64,
+}
+
+/// A point-in-time view of the server's query metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerMetrics {
+    /// Total queries served (one-shot + multi-step, batches counted
+    /// per contained query).
+    pub queries_served: u64,
+    /// Latency of one-shot searches (extraction + index search).
+    pub one_shot: LatencyStats,
+    /// Latency of multi-step searches.
+    pub multi_step: LatencyStats,
+    /// Index traversal counters aggregated over every query served.
+    pub index_stats: QueryStats,
+    /// How many times a writer published a new snapshot.
+    pub snapshot_swaps: u64,
+}
+
+/// Running latency accumulator.
+#[derive(Debug, Default)]
+struct LatencyAccum {
+    count: u64,
+    total_s: f64,
+    min_s: f64,
+    max_s: f64,
+}
+
+impl LatencyAccum {
+    fn record(&mut self, elapsed: Duration) {
+        let s = elapsed.as_secs_f64();
+        if self.count == 0 || s < self.min_s {
+            self.min_s = s;
+        }
+        if s > self.max_s {
+            self.max_s = s;
+        }
+        self.count += 1;
+        self.total_s += s;
+    }
+
+    fn summary(&self) -> LatencyStats {
+        LatencyStats {
+            count: self.count,
+            min_s: self.min_s,
+            mean_s: if self.count == 0 {
+                0.0
+            } else {
+                self.total_s / self.count as f64
+            },
+            max_s: self.max_s,
+        }
+    }
+}
+
+/// Interior metrics state, updated under a short mutex.
+#[derive(Debug, Default)]
+struct MetricsAccum {
+    one_shot: LatencyAccum,
+    multi_step: LatencyAccum,
+    index_stats: QueryStats,
+    snapshot_swaps: u64,
+}
+
+/// Which latency accumulator a query records into.
+#[derive(Clone, Copy)]
+enum QueryClass {
+    OneShot,
+    MultiStep,
+}
+
+/// Shared server state.
+struct ServerInner {
+    /// The current immutable snapshot. The lock's critical sections
+    /// only clone or swap the `Arc` — never compute under it.
+    snapshot: RwLock<Arc<ShapeDatabase>>,
+    /// Serializes writers (clone → mutate → publish).
+    writer: Mutex<()>,
+    metrics: Mutex<MetricsAccum>,
+}
+
+/// A thread-safe, cloneable handle to a [`ShapeDatabase`] with
+/// snapshot isolation: reads never block writes and writes never
+/// block reads.
 #[derive(Clone)]
 pub struct SearchServer {
-    inner: Arc<RwLock<ShapeDatabase>>,
+    inner: Arc<ServerInner>,
 }
+
+/// Per-query batch outcome: hits, traversal counters, latency.
+type BatchSlot = (Vec<SearchHit>, QueryStats, Duration);
 
 impl SearchServer {
     /// Wraps a database in a server handle.
     pub fn new(db: ShapeDatabase) -> SearchServer {
         SearchServer {
-            inner: Arc::new(RwLock::new(db)),
+            inner: Arc::new(ServerInner {
+                snapshot: RwLock::new(Arc::new(db)),
+                writer: Mutex::new(()),
+                metrics: Mutex::new(MetricsAccum::default()),
+            }),
         }
     }
 
-    /// Runs a one-shot search under a shared (read) lock.
-    pub fn search_mesh(&self, mesh: &TriMesh, query: &Query) -> Result<Vec<SearchHit>, DbError> {
-        // Extract outside the lock — it is the expensive part and needs
-        // only the extractor configuration.
-        let features = {
-            let db = self.inner.read();
-            db.extractor().extract(mesh)?
-        };
-        Ok(self.inner.read().search(&features, query))
+    /// The current database snapshot. The read-lock critical section
+    /// only clones the `Arc`; everything the caller does with the
+    /// returned snapshot runs lock-free against immutable data and is
+    /// unaffected by (and invisible to) concurrent writers.
+    pub fn snapshot(&self) -> Arc<ShapeDatabase> {
+        self.inner.snapshot.read().clone()
     }
 
-    /// Runs a multi-step search under a shared (read) lock.
+    /// Publishes a new snapshot (callers hold the writer mutex).
+    fn publish(&self, db: ShapeDatabase) {
+        *self.inner.snapshot.write() = Arc::new(db);
+        self.inner.metrics.lock().snapshot_swaps += 1;
+    }
+
+    fn record(&self, class: QueryClass, elapsed: Duration, stats: &QueryStats) {
+        let mut guard = self.inner.metrics.lock();
+        let m = &mut *guard;
+        match class {
+            QueryClass::OneShot => m.one_shot.record(elapsed),
+            QueryClass::MultiStep => m.multi_step.record(elapsed),
+        }
+        m.index_stats.merge(stats);
+    }
+
+    /// Runs a one-shot search against the current snapshot. No lock
+    /// is held during extraction or search.
+    pub fn search_mesh(&self, mesh: &TriMesh, query: &Query) -> Result<Vec<SearchHit>, DbError> {
+        let snap = self.snapshot();
+        let t0 = Instant::now();
+        let features = snap
+            .extractor()
+            .extract(mesh)
+            .map_err(DbError::Extraction)?;
+        let mut stats = QueryStats::default();
+        let hits = snap.search_with_stats(&features, query, &mut stats);
+        self.record(QueryClass::OneShot, t0.elapsed(), &stats);
+        Ok(hits)
+    }
+
+    /// Runs a one-shot search with already-extracted query features
+    /// against the current snapshot.
+    pub fn search_features(&self, features: &FeatureSet, query: &Query) -> Vec<SearchHit> {
+        let snap = self.snapshot();
+        let t0 = Instant::now();
+        let mut stats = QueryStats::default();
+        let hits = snap.search_with_stats(features, query, &mut stats);
+        self.record(QueryClass::OneShot, t0.elapsed(), &stats);
+        hits
+    }
+
+    /// Runs a multi-step search against the current snapshot. No lock
+    /// is held during extraction or search.
     pub fn multi_step_mesh(
         &self,
         mesh: &TriMesh,
         plan: &MultiStepPlan,
     ) -> Result<Vec<SearchHit>, DbError> {
-        let features = {
-            let db = self.inner.read();
-            db.extractor().extract(mesh)?
+        let snap = self.snapshot();
+        let t0 = Instant::now();
+        let features = snap
+            .extractor()
+            .extract(mesh)
+            .map_err(DbError::Extraction)?;
+        let mut stats = QueryStats::default();
+        let hits = multi_step_search_with_stats(&snap, &features, plan, &mut stats);
+        self.record(QueryClass::MultiStep, t0.elapsed(), &stats);
+        Ok(hits)
+    }
+
+    /// Answers a batch of one-shot queries, fanning extraction and
+    /// search across `threads` worker threads. Every query runs
+    /// against the *same* snapshot, so results are mutually
+    /// consistent. Returns `(name, hits)` in input order; the first
+    /// extraction failure (in input order) aborts the batch.
+    pub fn search_batch(
+        &self,
+        queries: Vec<(String, TriMesh)>,
+        query: &Query,
+        threads: usize,
+    ) -> Result<Vec<(String, Vec<SearchHit>)>, DbError> {
+        self.run_batch(
+            queries,
+            threads,
+            QueryClass::OneShot,
+            |db, features, stats| db.search_with_stats(features, query, stats),
+        )
+    }
+
+    /// Answers a batch of multi-step queries across `threads` worker
+    /// threads, all against one snapshot. Returns `(name, hits)` in
+    /// input order; the first extraction failure aborts the batch.
+    pub fn multi_step_batch(
+        &self,
+        queries: Vec<(String, TriMesh)>,
+        plan: &MultiStepPlan,
+        threads: usize,
+    ) -> Result<Vec<(String, Vec<SearchHit>)>, DbError> {
+        self.run_batch(
+            queries,
+            threads,
+            QueryClass::MultiStep,
+            |db, features, stats| multi_step_search_with_stats(db, features, plan, stats),
+        )
+    }
+
+    /// Shared batch driver: one snapshot, a work-stealing counter,
+    /// per-slot results (the [`bulk_insert`] fan-out pattern).
+    fn run_batch(
+        &self,
+        queries: Vec<(String, TriMesh)>,
+        threads: usize,
+        class: QueryClass,
+        run: impl Fn(&ShapeDatabase, &FeatureSet, &mut QueryStats) -> Vec<SearchHit> + Sync,
+    ) -> Result<Vec<(String, Vec<SearchHit>)>, DbError> {
+        let snap = self.snapshot();
+        let threads = threads.max(1);
+        let n = queries.len();
+
+        let run_one = |mesh: &TriMesh| -> Result<BatchSlot, DbError> {
+            let t0 = Instant::now();
+            let features = snap
+                .extractor()
+                .extract(mesh)
+                .map_err(DbError::Extraction)?;
+            let mut stats = QueryStats::default();
+            let hits = run(&snap, &features, &mut stats);
+            Ok((hits, stats, t0.elapsed()))
         };
-        Ok(multi_step_search(&self.inner.read(), &features, plan))
+
+        let mut outcomes: Vec<Result<BatchSlot, DbError>> = Vec::with_capacity(n);
+        if threads == 1 || n <= 1 {
+            for (_, mesh) in &queries {
+                outcomes.push(run_one(mesh));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<RwLock<Option<Result<BatchSlot, DbError>>>> =
+                (0..n).map(|_| RwLock::new(None)).collect();
+            crossbeam::scope(|scope| {
+                for _ in 0..threads.min(n) {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        *slots[i].write() = Some(run_one(&queries[i].1));
+                    });
+                }
+            })
+            .map_err(|_| DbError::WorkerFailure("batch query worker panicked"))?;
+            for cell in slots {
+                outcomes.push(
+                    cell.into_inner()
+                        .ok_or(DbError::WorkerFailure("batch query slot left empty"))?,
+                );
+            }
+        }
+
+        // Fail on the first error in input order, recording metrics
+        // only for a fully successful batch.
+        let mut results = Vec::with_capacity(n);
+        for ((name, _), outcome) in queries.into_iter().zip(outcomes) {
+            let (hits, stats, elapsed) = outcome?;
+            results.push((name, hits, stats, elapsed));
+        }
+        {
+            let mut guard = self.inner.metrics.lock();
+            let m = &mut *guard;
+            let acc = match class {
+                QueryClass::OneShot => &mut m.one_shot,
+                QueryClass::MultiStep => &mut m.multi_step,
+            };
+            for (_, _, stats, elapsed) in &results {
+                acc.record(*elapsed);
+                m.index_stats.merge(stats);
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|(name, hits, _, _)| (name, hits))
+            .collect())
     }
 
-    /// Inserts a shape under an exclusive (write) lock.
+    /// Inserts a shape. Extraction runs before the writer lock is
+    /// taken; the writer then clones the current snapshot, applies
+    /// the insert, and publishes the new snapshot with a pointer
+    /// swap. In-flight searches keep their old snapshot.
     pub fn insert(&self, name: impl Into<String>, mesh: TriMesh) -> Result<ShapeId, DbError> {
-        self.inner.write().insert(name, mesh)
+        let extractor = *self.snapshot().extractor();
+        let features = extractor.extract(&mesh).map_err(DbError::Extraction)?;
+        let _writer = self.inner.writer.lock();
+        let mut db = (*self.snapshot()).clone();
+        let id = db.insert_precomputed(name, mesh, features);
+        self.publish(db);
+        Ok(id)
     }
 
-    /// Removes a shape under an exclusive (write) lock.
+    /// Removes a shape via the same clone-and-publish write path.
     pub fn remove(&self, id: ShapeId) -> Result<(), DbError> {
-        self.inner.write().remove(id).map(|_| ())
+        let _writer = self.inner.writer.lock();
+        let mut db = (*self.snapshot()).clone();
+        db.remove(id)?;
+        self.publish(db);
+        Ok(())
     }
 
-    /// Number of stored shapes.
+    /// Number of stored shapes in the current snapshot.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.snapshot().len()
     }
 
-    /// Whether the database is empty.
+    /// Whether the current snapshot is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.snapshot().is_empty()
     }
 
-    /// Name of a shape, if it exists.
+    /// Name of a shape in the current snapshot, if it exists.
     pub fn name_of(&self, id: ShapeId) -> Option<String> {
-        self.inner.read().get(id).map(|s| s.name.clone())
+        self.snapshot().get(id).map(|s| s.name.clone())
     }
 
-    /// Runs `f` with shared access to the underlying database.
+    /// Runs `f` against the current snapshot. No lock is held while
+    /// `f` runs; everything `f` observes comes from one consistent
+    /// snapshot, however long it takes.
     pub fn with_db<R>(&self, f: impl FnOnce(&ShapeDatabase) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.snapshot())
+    }
+
+    /// A point-in-time copy of the server's query metrics.
+    pub fn metrics(&self) -> ServerMetrics {
+        let m = self.inner.metrics.lock();
+        ServerMetrics {
+            queries_served: m.one_shot.count + m.multi_step.count,
+            one_shot: m.one_shot.summary(),
+            multi_step: m.multi_step.summary(),
+            index_stats: m.index_stats,
+            snapshot_swaps: m.snapshot_swaps,
+        }
     }
 }
 
 /// Inserts many shapes, extracting features on `threads` worker
 /// threads. Returns ids in input order. Extraction failures abort with
 /// the first error encountered (in input order) and leave the database
-/// untouched.
+/// untouched. Index updates are applied in one batch
+/// ([`ShapeDatabase::insert_batch_precomputed`]), so the per-space
+/// `dmax` maintenance costs one pruned diameter pass per feature
+/// space instead of one full scan per inserted shape.
 pub fn bulk_insert(
     db: &mut ShapeDatabase,
     shapes: Vec<(String, TriMesh)>,
@@ -109,13 +417,13 @@ pub fn bulk_insert(
             features.push(extractor.extract(mesh).map_err(DbError::Extraction)?);
         }
     } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Vec<RwLock<Option<Result<tdess_features::FeatureSet, DbError>>>> =
+        let next = AtomicUsize::new(0);
+        let results: Vec<RwLock<Option<Result<FeatureSet, DbError>>>> =
             (0..n).map(|_| RwLock::new(None)).collect();
         crossbeam::scope(|scope| {
             for _ in 0..threads.min(n) {
                 scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
@@ -133,12 +441,12 @@ pub fn bulk_insert(
         }
     }
 
-    // Sequential index updates keep id assignment deterministic.
-    let mut ids = Vec::with_capacity(n);
-    for ((name, mesh), fs) in shapes.into_iter().zip(features) {
-        ids.push(db.insert_precomputed(name, mesh, fs));
-    }
-    Ok(ids)
+    let items = shapes
+        .into_iter()
+        .zip(features)
+        .map(|((name, mesh), fs)| (name, mesh, fs))
+        .collect();
+    Ok(db.insert_batch_precomputed(items))
 }
 
 #[cfg(test)]
@@ -231,6 +539,9 @@ mod tests {
             }
         })
         .unwrap();
+        let m = server.metrics();
+        assert_eq!(m.queries_served, 8);
+        assert_eq!(m.one_shot.count, 8);
     }
 
     #[test]
@@ -245,6 +556,9 @@ mod tests {
         server.remove(id).unwrap();
         assert!(server.is_empty());
         assert!(server.remove(id).is_err());
+        // Two successful writes published two snapshots; the failed
+        // remove published none.
+        assert_eq!(server.metrics().snapshot_swaps, 2);
     }
 
     #[test]
@@ -263,5 +577,101 @@ mod tests {
             )
             .unwrap();
         assert_eq!(hits.len(), 3);
+        let m = server.metrics();
+        assert_eq!(m.multi_step.count, 1);
+        assert!(m.multi_step.max_s >= m.multi_step.min_s);
+    }
+
+    #[test]
+    fn snapshot_unaffected_by_later_writes() {
+        let mut db = ShapeDatabase::new(extractor());
+        bulk_insert(&mut db, meshes(3), 2).unwrap();
+        let server = SearchServer::new(db);
+        let before = server.snapshot();
+        server
+            .insert("late", primitives::uv_sphere(1.0, 12, 6))
+            .unwrap();
+        assert_eq!(before.len(), 3, "old snapshot must not see the insert");
+        assert_eq!(server.len(), 4);
+    }
+
+    #[test]
+    fn search_batch_matches_individual_searches() {
+        let mut db = ShapeDatabase::new(extractor());
+        bulk_insert(&mut db, meshes(5), 2).unwrap();
+        let server = SearchServer::new(db);
+        let queries = meshes(4);
+        let query = Query::top_k(FeatureKind::PrincipalMoments, 3);
+
+        let batched = server.search_batch(queries.clone(), &query, 3).unwrap();
+        assert_eq!(batched.len(), 4);
+        for ((name, mesh), (bname, bhits)) in queries.iter().zip(&batched) {
+            assert_eq!(name, bname);
+            let solo = server.search_mesh(mesh, &query).unwrap();
+            assert_eq!(&solo, bhits, "{name}");
+        }
+        // 4 batched + 4 solo queries recorded.
+        assert_eq!(server.metrics().one_shot.count, 8);
+    }
+
+    #[test]
+    fn multi_step_batch_matches_individual_searches() {
+        let mut db = ShapeDatabase::new(extractor());
+        bulk_insert(&mut db, meshes(6), 2).unwrap();
+        let server = SearchServer::new(db);
+        let plan = MultiStepPlan {
+            steps: vec![FeatureKind::PrincipalMoments, FeatureKind::GeometricParams],
+            candidates: 5,
+            presented: 3,
+        };
+        let queries = meshes(3);
+        let batched = server.multi_step_batch(queries.clone(), &plan, 2).unwrap();
+        for ((name, mesh), (bname, bhits)) in queries.iter().zip(&batched) {
+            assert_eq!(name, bname);
+            let solo = server.multi_step_mesh(mesh, &plan).unwrap();
+            assert_eq!(&solo, bhits, "{name}");
+        }
+    }
+
+    #[test]
+    fn search_batch_propagates_extraction_errors() {
+        let mut db = ShapeDatabase::new(extractor());
+        bulk_insert(&mut db, meshes(3), 2).unwrap();
+        let server = SearchServer::new(db);
+        let mut queries = meshes(3);
+        queries.insert(
+            1,
+            (
+                "degenerate".into(),
+                TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]),
+            ),
+        );
+        let before = server.metrics();
+        let err = server.search_batch(queries, &Query::top_k(FeatureKind::PrincipalMoments, 2), 2);
+        assert!(matches!(err, Err(DbError::Extraction(_))));
+        // A failed batch records nothing.
+        assert_eq!(server.metrics(), before);
+    }
+
+    #[test]
+    fn metrics_latency_and_index_stats_accumulate() {
+        let mut db = ShapeDatabase::new(extractor());
+        bulk_insert(&mut db, meshes(4), 2).unwrap();
+        let server = SearchServer::new(db);
+        let mesh = primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5));
+        for _ in 0..3 {
+            server
+                .search_mesh(&mesh, &Query::top_k(FeatureKind::PrincipalMoments, 2))
+                .unwrap();
+        }
+        let m = server.metrics();
+        assert_eq!(m.queries_served, 3);
+        assert_eq!(m.one_shot.count, 3);
+        assert!(m.one_shot.min_s <= m.one_shot.mean_s);
+        assert!(m.one_shot.mean_s <= m.one_shot.max_s);
+        assert!(m.one_shot.min_s > 0.0);
+        assert!(m.index_stats.nodes_visited > 0);
+        assert!(m.index_stats.entries_checked > 0);
+        assert_eq!(m.snapshot_swaps, 0);
     }
 }

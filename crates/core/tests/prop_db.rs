@@ -1,0 +1,138 @@
+//! Property tests: the indexed (R-tree distance-ball) threshold path
+//! must return exactly the set a brute-force similarity scan returns,
+//! for any point configuration and any threshold — including the
+//! boundary thresholds that sit exactly on a stored similarity, where
+//! float rounding in `d/dmax` used to make the two paths disagree.
+
+use proptest::prelude::*;
+
+use tdess_core::{similarity, weighted_distance, Query, ShapeDatabase, Weights};
+use tdess_features::{FeatureExtractor, FeatureKind, FeatureSet};
+use tdess_geom::{primitives, TriMesh, Vec3};
+
+/// A feature set whose principal-moments vector is `p`, with every
+/// other space deterministically derived at its proper dimension
+/// (those spaces are indexed too, so they must be well-formed).
+fn synth_features(ex: &FeatureExtractor, p: &[f64]) -> FeatureSet {
+    let fill = |dim: usize| -> Vec<f64> {
+        (0..dim)
+            .map(|i| p[i % p.len()] * (1.0 + 0.25 * i as f64))
+            .collect()
+    };
+    FeatureSet {
+        moment_invariants: fill(ex.dim(FeatureKind::MomentInvariants)),
+        geometric: fill(ex.dim(FeatureKind::GeometricParams)),
+        principal_moments: p.to_vec(),
+        eigenvalues: fill(ex.dim(FeatureKind::Eigenvalues)),
+        higher_order: fill(ex.dim(FeatureKind::HigherOrder)),
+        shape_distribution: fill(ex.dim(FeatureKind::ShapeDistribution)),
+        shell_histogram: fill(ex.dim(FeatureKind::ShellHistogram)),
+    }
+}
+
+fn db_from_points(pts: &[Vec<f64>]) -> (ShapeDatabase, FeatureExtractor) {
+    let ex = FeatureExtractor {
+        voxel_resolution: 8,
+        ..Default::default()
+    };
+    let mesh: TriMesh = primitives::box_mesh(Vec3::ONE); // never extracted
+    let mut db = ShapeDatabase::new(ex);
+    for (i, p) in pts.iter().enumerate() {
+        db.insert_precomputed(format!("p{i}"), mesh.clone(), synth_features(&ex, p));
+    }
+    (db, ex)
+}
+
+/// Brute-force reference: ids whose similarity to the query meets the
+/// threshold, computed exactly as the weighted-scan path does.
+fn scan_ids(db: &ShapeDatabase, qf: &FeatureSet, kind: FeatureKind, t: f64) -> Vec<u64> {
+    let dmax = db.dmax(kind);
+    let mut ids: Vec<u64> = db
+        .shapes()
+        .iter()
+        .filter(|s| {
+            let d = weighted_distance(qf.get(kind), s.features.get(kind), &Weights::unit());
+            similarity(d, dmax) >= t
+        })
+        .map(|s| s.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn indexed_ids(db: &ShapeDatabase, qf: &FeatureSet, kind: FeatureKind, t: f64) -> Vec<u64> {
+    let mut ids: Vec<u64> = db
+        .search(qf, &Query::threshold(kind, t))
+        .into_iter()
+        .map(|h| h.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn threshold_matches_similarity_scan(
+        pts in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3..=3), 1..40),
+        q in prop::collection::vec(-60.0f64..60.0, 3..=3),
+        t in 0.0f64..1.0,
+    ) {
+        let (db, ex) = db_from_points(&pts);
+        let qf = synth_features(&ex, &q);
+        let kind = FeatureKind::PrincipalMoments;
+        prop_assert_eq!(
+            indexed_ids(&db, &qf, kind, t),
+            scan_ids(&db, &qf, kind, t),
+            "threshold {}", t
+        );
+    }
+
+    #[test]
+    fn threshold_matches_scan_on_exact_boundaries(
+        pts in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3..=3), 2..30),
+        q in prop::collection::vec(-60.0f64..60.0, 3..=3),
+        pick in 0usize..64,
+    ) {
+        let (db, ex) = db_from_points(&pts);
+        let qf = synth_features(&ex, &q);
+        let kind = FeatureKind::PrincipalMoments;
+        // Use a stored shape's own similarity as the threshold — the
+        // boundary case where rounding in the ball radius used to
+        // drop (or keep) shapes the scan path treated differently.
+        let s = &db.shapes()[pick % db.len()];
+        let d = weighted_distance(qf.get(kind), s.features.get(kind), &Weights::unit());
+        let t = similarity(d, db.dmax(kind));
+        prop_assert_eq!(
+            indexed_ids(&db, &qf, kind, t),
+            scan_ids(&db, &qf, kind, t),
+            "boundary threshold {}", t
+        );
+    }
+}
+
+/// Degenerate geometry the random strategies rarely produce: all
+/// stored points identical (`dmax = 0`) with an external query, and
+/// the zero threshold whose clamp admits every shape.
+#[test]
+fn threshold_degenerate_cases_agree() {
+    let pts = vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]];
+    let (db, ex) = db_from_points(&pts);
+    let kind = FeatureKind::PrincipalMoments;
+    let far = synth_features(&ex, &[9.0, 9.0, 9.0]);
+    let near = synth_features(&ex, &[1.0, 2.0, 3.0]);
+    for (qf, label) in [(&far, "far"), (&near, "near")] {
+        for t in [0.0, 0.5, 1.0] {
+            assert_eq!(
+                indexed_ids(&db, qf, kind, t),
+                scan_ids(&db, qf, kind, t),
+                "{label} query, threshold {t}"
+            );
+        }
+    }
+    // dmax = 0, external query: zero threshold admits everything even
+    // though no distance ball around the query contains the points.
+    assert_eq!(indexed_ids(&db, &far, kind, 0.0).len(), 2);
+    assert_eq!(indexed_ids(&db, &far, kind, 0.5).len(), 0);
+}

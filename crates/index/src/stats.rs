@@ -21,6 +21,22 @@ impl QueryStats {
         self.leaves_visited += other.leaves_visited;
         self.entries_checked += other.entries_checked;
     }
+
+    /// Total node accesses (the paper's index-cost measure): every
+    /// inner or leaf node touched during traversal.
+    pub fn node_accesses(&self) -> usize {
+        self.nodes_visited
+    }
+}
+
+impl std::fmt::Display for QueryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} node accesses ({} leaves), {} entries checked",
+            self.nodes_visited, self.leaves_visited, self.entries_checked
+        )
+    }
 }
 
 #[cfg(test)]

@@ -21,8 +21,8 @@ use std::process::ExitCode;
 
 use threedess::cluster::HierarchyParams;
 use threedess::core::{
-    load_from_path, multi_step_search, save_to_path, BrowseTree, MultiStepPlan, Query, QueryMode,
-    ShapeDatabase, Weights,
+    load_from_path, save_to_path, BrowseTree, MultiStepPlan, Query, QueryMode, SearchServer,
+    ServerMetrics, ShapeDatabase, Weights,
 };
 use threedess::dataset::build_corpus;
 use threedess::features::{FeatureExtractor, FeatureKind};
@@ -192,7 +192,36 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     if db.len() > 20 {
         println!("  ... and {} more", db.len() - 20);
     }
+    // Server-tier health check: probe every feature space with the
+    // first shape's own features and report the query metrics.
+    if !db.is_empty() {
+        let server = SearchServer::new(db);
+        let probe = server.snapshot().shapes()[0].features.clone();
+        for kind in FeatureKind::ALL {
+            server.search_features(&probe, &Query::top_k(kind, 5));
+        }
+        print_metrics(&server.metrics());
+    }
     Ok(())
+}
+
+/// Prints the server's query metrics in the shared CLI footer format.
+fn print_metrics(m: &ServerMetrics) {
+    println!("server metrics:");
+    println!("  queries served: {}", m.queries_served);
+    for (label, lat) in [("one-shot", &m.one_shot), ("multi-step", &m.multi_step)] {
+        if lat.count > 0 {
+            println!(
+                "  {:10} latency: min {:.3} ms  mean {:.3} ms  max {:.3} ms  ({} queries)",
+                label,
+                lat.min_s * 1e3,
+                lat.mean_s * 1e3,
+                lat.max_s * 1e3,
+                lat.count
+            );
+        }
+    }
+    println!("  index: {}", m.index_stats);
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
@@ -214,7 +243,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             .unwrap_or(10);
         QueryMode::TopK(k)
     };
-    let hits = db
+    let server = SearchServer::new(db);
+    let hits = server
         .search_mesh(
             &mesh,
             &Query {
@@ -224,6 +254,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             },
         )
         .map_err(|e| e.to_string())?;
+    let db = server.snapshot();
     println!("{} results ({})", hits.len(), kind.label());
     for (rank, h) in hits.iter().enumerate() {
         let s = db.get(h.id).expect("hit exists");
@@ -235,6 +266,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             h.distance
         );
     }
+    print_metrics(&server.metrics());
     // Optional result thumbnails — the SERVER tier's "3D view
     // generation" for terminals.
     if let Some(dir) = flag(&flags, "render") {
@@ -271,21 +303,24 @@ fn cmd_multistep(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
         .transpose()?
         .unwrap_or(10);
-    let features = db.extract_query(&mesh).map_err(|e| e.to_string())?;
-    let hits = multi_step_search(
-        &db,
-        &features,
-        &MultiStepPlan {
-            steps,
-            candidates,
-            presented,
-        },
-    );
+    let server = SearchServer::new(db);
+    let hits = server
+        .multi_step_mesh(
+            &mesh,
+            &MultiStepPlan {
+                steps,
+                candidates,
+                presented,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    let db = server.snapshot();
     println!("{} results (multi-step)", hits.len());
     for (rank, h) in hits.iter().enumerate() {
         let s = db.get(h.id).expect("hit exists");
         println!("{:3}. {:24} sim {:.3}", rank + 1, s.name, h.similarity);
     }
+    print_metrics(&server.metrics());
     Ok(())
 }
 
