@@ -1,0 +1,243 @@
+//! NET-tier throughput: requests per second over loopback TCP,
+//! 1 client thread vs 8.
+//!
+//! Complements `tab_server_throughput` (which drives the
+//! [`SearchServer`] in-process): here every request crosses the full
+//! `tdess-net` stack — frame encode, loopback socket, bounded worker
+//! pool, dispatch, frame decode — so the delta between the two tables
+//! is the cost of the wire. Two workloads per thread count: `ping`
+//! (pure transport overhead) and one-shot top-10 searches with
+//! pre-extracted features (transport + query processing).
+//!
+//! Outputs:
+//! * `BENCH_net_throughput.json` — machine-readable numbers
+//!   (including `available_parallelism`, since the speedup ceiling is
+//!   the host's core count);
+//! * `results/tab_net_throughput.txt` — the rendered table.
+//!
+//! `--smoke` runs a small corpus subset at low voxel resolution for
+//! CI: same code path, seconds instead of minutes.
+
+use std::time::Instant;
+
+use tdess_bench::{standard_corpus, CORPUS_SEED, RESOLUTION};
+use tdess_core::{bulk_insert, Query, SearchServer, ShapeDatabase};
+use tdess_eval::render_table;
+use tdess_features::{FeatureExtractor, FeatureKind, FeatureSet};
+use tdess_geom::TriMesh;
+use tdess_net::{NetClient, NetServer, NetServerConfig};
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (resolution, take, requests) = if smoke {
+        (12, 12, 200)
+    } else {
+        (RESOLUTION, usize::MAX, 2000)
+    };
+
+    let corpus = standard_corpus();
+    let shapes: Vec<(String, TriMesh)> = corpus
+        .shapes
+        .iter()
+        .take(take)
+        .map(|s| (s.name.clone(), s.mesh.clone()))
+        .collect();
+    let n = shapes.len();
+    eprintln!(
+        "[setup] indexing {n} shapes at voxel resolution {resolution} (seed {CORPUS_SEED})..."
+    );
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: resolution,
+        ..Default::default()
+    });
+    match bulk_insert(&mut db, shapes, 8) {
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("error: corpus indexing failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    // Pre-extracted query features: the bench measures the wire +
+    // query processing, not repeated feature extraction.
+    let queries: Vec<FeatureSet> = db.shapes().iter().map(|s| s.features.clone()).collect();
+    let mut server = match NetServer::bind(
+        "127.0.0.1:0",
+        SearchServer::new(db),
+        NetServerConfig {
+            workers: THREAD_COUNTS[1],
+            ..Default::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: binding loopback server: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr();
+    eprintln!("[setup] serving on {addr}.");
+
+    let parallelism = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let query = Query::top_k(FeatureKind::PrincipalMoments, 10);
+
+    // (workload, threads, secs, req/s) per run.
+    let mut runs: Vec<(&str, usize, f64, f64)> = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let secs = run_clients(addr, threads, requests, |client, _| {
+            client.ping().map_err(|e| e.to_string())
+        });
+        runs.push(("ping", threads, secs, requests as f64 / secs));
+    }
+    for &threads in &THREAD_COUNTS {
+        let queries = &queries;
+        let query = &query;
+        let secs = run_clients(addr, threads, requests, move |client, i| {
+            let features = &queries[i % queries.len()];
+            let report = client
+                .search_features(features, query)
+                .map_err(|e| e.to_string())?;
+            if report.hits.is_empty() {
+                return Err("search returned no hits".to_string());
+            }
+            Ok(())
+        });
+        runs.push(("one-shot top-10", threads, secs, requests as f64 / secs));
+    }
+
+    let speedup = |workload: &str| -> f64 {
+        let rps_at = |t: usize| {
+            runs.iter()
+                .find(|(w, th, _, _)| *w == workload && *th == t)
+                .map_or(f64::NAN, |&(_, _, _, rps)| rps)
+        };
+        rps_at(THREAD_COUNTS[1]) / rps_at(THREAD_COUNTS[0])
+    };
+
+    let table = render_table(
+        &[
+            "workload",
+            "client threads",
+            "total s",
+            "requests/s",
+            "speedup",
+        ],
+        &runs
+            .iter()
+            .map(|&(workload, threads, secs, rps)| {
+                vec![
+                    workload.to_string(),
+                    threads.to_string(),
+                    format!("{secs:.3}"),
+                    format!("{rps:.1}"),
+                    if threads == THREAD_COUNTS[0] {
+                        "1.0x (baseline)".to_string()
+                    } else {
+                        format!("{:.2}x", speedup(workload))
+                    },
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let title = format!(
+        "NET-tier throughput — {requests} loopback requests per run over {n} shapes, host parallelism {parallelism}{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+    println!("\n{title}");
+    println!("{table}");
+
+    // Joining the workers (shutdown) makes the counters final before
+    // they are reported.
+    server.shutdown();
+    let transport = server.transport_stats();
+    println!("transport counters after all runs:");
+    println!(
+        "  {} connections accepted, {} rejected; {} frames decoded, {} decode errors; {} requests served",
+        transport.connections_accepted,
+        transport.connections_rejected,
+        transport.frames_decoded,
+        transport.decode_errors,
+        transport.requests_served
+    );
+
+    let json = serde_json::json!({
+        "bench": "tab_net_throughput",
+        "smoke": smoke,
+        "available_parallelism": parallelism,
+        "corpus_size": n,
+        "voxel_resolution": resolution,
+        "requests_per_run": requests,
+        "runs": runs.iter().map(|&(workload, threads, secs, rps)| serde_json::json!({
+            "workload": workload,
+            "client_threads": threads,
+            "total_s": secs,
+            "requests_per_s": rps,
+        })).collect::<Vec<_>>(),
+        "speedup_8_vs_1": serde_json::json!({
+            "ping": speedup("ping"),
+            "one_shot": speedup("one-shot top-10"),
+        }),
+        "transport": serde_json::json!({
+            "connections_accepted": transport.connections_accepted,
+            "connections_rejected": transport.connections_rejected,
+            "frames_decoded": transport.frames_decoded,
+            "decode_errors": transport.decode_errors,
+            "requests_served": transport.requests_served,
+        }),
+    });
+    let pretty = match serde_json::to_string_pretty(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: serializing results: {e}");
+            std::process::exit(1);
+        }
+    };
+    write_or_die("BENCH_net_throughput.json", &pretty);
+    if !smoke {
+        let _ = std::fs::create_dir_all("results");
+        write_or_die(
+            "results/tab_net_throughput.txt",
+            &format!("{title}\n{table}\n"),
+        );
+    }
+}
+
+/// Spreads `total` requests across `threads` clients (one connection
+/// each) and returns the wall-clock seconds for all of them.
+fn run_clients<F>(addr: std::net::SocketAddr, threads: usize, total: usize, work: F) -> f64
+where
+    F: Fn(&mut NetClient, usize) -> Result<(), String> + Sync,
+{
+    let per_thread = total / threads.max(1);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let work = &work;
+            scope.spawn(move || {
+                let mut client = match NetClient::connect_default(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("error: client connect: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                for i in 0..per_thread {
+                    if let Err(e) = work(&mut client, t * per_thread + i) {
+                        eprintln!("error: request failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: writing {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[out] wrote {path}");
+}

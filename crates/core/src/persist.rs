@@ -11,13 +11,56 @@ use std::path::Path;
 
 use crate::db::ShapeDatabase;
 
+/// The file operation a [`PersistError::File`] failure occurred in —
+/// distinguishing a failed temp-file create from a failed fsync or
+/// rename, so a `tdess serve --db <path>` startup failure (or a
+/// save on a read-only filesystem) is diagnosable from the message
+/// alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileOp {
+    /// Opening an existing file for reading.
+    Open,
+    /// Creating the sibling temporary file.
+    CreateTemp,
+    /// Streaming the serialized bytes into the temporary file.
+    WriteTemp,
+    /// Fsyncing the temporary file.
+    Sync,
+    /// Renaming the temporary file over the target.
+    Rename,
+}
+
+impl FileOp {
+    /// Human-readable operation name used in error messages.
+    fn label(self) -> &'static str {
+        match self {
+            FileOp::Open => "open",
+            FileOp::CreateTemp => "create temp file",
+            FileOp::WriteTemp => "write temp file",
+            FileOp::Sync => "fsync temp file",
+            FileOp::Rename => "rename temp file over target",
+        }
+    }
+}
+
 /// Errors from persistence operations.
 #[derive(Debug)]
 pub enum PersistError {
-    /// Underlying I/O failure.
+    /// Underlying I/O failure on a caller-supplied reader/writer
+    /// (no path is known at this level).
     Io(std::io::Error),
     /// Serialization/deserialization failure.
     Serde(serde_json::Error),
+    /// An I/O failure on a named file, tagged with the operation that
+    /// failed and the path it failed on.
+    File {
+        /// Which step of the save/load failed.
+        op: FileOp,
+        /// The file the operation was applied to.
+        path: std::path::PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -25,11 +68,22 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "I/O error: {e}"),
             PersistError::Serde(e) => write!(f, "serialization error: {e}"),
+            PersistError::File { op, path, source } => {
+                write!(f, "{} `{}`: {source}", op.label(), path.display())
+            }
         }
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Serde(e) => Some(e),
+            PersistError::File { source, .. } => Some(source),
+        }
+    }
+}
 
 impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
@@ -41,6 +95,15 @@ impl From<serde_json::Error> for PersistError {
     fn from(e: serde_json::Error) -> Self {
         PersistError::Serde(e)
     }
+}
+
+/// Tags an I/O result with the file operation and path it belongs to.
+fn file_ctx<T>(r: std::io::Result<T>, op: FileOp, path: &Path) -> Result<T, PersistError> {
+    r.map_err(|source| PersistError::File {
+        op,
+        path: path.to_path_buf(),
+        source,
+    })
 }
 
 /// Serializes the database to a writer as JSON.
@@ -78,13 +141,14 @@ fn atomic_write(
         .unwrap_or("db.json");
     let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
     let result = (|| {
-        let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        let file = file_ctx(std::fs::File::create(&tmp), FileOp::CreateTemp, &tmp)?;
+        let mut w = std::io::BufWriter::new(file);
         write(&mut w)?;
-        w.flush()?;
-        w.get_ref().sync_all()?;
+        file_ctx(w.flush(), FileOp::WriteTemp, &tmp)?;
+        file_ctx(w.get_ref().sync_all(), FileOp::Sync, &tmp)?;
         Ok(())
     })();
-    match result.and_then(|()| std::fs::rename(&tmp, path).map_err(PersistError::from)) {
+    match result.and_then(|()| file_ctx(std::fs::rename(&tmp, path), FileOp::Rename, path)) {
         Ok(()) => Ok(()),
         Err(e) => {
             // Best-effort cleanup; the error we report is the write's.
@@ -94,10 +158,12 @@ fn atomic_write(
     }
 }
 
-/// Loads a database from a file path.
+/// Loads a database from a file path. A missing or unreadable file
+/// reports the path and the failed operation, not just the raw I/O
+/// error.
 pub fn load_from_path(path: &Path) -> Result<ShapeDatabase, PersistError> {
-    let file = std::io::BufReader::new(std::fs::File::open(path)?);
-    load(file)
+    let file = file_ctx(std::fs::File::open(path), FileOp::Open, path)?;
+    load(std::io::BufReader::new(file))
 }
 
 #[cfg(test)]
@@ -217,5 +283,37 @@ mod tests {
     fn save_to_missing_directory_errors() {
         let db0 = db();
         assert!(save_to_path(&db0, Path::new("/nonexistent/dir/db.json")).is_err());
+    }
+
+    #[test]
+    fn file_errors_name_path_and_operation() {
+        let db0 = db();
+        // Failed save: the temp-file create is the failing step, and
+        // the message says so, with the path it tried.
+        let err = save_to_path(&db0, Path::new("/nonexistent/dir/db.json"))
+            .expect_err("save into missing dir");
+        assert!(matches!(
+            err,
+            PersistError::File {
+                op: FileOp::CreateTemp,
+                ..
+            }
+        ));
+        let msg = err.to_string();
+        assert!(msg.contains("create temp file"), "{msg}");
+        assert!(msg.contains("/nonexistent/dir/"), "{msg}");
+
+        // Failed load: open is the failing step.
+        let err = load_from_path(Path::new("/nonexistent/db.json")).expect_err("load missing file");
+        assert!(matches!(
+            err,
+            PersistError::File {
+                op: FileOp::Open,
+                ..
+            }
+        ));
+        let msg = err.to_string();
+        assert!(msg.starts_with("open"), "{msg}");
+        assert!(msg.contains("/nonexistent/db.json"), "{msg}");
     }
 }

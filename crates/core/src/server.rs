@@ -63,6 +63,11 @@ pub struct ServerMetrics {
     pub one_shot: LatencyStats,
     /// Latency of multi-step searches.
     pub multi_step: LatencyStats,
+    /// End-to-end request handling latency recorded by a transport
+    /// layer (e.g. `tdess-net`: frame decode + dispatch + encode).
+    /// Zero for servers only driven in-process.
+    #[serde(default)]
+    pub transport: LatencyStats,
     /// Index traversal counters aggregated over every query served.
     pub index_stats: QueryStats,
     /// How many times a writer published a new snapshot.
@@ -110,6 +115,7 @@ impl LatencyAccum {
 struct MetricsAccum {
     one_shot: LatencyAccum,
     multi_step: LatencyAccum,
+    transport: LatencyAccum,
     index_stats: QueryStats,
     snapshot_swaps: u64,
 }
@@ -382,6 +388,13 @@ impl SearchServer {
         f(&self.snapshot())
     }
 
+    /// Records the end-to-end handling latency of one transport-level
+    /// request (decode + dispatch + encode). Called by network front
+    /// ends such as `tdess-net`; in-process callers never need it.
+    pub fn record_transport(&self, elapsed: Duration) {
+        self.inner.metrics.lock().transport.record(elapsed);
+    }
+
     /// A point-in-time copy of the server's query metrics.
     pub fn metrics(&self) -> ServerMetrics {
         let m = self.inner.metrics.lock();
@@ -389,6 +402,7 @@ impl SearchServer {
             queries_served: m.one_shot.count + m.multi_step.count,
             one_shot: m.one_shot.summary(),
             multi_step: m.multi_step.summary(),
+            transport: m.transport.summary(),
             index_stats: m.index_stats,
             snapshot_swaps: m.snapshot_swaps,
         }

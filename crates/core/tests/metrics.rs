@@ -1,0 +1,165 @@
+//! Aggregation tests for [`ServerMetrics`]/[`LatencyStats`] under
+//! concurrent recorders: min/mean/max invariants, counter
+//! conservation, and snapshot-swap monotonicity.
+
+use std::time::Duration;
+
+use tdess_core::{Query, SearchServer, ServerMetrics, ShapeDatabase};
+use tdess_features::{FeatureExtractor, FeatureKind};
+use tdess_geom::{primitives, Vec3};
+
+fn server() -> SearchServer {
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: 12,
+        ..Default::default()
+    });
+    db.insert("box", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)))
+        .unwrap();
+    db.insert("sphere", primitives::uv_sphere(1.0, 10, 5))
+        .unwrap();
+    db.insert("rod", primitives::cylinder(0.3, 4.0, 10))
+        .unwrap();
+    SearchServer::new(db)
+}
+
+/// The invariants every non-empty latency summary must satisfy.
+fn check_latency(l: &tdess_core::LatencyStats) {
+    assert!(l.count > 0);
+    assert!(l.min_s >= 0.0);
+    assert!(l.min_s <= l.mean_s, "min {} > mean {}", l.min_s, l.mean_s);
+    assert!(l.mean_s <= l.max_s, "mean {} > max {}", l.mean_s, l.max_s);
+    assert!(l.min_s.is_finite() && l.mean_s.is_finite() && l.max_s.is_finite());
+}
+
+#[test]
+fn fresh_server_reports_zeroed_latencies() {
+    let m = server().metrics();
+    assert_eq!(m.queries_served, 0);
+    assert_eq!(m.one_shot, Default::default());
+    assert_eq!(m.multi_step, Default::default());
+    assert_eq!(m.transport, Default::default());
+    assert_eq!(m.snapshot_swaps, 0);
+}
+
+#[test]
+fn concurrent_transport_recorders_aggregate_exactly() {
+    let server = server();
+    // Each of 8 threads records the same known durations; the global
+    // min/max are then exactly the smallest/largest of the set, and
+    // count proves no record was lost to a race.
+    let durations = [1u64, 2, 4, 8, 16].map(Duration::from_millis);
+    let threads = 8;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                for d in durations {
+                    server.record_transport(d);
+                }
+            });
+        }
+    });
+    let t = server.metrics().transport;
+    assert_eq!(t.count, threads * durations.len() as u64);
+    assert_eq!(t.min_s, Duration::from_millis(1).as_secs_f64());
+    assert_eq!(t.max_s, Duration::from_millis(16).as_secs_f64());
+    // The exact mean of the recorded set, independent of interleaving
+    // (addition of these values is exact well within 1e-12).
+    let expect_mean =
+        durations.iter().map(Duration::as_secs_f64).sum::<f64>() / durations.len() as f64;
+    assert!((t.mean_s - expect_mean).abs() < 1e-12);
+    check_latency(&t);
+}
+
+#[test]
+fn concurrent_queries_conserve_counts() {
+    let server = server();
+    let probe = server.snapshot().shapes()[0].features.clone();
+    let threads = 8;
+    let per_thread = 10;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                for _ in 0..per_thread {
+                    let hits = server
+                        .search_features(&probe, &Query::top_k(FeatureKind::PrincipalMoments, 2));
+                    assert_eq!(hits.len(), 2);
+                }
+            });
+        }
+    });
+    let m = server.metrics();
+    assert_eq!(m.queries_served, threads * per_thread);
+    assert_eq!(m.one_shot.count, threads * per_thread);
+    assert_eq!(m.multi_step.count, 0);
+    check_latency(&m.one_shot);
+    // Index work was recorded for every query.
+    assert!(m.index_stats.nodes_visited >= threads as usize * per_thread as usize);
+}
+
+#[test]
+fn snapshot_swaps_are_monotonic_and_count_writes() {
+    let server = server();
+    let mut last = server.metrics();
+    assert_eq!(last.snapshot_swaps, 0);
+    for i in 0..5 {
+        let id = server
+            .insert(format!("extra-{i}"), primitives::box_mesh(Vec3::ONE))
+            .unwrap();
+        let m = server.metrics();
+        // One write, one published snapshot; reads never roll it back.
+        assert_eq!(m.snapshot_swaps, last.snapshot_swaps + 1);
+        // Writes alone record no query latency.
+        assert_eq!(m.one_shot, last.one_shot);
+        assert_eq!(m.queries_served, last.queries_served);
+        last = m;
+        if i == 4 {
+            server.remove(id).unwrap();
+            assert_eq!(server.metrics().snapshot_swaps, last.snapshot_swaps + 1);
+        }
+    }
+}
+
+#[test]
+fn concurrent_writers_and_readers_agree_on_totals() {
+    let server = server();
+    let probe = server.snapshot().shapes()[0].features.clone();
+    let writers = 4;
+    let writes_per = 3;
+    let readers = 4;
+    let reads_per = 8;
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let server = &server;
+            scope.spawn(move || {
+                for i in 0..writes_per {
+                    server
+                        .insert(
+                            format!("w{w}-{i}"),
+                            primitives::box_mesh(Vec3::new(1.0 + i as f64, 1.0, 1.0)),
+                        )
+                        .unwrap();
+                }
+            });
+        }
+        for _ in 0..readers {
+            let server = &server;
+            let probe = probe.clone();
+            scope.spawn(move || {
+                let mut seen = 0;
+                for _ in 0..reads_per {
+                    server.search_features(&probe, &Query::top_k(FeatureKind::Eigenvalues, 1));
+                    // Monotonic under concurrency: successive metric
+                    // snapshots never lose swaps or served queries.
+                    let m: ServerMetrics = server.metrics();
+                    assert!(m.snapshot_swaps >= seen);
+                    seen = m.snapshot_swaps;
+                }
+            });
+        }
+    });
+    let m = server.metrics();
+    assert_eq!(m.snapshot_swaps, writers * writes_per);
+    assert_eq!(m.queries_served, readers * reads_per);
+    assert_eq!(m.one_shot.count, readers * reads_per);
+    check_latency(&m.one_shot);
+}

@@ -1,0 +1,33 @@
+//! # tdess-net — the 3DESS network tier
+//!
+//! Exposes a [`tdess_core::SearchServer`] over TCP:
+//!
+//! * **protocol** ([`proto`]) — length-prefixed framed wire format
+//!   with JSON payloads, a version-checked handshake, typed
+//!   [`proto::Request`]/[`proto::Response`] enums, and decode errors
+//!   that are typed values, never panics;
+//! * **server** ([`server`]) — [`NetServer`], a bounded thread-pool
+//!   front end with explicit backpressure (`Busy` replies when the
+//!   accept queue is full), per-connection timeouts, transport
+//!   counters, and a graceful shutdown that never drops an in-flight
+//!   request;
+//! * **client** ([`client`]) — [`NetClient`], a blocking typed client
+//!   with connect/request timeouts and reconnect-on-broken-pipe for
+//!   idempotent requests.
+//!
+//! See DESIGN.md §"NET tier" for the frame layout, handshake, and
+//! timeout/backpressure defaults.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{NetClient, NetClientConfig};
+pub use proto::{
+    ErrorKind, ErrorReply, Hello, HitsReport, InfoReport, NamedHit, Request, Response, SpaceInfo,
+    StatsReport, TransportStats, WireError, DEFAULT_MAX_FRAME_LEN, MAGIC, PROTOCOL_VERSION,
+};
+pub use server::{NetServer, NetServerConfig, TransportCounters};

@@ -1,0 +1,583 @@
+//! The 3DESS wire protocol: length-prefixed frames carrying
+//! JSON-encoded, externally tagged [`Request`]/[`Response`] payloads,
+//! preceded by a version-checked [`Hello`] handshake.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | u32 LE length  |  length bytes of payload  |
+//! +----------------+---------------------------+
+//! ```
+//!
+//! The payload is UTF-8 JSON (the same `serde` encoding the
+//! persistence layer uses, so meshes and feature vectors round-trip
+//! bit-identically — floats print as the shortest string that parses
+//! back to the same bits). A frame whose declared length exceeds the
+//! agreed maximum ([`DEFAULT_MAX_FRAME_LEN`] unless configured
+//! otherwise) is answered with a [`ErrorKind::FrameTooLarge`] error
+//! and drained, not trusted: decode errors are *typed* ([`WireError`])
+//! and never panic on malformed or truncated input.
+//!
+//! ## Handshake
+//!
+//! The first frame a client sends is a [`Hello`] (magic string +
+//! protocol version). The server answers [`Response::HelloAck`] on a
+//! match and a [`ErrorKind::VersionMismatch`] error otherwise. Every
+//! subsequent client frame is a [`Request`]; every server frame is a
+//! [`Response`].
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+use tdess_core::MultiStepPlan;
+use tdess_core::{Query, SearchHit, ServerMetrics, ShapeDatabase, ShapeId};
+use tdess_features::{FeatureKind, FeatureSet};
+use tdess_geom::TriMesh;
+
+/// Version of the wire protocol spoken by this build. Bumped on any
+/// incompatible frame or payload change; the handshake rejects peers
+/// speaking a different version.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Magic string carried in the handshake so a 3DESS endpoint can
+/// reject arbitrary TCP traffic with a typed error instead of a
+/// confusing decode failure.
+pub const MAGIC: &str = "tdess";
+
+/// Default hard cap on a frame's payload length (32 MiB — comfortably
+/// above any corpus mesh, far below a memory-exhaustion attack).
+pub const DEFAULT_MAX_FRAME_LEN: usize = 32 * 1024 * 1024;
+
+/// The handshake frame: first thing on the wire from a client.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hello {
+    /// Must equal [`MAGIC`].
+    pub magic: String,
+    /// Must equal the server's [`PROTOCOL_VERSION`].
+    pub version: u32,
+}
+
+impl Hello {
+    /// The handshake this build sends.
+    pub fn current() -> Hello {
+        Hello {
+            magic: MAGIC.to_string(),
+            version: PROTOCOL_VERSION,
+        }
+    }
+
+    /// Whether this hello is acceptable to this build.
+    pub fn compatible(&self) -> bool {
+        self.magic == MAGIC && self.version == PROTOCOL_VERSION
+    }
+}
+
+/// A client request. One frame each; the server answers every request
+/// with exactly one [`Response`] frame on the same connection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// One-shot search with already-extracted query features.
+    SearchFeatures {
+        /// The query's feature vectors (extracted with settings
+        /// compatible with the server's database).
+        features: FeatureSet,
+        /// Feature space, weights, and selection mode.
+        query: Query,
+    },
+    /// One-shot query-by-example: the server extracts features.
+    SearchMesh {
+        /// The query mesh.
+        mesh: TriMesh,
+        /// Feature space, weights, and selection mode.
+        query: Query,
+    },
+    /// Multi-step search (candidate retrieval + re-ranking).
+    MultiStep {
+        /// The query mesh.
+        mesh: TriMesh,
+        /// Step sequence and candidate/presented counts.
+        plan: MultiStepPlan,
+    },
+    /// Insert a shape into the served database (in-memory snapshot;
+    /// the server's on-disk file is not rewritten per insert).
+    Insert {
+        /// Human-readable shape name.
+        name: String,
+        /// The shape's mesh.
+        mesh: TriMesh,
+    },
+    /// Remove a shape by id.
+    Remove {
+        /// Database id to remove.
+        id: ShapeId,
+    },
+    /// Database summary (shape count, extractor settings, per-space
+    /// dimensions and diameters).
+    Info,
+    /// Query + transport metrics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+impl Request {
+    /// Whether retrying this request after a connection failure is
+    /// safe (it does not mutate the database).
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Request::Insert { .. } | Request::Remove { .. })
+    }
+}
+
+/// One search result, with the shape's name resolved server-side so
+/// clients need no follow-up lookup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedHit {
+    /// Database id of the matching shape.
+    pub id: ShapeId,
+    /// The shape's name in the served database.
+    pub name: String,
+    /// Weighted Euclidean distance to the query (Eq. 4.3).
+    pub distance: f64,
+    /// Similarity (Eq. 4.4).
+    pub similarity: f64,
+}
+
+/// Payload of a search response: ranked hits with names resolved.
+///
+/// Also the `--json` output of the local `tdess query`/`multistep`
+/// CLI verbs — one source of truth for machine-readable results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HitsReport {
+    /// Ranked results, most similar first.
+    pub hits: Vec<NamedHit>,
+}
+
+impl HitsReport {
+    /// Resolves hit names against `db` (the snapshot the search ran
+    /// on). A hit whose shape vanished concurrently gets an empty
+    /// name rather than an error.
+    pub fn new(db: &ShapeDatabase, hits: &[SearchHit]) -> HitsReport {
+        HitsReport {
+            hits: hits
+                .iter()
+                .map(|h| NamedHit {
+                    id: h.id,
+                    name: db.get(h.id).map(|s| s.name.clone()).unwrap_or_default(),
+                    distance: h.distance,
+                    similarity: h.similarity,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-feature-space summary inside an [`InfoReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceInfo {
+    /// The feature space.
+    pub kind: FeatureKind,
+    /// Its vector dimension.
+    pub dim: usize,
+    /// Its similarity-normalization diameter.
+    pub dmax: f64,
+}
+
+/// Payload of an Info response; also the `--json` output of the local
+/// `tdess info` verb.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfoReport {
+    /// Number of stored shapes.
+    pub shapes: usize,
+    /// The extractor's voxel resolution.
+    pub voxel_resolution: usize,
+    /// The extractor's eigenvalue-spectrum dimension.
+    pub spectrum_dim: usize,
+    /// One entry per feature space.
+    pub spaces: Vec<SpaceInfo>,
+}
+
+impl InfoReport {
+    /// Builds the report for a database snapshot.
+    pub fn for_db(db: &ShapeDatabase) -> InfoReport {
+        InfoReport {
+            shapes: db.len(),
+            voxel_resolution: db.extractor().voxel_resolution,
+            spectrum_dim: db.extractor().spectrum_dim,
+            spaces: FeatureKind::ALL
+                .into_iter()
+                .map(|kind| SpaceInfo {
+                    kind,
+                    dim: db.extractor().dim(kind),
+                    dmax: db.dmax(kind),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Transport-level counters maintained by the network server,
+/// reported alongside the query metrics in a [`StatsReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Connections accepted into the worker pool.
+    pub connections_accepted: u64,
+    /// Connections turned away with a `Busy` (queue full) or
+    /// `Shutdown` reply.
+    pub connections_rejected: u64,
+    /// Frames whose payload decoded into a valid handshake/request.
+    pub frames_decoded: u64,
+    /// Frames rejected as malformed, truncated, or over-limit.
+    pub decode_errors: u64,
+    /// Requests answered with a response frame.
+    pub requests_served: u64,
+}
+
+/// Payload of a Stats response; also the `--json` output of the
+/// remote `tdess remote <addr> stats` verb.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Number of stored shapes at snapshot time.
+    pub shapes: usize,
+    /// Query metrics of the wrapped [`tdess_core::SearchServer`].
+    pub server: ServerMetrics,
+    /// Transport counters of the network front end.
+    pub transport: TransportStats,
+}
+
+/// Machine-readable category of a server-reported error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Handshake magic/version did not match.
+    VersionMismatch,
+    /// A frame exceeded the server's maximum payload length.
+    FrameTooLarge,
+    /// A frame's payload was not a valid request.
+    Malformed,
+    /// The accept queue was full; retry later.
+    Busy,
+    /// The server is shutting down; no new requests are accepted.
+    Shutdown,
+    /// Feature extraction failed for the submitted mesh.
+    Extraction,
+    /// The referenced shape id does not exist.
+    UnknownShape,
+    /// Any other server-side failure.
+    Internal,
+}
+
+/// A typed error reply: category plus human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Machine-readable category.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorReply {
+    /// Convenience constructor.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ErrorReply {
+        ErrorReply {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+/// A server response. Exactly one per request (and one `HelloAck` or
+/// error for the handshake).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Handshake accepted; carries the server's protocol version.
+    HelloAck {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Ranked search results.
+    Hits(HitsReport),
+    /// A shape was inserted.
+    Inserted {
+        /// The id assigned by the server.
+        id: ShapeId,
+    },
+    /// A shape was removed.
+    Removed {
+        /// The id that was removed.
+        id: ShapeId,
+    },
+    /// Database summary.
+    Info(InfoReport),
+    /// Query + transport metrics.
+    Stats(StatsReport),
+    /// Liveness reply.
+    Pong,
+    /// The request failed; the connection stays usable.
+    Error(ErrorReply),
+}
+
+/// Errors crossing the wire layer — every decode failure is typed;
+/// nothing in this module panics on hostile input.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level I/O failure (includes read/write timeouts).
+    Io(std::io::Error),
+    /// The peer closed the connection mid-frame.
+    Truncated {
+        /// Bytes actually received.
+        got: usize,
+        /// Bytes the frame header promised.
+        want: usize,
+    },
+    /// A frame's declared payload length exceeds the agreed maximum.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// The payload was not valid UTF-8 JSON for the expected type.
+    Malformed(String),
+    /// The handshake failed (bad magic, version, or unexpected reply).
+    Handshake(String),
+    /// The peer sent a response of an unexpected type.
+    Protocol(String),
+    /// The server answered with a typed error reply.
+    Remote(ErrorReply),
+    /// The connection closed cleanly where a frame was required.
+    Disconnected,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "network I/O error: {e}"),
+            WireError::Truncated { got, want } => {
+                write!(f, "connection closed mid-frame ({got}/{want} bytes)")
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            WireError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+            WireError::Handshake(msg) => write!(f, "handshake failed: {msg}"),
+            WireError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            WireError::Remote(reply) => write!(f, "server error — {reply}"),
+            WireError::Disconnected => write!(f, "connection closed by peer"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether this failure means the underlying connection is gone
+    /// (as opposed to a per-request error on a healthy connection) —
+    /// the condition under which [`crate::NetClient`] reconnects.
+    pub fn is_disconnect(&self) -> bool {
+        match self {
+            WireError::Disconnected | WireError::Truncated { .. } => true,
+            WireError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::NotConnected
+            ),
+            _ => false,
+        }
+    }
+}
+
+/// Serializes a value into a frame payload.
+pub fn encode<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
+    serde_json::to_string(value)
+        .map(String::into_bytes)
+        .map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Deserializes a frame payload into a value.
+pub fn decode<T: Deserialize>(payload: &[u8]) -> Result<T, WireError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| WireError::Malformed(format!("payload is not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Writes one frame: 4-byte little-endian payload length, then the
+/// payload, then a flush.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    if u32::try_from(payload.len()).is_err() {
+        return Err(WireError::FrameTooLarge {
+            len: payload.len(),
+            max: u32::MAX as usize,
+        });
+    }
+    let mut header: Vec<u8> = Vec::with_capacity(4);
+    header.put_u32_le(payload.len() as u32);
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads up to `buf.len()` bytes, stopping early only at EOF. Returns
+/// the number of bytes actually read.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF before the
+/// first header byte (the peer hung up between frames); every other
+/// short read is a typed [`WireError::Truncated`]. A declared length
+/// over `max_len` returns [`WireError::FrameTooLarge`] without
+/// reading (or allocating) the payload.
+pub fn read_frame<R: Read>(r: &mut R, max_len: usize) -> Result<Option<Vec<u8>>, WireError> {
+    let mut header = [0u8; 4];
+    let got = read_full(r, &mut header)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < header.len() {
+        return Err(WireError::Truncated {
+            got,
+            want: header.len(),
+        });
+    }
+    let len = (&header[..]).get_u32_le() as usize;
+    if len > max_len {
+        return Err(WireError::FrameTooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len];
+    let got = read_full(r, &mut payload)?;
+    if got < len {
+        return Err(WireError::Truncated { got, want: len });
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur: &[u8] = &buf;
+        assert_eq!(read_frame(&mut cur, 1024).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur, 1024).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cur, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_typed_errors() {
+        // Partial header.
+        let mut cur: &[u8] = &[1, 2];
+        assert!(matches!(
+            read_frame(&mut cur, 1024),
+            Err(WireError::Truncated { got: 2, want: 4 })
+        ));
+        // Header promising more payload than exists.
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        buf.truncate(7); // 4-byte header + 3 of 6 payload bytes
+        let mut cur: &[u8] = &buf;
+        assert!(matches!(
+            read_frame(&mut cur, 1024),
+            Err(WireError::Truncated { got: 3, want: 6 })
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocation() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u32_le(u32::MAX);
+        let mut cur: &[u8] = &buf;
+        assert!(matches!(
+            read_frame(&mut cur, 1024),
+            Err(WireError::FrameTooLarge { max: 1024, .. })
+        ));
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let req = Request::Remove { id: 42 };
+        let payload = encode(&req).unwrap();
+        let back: Request = decode(&payload).unwrap();
+        assert!(matches!(back, Request::Remove { id: 42 }));
+
+        let resp = Response::Error(ErrorReply::new(ErrorKind::Busy, "queue full"));
+        let payload = encode(&resp).unwrap();
+        let back: Response = decode(&payload).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn garbage_payload_is_a_typed_decode_error() {
+        assert!(matches!(
+            decode::<Request>(b"{ not json"),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode::<Request>(&[0xff, 0xfe, 0x00]),
+            Err(WireError::Malformed(_))
+        ));
+        // Valid JSON, wrong shape.
+        assert!(matches!(
+            decode::<Request>(b"{\"NoSuchVariant\": 1}"),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn hello_compatibility() {
+        assert!(Hello::current().compatible());
+        let old = Hello {
+            magic: MAGIC.into(),
+            version: PROTOCOL_VERSION + 1,
+        };
+        assert!(!old.compatible());
+        let alien = Hello {
+            magic: "http".into(),
+            version: PROTOCOL_VERSION,
+        };
+        assert!(!alien.compatible());
+    }
+
+    #[test]
+    fn idempotence_classification() {
+        assert!(Request::Ping.is_idempotent());
+        assert!(Request::Info.is_idempotent());
+        assert!(!Request::Remove { id: 1 }.is_idempotent());
+    }
+}

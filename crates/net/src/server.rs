@@ -1,0 +1,646 @@
+//! The network front end: a bounded thread-pool TCP server exposing a
+//! [`SearchServer`] over the framed wire protocol of [`crate::proto`].
+//!
+//! ## Architecture
+//!
+//! One accept thread pushes connections into a bounded crossbeam
+//! channel; a fixed pool of worker threads pops them and runs one
+//! connection each to completion (handshake, then a request/response
+//! loop). When the queue is full the accept thread answers the
+//! connection with a [`ErrorKind::Busy`] error frame and drops it —
+//! backpressure is explicit, never an unbounded thread spawn.
+//!
+//! ## Timeouts and shutdown
+//!
+//! Worker sockets run with a short poll interval so a blocked read can
+//! observe the shutdown flag. The read deadline is armed only once the
+//! first byte of a frame arrives: an idle keep-alive connection may
+//! sit forever, but a peer that starts a frame must finish it within
+//! [`NetServerConfig::read_timeout`]. On [`NetServer::shutdown`] the
+//! listener stops accepting, queued-but-unstarted connections are
+//! answered with [`ErrorKind::Shutdown`], and connections mid-request
+//! finish their in-flight request before closing — no accepted request
+//! is ever dropped.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use tdess_core::{DbError, QueryMode, SearchServer, Weights};
+use tdess_features::{FeatureKind, FeatureSet};
+
+use crate::proto::{
+    decode, encode, write_frame, ErrorKind, ErrorReply, Hello, HitsReport, InfoReport, Request,
+    Response, StatsReport, TransportStats, WireError, DEFAULT_MAX_FRAME_LEN, MAGIC,
+    PROTOCOL_VERSION,
+};
+
+/// Tuning knobs for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Worker threads; each runs one connection at a time.
+    pub workers: usize,
+    /// Accepted connections waiting for a free worker; beyond this the
+    /// server answers [`ErrorKind::Busy`].
+    pub queue_depth: usize,
+    /// Time budget for a peer to deliver a frame once its first byte
+    /// has arrived. Idle time between frames is not limited.
+    pub read_timeout: Duration,
+    /// Socket write timeout for response frames.
+    pub write_timeout: Duration,
+    /// Hard cap on a frame's payload length.
+    pub max_frame_len: usize,
+    /// How often a blocked read wakes to check the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> NetServerConfig {
+        NetServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Lock-free transport counters, snapshotted into
+/// [`TransportStats`] for `Stats` responses.
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    frames_decoded: AtomicU64,
+    decode_errors: AtomicU64,
+    requests_served: AtomicU64,
+}
+
+impl TransportCounters {
+    /// A consistent-enough copy for reporting (individual counters are
+    /// read independently; exact cross-counter consistency is not
+    /// promised).
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+        }
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// State shared by the accept thread and all workers.
+struct NetShared {
+    search: SearchServer,
+    cfg: NetServerConfig,
+    shutdown: AtomicBool,
+    counters: TransportCounters,
+}
+
+/// A running TCP front end over a [`SearchServer`]. Dropping the
+/// handle shuts the server down gracefully.
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` and starts the accept thread plus worker pool.
+    /// Pass port 0 to bind an ephemeral port; [`NetServer::local_addr`]
+    /// reports the actual one.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        search: SearchServer,
+        cfg: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(NetShared {
+            search,
+            cfg: cfg.clone(),
+            shutdown: AtomicBool::new(false),
+            counters: TransportCounters::default(),
+        });
+
+        let (tx, rx) = channel::bounded::<TcpStream>(cfg.queue_depth.max(1));
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for i in 0..cfg.workers.max(1) {
+            let rx = rx.clone();
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("tdess-net-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &shared))?;
+            workers.push(handle);
+        }
+        drop(rx);
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("tdess-net-accept".to_string())
+            .spawn(move || accept_loop(&listener, &tx, &accept_shared))?;
+
+        Ok(NetServer {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The address the listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the transport counters.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, drain the queue (answering
+    /// not-yet-started connections with [`ErrorKind::Shutdown`]), let
+    /// every in-flight request finish, and join all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection; if the
+        // listener already failed this is a harmless refused dial.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(250));
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // The accept thread dropped the Sender; workers drain the
+        // queue and exit on the resulting channel disconnect.
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accepts connections until shutdown, pushing them into the bounded
+/// worker queue and answering with `Busy` when it is full.
+fn accept_loop(listener: &TcpListener, tx: &channel::Sender<TcpStream>, shared: &NetShared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            // The stream that woke us (often the shutdown dial itself)
+            // is turned away like any late arrival.
+            if let Ok(stream) = stream {
+                reject(
+                    shared,
+                    stream,
+                    ErrorKind::Shutdown,
+                    "server is shutting down",
+                );
+            }
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            // Transient per-connection failures (peer gone before
+            // accept) don't kill the listener.
+            Err(_) => continue,
+        };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(channel::TrySendError::Full(stream)) => {
+                reject(
+                    shared,
+                    stream,
+                    ErrorKind::Busy,
+                    "accept queue is full; retry",
+                );
+            }
+            Err(channel::TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+/// Answers a turned-away connection with one typed error frame.
+fn reject(shared: &NetShared, mut stream: TcpStream, kind: ErrorKind, message: &str) {
+    TransportCounters::bump(&shared.counters.connections_rejected);
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    if let Ok(payload) = encode(&Response::Error(ErrorReply::new(kind, message))) {
+        let _ = write_frame(&mut stream, &payload);
+    }
+}
+
+/// Worker body: pop connections until the channel disconnects (accept
+/// thread gone) and the queue is drained.
+fn worker_loop(rx: &channel::Receiver<TcpStream>, shared: &NetShared) {
+    while let Ok(stream) = rx.recv() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Queued but never started: turned away, not half-served.
+            reject(
+                shared,
+                stream,
+                ErrorKind::Shutdown,
+                "server is shutting down",
+            );
+            continue;
+        }
+        TransportCounters::bump(&shared.counters.connections_accepted);
+        handle_connection(shared, stream);
+    }
+}
+
+/// What a shutdown-aware frame read produced.
+enum Incoming {
+    /// A complete in-limit frame payload.
+    Frame(Vec<u8>),
+    /// Clean EOF between frames, or shutdown observed while idle.
+    Closed,
+    /// An over-limit frame, fully drained off the wire so the
+    /// connection stays usable.
+    TooLarge { len: usize, max: usize },
+}
+
+/// One connection's socket plus the read policy applied to it.
+struct Conn<'a> {
+    stream: TcpStream,
+    shared: &'a NetShared,
+}
+
+impl Conn<'_> {
+    /// Sends one response frame.
+    fn send(&mut self, resp: &Response) -> Result<(), WireError> {
+        let payload = encode(resp)?;
+        write_frame(&mut self.stream, &payload)
+    }
+
+    /// Reads the next frame, polling so the shutdown flag is observed
+    /// while idle. The read deadline starts at the frame's first byte,
+    /// so a request already on the wire always completes.
+    fn next_frame(&mut self) -> Result<Incoming, WireError> {
+        let mut header = [0u8; 4];
+        let deadline = match self.fill(&mut header, None)? {
+            FillOutcome::Done(deadline) => deadline,
+            FillOutcome::Idle => return Ok(Incoming::Closed),
+        };
+        let len = u32::from_le_bytes(header) as usize;
+        let max = self.shared.cfg.max_frame_len;
+        if len > max {
+            self.drain(len, deadline)?;
+            return Ok(Incoming::TooLarge { len, max });
+        }
+        let mut payload = vec![0u8; len];
+        match self.fill(&mut payload, Some(deadline))? {
+            FillOutcome::Done(_) => Ok(Incoming::Frame(payload)),
+            FillOutcome::Idle => Err(WireError::Disconnected),
+        }
+    }
+
+    /// Fills `buf` completely. With `deadline: None` the first loop
+    /// iteration is "idle": a clean EOF or an observed shutdown flag
+    /// returns [`FillOutcome::Idle`] instead of an error, and the
+    /// deadline is armed when the first byte lands.
+    fn fill(
+        &mut self,
+        buf: &mut [u8],
+        deadline: Option<Instant>,
+    ) -> Result<FillOutcome, WireError> {
+        let mut filled = 0;
+        let mut deadline = deadline;
+        while filled < buf.len() {
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    if filled == 0 && deadline.is_none() {
+                        return Ok(FillOutcome::Idle);
+                    }
+                    return Err(WireError::Truncated {
+                        got: filled,
+                        want: buf.len(),
+                    });
+                }
+                Ok(n) => {
+                    if deadline.is_none() {
+                        deadline = Some(Instant::now() + self.shared.cfg.read_timeout);
+                    }
+                    filled += n;
+                }
+                Err(e) if is_poll_timeout(&e) => match deadline {
+                    None => {
+                        if self.shared.shutdown.load(Ordering::Acquire) {
+                            return Ok(FillOutcome::Idle);
+                        }
+                    }
+                    Some(d) => {
+                        if Instant::now() >= d {
+                            return Err(WireError::Io(std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                "frame read exceeded the read timeout",
+                            )));
+                        }
+                    }
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        let armed = deadline.unwrap_or_else(|| Instant::now() + self.shared.cfg.read_timeout);
+        Ok(FillOutcome::Done(armed))
+    }
+
+    /// Reads and discards `remaining` payload bytes of an over-limit
+    /// frame in fixed-size chunks (never allocating the declared
+    /// length), honoring `deadline`.
+    fn drain(&mut self, mut remaining: usize, deadline: Instant) -> Result<(), WireError> {
+        let mut chunk = [0u8; 16 * 1024];
+        while remaining > 0 {
+            let want = remaining.min(chunk.len());
+            match self.stream.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    return Err(WireError::Truncated {
+                        got: 0,
+                        want: remaining,
+                    })
+                }
+                Ok(n) => remaining -= n,
+                Err(e) if is_poll_timeout(&e) => {
+                    if Instant::now() >= deadline {
+                        return Err(WireError::Io(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "oversized frame drain exceeded the read timeout",
+                        )));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of [`Conn::fill`].
+enum FillOutcome {
+    /// Buffer filled; carries the deadline armed at the first byte.
+    Done(Instant),
+    /// Nothing arrived and the connection is done (EOF or shutdown).
+    Idle,
+}
+
+/// Whether an I/O error is the poll-interval timeout (platform reports
+/// `WouldBlock` or `TimedOut` for an expired `SO_RCVTIMEO`).
+fn is_poll_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Runs one connection to completion: handshake, then request frames
+/// until the peer hangs up, a fatal transport error occurs, or
+/// shutdown is observed between frames.
+fn handle_connection(shared: &NetShared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let mut conn = Conn { stream, shared };
+
+    if !handshake(&mut conn) {
+        return;
+    }
+
+    loop {
+        match conn.next_frame() {
+            Ok(Incoming::Closed) => return,
+            Ok(Incoming::TooLarge { len, max }) => {
+                TransportCounters::bump(&shared.counters.decode_errors);
+                let reply = Response::Error(ErrorReply::new(
+                    ErrorKind::FrameTooLarge,
+                    format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                ));
+                if conn.send(&reply).is_err() {
+                    return;
+                }
+            }
+            Ok(Incoming::Frame(payload)) => {
+                let t0 = Instant::now();
+                let resp = match decode::<Request>(&payload) {
+                    Ok(req) => {
+                        TransportCounters::bump(&shared.counters.frames_decoded);
+                        dispatch(shared, req)
+                    }
+                    Err(e) => {
+                        TransportCounters::bump(&shared.counters.decode_errors);
+                        Response::Error(ErrorReply::new(ErrorKind::Malformed, e.to_string()))
+                    }
+                };
+                if conn.send(&resp).is_err() {
+                    return;
+                }
+                TransportCounters::bump(&shared.counters.requests_served);
+                shared.search.record_transport(t0.elapsed());
+            }
+            Err(_) => {
+                TransportCounters::bump(&shared.counters.decode_errors);
+                return;
+            }
+        }
+    }
+}
+
+/// Performs the server side of the handshake. Returns whether the
+/// connection may proceed to the request loop.
+fn handshake(conn: &mut Conn<'_>) -> bool {
+    let shared = conn.shared;
+    match conn.next_frame() {
+        Ok(Incoming::Closed) => false,
+        Ok(Incoming::TooLarge { len, max }) => {
+            TransportCounters::bump(&shared.counters.decode_errors);
+            let _ = conn.send(&Response::Error(ErrorReply::new(
+                ErrorKind::FrameTooLarge,
+                format!("handshake frame of {len} bytes exceeds the {max}-byte limit"),
+            )));
+            false
+        }
+        Ok(Incoming::Frame(payload)) => match decode::<Hello>(&payload) {
+            Ok(hello) if hello.compatible() => {
+                TransportCounters::bump(&shared.counters.frames_decoded);
+                conn.send(&Response::HelloAck {
+                    version: PROTOCOL_VERSION,
+                })
+                .is_ok()
+            }
+            Ok(hello) => {
+                TransportCounters::bump(&shared.counters.decode_errors);
+                let _ = conn.send(&Response::Error(ErrorReply::new(
+                    ErrorKind::VersionMismatch,
+                    format!(
+                        "peer speaks {}/v{}, this server speaks {MAGIC}/v{PROTOCOL_VERSION}",
+                        hello.magic, hello.version
+                    ),
+                )));
+                false
+            }
+            Err(e) => {
+                TransportCounters::bump(&shared.counters.decode_errors);
+                let _ = conn.send(&Response::Error(ErrorReply::new(
+                    ErrorKind::Malformed,
+                    format!("expected Hello handshake: {e}"),
+                )));
+                false
+            }
+        },
+        Err(_) => {
+            TransportCounters::bump(&shared.counters.decode_errors);
+            false
+        }
+    }
+}
+
+/// Validates the parts of a request that the core layer `assert!`s on,
+/// so a hostile or buggy client gets a typed error instead of panicking
+/// a worker thread.
+fn validate(shared: &NetShared, req: &Request) -> Result<(), ErrorReply> {
+    match req {
+        Request::SearchFeatures { features, query } => {
+            validate_features(shared, features)?;
+            validate_query(shared, query.kind, &query.weights, &query.mode)
+        }
+        Request::SearchMesh { mesh: _, query } => {
+            validate_query(shared, query.kind, &query.weights, &query.mode)
+        }
+        Request::MultiStep { mesh: _, plan } => {
+            if plan.steps.is_empty() {
+                return Err(ErrorReply::new(
+                    ErrorKind::Malformed,
+                    "multi-step plan needs at least one step",
+                ));
+            }
+            if plan.candidates == 0 || plan.presented == 0 {
+                return Err(ErrorReply::new(
+                    ErrorKind::Malformed,
+                    "multi-step candidate and presented counts must be at least 1",
+                ));
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Checks a query's weights (length + finiteness) and threshold range.
+fn validate_query(
+    shared: &NetShared,
+    kind: FeatureKind,
+    weights: &Weights,
+    mode: &QueryMode,
+) -> Result<(), ErrorReply> {
+    let dim = shared.search.with_db(|db| db.extractor().dim(kind));
+    if let Weights(Some(w)) = weights {
+        if w.len() != dim {
+            return Err(ErrorReply::new(
+                ErrorKind::Malformed,
+                format!("{} weights for a {dim}-dimensional space", w.len()),
+            ));
+        }
+        if !w.iter().all(|v| v.is_finite() && *v >= 0.0) {
+            return Err(ErrorReply::new(
+                ErrorKind::Malformed,
+                "weights must be finite and non-negative",
+            ));
+        }
+    }
+    if let QueryMode::Threshold(s) = mode {
+        if !(0.0..=1.0).contains(s) {
+            return Err(ErrorReply::new(
+                ErrorKind::Malformed,
+                format!("similarity threshold {s} outside [0, 1]"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a submitted feature set: every space's vector must match the
+/// server extractor's dimension and contain only finite values.
+fn validate_features(shared: &NetShared, features: &FeatureSet) -> Result<(), ErrorReply> {
+    for kind in FeatureKind::ALL {
+        let dim = shared.search.with_db(|db| db.extractor().dim(kind));
+        let v = features.get(kind);
+        if v.len() != dim {
+            return Err(ErrorReply::new(
+                ErrorKind::Malformed,
+                format!(
+                    "{kind:?} vector has {} values, server expects {dim}",
+                    v.len()
+                ),
+            ));
+        }
+        if !v.iter().all(|x| x.is_finite()) {
+            return Err(ErrorReply::new(
+                ErrorKind::Malformed,
+                format!("{kind:?} vector contains non-finite values"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Executes one validated request against the wrapped [`SearchServer`].
+fn dispatch(shared: &NetShared, req: Request) -> Response {
+    if let Err(reply) = validate(shared, &req) {
+        return Response::Error(reply);
+    }
+    let search = &shared.search;
+    match req {
+        Request::SearchFeatures { features, query } => {
+            let snap = search.snapshot();
+            let hits = search.search_features(&features, &query);
+            Response::Hits(HitsReport::new(&snap, &hits))
+        }
+        Request::SearchMesh { mesh, query } => match search.search_mesh(&mesh, &query) {
+            Ok(hits) => Response::Hits(HitsReport::new(&search.snapshot(), &hits)),
+            Err(e) => db_error_reply(&e),
+        },
+        Request::MultiStep { mesh, plan } => match search.multi_step_mesh(&mesh, &plan) {
+            Ok(hits) => Response::Hits(HitsReport::new(&search.snapshot(), &hits)),
+            Err(e) => db_error_reply(&e),
+        },
+        Request::Insert { name, mesh } => match search.insert(name, mesh) {
+            Ok(id) => Response::Inserted { id },
+            Err(e) => db_error_reply(&e),
+        },
+        Request::Remove { id } => match search.remove(id) {
+            Ok(()) => Response::Removed { id },
+            Err(e) => db_error_reply(&e),
+        },
+        Request::Info => Response::Info(InfoReport::for_db(&search.snapshot())),
+        Request::Stats => Response::Stats(StatsReport {
+            shapes: search.len(),
+            server: search.metrics(),
+            transport: shared.counters.snapshot(),
+        }),
+        Request::Ping => Response::Pong,
+    }
+}
+
+/// Maps a core database error onto a typed wire error reply.
+fn db_error_reply(e: &DbError) -> Response {
+    let kind = match e {
+        DbError::Extraction(_) => ErrorKind::Extraction,
+        DbError::UnknownShape(_) => ErrorKind::UnknownShape,
+        DbError::WorkerFailure(_) => ErrorKind::Internal,
+    };
+    Response::Error(ErrorReply::new(kind, e.to_string()))
+}

@@ -1,0 +1,421 @@
+//! Loopback integration tests for the network tier: concurrent
+//! clients against an in-process baseline, hostile frames, explicit
+//! backpressure, and graceful shutdown with zero dropped in-flight
+//! requests.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use tdess_core::{MultiStepPlan, Query, SearchServer, ShapeDatabase};
+use tdess_features::{FeatureExtractor, FeatureKind};
+use tdess_geom::{primitives, Vec3};
+use tdess_net::proto::{
+    decode, encode, read_frame, write_frame, Hello, Request, Response, PROTOCOL_VERSION,
+};
+use tdess_net::{
+    ErrorKind, HitsReport, NetClient, NetClientConfig, NetServer, NetServerConfig, WireError,
+};
+
+fn small_db() -> ShapeDatabase {
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: 12,
+        ..Default::default()
+    });
+    db.insert("box", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)))
+        .unwrap();
+    db.insert("cube", primitives::box_mesh(Vec3::ONE)).unwrap();
+    db.insert("sphere", primitives::uv_sphere(1.0, 10, 5))
+        .unwrap();
+    db.insert("rod", primitives::cylinder(0.3, 4.0, 10))
+        .unwrap();
+    db.insert("torus", primitives::torus(1.5, 0.4, 10, 6))
+        .unwrap();
+    db
+}
+
+fn serve(cfg: NetServerConfig) -> NetServer {
+    NetServer::bind("127.0.0.1:0", SearchServer::new(small_db()), cfg).unwrap()
+}
+
+/// Raw-socket handshake, for tests that need frame-level control.
+fn raw_handshake(addr: std::net::SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_frame(&mut stream, &encode(&Hello::current()).unwrap()).unwrap();
+    let reply = read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    assert!(matches!(
+        decode::<Response>(&reply).unwrap(),
+        Response::HelloAck {
+            version: PROTOCOL_VERSION
+        }
+    ));
+    stream
+}
+
+#[test]
+fn concurrent_clients_are_byte_identical_to_in_process() {
+    let mut server = serve(NetServerConfig {
+        workers: 8,
+        ..Default::default()
+    });
+    let addr = server.local_addr();
+
+    // In-process baseline over the same corpus (separate but
+    // identically built database — construction is deterministic).
+    let baseline = SearchServer::new(small_db());
+    let snap = baseline.snapshot();
+    let query_mesh = primitives::box_mesh(Vec3::new(1.9, 1.1, 0.6));
+    let features = snap.extractor().extract(&query_mesh).unwrap();
+    let query = Query::top_k(FeatureKind::MomentInvariants, 4);
+    let plan = MultiStepPlan {
+        steps: vec![FeatureKind::PrincipalMoments, FeatureKind::MomentInvariants],
+        candidates: 4,
+        presented: 3,
+    };
+
+    let expect_features = HitsReport::new(&snap, &baseline.search_features(&features, &query));
+    let expect_mesh = HitsReport::new(&snap, &baseline.search_mesh(&query_mesh, &query).unwrap());
+    let expect_multi = HitsReport::new(
+        &snap,
+        &baseline.multi_step_mesh(&query_mesh, &plan).unwrap(),
+    );
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let features = features.clone();
+            let query = query.clone();
+            let query_mesh = query_mesh.clone();
+            let plan = plan.clone();
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect_default(addr).unwrap();
+                let by_features = client.search_features(&features, &query).unwrap();
+                let by_mesh = client.search_mesh(&query_mesh, &query).unwrap();
+                let multi = client.multi_step(&query_mesh, &plan).unwrap();
+                let info = client.info().unwrap();
+                (by_features, by_mesh, multi, info)
+            })
+        })
+        .collect();
+
+    for h in handles {
+        let (by_features, by_mesh, multi, info) = h.join().unwrap();
+        // Byte-identical: the JSON the wire carried re-serializes to
+        // exactly the bytes the in-process reports produce.
+        assert_eq!(
+            serde_json::to_string(&by_features).unwrap(),
+            serde_json::to_string(&expect_features).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&by_mesh).unwrap(),
+            serde_json::to_string(&expect_mesh).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&multi).unwrap(),
+            serde_json::to_string(&expect_multi).unwrap()
+        );
+        assert_eq!(info.shapes, 5);
+        assert_eq!(info.voxel_resolution, 12);
+    }
+
+    // Joining the workers (shutdown) makes the counters final —
+    // requests_served is bumped after the response frame is written,
+    // so a client can observe its reply before the bump lands.
+    server.shutdown();
+    let stats = server.transport_stats();
+    assert_eq!(stats.connections_accepted, 8);
+    assert_eq!(stats.requests_served, 8 * 4);
+    assert_eq!(stats.decode_errors, 0);
+}
+
+#[test]
+fn hostile_frames_get_typed_errors_and_the_connection_survives() {
+    let mut server = serve(NetServerConfig {
+        workers: 2,
+        max_frame_len: 1024,
+        ..Default::default()
+    });
+    let mut stream = raw_handshake(server.local_addr());
+
+    // Garbage payload: typed Malformed error, connection stays up.
+    write_frame(&mut stream, b"{ definitely not a request").unwrap();
+    let reply = read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    match decode::<Response>(&reply).unwrap() {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::Malformed),
+        other => panic!("expected Malformed error, got {other:?}"),
+    }
+
+    // Oversized frame: typed FrameTooLarge error, payload drained,
+    // connection stays up.
+    let big = vec![b'x'; 4096];
+    write_frame(&mut stream, &big).unwrap();
+    let reply = read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    match decode::<Response>(&reply).unwrap() {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::FrameTooLarge),
+        other => panic!("expected FrameTooLarge error, got {other:?}"),
+    }
+
+    // The same connection still answers a valid request.
+    write_frame(&mut stream, &encode(&Request::Ping).unwrap()).unwrap();
+    let reply = read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    assert!(matches!(
+        decode::<Response>(&reply).unwrap(),
+        Response::Pong
+    ));
+
+    let stats = server.transport_stats();
+    assert_eq!(stats.decode_errors, 2);
+    server.shutdown();
+}
+
+#[test]
+fn version_mismatch_is_rejected_with_a_typed_error() {
+    let server = serve(NetServerConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let hello = Hello {
+        magic: "tdess".into(),
+        version: PROTOCOL_VERSION + 7,
+    };
+    write_frame(&mut stream, &encode(&hello).unwrap()).unwrap();
+    let reply = read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    match decode::<Response>(&reply).unwrap() {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::VersionMismatch),
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn requests_that_would_panic_the_core_get_typed_errors() {
+    let server = serve(NetServerConfig::default());
+    let mut client = NetClient::connect_default(server.local_addr()).unwrap();
+
+    // Empty multi-step plan (the core asserts on this).
+    let err = client
+        .multi_step(
+            &primitives::box_mesh(Vec3::ONE),
+            &MultiStepPlan {
+                steps: vec![],
+                candidates: 4,
+                presented: 3,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, WireError::Remote(e) if e.kind == ErrorKind::Malformed));
+
+    // Out-of-range similarity threshold (the core asserts on this).
+    let snap = SearchServer::new(small_db()).snapshot();
+    let features = snap
+        .extractor()
+        .extract(&primitives::box_mesh(Vec3::ONE))
+        .unwrap();
+    let bad = Query {
+        mode: tdess_core::QueryMode::Threshold(2.0),
+        ..Query::top_k(FeatureKind::MomentInvariants, 3)
+    };
+    let err = client.search_features(&features, &bad).unwrap_err();
+    assert!(matches!(err, WireError::Remote(e) if e.kind == ErrorKind::Malformed));
+
+    // Unknown shape id: typed, not a panic, and the connection is
+    // still good afterwards.
+    let err = client.remove(999).unwrap_err();
+    assert!(matches!(err, WireError::Remote(e) if e.kind == ErrorKind::UnknownShape));
+    client.ping().unwrap();
+}
+
+#[test]
+fn full_accept_queue_answers_busy() {
+    let mut server = serve(NetServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..Default::default()
+    });
+    let addr = server.local_addr();
+
+    // A occupies the only worker (a connection holds its worker for
+    // its whole lifetime).
+    let mut a = NetClient::connect_default(addr).unwrap();
+    a.ping().unwrap();
+
+    // B fills the depth-1 accept queue; its handshake stays pending.
+    let b = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // C overflows the queue: one typed Busy frame, then the server
+    // hangs up.
+    let mut c = TcpStream::connect(addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let reply = read_frame(&mut c, 1 << 20).unwrap().unwrap();
+    match decode::<Response>(&reply).unwrap() {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::Busy),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // A still works while B waits.
+    a.ping().unwrap();
+    assert!(server.transport_stats().connections_rejected >= 1);
+
+    // Freeing the worker lets the queued B proceed to a handshake.
+    drop(a);
+    let mut b = b;
+    b.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_frame(&mut b, &encode(&Hello::current()).unwrap()).unwrap();
+    let reply = read_frame(&mut b, 1 << 20).unwrap().unwrap();
+    assert!(matches!(
+        decode::<Response>(&reply).unwrap(),
+        Response::HelloAck { .. }
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_completes_the_in_flight_request() {
+    let mut server = serve(NetServerConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let mut stream = raw_handshake(server.local_addr());
+
+    // Start a request frame but deliver only half of it: the server
+    // has read the header, so the request is in flight.
+    let payload = encode(&Request::Ping).unwrap();
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &payload).unwrap();
+    let split = frame.len() / 2;
+    stream.write_all(&frame[..split]).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Shut down concurrently; it must block until the request is done.
+    let shutdown = std::thread::spawn(move || {
+        server.shutdown();
+        server
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Deliver the rest; the in-flight request still gets its answer.
+    stream.write_all(&frame[split..]).unwrap();
+    stream.flush().unwrap();
+    let reply = read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    assert!(matches!(
+        decode::<Response>(&reply).unwrap(),
+        Response::Pong
+    ));
+
+    let server = shutdown.join().unwrap();
+    let stats = server.transport_stats();
+    assert_eq!(stats.requests_served, 1);
+
+    // New connections are refused now.
+    match TcpStream::connect(server.local_addr()) {
+        Err(_) => {}
+        Ok(mut late) => {
+            late.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            // Either an explicit Shutdown frame or an immediate close.
+            let mut buf = [0u8; 64];
+            let _ = late.read(&mut buf);
+        }
+    }
+}
+
+#[test]
+fn shutdown_under_concurrent_load_drops_no_answered_request() {
+    let mut server = serve(NetServerConfig {
+        workers: 8,
+        ..Default::default()
+    });
+    let addr = server.local_addr();
+    let start = Arc::new(Barrier::new(9));
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                let mut client = match NetClient::connect(
+                    addr,
+                    NetClientConfig {
+                        retry_on_disconnect: false,
+                        ..Default::default()
+                    },
+                ) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        start.wait();
+                        return 0u64;
+                    }
+                };
+                start.wait();
+                let mut ok = 0u64;
+                for _ in 0..50 {
+                    match client.ping() {
+                        Ok(()) => ok += 1,
+                        // Once the server winds down, every further
+                        // attempt fails; stop.
+                        Err(_) => break,
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+
+    start.wait();
+    std::thread::sleep(Duration::from_millis(30));
+    server.shutdown();
+
+    let client_ok: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let stats = server.transport_stats();
+    // Zero-drop invariant: every response the server counts as served
+    // was actually delivered to (and decoded by) a client.
+    assert_eq!(stats.requests_served, client_ok);
+}
+
+#[test]
+fn client_reconnects_for_idempotent_requests_only() {
+    let mut server = serve(NetServerConfig::default());
+    let addr = server.local_addr();
+    let mut client = NetClient::connect_default(addr).unwrap();
+    client.ping().unwrap();
+    let shapes_before = client.info().unwrap().shapes;
+
+    // Restart the server on the same address.
+    server.shutdown();
+    let mut server = NetServer::bind(
+        addr,
+        SearchServer::new(small_db()),
+        NetServerConfig::default(),
+    )
+    .unwrap();
+
+    // A non-idempotent request on the stale connection must execute
+    // at most once. The usual path: the request frame reaches the dead
+    // socket, the response read fails, and the client surfaces the
+    // error instead of retrying. (If the OS rejects the very write,
+    // the frame never reached any server and a retry is safe — then
+    // it executes exactly once on the new server.)
+    let retried = match client.insert("late", &primitives::box_mesh(Vec3::ONE)) {
+        Err(err) => {
+            assert!(err.is_disconnect(), "got: {err}");
+            false
+        }
+        Ok(_) => true,
+    };
+    let mut probe = NetClient::connect_default(addr).unwrap();
+    let expected = if retried {
+        shapes_before + 1
+    } else {
+        shapes_before
+    };
+    assert_eq!(probe.info().unwrap().shapes, expected);
+
+    // An idempotent request on the (again stale) client reconnects
+    // transparently and succeeds.
+    client.ping().unwrap();
+    assert_eq!(client.info().unwrap().shapes, expected);
+    server.shutdown();
+}

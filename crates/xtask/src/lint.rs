@@ -22,8 +22,8 @@ use std::path::{Path, PathBuf};
 use crate::mask::{mask, Waiver};
 
 /// Crates whose library code must be panic-free (rule `unwrap`).
-const PANIC_FREE_CRATES: [&str; 9] = [
-    "geom", "voxel", "skeleton", "features", "index", "cluster", "core", "dataset", "eval",
+const PANIC_FREE_CRATES: [&str; 10] = [
+    "geom", "voxel", "skeleton", "features", "index", "cluster", "core", "dataset", "eval", "net",
 ];
 
 /// Crates whose `as` casts are audited (rule `lossy-cast`).

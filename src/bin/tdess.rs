@@ -14,7 +14,19 @@
 //!        --candidates K           candidate-set size    (default 30)
 //!        --present R              presented results     (default 10)
 //! tdess browse <db.json> [--kind pm]         print the browsing hierarchy
+//! tdess serve  <db.json> [options]           serve the database over TCP
+//!        --addr HOST:PORT         bind address          (default 127.0.0.1:7333)
+//!        --workers N              worker threads        (default 4)
+//!        --queue N                accept-queue depth    (default 64)
+//! tdess remote <addr> <verb> [options]       talk to a running server
+//!        verbs: query <mesh>, multistep <mesh>, info, stats, ping
+//!        (query/multistep take the same flags as their local forms)
 //! ```
+//!
+//! `query`, `multistep`, `info`, and every `remote` verb accept
+//! `--json`: machine-readable output serializing the same payload
+//! types the wire protocol uses ([`HitsReport`], [`InfoReport`],
+//! [`tdess_net::StatsReport`]).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -28,6 +40,9 @@ use threedess::dataset::build_corpus;
 use threedess::features::{FeatureExtractor, FeatureKind};
 use threedess::geom::io::{load_mesh, save_mesh};
 use threedess::geom::{render, RenderParams};
+use threedess::net::{
+    HitsReport, InfoReport, NetClient, NetClientConfig, NetServer, NetServerConfig,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +66,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => cmd_query(&args[1..]),
         "multistep" => cmd_multistep(&args[1..]),
         "browse" => cmd_browse(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "remote" => cmd_remote(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -60,7 +77,8 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: tdess <corpus|index|info|query|multistep|browse|help> ... (see `tdess help`)".into()
+    "usage: tdess <corpus|index|info|query|multistep|browse|serve|remote|help> ... (see `tdess help`)"
+        .into()
 }
 
 /// Parses a feature-kind flag value.
@@ -80,13 +98,21 @@ fn parse_kind(s: &str) -> Result<FeatureKind, String> {
 /// Parsed command line: positional arguments and `--flag value` pairs.
 type ParsedArgs = (Vec<String>, Vec<(String, String)>);
 
-/// Extracts `--flag value` pairs; returns (positional, flags).
+/// Flags that take no value; present means "true".
+const BOOL_FLAGS: &[&str] = &["json"];
+
+/// Extracts `--flag value` pairs (and valueless [`BOOL_FLAGS`]);
+/// returns (positional, flags).
 fn split_flags(args: &[String]) -> Result<ParsedArgs, String> {
     let mut pos = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&name) {
+                flags.push((name.to_string(), "true".to_string()));
+                continue;
+            }
             let v = it
                 .next()
                 .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -103,6 +129,61 @@ fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .iter()
         .find(|(n, _)| n == name)
         .map(|(_, v)| v.as_str())
+}
+
+fn has_flag(flags: &[(String, String)], name: &str) -> bool {
+    flag(flags, name).is_some()
+}
+
+/// Serializes a wire-protocol payload to the one-line JSON the
+/// `--json` flag promises.
+fn print_json<T: serde::Serialize>(value: &T) -> Result<(), String> {
+    println!(
+        "{}",
+        serde_json::to_string(value).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+/// Parses the shared `--kind/--top/--threshold` query flags.
+fn parse_query_flags(flags: &[(String, String)]) -> Result<Query, String> {
+    let kind = parse_kind(flag(flags, "kind").unwrap_or("pm"))?;
+    let mode = if let Some(t) = flag(flags, "threshold") {
+        QueryMode::Threshold(t.parse::<f64>().map_err(|e| e.to_string())?)
+    } else {
+        let k = flag(flags, "top")
+            .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+            .transpose()?
+            .unwrap_or(10);
+        QueryMode::TopK(k)
+    };
+    Ok(Query {
+        kind,
+        weights: Weights::unit(),
+        mode,
+    })
+}
+
+/// Parses the shared `--steps/--candidates/--present` plan flags.
+fn parse_plan_flags(flags: &[(String, String)]) -> Result<MultiStepPlan, String> {
+    let steps: Vec<FeatureKind> = flag(flags, "steps")
+        .unwrap_or("pm,ev")
+        .split(',')
+        .map(parse_kind)
+        .collect::<Result<_, _>>()?;
+    let candidates = flag(flags, "candidates")
+        .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(30);
+    let presented = flag(flags, "present")
+        .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(10);
+    Ok(MultiStepPlan {
+        steps,
+        candidates,
+        presented,
+    })
 }
 
 fn cmd_corpus(args: &[String]) -> Result<(), String> {
@@ -165,8 +246,12 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
-    let db_path = args.first().ok_or("usage: tdess info <db.json>")?;
+    let (pos, flags) = split_flags(args)?;
+    let db_path = pos.first().ok_or("usage: tdess info <db.json> [--json]")?;
     let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
+    if has_flag(&flags, "json") {
+        return print_json(&InfoReport::for_db(&db));
+    }
     println!("shapes: {}", db.len());
     println!(
         "extractor: voxel resolution {}, spectrum dim {}",
@@ -209,7 +294,11 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 fn print_metrics(m: &ServerMetrics) {
     println!("server metrics:");
     println!("  queries served: {}", m.queries_served);
-    for (label, lat) in [("one-shot", &m.one_shot), ("multi-step", &m.multi_step)] {
+    for (label, lat) in [
+        ("one-shot", &m.one_shot),
+        ("multi-step", &m.multi_step),
+        ("transport", &m.transport),
+    ] {
         if lat.count > 0 {
             println!(
                 "  {:10} latency: min {:.3} ms  mean {:.3} ms  max {:.3} ms  ({} queries)",
@@ -233,29 +322,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
     let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
     let mesh = load_mesh(Path::new(mesh_path)).map_err(|e| e.to_string())?;
-    let kind = parse_kind(flag(&flags, "kind").unwrap_or("pm"))?;
-    let mode = if let Some(t) = flag(&flags, "threshold") {
-        QueryMode::Threshold(t.parse::<f64>().map_err(|e| e.to_string())?)
-    } else {
-        let k = flag(&flags, "top")
-            .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
-            .transpose()?
-            .unwrap_or(10);
-        QueryMode::TopK(k)
-    };
+    let query = parse_query_flags(&flags)?;
     let server = SearchServer::new(db);
     let hits = server
-        .search_mesh(
-            &mesh,
-            &Query {
-                kind,
-                weights: Weights::unit(),
-                mode,
-            },
-        )
+        .search_mesh(&mesh, &query)
         .map_err(|e| e.to_string())?;
     let db = server.snapshot();
-    println!("{} results ({})", hits.len(), kind.label());
+    if has_flag(&flags, "json") {
+        return print_json(&HitsReport::new(&db, &hits));
+    }
+    println!("{} results ({})", hits.len(), query.kind.label());
     for (rank, h) in hits.iter().enumerate() {
         let s = db.get(h.id).expect("hit exists");
         println!(
@@ -290,31 +366,15 @@ fn cmd_multistep(args: &[String]) -> Result<(), String> {
     };
     let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
     let mesh = load_mesh(Path::new(mesh_path)).map_err(|e| e.to_string())?;
-    let steps: Vec<FeatureKind> = flag(&flags, "steps")
-        .unwrap_or("pm,ev")
-        .split(',')
-        .map(parse_kind)
-        .collect::<Result<_, _>>()?;
-    let candidates = flag(&flags, "candidates")
-        .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
-        .transpose()?
-        .unwrap_or(30);
-    let presented = flag(&flags, "present")
-        .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
-        .transpose()?
-        .unwrap_or(10);
+    let plan = parse_plan_flags(&flags)?;
     let server = SearchServer::new(db);
     let hits = server
-        .multi_step_mesh(
-            &mesh,
-            &MultiStepPlan {
-                steps,
-                candidates,
-                presented,
-            },
-        )
+        .multi_step_mesh(&mesh, &plan)
         .map_err(|e| e.to_string())?;
     let db = server.snapshot();
+    if has_flag(&flags, "json") {
+        return print_json(&HitsReport::new(&db, &hits));
+    }
     println!("{} results (multi-step)", hits.len());
     for (rank, h) in hits.iter().enumerate() {
         let s = db.get(h.id).expect("hit exists");
@@ -361,6 +421,132 @@ fn print_node(
         child.descend(c);
         println!("{indent}+ cluster {c} ({} shapes)", child.shape_ids().len());
         print_node(db, tree, &mut child, depth + 1);
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let db_path = pos
+        .first()
+        .ok_or("usage: tdess serve <db.json> [--addr 127.0.0.1:7333] [--workers 4] [--queue 64]")?;
+    let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
+    let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:7333");
+    let mut cfg = NetServerConfig::default();
+    if let Some(w) = flag(&flags, "workers") {
+        cfg.workers = w.parse::<usize>().map_err(|e| e.to_string())?;
+    }
+    if let Some(q) = flag(&flags, "queue") {
+        cfg.queue_depth = q.parse::<usize>().map_err(|e| e.to_string())?;
+    }
+    let shapes = db.len();
+    let server = NetServer::bind(addr, SearchServer::new(db), cfg).map_err(|e| e.to_string())?;
+    // The first line of output is machine-parseable: smoke tests and
+    // scripts read the actual (possibly ephemeral) address from it.
+    // Banner writes must not take the server down if the launcher
+    // closes our stdout (`println!` panics on a broken pipe).
+    {
+        use std::io::Write;
+        let mut out = std::io::stdout();
+        let _ = writeln!(out, "listening on {}", server.local_addr());
+        let _ = writeln!(out, "serving {shapes} shapes from {db_path}");
+        let _ = out.flush();
+    }
+    // Serve until the process is terminated. Inserts mutate only the
+    // in-memory snapshot; the file on disk is the startup state.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_remote(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let usage =
+        "usage: tdess remote <addr> <query <mesh>|multistep <mesh>|info|stats|ping> [flags]";
+    let [addr, verb, rest @ ..] = &pos[..] else {
+        return Err(usage.into());
+    };
+    let mut client =
+        NetClient::connect(addr.as_str(), NetClientConfig::default()).map_err(|e| e.to_string())?;
+    let json = has_flag(&flags, "json");
+    match verb.as_str() {
+        "query" => {
+            let mesh_path = rest.first().ok_or(usage)?;
+            let mesh = load_mesh(Path::new(mesh_path)).map_err(|e| e.to_string())?;
+            let query = parse_query_flags(&flags)?;
+            let report = client
+                .search_mesh(&mesh, &query)
+                .map_err(|e| e.to_string())?;
+            if json {
+                return print_json(&report);
+            }
+            println!("{} results ({})", report.hits.len(), query.kind.label());
+            print_named_hits(&report);
+            Ok(())
+        }
+        "multistep" => {
+            let mesh_path = rest.first().ok_or(usage)?;
+            let mesh = load_mesh(Path::new(mesh_path)).map_err(|e| e.to_string())?;
+            let plan = parse_plan_flags(&flags)?;
+            let report = client.multi_step(&mesh, &plan).map_err(|e| e.to_string())?;
+            if json {
+                return print_json(&report);
+            }
+            println!("{} results (multi-step)", report.hits.len());
+            print_named_hits(&report);
+            Ok(())
+        }
+        "info" => {
+            let report = client.info().map_err(|e| e.to_string())?;
+            if json {
+                return print_json(&report);
+            }
+            println!("shapes: {}", report.shapes);
+            println!(
+                "extractor: voxel resolution {}, spectrum dim {}",
+                report.voxel_resolution, report.spectrum_dim
+            );
+            for s in &report.spaces {
+                println!("  {:22?} dim {:2}  dmax {:.4}", s.kind, s.dim, s.dmax);
+            }
+            Ok(())
+        }
+        "stats" => {
+            let report = client.stats().map_err(|e| e.to_string())?;
+            if json {
+                return print_json(&report);
+            }
+            println!("shapes: {}", report.shapes);
+            print_metrics(&report.server);
+            let t = &report.transport;
+            println!(
+                "transport: {} accepted, {} rejected, {} frames decoded, {} decode errors, {} requests served",
+                t.connections_accepted,
+                t.connections_rejected,
+                t.frames_decoded,
+                t.decode_errors,
+                t.requests_served
+            );
+            Ok(())
+        }
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            println!("pong");
+            Ok(())
+        }
+        other => Err(format!("unknown remote verb `{other}`\n{usage}")),
+    }
+}
+
+/// Prints a ranked hit list the way the local query verbs do.
+fn print_named_hits(report: &HitsReport) {
+    for (rank, h) in report.hits.iter().enumerate() {
+        println!(
+            "{:3}. {:24} sim {:.3}  dist {:.4}",
+            rank + 1,
+            h.name,
+            h.similarity,
+            h.distance
+        );
     }
 }
 

@@ -1,6 +1,7 @@
 //! Offline shim for `crossbeam`: scoped threads on top of
 //! `std::thread::scope`, with crossbeam's `Result`-returning `scope`
-//! entry point and `spawn(|scope| ...)` closure shape.
+//! entry point and `spawn(|scope| ...)` closure shape, plus the
+//! [`channel`] module's MPMC bounded/unbounded channels.
 //!
 //! See `vendor/README.md` for scope and caveats.
 
@@ -9,6 +10,8 @@
 use std::any::Any;
 use std::panic::AssertUnwindSafe;
 use std::thread;
+
+pub mod channel;
 
 /// Result of a scope: `Err` carries the payload of a panicking child
 /// thread (crossbeam's contract; std would propagate the panic).
