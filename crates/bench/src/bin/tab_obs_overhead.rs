@@ -1,0 +1,184 @@
+//! OBS-tier overhead: the cost of full instrumentation vs `TDESS_LOG=off`.
+//!
+//! Runs the same indexing + query workload over the standard corpus
+//! twice: once with tracing disabled (`Level::Off` — stage timers
+//! compile to a no-op `None`) and once fully instrumented
+//! (`Level::Debug` with the JSON sink pointed at `io::sink()`, so the
+//! numbers measure event formatting and histogram recording, not
+//! terminal I/O). The delta is the price of observability on the hot
+//! path.
+//!
+//! Outputs:
+//! * `BENCH_obs_overhead.json` — machine-readable numbers;
+//! * `results/tab_obs_overhead.txt` — the rendered table.
+//!
+//! `--smoke` runs a small corpus subset at low voxel resolution for
+//! CI: same code path, seconds instead of minutes.
+
+use std::time::Instant;
+
+use tdess_bench::{standard_corpus, CORPUS_SEED, RESOLUTION};
+use tdess_core::{bulk_insert, Query, SearchServer, ShapeDatabase};
+use tdess_eval::render_table;
+use tdess_features::{FeatureExtractor, FeatureKind, FeatureSet};
+use tdess_geom::TriMesh;
+use tdess_obs::Level;
+
+/// Seconds spent in each phase of one workload pass.
+struct Pass {
+    index_s: f64,
+    query_s: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (resolution, take, query_rounds) = if smoke {
+        (12, 12, 5)
+    } else {
+        (RESOLUTION, usize::MAX, 50)
+    };
+
+    let corpus = standard_corpus();
+    let shapes: Vec<(String, TriMesh)> = corpus
+        .shapes
+        .iter()
+        .take(take)
+        .map(|s| (s.name.clone(), s.mesh.clone()))
+        .collect();
+    let n = shapes.len();
+    eprintln!(
+        "[setup] {n} shapes at voxel resolution {resolution} (seed {CORPUS_SEED}), {query_rounds} query rounds"
+    );
+
+    // Off first: with tracing disabled the stage timers short-circuit
+    // before touching the clock, so this pass is the baseline.
+    tdess_obs::set_level(Level::Off);
+    let off = run_pass(&shapes, resolution, query_rounds);
+
+    // Fully instrumented: debug-level events and per-stage histograms
+    // live, formatted JSON discarded into `io::sink()` so the terminal
+    // is not part of the measurement.
+    tdess_obs::set_level(Level::Debug);
+    tdess_obs::set_sink(Box::new(std::io::sink()));
+    let on = run_pass(&shapes, resolution, query_rounds);
+
+    tdess_obs::set_level(Level::Info);
+    tdess_obs::sink_to_stderr();
+
+    let overhead = |base: f64, inst: f64| -> f64 {
+        if base > 0.0 {
+            (inst - base) / base * 100.0
+        } else {
+            f64::NAN
+        }
+    };
+    let rows = [
+        ("index (extract all)", off.index_s, on.index_s),
+        ("one-shot queries", off.query_s, on.query_s),
+        ("total", off.index_s + off.query_s, on.index_s + on.query_s),
+    ];
+    let table = render_table(
+        &["phase", "TDESS_LOG=off s", "instrumented s", "overhead"],
+        &rows
+            .iter()
+            .map(|&(phase, base, inst)| {
+                vec![
+                    phase.to_string(),
+                    format!("{base:.3}"),
+                    format!("{inst:.3}"),
+                    format!("{:+.2}%", overhead(base, inst)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let title = format!(
+        "OBS-tier overhead — {n} shapes, {query_rounds} query rounds{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+    println!("\n{title}");
+    println!("{table}");
+
+    // The instrumented pass must actually have recorded stage
+    // histograms — otherwise the comparison is vacuous.
+    let stages = tdess_obs::stage_snapshots();
+    if stages.is_empty() {
+        eprintln!("error: instrumented pass recorded no stage histograms");
+        std::process::exit(1);
+    }
+
+    let json = serde_json::json!({
+        "bench": "tab_obs_overhead",
+        "smoke": smoke,
+        "corpus_size": n,
+        "voxel_resolution": resolution,
+        "query_rounds": query_rounds,
+        "off": serde_json::json!({"index_s": off.index_s, "query_s": off.query_s}),
+        "instrumented": serde_json::json!({"index_s": on.index_s, "query_s": on.query_s}),
+        "overhead_pct": serde_json::json!({
+            "index": overhead(off.index_s, on.index_s),
+            "query": overhead(off.query_s, on.query_s),
+            "total": overhead(off.index_s + off.query_s, on.index_s + on.query_s),
+        }),
+        "stages_recorded": stages.iter().map(|(stage, snap)| serde_json::json!({
+            "stage": stage.name(),
+            "count": snap.count(),
+            "p50_s": snap.quantile_seconds(0.5),
+            "p99_s": snap.quantile_seconds(0.99),
+        })).collect::<Vec<_>>(),
+    });
+    let pretty = match serde_json::to_string_pretty(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: serializing results: {e}");
+            std::process::exit(1);
+        }
+    };
+    write_or_die("BENCH_obs_overhead.json", &pretty);
+    if !smoke {
+        let _ = std::fs::create_dir_all("results");
+        write_or_die(
+            "results/tab_obs_overhead.txt",
+            &format!("{title}\n{table}\n"),
+        );
+    }
+}
+
+/// One full workload pass: index the corpus (feature extraction runs
+/// every pipeline stage), then query each shape's own features for
+/// `rounds` rounds.
+fn run_pass(shapes: &[(String, TriMesh)], resolution: usize, rounds: usize) -> Pass {
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: resolution,
+        ..Default::default()
+    });
+    let t0 = Instant::now();
+    if let Err(e) = bulk_insert(&mut db, shapes.to_vec(), 8) {
+        eprintln!("error: corpus indexing failed: {e}");
+        std::process::exit(1);
+    }
+    let index_s = t0.elapsed().as_secs_f64();
+
+    let queries: Vec<FeatureSet> = db.shapes().iter().map(|s| s.features.clone()).collect();
+    let server = SearchServer::new(db);
+    let query = Query::top_k(FeatureKind::PrincipalMoments, 10);
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for features in &queries {
+            let hits = server.search_features(features, &query);
+            if hits.is_empty() {
+                eprintln!("error: search returned no hits");
+                std::process::exit(1);
+            }
+        }
+    }
+    let query_s = t0.elapsed().as_secs_f64();
+    Pass { index_s, query_s }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: writing {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[out] wrote {path}");
+}

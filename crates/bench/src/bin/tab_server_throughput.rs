@@ -155,8 +155,8 @@ fn main() {
         "metrics": serde_json::json!({
             "queries_served": metrics.queries_served,
             "snapshot_swaps": metrics.snapshot_swaps,
-            "one_shot_mean_s": metrics.one_shot.mean_s,
-            "multi_step_mean_s": metrics.multi_step.mean_s,
+            "one_shot_mean_s": metrics.one_shot.map_or(0.0, |l| l.mean_s),
+            "multi_step_mean_s": metrics.multi_step.map_or(0.0, |l| l.mean_s),
             "entries_checked": metrics.index_stats.entries_checked,
             "node_accesses": metrics.index_stats.node_accesses(),
         }),

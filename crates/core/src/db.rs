@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use tdess_features::{FeatureExtractor, FeatureKind, FeatureSet, NormalizeError};
 use tdess_geom::TriMesh;
 use tdess_index::{QueryStats, RTree, RTreeConfig};
+use tdess_obs::{Stage, StageTimer};
 
 use crate::similarity::{similarity, threshold_to_radius, weighted_distance, Weights};
 
@@ -353,15 +354,20 @@ impl ShapeDatabase {
         if query.weights.is_unit() {
             let index = &self.indexes[&query.kind];
             match query.mode {
-                QueryMode::TopK(k) => index
-                    .knn(q, k, stats)
-                    .into_iter()
-                    .map(|(_, &id, d)| SearchHit {
-                        id,
-                        distance: d,
-                        similarity: similarity(d, dmax),
-                    })
-                    .collect(),
+                QueryMode::TopK(k) => {
+                    let raw = {
+                        let _stage = StageTimer::start(Stage::IndexSearch);
+                        index.knn(q, k, stats)
+                    };
+                    let _stage = StageTimer::start(Stage::SimilarityCombine);
+                    raw.into_iter()
+                        .map(|(_, &id, d)| SearchHit {
+                            id,
+                            distance: d,
+                            similarity: similarity(d, dmax),
+                        })
+                        .collect()
+                }
                 QueryMode::Threshold(t) => {
                     if t <= 0.0 {
                         // Similarity clamps at 0, so a zero threshold
@@ -378,8 +384,12 @@ impl ShapeDatabase {
                     // weighted scan would.
                     let radius = threshold_to_radius(t, dmax);
                     let radius = radius * (1.0 + 1e-12);
-                    let mut hits: Vec<SearchHit> = index
-                        .within_distance(q, radius, stats)
+                    let raw = {
+                        let _stage = StageTimer::start(Stage::IndexSearch);
+                        index.within_distance(q, radius, stats)
+                    };
+                    let _stage = StageTimer::start(Stage::SimilarityCombine);
+                    let mut hits: Vec<SearchHit> = raw
                         .into_iter()
                         .map(|(_, &id, d)| SearchHit {
                             id,
@@ -393,20 +403,24 @@ impl ShapeDatabase {
                 }
             }
         } else {
-            // Weighted scan.
-            let mut hits: Vec<SearchHit> = self
-                .shapes
-                .iter()
-                .map(|s| {
-                    stats.entries_checked += 1;
-                    let d = weighted_distance(q, s.features.get(query.kind), &query.weights);
-                    SearchHit {
-                        id: s.id,
-                        distance: d,
-                        similarity: similarity(d, dmax),
-                    }
-                })
-                .collect();
+            // Weighted scan: the linear distance pass plays the role
+            // of the index traversal for stage accounting.
+            let mut hits: Vec<SearchHit> = {
+                let _stage = StageTimer::start(Stage::IndexSearch);
+                self.shapes
+                    .iter()
+                    .map(|s| {
+                        stats.entries_checked += 1;
+                        let d = weighted_distance(q, s.features.get(query.kind), &query.weights);
+                        SearchHit {
+                            id: s.id,
+                            distance: d,
+                            similarity: similarity(d, dmax),
+                        }
+                    })
+                    .collect()
+            };
+            let _stage = StageTimer::start(Stage::SimilarityCombine);
             hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
             match query.mode {
                 QueryMode::TopK(k) => {
@@ -427,19 +441,22 @@ impl ShapeDatabase {
         dmax: f64,
         stats: &mut QueryStats,
     ) -> Vec<SearchHit> {
-        let mut hits: Vec<SearchHit> = self
-            .shapes
-            .iter()
-            .map(|s| {
-                stats.entries_checked += 1;
-                let d = weighted_distance(q, s.features.get(query.kind), &Weights::unit());
-                SearchHit {
-                    id: s.id,
-                    distance: d,
-                    similarity: similarity(d, dmax),
-                }
-            })
-            .collect();
+        let mut hits: Vec<SearchHit> = {
+            let _stage = StageTimer::start(Stage::IndexSearch);
+            self.shapes
+                .iter()
+                .map(|s| {
+                    stats.entries_checked += 1;
+                    let d = weighted_distance(q, s.features.get(query.kind), &Weights::unit());
+                    SearchHit {
+                        id: s.id,
+                        distance: d,
+                        similarity: similarity(d, dmax),
+                    }
+                })
+                .collect()
+        };
+        let _stage = StageTimer::start(Stage::SimilarityCombine);
         hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
         hits
     }

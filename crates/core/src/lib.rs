@@ -35,5 +35,5 @@ pub use db::{DbError, Query, QueryMode, SearchHit, ShapeDatabase, ShapeId, Store
 pub use feedback::{reconfigure_weights, reconstruct_query, Feedback, RocchioParams};
 pub use multistep::{multi_step_search, multi_step_search_with_stats, MultiStepPlan};
 pub use persist::{load, load_from_path, save, save_to_path, FileOp, PersistError};
-pub use server::{bulk_insert, LatencyStats, SearchServer, ServerMetrics};
+pub use server::{bulk_insert, LatencySnapshots, LatencyStats, SearchServer, ServerMetrics};
 pub use similarity::{similarity, threshold_to_radius, weighted_distance, Weights};

@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 use tdess_features::{FeatureKind, FeatureSet};
 use tdess_index::QueryStats;
+use tdess_obs::{Stage, StageTimer};
 
 use crate::db::{Query, QueryMode, SearchHit, ShapeDatabase};
 use crate::similarity::{similarity, weighted_distance, Weights};
@@ -77,6 +78,7 @@ pub fn multi_step_search_with_stats(
     let mut hits = db.search_with_stats(query, &first, stats);
 
     // Later steps: re-rank candidates in the step's feature space.
+    let _stage = (plan.steps.len() > 1).then(|| StageTimer::start(Stage::Rerank));
     for &kind in &plan.steps[1..] {
         let qv = query.get(kind);
         let dmax = db.dmax(kind);

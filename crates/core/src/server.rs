@@ -19,9 +19,11 @@
 //! * [`SearchServer::search_batch`] / [`SearchServer::multi_step_batch`]
 //!   — a batch of query meshes fanned out across worker threads, all
 //!   answered from one consistent snapshot;
-//! * [`ServerMetrics`] — queries served, per-kind latency min/mean/max,
-//!   aggregated index-traversal counters, and snapshot-swap count,
-//!   readable via [`SearchServer::metrics`];
+//! * [`ServerMetrics`] — queries served, per-kind latency
+//!   min/mean/max plus p50/p90/p99 quantiles backed by the `tdess-obs`
+//!   log-linear histograms, aggregated index-traversal counters, and
+//!   snapshot-swap count, readable via [`SearchServer::metrics`] (raw
+//!   histogram snapshots via [`SearchServer::latency_snapshots`]);
 //! * [`bulk_insert`] — feature extraction fanned out across worker
 //!   threads (extraction dominates insert cost by orders of
 //!   magnitude), with the index updates applied in one batch so ids
@@ -36,86 +38,102 @@ use serde::{Deserialize, Serialize};
 use tdess_features::FeatureSet;
 use tdess_geom::TriMesh;
 use tdess_index::QueryStats;
+use tdess_obs::{Histogram, HistogramSnapshot, Stage, StageTimer};
 
 use crate::db::{DbError, Query, SearchHit, ShapeDatabase, ShapeId};
 use crate::multistep::{multi_step_search_with_stats, MultiStepPlan};
 
-/// Latency summary (seconds) for one kind of query.
+/// Latency summary (seconds) for one kind of query, derived from a
+/// `tdess-obs` log-linear histogram: exact count/min/mean/max plus
+/// p50/p90/p99 quantiles (≤6.25% relative error).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
     /// Number of queries recorded.
     pub count: u64,
-    /// Fastest query, seconds (0 when no queries ran).
+    /// Fastest query, seconds.
     pub min_s: f64,
-    /// Mean latency, seconds (0 when no queries ran).
+    /// Mean latency, seconds.
     pub mean_s: f64,
-    /// Slowest query, seconds (0 when no queries ran).
+    /// Slowest query, seconds.
     pub max_s: f64,
+    /// Median latency, seconds.
+    #[serde(default)]
+    pub p50_s: f64,
+    /// 90th-percentile latency, seconds.
+    #[serde(default)]
+    pub p90_s: f64,
+    /// 99th-percentile latency, seconds.
+    #[serde(default)]
+    pub p99_s: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a histogram snapshot; `None` when it holds no
+    /// samples, so "no data" is never confused with a genuine 0s
+    /// minimum by JSON consumers.
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Option<LatencyStats> {
+        if snap.is_empty() {
+            return None;
+        }
+        Some(LatencyStats {
+            count: snap.count(),
+            min_s: snap.min_seconds(),
+            mean_s: snap.mean_seconds(),
+            max_s: snap.max_seconds(),
+            p50_s: snap.quantile_seconds(0.5),
+            p90_s: snap.quantile_seconds(0.9),
+            p99_s: snap.quantile_seconds(0.99),
+        })
+    }
 }
 
 /// A point-in-time view of the server's query metrics.
+///
+/// The latency summaries are `None` until the first query of that
+/// class is served (serialized as `null` / absent on the wire).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServerMetrics {
     /// Total queries served (one-shot + multi-step, batches counted
     /// per contained query).
     pub queries_served: u64,
     /// Latency of one-shot searches (extraction + index search).
-    pub one_shot: LatencyStats,
+    #[serde(default)]
+    pub one_shot: Option<LatencyStats>,
     /// Latency of multi-step searches.
-    pub multi_step: LatencyStats,
+    #[serde(default)]
+    pub multi_step: Option<LatencyStats>,
     /// End-to-end request handling latency recorded by a transport
     /// layer (e.g. `tdess-net`: frame decode + dispatch + encode).
-    /// Zero for servers only driven in-process.
+    /// Absent for servers only driven in-process.
     #[serde(default)]
-    pub transport: LatencyStats,
+    pub transport: Option<LatencyStats>,
     /// Index traversal counters aggregated over every query served.
     pub index_stats: QueryStats,
     /// How many times a writer published a new snapshot.
     pub snapshot_swaps: u64,
 }
 
-/// Running latency accumulator.
-#[derive(Debug, Default)]
-struct LatencyAccum {
-    count: u64,
-    total_s: f64,
-    min_s: f64,
-    max_s: f64,
+/// Raw latency histogram snapshots for one metrics read, in the
+/// one-shot / multi-step / transport classes. External renderers (the
+/// Prometheus exposition in `tdess-net`) consume these directly so
+/// quantiles and bucket series come from the same instant.
+#[derive(Debug, Clone)]
+pub struct LatencySnapshots {
+    /// One-shot search latency histogram.
+    pub one_shot: HistogramSnapshot,
+    /// Multi-step search latency histogram.
+    pub multi_step: HistogramSnapshot,
+    /// Transport-level request handling latency histogram.
+    pub transport: HistogramSnapshot,
 }
 
-impl LatencyAccum {
-    fn record(&mut self, elapsed: Duration) {
-        let s = elapsed.as_secs_f64();
-        if self.count == 0 || s < self.min_s {
-            self.min_s = s;
-        }
-        if s > self.max_s {
-            self.max_s = s;
-        }
-        self.count += 1;
-        self.total_s += s;
-    }
-
-    fn summary(&self) -> LatencyStats {
-        LatencyStats {
-            count: self.count,
-            min_s: self.min_s,
-            mean_s: if self.count == 0 {
-                0.0
-            } else {
-                self.total_s / self.count as f64
-            },
-            max_s: self.max_s,
-        }
-    }
-}
-
-/// Interior metrics state, updated under a short mutex.
+/// Interior metrics state. The histograms record via relaxed atomics;
+/// the mutex guards the traversal counters and swap count.
 #[derive(Debug, Default)]
 struct MetricsAccum {
-    one_shot: LatencyAccum,
-    multi_step: LatencyAccum,
-    transport: LatencyAccum,
+    one_shot: Histogram,
+    multi_step: Histogram,
+    transport: Histogram,
     index_stats: QueryStats,
     snapshot_swaps: u64,
 }
@@ -184,15 +202,19 @@ impl SearchServer {
         m.index_stats.merge(stats);
     }
 
+    /// Extracts features for a query mesh, timing the whole extraction
+    /// under the `query_extract` stage.
+    fn extract_timed(snap: &ShapeDatabase, mesh: &TriMesh) -> Result<FeatureSet, DbError> {
+        let _stage = StageTimer::start(Stage::QueryExtract);
+        snap.extractor().extract(mesh).map_err(DbError::Extraction)
+    }
+
     /// Runs a one-shot search against the current snapshot. No lock
     /// is held during extraction or search.
     pub fn search_mesh(&self, mesh: &TriMesh, query: &Query) -> Result<Vec<SearchHit>, DbError> {
         let snap = self.snapshot();
         let t0 = Instant::now();
-        let features = snap
-            .extractor()
-            .extract(mesh)
-            .map_err(DbError::Extraction)?;
+        let features = Self::extract_timed(&snap, mesh)?;
         let mut stats = QueryStats::default();
         let hits = snap.search_with_stats(&features, query, &mut stats);
         self.record(QueryClass::OneShot, t0.elapsed(), &stats);
@@ -219,10 +241,7 @@ impl SearchServer {
     ) -> Result<Vec<SearchHit>, DbError> {
         let snap = self.snapshot();
         let t0 = Instant::now();
-        let features = snap
-            .extractor()
-            .extract(mesh)
-            .map_err(DbError::Extraction)?;
+        let features = Self::extract_timed(&snap, mesh)?;
         let mut stats = QueryStats::default();
         let hits = multi_step_search_with_stats(&snap, &features, plan, &mut stats);
         self.record(QueryClass::MultiStep, t0.elapsed(), &stats);
@@ -280,10 +299,7 @@ impl SearchServer {
 
         let run_one = |mesh: &TriMesh| -> Result<BatchSlot, DbError> {
             let t0 = Instant::now();
-            let features = snap
-                .extractor()
-                .extract(mesh)
-                .map_err(DbError::Extraction)?;
+            let features = Self::extract_timed(&snap, mesh)?;
             let mut stats = QueryStats::default();
             let hits = run(&snap, &features, &mut stats);
             Ok((hits, stats, t0.elapsed()))
@@ -398,13 +414,27 @@ impl SearchServer {
     /// A point-in-time copy of the server's query metrics.
     pub fn metrics(&self) -> ServerMetrics {
         let m = self.inner.metrics.lock();
+        let one_shot = m.one_shot.snapshot();
+        let multi_step = m.multi_step.snapshot();
         ServerMetrics {
-            queries_served: m.one_shot.count + m.multi_step.count,
-            one_shot: m.one_shot.summary(),
-            multi_step: m.multi_step.summary(),
-            transport: m.transport.summary(),
+            queries_served: one_shot.count() + multi_step.count(),
+            one_shot: LatencyStats::from_snapshot(&one_shot),
+            multi_step: LatencyStats::from_snapshot(&multi_step),
+            transport: LatencyStats::from_snapshot(&m.transport.snapshot()),
             index_stats: m.index_stats,
             snapshot_swaps: m.snapshot_swaps,
+        }
+    }
+
+    /// Raw latency histogram snapshots (one-shot, multi-step,
+    /// transport) for renderers that need bucket-level detail, such as
+    /// the Prometheus `/metrics` exposition.
+    pub fn latency_snapshots(&self) -> LatencySnapshots {
+        let m = self.inner.metrics.lock();
+        LatencySnapshots {
+            one_shot: m.one_shot.snapshot(),
+            multi_step: m.multi_step.snapshot(),
+            transport: m.transport.snapshot(),
         }
     }
 }
@@ -555,7 +585,7 @@ mod tests {
         .unwrap();
         let m = server.metrics();
         assert_eq!(m.queries_served, 8);
-        assert_eq!(m.one_shot.count, 8);
+        assert_eq!(m.one_shot.unwrap().count, 8);
     }
 
     #[test]
@@ -592,8 +622,10 @@ mod tests {
             .unwrap();
         assert_eq!(hits.len(), 3);
         let m = server.metrics();
-        assert_eq!(m.multi_step.count, 1);
-        assert!(m.multi_step.max_s >= m.multi_step.min_s);
+        let ms = m.multi_step.unwrap();
+        assert_eq!(ms.count, 1);
+        assert!(ms.max_s >= ms.min_s);
+        assert!(m.one_shot.is_none(), "no one-shot queries ran");
     }
 
     #[test]
@@ -625,7 +657,7 @@ mod tests {
             assert_eq!(&solo, bhits, "{name}");
         }
         // 4 batched + 4 solo queries recorded.
-        assert_eq!(server.metrics().one_shot.count, 8);
+        assert_eq!(server.metrics().one_shot.unwrap().count, 8);
     }
 
     #[test]
@@ -680,10 +712,16 @@ mod tests {
         }
         let m = server.metrics();
         assert_eq!(m.queries_served, 3);
-        assert_eq!(m.one_shot.count, 3);
-        assert!(m.one_shot.min_s <= m.one_shot.mean_s);
-        assert!(m.one_shot.mean_s <= m.one_shot.max_s);
-        assert!(m.one_shot.min_s > 0.0);
+        let os = m.one_shot.unwrap();
+        assert_eq!(os.count, 3);
+        assert!(os.min_s <= os.mean_s);
+        assert!(os.mean_s <= os.max_s);
+        assert!(os.min_s > 0.0);
+        // Quantiles are ordered and stay inside the observed range.
+        assert!(os.min_s <= os.p50_s);
+        assert!(os.p50_s <= os.p90_s);
+        assert!(os.p90_s <= os.p99_s);
+        assert!(os.p99_s <= os.max_s);
         assert!(m.index_stats.nodes_visited > 0);
         assert!(m.index_stats.entries_checked > 0);
         assert_eq!(m.snapshot_swaps, 0);

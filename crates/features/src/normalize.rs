@@ -66,6 +66,7 @@ impl std::error::Error for NormalizeError {}
 /// assert!(e.x >= e.y && e.y >= e.z);
 /// ```
 pub fn normalize(mesh: &TriMesh) -> Result<NormalizedModel, NormalizeError> {
+    let _stage = tdess_obs::StageTimer::start(tdess_obs::Stage::Normalize);
     let m = mesh_moments(mesh);
     if m.m000 <= 1e-12 {
         return Err(NormalizeError::ZeroVolume);

@@ -8,6 +8,12 @@
 //! queries is invisible to the caller, while a non-idempotent request
 //! (insert/remove) whose response was lost is surfaced as the error it
 //! is, never silently re-executed.
+//!
+//! Every request is wrapped in a [`crate::proto::RequestEnvelope`]
+//! carrying a fresh `tdess-obs` trace id; the server runs the dispatch
+//! under that id, so its structured events (including slow-query
+//! warnings) can be correlated with the client call via
+//! [`NetClient::last_trace_id`].
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -51,6 +57,7 @@ pub struct NetClient {
     addr: SocketAddr,
     cfg: NetClientConfig,
     stream: Option<TcpStream>,
+    last_trace: Option<String>,
 }
 
 impl NetClient {
@@ -65,6 +72,7 @@ impl NetClient {
             addr,
             cfg,
             stream: None,
+            last_trace: None,
         };
         client.stream = Some(client.dial()?);
         Ok(client)
@@ -104,11 +112,27 @@ impl NetClient {
         }
     }
 
+    /// The trace id sent with the most recent request, for correlating
+    /// client calls with the server's structured events.
+    pub fn last_trace_id(&self) -> Option<&str> {
+        self.last_trace.as_deref()
+    }
+
     /// Sends one request and reads its response, reconnecting and
     /// retrying once if a *reused* connection turns out broken and the
-    /// request is safe to repeat (see the module docs).
+    /// request is safe to repeat (see the module docs). The request
+    /// travels in an envelope with a fresh trace id (the retry reuses
+    /// the same id — it is the same logical request).
     pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
-        let payload = encode(req)?;
+        let trace_id = tdess_obs::gen_trace_id();
+        // Build the envelope value by hand to avoid cloning the
+        // request (meshes can be large) just to attach two fields.
+        let envelope = serde::Value::Obj(vec![
+            ("trace_id".to_string(), serde::Value::Str(trace_id.clone())),
+            ("request".to_string(), serde::Serialize::to_value(req)),
+        ]);
+        self.last_trace = Some(trace_id);
+        let payload = encode(&envelope)?;
         let reused = self.stream.is_some();
         let (sent, err) = match self.attempt(&payload) {
             Ok(resp) => return Ok(resp),

@@ -13,21 +13,32 @@
 //!   request;
 //! * **client** ([`client`]) — [`NetClient`], a blocking typed client
 //!   with connect/request timeouts and reconnect-on-broken-pipe for
-//!   idempotent requests.
+//!   idempotent requests;
+//! * **metrics** ([`metrics`]) — [`MetricsServer`], a minimal HTTP
+//!   endpoint serving the server's Prometheus text exposition
+//!   (`GET /metrics`).
+//!
+//! Requests travel in a [`proto::RequestEnvelope`] carrying a client
+//! trace id; the server dispatches under that id so its `tdess-obs`
+//! structured events correlate with the originating call.
 //!
 //! See DESIGN.md §"NET tier" for the frame layout, handshake, and
-//! timeout/backpressure defaults.
+//! timeout/backpressure defaults, and §"OBS tier" for tracing and
+//! exposition.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 
 pub use client::{NetClient, NetClientConfig};
+pub use metrics::{MetricsRenderer, MetricsServer};
 pub use proto::{
-    ErrorKind, ErrorReply, Hello, HitsReport, InfoReport, NamedHit, Request, Response, SpaceInfo,
-    StatsReport, TransportStats, WireError, DEFAULT_MAX_FRAME_LEN, MAGIC, PROTOCOL_VERSION,
+    ErrorKind, ErrorReply, Hello, HitsReport, InfoReport, NamedHit, Request, RequestEnvelope,
+    Response, SpaceInfo, StageStats, StatsReport, TransportStats, WireError, DEFAULT_MAX_FRAME_LEN,
+    MAGIC, PROTOCOL_VERSION,
 };
 pub use server::{NetServer, NetServerConfig, TransportCounters};

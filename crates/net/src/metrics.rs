@@ -1,0 +1,145 @@
+//! A minimal HTTP/1.0 responder for Prometheus text exposition.
+//!
+//! [`MetricsServer`] answers `GET /metrics` with whatever the supplied
+//! renderer closure produces (normally
+//! [`crate::NetServer::metrics_renderer`]) and 404s everything else.
+//! It speaks just enough HTTP for a scraper: one request per
+//! connection, `Connection: close`, no keep-alive, no chunking. The
+//! request line is read with a short socket timeout so a stalled peer
+//! cannot pin the single serving thread for long.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tdess_obs::event;
+
+/// Event target for the metrics endpoint's structured log events.
+const TARGET: &str = "tdess_net::metrics";
+
+/// How long a scraper gets to deliver its request line and how long a
+/// response write may block.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The Prometheus text exposition content type (format 0.0.4).
+const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// A render callback producing the current exposition text.
+pub type MetricsRenderer = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A background thread serving `GET /metrics` over plain HTTP.
+/// Dropping the handle shuts it down.
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts the serving
+    /// thread. Each scrape calls `render` afresh.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        render: MetricsRenderer,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread_shutdown = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("tdess-metrics".to_string())
+            .spawn(move || serve_loop(&listener, &thread_shutdown, &render))?;
+        event!(Info, TARGET, "metrics endpoint listening on {local_addr}");
+        Ok(MetricsServer {
+            local_addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address the metrics listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the serving thread and joins it. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept call; a refused dial is harmless.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(250));
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+            event!(
+                Debug,
+                TARGET,
+                "metrics endpoint on {} stopped",
+                self.local_addr
+            );
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accepts scrape connections one at a time until shutdown.
+fn serve_loop(listener: &TcpListener, shutdown: &AtomicBool, render: &MetricsRenderer) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        serve_one(stream, render);
+    }
+}
+
+/// Handles a single scrape: parse the request line, answer, close.
+fn serve_one(stream: TcpStream, render: &MetricsRenderer) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the header block so well-behaved clients see a clean
+    // response rather than a reset while still mid-send.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method == "GET" && (path == "/metrics" || path == "/metrics/") {
+        let body = render();
+        event!(Debug, TARGET, "served /metrics ({} bytes)", body.len());
+        let _ = write_response(&mut stream, "200 OK", &body);
+    } else {
+        event!(Debug, TARGET, "rejected {method} {path}");
+        let _ = write_response(&mut stream, "404 Not Found", "not found; try /metrics\n");
+    }
+}
+
+/// Writes one complete HTTP/1.0 response.
+fn write_response(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -130,6 +130,36 @@ impl Request {
     }
 }
 
+/// The request envelope: a [`Request`] plus the observability metadata
+/// that travels with it. [`crate::NetClient`] generates a fresh
+/// `trace_id` per request; the server runs the dispatch under it so
+/// every event the request causes — including slow-query warnings —
+/// carries the id the client knows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Client-generated correlation id (16 hex digits by convention,
+    /// but any string is accepted and propagated opaquely).
+    #[serde(default)]
+    pub trace_id: Option<String>,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// Decodes a request payload, accepting both the enveloped form
+/// (`{"trace_id":...,"request":{...}}`) and a bare [`Request`] from
+/// pre-envelope peers. Returns the trace id (if any) with the request.
+pub fn decode_request(payload: &[u8]) -> Result<(Option<String>, Request), WireError> {
+    let value: serde::Value = decode(payload)?;
+    if value.get("request").is_some() {
+        let env =
+            RequestEnvelope::from_value(&value).map_err(|e| WireError::Malformed(e.to_string()))?;
+        Ok((env.trace_id, env.request))
+    } else {
+        let req = Request::from_value(&value).map_err(|e| WireError::Malformed(e.to_string()))?;
+        Ok((None, req))
+    }
+}
+
 /// One search result, with the shape's name resolved server-side so
 /// clients need no follow-up lookup.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -234,6 +264,35 @@ pub struct TransportStats {
     pub requests_served: u64,
 }
 
+/// Latency summary of one instrumented pipeline/query stage, keyed by
+/// the stage's stable snake_case name (`tdess_obs::Stage::name`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Stage name (e.g. `voxelize`, `index_search`).
+    pub stage: String,
+    /// The stage's latency summary with quantiles.
+    pub latency: ServerLatency,
+}
+
+/// Re-export alias so [`StageStats`] reads naturally on the wire.
+pub type ServerLatency = tdess_core::LatencyStats;
+
+impl StageStats {
+    /// Builds the per-stage summaries from the process-wide stage
+    /// histograms, skipping stages that never ran.
+    pub fn collect() -> Vec<StageStats> {
+        tdess_obs::stage_snapshots()
+            .into_iter()
+            .filter_map(|(stage, snap)| {
+                ServerLatency::from_snapshot(&snap).map(|latency| StageStats {
+                    stage: stage.name().to_string(),
+                    latency,
+                })
+            })
+            .collect()
+    }
+}
+
 /// Payload of a Stats response; also the `--json` output of the
 /// remote `tdess remote <addr> stats` verb.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -244,6 +303,10 @@ pub struct StatsReport {
     pub server: ServerMetrics,
     /// Transport counters of the network front end.
     pub transport: TransportStats,
+    /// Per-stage latency summaries (empty from pre-obs servers, and
+    /// ignored by pre-obs clients).
+    #[serde(default)]
+    pub stages: Vec<StageStats>,
 }
 
 /// Machine-readable category of a server-reported error.
@@ -294,6 +357,11 @@ impl std::fmt::Display for ErrorReply {
 
 /// A server response. Exactly one per request (and one `HelloAck` or
 /// error for the handshake).
+// `Stats` dominates the enum's size now that reports carry quantiles
+// and per-stage timings, but a `Response` only ever lives for the
+// instant between dispatch and frame encode (or decode and match), so
+// indirection would buy nothing and cost an allocation per response.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
     /// Handshake accepted; carries the server's protocol version.
@@ -579,5 +647,59 @@ mod tests {
         assert!(Request::Ping.is_idempotent());
         assert!(Request::Info.is_idempotent());
         assert!(!Request::Remove { id: 1 }.is_idempotent());
+    }
+
+    #[test]
+    fn decode_request_accepts_bare_and_enveloped_forms() {
+        // Bare request, as a pre-envelope client would send it.
+        let (tid, req) = decode_request(&encode(&Request::Ping).unwrap()).unwrap();
+        assert_eq!(tid, None);
+        assert!(matches!(req, Request::Ping));
+
+        // Enveloped with a trace id.
+        let env = RequestEnvelope {
+            trace_id: Some("aabbccdd00112233".into()),
+            request: Request::Remove { id: 7 },
+        };
+        let (tid, req) = decode_request(&encode(&env).unwrap()).unwrap();
+        assert_eq!(tid.as_deref(), Some("aabbccdd00112233"));
+        assert!(matches!(req, Request::Remove { id: 7 }));
+
+        // Enveloped without a trace id (`null` on the wire).
+        let env = RequestEnvelope {
+            trace_id: None,
+            request: Request::Info,
+        };
+        let (tid, req) = decode_request(&encode(&env).unwrap()).unwrap();
+        assert_eq!(tid, None);
+        assert!(matches!(req, Request::Info));
+
+        // Garbage still fails with a typed error.
+        assert!(matches!(
+            decode_request(b"{\"request\": 17}"),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn stats_report_without_stages_still_decodes() {
+        // A pre-obs server's StatsReport has no `stages` key; the
+        // field must default to empty.
+        let report = StatsReport {
+            shapes: 3,
+            server: ServerMetrics::default(),
+            transport: TransportStats::default(),
+            stages: vec![StageStats {
+                stage: "voxelize".into(),
+                latency: ServerLatency::default(),
+            }],
+        };
+        let mut value = report.to_value();
+        if let serde::Value::Obj(pairs) = &mut value {
+            pairs.retain(|(k, _)| k != "stages");
+        }
+        let back = StatsReport::from_value(&value).unwrap();
+        assert_eq!(back.shapes, 3);
+        assert!(back.stages.is_empty());
     }
 }

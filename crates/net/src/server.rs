@@ -32,12 +32,16 @@ use std::time::{Duration, Instant};
 use crossbeam::channel;
 use tdess_core::{DbError, QueryMode, SearchServer, Weights};
 use tdess_features::{FeatureKind, FeatureSet};
+use tdess_obs::{event, Level};
 
 use crate::proto::{
-    decode, encode, write_frame, ErrorKind, ErrorReply, Hello, HitsReport, InfoReport, Request,
-    Response, StatsReport, TransportStats, WireError, DEFAULT_MAX_FRAME_LEN, MAGIC,
-    PROTOCOL_VERSION,
+    decode, decode_request, encode, write_frame, ErrorKind, ErrorReply, Hello, HitsReport,
+    InfoReport, Request, Response, StageStats, StatsReport, TransportStats, WireError,
+    DEFAULT_MAX_FRAME_LEN, MAGIC, PROTOCOL_VERSION,
 };
+
+/// Event target for this module's structured log events.
+const TARGET: &str = "tdess_net::server";
 
 /// Tuning knobs for a [`NetServer`].
 #[derive(Debug, Clone)]
@@ -56,6 +60,9 @@ pub struct NetServerConfig {
     pub max_frame_len: usize,
     /// How often a blocked read wakes to check the shutdown flag.
     pub poll_interval: Duration,
+    /// Requests slower than this emit a warn-level slow-query event
+    /// carrying the request's trace id.
+    pub slow_request: Duration,
 }
 
 impl Default for NetServerConfig {
@@ -67,6 +74,7 @@ impl Default for NetServerConfig {
             write_timeout: Duration::from_secs(10),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             poll_interval: Duration::from_millis(25),
+            slow_request: Duration::from_secs(1),
         }
     }
 }
@@ -107,6 +115,10 @@ struct NetShared {
     cfg: NetServerConfig,
     shutdown: AtomicBool,
     counters: TransportCounters,
+    /// Receiver clone used only to observe the waiting-connection
+    /// count for the metrics page; workers hold their own clones, so
+    /// this one never gates shutdown (that is keyed on the Senders).
+    queue: channel::Receiver<TcpStream>,
 }
 
 /// A running TCP front end over a [`SearchServer`]. Dropping the
@@ -129,14 +141,15 @@ impl NetServer {
     ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let (tx, rx) = channel::bounded::<TcpStream>(cfg.queue_depth.max(1));
         let shared = Arc::new(NetShared {
             search,
             cfg: cfg.clone(),
             shutdown: AtomicBool::new(false),
             counters: TransportCounters::default(),
+            queue: rx.clone(),
         });
 
-        let (tx, rx) = channel::bounded::<TcpStream>(cfg.queue_depth.max(1));
         let mut workers = Vec::with_capacity(cfg.workers.max(1));
         for i in 0..cfg.workers.max(1) {
             let rx = rx.clone();
@@ -153,6 +166,12 @@ impl NetServer {
             .name("tdess-net-accept".to_string())
             .spawn(move || accept_loop(&listener, &tx, &accept_shared))?;
 
+        event!(
+            Info,
+            TARGET,
+            "server listening on {local_addr} with {} workers",
+            cfg.workers.max(1)
+        );
         Ok(NetServer {
             shared,
             local_addr,
@@ -175,7 +194,10 @@ impl NetServer {
     /// not-yet-started connections with [`ErrorKind::Shutdown`]), let
     /// every in-flight request finish, and join all threads. Idempotent.
     pub fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
+        let already_down = self.shared.shutdown.swap(true, Ordering::AcqRel);
+        if !already_down {
+            event!(Info, TARGET, "shutdown requested for {}", self.local_addr);
+        }
         // Unblock the accept loop with a throwaway connection; if the
         // listener already failed this is a harmless refused dial.
         let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(250));
@@ -184,10 +206,114 @@ impl NetServer {
         }
         // The accept thread dropped the Sender; workers drain the
         // queue and exit on the resulting channel disconnect.
+        let had_workers = !self.workers.is_empty();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        if had_workers {
+            event!(Info, TARGET, "server on {} stopped", self.local_addr);
+        }
     }
+
+    /// Number of accepted connections waiting for a free worker.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Renders the current Prometheus metrics page (text exposition
+    /// format 0.0.4): transport counters, queue depth, query/latency
+    /// summaries with p50/p90/p99, and per-extraction-stage histograms.
+    pub fn metrics_page(&self) -> String {
+        render_metrics(&self.shared)
+    }
+
+    /// A closure rendering [`NetServer::metrics_page`] that holds only
+    /// the shared state — hand it to a
+    /// [`crate::metrics::MetricsServer`] so the exposition endpoint
+    /// outlives borrows of the `NetServer` handle itself.
+    pub fn metrics_renderer(&self) -> Arc<dyn Fn() -> String + Send + Sync> {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move || render_metrics(&shared))
+    }
+}
+
+/// Builds the Prometheus exposition text for one server's state.
+fn render_metrics(shared: &NetShared) -> String {
+    let mut page = tdess_obs::PromText::new();
+    let metrics = shared.search.metrics();
+    let transport = shared.counters.snapshot();
+    page.counter(
+        "tdess_queries_served_total",
+        "Search queries executed by the core server.",
+        metrics.queries_served,
+    );
+    page.counter(
+        "tdess_snapshot_swaps_total",
+        "Copy-on-write database snapshot publications.",
+        metrics.snapshot_swaps,
+    );
+    page.counter(
+        "tdess_connections_accepted_total",
+        "TCP connections handed to a worker.",
+        transport.connections_accepted,
+    );
+    page.counter(
+        "tdess_connections_rejected_total",
+        "TCP connections turned away (queue full or shutdown).",
+        transport.connections_rejected,
+    );
+    page.counter(
+        "tdess_frames_decoded_total",
+        "Wire frames decoded successfully.",
+        transport.frames_decoded,
+    );
+    page.counter(
+        "tdess_decode_errors_total",
+        "Frames rejected as malformed, oversized, or truncated.",
+        transport.decode_errors,
+    );
+    page.counter(
+        "tdess_requests_served_total",
+        "Requests answered with a response frame.",
+        transport.requests_served,
+    );
+    page.gauge(
+        "tdess_shapes",
+        "Shapes in the current database snapshot.",
+        shared.search.len() as f64,
+    );
+    page.gauge(
+        "tdess_queue_depth",
+        "Accepted connections waiting for a free worker.",
+        shared.queue.len() as f64,
+    );
+    let lat = shared.search.latency_snapshots();
+    page.summary(
+        "tdess_one_shot_latency_seconds",
+        "One-shot query latency.",
+        &lat.one_shot,
+    );
+    page.summary(
+        "tdess_multi_step_latency_seconds",
+        "Multi-step query latency.",
+        &lat.multi_step,
+    );
+    page.summary(
+        "tdess_transport_latency_seconds",
+        "Per-request transport latency (decode to response sent).",
+        &lat.transport,
+    );
+    let stages = tdess_obs::stage_snapshots();
+    let labeled: Vec<(&str, tdess_obs::HistogramSnapshot)> = stages
+        .into_iter()
+        .map(|(stage, snap)| (stage.name(), snap))
+        .collect();
+    page.stage_histograms(
+        "tdess_stage_duration_seconds",
+        "Pipeline stage durations, labeled by stage.",
+        &labeled,
+    );
+    page.finish()
 }
 
 impl Drop for NetServer {
@@ -237,6 +363,7 @@ fn accept_loop(listener: &TcpListener, tx: &channel::Sender<TcpStream>, shared: 
 /// Answers a turned-away connection with one typed error frame.
 fn reject(shared: &NetShared, mut stream: TcpStream, kind: ErrorKind, message: &str) {
     TransportCounters::bump(&shared.counters.connections_rejected);
+    event!(Debug, TARGET, "connection rejected: {kind:?} ({message})");
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
     if let Ok(payload) = encode(&Response::Error(ErrorReply::new(kind, message))) {
         let _ = write_frame(&mut stream, &payload);
@@ -246,6 +373,7 @@ fn reject(shared: &NetShared, mut stream: TcpStream, kind: ErrorKind, message: &
 /// Worker body: pop connections until the channel disconnects (accept
 /// thread gone) and the queue is drained.
 fn worker_loop(rx: &channel::Receiver<TcpStream>, shared: &NetShared) {
+    event!(Debug, TARGET, "worker started");
     while let Ok(stream) = rx.recv() {
         if shared.shutdown.load(Ordering::Acquire) {
             // Queued but never started: turned away, not half-served.
@@ -260,6 +388,7 @@ fn worker_loop(rx: &channel::Receiver<TcpStream>, shared: &NetShared) {
         TransportCounters::bump(&shared.counters.connections_accepted);
         handle_connection(shared, stream);
     }
+    event!(Debug, TARGET, "worker exiting");
 }
 
 /// What a shutdown-aware frame read produced.
@@ -411,20 +540,34 @@ fn is_poll_timeout(e: &std::io::Error) -> bool {
 /// until the peer hangs up, a fatal transport error occurs, or
 /// shutdown is observed between frames.
 fn handle_connection(shared: &NetShared, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".to_string());
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
     let mut conn = Conn { stream, shared };
 
     if !handshake(&mut conn) {
+        event!(Debug, TARGET, "connection from {peer} failed handshake");
         return;
     }
+    event!(Debug, TARGET, "connection from {peer} established");
 
     loop {
         match conn.next_frame() {
-            Ok(Incoming::Closed) => return,
+            Ok(Incoming::Closed) => {
+                event!(Debug, TARGET, "connection from {peer} closed");
+                return;
+            }
             Ok(Incoming::TooLarge { len, max }) => {
                 TransportCounters::bump(&shared.counters.decode_errors);
+                event!(
+                    Warn,
+                    TARGET,
+                    "oversized frame from {peer}: {len} bytes exceeds the {max}-byte limit"
+                );
                 let reply = Response::Error(ErrorReply::new(
                     ErrorKind::FrameTooLarge,
                     format!("frame of {len} bytes exceeds the {max}-byte limit"),
@@ -435,13 +578,14 @@ fn handle_connection(shared: &NetShared, stream: TcpStream) {
             }
             Ok(Incoming::Frame(payload)) => {
                 let t0 = Instant::now();
-                let resp = match decode::<Request>(&payload) {
-                    Ok(req) => {
+                let resp = match decode_request(&payload) {
+                    Ok((trace_id, req)) => {
                         TransportCounters::bump(&shared.counters.frames_decoded);
-                        dispatch(shared, req)
+                        serve_request(shared, trace_id, req, t0)
                     }
                     Err(e) => {
                         TransportCounters::bump(&shared.counters.decode_errors);
+                        event!(Warn, TARGET, "malformed frame from {peer}: {e}");
                         Response::Error(ErrorReply::new(ErrorKind::Malformed, e.to_string()))
                     }
                 };
@@ -453,9 +597,59 @@ fn handle_connection(shared: &NetShared, stream: TcpStream) {
             }
             Err(_) => {
                 TransportCounters::bump(&shared.counters.decode_errors);
+                event!(Debug, TARGET, "connection from {peer} dropped mid-frame");
                 return;
             }
         }
+    }
+}
+
+/// Dispatches one decoded request under its trace id (when the client
+/// sent one), emitting a debug event per request and a warn-level
+/// slow-query event past [`NetServerConfig::slow_request`].
+fn serve_request(
+    shared: &NetShared,
+    trace_id: Option<String>,
+    req: Request,
+    t0: Instant,
+) -> Response {
+    let run = || {
+        let kind = request_name(&req);
+        let resp = dispatch(shared, req);
+        let elapsed = t0.elapsed();
+        event!(
+            Debug,
+            TARGET,
+            "request {kind} served in {:.3} ms",
+            elapsed.as_secs_f64() * 1e3
+        );
+        if elapsed >= shared.cfg.slow_request {
+            tdess_obs::emit(
+                Level::Warn,
+                TARGET,
+                "slow request",
+                &[
+                    ("request", kind.to_string()),
+                    ("elapsed_ms", format!("{:.3}", elapsed.as_secs_f64() * 1e3)),
+                ],
+            );
+        }
+        resp
+    };
+    tdess_obs::with_trace_id(trace_id, run)
+}
+
+/// Stable request-variant label for log events.
+fn request_name(req: &Request) -> &'static str {
+    match req {
+        Request::SearchFeatures { .. } => "SearchFeatures",
+        Request::SearchMesh { .. } => "SearchMesh",
+        Request::MultiStep { .. } => "MultiStep",
+        Request::Insert { .. } => "Insert",
+        Request::Remove { .. } => "Remove",
+        Request::Info => "Info",
+        Request::Stats => "Stats",
+        Request::Ping => "Ping",
     }
 }
 
@@ -630,6 +824,7 @@ fn dispatch(shared: &NetShared, req: Request) -> Response {
             shapes: search.len(),
             server: search.metrics(),
             transport: shared.counters.snapshot(),
+            stages: StageStats::collect(),
         }),
         Request::Ping => Response::Pong,
     }

@@ -1,0 +1,161 @@
+//! End-to-end observability tests over a loopback connection: client
+//! trace ids must surface in the server's structured events (including
+//! slow-query warnings), and the `/metrics` endpoint must expose the
+//! expected Prometheus families.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use tdess_core::{Query, SearchServer, ShapeDatabase};
+use tdess_features::{FeatureExtractor, FeatureKind};
+use tdess_geom::{primitives, Vec3};
+use tdess_net::{MetricsServer, NetClient, NetServer, NetServerConfig};
+use tdess_obs::{Capture, Level};
+
+fn search_server() -> SearchServer {
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: 12,
+        ..Default::default()
+    });
+    db.insert("box", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)))
+        .unwrap();
+    db.insert("sphere", primitives::uv_sphere(1.0, 10, 5))
+        .unwrap();
+    SearchServer::new(db)
+}
+
+/// The client's trace id must appear on the server's per-request debug
+/// event and on the slow-query warning (forced here by a zero
+/// threshold), and must NOT leak onto events outside the dispatch.
+#[test]
+fn client_trace_id_round_trips_into_server_events() {
+    let capture = Capture::install();
+    tdess_obs::set_level(Level::Debug);
+
+    let cfg = NetServerConfig {
+        workers: 1,
+        slow_request: Duration::ZERO,
+        ..NetServerConfig::default()
+    };
+    let mut server = NetServer::bind("127.0.0.1:0", search_server(), cfg).unwrap();
+    let mut client = NetClient::connect_default(server.local_addr()).unwrap();
+
+    let query = Query::top_k(FeatureKind::PrincipalMoments, 1);
+    let mesh = primitives::box_mesh(Vec3::ONE);
+    let hits = client.search_mesh(&mesh, &query).unwrap();
+    assert_eq!(hits.hits.len(), 1);
+    let trace_id = client
+        .last_trace_id()
+        .expect("client records the sent trace id")
+        .to_string();
+
+    server.shutdown();
+    tdess_obs::set_level(Level::Info);
+    tdess_obs::sink_to_stderr();
+
+    let log = capture.contents();
+    let tagged: Vec<&str> = log.lines().filter(|l| l.contains(&trace_id)).collect();
+    assert!(
+        !tagged.is_empty(),
+        "no server event carried trace id {trace_id}:\n{log}"
+    );
+    // The request-served debug event and the forced slow-query warning
+    // both run inside the traced dispatch.
+    assert!(
+        tagged
+            .iter()
+            .any(|l| l.contains("request SearchMesh served")),
+        "missing traced request event:\n{log}"
+    );
+    assert!(
+        tagged
+            .iter()
+            .any(|l| l.contains("slow request") && l.contains("\"level\":\"warn\"")),
+        "missing traced slow-query warning:\n{log}"
+    );
+    // Every tagged line is valid JSON carrying the id in the
+    // `trace_id` field, not incidentally in the message text.
+    for line in &tagged {
+        let v = serde_json::from_str::<serde::Value>(line).expect("event line parses as JSON");
+        let id = v.get("trace_id").and_then(|x| match x {
+            serde::Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        });
+        assert_eq!(id, Some(trace_id.as_str()), "bad line: {line}");
+    }
+    // Lifecycle events outside a dispatch are untraced.
+    let lifecycle: Vec<&str> = log
+        .lines()
+        .filter(|l| l.contains("connection from") && l.contains("established"))
+        .collect();
+    assert!(!lifecycle.is_empty(), "missing connection event:\n{log}");
+    assert!(lifecycle.iter().all(|l| !l.contains(&trace_id)));
+}
+
+/// A raw HTTP scrape of the metrics endpoint after live traffic must
+/// contain counter, gauge, summary (p50/p90/p99), and stage-histogram
+/// families.
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    let mut server =
+        NetServer::bind("127.0.0.1:0", search_server(), NetServerConfig::default()).unwrap();
+    let mut metrics = MetricsServer::bind("127.0.0.1:0", server.metrics_renderer()).unwrap();
+
+    // Drive real traffic so latency summaries and stage histograms
+    // are non-empty.
+    let mut client = NetClient::connect_default(server.local_addr()).unwrap();
+    let query = Query::top_k(FeatureKind::PrincipalMoments, 1);
+    let mesh = primitives::box_mesh(Vec3::ONE);
+    for _ in 0..3 {
+        client.search_mesh(&mesh, &query).unwrap();
+    }
+
+    let body = scrape(&metrics, "/metrics");
+    assert!(body.starts_with("HTTP/1.0 200 OK"), "bad response: {body}");
+    assert!(body.contains("text/plain; version=0.0.4"));
+    for family in [
+        "# TYPE tdess_queries_served_total counter",
+        "# TYPE tdess_requests_served_total counter",
+        "# TYPE tdess_connections_accepted_total counter",
+        "# TYPE tdess_shapes gauge",
+        "# TYPE tdess_queue_depth gauge",
+        "# TYPE tdess_one_shot_latency_seconds summary",
+        "# TYPE tdess_transport_latency_seconds summary",
+        "# TYPE tdess_stage_duration_seconds histogram",
+    ] {
+        assert!(body.contains(family), "missing {family:?} in:\n{body}");
+    }
+    for quantile in ["quantile=\"0.5\"", "quantile=\"0.9\"", "quantile=\"0.99\""] {
+        assert!(
+            body.contains(&format!("tdess_one_shot_latency_seconds{{{quantile}}}")),
+            "missing one-shot {quantile} in:\n{body}"
+        );
+    }
+    // Per-stage series from the server-side extraction of the query
+    // mesh, with a terminating +Inf bucket.
+    assert!(body.contains("tdess_stage_duration_seconds_bucket{stage=\"query_extract\""));
+    assert!(body.contains("le=\"+Inf\""));
+    // No queries ran multi-step, so that summary is absent rather
+    // than a fake zero.
+    assert!(body.contains("tdess_queries_served_total 3"));
+
+    // Anything but GET /metrics is a 404.
+    let other = scrape(&metrics, "/else");
+    assert!(other.starts_with("HTTP/1.0 404"), "bad response: {other}");
+
+    metrics.shutdown();
+    server.shutdown();
+}
+
+/// Issues one raw HTTP/1.0 request and returns the full response text.
+fn scrape(metrics: &MetricsServer, path: &str) -> String {
+    let mut stream = TcpStream::connect(metrics.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").unwrap();
+    let mut body = String::new();
+    stream.read_to_string(&mut body).unwrap();
+    body
+}

@@ -1,0 +1,408 @@
+//! Log-linear (HDR-style) latency histograms.
+//!
+//! A [`Histogram`] is a fixed array of atomic bucket counters covering
+//! the full `u64` nanosecond range. Each power-of-two octave is split
+//! into `2^SUB_BITS = 16` equal sub-buckets, so any recorded value is
+//! attributed to a bucket whose width is at most 1/16th of the value:
+//! reported quantiles carry at most ~6.25% relative error. Recording is
+//! a single relaxed `fetch_add` plus min/max/sum updates — cheap enough
+//! to leave on in production and safe to call from many threads.
+//!
+//! [`HistogramSnapshot`] is the immutable, mergeable read-side view:
+//! shards recorded independently (per thread, per process) merge
+//! exactly, with no lost counts and exact min/max/sum.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` equal sub-buckets, bounding quantile relative error at
+/// `1 / 2^SUB_BITS` (6.25%).
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave (16).
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Total bucket count covering all of `0..=u64::MAX` nanoseconds:
+/// 16 exact unit buckets plus 60 octaves of 16 sub-buckets.
+const NUM_BUCKETS: usize = 976;
+
+/// Maps a nanosecond value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        // Values below 16ns get exact unit buckets.
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // 4..=63 here
+        let shift = msb - SUB_BITS;
+        let octave = (msb - SUB_BITS + 1) as usize;
+        (octave << SUB_BITS) + ((v >> shift) as usize & (SUB_COUNT as usize - 1))
+    }
+}
+
+/// Inclusive nanosecond range `[lo, hi]` covered by bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    let sub = SUB_COUNT as usize;
+    if i < sub {
+        (i as u64, i as u64)
+    } else {
+        let octave = i / sub;
+        let s = (i % sub) as u64;
+        let shift = (octave - 1) as u32;
+        let lo = (SUB_COUNT + s) << shift;
+        // The last bucket's upper bound is exactly u64::MAX; saturate
+        // rather than wrap if the arithmetic ever changes.
+        let hi = lo.saturating_add((1u64 << shift) - 1);
+        (lo, hi)
+    }
+}
+
+/// A concurrent log-linear histogram of durations in nanoseconds.
+///
+/// `const`-constructible so it can back `static` per-stage registries;
+/// all operations take `&self` and use relaxed atomics.
+pub struct Histogram {
+    counts: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    /// Initialized to `u64::MAX`; still `u64::MAX` means "no samples".
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Histogram {
+        // An `AtomicU64` const used purely as an array initializer;
+        // each array element is its own independent atomic.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            counts: [ZERO; NUM_BUCKETS],
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration sample.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_nanos(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one sample given directly in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.counts[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.min.fetch_min(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Takes an immutable snapshot of the current counts.
+    ///
+    /// Concurrent recorders may land between bucket loads; every count
+    /// recorded before the call is included, and the snapshot is
+    /// internally consistent (its total is the sum of its buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum_nanos: self.sum.load(Ordering::Relaxed),
+            min_nanos: self.min.load(Ordering::Relaxed),
+            max_nanos: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count())
+            .field("min_nanos", &snap.min_nanos())
+            .field("max_nanos", &snap.max_nanos())
+            .field("sum_nanos", &snap.sum_nanos())
+            .finish()
+    }
+}
+
+/// An immutable, mergeable view of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum_nanos: u64,
+    /// `u64::MAX` when `count == 0`.
+    min_nanos: u64,
+    max_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (zero samples), useful as a merge identity.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum in nanoseconds (0 when empty).
+    pub fn min_nanos(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min_nanos
+        }
+    }
+
+    /// Exact maximum in nanoseconds (0 when empty).
+    pub fn max_nanos(&self) -> u64 {
+        self.max_nanos
+    }
+
+    /// Exact sum of all samples in nanoseconds.
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos
+    }
+
+    /// Exact minimum in seconds (0.0 when empty).
+    pub fn min_seconds(&self) -> f64 {
+        self.min_nanos() as f64 / 1e9
+    }
+
+    /// Exact maximum in seconds (0.0 when empty).
+    pub fn max_seconds(&self) -> f64 {
+        self.max_nanos as f64 / 1e9
+    }
+
+    /// Exact sum in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos as f64 / 1e9
+    }
+
+    /// Exact mean in seconds (0.0 when empty).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64 / 1e9
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds.
+    ///
+    /// Returns the upper bound of the bucket holding the `ceil(q*n)`-th
+    /// smallest sample, clamped to the exact observed `[min, max]`; the
+    /// result is at most one bucket width (≤6.25% relative) above the
+    /// exact quantile. Returns 0 when empty.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; q=0 maps to rank 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i);
+                return hi.clamp(self.min_nanos, self.max_nanos);
+            }
+        }
+        self.max_nanos
+    }
+
+    /// The `q`-quantile in seconds. See [`quantile_nanos`].
+    ///
+    /// [`quantile_nanos`]: HistogramSnapshot::quantile_nanos
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        self.quantile_nanos(q) as f64 / 1e9
+    }
+
+    /// Merges another snapshot into this one; counts add exactly and
+    /// min/max/sum combine losslessly.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Iterates non-empty buckets as `(upper_bound_nanos, count)` in
+    /// ascending bucket order — the raw material for Prometheus
+    /// cumulative `_bucket` series.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_bounds(i).1, c))
+    }
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_roundtrip() {
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            1_000,
+            1_000_000,
+            1_000_000_000,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} out of range for {v}");
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "{v} not in [{lo}, {hi}] (bucket {i})");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        // Consecutive buckets must be contiguous and ordered.
+        let mut prev_hi: Option<u64> = None;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p.wrapping_add(1), "gap before bucket {i}");
+            }
+            prev_hi = Some(hi);
+        }
+        assert_eq!(prev_hi, Some(u64::MAX));
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for &v in &[100u64, 1_000, 65_537, 10_000_000, 123_456_789_000] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            let width = hi - lo;
+            assert!(
+                (width as f64) <= (lo as f64) / 16.0 + 1.0,
+                "bucket [{lo},{hi}] too wide for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_reports_zeroes() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min_nanos(), 0);
+        assert_eq!(s.max_nanos(), 0);
+        assert_eq!(s.quantile_nanos(0.5), 0);
+        assert_eq!(s.mean_seconds(), 0.0);
+    }
+
+    #[test]
+    fn min_max_sum_are_exact() {
+        let h = Histogram::new();
+        for &n in &[5_000u64, 1_000_000, 250, 99_999_999] {
+            h.record_nanos(n);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.min_nanos(), 250);
+        assert_eq!(s.max_nanos(), 99_999_999);
+        assert_eq!(s.sum_nanos(), 5_000 + 1_000_000 + 250 + 99_999_999);
+    }
+
+    #[test]
+    fn quantiles_are_monotonic_and_clamped() {
+        let h = Histogram::new();
+        for n in 1..=1000u64 {
+            h.record_nanos(n * 1_000);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_nanos(0.5);
+        let p90 = s.quantile_nanos(0.9);
+        let p99 = s.quantile_nanos(0.99);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p99 <= s.max_nanos());
+        assert!(s.quantile_nanos(0.0) >= s.min_nanos());
+        assert_eq!(s.quantile_nanos(1.0), s.max_nanos());
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for n in 1..=100u64 {
+            a.record_nanos(n * 10);
+            b.record_nanos(n * 1_000);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 200);
+        assert_eq!(m.min_nanos(), 10);
+        assert_eq!(m.max_nanos(), 100_000);
+        let direct = Histogram::new();
+        for n in 1..=100u64 {
+            direct.record_nanos(n * 10);
+            direct.record_nanos(n * 1_000);
+        }
+        assert_eq!(m, direct.snapshot());
+    }
+
+    #[test]
+    fn buckets_iterator_sums_to_count() {
+        let h = Histogram::new();
+        for n in 0..500u64 {
+            h.record_nanos(n * 7 + 3);
+        }
+        let s = h.snapshot();
+        let total: u64 = s.buckets().map(|(_, c)| c).sum();
+        assert_eq!(total, s.count());
+        // Upper bounds are strictly increasing.
+        let uppers: Vec<u64> = s.buckets().map(|(u, _)| u).collect();
+        for w in uppers.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

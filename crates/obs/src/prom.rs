@@ -1,0 +1,203 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! [`PromText`] accumulates metric families with `# HELP` / `# TYPE`
+//! annotations: plain counters and gauges, latency summaries with
+//! p50/p90/p99 quantile labels derived from a [`HistogramSnapshot`],
+//! and labelled cumulative histograms for per-stage timings. Empty
+//! snapshots are skipped entirely rather than rendered as fake zeros.
+
+use crate::hist::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// The quantiles rendered for every summary family.
+const QUANTILES: [(&str, f64); 3] = [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)];
+
+/// Incremental builder for a Prometheus `/metrics` page.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// Creates an empty page.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn head(&mut self, name: &str, help: &str, ty: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {ty}");
+    }
+
+    /// Appends a monotonic counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.head(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Appends a gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.head(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Appends a latency summary (p50/p90/p99 + `_sum`/`_count`) from a
+    /// histogram snapshot; emits nothing when the snapshot is empty so
+    /// absent data is distinguishable from a genuine zero.
+    pub fn summary(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
+        if snap.is_empty() {
+            return;
+        }
+        self.head(name, help, "summary");
+        for (label, q) in QUANTILES {
+            let _ = writeln!(
+                self.out,
+                "{name}{{quantile=\"{label}\"}} {}",
+                snap.quantile_seconds(q)
+            );
+        }
+        let _ = writeln!(self.out, "{name}_sum {}", snap.sum_seconds());
+        let _ = writeln!(self.out, "{name}_count {}", snap.count());
+    }
+
+    /// Appends one labelled histogram family with a `stage` label per
+    /// series: cumulative `_bucket{le=...}` lines over the non-empty
+    /// buckets, a `+Inf` bucket, and `_sum`/`_count`. Series with no
+    /// samples are skipped; the family is omitted when all are empty.
+    pub fn stage_histograms(
+        &mut self,
+        name: &str,
+        help: &str,
+        series: &[(&str, HistogramSnapshot)],
+    ) {
+        if series.iter().all(|(_, s)| s.is_empty()) {
+            return;
+        }
+        self.head(name, help, "histogram");
+        for (label, snap) in series {
+            if snap.is_empty() {
+                continue;
+            }
+            let mut cumulative = 0u64;
+            for (upper_nanos, count) in snap.buckets() {
+                cumulative += count;
+                let _ = writeln!(
+                    self.out,
+                    "{name}_bucket{{stage=\"{label}\",le=\"{}\"}} {cumulative}",
+                    upper_nanos as f64 / 1e9
+                );
+            }
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{{stage=\"{label}\",le=\"+Inf\"}} {}",
+                snap.count()
+            );
+            let _ = writeln!(
+                self.out,
+                "{name}_sum{{stage=\"{label}\"}} {}",
+                snap.sum_seconds()
+            );
+            let _ = writeln!(
+                self.out,
+                "{name}_count{{stage=\"{label}\"}} {}",
+                snap.count()
+            );
+        }
+    }
+
+    /// Finishes the page and returns the exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counters_and_gauges_render_with_annotations() {
+        let mut p = PromText::new();
+        p.counter("tdess_queries_served_total", "Queries served.", 42);
+        p.gauge("tdess_queue_depth", "Queued requests.", 3.0);
+        let page = p.finish();
+        assert!(page.contains("# HELP tdess_queries_served_total Queries served.\n"));
+        assert!(page.contains("# TYPE tdess_queries_served_total counter\n"));
+        assert!(page.contains("tdess_queries_served_total 42\n"));
+        assert!(page.contains("# TYPE tdess_queue_depth gauge\n"));
+        assert!(page.contains("tdess_queue_depth 3\n"));
+    }
+
+    #[test]
+    fn empty_summary_is_omitted() {
+        let mut p = PromText::new();
+        p.summary(
+            "tdess_one_shot_latency_seconds",
+            "One-shot latency.",
+            &HistogramSnapshot::empty(),
+        );
+        assert_eq!(p.finish(), "");
+    }
+
+    #[test]
+    fn summary_renders_quantiles_sum_and_count() {
+        let h = Histogram::new();
+        for n in 1..=100u64 {
+            h.record_nanos(n * 1_000_000); // 1..=100 ms
+        }
+        let mut p = PromText::new();
+        p.summary("tdess_one_shot_latency_seconds", "One-shot.", &h.snapshot());
+        let page = p.finish();
+        assert!(page.contains("# TYPE tdess_one_shot_latency_seconds summary\n"));
+        assert!(page.contains("tdess_one_shot_latency_seconds{quantile=\"0.5\"}"));
+        assert!(page.contains("tdess_one_shot_latency_seconds{quantile=\"0.9\"}"));
+        assert!(page.contains("tdess_one_shot_latency_seconds{quantile=\"0.99\"}"));
+        assert!(page.contains("tdess_one_shot_latency_seconds_count 100\n"));
+        assert!(page.contains("tdess_one_shot_latency_seconds_sum "));
+    }
+
+    #[test]
+    fn stage_histogram_renders_cumulative_buckets_and_skips_empty_series() {
+        let h = Histogram::new();
+        h.record_nanos(5_000);
+        h.record_nanos(50_000);
+        let mut p = PromText::new();
+        p.stage_histograms(
+            "tdess_stage_duration_seconds",
+            "Stage timings.",
+            &[
+                ("voxelize", h.snapshot()),
+                ("rerank", HistogramSnapshot::empty()),
+            ],
+        );
+        let page = p.finish();
+        assert!(page.contains("# TYPE tdess_stage_duration_seconds histogram\n"));
+        assert!(page
+            .contains("tdess_stage_duration_seconds_bucket{stage=\"voxelize\",le=\"+Inf\"} 2\n"));
+        assert!(page.contains("tdess_stage_duration_seconds_count{stage=\"voxelize\"} 2\n"));
+        assert!(!page.contains("stage=\"rerank\""));
+        // Cumulative counts never decrease along the bucket lines.
+        let counts: Vec<u64> = page
+            .lines()
+            .filter(|l| l.contains("stage=\"voxelize\",le=") && !l.contains("+Inf"))
+            .filter_map(|l| l.rsplit(' ').next())
+            .filter_map(|v| v.parse().ok())
+            .collect();
+        assert!(!counts.is_empty());
+        for w in counts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn all_empty_stage_family_is_omitted() {
+        let mut p = PromText::new();
+        p.stage_histograms(
+            "tdess_stage_duration_seconds",
+            "Stage timings.",
+            &[("eigen", HistogramSnapshot::empty())],
+        );
+        assert_eq!(p.finish(), "");
+    }
+}

@@ -1,0 +1,165 @@
+//! Process-wide per-stage timing registry.
+//!
+//! Each pipeline/query [`Stage`] owns a static [`Histogram`]; a
+//! [`StageTimer`] records into it on drop and, at trace level, also
+//! emits a span-close event with the elapsed time. Timers are no-ops
+//! when the filter is [`Level::Off`], so `TDESS_LOG=off` removes the
+//! instrumentation cost entirely (see the `tab_obs_overhead` bench).
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::trace::{emit, enabled, Level};
+use std::time::Instant;
+
+/// The instrumented stages of the extraction pipeline and query path.
+///
+/// Extraction stages follow the paper's flow (pose normalization →
+/// voxelization → skeletonization → graph build → eigenvalues); query
+/// stages cover feature extraction, index search, similarity
+/// combination, and multi-step re-ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// PCA pose normalization of the input mesh.
+    Normalize,
+    /// Mesh → voxel-grid discretization.
+    Voxelize,
+    /// Iterative thinning of the voxel grid to a skeleton.
+    Skeletonize,
+    /// Skeleton voxels → attributed graph.
+    GraphBuild,
+    /// Laplacian eigenvalue signature of the skeleton graph.
+    Eigen,
+    /// Full feature extraction for a query mesh (encloses the five
+    /// extraction stages above).
+    QueryExtract,
+    /// R*-tree (or scan) search in one feature space.
+    IndexSearch,
+    /// Distance → similarity conversion, weighting, sort and cut.
+    SimilarityCombine,
+    /// Multi-step strategy re-ranking passes after the first step.
+    Rerank,
+}
+
+impl Stage {
+    /// Every stage, in pipeline-then-query order.
+    pub const ALL: [Stage; 9] = [
+        Stage::Normalize,
+        Stage::Voxelize,
+        Stage::Skeletonize,
+        Stage::GraphBuild,
+        Stage::Eigen,
+        Stage::QueryExtract,
+        Stage::IndexSearch,
+        Stage::SimilarityCombine,
+        Stage::Rerank,
+    ];
+
+    /// Stable snake_case name used in wire payloads and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Normalize => "normalize",
+            Stage::Voxelize => "voxelize",
+            Stage::Skeletonize => "skeletonize",
+            Stage::GraphBuild => "graph_build",
+            Stage::Eigen => "eigen",
+            Stage::QueryExtract => "query_extract",
+            Stage::IndexSearch => "index_search",
+            Stage::SimilarityCombine => "similarity_combine",
+            Stage::Rerank => "rerank",
+        }
+    }
+}
+
+static STAGE_HISTS: [Histogram; 9] = [
+    Histogram::new(),
+    Histogram::new(),
+    Histogram::new(),
+    Histogram::new(),
+    Histogram::new(),
+    Histogram::new(),
+    Histogram::new(),
+    Histogram::new(),
+    Histogram::new(),
+];
+
+/// The process-wide histogram backing `stage`.
+pub fn stage_histogram(stage: Stage) -> &'static Histogram {
+    &STAGE_HISTS[stage as usize]
+}
+
+/// Snapshots every stage histogram, in [`Stage::ALL`] order.
+pub fn stage_snapshots() -> Vec<(Stage, HistogramSnapshot)> {
+    Stage::ALL
+        .iter()
+        .map(|&s| (s, stage_histogram(s).snapshot()))
+        .collect()
+}
+
+/// Times one stage execution: started with [`StageTimer::start`], it
+/// records the elapsed duration into the stage's histogram when
+/// dropped. A no-op (not even a clock read) when the level is `off`.
+#[derive(Debug)]
+pub struct StageTimer {
+    stage: Stage,
+    start: Option<Instant>,
+}
+
+impl StageTimer {
+    /// Starts timing `stage`.
+    pub fn start(stage: Stage) -> StageTimer {
+        StageTimer {
+            stage,
+            // Any level except Off keeps histograms recording.
+            start: enabled(Level::Error).then(Instant::now),
+        }
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            let elapsed = t0.elapsed();
+            stage_histogram(self.stage).record(elapsed);
+            if enabled(Level::Trace) {
+                emit(
+                    Level::Trace,
+                    "tdess.stage",
+                    "stage timed",
+                    &[
+                        ("stage", self.stage.name().to_string()),
+                        ("elapsed_us", elapsed.as_micros().to_string()),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_unique_and_snake_case() {
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::ALL.len());
+        for n in names {
+            assert!(n
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn registry_indexing_matches_all_order() {
+        for (i, &s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s as usize, i);
+        }
+        let snaps = stage_snapshots();
+        assert_eq!(snaps.len(), Stage::ALL.len());
+        for (i, (s, _)) in snaps.iter().enumerate() {
+            assert_eq!(*s, Stage::ALL[i]);
+        }
+    }
+}

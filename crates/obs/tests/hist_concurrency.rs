@@ -1,0 +1,61 @@
+//! Concurrency guarantees for the obs histograms: no lost counts under
+//! contended recording, and exact shard merging.
+
+use std::sync::Arc;
+use tdess_obs::{Histogram, HistogramSnapshot};
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 5_000;
+
+#[test]
+fn concurrent_recording_loses_no_counts() {
+    let hist = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread values across many octaves, per-thread offsets.
+                    hist.record_nanos(1 + t + i * 997);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("recorder thread panicked");
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD);
+    assert_eq!(snap.min_nanos(), 1);
+    assert_eq!(snap.max_nanos(), (THREADS - 1) + (PER_THREAD - 1) * 997 + 1);
+    // The per-bucket counts must account for every sample too.
+    let bucket_total: u64 = snap.buckets().map(|(_, c)| c).sum();
+    assert_eq!(bucket_total, THREADS * PER_THREAD);
+}
+
+#[test]
+fn per_thread_shards_merge_exactly_to_the_shared_total() {
+    // Record the same sample stream twice: once into a shared histogram
+    // from 8 threads, once into 8 private shards merged afterwards.
+    let shared = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let shard = Histogram::new();
+                for i in 0..PER_THREAD {
+                    let v = (t + 1) * 13 + i * i % 1_000_003;
+                    shard.record_nanos(v);
+                    shared.record_nanos(v);
+                }
+                shard.snapshot()
+            })
+        })
+        .collect();
+    let mut merged = HistogramSnapshot::empty();
+    for h in handles {
+        merged.merge(&h.join().expect("shard thread panicked"));
+    }
+    assert_eq!(merged, shared.snapshot());
+    assert_eq!(merged.count(), THREADS * PER_THREAD);
+}

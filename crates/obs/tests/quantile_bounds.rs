@@ -1,0 +1,60 @@
+//! Property test: histogram quantiles bracket the exact quantiles of
+//! the recorded samples within one bucket's relative error (6.25%).
+
+use proptest::prelude::*;
+use tdess_obs::Histogram;
+
+/// Exact q-quantile of a sorted sample set, using the same
+/// ceil(q * n) rank convention the histogram reports.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reported_quantiles_bracket_exact_quantiles(
+        values in prop::collection::vec(1u64..5_000_000_000u64, 1..200),
+        q in 0.0f64..1.0f64,
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record_nanos(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let reported = hist.snapshot().quantile_nanos(q);
+        // Lower bound: the reported value is a bucket upper bound, so
+        // it can never undershoot the exact sample at that rank.
+        prop_assert!(
+            reported >= exact,
+            "reported {reported} < exact {exact} at q={q}"
+        );
+        // Upper bound: one bucket's width above the exact value, i.e.
+        // 1/16 relative plus 1 for unit-bucket rounding.
+        prop_assert!(
+            reported <= exact + exact / 16 + 1,
+            "reported {reported} exceeds exact {exact} + 6.25% at q={q}"
+        );
+    }
+
+    #[test]
+    fn quantiles_stay_within_observed_range(
+        values in prop::collection::vec(1u64..10_000_000_000u64, 1..100),
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record_nanos(v);
+        }
+        let snap = hist.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let r = snap.quantile_nanos(q);
+            prop_assert!(r >= snap.min_nanos());
+            prop_assert!(r <= snap.max_nanos());
+        }
+    }
+}

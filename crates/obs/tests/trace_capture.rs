@@ -1,0 +1,76 @@
+//! End-to-end behavior of the tracing side: filtering, the JSON-lines
+//! shape, trace-id propagation, and the capture sink.
+//!
+//! The level and sink are process-global, so everything lives in one
+//! `#[test]` to avoid cross-test interference.
+
+use tdess_obs::{event, event_kv, set_level, sink_to_stderr, with_trace_id, Capture, Level};
+
+#[test]
+fn events_are_filtered_structured_and_trace_tagged() {
+    let capture = Capture::install();
+    set_level(Level::Debug);
+
+    // Filtering: info passes at debug, debug passes, trace does not.
+    event!(Info, "tdess.test", "hello {}", 42);
+    event!(Trace, "tdess.test", "invisible");
+    let text = capture.contents();
+    assert!(text.contains("\"msg\":\"hello 42\""), "{text}");
+    assert!(text.contains("\"level\":\"info\""), "{text}");
+    assert!(text.contains("\"target\":\"tdess.test\""), "{text}");
+    assert!(text.contains("\"ts_ms\":"), "{text}");
+    assert!(!text.contains("invisible"), "{text}");
+
+    // Structured fields render as string values.
+    event_kv!(Warn, "tdess.test", "slow request", {
+        duration_ms: 1250,
+        kind: "SearchMesh",
+    });
+    let text = capture.contents();
+    assert!(text.contains("\"duration_ms\":\"1250\""), "{text}");
+    assert!(text.contains("\"kind\":\"SearchMesh\""), "{text}");
+
+    // Ambient trace ids are attached to every event in scope.
+    with_trace_id(Some("cafe0123cafe0123".into()), || {
+        event!(Debug, "tdess.test", "inside the span");
+    });
+    event!(Debug, "tdess.test", "outside the span");
+    let text = capture.contents();
+    let inside = text
+        .lines()
+        .find(|l| l.contains("inside the span"))
+        .expect("inside event emitted");
+    assert!(
+        inside.contains("\"trace_id\":\"cafe0123cafe0123\""),
+        "{inside}"
+    );
+    let outside = text
+        .lines()
+        .find(|l| l.contains("outside the span"))
+        .expect("outside event emitted");
+    assert!(!outside.contains("trace_id"), "{outside}");
+
+    // Every emitted line is itself valid JSON (no broken escaping).
+    for line in capture.contents().lines() {
+        let parsed: Result<serde_json::Value, _> = serde_json::from_str(line);
+        assert!(parsed.is_ok(), "unparsable event line: {line}");
+    }
+
+    // Warn filtering silences info (the satellite requirement for
+    // TDESS_LOG=warn quieting the serve banner).
+    set_level(Level::Warn);
+    let before = capture.contents().len();
+    event!(Info, "tdess.test", "should be silenced");
+    assert_eq!(capture.contents().len(), before);
+    event!(Warn, "tdess.test", "still audible");
+    assert!(capture.contents().contains("still audible"));
+
+    // Off silences everything, including errors.
+    set_level(Level::Off);
+    let before = capture.contents().len();
+    event!(Error, "tdess.test", "nothing at off");
+    assert_eq!(capture.contents().len(), before);
+
+    set_level(Level::Info);
+    sink_to_stderr();
+}

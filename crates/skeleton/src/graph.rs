@@ -63,6 +63,7 @@ const LINE_DEVIATION_VOXELS: f64 = 1.25;
 
 /// Builds the skeletal graph of a thinned skeleton grid.
 pub fn build_graph(skel: &VoxelGrid) -> SkeletalGraph {
+    let _stage = tdess_obs::StageTimer::start(tdess_obs::Stage::GraphBuild);
     let voxels: Vec<(usize, usize, usize)> = skel.iter_filled().collect();
     let index: HashMap<(usize, usize, usize), usize> =
         voxels.iter().enumerate().map(|(n, &v)| (v, n)).collect();

@@ -17,6 +17,7 @@ pub const SPECTRUM_DIM: usize = 8;
 /// its typed adjacency matrix, sorted by decreasing magnitude (sign
 /// preserved), padded with zeros or truncated to `dim` entries.
 pub fn spectral_signature(graph: &SkeletalGraph, dim: usize) -> Vec<f64> {
+    let _stage = tdess_obs::StageTimer::start(tdess_obs::Stage::Eigen);
     let (a, n) = graph.adjacency_matrix();
     debug_assert!(
         (0..n).all(|i| (i..n).all(|j| a[i * n + j] == a[j * n + i])),

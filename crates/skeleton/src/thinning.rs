@@ -92,6 +92,7 @@ pub fn thin(grid: &mut VoxelGrid, params: &ThinningParams) -> usize {
 
 /// Convenience: thins a copy and returns it, leaving `grid` untouched.
 pub fn skeletonize(grid: &VoxelGrid, params: &ThinningParams) -> VoxelGrid {
+    let _stage = tdess_obs::StageTimer::start(tdess_obs::Stage::Skeletonize);
     let mut skel = grid.clone();
     thin(&mut skel, params);
     skel

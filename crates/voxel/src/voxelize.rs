@@ -61,6 +61,7 @@ fn cell_index(coord: f64) -> usize {
 /// assert!(grid.filled_volume() >= 1.0 && grid.filled_volume() < 1.6);
 /// ```
 pub fn voxelize(mesh: &TriMesh, params: &VoxelizeParams) -> VoxelGrid {
+    let _stage = tdess_obs::StageTimer::start(tdess_obs::Stage::Voxelize);
     assert!(params.resolution >= 2, "resolution must be at least 2");
     let bb = mesh.bounding_box();
     assert!(!bb.is_empty(), "cannot voxelize an empty mesh");

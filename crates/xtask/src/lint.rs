@@ -22,8 +22,9 @@ use std::path::{Path, PathBuf};
 use crate::mask::{mask, Waiver};
 
 /// Crates whose library code must be panic-free (rule `unwrap`).
-const PANIC_FREE_CRATES: [&str; 10] = [
+const PANIC_FREE_CRATES: [&str; 11] = [
     "geom", "voxel", "skeleton", "features", "index", "cluster", "core", "dataset", "eval", "net",
+    "obs",
 ];
 
 /// Crates whose `as` casts are audited (rule `lossy-cast`).

@@ -18,6 +18,7 @@
 //!        --addr HOST:PORT         bind address          (default 127.0.0.1:7333)
 //!        --workers N              worker threads        (default 4)
 //!        --queue N                accept-queue depth    (default 64)
+//!        --metrics-addr HOST:PORT also serve Prometheus `GET /metrics`
 //! tdess remote <addr> <verb> [options]       talk to a running server
 //!        verbs: query <mesh>, multistep <mesh>, info, stats, ping
 //!        (query/multistep take the same flags as their local forms)
@@ -27,6 +28,11 @@
 //! `--json`: machine-readable output serializing the same payload
 //! types the wire protocol uses ([`HitsReport`], [`InfoReport`],
 //! [`tdess_net::StatsReport`]).
+//!
+//! Structured log events go to stderr as JSON lines; `TDESS_LOG`
+//! (off|error|warn|info|debug|trace, default info) filters them —
+//! `TDESS_LOG=warn` silences the operational banner, `TDESS_LOG=debug`
+//! shows per-connection and per-request lifecycle events.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -291,6 +297,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 }
 
 /// Prints the server's query metrics in the shared CLI footer format.
+/// Latency classes with no samples are absent (`None`) and skipped.
 fn print_metrics(m: &ServerMetrics) {
     println!("server metrics:");
     println!("  queries served: {}", m.queries_served);
@@ -299,18 +306,27 @@ fn print_metrics(m: &ServerMetrics) {
         ("multi-step", &m.multi_step),
         ("transport", &m.transport),
     ] {
-        if lat.count > 0 {
-            println!(
-                "  {:10} latency: min {:.3} ms  mean {:.3} ms  max {:.3} ms  ({} queries)",
-                label,
-                lat.min_s * 1e3,
-                lat.mean_s * 1e3,
-                lat.max_s * 1e3,
-                lat.count
-            );
+        if let Some(lat) = lat {
+            print_latency(2, label, lat);
         }
     }
     println!("  index: {}", m.index_stats);
+}
+
+/// Prints one latency summary line (extremes, mean, quantiles).
+fn print_latency(indent: usize, label: &str, lat: &threedess::core::LatencyStats) {
+    println!(
+        "{:indent$}{:18} min {:.3} ms  p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms  mean {:.3} ms  ({} samples)",
+        "",
+        label,
+        lat.min_s * 1e3,
+        lat.p50_s * 1e3,
+        lat.p90_s * 1e3,
+        lat.p99_s * 1e3,
+        lat.max_s * 1e3,
+        lat.mean_s * 1e3,
+        lat.count
+    );
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
@@ -426,9 +442,9 @@ fn print_node(
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
-    let db_path = pos
-        .first()
-        .ok_or("usage: tdess serve <db.json> [--addr 127.0.0.1:7333] [--workers 4] [--queue 64]")?;
+    let db_path = pos.first().ok_or(
+        "usage: tdess serve <db.json> [--addr 127.0.0.1:7333] [--workers 4] [--queue 64] [--metrics-addr 127.0.0.1:0]",
+    )?;
     let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
     let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:7333");
     let mut cfg = NetServerConfig::default();
@@ -440,17 +456,35 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let shapes = db.len();
     let server = NetServer::bind(addr, SearchServer::new(db), cfg).map_err(|e| e.to_string())?;
-    // The first line of output is machine-parseable: smoke tests and
-    // scripts read the actual (possibly ephemeral) address from it.
-    // Banner writes must not take the server down if the launcher
-    // closes our stdout (`println!` panics on a broken pipe).
+    // Optional Prometheus exposition endpoint; kept alive for the
+    // life of the process by the binding below.
+    let metrics = match flag(&flags, "metrics-addr") {
+        Some(maddr) => Some(
+            threedess::net::MetricsServer::bind(maddr, server.metrics_renderer())
+                .map_err(|e| e.to_string())?,
+        ),
+        None => None,
+    };
+    // The first lines of output are machine-parseable: smoke tests and
+    // scripts read the actual (possibly ephemeral) addresses from
+    // them. Banner writes must not take the server down if the
+    // launcher closes our stdout (`println!` panics on a broken pipe).
     {
         use std::io::Write;
         let mut out = std::io::stdout();
         let _ = writeln!(out, "listening on {}", server.local_addr());
-        let _ = writeln!(out, "serving {shapes} shapes from {db_path}");
+        if let Some(m) = &metrics {
+            let _ = writeln!(out, "metrics on {}", m.local_addr());
+        }
         let _ = out.flush();
     }
+    // Operational chatter goes through the leveled event API so
+    // `TDESS_LOG=warn` runs a quiet server.
+    tdess_obs::event!(
+        Info,
+        "tdess::serve",
+        "serving {shapes} shapes from {db_path}"
+    );
     // Serve until the process is terminated. Inserts mutate only the
     // in-memory snapshot; the file on disk is the startup state.
     loop {
@@ -526,6 +560,12 @@ fn cmd_remote(args: &[String]) -> Result<(), String> {
                 t.decode_errors,
                 t.requests_served
             );
+            if !report.stages.is_empty() {
+                println!("pipeline stages:");
+                for s in &report.stages {
+                    print_latency(2, &s.stage, &s.latency);
+                }
+            }
             Ok(())
         }
         "ping" => {

@@ -20,5 +20,6 @@ pub use tdess_features as features;
 pub use tdess_geom as geom;
 pub use tdess_index as index;
 pub use tdess_net as net;
+pub use tdess_obs as obs;
 pub use tdess_skeleton as skeleton;
 pub use tdess_voxel as voxel;
