@@ -317,7 +317,7 @@ impl SearchServer {
             crossbeam::scope(|scope| {
                 for _ in 0..threads.min(n) {
                     scope.spawn(|_| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let i = next.fetch_add(1, Ordering::Relaxed); // audit: ordering(slot-claim ticket; results publish via the RwLock slots and the scope join barrier)
                         if i >= n {
                             break;
                         }
@@ -467,7 +467,7 @@ pub fn bulk_insert(
         crossbeam::scope(|scope| {
             for _ in 0..threads.min(n) {
                 scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let i = next.fetch_add(1, Ordering::Relaxed); // audit: ordering(slot-claim ticket; results publish via the RwLock slots and the scope join barrier)
                     if i >= n {
                         break;
                     }

@@ -46,6 +46,19 @@ fn parse_err(msg: impl Into<String>) -> IoError {
     IoError::Parse(msg.into())
 }
 
+/// Caps on counts declared in mesh-file headers. A few header bytes
+/// can otherwise declare billions of elements and force a gigabyte
+/// allocation before a single payload byte is read. 2^24 vertices
+/// (~400 MiB of coordinates) is far beyond any engineering model we
+/// index and keeps every index safely inside `u32`.
+pub const MAX_MESH_VERTICES: usize = 1 << 24;
+
+/// Cap on the declared face count (see [`MAX_MESH_VERTICES`]).
+pub const MAX_MESH_FACES: usize = 1 << 24;
+
+/// Cap on a single polygon's declared vertex count in OFF files.
+pub const MAX_FACE_ARITY: usize = 4096;
+
 // ---------------------------------------------------------------------
 // STL
 // ---------------------------------------------------------------------
@@ -122,7 +135,9 @@ fn read_stl_binary_bytes(data: &[u8]) -> Result<TriMesh, IoError> {
             data.len()
         )));
     }
+    // audit: allow(wire-alloc) — count is bounded by the truncation check above: 50 bytes per triangle must be present
     let mut vertices = Vec::with_capacity(count * 3);
+    // audit: allow(wire-alloc) — count is bounded by the truncation check above: 50 bytes per triangle must be present
     let mut triangles = Vec::with_capacity(count);
     for t in 0..count {
         let _normal = (buf.get_f32_le(), buf.get_f32_le(), buf.get_f32_le());
@@ -213,6 +228,19 @@ pub fn read_off<R: Read>(r: &mut R) -> Result<TriMesh, IoError> {
     let nv = next_usize("vertex count", &mut it)?;
     let nf = next_usize("face count", &mut it)?;
     let _ne = next_usize("edge count", &mut it)?;
+    // Validate the declared counts before allocating: a 20-byte header
+    // must not be able to demand gigabytes (and nv ≤ MAX_MESH_VERTICES
+    // also guarantees every vertex index fits in u32 below).
+    if nv > MAX_MESH_VERTICES {
+        return Err(parse_err(format!(
+            "declared vertex count {nv} exceeds limit {MAX_MESH_VERTICES}"
+        )));
+    }
+    if nf > MAX_MESH_FACES {
+        return Err(parse_err(format!(
+            "declared face count {nf} exceeds limit {MAX_MESH_FACES}"
+        )));
+    }
 
     let next_f64 = |what: &str, it: &mut dyn Iterator<Item = String>| -> Result<f64, IoError> {
         it.next()
@@ -232,6 +260,11 @@ pub fn read_off<R: Read>(r: &mut R) -> Result<TriMesh, IoError> {
         let k = next_usize(&format!("face {f} arity"), &mut it)?;
         if k < 3 {
             return Err(parse_err(format!("face {f} has {k} vertices")));
+        }
+        if k > MAX_FACE_ARITY {
+            return Err(parse_err(format!(
+                "face {f} declares {k} vertices, exceeds limit {MAX_FACE_ARITY}"
+            )));
         }
         let mut idx = Vec::with_capacity(k);
         for j in 0..k {

@@ -96,16 +96,24 @@ impl TransportCounters {
     /// promised).
     pub fn snapshot(&self) -> TransportStats {
         TransportStats {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
-            frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
-            decode_errors: self.decode_errors.load(Ordering::Relaxed),
-            requests_served: self.requests_served.load(Ordering::Relaxed),
+            connections_accepted: Self::load(&self.connections_accepted),
+            connections_rejected: Self::load(&self.connections_rejected),
+            frames_decoded: Self::load(&self.frames_decoded),
+            decode_errors: Self::load(&self.decode_errors),
+            requests_served: Self::load(&self.requests_served),
         }
     }
 
+    /// All cells are pure event counters: each is complete in itself,
+    /// publishes no other memory, and `snapshot` documents that
+    /// cross-counter consistency is not promised — so Relaxed is the
+    /// correct ordering on both sides.
+    fn load(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed) // audit: ordering(pure event counter; no data published, loose snapshot documented)
+    }
+
     fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.fetch_add(1, Ordering::Relaxed); // audit: ordering(pure event counter; atomic RMW loses no increments, no data published)
     }
 }
 

@@ -1,0 +1,140 @@
+//! Shutdown-path thread-hygiene regression tests, backing the audit
+//! `thread-hygiene` rule: every thread [`NetServer`] and
+//! [`MetricsServer`] spawn must be joined on shutdown, shutdown must
+//! be idempotent (explicit double call and the implicit Drop after an
+//! explicit call), and a stopped server must actually release its
+//! listener.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tdess_core::{SearchServer, ShapeDatabase};
+use tdess_features::FeatureExtractor;
+use tdess_geom::{primitives, Vec3};
+use tdess_net::{MetricsServer, NetClient, NetClientConfig, NetServer, NetServerConfig};
+
+fn small_db() -> ShapeDatabase {
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: 12,
+        ..Default::default()
+    });
+    db.insert("box", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)))
+        .unwrap();
+    db.insert("sphere", primitives::uv_sphere(1.0, 10, 5))
+        .unwrap();
+    db
+}
+
+fn serve(cfg: NetServerConfig) -> NetServer {
+    NetServer::bind("127.0.0.1:0", SearchServer::new(small_db()), cfg).unwrap()
+}
+
+/// One raw HTTP/1.0 scrape of `GET path`, returning the response text.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n")?;
+    let mut out = String::new();
+    stream.read_to_string(&mut out)?;
+    Ok(out)
+}
+
+#[test]
+fn net_server_shutdown_joins_and_is_idempotent() {
+    let mut server = serve(NetServerConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    let addr = server.local_addr();
+
+    // Serve one real request so workers are demonstrably alive first.
+    let mut client = NetClient::connect(addr, NetClientConfig::default()).unwrap();
+    client.ping().unwrap();
+    drop(client);
+
+    // Shutdown joins the accept thread and all four workers; if any
+    // worker failed to exit on channel disconnect this would hang, so
+    // bound it with a wall-clock assertion.
+    let t0 = Instant::now();
+    server.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "shutdown took {:?}",
+        t0.elapsed()
+    );
+
+    // Second explicit call and the Drop that follows are both no-ops.
+    server.shutdown();
+
+    // With every thread joined, new connections must be refused or die
+    // without an answer — nothing is left accepting.
+    assert!(
+        NetClient::connect(addr, NetClientConfig::default()).is_err(),
+        "stopped server still answered a handshake"
+    );
+    drop(server); // Drop runs shutdown() a third time — still a no-op.
+}
+
+#[test]
+fn net_server_drop_alone_joins_threads() {
+    let server = serve(NetServerConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let addr = server.local_addr();
+    let t0 = Instant::now();
+    drop(server);
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "drop took {:?}",
+        t0.elapsed()
+    );
+    assert!(NetClient::connect(addr, NetClientConfig::default()).is_err());
+}
+
+#[test]
+fn metrics_server_double_shutdown_and_drop_are_idempotent() {
+    let render: tdess_net::MetricsRenderer = Arc::new(|| "# scrape ok\n".to_string());
+    let mut metrics = MetricsServer::bind("127.0.0.1:0", render).unwrap();
+    let addr = metrics.local_addr();
+
+    // The serving thread answers while up.
+    let body = http_get(addr, "/metrics").unwrap();
+    assert!(body.contains("200 OK"), "{body}");
+    assert!(body.contains("scrape ok"), "{body}");
+
+    // First shutdown joins the thread; the repeat and the final Drop
+    // must both be no-ops (the JoinHandle is take()n exactly once).
+    let t0 = Instant::now();
+    metrics.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "shutdown took {:?}",
+        t0.elapsed()
+    );
+    metrics.shutdown();
+
+    // The listener is gone: a fresh scrape cannot complete.
+    assert!(
+        http_get(addr, "/metrics").is_err(),
+        "stopped metrics endpoint still answered"
+    );
+    drop(metrics);
+}
+
+#[test]
+fn metrics_server_port_is_reusable_after_shutdown() {
+    let render: tdess_net::MetricsRenderer = Arc::new(String::new);
+    let mut metrics = MetricsServer::bind("127.0.0.1:0", Arc::clone(&render)).unwrap();
+    let addr = metrics.local_addr();
+    metrics.shutdown();
+    drop(metrics);
+
+    // With the thread joined and the listener closed, the exact port
+    // can be bound again — the strongest observable proof the previous
+    // instance fully released its resources.
+    let rebound = MetricsServer::bind(addr, render).unwrap();
+    assert_eq!(rebound.local_addr(), addr);
+}

@@ -89,10 +89,15 @@ impl Histogram {
 
     /// Records one sample given directly in nanoseconds.
     pub fn record_nanos(&self, nanos: u64) {
-        self.counts[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(nanos, Ordering::Relaxed);
-        self.min.fetch_min(nanos, Ordering::Relaxed);
-        self.max.fetch_max(nanos, Ordering::Relaxed);
+        // Each cell is an independent statistic updated by an atomic
+        // RMW, so no increment is ever lost; nothing non-atomic is
+        // published through these cells, and cross-cell consistency is
+        // explicitly not promised (see `snapshot`). Relaxed is the
+        // correct ordering on this hot path.
+        self.counts[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed); // audit: ordering(independent stat cell, atomic RMW, no data published)
+        self.sum.fetch_add(nanos, Ordering::Relaxed); // audit: ordering(independent stat cell, atomic RMW, no data published)
+        self.min.fetch_min(nanos, Ordering::Relaxed); // audit: ordering(independent stat cell, atomic RMW, no data published)
+        self.max.fetch_max(nanos, Ordering::Relaxed); // audit: ordering(independent stat cell, atomic RMW, no data published)
     }
 
     /// Takes an immutable snapshot of the current counts.
@@ -104,15 +109,15 @@ impl Histogram {
         let counts: Vec<u64> = self
             .counts
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|c| c.load(Ordering::Relaxed)) // audit: ordering(loose snapshot is documented; totals recomputed from the loaded buckets)
             .collect();
         let count = counts.iter().sum();
         HistogramSnapshot {
             counts,
             count,
-            sum_nanos: self.sum.load(Ordering::Relaxed),
-            min_nanos: self.min.load(Ordering::Relaxed),
-            max_nanos: self.max.load(Ordering::Relaxed),
+            sum_nanos: self.sum.load(Ordering::Relaxed), // audit: ordering(loose snapshot is documented; monotone counter, no data guarded)
+            min_nanos: self.min.load(Ordering::Relaxed), // audit: ordering(loose snapshot is documented; monotone watermark, no data guarded)
+            max_nanos: self.max.load(Ordering::Relaxed), // audit: ordering(loose snapshot is documented; monotone watermark, no data guarded)
         }
     }
 }

@@ -86,6 +86,10 @@ static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
 /// The active verbosity threshold, lazily read from `TDESS_LOG` on
 /// first use (default [`Level::Info`] when unset or unparsable).
 pub fn level() -> Level {
+    // The whole state is the one u8 inside the atomic — no other
+    // memory is published through it, so Relaxed carries everything
+    // every reader needs, and this load sits on every event call site.
+    // audit: ordering(single-cell u8 flag; the atomic value IS the whole state, nothing else is published)
     match LEVEL.load(Ordering::Relaxed) {
         LEVEL_UNSET => {
             let parsed = std::env::var("TDESS_LOG")
@@ -96,10 +100,10 @@ pub fn level() -> Level {
             let _ = LEVEL.compare_exchange(
                 LEVEL_UNSET,
                 parsed as u8,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // audit: ordering(single-cell u8 flag; CAS success publishes only the cell itself)
+                Ordering::Relaxed, // audit: ordering(failure load feeds no memory access, only the re-load below)
             );
-            Level::from_u8(LEVEL.load(Ordering::Relaxed))
+            Level::from_u8(LEVEL.load(Ordering::Relaxed)) // audit: ordering(single-cell u8 flag; the atomic value IS the whole state)
         }
         v => Level::from_u8(v),
     }
@@ -108,7 +112,7 @@ pub fn level() -> Level {
 /// Overrides the verbosity threshold for this process (wins over the
 /// `TDESS_LOG` environment variable).
 pub fn set_level(l: Level) {
-    LEVEL.store(l as u8, Ordering::Relaxed);
+    LEVEL.store(l as u8, Ordering::Relaxed); // audit: ordering(single-cell u8 flag; no other memory is published with it)
 }
 
 /// True when events at `l` pass the active filter.
@@ -199,7 +203,7 @@ pub fn gen_trace_id() -> String {
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(0);
-    let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let seq = COUNTER.fetch_add(1, Ordering::Relaxed); // audit: ordering(uniqueness counter; atomic RMW alone guarantees distinct values)
     let mut hasher = DefaultHasher::new();
     std::thread::current().id().hash(&mut hasher);
     let mut x = nanos ^ seq.rotate_left(32) ^ hasher.finish();
@@ -266,15 +270,19 @@ pub fn emit(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
         line.push('"');
     }
     line.push_str("}\n");
+    // Holding the sink lock across the write is the point: it is what
+    // keeps concurrently emitted JSON lines from interleaving. The
+    // line is fully formatted before the lock is taken, so the
+    // critical section is exactly one buffered write plus flush.
     let mut guard = sink_lock();
     match guard.as_mut() {
         Some(w) => {
-            let _ = w.write_all(line.as_bytes());
+            let _ = w.write_all(line.as_bytes()); // audit: allow(lock-discipline) — the sink lock exists to serialize this write; line is preformatted, section is write+flush only
             let _ = w.flush();
         }
         None => {
             let mut err = std::io::stderr().lock();
-            let _ = err.write_all(line.as_bytes());
+            let _ = err.write_all(line.as_bytes()); // audit: allow(lock-discipline) — stderr lock serializes one preformatted line, mirroring the sink branch
         }
     }
 }

@@ -1,21 +1,31 @@
 //! Workspace automation tasks (the cargo-xtask pattern).
 //!
-//! The only task so far is `lint`: a lightweight, zero-dependency
-//! static-analysis pass enforcing the workspace's panic-freedom and
-//! NaN-safety policy. Run it as `cargo xtask lint` (the alias lives in
-//! `.cargo/config.toml`).
+//! Two static-analysis passes share one scanning core ([`scan`]):
+//!
+//! * `lint` — panic-freedom and NaN-safety policy (`cargo xtask lint`);
+//! * `audit` — concurrency and resource-safety policy: lock
+//!   discipline, atomic orderings, thread hygiene, wire-bounded
+//!   allocations (`cargo xtask audit`).
+//!
+//! A third task, `cargo xtask waivers`, emits the combined waiver
+//! inventory across both passes and fails on malformed waivers.
 //!
 //! The scanner is intentionally a line/token heuristic, not a full
 //! parser: it masks comments and string literals, tracks `#[cfg(test)]`
 //! regions by brace depth, and pattern-matches the rules. That keeps
-//! the tool instant and dependency-free at the cost of line-local
+//! the tools instant and dependency-free at the cost of line-local
 //! matching (multi-line violations are invisible). The waiver syntax
-//! (`// lint: allow(<rule>) — <reason>`) is the escape hatch for
-//! justified exceptions — the reason text is mandatory.
+//! (`// lint: allow(<rule>) — <reason>`,
+//! `// audit: allow(<rule>) — <reason>`, and the audit shorthand
+//! `// audit: ordering(<reason>)`) is the escape hatch for justified
+//! exceptions — the reason text is mandatory.
 
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod lint;
-pub mod mask;
+pub mod scan;
 
-pub use lint::{lint_root, Finding, Report, Rule};
+pub use audit::audit_root;
+pub use lint::{lint_root, Rule};
+pub use scan::{changed_files, waiver_inventory, Finding, Inventory, Report, Tool};

@@ -15,11 +15,15 @@
 //!
 //! Any finding can be waived in place with
 //! `// lint: allow(<rule>) — <reason>`; the reason is mandatory.
+//!
+//! File walking, masking, waiver parsing, and the finding/report model
+//! live in [`crate::scan`], shared with the `audit` pass.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use crate::mask::{mask, Waiver};
+use crate::scan::{mask, push_finding, test_lines, workspace_units, Report, Tool, Waiver};
 
 /// Crates whose library code must be panic-free (rule `unwrap`).
 const PANIC_FREE_CRATES: [&str; 11] = [
@@ -61,86 +65,24 @@ impl fmt::Display for Rule {
     }
 }
 
-/// One rule violation, waived or not.
-#[derive(Debug, Clone)]
-pub struct Finding {
-    /// Path relative to the scanned root.
-    pub file: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// Which rule fired.
-    pub rule: Rule,
-    /// Human-readable description.
-    pub message: String,
-    /// The waiver reason, when a matching waiver covers this line.
-    pub waiver: Option<String>,
-}
-
-/// Everything one lint run produced.
-#[derive(Debug, Default)]
-pub struct Report {
-    /// All findings, waived and unwaived, in path/line order.
-    pub findings: Vec<Finding>,
-    /// Number of files scanned.
-    pub files_scanned: usize,
-}
-
-impl Report {
-    /// Findings not covered by a waiver (these fail the build).
-    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
-        self.findings.iter().filter(|f| f.waiver.is_none())
-    }
-
-    /// Number of waived findings.
-    pub fn waived_count(&self) -> usize {
-        self.findings.iter().filter(|f| f.waiver.is_some()).count()
-    }
-
-    /// Number of unwaived findings.
-    pub fn unwaived_count(&self) -> usize {
-        self.findings.len() - self.waived_count()
-    }
-}
-
 /// Lints the workspace rooted at `root`: the root package's `src/`
-/// plus every `crates/*/src/`. Returns an error string on I/O
-/// problems.
-pub fn lint_root(root: &Path) -> Result<Report, String> {
+/// plus every `crates/*/src/`. When `changed` is given, only files in
+/// that set are scanned. Returns an error string on I/O problems.
+pub fn lint_root(root: &Path, changed: Option<&HashSet<PathBuf>>) -> Result<Report, String> {
     let mut report = Report::default();
-    let mut units: Vec<(String, PathBuf)> = Vec::new(); // (crate name, src dir)
-
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        units.push(("threedess".to_string(), root_src));
-    }
-    let crates_dir = root.join("crates");
-    if crates_dir.is_dir() {
-        let mut names: Vec<String> = std::fs::read_dir(&crates_dir)
-            .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
-            .filter_map(|entry| entry.ok())
-            .filter(|entry| entry.path().is_dir())
-            .map(|entry| entry.file_name().to_string_lossy().into_owned())
-            .collect();
-        names.sort();
-        for name in names {
-            let src = crates_dir.join(&name).join("src");
-            if src.is_dir() {
-                units.push((name, src));
-            }
-        }
-    }
-
-    for (crate_name, src_dir) in &units {
-        let mut files = Vec::new();
-        collect_rs_files(src_dir, &mut files)?;
-        files.sort();
-        for file in files {
+    for unit in workspace_units(root, changed)? {
+        let scope_base = FileScope {
+            panic_free: PANIC_FREE_CRATES.contains(&unit.crate_name.as_str()),
+            cast_audited: CAST_AUDITED_CRATES.contains(&unit.crate_name.as_str()),
+            is_crate_root: false,
+        };
+        for file in &unit.files {
             report.files_scanned += 1;
-            let source = std::fs::read_to_string(&file)
+            let source = std::fs::read_to_string(file)
                 .map_err(|e| format!("read {}: {e}", file.display()))?;
             let rel = file
                 .strip_prefix(root)
-                .unwrap_or(&file)
+                .unwrap_or(file)
                 .to_string_lossy()
                 .into_owned();
             let is_crate_root = file
@@ -152,38 +94,22 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
                 &rel,
                 &source,
                 FileScope {
-                    panic_free: PANIC_FREE_CRATES.contains(&crate_name.as_str()),
-                    cast_audited: CAST_AUDITED_CRATES.contains(&crate_name.as_str()),
                     is_crate_root,
+                    ..scope_base
                 },
             );
         }
     }
-
-    report
-        .findings
-        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    report.sort();
     Ok(report)
 }
 
 /// Which rules apply to a given file.
+#[derive(Clone, Copy)]
 struct FileScope {
     panic_free: bool,
     cast_audited: bool,
     is_crate_root: bool,
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    for entry in std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))? {
-        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 fn lint_file(report: &mut Report, rel: &str, source: &str, scope: FileScope) {
@@ -197,55 +123,21 @@ fn lint_file(report: &mut Report, rel: &str, source: &str, scope: FileScope) {
             &lines,
             rel,
             1,
-            Rule::ForbidUnsafe,
+            Tool::Lint,
+            Rule::ForbidUnsafe.name(),
             "crate root does not declare #![forbid(unsafe_code)]".to_string(),
         );
     }
 
-    // Brace-tracked skip regions for test code: a block opened after
-    // `#[cfg(test)]` or `#[test]`.
-    let mut depth: usize = 0;
-    let mut skip_stack: Vec<usize> = Vec::new();
-    let mut pending_skip = false;
-
+    let in_test = test_lines(&lines);
     for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-
-        // Detect the test attribute BEFORE processing the line's
-        // braces, so a single-line `#[cfg(test)] mod t { ... }` both
-        // exempts itself and consumes its pending skip on its own
-        // opening brace (instead of leaking it to the next block).
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[test]") {
-            pending_skip = true;
-        }
-
-        let in_test = !skip_stack.is_empty() || pending_skip;
-        if !in_test {
-            check_code_line(report, &masked.waivers, &lines, rel, lineno, line, &scope);
-        }
-
-        for ch in line.chars() {
-            match ch {
-                '{' => {
-                    depth += 1;
-                    if pending_skip {
-                        skip_stack.push(depth);
-                        pending_skip = false;
-                    }
-                }
-                '}' => {
-                    if skip_stack.last() == Some(&depth) {
-                        skip_stack.pop();
-                    }
-                    depth = depth.saturating_sub(1);
-                }
-                _ => {}
-            }
+        if !in_test[idx] {
+            check_code_line(report, &masked.waivers, &lines, rel, idx + 1, line, &scope);
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_code_line(
     report: &mut Report,
     waivers: &[Waiver],
@@ -264,7 +156,8 @@ fn check_code_line(
             lines,
             rel,
             lineno,
-            Rule::FloatCmp,
+            Tool::Lint,
+            Rule::FloatCmp.name(),
             "NaN-unsafe comparator: partial_cmp(..).unwrap()/.expect(..) — \
              use f64::total_cmp or waive with a documented finiteness guard"
                 .to_string(),
@@ -285,7 +178,8 @@ fn check_code_line(
                     lines,
                     rel,
                     lineno,
-                    Rule::Unwrap,
+                    Tool::Lint,
+                    Rule::Unwrap.name(),
                     format!(
                         "{what} in library code — return a typed error \
                          (see PersistError in crates/core/src/persist.rs) or waive with a reason"
@@ -304,7 +198,8 @@ fn check_code_line(
                 lines,
                 rel,
                 lineno,
-                Rule::LossyCast,
+                Tool::Lint,
+                Rule::LossyCast.name(),
                 message,
             );
         }
@@ -401,47 +296,6 @@ fn has_float_literal(line: &str) -> bool {
     false
 }
 
-/// Records a finding, attaching a waiver when one covers the line.
-fn push_finding(
-    report: &mut Report,
-    waivers: &[Waiver],
-    lines: &[&str],
-    rel: &str,
-    lineno: usize,
-    rule: Rule,
-    message: String,
-) {
-    let waiver = waivers.iter().find_map(|w| {
-        if w.rule != rule.name() {
-            return None;
-        }
-        let covered = if w.inline {
-            w.line == lineno
-        } else {
-            standalone_target(lines, w.line) == Some(lineno)
-        };
-        covered.then(|| w.reason.clone())
-    });
-    report.findings.push(Finding {
-        file: rel.to_string(),
-        line: lineno,
-        rule,
-        message,
-        waiver,
-    });
-}
-
-/// The line a standalone waiver comment covers: the next non-blank
-/// line of (masked) code after it.
-fn standalone_target(lines: &[&str], waiver_line: usize) -> Option<usize> {
-    lines
-        .iter()
-        .enumerate()
-        .skip(waiver_line) // lines[waiver_line] is the line after (0-based vs 1-based)
-        .find(|(_, l)| !l.trim().is_empty())
-        .map(|(idx, _)| idx + 1)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,7 +319,7 @@ mod tests {
         let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\nfn g() { panic!(\"no\") }\n";
         let r = run(src, scope_all());
         assert_eq!(r.findings.len(), 2);
-        assert!(r.findings.iter().all(|f| f.rule == Rule::Unwrap));
+        assert!(r.findings.iter().all(|f| f.rule == Rule::Unwrap.name()));
     }
 
     #[test]
@@ -478,7 +332,7 @@ mod tests {
         );
         let r = run(&src, scope_all());
         assert_eq!(r.findings.len(), 1);
-        assert_eq!(r.findings[0].rule, Rule::FloatCmp);
+        assert_eq!(r.findings[0].rule, Rule::FloatCmp.name());
         assert_eq!(r.findings[0].line, 2);
     }
 
@@ -543,6 +397,14 @@ fn g(v: &mut [f64]) {{
     }
 
     #[test]
+    fn audit_waiver_does_not_cover_lint_finding() {
+        let src =
+            "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // audit: allow(unwrap) — wrong tool\n}\n";
+        let r = run(src, scope_all());
+        assert_eq!(r.unwaived_count(), 1);
+    }
+
+    #[test]
     fn lossy_casts() {
         assert!(lossy_cast_on_line("let i = (x / step).floor() as usize;").is_some());
         assert!(lossy_cast_on_line("let i = 2.5 as u32;").is_some());
@@ -561,7 +423,7 @@ fn g(v: &mut [f64]) {{
         };
         let r = run("pub fn ok() {}\n", scope);
         assert_eq!(r.findings.len(), 1);
-        assert_eq!(r.findings[0].rule, Rule::ForbidUnsafe);
+        assert_eq!(r.findings[0].rule, Rule::ForbidUnsafe.name());
 
         let scope = FileScope {
             panic_free: false,

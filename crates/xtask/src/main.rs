@@ -2,24 +2,39 @@
 
 #![forbid(unsafe_code)]
 
+use std::collections::HashSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::{lint_root, Report};
+use xtask::audit::AUDIT_RULES;
+use xtask::scan::Tool;
+use xtask::{audit_root, changed_files, lint_root, waiver_inventory, Report, Rule};
 
 const USAGE: &str = "\
 cargo xtask <task>
 
 tasks:
-  lint [--json] [--root <dir>]   check the panic-freedom / NaN-safety policy
-                                 (--json emits machine-readable output;
-                                  --root overrides the workspace root)
+  lint   [--json] [--root <dir>] [--changed]
+         check the panic-freedom / NaN-safety policy
+  audit  [--json] [--root <dir>] [--changed]
+         check the concurrency / resource-safety policy
+         (lock-discipline, atomic-ordering, thread-hygiene, wire-alloc)
+  waivers [--json] [--root <dir>]
+         list every lint/audit waiver in the tree; fails on
+         malformed waivers (missing reason, unknown rule)
+
+flags:
+  --json     emit machine-readable output
+  --root     override the workspace root
+  --changed  scan only files differing from the merge-base with main
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint_command(&args[1..]),
+        Some("lint") => scan_command(Tool::Lint, &args[1..]),
+        Some("audit") => scan_command(Tool::Audit, &args[1..]),
+        Some("waivers") => waivers_command(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`\n{USAGE}");
             ExitCode::from(2)
@@ -31,51 +46,232 @@ fn main() -> ExitCode {
     }
 }
 
-fn lint_command(args: &[String]) -> ExitCode {
+/// Parsed common flags.
+struct Flags {
+    json: bool,
+    root: PathBuf,
+    changed: bool,
+}
+
+/// Parses `[--json] [--root <dir>] [--changed]`, validating the root.
+fn parse_flags(task: &str, args: &[String], allow_changed: bool) -> Result<Flags, ExitCode> {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut changed = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--changed" if allow_changed => changed = true,
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--root requires a directory\n{USAGE}");
-                    return ExitCode::from(2);
+                    return Err(ExitCode::from(2));
                 }
             },
             other => {
                 eprintln!("unknown flag `{other}`\n{USAGE}");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
         }
     }
-
     let root = root.unwrap_or_else(workspace_root);
     if !root.join("crates").is_dir() {
         // A typo'd --root would otherwise scan zero files and pass.
         eprintln!(
-            "xtask lint: `{}` has no crates/ directory — not a workspace root",
+            "xtask {task}: `{}` has no crates/ directory — not a workspace root",
             root.display()
         );
-        return ExitCode::from(2);
+        return Err(ExitCode::from(2));
     }
-    let report = match lint_root(&root) {
+    Ok(Flags {
+        json,
+        root,
+        changed,
+    })
+}
+
+fn scan_command(tool: Tool, args: &[String]) -> ExitCode {
+    let flags = match parse_flags(tool.name(), args, true) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+
+    let changed_set: Option<HashSet<PathBuf>> = if flags.changed {
+        match changed_files(&flags.root) {
+            Ok(set) => Some(set),
+            Err(e) => {
+                eprintln!("xtask {}: --changed: {e}", tool.name());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+
+    let run = match tool {
+        Tool::Lint => lint_root(&flags.root, changed_set.as_ref()),
+        Tool::Audit => audit_root(&flags.root, changed_set.as_ref()),
+    };
+    let report = match run {
         Ok(report) => report,
         Err(e) => {
-            eprintln!("xtask lint: {e}");
+            eprintln!("xtask {}: {e}", tool.name());
             return ExitCode::from(2);
         }
     };
 
-    if json {
+    if flags.json {
         println!("{}", render_json(&report));
     } else {
-        render_text(&report);
+        render_text(tool, &report);
     }
 
     if report.unwaived_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn waivers_command(args: &[String]) -> ExitCode {
+    let flags = match parse_flags("waivers", args, false) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let inventory = match waiver_inventory(&flags.root, None) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("xtask waivers: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Cross-reference against both passes: a waiver is "active" when a
+    // finding of its rule sits on its target line, "stale" otherwise
+    // (stale is informational — the code it excused has moved or been
+    // fixed). Unknown rule names can never match and are hard errors.
+    let lint_rules = [
+        Rule::Unwrap.name(),
+        Rule::FloatCmp.name(),
+        Rule::ForbidUnsafe.name(),
+        Rule::LossyCast.name(),
+    ];
+    let reports = match (lint_root(&flags.root, None), audit_root(&flags.root, None)) {
+        (Ok(l), Ok(a)) => (l, a),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("xtask waivers: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let waived_sites: HashSet<(Tool, &str, usize, &str)> =
+        [(Tool::Lint, &reports.0), (Tool::Audit, &reports.1)]
+            .into_iter()
+            .flat_map(|(tool, report)| {
+                report
+                    .findings
+                    .iter()
+                    .filter(|f| f.waiver.is_some())
+                    .map(move |f| (tool, f.file.as_str(), f.line, f.rule))
+            })
+            .collect();
+
+    let mut unknown_rule = 0usize;
+    let mut stale = 0usize;
+    let statuses: Vec<&'static str> = inventory
+        .entries
+        .iter()
+        .map(|e| {
+            let known = match e.waiver.tool {
+                Tool::Lint => lint_rules.contains(&e.waiver.rule.as_str()),
+                Tool::Audit => AUDIT_RULES.contains(&e.waiver.rule.as_str()),
+            };
+            if !known {
+                unknown_rule += 1;
+                return "unknown-rule";
+            }
+            let active = e.target.is_some_and(|t| {
+                waived_sites.contains(&(e.waiver.tool, e.file.as_str(), t, e.waiver.rule.as_str()))
+            });
+            if active {
+                "active"
+            } else {
+                stale += 1;
+                "stale"
+            }
+        })
+        .collect();
+
+    if flags.json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"files_scanned\": {},\n  \"waivers\": {},\n  \"malformed\": {},\n  \"unknown_rule\": {unknown_rule},\n  \"stale\": {stale},\n  \"entries\": [",
+            inventory.files_scanned,
+            inventory.entries.len(),
+            inventory.malformed.len(),
+        ));
+        for (i, (e, status)) in inventory.entries.iter().zip(&statuses).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"tool\": {}, \"rule\": {}, \"reason\": {}, \"inline\": {}, \"status\": {}}}",
+                json_str(&e.file),
+                e.waiver.line,
+                json_str(e.waiver.tool.name()),
+                json_str(&e.waiver.rule),
+                json_str(&e.waiver.reason),
+                e.waiver.inline,
+                json_str(status),
+            ));
+        }
+        out.push_str(if inventory.entries.is_empty() {
+            "],\n  \"malformed_entries\": ["
+        } else {
+            "\n  ],\n  \"malformed_entries\": ["
+        });
+        for (i, (file, m)) in inventory.malformed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"text\": {}, \"problem\": {}}}",
+                json_str(file),
+                m.line,
+                json_str(&m.text),
+                json_str(&m.problem),
+            ));
+        }
+        out.push_str(if inventory.malformed.is_empty() {
+            "]\n}"
+        } else {
+            "\n  ]\n}"
+        });
+        println!("{out}");
+    } else {
+        for (e, status) in inventory.entries.iter().zip(&statuses) {
+            println!(
+                "{}:{}: {}: allow({}) [{status}] — {}",
+                e.file,
+                e.waiver.line,
+                e.waiver.tool.name(),
+                e.waiver.rule,
+                e.waiver.reason
+            );
+        }
+        for (file, m) in &inventory.malformed {
+            println!("{file}:{}: MALFORMED ({}): {}", m.line, m.problem, m.text);
+        }
+        eprintln!(
+            "xtask waivers: {} file(s) scanned, {} waiver(s) ({stale} stale), {} malformed, {unknown_rule} unknown-rule",
+            inventory.files_scanned,
+            inventory.entries.len(),
+            inventory.malformed.len(),
+        );
+    }
+
+    if !inventory.malformed.is_empty() || unknown_rule > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
@@ -94,7 +290,7 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
-fn render_text(report: &Report) {
+fn render_text(tool: Tool, report: &Report) {
     for finding in report.unwaived() {
         println!(
             "{}:{}: {}: {}",
@@ -102,7 +298,8 @@ fn render_text(report: &Report) {
         );
     }
     eprintln!(
-        "xtask lint: {} file(s) scanned, {} finding(s): {} unwaived, {} waived",
+        "xtask {}: {} file(s) scanned, {} finding(s): {} unwaived, {} waived",
+        tool.name(),
         report.files_scanned,
         report.findings.len(),
         report.unwaived_count(),
@@ -128,7 +325,7 @@ fn render_json(report: &Report) -> String {
             "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"waived\": {}",
             json_str(&f.file),
             f.line,
-            json_str(f.rule.name()),
+            json_str(f.rule),
             json_str(&f.message),
             f.waiver.is_some(),
         ));

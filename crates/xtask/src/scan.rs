@@ -1,0 +1,881 @@
+//! Shared scanning infrastructure for the `lint` and `audit` passes.
+//!
+//! Both static-analysis passes work the same way: walk the workspace's
+//! `src/` trees, blank out comments and string literals (preserving
+//! byte-for-byte line structure so findings carry real line numbers),
+//! extract waiver comments, and pattern-match rules on the masked
+//! text. This module holds everything the two passes share:
+//!
+//! * [`mask`] — the comment/string masker, moved here from the old
+//!   `mask` module unchanged in behavior;
+//! * the unified waiver grammar — `// lint: allow(<rule>) — <reason>`
+//!   and `// audit: allow(<rule>) — <reason>`, plus the audit-only
+//!   shorthand `// audit: ordering(<reason>)` which desugars to a
+//!   waiver for the `atomic-ordering` rule. Waiver-shaped comments
+//!   that fail the grammar (no reason, no rule) are collected as
+//!   [`MalformedWaiver`]s for `cargo xtask waivers` to reject;
+//! * [`workspace_units`] / [`changed_files`] — file discovery, full
+//!   tree or limited to files differing from the merge-base with
+//!   `main` (`--changed`);
+//! * [`test_lines`] — `#[cfg(test)]` / `#[test]` region tracking by
+//!   brace depth;
+//! * [`Finding`] / [`Report`] / [`push_finding`] — the shared finding
+//!   model, including waiver attachment.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Which pass a waiver addresses. A `lint:` waiver never satisfies an
+/// `audit` finding and vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tool {
+    /// The panic-freedom / NaN-safety pass (`cargo xtask lint`).
+    Lint,
+    /// The concurrency / resource-safety pass (`cargo xtask audit`).
+    Audit,
+}
+
+impl Tool {
+    /// The comment prefix (`lint` / `audit`) naming this pass.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::Lint => "lint",
+            Tool::Audit => "audit",
+        }
+    }
+}
+
+/// A well-formed waiver comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line the waiver comment sits on.
+    pub line: usize,
+    /// Which pass the waiver addresses.
+    pub tool: Tool,
+    /// The rule name inside `allow(...)` (or `atomic-ordering` for the
+    /// `ordering(...)` shorthand).
+    pub rule: String,
+    /// The justification. Always non-empty — an undocumented waiver is
+    /// recorded as [`MalformedWaiver`] instead.
+    pub reason: String,
+    /// True if the waiver comment shares its line with code (then it
+    /// covers that line); false if it stands alone (then it covers the
+    /// next code line).
+    pub inline: bool,
+}
+
+/// A comment that starts like a waiver but fails the grammar — most
+/// importantly a waiver without a written reason. These never silence
+/// a finding, and `cargo xtask waivers` fails the build on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedWaiver {
+    /// 1-based line of the broken waiver comment.
+    pub line: usize,
+    /// The comment text as written.
+    pub text: String,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// Result of masking one file.
+pub struct Masked {
+    /// The source with comments and string/char literals blanked.
+    pub text: String,
+    /// All well-formed waivers found in comments, in order.
+    pub waivers: Vec<Waiver>,
+    /// Waiver-shaped comments that fail the grammar.
+    pub malformed: Vec<MalformedWaiver>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Masks `src`, blanking comments and literals and collecting waivers.
+pub fn mask(src: &str) -> Masked {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    let mut state = State::Code;
+    let mut i = 0;
+    let mut line = 1usize;
+    // Whether any code byte has appeared on the current line (decides
+    // inline vs standalone waivers).
+    let mut line_has_code = false;
+    // Comment bytes being accumulated for waiver parsing. Kept as raw
+    // bytes so multi-byte UTF-8 (e.g. the `—` separator) survives;
+    // decoded once at flush time.
+    let mut comment_buf: Vec<u8> = Vec::new();
+    let mut comment_line = 1usize;
+    let mut comment_inline = false;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if state == State::LineComment {
+                flush_comment(
+                    &mut waivers,
+                    &mut malformed,
+                    &String::from_utf8_lossy(&comment_buf),
+                    comment_line,
+                    comment_inline,
+                );
+                comment_buf.clear();
+                state = State::Code;
+            }
+            out.push(b'\n');
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    comment_line = line;
+                    comment_inline = line_has_code;
+                    comment_buf.clear();
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str;
+                    out.push(b'"');
+                    line_has_code = true;
+                    i += 1;
+                } else if b == b'r' && matches!(bytes.get(i + 1), Some(b'"' | b'#')) {
+                    // Raw string r"..." or r#"..."#.
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        state = State::RawStr(hashes);
+                        out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                        line_has_code = true;
+                        i = j + 1;
+                    } else {
+                        out.push(b);
+                        line_has_code = true;
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // Either a char literal or a lifetime. A lifetime
+                    // is 'ident not followed by a closing quote.
+                    if is_char_literal(bytes, i) {
+                        state = State::Char;
+                        out.push(b'\'');
+                        line_has_code = true;
+                        i += 1;
+                    } else {
+                        out.push(b);
+                        line_has_code = true;
+                        i += 1;
+                    }
+                } else {
+                    if !b.is_ascii_whitespace() {
+                        line_has_code = true;
+                    }
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment_buf.push(b);
+                out.push(b' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    if bytes[i + 1] == b'\n' {
+                        // String line-continuation: the escape consumes
+                        // the newline, but the mask must still emit it
+                        // to stay line-aligned with the source.
+                        out.extend_from_slice(b" \n");
+                        line += 1;
+                        line_has_code = false;
+                    } else {
+                        out.extend_from_slice(b"  ");
+                    }
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Code;
+                    out.push(b'"');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    state = State::Code;
+                    out.extend(std::iter::repeat_n(b' ', hashes as usize + 1));
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    if bytes[i + 1] == b'\n' {
+                        // Not valid Rust, but keep line alignment even
+                        // on malformed input.
+                        out.extend_from_slice(b" \n");
+                        line += 1;
+                        line_has_code = false;
+                    } else {
+                        out.extend_from_slice(b"  ");
+                    }
+                    i += 2;
+                } else if b == b'\'' {
+                    state = State::Code;
+                    out.push(b'\'');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if state == State::LineComment {
+        flush_comment(
+            &mut waivers,
+            &mut malformed,
+            &String::from_utf8_lossy(&comment_buf),
+            comment_line,
+            comment_inline,
+        );
+    }
+
+    Masked {
+        // The mask only rewrites ASCII bytes in code state and blanks
+        // everything else, so the output is valid UTF-8 whenever the
+        // input was. Fall back to lossy just in case.
+        text: String::from_utf8(out)
+            .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned()),
+        waivers,
+        malformed,
+    }
+}
+
+/// Is the `'` at `i` opening a char literal (vs a lifetime)?
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(&c) => {
+            if c == b'\'' {
+                return false; // '' is nothing valid; treat as lifetime-ish
+            }
+            // 'x' → char; 'ident (no closing quote soon) → lifetime.
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                bytes.get(i + 2) == Some(&b'\'')
+            } else {
+                // Punctuation like '(' — must be a char literal.
+                true
+            }
+        }
+        None => false,
+    }
+}
+
+/// Does the `"` at `i` close a raw string opened with `hashes` hashes?
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| bytes.get(i + 1 + k) == Some(&b'#'))
+}
+
+/// Strips one of the accepted reason separators (`—`, `–`, `-`, `:`).
+fn strip_separator(reason: &str) -> &str {
+    let mut reason = reason.trim_start();
+    for dash in ["—", "–", "-", ":"] {
+        if let Some(r) = reason.strip_prefix(dash) {
+            reason = r.trim_start();
+            break;
+        }
+    }
+    reason
+}
+
+/// Parses a completed `//` comment body under the unified waiver
+/// grammar.
+///
+/// Accepted forms (`<dash>` is `—`, `–`, `-`, or `:`):
+///
+/// * `lint: allow(<rule>) <dash> <reason>`
+/// * `audit: allow(<rule>) <dash> <reason>`
+/// * `audit: ordering(<reason>)` — shorthand for
+///   `audit: allow(atomic-ordering) — <reason>`
+///
+/// A reason is mandatory; waiver-shaped comments without one are
+/// recorded as malformed so `cargo xtask waivers` can reject them.
+fn flush_comment(
+    waivers: &mut Vec<Waiver>,
+    malformed: &mut Vec<MalformedWaiver>,
+    comment: &str,
+    line: usize,
+    inline: bool,
+) {
+    let text = comment.trim();
+    let (tool, rest) = if let Some(rest) = text.strip_prefix("lint:") {
+        (Tool::Lint, rest.trim_start())
+    } else if let Some(rest) = text.strip_prefix("audit:") {
+        (Tool::Audit, rest.trim_start())
+    } else {
+        return;
+    };
+
+    if let Some(rest) = rest.strip_prefix("allow(") {
+        let Some(close) = rest.find(')') else {
+            malformed.push(MalformedWaiver {
+                line,
+                text: text.to_string(),
+                problem: "unclosed allow(...)".to_string(),
+            });
+            return;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = strip_separator(&rest[close + 1..]).trim_end().to_string();
+        if rule.is_empty() {
+            malformed.push(MalformedWaiver {
+                line,
+                text: text.to_string(),
+                problem: "empty rule name".to_string(),
+            });
+        } else if reason.is_empty() {
+            malformed.push(MalformedWaiver {
+                line,
+                text: text.to_string(),
+                problem: "waiver without a written reason".to_string(),
+            });
+        } else {
+            waivers.push(Waiver {
+                line,
+                tool,
+                rule,
+                reason,
+                inline,
+            });
+        }
+    } else if tool == Tool::Audit && rest.starts_with("ordering(") {
+        let inner = &rest["ordering(".len()..];
+        let Some(close) = inner.rfind(')') else {
+            malformed.push(MalformedWaiver {
+                line,
+                text: text.to_string(),
+                problem: "unclosed ordering(...)".to_string(),
+            });
+            return;
+        };
+        let reason = inner[..close].trim().to_string();
+        if reason.is_empty() {
+            malformed.push(MalformedWaiver {
+                line,
+                text: text.to_string(),
+                problem: "ordering() justification without a written reason".to_string(),
+            });
+        } else {
+            waivers.push(Waiver {
+                line,
+                tool,
+                rule: "atomic-ordering".to_string(),
+                reason,
+                inline,
+            });
+        }
+    }
+    // Other `lint:` / `audit:` prose comments are not waiver-shaped
+    // and are ignored.
+}
+
+// ---------------------------------------------------------------------
+// File discovery
+// ---------------------------------------------------------------------
+
+/// One scanned compilation unit: a crate name plus its `.rs` files.
+#[derive(Debug)]
+pub struct Unit {
+    /// The crate directory name (`geom`, `net`, ...); the root package
+    /// scans as `threedess`.
+    pub crate_name: String,
+    /// All `.rs` files under the unit's `src/`, sorted.
+    pub files: Vec<PathBuf>,
+}
+
+/// Enumerates the workspace's units: the root package's `src/` plus
+/// every `crates/*/src/`, with files optionally restricted to
+/// `changed` (canonicalized absolute paths).
+pub fn workspace_units(
+    root: &Path,
+    changed: Option<&HashSet<PathBuf>>,
+) -> Result<Vec<Unit>, String> {
+    let mut units = Vec::new();
+    let mut dirs: Vec<(String, PathBuf)> = Vec::new();
+
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        dirs.push(("threedess".to_string(), root_src));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<String> = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
+            .filter_map(|entry| entry.ok())
+            .filter(|entry| entry.path().is_dir())
+            .map(|entry| entry.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        for name in names {
+            let src = crates_dir.join(&name).join("src");
+            if src.is_dir() {
+                dirs.push((name, src));
+            }
+        }
+    }
+
+    for (crate_name, src_dir) in dirs {
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        if let Some(changed) = changed {
+            files.retain(|f| {
+                std::fs::canonicalize(f)
+                    .map(|abs| changed.contains(&abs))
+                    .unwrap_or(false)
+            });
+        }
+        units.push(Unit { crate_name, files });
+    }
+    Ok(units)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))? {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The set of files (canonicalized) differing from the merge-base with
+/// `main`, for `--changed` runs: committed differences, working-tree
+/// edits, and untracked files. Falls back to `origin/main`, then to
+/// plain `HEAD` (working-tree changes only) when no `main` exists.
+pub fn changed_files(root: &Path) -> Result<HashSet<PathBuf>, String> {
+    let base = ["main", "origin/main"]
+        .iter()
+        .find_map(|r| git(root, &["merge-base", "HEAD", r]).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "HEAD".to_string());
+    let mut set = HashSet::new();
+    let diff = git(root, &["diff", "--name-only", "-z", &base])?;
+    let untracked = git(root, &["ls-files", "--others", "--exclude-standard", "-z"])?;
+    for name in diff.split('\0').chain(untracked.split('\0')) {
+        if name.is_empty() {
+            continue;
+        }
+        // Deleted files fail to canonicalize and are simply absent.
+        if let Ok(abs) = std::fs::canonicalize(root.join(name)) {
+            set.insert(abs);
+        }
+    }
+    Ok(set)
+}
+
+fn git(root: &Path, args: &[&str]) -> Result<String, String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(args)
+        .output()
+        .map_err(|e| format!("run git {}: {e}", args.join(" ")))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git {} failed: {}",
+            args.join(" "),
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    String::from_utf8(out.stdout).map_err(|e| format!("git {} output: {e}", args.join(" ")))
+}
+
+// ---------------------------------------------------------------------
+// Test-region tracking
+// ---------------------------------------------------------------------
+
+/// Per-line "inside test code" flags for masked source lines: a block
+/// opened after `#[cfg(test)]` or `#[test]` is test code, tracked by
+/// brace depth. The attribute line itself counts as test code, so a
+/// single-line `#[cfg(test)] mod t { ... }` both exempts itself and
+/// consumes its pending skip on its own opening brace.
+pub fn test_lines(lines: &[&str]) -> Vec<bool> {
+    let mut flags = Vec::with_capacity(lines.len());
+    let mut depth: usize = 0;
+    let mut skip_stack: Vec<usize> = Vec::new();
+    let mut pending_skip = false;
+
+    for line in lines {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[test]") {
+            pending_skip = true;
+        }
+        flags.push(!skip_stack.is_empty() || pending_skip);
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_skip {
+                        skip_stack.push(depth);
+                        pending_skip = false;
+                    }
+                }
+                '}' => {
+                    if skip_stack.last() == Some(&depth) {
+                        skip_stack.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+// ---------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------
+
+/// One rule violation, waived or not.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path relative to the scanned root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Name of the rule that fired.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// The waiver reason, when a matching waiver covers this line.
+    pub waiver: Option<String>,
+}
+
+/// Everything one analysis run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, waived and unwaived, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by a waiver (these fail the build).
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waiver.is_none())
+    }
+
+    /// Number of waived findings.
+    pub fn waived_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.waiver.is_some()).count()
+    }
+
+    /// Number of unwaived findings.
+    pub fn unwaived_count(&self) -> usize {
+        self.findings.len() - self.waived_count()
+    }
+
+    /// Sorts findings into path/line order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    }
+}
+
+/// Records a finding for `tool`'s `rule`, attaching a waiver when one
+/// of the matching tool and rule covers the line (inline waivers cover
+/// their own line; standalone waivers cover the next code line).
+#[allow(clippy::too_many_arguments)]
+pub fn push_finding(
+    report: &mut Report,
+    waivers: &[Waiver],
+    lines: &[&str],
+    rel: &str,
+    lineno: usize,
+    tool: Tool,
+    rule: &'static str,
+    message: String,
+) {
+    let waiver = waivers.iter().find_map(|w| {
+        if w.tool != tool || w.rule != rule {
+            return None;
+        }
+        let covered = if w.inline {
+            w.line == lineno
+        } else {
+            standalone_target(lines, w.line) == Some(lineno)
+        };
+        covered.then(|| w.reason.clone())
+    });
+    report.findings.push(Finding {
+        file: rel.to_string(),
+        line: lineno,
+        rule,
+        message,
+        waiver,
+    });
+}
+
+/// The line a standalone waiver comment covers: the next non-blank
+/// line of (masked) code after it.
+pub fn standalone_target(lines: &[&str], waiver_line: usize) -> Option<usize> {
+    lines
+        .iter()
+        .enumerate()
+        .skip(waiver_line) // lines[waiver_line] is the line after (0-based vs 1-based)
+        .find(|(_, l)| !l.trim().is_empty())
+        .map(|(idx, _)| idx + 1)
+}
+
+// ---------------------------------------------------------------------
+// Waiver inventory (`cargo xtask waivers`)
+// ---------------------------------------------------------------------
+
+/// One well-formed waiver found in the tree, with the code line it
+/// covers resolved.
+#[derive(Debug)]
+pub struct InventoryEntry {
+    /// Path relative to the scanned root.
+    pub file: String,
+    /// The parsed waiver.
+    pub waiver: Waiver,
+    /// The line the waiver covers (own line if inline, next code line
+    /// otherwise; `None` for a standalone waiver at end of file).
+    pub target: Option<usize>,
+}
+
+/// Every waiver (and waiver-shaped mistake) in the scanned tree.
+#[derive(Debug, Default)]
+pub struct Inventory {
+    /// Well-formed waivers, in path/line order.
+    pub entries: Vec<InventoryEntry>,
+    /// Malformed waiver attempts (file, details), in path/line order.
+    pub malformed: Vec<(String, MalformedWaiver)>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Collects the waiver inventory for the workspace at `root`.
+pub fn waiver_inventory(
+    root: &Path,
+    changed: Option<&HashSet<PathBuf>>,
+) -> Result<Inventory, String> {
+    let mut inv = Inventory::default();
+    for unit in workspace_units(root, changed)? {
+        for file in &unit.files {
+            inv.files_scanned += 1;
+            let source = std::fs::read_to_string(file)
+                .map_err(|e| format!("read {}: {e}", file.display()))?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(file)
+                .to_string_lossy()
+                .into_owned();
+            let masked = mask(&source);
+            let lines: Vec<&str> = masked.text.lines().collect();
+            for w in masked.waivers {
+                let target = if w.inline {
+                    Some(w.line)
+                } else {
+                    standalone_target(&lines, w.line)
+                };
+                inv.entries.push(InventoryEntry {
+                    file: rel.clone(),
+                    waiver: w,
+                    target,
+                });
+            }
+            for m in masked.malformed {
+                inv.malformed.push((rel.clone(), m));
+            }
+        }
+    }
+    inv.entries
+        .sort_by(|a, b| (a.file.as_str(), a.waiver.line).cmp(&(b.file.as_str(), b.waiver.line)));
+    inv.malformed
+        .sort_by(|a, b| (a.0.as_str(), a.1.line).cmp(&(b.0.as_str(), b.1.line)));
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let m = mask("let x = \"panic!(boom)\"; // .unwrap() in comment\nlet y = 1;\n");
+        assert!(!m.text.contains("panic!"));
+        assert!(!m.text.contains(".unwrap()"));
+        assert!(m.text.contains("let y = 1;"));
+        assert_eq!(m.text.lines().count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let m = mask("let s = r#\"a \".unwrap()\" b\"#; let c = '\\''; let l: &'static str = s;");
+        assert!(!m.text.contains("unwrap"));
+        assert!(m.text.contains("&'static str"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask("/* outer /* inner .unwrap() */ still comment */ let x = 5;");
+        assert!(!m.text.contains("unwrap"));
+        assert!(m.text.contains("let x = 5;"));
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_alignment() {
+        // The `\` at end of line 1 is a string line-continuation: the
+        // escape consumes the newline, which must still appear in the
+        // mask so later line numbers stay aligned.
+        let src = "let s = \"abc\\\ndef\";\nbaz(); // lint: allow(unwrap) — reason here\n";
+        let m = mask(src);
+        assert_eq!(m.text.lines().count(), src.lines().count());
+        assert_eq!(m.waivers.len(), 1);
+        assert_eq!(m.waivers[0].line, 3);
+        assert!(m.waivers[0].inline);
+    }
+
+    #[test]
+    fn waiver_parsing() {
+        let src = "\
+foo(); // lint: allow(unwrap) — index is bounds-checked above
+// lint: allow(float-cmp) - inputs are finite by construction
+bar();
+// not a waiver: lint allow(x)
+// lint: allow(no-reason)
+";
+        let m = mask(src);
+        assert_eq!(m.waivers.len(), 2);
+        assert_eq!(m.waivers[0].tool, Tool::Lint);
+        assert_eq!(m.waivers[0].rule, "unwrap");
+        assert!(m.waivers[0].inline);
+        assert_eq!(m.waivers[0].line, 1);
+        // The em-dash separator is multi-byte UTF-8; the reason must
+        // come out clean, with the whole separator stripped.
+        assert_eq!(m.waivers[0].reason, "index is bounds-checked above");
+        assert_eq!(m.waivers[1].rule, "float-cmp");
+        assert!(!m.waivers[1].inline);
+        assert_eq!(m.waivers[1].line, 2);
+        assert_eq!(m.waivers[1].reason, "inputs are finite by construction");
+        // The reason-less waiver is recorded as malformed, not ignored.
+        assert_eq!(m.malformed.len(), 1);
+        assert_eq!(m.malformed[0].line, 5);
+    }
+
+    #[test]
+    fn audit_waivers_and_ordering_shorthand() {
+        let src = "\
+a(); // audit: allow(thread-hygiene) — monitor thread is detached by design
+b(); // audit: ordering(monotonic counter; no data published)
+c(); // audit: ordering()
+d(); // audit: allow(wire-alloc)
+";
+        let m = mask(src);
+        assert_eq!(m.waivers.len(), 2);
+        assert_eq!(m.waivers[0].tool, Tool::Audit);
+        assert_eq!(m.waivers[0].rule, "thread-hygiene");
+        assert_eq!(m.waivers[1].rule, "atomic-ordering");
+        assert_eq!(m.waivers[1].reason, "monotonic counter; no data published");
+        assert!(m.waivers[1].inline);
+        assert_eq!(m.malformed.len(), 2);
+        assert_eq!(m.malformed[0].line, 3);
+        assert_eq!(m.malformed[1].line, 4);
+    }
+
+    #[test]
+    fn lint_waiver_does_not_cross_tools() {
+        let src = "x(); // lint: allow(atomic-ordering) — wrong tool\n";
+        let m = mask(src);
+        assert_eq!(m.waivers.len(), 1);
+        assert_eq!(m.waivers[0].tool, Tool::Lint);
+        let lines: Vec<&str> = m.text.lines().collect();
+        let mut report = Report::default();
+        push_finding(
+            &mut report,
+            &m.waivers,
+            &lines,
+            "t.rs",
+            1,
+            Tool::Audit,
+            "atomic-ordering",
+            "x".to_string(),
+        );
+        assert_eq!(
+            report.unwaived_count(),
+            1,
+            "lint waiver must not cover audit"
+        );
+    }
+
+    #[test]
+    fn test_lines_tracks_regions_and_single_line_mods() {
+        let src = "\
+fn lib() {}
+#[cfg(test)] mod t { fn p() {} }
+fn lib2() {
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {}
+}
+fn lib3() {}
+";
+        let flags = test_lines(&src.lines().collect::<Vec<_>>());
+        assert_eq!(
+            flags,
+            vec![false, true, false, false, true, true, true, true, true, false]
+        );
+    }
+}

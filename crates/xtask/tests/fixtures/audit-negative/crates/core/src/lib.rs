@@ -1,0 +1,18 @@
+//! Audit negative fixture: scoped spawns auto-join (exempt from
+//! thread-hygiene) and Acquire/Release orderings pass without waivers.
+
+pub fn fan_out(n: usize) {
+    crossbeam::scope(|scope| {
+        for _ in 0..n {
+            scope.spawn(|_| work());
+        }
+    });
+}
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+}
+
+pub fn observe(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}

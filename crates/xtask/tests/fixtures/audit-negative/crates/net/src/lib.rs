@@ -1,0 +1,24 @@
+//! Audit negative fixture: the same shapes as the positive tree, done
+//! correctly — capped wire allocation, guard dropped before I/O, and a
+//! spawned thread joined on shutdown.
+
+const MAX_PAYLOAD: usize = 1 << 20;
+
+pub fn decode_frame(len: usize) -> Result<Vec<u8>, ()> {
+    if len > MAX_PAYLOAD {
+        return Err(());
+    }
+    Ok(vec![0u8; len])
+}
+
+pub fn reply(m: &std::sync::Mutex<u32>, stream: &mut std::net::TcpStream) {
+    let guard = m.lock();
+    let n = *guard;
+    drop(guard);
+    stream.write_all(&n.to_le_bytes());
+}
+
+pub fn run_worker() {
+    let handle = std::thread::spawn(work);
+    let _ = handle.join();
+}

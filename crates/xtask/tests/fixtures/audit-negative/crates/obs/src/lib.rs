@@ -1,0 +1,10 @@
+//! Audit negative fixture: waived detach spawn and a justified
+//! Relaxed ordering (via the `ordering(...)` shorthand).
+
+pub fn start_monitor() {
+    std::thread::spawn(monitor); // audit: allow(thread-hygiene) — monitor is detached by design and exits with the process
+}
+
+pub fn record(n: &AtomicU64) {
+    n.fetch_add(1, Ordering::Relaxed); // audit: ordering(pure event counter; nothing else is published)
+}

@@ -1,0 +1,7 @@
+//! Audit positive fixture: atomic-ordering violations — an
+//! unjustified Relaxed and an over-synchronized SeqCst.
+
+pub fn publish(flag: &AtomicBool, n: &AtomicU64) -> u64 {
+    flag.store(true, Ordering::SeqCst);
+    n.load(Ordering::Relaxed)
+}

@@ -1,0 +1,17 @@
+//! Audit positive fixture: wire-alloc and lock-discipline violations.
+//! Scanned by the audit tests, never compiled.
+
+pub fn decode_frame(len: usize) -> Vec<u8> {
+    // Size comes straight from the wire with no cap check.
+    vec![0u8; len]
+}
+
+pub fn reserve_payload(out: &mut Vec<u8>, declared: usize) {
+    out.reserve(declared);
+}
+
+pub fn reply(m: &std::sync::Mutex<u32>, stream: &mut std::net::TcpStream) {
+    let guard = m.lock();
+    stream.write_all(b"hello");
+    drop(guard);
+}

@@ -1,0 +1,8 @@
+//! Audit positive fixture: thread-hygiene violation — a spawn whose
+//! handle is never joined anywhere in the file.
+
+pub fn start_background() {
+    std::thread::spawn(|| loop {
+        tick();
+    });
+}

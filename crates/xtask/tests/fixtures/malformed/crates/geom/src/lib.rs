@@ -1,0 +1,11 @@
+//! Fixture for `cargo xtask waivers`: waiver-shaped comments that must
+//! fail the inventory — one without a reason, one naming a rule that
+//! does not exist.
+
+pub fn f(n: &AtomicU64) -> u64 {
+    n.load(Ordering::Relaxed) // audit: allow(atomic-ordering)
+}
+
+pub fn g(x: Option<u8>) -> u8 {
+    x.unwrap() // lint: allow(unwraps) — rule name is a typo, can never match
+}

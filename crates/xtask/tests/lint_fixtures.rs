@@ -16,8 +16,8 @@ fn fixture(name: &str) -> PathBuf {
 
 #[test]
 fn positive_fixture_trips_every_rule() {
-    let report = lint_root(&fixture("positive")).unwrap();
-    let rules: Vec<&str> = report.unwaived().map(|f| f.rule.name()).collect();
+    let report = lint_root(&fixture("positive"), None).unwrap();
+    let rules: Vec<&str> = report.unwaived().map(|f| f.rule).collect();
     for rule in ["unwrap", "float-cmp", "forbid-unsafe", "lossy-cast"] {
         assert!(rules.contains(&rule), "rule {rule} did not fire: {rules:?}");
     }
@@ -28,12 +28,12 @@ fn positive_fixture_trips_every_rule() {
         .filter(|f| f.file.contains("index"))
         .collect();
     assert_eq!(index_findings.len(), 1, "{index_findings:?}");
-    assert_eq!(index_findings[0].rule.name(), "float-cmp");
+    assert_eq!(index_findings[0].rule, "float-cmp");
 }
 
 #[test]
 fn negative_fixture_is_clean_with_waivers_counted() {
-    let report = lint_root(&fixture("negative")).unwrap();
+    let report = lint_root(&fixture("negative"), None).unwrap();
     assert_eq!(
         report.unwaived_count(),
         0,
