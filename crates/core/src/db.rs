@@ -213,6 +213,7 @@ impl ShapeDatabase {
             .iter()
             .enumerate()
             .map(|(i, s)| (s.id, i))
+            // hotpath: allow(hot-alloc) — id-index rebuild runs on remove, not per query
             .collect();
     }
 
@@ -292,6 +293,7 @@ impl ShapeDatabase {
                 .get_mut(&kind)
                 // lint: allow(unwrap) — indexes holds every FeatureKind from new(); keys are never removed
                 .expect("all kinds initialized")
+                // hotpath: allow(hot-alloc) — the database stores an owned copy of the inserted vector
                 .insert(features.get(kind).to_vec(), id);
         }
 
@@ -366,6 +368,7 @@ impl ShapeDatabase {
                             distance: d,
                             similarity: similarity(d, dmax),
                         })
+                        // hotpath: allow(hot-alloc) — hit lists and stats are the returned artifact
                         .collect()
                 }
                 QueryMode::Threshold(t) => {
@@ -454,6 +457,7 @@ impl ShapeDatabase {
                         similarity: similarity(d, dmax),
                     }
                 })
+                // hotpath: allow(hot-alloc) — the sorted hit list is the returned artifact
                 .collect()
         };
         let _stage = StageTimer::start(Stage::SimilarityCombine);

@@ -183,16 +183,19 @@ impl SearchServer {
     /// returned snapshot runs lock-free against immutable data and is
     /// unaffected by (and invisible to) concurrent writers.
     pub fn snapshot(&self) -> Arc<ShapeDatabase> {
+        // hotpath: allow(hot-alloc) — snapshot semantics require an owned copy
         self.inner.snapshot.read().clone()
     }
 
     /// Publishes a new snapshot (callers hold the writer mutex).
     fn publish(&self, db: ShapeDatabase) {
         *self.inner.snapshot.write() = Arc::new(db);
+        // hotpath: allow(hot-block) — one-line critical section swapping the published snapshot
         self.inner.metrics.lock().snapshot_swaps += 1;
     }
 
     fn record(&self, class: QueryClass, elapsed: Duration, stats: &QueryStats) {
+        // hotpath: allow(hot-block) — one-line critical section appending a stat sample
         let mut guard = self.inner.metrics.lock();
         let m = &mut *guard;
         match class {
@@ -366,7 +369,9 @@ impl SearchServer {
     pub fn insert(&self, name: impl Into<String>, mesh: TriMesh) -> Result<ShapeId, DbError> {
         let extractor = *self.snapshot().extractor();
         let features = extractor.extract(&mesh).map_err(DbError::Extraction)?;
+        // hotpath: allow(hot-block) — write-lock guards the single-writer database update
         let _writer = self.inner.writer.lock();
+        // hotpath: allow(hot-alloc) — the database stores an owned copy of the inserted shape
         let mut db = (*self.snapshot()).clone();
         let id = db.insert_precomputed(name, mesh, features);
         self.publish(db);
@@ -375,7 +380,9 @@ impl SearchServer {
 
     /// Removes a shape via the same clone-and-publish write path.
     pub fn remove(&self, id: ShapeId) -> Result<(), DbError> {
+        // hotpath: allow(hot-block) — write-lock guards the single-writer database update
         let _writer = self.inner.writer.lock();
+        // hotpath: allow(hot-alloc) — removal returns the evicted entry to the caller
         let mut db = (*self.snapshot()).clone();
         db.remove(id)?;
         self.publish(db);
@@ -413,6 +420,7 @@ impl SearchServer {
 
     /// A point-in-time copy of the server's query metrics.
     pub fn metrics(&self) -> ServerMetrics {
+        // hotpath: allow(hot-block) — short lock to copy counters for the metrics reply
         let m = self.inner.metrics.lock();
         let one_shot = m.one_shot.snapshot();
         let multi_step = m.multi_step.snapshot();

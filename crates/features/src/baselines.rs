@@ -56,6 +56,7 @@ pub fn shape_distribution_d2(mesh: &TriMesh, params: &D2Params) -> Vec<f64> {
     let pts = sample_surface(mesh, params.samples, &mut rng);
 
     use rand::Rng;
+    // hotpath: allow(hot-alloc) — sample pairs and histogram are the computed artifact
     let mut dists = Vec::with_capacity(params.pairs);
     for _ in 0..params.pairs {
         let a = rng.gen_range(0..pts.len());
@@ -108,6 +109,7 @@ pub fn shell_histogram(mesh: &TriMesh, params: &ShellParams) -> Vec<f64> {
     let pts = sample_surface(mesh, params.samples, &mut rng);
     let centroid = mesh_moments(mesh).centroid();
 
+    // hotpath: allow(hot-alloc) — shell counts are the computed artifact
     let radii: Vec<f64> = pts.iter().map(|p| p.distance(centroid)).collect();
     let rmax = radii.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
 

@@ -74,6 +74,7 @@ pub fn normalize(mesh: &TriMesh) -> Result<NormalizedModel, NormalizeError> {
 
     // 1. Translate the centroid to the origin (Eq. 3.2).
     let centroid = m.centroid();
+    // hotpath: allow(hot-alloc) — the normalized mesh is the returned artifact
     let mut out = mesh.clone();
     out.translate(-centroid);
 

@@ -6,11 +6,12 @@
 //! packages that flow behind [`FeatureExtractor`].
 
 use serde::{Deserialize, Serialize};
-use tdess_geom::{mesh_moments, TriMesh};
+use tdess_geom::{mesh_moments, TriMesh, Vec3};
 use tdess_skeleton::{
-    build_graph, prune_spurs, skeletonize, spectral_signature, SkeletalGraph, ThinningParams,
+    build_graph, prune_spurs, skeletonize_into, spectral_signature, SkeletalGraph, ThinScratch,
+    ThinningParams,
 };
-use tdess_voxel::{voxelize, VoxelGrid, VoxelizeParams};
+use tdess_voxel::{voxelize_into, FloodScratch, VoxelGrid, VoxelizeParams};
 
 use crate::baselines::{shape_distribution_d2, shell_histogram, D2Params, ShellParams};
 use crate::normalize::{normalize, NormalizeError, NormalizedModel};
@@ -92,39 +93,132 @@ impl Default for FeatureExtractor {
     }
 }
 
+/// Reusable buffers for [`FeatureExtractor::extract_with_scratch`]:
+/// the voxel grid, the skeleton grid, and the per-stage scratch of the
+/// voxelizer and thinner. One `ExtractScratch` held across queries
+/// eliminates the per-query dense-grid allocations of the pipeline.
+#[derive(Debug)]
+pub struct ExtractScratch {
+    voxels: VoxelGrid,
+    skeleton: VoxelGrid,
+    flood: FloodScratch,
+    thin: ThinScratch,
+}
+
+impl Default for ExtractScratch {
+    fn default() -> Self {
+        ExtractScratch {
+            voxels: VoxelGrid::new(1, 1, 1, Vec3::ZERO, 1.0),
+            skeleton: VoxelGrid::new(1, 1, 1, Vec3::ZERO, 1.0),
+            flood: FloodScratch::default(),
+            thin: ThinScratch::default(),
+        }
+    }
+}
+
+std::thread_local! {
+    /// Per-thread scratch behind [`FeatureExtractor::extract`], so the
+    /// zero-argument API reuses buffers without any caller changes.
+    static EXTRACT_SCRATCH: std::cell::RefCell<ExtractScratch> =
+        std::cell::RefCell::new(ExtractScratch::default());
+}
+
 impl FeatureExtractor {
     /// Extracts all four feature vectors from a mesh.
+    ///
+    /// Reuses a per-thread [`ExtractScratch`], so repeated calls on one
+    /// thread avoid re-allocating the dense grids. Results are
+    /// bit-identical to [`FeatureExtractor::extract_detailed`].
     pub fn extract(&self, mesh: &TriMesh) -> Result<FeatureSet, NormalizeError> {
-        Ok(self.extract_detailed(mesh)?.features)
+        EXTRACT_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.extract_with_scratch(mesh, &mut scratch),
+            // Reentrant call (extractor invoked from inside another
+            // extraction on this thread): fall back to fresh buffers.
+            Err(_) => self.extract_with_scratch(mesh, &mut ExtractScratch::default()),
+        })
+    }
+
+    /// [`FeatureExtractor::extract`] with caller-owned scratch buffers.
+    pub fn extract_with_scratch(
+        &self,
+        mesh: &TriMesh,
+        scratch: &mut ExtractScratch,
+    ) -> Result<FeatureSet, NormalizeError> {
+        let normalized = normalize(mesh)?;
+        let ExtractScratch {
+            voxels,
+            skeleton,
+            flood,
+            thin,
+        } = scratch;
+        let (_graph, features) =
+            self.run_pipeline(mesh, &normalized, voxels, skeleton, flood, thin);
+        Ok(features)
     }
 
     /// Extracts features and returns every intermediate artifact.
     pub fn extract_detailed(&self, mesh: &TriMesh) -> Result<PipelineArtifacts, NormalizeError> {
         let normalized = normalize(mesh)?;
+        // Artifacts are returned to the caller, so they get fresh
+        // buffers instead of the per-thread scratch.
+        let mut voxels = VoxelGrid::new(1, 1, 1, Vec3::ZERO, 1.0);
+        let mut skeleton = VoxelGrid::new(1, 1, 1, Vec3::ZERO, 1.0);
+        let (graph, features) = self.run_pipeline(
+            mesh,
+            &normalized,
+            &mut voxels,
+            &mut skeleton,
+            &mut FloodScratch::default(),
+            &mut ThinScratch::default(),
+        );
+        Ok(PipelineArtifacts {
+            normalized,
+            voxels,
+            skeleton,
+            graph,
+            features,
+        })
+    }
 
+    /// The shared stage sequence: voxelize → thin → prune → graph →
+    /// spectrum, plus the mesh-side vectors. Grids and stage scratch
+    /// come from the caller; output does not depend on their prior
+    /// contents.
+    fn run_pipeline(
+        &self,
+        mesh: &TriMesh,
+        normalized: &NormalizedModel,
+        voxels: &mut VoxelGrid,
+        skeleton: &mut VoxelGrid,
+        flood: &mut FloodScratch,
+        thin: &mut ThinScratch,
+    ) -> (SkeletalGraph, FeatureSet) {
         let mi = moment_invariants(&mesh_moments(mesh));
-        let gp = geometric_params(mesh, &normalized);
-        let pm = principal_moments(&normalized);
-        let ho = higher_order_moments(&normalized);
+        let gp = geometric_params(mesh, normalized);
+        let pm = principal_moments(normalized);
+        let ho = higher_order_moments(normalized);
         let d2 = shape_distribution_d2(mesh, &D2Params::default());
         let sh = shell_histogram(mesh, &ShellParams::default());
 
-        let voxels = voxelize(
+        voxelize_into(
             &normalized.mesh,
             &VoxelizeParams {
                 resolution: self.voxel_resolution,
                 ..Default::default()
             },
+            voxels,
+            flood,
         );
-        let mut skeleton = skeletonize(&voxels, &ThinningParams::default());
+        skeletonize_into(voxels, &ThinningParams::default(), skeleton, thin);
         // Remove thinning whiskers shorter than ~1/6 of the model's
         // voxel extent; they create fake junctions that fragment the
         // skeletal graph.
-        prune_spurs(&mut skeleton, (self.voxel_resolution / 8).max(3));
-        let graph = build_graph(&skeleton);
+        prune_spurs(skeleton, (self.voxel_resolution / 8).max(3));
+        let graph = build_graph(skeleton);
         let ev = spectral_signature(&graph, self.spectrum_dim);
 
         let features = FeatureSet {
+            // hotpath: allow(hot-alloc) — the feature vectors are the returned artifact
             moment_invariants: mi.to_vec(),
             geometric: gp.to_vec(),
             principal_moments: pm.to_vec(),
@@ -139,13 +233,7 @@ impl FeatureExtractor {
                 .all(|&k| features.get(k).iter().all(|v| v.is_finite())),
             "extracted feature vectors must be finite"
         );
-        Ok(PipelineArtifacts {
-            normalized,
-            voxels,
-            skeleton,
-            graph,
-            features,
-        })
+        (graph, features)
     }
 
     /// Dimension of the vector produced for `kind` by this extractor.
@@ -258,6 +346,32 @@ mod tests {
         assert_eq!(sig, art.features.eigenvalues);
         // Normalized model has unit volume.
         assert!((art.normalized.mesh.signed_volume() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_scratch_matches_detailed_extraction_exactly() {
+        // The per-thread scratch path must be bit-identical to the
+        // fresh-buffer path, including when grid sizes shrink and grow
+        // between consecutive shapes.
+        let ex = FeatureExtractor {
+            voxel_resolution: 32,
+            ..Default::default()
+        };
+        let meshes = [
+            primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)),
+            primitives::torus(1.0, 0.28, 32, 12),
+            primitives::cylinder(0.6, 2.5, 24),
+        ];
+        let mut scratch = ExtractScratch::default();
+        for mesh in &meshes {
+            let warm = ex.extract_with_scratch(mesh, &mut scratch).unwrap();
+            let threaded = ex.extract(mesh).unwrap();
+            let cold = ex.extract_detailed(mesh).unwrap().features;
+            for kind in FeatureKind::ALL {
+                assert_eq!(warm.get(kind), cold.get(kind), "{kind:?} diverged");
+                assert_eq!(threaded.get(kind), cold.get(kind), "{kind:?} diverged");
+            }
+        }
     }
 
     #[test]

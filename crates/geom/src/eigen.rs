@@ -56,6 +56,7 @@ pub fn sym3_eigen(m: &Mat3) -> Eigen3 {
             m.get(2, 2),
         ],
     ];
+    // hotpath: allow(hot-alloc) — three-element buffers for the 3x3 solve, dominated by the arithmetic
     let mut a = vec![vec![0.0; 3]; 3];
     for r in 0..3 {
         for c in 0..3 {
@@ -88,6 +89,7 @@ pub fn sym3_eigen(m: &Mat3) -> Eigen3 {
 pub fn sym_eigenvalues(matrix: &[f64], n: usize) -> Vec<f64> {
     assert_eq!(matrix.len(), n * n, "matrix slice must be n*n");
     if n == 0 {
+        // hotpath: allow(hot-alloc) — the eigenvalue list is the returned artifact
         return Vec::new();
     }
     let mut a = vec![vec![0.0; n]; n];
@@ -108,6 +110,7 @@ pub fn sym_eigenvalues(matrix: &[f64], n: usize) -> Vec<f64> {
 #[allow(clippy::needless_range_loop)] // index loops mirror the matrix algebra
 fn jacobi(a: &mut [Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
     let n = a.len();
+    // hotpath: allow(hot-alloc) — n-by-n work matrices are the solve's state
     let mut v = vec![vec![0.0; n]; n];
     for (i, row) in v.iter_mut().enumerate() {
         row[i] = 1.0;

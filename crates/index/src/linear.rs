@@ -78,6 +78,7 @@ impl<T: Clone> LinearScan<T> {
                 let d2: f64 = p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
                 (d2 <= r2).then(|| (p.as_slice(), t, d2.sqrt()))
             })
+            // hotpath: allow(hot-alloc) — the hit list is the returned artifact
             .collect();
         out.sort_by(|a, b| a.2.total_cmp(&b.2));
         out
@@ -95,6 +96,7 @@ impl<T: Clone> LinearScan<T> {
                 let d2: f64 = p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
                 (p.as_slice(), t, d2.sqrt())
             })
+            // hotpath: allow(hot-alloc) — the hit list is the returned artifact
             .collect();
         all.sort_by(|a, b| a.2.total_cmp(&b.2));
         all.truncate(k);

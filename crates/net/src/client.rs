@@ -90,6 +90,7 @@ impl NetClient {
 
     /// Opens a fresh connection and completes the handshake.
     fn dial(&self) -> Result<TcpStream, WireError> {
+        // hotpath: allow(hot-block) — client-side dial, in the server graph only via name-level over-approximation
         let mut stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
         let _ = stream.set_nodelay(true);
         stream.set_read_timeout(Some(self.cfg.request_timeout))?;
@@ -101,6 +102,7 @@ impl NetClient {
         };
         match decode::<Response>(&reply)? {
             Response::HelloAck { version } if version == PROTOCOL_VERSION => Ok(stream),
+            // hotpath: allow(hot-alloc) — client-side error path, in the server graph only via name-level over-approximation
             Response::HelloAck { version } => Err(WireError::Handshake(format!(
                 "server speaks protocol v{version}, this client v{PROTOCOL_VERSION}"
             ))),
@@ -127,6 +129,7 @@ impl NetClient {
         let trace_id = tdess_obs::gen_trace_id();
         // Build the envelope value by hand to avoid cloning the
         // request (meshes can be large) just to attach two fields.
+        // hotpath: allow(hot-alloc) — client-side retry state, in the server graph only via name-level over-approximation
         let envelope = serde::Value::Obj(vec![
             ("trace_id".to_string(), serde::Value::Str(trace_id.clone())),
             ("request".to_string(), serde::Serialize::to_value(req)),
@@ -160,6 +163,7 @@ impl NetClient {
         let Some(stream) = self.stream.as_mut() else {
             return Err((false, WireError::Disconnected));
         };
+        // hotpath: allow(hot-block) — client-side frame exchange, in the server graph only via name-level over-approximation
         if let Err(e) = write_frame(stream, payload) {
             return Err((false, e));
         }
@@ -185,6 +189,7 @@ impl NetClient {
         query: &Query,
     ) -> Result<HitsReport, WireError> {
         match self.request(&Request::SearchFeatures {
+            // hotpath: allow(hot-alloc) — client-side request body, in the server graph only via name-level over-approximation
             features: features.clone(),
             query: query.clone(),
         })? {
@@ -196,6 +201,7 @@ impl NetClient {
     /// One-shot query-by-example; the server extracts features.
     pub fn search_mesh(&mut self, mesh: &TriMesh, query: &Query) -> Result<HitsReport, WireError> {
         match self.request(&Request::SearchMesh {
+            // hotpath: allow(hot-alloc) — client-side request body, in the server graph only via name-level over-approximation
             mesh: mesh.clone(),
             query: query.clone(),
         })? {
@@ -227,6 +233,7 @@ impl NetClient {
     ) -> Result<ShapeId, WireError> {
         match self.request(&Request::Insert {
             name: name.into(),
+            // hotpath: allow(hot-alloc) — client-side request body, in the server graph only via name-level over-approximation
             mesh: mesh.clone(),
         })? {
             Response::Inserted { id } => Ok(id),
@@ -263,6 +270,7 @@ impl NetClient {
 /// replies pass through, anything else is a protocol violation.
 fn unexpected(resp: &Response) -> WireError {
     match resp {
+        // hotpath: allow(hot-alloc) — client-side error reporting, in the server graph only via name-level over-approximation
         Response::Error(reply) => WireError::Remote(reply.clone()),
         other => WireError::Protocol(format!(
             "unexpected response variant: {}",

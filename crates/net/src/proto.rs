@@ -63,6 +63,7 @@ impl Hello {
     /// The handshake this build sends.
     pub fn current() -> Hello {
         Hello {
+            // hotpath: allow(hot-alloc) — version string built once per handshake
             magic: MAGIC.to_string(),
             version: PROTOCOL_VERSION,
         }
@@ -194,6 +195,7 @@ impl HitsReport {
                 .iter()
                 .map(|h| NamedHit {
                     id: h.id,
+                    // hotpath: allow(hot-alloc) — the error reply owns its message
                     name: db.get(h.id).map(|s| s.name.clone()).unwrap_or_default(),
                     distance: h.distance,
                     similarity: h.similarity,
@@ -242,6 +244,7 @@ impl InfoReport {
                     dim: db.extractor().dim(kind),
                     dmax: db.dmax(kind),
                 })
+                // hotpath: allow(hot-alloc) — the info reply assembles the returned summary
                 .collect(),
         }
     }
@@ -285,6 +288,7 @@ impl StageStats {
             .into_iter()
             .filter_map(|(stage, snap)| {
                 ServerLatency::from_snapshot(&snap).map(|latency| StageStats {
+                    // hotpath: allow(hot-alloc) — the stats reply assembles the returned summary
                     stage: stage.name().to_string(),
                     latency,
                 })
@@ -481,12 +485,14 @@ impl WireError {
 pub fn encode<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
     serde_json::to_string(value)
         .map(String::into_bytes)
+        // hotpath: allow(hot-alloc) — encoding produces the owned wire body
         .map_err(|e| WireError::Malformed(e.to_string()))
 }
 
 /// Deserializes a frame payload into a value.
 pub fn decode<T: Deserialize>(payload: &[u8]) -> Result<T, WireError> {
     let text = std::str::from_utf8(payload)
+        // hotpath: allow(hot-alloc) — formats only on the malformed-frame error path
         .map_err(|e| WireError::Malformed(format!("payload is not UTF-8: {e}")))?;
     serde_json::from_str(text).map_err(|e| WireError::Malformed(e.to_string()))
 }
@@ -502,6 +508,7 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError>
     }
     let mut header: Vec<u8> = Vec::with_capacity(4);
     header.put_u32_le(payload.len() as u32);
+    // hotpath: allow(hot-block) — frame I/O is the request itself
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()?;
@@ -544,6 +551,7 @@ pub fn read_frame<R: Read>(r: &mut R, max_len: usize) -> Result<Option<Vec<u8>>,
     if len > max_len {
         return Err(WireError::FrameTooLarge { len, max: max_len });
     }
+    // hotpath: allow(hot-alloc) — the frame buffer is the received artifact
     let mut payload = vec![0u8; len];
     let got = read_full(r, &mut payload)?;
     if got < len {

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel;
 use tdess_core::{DbError, QueryMode, SearchServer, Weights};
 use tdess_features::{FeatureKind, FeatureSet};
-use tdess_obs::{event, Level};
+use tdess_obs::event;
 
 use crate::proto::{
     decode, decode_request, encode, write_frame, ErrorKind, ErrorReply, Hello, HitsReport,
@@ -632,15 +632,12 @@ fn serve_request(
             elapsed.as_secs_f64() * 1e3
         );
         if elapsed >= shared.cfg.slow_request {
-            tdess_obs::emit(
-                Level::Warn,
-                TARGET,
-                "slow request",
-                &[
-                    ("request", kind.to_string()),
-                    ("elapsed_ms", format!("{:.3}", elapsed.as_secs_f64() * 1e3)),
-                ],
-            );
+            // event_kv! renders the fields only when Warn passes the
+            // filter, so a disabled logger costs no allocations here.
+            tdess_obs::event_kv!(Warn, TARGET, "slow request", {
+                request: kind,
+                elapsed_ms: format_args!("{:.3}", elapsed.as_secs_f64() * 1e3),
+            });
         }
         resp
     };
@@ -753,6 +750,7 @@ fn validate_query(
         if w.len() != dim {
             return Err(ErrorReply::new(
                 ErrorKind::Malformed,
+                // hotpath: allow(hot-alloc) — formats only on the rejected-request path
                 format!("{} weights for a {dim}-dimensional space", w.len()),
             ));
         }
@@ -783,6 +781,7 @@ fn validate_features(shared: &NetShared, features: &FeatureSet) -> Result<(), Er
         if v.len() != dim {
             return Err(ErrorReply::new(
                 ErrorKind::Malformed,
+                // hotpath: allow(hot-alloc) — formats only on the rejected-request path
                 format!(
                     "{kind:?} vector has {} values, server expects {dim}",
                     v.len()
@@ -845,5 +844,6 @@ fn db_error_reply(e: &DbError) -> Response {
         DbError::UnknownShape(_) => ErrorKind::UnknownShape,
         DbError::WorkerFailure(_) => ErrorKind::Internal,
     };
+    // hotpath: allow(hot-alloc) — the error envelope owns its message
     Response::Error(ErrorReply::new(kind, e.to_string()))
 }

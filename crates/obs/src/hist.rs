@@ -110,6 +110,7 @@ impl Histogram {
             .counts
             .iter()
             .map(|c| c.load(Ordering::Relaxed)) // audit: ordering(loose snapshot is documented; totals recomputed from the loaded buckets)
+            // hotpath: allow(hot-alloc) — the snapshot is the returned artifact
             .collect();
         let count = counts.iter().sum();
         HistogramSnapshot {

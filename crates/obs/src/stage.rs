@@ -91,6 +91,7 @@ pub fn stage_snapshots() -> Vec<(Stage, HistogramSnapshot)> {
     Stage::ALL
         .iter()
         .map(|&s| (s, stage_histogram(s).snapshot()))
+        // hotpath: allow(hot-alloc) — the snapshot list is the returned artifact
         .collect()
 }
 

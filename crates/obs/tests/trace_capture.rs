@@ -4,7 +4,21 @@
 //! The level and sink are process-global, so everything lives in one
 //! `#[test]` to avoid cross-test interference.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use tdess_obs::{event, event_kv, set_level, sink_to_stderr, with_trace_id, Capture, Level};
+
+/// A `Display` probe that counts how often it is rendered. Formatting
+/// an event argument is where its allocations happen, so "never
+/// rendered" means the filtered-out event built no strings.
+struct FormatProbe<'a>(&'a AtomicUsize);
+
+impl std::fmt::Display for FormatProbe<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fetch_add(1, Ordering::Relaxed);
+        write!(f, "probe")
+    }
+}
 
 #[test]
 fn events_are_filtered_structured_and_trace_tagged() {
@@ -71,6 +85,22 @@ fn events_are_filtered_structured_and_trace_tagged() {
     event!(Error, "tdess.test", "nothing at off");
     assert_eq!(capture.contents().len(), before);
 
+    // Filtered-out events must not even format their arguments: the
+    // macros guard evaluation behind `enabled`, so hot call sites pay
+    // no string-building cost when the logger is off.
+    let renders = AtomicUsize::new(0);
+    event!(Error, "tdess.test", "lazy {}", FormatProbe(&renders));
+    event_kv!(Error, "tdess.test", "lazy", { probe: FormatProbe(&renders) });
+    assert_eq!(
+        renders.load(Ordering::Relaxed),
+        0,
+        "filtered-out event rendered its arguments"
+    );
+
+    // And the probe does fire once the level passes, proving it works.
     set_level(Level::Info);
+    event_kv!(Warn, "tdess.test", "eager", { probe: FormatProbe(&renders) });
+    assert_eq!(renders.load(Ordering::Relaxed), 1);
+
     sink_to_stderr();
 }

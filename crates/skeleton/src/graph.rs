@@ -64,6 +64,7 @@ const LINE_DEVIATION_VOXELS: f64 = 1.25;
 /// Builds the skeletal graph of a thinned skeleton grid.
 pub fn build_graph(skel: &VoxelGrid) -> SkeletalGraph {
     let _stage = tdess_obs::StageTimer::start(tdess_obs::Stage::GraphBuild);
+    // hotpath: allow(hot-alloc) — graph node and edge buffers are the constructed artifact
     let voxels: Vec<(usize, usize, usize)> = skel.iter_filled().collect();
     let index: HashMap<(usize, usize, usize), usize> =
         voxels.iter().enumerate().map(|(n, &v)| (v, n)).collect();
@@ -258,6 +259,7 @@ pub fn build_graph(skel: &VoxelGrid) -> SkeletalGraph {
 fn dissolve_degree2_joints(skel: &VoxelGrid, segments: &mut Vec<Segment>, num_joints: usize) {
     loop {
         // Incidences: joint -> list of (segment index, is_start).
+        // hotpath: allow(hot-alloc) — rebuilds the segment list in place once per graph
         let mut incidence: Vec<Vec<(usize, bool)>> = vec![Vec::new(); num_joints];
         for (si, s) in segments.iter().enumerate() {
             if let Some(j) = s.start_joint {
@@ -344,6 +346,7 @@ fn make_segment(
             let (i, j, k) = voxels[v];
             skel.voxel_center(i, j, k)
         })
+        // hotpath: allow(hot-alloc) — segment voxel lists are the constructed artifact
         .collect();
     let length: f64 = pts.windows(2).map(|w| w[0].distance(w[1])).sum();
 
@@ -404,6 +407,7 @@ impl SkeletalGraph {
     /// type itself so that even edgeless graphs are distinguishable.
     pub fn adjacency_matrix(&self) -> (Vec<f64>, usize) {
         let n = self.segments.len();
+        // hotpath: allow(hot-alloc) — the matrix is the computed artifact
         let mut a = vec![0.0; n * n];
         for (i, s) in self.segments.iter().enumerate() {
             a[i * n + i] = type_code(s.kind);

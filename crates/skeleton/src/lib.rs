@@ -17,4 +17,6 @@ pub mod thinning;
 pub use graph::{build_graph, Segment, SegmentKind, SkeletalGraph};
 pub use simple_point::{extract_patch, is_simple, object_neighbors, Patch};
 pub use spectrum::{spectral_signature, SPECTRUM_DIM};
-pub use thinning::{prune_spurs, skeletonize, thin, ThinningParams};
+pub use thinning::{
+    prune_spurs, skeletonize, skeletonize_into, thin, thin_with, ThinScratch, ThinningParams,
+};

@@ -70,9 +70,16 @@ fn object_components_26(patch: &Patch) -> usize {
             continue;
         }
         comps += 1;
-        let mut stack = vec![start];
+        // The patch has at most 26 non-center cells and each is pushed
+        // once, so a fixed-size array stack avoids heap traffic in this
+        // innermost thinning kernel.
+        let mut stack = [0usize; 27];
+        let mut sp = 1usize;
+        stack[0] = start;
         seen[start] = true;
-        while let Some(c) = stack.pop() {
+        while sp > 0 {
+            sp -= 1;
+            let c = stack[sp];
             let (cx, cy, cz) = ((c % 3) as isize, ((c / 3) % 3) as isize, (c / 9) as isize);
             for dz in -1..=1isize {
                 for dy in -1..=1isize {
@@ -87,7 +94,8 @@ fn object_components_26(patch: &Patch) -> usize {
                         let n = (nx + ny * 3 + nz * 9) as usize;
                         if occ(n) && !seen[n] {
                             seen[n] = true;
-                            stack.push(n);
+                            stack[sp] = n;
+                            sp += 1;
                         }
                     }
                 }
@@ -127,9 +135,15 @@ fn background_components_6(patch: &Patch) -> usize {
             continue;
         }
         comps += 1;
-        let mut stack = vec![(sx, sy, sz)];
+        // The 18-neighborhood has 18 cells, each pushed at most once:
+        // a fixed-size array stack keeps this heap-free.
+        let mut stack = [(0isize, 0isize, 0isize); 18];
+        let mut sp = 1usize;
+        stack[0] = (sx, sy, sz);
         seen[sz as usize][sy as usize][sx as usize] = true;
-        while let Some((cx, cy, cz)) = stack.pop() {
+        while sp > 0 {
+            sp -= 1;
+            let (cx, cy, cz) = stack[sp];
             for (dx, dy, dz) in [
                 (1, 0, 0),
                 (-1, 0, 0),
@@ -144,7 +158,8 @@ fn background_components_6(patch: &Patch) -> usize {
                 }
                 if bg(nx, ny, nz) && !seen[nz as usize][ny as usize][nx as usize] {
                     seen[nz as usize][ny as usize][nx as usize] = true;
-                    stack.push((nx, ny, nz));
+                    stack[sp] = (nx, ny, nz);
+                    sp += 1;
                 }
             }
         }

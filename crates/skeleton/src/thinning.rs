@@ -43,33 +43,49 @@ const DIRECTIONS: [(isize, isize, isize); 6] = [
     (-1, 0, 0),
 ];
 
+/// Reusable buffers for [`thin_with`]. A caller that skeletonizes many
+/// models (the feature pipeline, benchmarks) keeps one `ThinScratch`
+/// and amortizes the candidate-list allocation across queries.
+#[derive(Debug, Default)]
+pub struct ThinScratch {
+    /// Border-voxel candidates for the current directional sub-pass.
+    candidates: Vec<(usize, usize, usize)>,
+}
+
 /// Thins `grid` in place to a one-voxel-wide curve skeleton.
 /// Returns the number of voxels deleted.
 pub fn thin(grid: &mut VoxelGrid, params: &ThinningParams) -> usize {
-    let (nx, ny, nz) = grid.dims();
+    thin_with(grid, params, &mut ThinScratch::default())
+}
+
+/// [`thin`] with caller-owned scratch buffers; bit-identical output.
+pub fn thin_with(
+    grid: &mut VoxelGrid,
+    params: &ThinningParams,
+    scratch: &mut ThinScratch,
+) -> usize {
     let mut total_deleted = 0usize;
 
     for _iter in 0..params.max_iterations {
         let mut deleted_this_sweep = 0usize;
         for dir in DIRECTIONS {
             // Candidates: border voxels in this direction.
-            let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
-            for k in 0..nz {
-                for j in 0..ny {
-                    for i in 0..nx {
-                        if !grid.get(i as isize, j as isize, k as isize) {
-                            continue;
-                        }
-                        if grid.get(i as isize + dir.0, j as isize + dir.1, k as isize + dir.2) {
-                            continue; // not a border voxel for this direction
-                        }
-                        candidates.push((i, j, k));
-                    }
+            // `for_each_filled` walks words in ascending flattened-index
+            // order (i fastest, then j, then k) — exactly the order the
+            // original k/j/i triple loop visited filled voxels, so the
+            // sequential re-checking below sees an identical schedule.
+            scratch.candidates.clear();
+            let candidates = &mut scratch.candidates;
+            let view: &VoxelGrid = grid;
+            view.for_each_filled(|i, j, k| {
+                if view.get(i as isize + dir.0, j as isize + dir.1, k as isize + dir.2) {
+                    return; // not a border voxel for this direction
                 }
-            }
+                candidates.push((i, j, k));
+            });
             // Sequential deletion with re-checking keeps every step
             // topology-preserving.
-            for (i, j, k) in candidates {
+            for &(i, j, k) in scratch.candidates.iter() {
                 let patch = extract_patch(|dx, dy, dz| {
                     grid.get(i as isize + dx, j as isize + dy, k as isize + dz)
                 });
@@ -92,10 +108,24 @@ pub fn thin(grid: &mut VoxelGrid, params: &ThinningParams) -> usize {
 
 /// Convenience: thins a copy and returns it, leaving `grid` untouched.
 pub fn skeletonize(grid: &VoxelGrid, params: &ThinningParams) -> VoxelGrid {
-    let _stage = tdess_obs::StageTimer::start(tdess_obs::Stage::Skeletonize);
-    let mut skel = grid.clone();
-    thin(&mut skel, params);
+    let mut skel = VoxelGrid::new(1, 1, 1, tdess_geom::Vec3::ZERO, 1.0);
+    skeletonize_into(grid, params, &mut skel, &mut ThinScratch::default());
     skel
+}
+
+/// [`skeletonize`] into caller-owned buffers: copies `grid` into `out`
+/// (reusing its bit storage) and thins there with `scratch`. Returns
+/// the number of voxels deleted. Output is bit-identical to
+/// [`skeletonize`].
+pub fn skeletonize_into(
+    grid: &VoxelGrid,
+    params: &ThinningParams,
+    out: &mut VoxelGrid,
+    scratch: &mut ThinScratch,
+) -> usize {
+    let _stage = tdess_obs::StageTimer::start(tdess_obs::Stage::Skeletonize);
+    out.copy_from(grid);
+    thin_with(out, params, scratch)
 }
 
 /// Removes spur branches from a thinned skeleton: any chain that runs
@@ -111,6 +141,8 @@ pub fn skeletonize(grid: &VoxelGrid, params: &ThinningParams) -> VoxelGrid {
 pub fn prune_spurs(skel: &mut VoxelGrid, min_len: usize) -> usize {
     let (nx, ny, nz) = skel.dims();
     let mut removed = 0usize;
+    // hotpath: allow(hot-alloc) — one buffer per call, reused for every chain walk
+    let mut path: Vec<(usize, usize, usize)> = Vec::new();
     loop {
         let mut changed = false;
         for k in 0..nz {
@@ -123,7 +155,8 @@ pub fn prune_spurs(skel: &mut VoxelGrid, min_len: usize) -> usize {
                         continue; // not an endpoint
                     }
                     // Walk the chain from this endpoint.
-                    let mut path = vec![(i, j, k)];
+                    path.clear();
+                    path.push((i, j, k));
                     let mut prev = (i, j, k);
                     let Some(mut cur) = unique_neighbor(skel, i, j, k, None) else {
                         continue; // endpoint test guarantees one neighbor
@@ -304,6 +337,38 @@ mod tests {
         let mut g = VoxelGrid::new(4, 4, 4, Vec3::ZERO, 1.0);
         assert_eq!(thin(&mut g, &ThinningParams::default()), 0);
         assert_eq!(g.count(), 0);
+    }
+
+    #[test]
+    fn skeletonize_into_reuses_buffers_bit_identically() {
+        // A warm output grid + scratch carried across differently-sized
+        // shapes must reproduce the cold path bit for bit.
+        let meshes = [
+            primitives::box_mesh(Vec3::new(3.0, 0.5, 0.5)),
+            primitives::torus(1.0, 0.28, 32, 12),
+            primitives::uv_sphere(0.8, 16, 8),
+        ];
+        let mut out = VoxelGrid::new(1, 1, 1, Vec3::ZERO, 1.0);
+        let mut scratch = ThinScratch::default();
+        for (res, mesh) in [(40usize, &meshes[0]), (28, &meshes[1]), (20, &meshes[2])] {
+            let grid = voxelize(
+                mesh,
+                &VoxelizeParams {
+                    resolution: res,
+                    ..Default::default()
+                },
+            );
+            let deleted =
+                skeletonize_into(&grid, &ThinningParams::default(), &mut out, &mut scratch);
+            let fresh = skeletonize(&grid, &ThinningParams::default());
+            assert_eq!(out.dims(), fresh.dims());
+            assert_eq!(
+                out.words(),
+                fresh.words(),
+                "warm path diverged at res {res}"
+            );
+            assert_eq!(deleted, grid.count() - fresh.count());
+        }
     }
 
     #[test]

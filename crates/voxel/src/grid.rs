@@ -38,14 +38,61 @@ impl VoxelGrid {
             nz,
             origin,
             voxel_size,
+            // hotpath: allow(hot-alloc) — constructor of the grid's backing store, hot callers reuse via reset
             bits: vec![0; words],
         }
+    }
+
+    /// Reinitializes the grid in place to the given dimensions, with
+    /// every voxel empty. Equivalent to `*self = VoxelGrid::new(...)`
+    /// but reuses the existing bit storage — the warm path for
+    /// repeated extraction.
+    pub fn reset(&mut self, nx: usize, ny: usize, nz: usize, origin: Vec3, voxel_size: f64) {
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be positive"
+        );
+        assert!(voxel_size > 0.0, "voxel size must be positive");
+        let words = (nx * ny * nz).div_ceil(64);
+        self.bits.clear();
+        self.bits.resize(words, 0);
+        self.nx = nx;
+        self.ny = ny;
+        self.nz = nz;
+        self.origin = origin;
+        self.voxel_size = voxel_size;
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing storage.
+    pub fn copy_from(&mut self, other: &VoxelGrid) {
+        self.nx = other.nx;
+        self.ny = other.ny;
+        self.nz = other.nz;
+        self.origin = other.origin;
+        self.voxel_size = other.voxel_size;
+        self.bits.clear();
+        self.bits.extend_from_slice(&other.bits);
     }
 
     /// Grid dimensions `(nx, ny, nz)`.
     #[inline]
     pub fn dims(&self) -> (usize, usize, usize) {
         (self.nx, self.ny, self.nz)
+    }
+
+    /// The raw occupancy words: bit `idx` of the flattened index
+    /// `idx = i + nx*(j + ny*k)` lives at `words()[idx / 64]`, bit
+    /// `idx % 64`. Bits at `len()..` are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Mutable raw word access for same-crate bulk operations. Callers
+    /// must keep the tail bits beyond [`len`](Self::len) zero.
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.bits
     }
 
     /// Total number of voxels.
@@ -146,6 +193,23 @@ impl VoxelGrid {
                 None
             }
         })
+    }
+
+    /// Calls `f(i, j, k)` for every filled voxel in ascending
+    /// flattened-index order — identical to the nested `k`/`j`/`i`
+    /// loops used throughout (`i` fastest), but skipping empty 64-bit
+    /// words, which dominates on the sparse grids late in thinning.
+    #[inline]
+    pub fn for_each_filled(&self, mut f: impl FnMut(usize, usize, usize)) {
+        let (nx, ny) = (self.nx, self.ny);
+        for (w, &bits) in self.bits.iter().enumerate() {
+            let mut word = bits;
+            while word != 0 {
+                let idx = w * 64 + word.trailing_zeros() as usize;
+                f(idx % nx, (idx / nx) % ny, idx / (nx * ny));
+                word &= word - 1;
+            }
+        }
     }
 
     /// Volume of the filled region (count × voxel volume).
@@ -331,6 +395,49 @@ mod tests {
         g.set(0, 0, 0, true);
         g.set(1, 1, 1, true);
         assert!((g.filled_volume() - 2.0 * 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reset_matches_fresh_grid_and_clears_old_bits() {
+        let mut g = VoxelGrid::new(5, 7, 3, Vec3::ZERO, 1.0);
+        g.set(4, 6, 2, true);
+        g.reset(3, 3, 3, Vec3::new(1.0, 2.0, 3.0), 0.5);
+        let fresh = VoxelGrid::new(3, 3, 3, Vec3::new(1.0, 2.0, 3.0), 0.5);
+        assert_eq!(g.dims(), fresh.dims());
+        assert_eq!(g.words(), fresh.words());
+        assert_eq!(g.count(), 0);
+        // Growing again also works.
+        g.reset(8, 8, 8, Vec3::ZERO, 1.0);
+        assert_eq!(g.count(), 0);
+        assert_eq!(
+            g.words().len(),
+            VoxelGrid::new(8, 8, 8, Vec3::ZERO, 1.0).words().len()
+        );
+    }
+
+    #[test]
+    fn copy_from_duplicates_everything() {
+        let mut src = VoxelGrid::new(4, 5, 6, Vec3::new(0.5, 0.0, 0.0), 0.25);
+        src.set(3, 4, 5, true);
+        src.set(0, 0, 0, true);
+        let mut dst = VoxelGrid::new(1, 1, 1, Vec3::ZERO, 1.0);
+        dst.copy_from(&src);
+        assert_eq!(dst.dims(), src.dims());
+        assert_eq!(dst.words(), src.words());
+        assert!(dst.get(3, 4, 5));
+        assert!((dst.voxel_size - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn for_each_filled_matches_iter_filled_in_order() {
+        let mut g = VoxelGrid::new(9, 5, 4, Vec3::ZERO, 1.0);
+        for &(i, j, k) in &[(0, 0, 0), (8, 4, 3), (5, 2, 1), (1, 0, 2), (7, 3, 0)] {
+            g.set(i, j, k, true);
+        }
+        let mut via_words = Vec::new();
+        g.for_each_filled(|i, j, k| via_words.push((i, j, k)));
+        let via_scan: Vec<_> = g.iter_filled().collect();
+        assert_eq!(via_words, via_scan);
     }
 
     #[test]

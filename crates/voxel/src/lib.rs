@@ -20,5 +20,6 @@ pub use analysis::{
 };
 pub use grid::{n26, VoxelGrid, N18, N6};
 pub use voxelize::{
-    fill_flood, fill_parity, rasterize_surface, tri_box_overlap, voxelize, VoxelizeParams,
+    fill_flood, fill_flood_with, fill_parity, rasterize_surface, tri_box_overlap, voxelize,
+    voxelize_into, FloodScratch, VoxelizeParams,
 };

@@ -61,6 +61,22 @@ fn cell_index(coord: f64) -> usize {
 /// assert!(grid.filled_volume() >= 1.0 && grid.filled_volume() < 1.6);
 /// ```
 pub fn voxelize(mesh: &TriMesh, params: &VoxelizeParams) -> VoxelGrid {
+    let mut grid = VoxelGrid::new(1, 1, 1, Vec3::ZERO, 1.0);
+    let mut scratch = FloodScratch::default();
+    voxelize_into(mesh, params, &mut grid, &mut scratch);
+    grid
+}
+
+/// [`voxelize`] into caller-provided buffers: the grid is re-dimensioned
+/// in place and the flood-fill scratch is reused, so repeated queries
+/// stop reallocating the dense occupancy grid. Produces bit-identical
+/// results to [`voxelize`].
+pub fn voxelize_into(
+    mesh: &TriMesh,
+    params: &VoxelizeParams,
+    grid: &mut VoxelGrid,
+    scratch: &mut FloodScratch,
+) {
     let _stage = tdess_obs::StageTimer::start(tdess_obs::Stage::Voxelize);
     assert!(params.resolution >= 2, "resolution must be at least 2");
     let bb = mesh.bounding_box();
@@ -74,12 +90,22 @@ pub fn voxelize(mesh: &TriMesh, params: &VoxelizeParams) -> VoxelGrid {
     let cells = |e: f64| cell_index((e / voxel_size).ceil()).max(1) + 2 * params.padding;
     let (nx, ny, nz) = (cells(extent.x), cells(extent.y), cells(extent.z));
 
-    let mut grid = VoxelGrid::new(nx, ny, nz, origin, voxel_size);
-    rasterize_surface(mesh, &mut grid);
+    grid.reset(nx, ny, nz, origin, voxel_size);
+    rasterize_surface(mesh, grid);
     if params.fill {
-        fill_flood(&mut grid);
+        fill_flood_with(grid, scratch);
     }
-    grid
+}
+
+/// Reusable flood-fill buffers for [`voxelize_into`] /
+/// [`fill_flood_with`]: the exterior bitset and the DFS stack survive
+/// across queries.
+#[derive(Debug, Default)]
+pub struct FloodScratch {
+    /// Bit-packed "reached from the exterior" flags, same word layout
+    /// as [`VoxelGrid::words`].
+    outside: Vec<u64>,
+    stack: Vec<(u32, u32, u32)>,
 }
 
 /// Marks every voxel whose cube overlaps some triangle of the mesh.
@@ -122,41 +148,55 @@ pub fn rasterize_surface(mesh: &TriMesh, grid: &mut VoxelGrid) {
 /// reached. Assumes the surface shell separates inside from outside
 /// (watertight mesh, adequate resolution, padding ≥ 1).
 pub fn fill_flood(grid: &mut VoxelGrid) {
+    let mut scratch = FloodScratch::default();
+    fill_flood_with(grid, &mut scratch);
+}
+
+/// [`fill_flood`] with caller-provided scratch buffers (the warm path —
+/// no allocation once the buffers have grown to the working size).
+pub fn fill_flood_with(grid: &mut VoxelGrid, scratch: &mut FloodScratch) {
     let (nx, ny, nz) = grid.dims();
-    let mut outside = vec![false; nx * ny * nz];
+    let n = nx * ny * nz;
+    let FloodScratch { outside, stack } = scratch;
+    outside.clear();
+    outside.resize(n.div_ceil(64), 0);
+    stack.clear();
+
     let idx = |i: usize, j: usize, k: usize| i + nx * (j + ny * k);
-    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+    let tested = |outside: &[u64], id: usize| (outside[id / 64] >> (id % 64)) & 1 == 1;
 
     // Seed with all empty boundary voxels.
     let seed = |i: usize,
                 j: usize,
                 k: usize,
                 grid: &VoxelGrid,
-                outside: &mut [bool],
-                stack: &mut Vec<(usize, usize, usize)>| {
-        if !grid.get(i as isize, j as isize, k as isize) && !outside[idx(i, j, k)] {
-            outside[idx(i, j, k)] = true;
-            stack.push((i, j, k));
+                outside: &mut [u64],
+                stack: &mut Vec<(u32, u32, u32)>| {
+        let id = idx(i, j, k);
+        if !grid.get(i as isize, j as isize, k as isize) && !tested(outside, id) {
+            outside[id / 64] |= 1 << (id % 64);
+            stack.push((i as u32, j as u32, k as u32));
         }
     };
     for j in 0..ny {
         for i in 0..nx {
-            seed(i, j, 0, grid, &mut outside, &mut stack);
-            seed(i, j, nz - 1, grid, &mut outside, &mut stack);
+            seed(i, j, 0, grid, outside, stack);
+            seed(i, j, nz - 1, grid, outside, stack);
         }
     }
     for k in 0..nz {
         for i in 0..nx {
-            seed(i, 0, k, grid, &mut outside, &mut stack);
-            seed(i, ny - 1, k, grid, &mut outside, &mut stack);
+            seed(i, 0, k, grid, outside, stack);
+            seed(i, ny - 1, k, grid, outside, stack);
         }
         for j in 0..ny {
-            seed(0, j, k, grid, &mut outside, &mut stack);
-            seed(nx - 1, j, k, grid, &mut outside, &mut stack);
+            seed(0, j, k, grid, outside, stack);
+            seed(nx - 1, j, k, grid, outside, stack);
         }
     }
 
     while let Some((i, j, k)) = stack.pop() {
+        let (i, j, k) = (i as usize, j as usize, k as usize);
         for d in N6 {
             let (ni, nj, nk) = (i as isize + d.0, j as isize + d.1, k as isize + d.2);
             if ni < 0 || nj < 0 || nk < 0 {
@@ -166,21 +206,26 @@ pub fn fill_flood(grid: &mut VoxelGrid) {
             if ni >= nx || nj >= ny || nk >= nz {
                 continue;
             }
-            if !grid.get(ni as isize, nj as isize, nk as isize) && !outside[idx(ni, nj, nk)] {
-                outside[idx(ni, nj, nk)] = true;
-                stack.push((ni, nj, nk));
+            let id = idx(ni, nj, nk);
+            if !grid.get(ni as isize, nj as isize, nk as isize) && !tested(outside, id) {
+                outside[id / 64] |= 1 << (id % 64);
+                stack.push((ni as u32, nj as u32, nk as u32));
             }
         }
     }
 
-    for k in 0..nz {
-        for j in 0..ny {
-            for i in 0..nx {
-                if !outside[idx(i, j, k)] {
-                    grid.set(i, j, k, true);
-                }
-            }
-        }
+    // Everything not reached from the exterior is interior (or
+    // surface): set it. The exterior bitset shares the grid's word
+    // layout, so this is a word-wise OR of the complement, with the
+    // tail beyond `len()` kept zero.
+    let words = grid.words_mut();
+    for (w, out) in words.iter_mut().zip(outside.iter()) {
+        *w |= !out;
+    }
+    let tail = n % 64;
+    if tail != 0 {
+        let last = words.len() - 1;
+        words[last] &= (1u64 << tail) - 1;
     }
 }
 
@@ -491,6 +536,29 @@ mod tests {
                 }
             }
             assert_eq!(mismatch, 0, "interior disagreement between fills");
+        }
+    }
+
+    #[test]
+    fn voxelize_into_reuses_buffers_bit_identically() {
+        let meshes = [
+            primitives::box_mesh(Vec3::new(1.0, 0.7, 0.4)),
+            primitives::uv_sphere(0.8, 24, 12),
+            primitives::box_mesh(Vec3::ONE),
+        ];
+        let params = VoxelizeParams {
+            resolution: 24,
+            ..Default::default()
+        };
+        let mut grid = VoxelGrid::new(1, 1, 1, Vec3::ZERO, 1.0);
+        let mut scratch = FloodScratch::default();
+        // Run the warm path repeatedly over different shapes (buffer
+        // shrink and grow) and compare against fresh voxelization.
+        for mesh in &meshes {
+            voxelize_into(mesh, &params, &mut grid, &mut scratch);
+            let fresh = voxelize(mesh, &params);
+            assert_eq!(grid.dims(), fresh.dims());
+            assert_eq!(grid.words(), fresh.words(), "warm path diverged");
         }
     }
 

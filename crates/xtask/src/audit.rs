@@ -52,8 +52,9 @@ const WIRE_AUDITED_PREFIXES: [&str; 3] = [
 
 /// Line fragments that block: I/O, channel ops, sleeping, joining, or
 /// calls into extraction/search. A live lock guard on such a line is a
-/// `lock-discipline` finding.
-const BLOCKING_PATTERNS: [&str; 22] = [
+/// `lock-discipline` finding. Shared with the `hotpath` pass, which
+/// flags (a subset of) these inside stage-reachable functions.
+pub const BLOCKING_PATTERNS: [&str; 22] = [
     "sleep(",
     ".recv()",
     ".recv_timeout(",
@@ -315,7 +316,7 @@ fn check_ordering(
 }
 
 /// Does `line` contain `token` delimited by non-identifier characters?
-fn has_token(line: &str, token: &str) -> bool {
+pub(crate) fn has_token(line: &str, token: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = line[start..].find(token) {
         let abs = start + pos;
@@ -459,7 +460,7 @@ fn check_wire_alloc(
 
 /// The argument text up to the matching close delimiter (or the rest
 /// of the line if unbalanced — line-local scanner limitation).
-fn balanced_span(rest: &str, open: char, close: char) -> &str {
+pub(crate) fn balanced_span(rest: &str, open: char, close: char) -> &str {
     let mut depth = 1;
     for (i, ch) in rest.char_indices() {
         if ch == open {
@@ -484,7 +485,7 @@ fn balanced_span(rest: &str, open: char, close: char) -> &str {
 /// `.min(` or `.clamp(` is self-capping. What remains — a bare
 /// lower-case identifier like `len` or `nv` — is the decoded-input
 /// shape this rule exists for.
-fn suspicious_size_var(arg: &str) -> Option<String> {
+pub(crate) fn suspicious_size_var(arg: &str) -> Option<String> {
     if arg.contains(".min(") || arg.contains(".clamp(") {
         return None;
     }

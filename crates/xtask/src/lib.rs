@@ -1,14 +1,17 @@
 //! Workspace automation tasks (the cargo-xtask pattern).
 //!
-//! Two static-analysis passes share one scanning core ([`scan`]):
+//! Three static-analysis passes share one scanning core ([`scan`]):
 //!
 //! * `lint` — panic-freedom and NaN-safety policy (`cargo xtask lint`);
 //! * `audit` — concurrency and resource-safety policy: lock
 //!   discipline, atomic orderings, thread hygiene, wire-bounded
-//!   allocations (`cargo xtask audit`).
+//!   allocations (`cargo xtask audit`);
+//! * `hotpath` — hot-path allocation/blocking discipline over the
+//!   functions reachable from the instrumented pipeline stages and
+//!   the net dispatch path (`cargo xtask hotpath`).
 //!
-//! A third task, `cargo xtask waivers`, emits the combined waiver
-//! inventory across both passes and fails on malformed waivers.
+//! A fourth task, `cargo xtask waivers`, emits the combined waiver
+//! inventory across all passes and fails on malformed waivers.
 //!
 //! The scanner is intentionally a line/token heuristic, not a full
 //! parser: it masks comments and string literals, tracks `#[cfg(test)]`
@@ -16,16 +19,19 @@
 //! the tools instant and dependency-free at the cost of line-local
 //! matching (multi-line violations are invisible). The waiver syntax
 //! (`// lint: allow(<rule>) — <reason>`,
-//! `// audit: allow(<rule>) — <reason>`, and the audit shorthand
+//! `// audit: allow(<rule>) — <reason>`,
+//! `// hotpath: allow(<rule>) — <reason>`, and the audit shorthand
 //! `// audit: ordering(<reason>)`) is the escape hatch for justified
 //! exceptions — the reason text is mandatory.
 
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod hotpath;
 pub mod lint;
 pub mod scan;
 
 pub use audit::audit_root;
+pub use hotpath::hotpath_root;
 pub use lint::{lint_root, Rule};
 pub use scan::{changed_files, waiver_inventory, Finding, Inventory, Report, Tool};

@@ -7,8 +7,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xtask::audit::AUDIT_RULES;
+use xtask::hotpath::HOTPATH_RULES;
 use xtask::scan::Tool;
-use xtask::{audit_root, changed_files, lint_root, waiver_inventory, Report, Rule};
+use xtask::{audit_root, changed_files, hotpath_root, lint_root, waiver_inventory, Report, Rule};
 
 const USAGE: &str = "\
 cargo xtask <task>
@@ -19,14 +20,20 @@ tasks:
   audit  [--json] [--root <dir>] [--changed]
          check the concurrency / resource-safety policy
          (lock-discipline, atomic-ordering, thread-hygiene, wire-alloc)
+  hotpath [--json] [--root <dir>] [--changed]
+         check allocation/blocking discipline in functions reachable
+         from the pipeline stage roots and net dispatch
+         (hot-alloc, hot-block)
   waivers [--json] [--root <dir>]
-         list every lint/audit waiver in the tree; fails on
+         list every lint/audit/hotpath waiver in the tree; fails on
          malformed waivers (missing reason, unknown rule)
 
 flags:
   --json     emit machine-readable output
   --root     override the workspace root
-  --changed  scan only files differing from the merge-base with main
+  --changed  report only on files differing from the merge-base with
+             main (hotpath still builds its call graph over the full
+             tree)
 ";
 
 fn main() -> ExitCode {
@@ -34,6 +41,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => scan_command(Tool::Lint, &args[1..]),
         Some("audit") => scan_command(Tool::Audit, &args[1..]),
+        Some("hotpath") => scan_command(Tool::Hotpath, &args[1..]),
         Some("waivers") => waivers_command(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`\n{USAGE}");
@@ -113,6 +121,7 @@ fn scan_command(tool: Tool, args: &[String]) -> ExitCode {
     let run = match tool {
         Tool::Lint => lint_root(&flags.root, changed_set.as_ref()),
         Tool::Audit => audit_root(&flags.root, changed_set.as_ref()),
+        Tool::Hotpath => hotpath_root(&flags.root, changed_set.as_ref()),
     };
     let report = match run {
         Ok(report) => report,
@@ -148,7 +157,7 @@ fn waivers_command(args: &[String]) -> ExitCode {
         }
     };
 
-    // Cross-reference against both passes: a waiver is "active" when a
+    // Cross-reference against all passes: a waiver is "active" when a
     // finding of its rule sits on its target line, "stale" otherwise
     // (stale is informational — the code it excused has moved or been
     // fixed). Unknown rule names can never match and are hard errors.
@@ -158,24 +167,31 @@ fn waivers_command(args: &[String]) -> ExitCode {
         Rule::ForbidUnsafe.name(),
         Rule::LossyCast.name(),
     ];
-    let reports = match (lint_root(&flags.root, None), audit_root(&flags.root, None)) {
-        (Ok(l), Ok(a)) => (l, a),
-        (Err(e), _) | (_, Err(e)) => {
+    let reports = match (
+        lint_root(&flags.root, None),
+        audit_root(&flags.root, None),
+        hotpath_root(&flags.root, None),
+    ) {
+        (Ok(l), Ok(a), Ok(h)) => (l, a, h),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
             eprintln!("xtask waivers: {e}");
             return ExitCode::from(2);
         }
     };
-    let waived_sites: HashSet<(Tool, &str, usize, &str)> =
-        [(Tool::Lint, &reports.0), (Tool::Audit, &reports.1)]
-            .into_iter()
-            .flat_map(|(tool, report)| {
-                report
-                    .findings
-                    .iter()
-                    .filter(|f| f.waiver.is_some())
-                    .map(move |f| (tool, f.file.as_str(), f.line, f.rule))
-            })
-            .collect();
+    let waived_sites: HashSet<(Tool, &str, usize, &str)> = [
+        (Tool::Lint, &reports.0),
+        (Tool::Audit, &reports.1),
+        (Tool::Hotpath, &reports.2),
+    ]
+    .into_iter()
+    .flat_map(|(tool, report)| {
+        report
+            .findings
+            .iter()
+            .filter(|f| f.waiver.is_some())
+            .map(move |f| (tool, f.file.as_str(), f.line, f.rule))
+    })
+    .collect();
 
     let mut unknown_rule = 0usize;
     let mut stale = 0usize;
@@ -186,6 +202,7 @@ fn waivers_command(args: &[String]) -> ExitCode {
             let known = match e.waiver.tool {
                 Tool::Lint => lint_rules.contains(&e.waiver.rule.as_str()),
                 Tool::Audit => AUDIT_RULES.contains(&e.waiver.rule.as_str()),
+                Tool::Hotpath => HOTPATH_RULES.contains(&e.waiver.rule.as_str()),
             };
             if !known {
                 unknown_rule += 1;

@@ -34,14 +34,18 @@ pub enum Tool {
     Lint,
     /// The concurrency / resource-safety pass (`cargo xtask audit`).
     Audit,
+    /// The hot-path allocation/blocking pass (`cargo xtask hotpath`).
+    Hotpath,
 }
 
 impl Tool {
-    /// The comment prefix (`lint` / `audit`) naming this pass.
+    /// The comment prefix (`lint` / `audit` / `hotpath`) naming this
+    /// pass.
     pub fn name(self) -> &'static str {
         match self {
             Tool::Lint => "lint",
             Tool::Audit => "audit",
+            Tool::Hotpath => "hotpath",
         }
     }
 }
@@ -337,6 +341,7 @@ fn strip_separator(reason: &str) -> &str {
 ///
 /// * `lint: allow(<rule>) <dash> <reason>`
 /// * `audit: allow(<rule>) <dash> <reason>`
+/// * `hotpath: allow(<rule>) <dash> <reason>`
 /// * `audit: ordering(<reason>)` — shorthand for
 ///   `audit: allow(atomic-ordering) — <reason>`
 ///
@@ -354,6 +359,8 @@ fn flush_comment(
         (Tool::Lint, rest.trim_start())
     } else if let Some(rest) = text.strip_prefix("audit:") {
         (Tool::Audit, rest.trim_start())
+    } else if let Some(rest) = text.strip_prefix("hotpath:") {
+        (Tool::Hotpath, rest.trim_start())
     } else {
         return;
     };
@@ -831,6 +838,26 @@ d(); // audit: allow(wire-alloc)
         assert_eq!(m.malformed.len(), 2);
         assert_eq!(m.malformed[0].line, 3);
         assert_eq!(m.malformed[1].line, 4);
+    }
+
+    #[test]
+    fn hotpath_waivers_parse_like_the_others() {
+        let src = "\
+a(); // hotpath: allow(hot-alloc) — scratch is reused across queries
+// hotpath: allow(hot-block) - sink write is filter-gated
+b();
+c(); // hotpath: allow(hot-alloc)
+";
+        let m = mask(src);
+        assert_eq!(m.waivers.len(), 2);
+        assert_eq!(m.waivers[0].tool, Tool::Hotpath);
+        assert_eq!(m.waivers[0].rule, "hot-alloc");
+        assert!(m.waivers[0].inline);
+        assert_eq!(m.waivers[1].rule, "hot-block");
+        assert!(!m.waivers[1].inline);
+        // Reason-less hotpath waivers are malformed, same as lint/audit.
+        assert_eq!(m.malformed.len(), 1);
+        assert_eq!(m.malformed[0].line, 4);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! Hotpath negative fixture — core crate: a hot stage that works in
+//! caller-owned buffers, next to cold code that may allocate freely.
+
+/// Root: allocation-free because it fills the caller's scratch.
+pub fn voxelize_stage(mesh: &Mesh, scratch: &mut Scratch) -> u32 {
+    let _stage = tdess_obs::StageTimer::start(tdess_obs::Stage::Voxelize);
+    scratch.cells.clear();
+    rasterize(mesh, scratch)
+}
+
+fn rasterize(mesh: &Mesh, scratch: &mut Scratch) -> u32 {
+    let mut filled = 0;
+    for tri in mesh.tris() {
+        filled += scratch.mark(tri);
+    }
+    filled
+}
+
+/// Cold setup code, unreachable from any stage root: allocation here
+/// is none of hotpath's business.
+pub fn build_scratch(capacity_hint: usize) -> Scratch {
+    Scratch {
+        cells: Vec::with_capacity(capacity_hint.min(1 << 20)),
+        names: vec![String::new()],
+    }
+}

@@ -1,0 +1,12 @@
+//! Hotpath negative fixture — net crate: the dispatch root's two
+//! unavoidable costs carry written waivers, so the tree is clean.
+
+/// Root: the response envelope and the frame write are the request.
+pub fn dispatch(req: Request, sock: &mut TcpStream) -> Response {
+    let body = req.render();
+    // hotpath: allow(hot-alloc) — the response envelope is the returned artifact
+    let owned = body.to_string();
+    // hotpath: allow(hot-block) — writing the reply frame is the request itself
+    sock.write_all(owned.as_bytes());
+    Response::ok(owned)
+}

@@ -1,0 +1,41 @@
+//! Hotpath positive fixture — core crate: a stage-timer root whose
+//! callees allocate, plus unreachable and test-only code that must
+//! stay silent.
+
+/// Root: starts a stage timer, so everything it reaches is hot.
+pub fn extract_stage(mesh: &Mesh) -> Features {
+    let _stage = tdess_obs::StageTimer::start(tdess_obs::Stage::Voxelize);
+    let buf = helper();
+    Worker::run(&buf)
+}
+
+/// Reached by a plain name call from the root.
+fn helper() -> Vec<u8> {
+    let out = Vec::new();
+    out
+}
+
+pub struct Worker;
+
+impl Worker {
+    /// Reached by a qualified call resolved against this impl block.
+    pub fn run(buf: &[u8]) -> Features {
+        let label = format!("{} bytes", buf.len());
+        cross(&label)
+    }
+}
+
+/// Never called from any root: its allocation must not be reported.
+pub fn cold_utility() -> Vec<u32> {
+    vec![1, 2, 3]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_invisible_to_hotpath() {
+        let v: Vec<u8> = Vec::new();
+        let s = format!("{}", v.len());
+        assert!(s.is_empty() || !s.is_empty());
+    }
+}

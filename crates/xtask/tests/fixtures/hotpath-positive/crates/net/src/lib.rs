@@ -1,0 +1,23 @@
+//! Hotpath positive fixture — net crate: the dispatch root blocks and
+//! sizes a buffer from the wire, and a helper is reached cross-crate
+//! from the core root.
+
+/// Root by name and location: request dispatch in `crates/net/src/`.
+pub fn dispatch(req: Request, sock: &mut TcpStream) -> Response {
+    let payload_len = req.len;
+    let mut frame = Vec::with_capacity(payload_len);
+    encode(&req, &mut frame);
+    sock.write_all(&frame);
+    // Calls into the pipeline are the hot path itself, not a detour:
+    // audit's blocking table entry for them must not fire here.
+    let features = req.extractor.extract(&req.mesh);
+    Response::from(features)
+}
+
+/// Reached from `core::Worker::run` by a cross-crate name call.
+pub fn cross(label: &str) -> Features {
+    let owned = label.to_string();
+    Features::tagged(owned)
+}
+
+fn encode(_req: &Request, _frame: &mut [u8]) {}
