@@ -1,0 +1,365 @@
+//! Persistence and index-build behavior at 10³/10⁴/10⁵ shapes — the
+//! scale regime of §2.3's "large synthetic databases", applied to the
+//! storage layer.
+//!
+//! For each scale a synthetic corpus (feature vectors jittered around
+//! the 26 family anchors, see `tdess_dataset::synth_corpus`) is
+//! indexed and then:
+//!
+//! * **persistence** — the database is saved and re-loaded in the
+//!   binary `TDSS` snapshot format and (at 10³/10⁴) in the JSON compat
+//!   format, wall time for each; the JSON path is skipped at 10⁵
+//!   because the serde value tree alone needs gigabytes of RAM there,
+//!   which is precisely why the binary format exists;
+//! * **index build** — every feature space's R-tree built by STR bulk
+//!   loading vs one-at-a-time insertion, build wall time plus mean
+//!   kNN node accesses over 100 stored-vector queries on each;
+//! * **equivalence** — search results from the re-loaded binary (and
+//!   JSON, where produced) database are checked bit-identical to the
+//!   in-memory database before any timing is trusted.
+//!
+//! Outputs:
+//! * `BENCH_scale.json` — machine-readable numbers;
+//! * `results/tab_scale.txt` — the rendered table.
+//!
+//! `--smoke` runs the 10³ scale only: same code path, CI-sized.
+
+use std::path::Path;
+use std::time::Instant;
+
+use tdess_bench::CORPUS_SEED;
+use tdess_core::{
+    load_from_path, save_to_path, save_to_path_binary, Query, SearchHit, ShapeDatabase,
+};
+use tdess_dataset::synth_corpus;
+use tdess_eval::render_table;
+use tdess_features::{FeatureExtractor, FeatureKind};
+use tdess_index::{QueryStats, RTree, RTreeConfig};
+
+/// Anchor-extraction resolution. Only 26 meshes are ever voxelized, so
+/// this is a fixed setup cost, not part of any measured interval.
+const ANCHOR_RESOLUTION: usize = 24;
+
+/// kNN queries per (scale, kind, structure) when counting node
+/// accesses.
+const QUERIES: usize = 100;
+
+/// JSON save/load is only measured up to this many shapes; beyond it
+/// the in-memory serde value tree dwarfs the database itself.
+const JSON_MAX_SHAPES: usize = 10_000;
+
+struct PersistNumbers {
+    bin_bytes: u64,
+    bin_save_s: f64,
+    bin_load_s: f64,
+    json: Option<(u64, f64, f64)>, // bytes, save s, load s
+}
+
+struct IndexNumbers {
+    str_build_s: f64,
+    incr_build_s: f64,
+    str_nodes_per_query: f64,
+    incr_nodes_per_query: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scales: &[usize] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+
+    let extractor = FeatureExtractor {
+        voxel_resolution: ANCHOR_RESOLUTION,
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join("tdess_tab_scale");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: creating {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+
+    let mut rows = Vec::new();
+    let mut scale_json = Vec::new();
+    for &n in scales {
+        eprintln!("[setup] generating {n} synthetic shapes (seed {CORPUS_SEED})");
+        let shapes = match synth_corpus(&extractor, CORPUS_SEED, n) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: anchor extraction: {e}");
+                std::process::exit(1);
+            }
+        };
+
+        let t0 = Instant::now();
+        let mut db = ShapeDatabase::new(extractor);
+        db.insert_batch_precomputed(shapes.clone());
+        let db_build_s = t0.elapsed().as_secs_f64();
+        eprintln!("[setup] database of {n} indexed in {db_build_s:.2}s");
+
+        let index = index_numbers(&db, n);
+        let persist = persist_numbers(&db, n, &dir);
+
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}", persist.bin_bytes as f64 / 1e6),
+            format!("{:.3}", persist.bin_save_s),
+            format!("{:.3}", persist.bin_load_s),
+            persist
+                .json
+                .map_or("- (skipped)".into(), |(_, s, _)| format!("{s:.3}")),
+            persist
+                .json
+                .map_or("- (skipped)".into(), |(_, _, l)| format!("{l:.3}")),
+            persist.json.map_or("-".into(), |(_, _, l)| {
+                format!("{:.1}x", l / persist.bin_load_s.max(1e-12))
+            }),
+            format!("{:.3}", index.str_build_s),
+            format!("{:.3}", index.incr_build_s),
+            format!("{:.1}", index.str_nodes_per_query),
+            format!("{:.1}", index.incr_nodes_per_query),
+        ]);
+
+        let persist_json = {
+            let json_part = match persist.json {
+                Some((bytes, save_s, load_s)) => serde_json::json!({
+                    "bytes": bytes,
+                    "save_s": save_s,
+                    "load_s": load_s,
+                    "load_speedup_binary_vs_json": load_s / persist.bin_load_s.max(1e-12),
+                }),
+                None => serde_json::json!(null),
+            };
+            serde_json::json!({
+                "binary_bytes": persist.bin_bytes,
+                "binary_save_s": persist.bin_save_s,
+                "binary_load_s": persist.bin_load_s,
+                "json": json_part,
+                "json_skipped_above_shapes": JSON_MAX_SHAPES,
+            })
+        };
+        let index_json = serde_json::json!({
+            "str_build_s": index.str_build_s,
+            "incremental_build_s": index.incr_build_s,
+            "str_nodes_per_query": index.str_nodes_per_query,
+            "incremental_nodes_per_query": index.incr_nodes_per_query,
+        });
+        scale_json.push(serde_json::json!({
+            "shapes": n,
+            "db_build_s": db_build_s,
+            "persist": persist_json,
+            "index": index_json,
+        }));
+    }
+
+    let headers = [
+        "shapes",
+        "bin MB",
+        "bin save s",
+        "bin load s",
+        "json save s",
+        "json load s",
+        "load speedup",
+        "STR build s",
+        "incr build s",
+        "STR nodes/q",
+        "incr nodes/q",
+    ];
+    let table = render_table(&headers, &rows);
+    let title = format!(
+        "Persistence and index build at scale — synthetic corpora, binary vs JSON snapshots{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+    println!("\n{title}");
+    println!("{table}");
+    println!(
+        "JSON format measured up to {JSON_MAX_SHAPES} shapes; larger databases are binary-only. \
+         Build times sum all {} feature-space trees.",
+        FeatureKind::ALL.len()
+    );
+
+    let json = serde_json::json!({
+        "bench": "tab_scale",
+        "smoke": smoke,
+        "corpus_seed": CORPUS_SEED,
+        "anchor_resolution": ANCHOR_RESOLUTION,
+        "queries_per_tree": QUERIES,
+        "scales": serde_json::Value::Arr(scale_json),
+    });
+    let pretty = match serde_json::to_string_pretty(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: serializing results: {e}");
+            std::process::exit(1);
+        }
+    };
+    write_or_die("BENCH_scale.json", &pretty);
+    if !smoke {
+        let _ = std::fs::create_dir_all("results");
+        write_or_die("results/tab_scale.txt", &format!("{title}\n{table}\n"));
+    }
+}
+
+/// Best wall time of `REPS` runs of `f` — the standard guard against a
+/// single run eating a page-cache miss or scheduler hiccup.
+fn best_of<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    const REPS: usize = 5;
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("REPS is nonzero"))
+}
+
+/// Saves and re-loads `db` in both formats (best of three runs each),
+/// verifying the round trips give bit-identical search results before
+/// reporting any timing.
+fn persist_numbers(db: &ShapeDatabase, n: usize, dir: &Path) -> PersistNumbers {
+    let bin_path = dir.join(format!("scale_{n}.tdss"));
+    let (bin_save_s, ()) = best_of(|| {
+        if let Err(e) = save_to_path_binary(db, &bin_path) {
+            eprintln!("error: binary save at {n}: {e}");
+            std::process::exit(1);
+        }
+    });
+    let bin_bytes = std::fs::metadata(&bin_path).map(|m| m.len()).unwrap_or(0);
+    let (bin_load_s, from_bin) = best_of(|| match load_from_path(&bin_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: binary load at {n}: {e}");
+            std::process::exit(1);
+        }
+    });
+    assert_identical_results(db, &from_bin, "binary");
+    let _ = std::fs::remove_file(&bin_path);
+
+    let json = if n <= JSON_MAX_SHAPES {
+        let json_path = dir.join(format!("scale_{n}.json"));
+        let (save_s, ()) = best_of(|| {
+            if let Err(e) = save_to_path(db, &json_path) {
+                eprintln!("error: json save at {n}: {e}");
+                std::process::exit(1);
+            }
+        });
+        let bytes = std::fs::metadata(&json_path).map(|m| m.len()).unwrap_or(0);
+        let (load_s, from_json) = best_of(|| match load_from_path(&json_path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: json load at {n}: {e}");
+                std::process::exit(1);
+            }
+        });
+        assert_identical_results(db, &from_json, "json");
+        let _ = std::fs::remove_file(&json_path);
+        Some((bytes, save_s, load_s))
+    } else {
+        eprintln!("[note] {n} shapes: JSON path skipped (> {JSON_MAX_SHAPES})");
+        None
+    };
+
+    PersistNumbers {
+        bin_bytes,
+        bin_save_s,
+        bin_load_s,
+        json,
+    }
+}
+
+/// kNN results from a re-loaded database must match the source bit for
+/// bit — otherwise the timing numbers describe a different database.
+fn assert_identical_results(a: &ShapeDatabase, b: &ShapeDatabase, format: &str) {
+    if a.len() != b.len() {
+        eprintln!(
+            "error: {format} reload has {} of {} shapes",
+            b.len(),
+            a.len()
+        );
+        std::process::exit(1);
+    }
+    let step = (a.len() / 16).max(1);
+    for shape in a.shapes().iter().step_by(step) {
+        for kind in FeatureKind::ALL {
+            let q = Query::top_k(kind, 10);
+            let ha = a.search(&shape.features, &q);
+            let hb = b.search(&shape.features, &q);
+            let same = ha.len() == hb.len()
+                && ha.iter().zip(&hb).all(|(x, y): (&SearchHit, &SearchHit)| {
+                    x.id == y.id && x.distance.to_bits() == y.distance.to_bits()
+                });
+            if !same {
+                eprintln!(
+                    "error: {format} reload gives different {kind:?} results for `{}`",
+                    shape.name
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Builds each feature space's tree twice — STR bulk load vs
+/// incremental insertion — and compares build time and query node
+/// accesses. The STR trees must never need more node accesses than the
+/// incremental ones; that regression check is the point of the column.
+fn index_numbers(db: &ShapeDatabase, n: usize) -> IndexNumbers {
+    let config = RTreeConfig::default();
+    let mut str_build_s = 0.0;
+    let mut incr_build_s = 0.0;
+    let mut str_stats = QueryStats::default();
+    let mut incr_stats = QueryStats::default();
+    let mut query_count = 0usize;
+    for kind in FeatureKind::ALL {
+        let dim = db.extractor().dim(kind);
+        let points: Vec<(Vec<f64>, u64)> = db
+            .shapes()
+            .iter()
+            .map(|s| (s.features.get(kind).to_vec(), s.id))
+            .collect();
+
+        let t0 = Instant::now();
+        let bulk: RTree<u64> = RTree::bulk_load(dim, config, points.clone());
+        str_build_s += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let mut incr: RTree<u64> = RTree::new(dim, config);
+        for (p, id) in &points {
+            incr.insert(p.clone(), *id);
+        }
+        incr_build_s += t0.elapsed().as_secs_f64();
+
+        let step = (points.len() / QUERIES).max(1);
+        for (p, _) in points.iter().step_by(step).take(QUERIES) {
+            let a = bulk.knn(p, 10, &mut str_stats);
+            let b = incr.knn(p, 10, &mut incr_stats);
+            query_count += 1;
+            // Same distances from both shapes of the same point set.
+            let same = a.len() == b.len()
+                && a.iter()
+                    .zip(&b)
+                    .all(|((_, _, da), (_, _, db))| da.to_bits() == db.to_bits());
+            if !same {
+                eprintln!("error: STR and incremental kNN disagree ({kind:?}, n={n})");
+                std::process::exit(1);
+            }
+        }
+    }
+    IndexNumbers {
+        str_build_s,
+        incr_build_s,
+        str_nodes_per_query: str_stats.nodes_visited as f64 / query_count as f64,
+        incr_nodes_per_query: incr_stats.nodes_visited as f64 / query_count as f64,
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: writing {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[out] wrote {path}");
+}

@@ -180,6 +180,12 @@ impl ShapeDatabase {
         &self.extractor
     }
 
+    /// The id the next inserted shape will receive (persisted so id
+    /// assignment continues across save/load).
+    pub(crate) fn next_id(&self) -> ShapeId {
+        self.next_id
+    }
+
     /// Number of stored shapes.
     pub fn len(&self) -> usize {
         self.shapes.len()
@@ -256,6 +262,13 @@ impl ShapeDatabase {
     /// the value the sequential [`ShapeDatabase::insert_precomputed`]
     /// path produces (the pruning only skips pairs that provably
     /// cannot extend the diameter). Ids are assigned in input order.
+    ///
+    /// When the batch is large relative to the database (bulk corpus
+    /// builds, snapshot loads), every index is rebuilt with the STR
+    /// bulk loader instead of inserted into one point at a time —
+    /// packed trees build faster and answer queries with no more node
+    /// accesses. Search results are identical either way: distances
+    /// are computed from the stored vectors, not the tree shape.
     pub fn insert_batch_precomputed(
         &mut self,
         items: Vec<(String, TriMesh, FeatureSet)>,
@@ -271,10 +284,123 @@ impl ShapeDatabase {
             let entry = self.dmax.get_mut(&kind).expect("all kinds initialized");
             *entry = diameter_with_bound(&points, *entry);
         }
-        items
+        // A handful of inserts into a large database does not amortize
+        // an O(n log n) rebuild of every tree; keep those incremental.
+        if items.len() * 4 < self.shapes.len() {
+            return items
+                .into_iter()
+                .map(|(name, mesh, features)| self.insert_indexed(name, mesh, features))
+                .collect();
+        }
+        let ids: Vec<ShapeId> = items
             .into_iter()
-            .map(|(name, mesh, features)| self.insert_indexed(name, mesh, features))
-            .collect()
+            .map(|(name, mesh, features)| {
+                let id = self.next_id;
+                self.next_id += 1;
+                self.id_index.insert(id, self.shapes.len());
+                self.shapes.push(StoredShape {
+                    id,
+                    name,
+                    mesh,
+                    features,
+                });
+                id
+            })
+            .collect();
+        self.rebuild_indexes(self.index_config());
+        ids
+    }
+
+    /// The fan-out configuration of this database's R-trees.
+    pub(crate) fn index_config(&self) -> RTreeConfig {
+        self.indexes
+            .values()
+            .next()
+            .map(|t| t.config())
+            .unwrap_or_default()
+    }
+
+    /// Rebuilds every per-kind R-tree from the stored shapes using the
+    /// STR bulk loader.
+    fn rebuild_indexes(&mut self, config: RTreeConfig) {
+        // The seven feature spaces are independent, so their trees
+        // build on separate scoped threads (auto-joined); each build is
+        // deterministic, so the parallelism cannot change results.
+        let extractor = self.extractor;
+        let shapes = &self.shapes;
+        let trees: Vec<(FeatureKind, RTree<ShapeId>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = FeatureKind::ALL
+                .into_iter()
+                .map(|kind| {
+                    scope.spawn(move || {
+                        let entries: Vec<(Vec<f64>, ShapeId)> = shapes
+                            .iter()
+                            .map(|s| (s.features.get(kind).to_vec(), s.id))
+                            .collect();
+                        (kind, RTree::bulk_load(extractor.dim(kind), config, entries))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                // lint: allow(unwrap) — propagates a build-thread panic
+                .map(|h| h.join().expect("index build thread panicked"))
+                .collect()
+        });
+        for (kind, tree) in trees {
+            self.indexes.insert(kind, tree);
+        }
+    }
+
+    /// Reassembles a database from the parts a binary snapshot stores
+    /// (shapes with features, `dmax` table, id counter, tree config),
+    /// validating everything that untrusted bytes could have broken
+    /// and STR-bulk-loading the indexes instead of deserializing them.
+    pub(crate) fn from_loaded_parts(
+        extractor: FeatureExtractor,
+        next_id: ShapeId,
+        shapes: Vec<StoredShape>,
+        dmax: HashMap<FeatureKind, f64>,
+        config: RTreeConfig,
+    ) -> Result<ShapeDatabase, String> {
+        config.validate().map_err(|e| e.to_string())?;
+        for kind in FeatureKind::ALL {
+            let d = *dmax
+                .get(&kind)
+                .ok_or_else(|| format!("missing dmax entry for {kind:?}"))?;
+            if !d.is_finite() || d < 0.0 {
+                return Err(format!(
+                    "dmax for {kind:?} is {d}, expected finite and >= 0"
+                ));
+            }
+        }
+        // Feature dimensionality and finiteness are the decoder's
+        // contract: the snapshot loader pins per-kind dims to the
+        // extractor config in `decode_meta` and rejects non-finite
+        // values while decoding `FEAT`, so only the cross-cutting
+        // invariants are checked here.
+        let mut ids: Vec<ShapeId> = shapes.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!("duplicate shape id {}", w[0]));
+        }
+        let max_id: ShapeId = ids.last().copied().unwrap_or(0);
+        if next_id <= max_id {
+            return Err(format!(
+                "next_id {next_id} would collide with stored id {max_id}"
+            ));
+        }
+        let mut db = ShapeDatabase {
+            extractor,
+            next_id,
+            shapes,
+            id_index: HashMap::new(),
+            indexes: HashMap::new(),
+            dmax,
+        };
+        db.rebuild_id_index();
+        db.rebuild_indexes(config);
+        Ok(db)
     }
 
     /// Stores a shape and updates every index, leaving `dmax`

@@ -13,8 +13,11 @@
 //!   weight reconfiguration;
 //! * **browsing** ([`browse`]) — per-feature clustering hierarchies
 //!   for drill-down search;
-//! * **persistence** ([`persist`]) — JSON storage standing in for the
-//!   paper's Oracle 8i layer, with atomic (temp-file + rename) saves;
+//! * **persistence** ([`persist`]) — storage standing in for the
+//!   paper's Oracle 8i layer, with atomic (temp-file + rename + dir
+//!   fsync) saves; JSON for compat/debugging plus the [`snapshot`]
+//!   binary format (`TDSS`: versioned, sectioned, checksummed) for
+//!   10⁴–10⁵-shape databases, with format auto-detection on load;
 //! * **server tier** ([`server`]) — snapshot-isolated concurrent
 //!   search handle (reads never block writes and vice versa), batched
 //!   concurrent queries, query metrics, and parallel bulk indexing.
@@ -29,11 +32,18 @@ pub mod multistep;
 pub mod persist;
 pub mod server;
 pub mod similarity;
+pub mod snapshot;
 
 pub use browse::{BrowseCursor, BrowseTree};
 pub use db::{DbError, Query, QueryMode, SearchHit, ShapeDatabase, ShapeId, StoredShape};
 pub use feedback::{reconfigure_weights, reconstruct_query, Feedback, RocchioParams};
 pub use multistep::{multi_step_search, multi_step_search_with_stats, MultiStepPlan};
-pub use persist::{load, load_from_path, save, save_to_path, FileOp, PersistError};
+pub use persist::{
+    load, load_from_path, save, save_to_path, save_to_path_as, save_to_path_binary, sniff_format,
+    FileOp, PersistError, SnapshotFormat,
+};
 pub use server::{bulk_insert, LatencySnapshots, LatencyStats, SearchServer, ServerMetrics};
 pub use similarity::{similarity, threshold_to_radius, weighted_distance, Weights};
+pub use snapshot::{
+    checksum64, load_binary, load_binary_bytes, save_binary, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};

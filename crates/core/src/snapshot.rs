@@ -1,0 +1,837 @@
+//! Binary snapshot format for [`ShapeDatabase`] (the `TDSS` format).
+//!
+//! The JSON persistence in [`crate::persist`] round-trips everything —
+//! including the R-trees — through a text value tree, which is fine at
+//! 113 shapes and hopeless at 10⁵ (the paper's §2.3 index-efficiency
+//! claim is stated over synthetic databases of that size). This module
+//! is the scale path: a versioned, sectioned, checksummed binary
+//! layout with fixed-stride little-endian feature arrays, so loading
+//! is a linear bounds-checked decode instead of a parse, and the
+//! R-trees are not stored at all — they are rebuilt in one pass with
+//! [`RTree::bulk_load`](tdess_index::RTree::bulk_load) (STR packing),
+//! which is faster than deserializing them and yields better-packed
+//! trees.
+//!
+//! # Layout (version 1)
+//!
+//! ```text
+//! offset 0   magic  "TDSS"           (4 bytes)
+//! offset 4   format version          (u32 LE)
+//! offset 8   section count           (u32 LE, = 3 in v1)
+//! then, per section, a header followed by its payload:
+//!            tag                     (4 bytes ASCII)
+//!            payload length          (u64 LE)
+//!            payload checksum        (u64 LE, [`checksum64`])
+//!            payload bytes
+//! ```
+//!
+//! Sections appear in a fixed order:
+//!
+//! * `META` — extractor configuration, id counter, shape count,
+//!   R-tree fan-out, and the per-kind dimensions + `dmax` table;
+//! * `SHPS` — per shape: id, name, and mesh (vertex/triangle arrays);
+//! * `FEAT` — per feature kind, the feature vectors of all shapes as
+//!   one contiguous `shape_count × dim` little-endian `f64` array
+//!   (vector `i` of a kind lives at byte offset `i * dim * 8` inside
+//!   the kind's block — a fixed stride, so a future memory-mapped
+//!   reader can address it without parsing).
+//!
+//! # Versioning and compatibility
+//!
+//! The version integer is bumped on any layout change; readers reject
+//! versions they do not know ([`PersistError::UnsupportedVersion`])
+//! rather than guessing. The JSON format remains the compatibility and
+//! debugging path: [`crate::persist::load_from_path`] sniffs the first
+//! four bytes and dispatches to whichever decoder matches.
+//!
+//! # Trust model
+//!
+//! Decode treats the file as untrusted: every section is checksummed,
+//! every declared count is capped before an allocation is sized from
+//! it (same policy as the OFF loader in `tdess-geom`), and the decoded
+//! parts pass through the same validation the JSON path applies
+//! (R-tree config via `RTreeConfig::validate`, feature dimensions,
+//! finiteness, id uniqueness) before a database is produced.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use tdess_features::{FeatureExtractor, FeatureKind, FeatureSet};
+use tdess_geom::io::{MAX_MESH_FACES, MAX_MESH_VERTICES};
+use tdess_geom::{TriMesh, Vec3};
+use tdess_index::RTreeConfig;
+
+use crate::db::{ShapeDatabase, ShapeId, StoredShape};
+use crate::persist::{corrupt, PersistError};
+
+/// First four bytes of every binary snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"TDSS";
+/// Newest format version this build reads and the one it writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const SECTION_META: [u8; 4] = *b"META";
+const SECTION_SHPS: [u8; 4] = *b"SHPS";
+const SECTION_FEAT: [u8; 4] = *b"FEAT";
+
+/// Cap on a declared section length. A hostile header cannot demand
+/// more than this; real sections are far smaller (the feature block of
+/// a 10⁵-shape database is ~100 MB).
+pub const MAX_SECTION_BYTES: u64 = 1 << 33;
+/// Cap on the declared shape count.
+pub const MAX_SNAPSHOT_SHAPES: usize = 1 << 24;
+/// Cap on a declared shape-name length in bytes.
+pub const MAX_NAME_BYTES: usize = 1 << 16;
+/// Cap on a declared per-kind feature dimension.
+pub const MAX_FEATURE_DIM: usize = 1 << 16;
+
+/// 64-bit section checksum: four independent multiply–rotate lanes
+/// over little-endian 64-bit words, merged and finished with a
+/// splitmix64-style avalanche.
+///
+/// Chosen over table-driven CRC-32 because checksumming is on the
+/// snapshot load path and this folds 32 bytes per iteration with
+/// three ALU ops per word (xor, multiply by an odd constant, rotate)
+/// — several times faster than slice-by-N lookups, in safe Rust.
+/// Detection properties: for fixed surrounding data each lane's
+/// absorb step `acc = rotl((acc ^ w) * K)` is a bijection on `u64`,
+/// so any corruption confined to a single 8-byte word changes the
+/// final checksum with certainty; corruption spanning several words
+/// is missed with probability ~2⁻⁶⁴. The input length participates in
+/// the finalizer, so zero-padded tails of different lengths differ.
+pub fn checksum64(data: &[u8]) -> u64 {
+    let mut sum = StreamSum::new();
+    sum.absorb(data);
+    sum.finish()
+}
+
+const SUM_KEYS: [u64; 4] = [
+    0x9E37_79B9_7F4A_7C15,
+    0xC2B2_AE3D_27D4_EB4F,
+    0x1656_67B1_9E37_79F9,
+    0x27D4_EB2F_1656_67C5,
+];
+
+fn absorb_word(acc: u64, w: u64, k: u64) -> u64 {
+    (acc ^ w).wrapping_mul(k).rotate_left(29)
+}
+
+/// Streaming form of [`checksum64`]: absorb any sequence of slices,
+/// finish to exactly the value `checksum64` yields over their
+/// concatenation. Lets the snapshot decoder verify a section in the
+/// same pass that parses it instead of streaming multi-megabyte
+/// payloads through memory twice.
+struct StreamSum {
+    acc: [u64; 4],
+    /// Staging for a partial 32-byte stripe between absorb calls.
+    stripe: [u8; 32],
+    staged: usize,
+    len: u64,
+}
+
+impl StreamSum {
+    fn new() -> StreamSum {
+        StreamSum {
+            acc: [
+                0x243F_6A88_85A3_08D3,
+                0x1319_8A2E_0370_7344,
+                0xA409_3822_299F_31D0,
+                0x082E_FA98_EC4E_6C89,
+            ],
+            stripe: [0u8; 32],
+            staged: 0,
+            len: 0,
+        }
+    }
+
+    fn absorb_stripe(&mut self, c: &[u8]) {
+        debug_assert_eq!(c.len(), 32);
+        self.acc[0] = absorb_word(
+            self.acc[0],
+            u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]),
+            SUM_KEYS[0],
+        );
+        self.acc[1] = absorb_word(
+            self.acc[1],
+            u64::from_le_bytes([c[8], c[9], c[10], c[11], c[12], c[13], c[14], c[15]]),
+            SUM_KEYS[1],
+        );
+        self.acc[2] = absorb_word(
+            self.acc[2],
+            u64::from_le_bytes([c[16], c[17], c[18], c[19], c[20], c[21], c[22], c[23]]),
+            SUM_KEYS[2],
+        );
+        self.acc[3] = absorb_word(
+            self.acc[3],
+            u64::from_le_bytes([c[24], c[25], c[26], c[27], c[28], c[29], c[30], c[31]]),
+            SUM_KEYS[3],
+        );
+    }
+
+    fn absorb(&mut self, mut data: &[u8]) {
+        self.len += data.len() as u64;
+        if self.staged > 0 {
+            let take = (32 - self.staged).min(data.len());
+            self.stripe[self.staged..self.staged + take].copy_from_slice(&data[..take]);
+            self.staged += take;
+            data = &data[take..];
+            if self.staged < 32 {
+                return;
+            }
+            let full = self.stripe;
+            self.absorb_stripe(&full);
+            self.staged = 0;
+        }
+        let mut stripes = data.chunks_exact(32);
+        for c in &mut stripes {
+            self.absorb_stripe(c);
+        }
+        let rem = stripes.remainder();
+        self.stripe[..rem.len()].copy_from_slice(rem);
+        self.staged = rem.len();
+    }
+
+    fn finish(self) -> u64 {
+        let mut acc = self.acc;
+        let rem = &self.stripe[..self.staged];
+        let mut lane = 0;
+        let mut words = rem.chunks_exact(8);
+        for c in &mut words {
+            let w = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+            acc[lane] = absorb_word(acc[lane], w, SUM_KEYS[lane]);
+            lane += 1;
+        }
+        let tail = words.remainder();
+        if !tail.is_empty() {
+            let mut last = [0u8; 8];
+            last[..tail.len()].copy_from_slice(tail);
+            acc[lane] = absorb_word(acc[lane], u64::from_le_bytes(last), SUM_KEYS[lane]);
+        }
+        let mut h = acc[0].rotate_left(1)
+            ^ acc[1].rotate_left(7)
+            ^ acc[2].rotate_left(12)
+            ^ acc[3].rotate_left(18);
+        h ^= self.len;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        h
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Path used in errors from the writer/reader-level entry points,
+/// where no file is involved.
+const STREAM: &str = "<stream>";
+
+/// Serializes the database to a writer in the binary snapshot format.
+///
+/// The encoder enforces the same limits the decoder does
+/// ([`MAX_SNAPSHOT_SHAPES`], [`MAX_NAME_BYTES`], mesh caps), so any
+/// file this writes is one the decoder accepts.
+pub fn save_binary<W: Write>(db: &ShapeDatabase, mut w: W) -> Result<(), PersistError> {
+    let shapes = db.shapes();
+    let extractor = db.extractor();
+    let config = db.index_config();
+
+    if shapes.len() > MAX_SNAPSHOT_SHAPES {
+        return Err(corrupt(
+            Path::new(STREAM),
+            "META",
+            format!(
+                "database holds {} shapes, format cap is {MAX_SNAPSHOT_SHAPES}",
+                shapes.len()
+            ),
+        ));
+    }
+
+    let mut meta = Vec::new();
+    put_u32(&mut meta, extractor.voxel_resolution as u32);
+    put_u32(&mut meta, extractor.spectrum_dim as u32);
+    put_u64(&mut meta, db.next_id());
+    put_u64(&mut meta, shapes.len() as u64);
+    put_u32(&mut meta, config.max_entries as u32);
+    put_u32(&mut meta, config.min_entries as u32);
+    put_u32(&mut meta, FeatureKind::ALL.len() as u32);
+    for kind in FeatureKind::ALL {
+        put_u32(&mut meta, extractor.dim(kind) as u32);
+        put_f64(&mut meta, db.dmax(kind));
+    }
+
+    let mut shps = Vec::new();
+    for s in shapes {
+        if s.name.len() > MAX_NAME_BYTES {
+            return Err(corrupt(
+                Path::new(STREAM),
+                "SHPS",
+                format!("shape {} name exceeds {MAX_NAME_BYTES} bytes", s.id),
+            ));
+        }
+        if s.mesh.vertices.len() > MAX_MESH_VERTICES || s.mesh.triangles.len() > MAX_MESH_FACES {
+            return Err(corrupt(
+                Path::new(STREAM),
+                "SHPS",
+                format!("shape {} mesh exceeds format caps", s.id),
+            ));
+        }
+        put_u64(&mut shps, s.id);
+        put_u32(&mut shps, s.name.len() as u32);
+        shps.extend_from_slice(s.name.as_bytes());
+        put_u32(&mut shps, s.mesh.vertices.len() as u32);
+        put_u32(&mut shps, s.mesh.triangles.len() as u32);
+        for v in &s.mesh.vertices {
+            put_f64(&mut shps, v.x);
+            put_f64(&mut shps, v.y);
+            put_f64(&mut shps, v.z);
+        }
+        for t in &s.mesh.triangles {
+            put_u32(&mut shps, t[0]);
+            put_u32(&mut shps, t[1]);
+            put_u32(&mut shps, t[2]);
+        }
+    }
+
+    let mut feat = Vec::new();
+    for kind in FeatureKind::ALL {
+        for s in shapes {
+            for &x in s.features.get(kind) {
+                put_f64(&mut feat, x);
+            }
+        }
+    }
+
+    w.write_all(&SNAPSHOT_MAGIC)?;
+    w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+    w.write_all(&3u32.to_le_bytes())?;
+    for (tag, payload) in [
+        (SECTION_META, &meta),
+        (SECTION_SHPS, &shps),
+        (SECTION_FEAT, &feat),
+    ] {
+        w.write_all(&tag)?;
+        w.write_all(&(payload.len() as u64).to_le_bytes())?;
+        w.write_all(&checksum64(payload).to_le_bytes())?;
+        w.write_all(payload)?;
+    }
+    Ok(())
+}
+
+/// Bounds-checked little-endian reader over one section's payload.
+/// Every read that would run past the end is a typed corruption error
+/// naming the section and path.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+    path: &'a Path,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8], section: &'static str, path: &'a Path) -> Cur<'a> {
+        Cur {
+            buf,
+            pos: 0,
+            section,
+            path,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(corrupt(
+                self.path,
+                self.section,
+                // hotpath: allow(hot-alloc) — error path: formats once, then the load aborts
+                format!(
+                    "section truncated: needed {n} bytes at offset {}, payload is {} bytes",
+                    self.pos,
+                    self.buf.len()
+                ),
+            )),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Decodes `count` consecutive little-endian f64s in one bounds
+    /// check. The allocation is bounded by `take` (the bytes must
+    /// already be inside the section payload), not by the declared
+    /// count alone.
+    fn f64_vec(&mut self, count: usize) -> Result<Vec<f64>, PersistError> {
+        let n = count.checked_mul(8).ok_or_else(|| {
+            corrupt(
+                self.path,
+                self.section,
+                format!("element count {count} overflows"),
+            )
+        })?;
+        let bytes = self.take(n)?;
+        Ok(bytes
+            .chunks_exact(8)
+            // lint: allow(unwrap) — chunks_exact(8) yields exactly 8 bytes
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect())
+    }
+
+    /// Rejects trailing bytes — a length that disagrees with the
+    /// content is corruption even when the checksum matches.
+    fn done(&self) -> Result<(), PersistError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(corrupt(
+                self.path,
+                self.section,
+                format!(
+                    "{} unexpected trailing bytes after section content",
+                    self.buf.len() - self.pos
+                ),
+            ))
+        }
+    }
+}
+
+/// Everything the `META` section declares.
+struct Meta {
+    extractor: FeatureExtractor,
+    next_id: ShapeId,
+    shape_count: usize,
+    config: RTreeConfig,
+    dims: Vec<usize>,
+    dmax: HashMap<FeatureKind, f64>,
+}
+
+fn decode_meta(payload: &[u8], path: &Path) -> Result<Meta, PersistError> {
+    let mut cur = Cur::new(payload, "META", path);
+    let voxel_resolution = cur.u32()? as usize;
+    let spectrum_dim = cur.u32()? as usize;
+    let next_id = cur.u64()?;
+    let shape_count_raw = cur.u64()?;
+    let max_entries = cur.u32()? as usize;
+    let min_entries = cur.u32()? as usize;
+    let kind_count = cur.u32()? as usize;
+
+    let shape_count = usize::try_from(shape_count_raw).unwrap_or(usize::MAX);
+    if shape_count > MAX_SNAPSHOT_SHAPES {
+        return Err(corrupt(
+            path,
+            "META",
+            format!("declared shape count {shape_count_raw} exceeds cap {MAX_SNAPSHOT_SHAPES}"),
+        ));
+    }
+    if voxel_resolution == 0 || spectrum_dim == 0 || spectrum_dim > MAX_FEATURE_DIM {
+        return Err(corrupt(
+            path,
+            "META",
+            format!(
+                "implausible extractor config: voxel_resolution {voxel_resolution}, \
+                 spectrum_dim {spectrum_dim}"
+            ),
+        ));
+    }
+    if kind_count != FeatureKind::ALL.len() {
+        return Err(corrupt(
+            path,
+            "META",
+            format!(
+                "declared {kind_count} feature kinds, this build knows {}",
+                FeatureKind::ALL.len()
+            ),
+        ));
+    }
+    let extractor = FeatureExtractor {
+        voxel_resolution,
+        spectrum_dim,
+    };
+    let mut dims = Vec::with_capacity(FeatureKind::ALL.len());
+    let mut dmax = HashMap::new();
+    for kind in FeatureKind::ALL {
+        let dim = cur.u32()? as usize;
+        if dim != extractor.dim(kind) {
+            return Err(corrupt(
+                path,
+                "META",
+                format!(
+                    "declared dimension {dim} for {kind:?}, extractor config implies {}",
+                    extractor.dim(kind)
+                ),
+            ));
+        }
+        dims.push(dim);
+        dmax.insert(kind, cur.f64()?);
+    }
+    cur.done()?;
+    Ok(Meta {
+        extractor,
+        next_id,
+        shape_count,
+        config: RTreeConfig {
+            max_entries,
+            min_entries,
+        },
+        dims,
+        dmax,
+    })
+}
+
+fn empty_feature_set() -> FeatureSet {
+    FeatureSet {
+        moment_invariants: Vec::new(),
+        geometric: Vec::new(),
+        principal_moments: Vec::new(),
+        eigenvalues: Vec::new(),
+        higher_order: Vec::new(),
+        shape_distribution: Vec::new(),
+        shell_histogram: Vec::new(),
+    }
+}
+
+fn decode_shapes(
+    payload: &[u8],
+    shape_count: usize,
+    path: &Path,
+) -> Result<Vec<StoredShape>, PersistError> {
+    let mut cur = Cur::new(payload, "SHPS", path);
+    // shape_count was capped against MAX_SNAPSHOT_SHAPES in META, and
+    // is re-bounded here where the allocation it sizes lives.
+    if shape_count > MAX_SNAPSHOT_SHAPES {
+        return Err(corrupt(
+            path,
+            "SHPS",
+            format!("shape count {shape_count} exceeds cap {MAX_SNAPSHOT_SHAPES}"),
+        ));
+    }
+    let mut shapes = Vec::with_capacity(shape_count.min(MAX_SNAPSHOT_SHAPES));
+    for _ in 0..shape_count {
+        let id = cur.u64()?;
+        let name_len = cur.u32()? as usize;
+        if name_len > MAX_NAME_BYTES {
+            return Err(corrupt(
+                path,
+                "SHPS",
+                format!("declared name length {name_len} exceeds cap {MAX_NAME_BYTES}"),
+            ));
+        }
+        let name = String::from_utf8(cur.take(name_len)?.to_vec())
+            .map_err(|_| corrupt(path, "SHPS", format!("shape {id} name is not valid UTF-8")))?;
+        let nv = cur.u32()? as usize;
+        let nt = cur.u32()? as usize;
+        if nv > MAX_MESH_VERTICES {
+            return Err(corrupt(
+                path,
+                "SHPS",
+                format!("declared vertex count {nv} exceeds cap {MAX_MESH_VERTICES}"),
+            ));
+        }
+        if nt > MAX_MESH_FACES {
+            return Err(corrupt(
+                path,
+                "SHPS",
+                format!("declared triangle count {nt} exceeds cap {MAX_MESH_FACES}"),
+            ));
+        }
+        let mut vertices = Vec::with_capacity(nv.min(MAX_MESH_VERTICES));
+        for _ in 0..nv {
+            vertices.push(Vec3::new(cur.f64()?, cur.f64()?, cur.f64()?));
+        }
+        let mut triangles = Vec::with_capacity(nt.min(MAX_MESH_FACES));
+        for _ in 0..nt {
+            let t = [cur.u32()?, cur.u32()?, cur.u32()?];
+            if t.iter().any(|&i| i as usize >= nv) {
+                return Err(corrupt(
+                    path,
+                    "SHPS",
+                    format!("shape {id} triangle references vertex out of range"),
+                ));
+            }
+            triangles.push(t);
+        }
+        shapes.push(StoredShape {
+            id,
+            name,
+            mesh: TriMesh {
+                vertices,
+                triangles,
+            },
+            features: empty_feature_set(),
+        });
+    }
+    cur.done()?;
+    Ok(shapes)
+}
+
+/// Fills `shapes[i].features` from the fixed-stride `FEAT` arrays.
+fn decode_features(
+    payload: &[u8],
+    declared_sum: u64,
+    shapes: &mut [StoredShape],
+    dims: &[usize],
+    path: &Path,
+) -> Result<(), PersistError> {
+    let mut cur = Cur::new(payload, "FEAT", path);
+    // The checksum is folded in one kind-block ahead of the vector
+    // decode below, so this multi-megabyte section is streamed
+    // through memory once, not twice, and the block being decoded is
+    // still cache-warm. Corruption is still always detected before
+    // any decoded value escapes: nothing is returned until the final
+    // whole-payload verdict.
+    let mut sum = StreamSum::new();
+    for (kind, &dim) in FeatureKind::ALL.into_iter().zip(dims) {
+        if dim > MAX_FEATURE_DIM {
+            return Err(corrupt(
+                path,
+                "FEAT",
+                format!("dimension {dim} for {kind:?} exceeds cap {MAX_FEATURE_DIM}"),
+            ));
+        }
+        let block_len = shapes.len().saturating_mul(dim).saturating_mul(8);
+        let block_end = cur.pos.saturating_add(block_len).min(payload.len());
+        sum.absorb(&payload[cur.pos..block_end]);
+        for shape in shapes.iter_mut() {
+            let v = cur.f64_vec(dim)?;
+            // Finiteness is checked here, while the freshly decoded
+            // values are cache-hot, instead of in a second pass over
+            // every vector in `from_loaded_parts`.
+            if !v.iter().all(|x| x.is_finite()) {
+                return Err(corrupt(
+                    path,
+                    "FEAT",
+                    format!("shape {} has a non-finite {kind:?} vector", shape.id),
+                ));
+            }
+            match kind {
+                FeatureKind::MomentInvariants => shape.features.moment_invariants = v,
+                FeatureKind::GeometricParams => shape.features.geometric = v,
+                FeatureKind::PrincipalMoments => shape.features.principal_moments = v,
+                FeatureKind::Eigenvalues => shape.features.eigenvalues = v,
+                FeatureKind::HigherOrder => shape.features.higher_order = v,
+                FeatureKind::ShapeDistribution => shape.features.shape_distribution = v,
+                FeatureKind::ShellHistogram => shape.features.shell_histogram = v,
+            }
+        }
+    }
+    cur.done()?;
+    check_sum(sum.finish(), declared_sum, "FEAT", path)
+}
+
+/// Borrows one section's payload out of the whole-file buffer,
+/// verifying tag, length cap, and bounds — but not the checksum,
+/// which is returned for the caller to verify. `off` advances past
+/// the section.
+fn take_section_raw<'a>(
+    buf: &'a [u8],
+    off: &mut usize,
+    expect_tag: [u8; 4],
+    section: &'static str,
+    path: &Path,
+) -> Result<(&'a [u8], u64), PersistError> {
+    let Some(head) = buf.get(*off..*off + 20) else {
+        return Err(corrupt(
+            path,
+            section,
+            "file ends inside the section header",
+        ));
+    };
+    *off += 20;
+    let tag = [head[0], head[1], head[2], head[3]];
+    if tag != expect_tag {
+        return Err(corrupt(
+            path,
+            section,
+            format!(
+                "expected section tag {:?}, found {:?}",
+                String::from_utf8_lossy(&expect_tag),
+                String::from_utf8_lossy(&tag)
+            ),
+        ));
+    }
+    let len = u64::from_le_bytes([
+        head[4], head[5], head[6], head[7], head[8], head[9], head[10], head[11],
+    ]);
+    let declared_sum = u64::from_le_bytes([
+        head[12], head[13], head[14], head[15], head[16], head[17], head[18], head[19],
+    ]);
+    if len > MAX_SECTION_BYTES {
+        return Err(corrupt(
+            path,
+            section,
+            format!("declared length {len} exceeds cap {MAX_SECTION_BYTES}"),
+        ));
+    }
+    let remaining = (buf.len() - *off) as u64;
+    if len > remaining {
+        return Err(corrupt(
+            path,
+            section,
+            format!("section truncated: declared {len} bytes, file holds {remaining}"),
+        ));
+    }
+    let payload = &buf[*off..*off + len as usize];
+    *off += len as usize;
+    Ok((payload, declared_sum))
+}
+
+/// [`take_section_raw`] plus an eager checksum verification pass.
+/// Used for the small sections; the FEAT decoder verifies its (much
+/// larger) payload in the same pass that parses it.
+fn take_section<'a>(
+    buf: &'a [u8],
+    off: &mut usize,
+    expect_tag: [u8; 4],
+    section: &'static str,
+    path: &Path,
+) -> Result<&'a [u8], PersistError> {
+    let (payload, declared_sum) = take_section_raw(buf, off, expect_tag, section, path)?;
+    check_sum(checksum64(payload), declared_sum, section, path)?;
+    Ok(payload)
+}
+
+/// Compares an actual section checksum against the header's claim.
+fn check_sum(
+    actual: u64,
+    declared: u64,
+    section: &'static str,
+    path: &Path,
+) -> Result<(), PersistError> {
+    if actual != declared {
+        return Err(corrupt(
+            path,
+            section,
+            format!("checksum mismatch: header says {declared:#018x}, payload is {actual:#018x}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Decodes a binary snapshot from a reader. `path` is used only in
+/// error messages (pass the file's path, or anything descriptive for
+/// in-memory readers).
+///
+/// The whole stream is read into memory first and decoded from the
+/// buffer: sections are borrowed rather than copied, and the only
+/// allocation sized by the input is bounded by the bytes the stream
+/// actually delivered, never by a declared length.
+pub fn load_binary<R: Read>(mut r: R, path: &Path) -> Result<ShapeDatabase, PersistError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf).map_err(PersistError::Io)?;
+    load_binary_bytes(&buf, path)
+}
+
+/// Decodes a binary snapshot already sitting in memory.
+pub fn load_binary_bytes(buf: &[u8], path: &Path) -> Result<ShapeDatabase, PersistError> {
+    let Some(head) = buf.get(..12) else {
+        return Err(corrupt(
+            path,
+            "header",
+            "file ends inside the snapshot header",
+        ));
+    };
+    let magic = [head[0], head[1], head[2], head[3]];
+    if magic != SNAPSHOT_MAGIC {
+        return Err(PersistError::BadMagic {
+            path: path.to_path_buf(),
+            found: magic,
+        });
+    }
+    let version = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+    if version != SNAPSHOT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let section_count = u32::from_le_bytes([head[8], head[9], head[10], head[11]]);
+    if section_count != 3 {
+        return Err(corrupt(
+            path,
+            "header",
+            format!("version 1 snapshots have 3 sections, header declares {section_count}"),
+        ));
+    }
+
+    let mut off = 12;
+    let meta_payload = take_section(buf, &mut off, SECTION_META, "META", path)?;
+    let meta = decode_meta(meta_payload, path)?;
+
+    let shps_payload = take_section(buf, &mut off, SECTION_SHPS, "SHPS", path)?;
+    let mut shapes = decode_shapes(shps_payload, meta.shape_count, path)?;
+
+    let (feat_payload, feat_sum) = take_section_raw(buf, &mut off, SECTION_FEAT, "FEAT", path)?;
+    decode_features(feat_payload, feat_sum, &mut shapes, &meta.dims, path)?;
+
+    ShapeDatabase::from_loaded_parts(meta.extractor, meta.next_id, shapes, meta.dmax, meta.config)
+        .map_err(|reason| corrupt(path, "database", reason))
+}
+
+/// Loads a binary snapshot from a file path.
+pub fn load_binary_from_path(path: &Path) -> Result<ShapeDatabase, PersistError> {
+    let file = std::fs::File::open(path).map_err(|source| PersistError::File {
+        op: crate::persist::FileOp::Open,
+        path: path.to_path_buf(),
+        source,
+    })?;
+    load_binary(std::io::BufReader::new(file), path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_deterministic_and_sensitive() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        assert_eq!(checksum64(&data), checksum64(&data));
+        // Flipping any single bit of any byte must change the sum —
+        // single-word corruption detection is certain, not
+        // probabilistic (see the function docs).
+        let base = checksum64(&data);
+        for i in (0..data.len()).step_by(97) {
+            let mut tampered = data.clone();
+            tampered[i] ^= 0x10;
+            assert_ne!(checksum64(&tampered), base, "flip at byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn checksum_distinguishes_zero_padded_lengths() {
+        // The tail is zero-padded before absorption, so the length
+        // term in the finalizer must keep "abc" and "abc\0" apart.
+        assert_ne!(checksum64(b"abc"), checksum64(b"abc\0"));
+        assert_ne!(checksum64(b""), checksum64(b"\0"));
+        assert_ne!(checksum64(&[0u8; 8]), checksum64(&[0u8; 16]));
+    }
+}

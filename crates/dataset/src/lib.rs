@@ -12,6 +12,7 @@
 pub mod builder;
 pub mod families;
 pub mod noise;
+pub mod synth;
 
 pub use builder::{
     build_corpus, build_corpus_custom, build_corpus_scaled, Corpus, ShapeRecord, GROUP_SIZES,
@@ -19,3 +20,4 @@ pub use builder::{
 };
 pub use families::Family;
 pub use noise::noise_shape;
+pub use synth::{synth_corpus, SynthShape, SYNTH_JITTER};

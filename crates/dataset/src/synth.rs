@@ -1,0 +1,193 @@
+//! Large synthetic feature-vector corpora for persistence and index
+//! scale tests.
+//!
+//! The procedural corpus of [`crate::build_corpus`] tops out around
+//! 10³ shapes before feature extraction dominates every benchmark:
+//! voxelizing 10⁵ meshes takes hours and measures the extractor, not
+//! the storage or index layer under test. This module sidesteps
+//! extraction. It extracts features **once per part family** (26
+//! anchor models) and then stamps out an arbitrary number of synthetic
+//! shapes by jittering the anchor vectors — the same clustered
+//! distribution a real PDM database exhibits (parts within a family
+//! are near-identical, families are well separated), at the cost of a
+//! single 26-mesh extraction pass.
+//!
+//! Each synthetic shape carries a tiny placeholder tetrahedron instead
+//! of the anchor's full mesh so a 10⁵-shape database fits comfortably
+//! in memory and on disk; the mesh is never re-extracted, so search
+//! behavior depends only on the stored vectors.
+//!
+//! Generation is seeded and byte-stable: the same
+//! ([`FeatureExtractor`], seed, count) always yields bit-identical
+//! names, meshes, and feature vectors, so snapshots written from a
+//! synthetic corpus are reproducible across runs and machines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdess_features::{FeatureExtractor, FeatureSet, NormalizeError};
+use tdess_geom::{TriMesh, Vec3};
+
+use crate::families::Family;
+
+/// Relative jitter applied to every anchor coordinate: each synthetic
+/// coordinate is `anchor * (1 + u)` with `u` uniform in ±this. Chosen
+/// to match the within-family feature spread of the procedural corpus
+/// (generated family members differ by a few percent per coordinate)
+/// while keeping families separated by far more than the jitter.
+pub const SYNTH_JITTER: f64 = 0.04;
+
+/// One synthetic shape: name, placeholder mesh, and the feature
+/// vectors the database will index. Ready for
+/// `ShapeDatabase::insert_batch_precomputed`.
+pub type SynthShape = (String, TriMesh, FeatureSet);
+
+/// Generates `count` synthetic shapes around the 26 family anchors.
+///
+/// Families are assigned round-robin so every corpus size keeps the
+/// same balanced cluster structure. Fails only if anchor feature
+/// extraction fails, which the watertight family generators do not
+/// trigger in practice.
+pub fn synth_corpus(
+    extractor: &FeatureExtractor,
+    seed: u64,
+    count: usize,
+) -> Result<Vec<SynthShape>, NormalizeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let anchors: Vec<(&'static str, FeatureSet)> = Family::ALL
+        .iter()
+        .map(|family| {
+            let mesh = family.generate(&mut rng);
+            Ok((family.name(), extractor.extract(&mesh)?))
+        })
+        .collect::<Result<_, NormalizeError>>()?;
+
+    let mut shapes = Vec::with_capacity(count);
+    for i in 0..count {
+        let (family_name, anchor) = &anchors[i % anchors.len()];
+        let features = jitter_features(anchor, &mut rng);
+        let mesh = placeholder_mesh(&mut rng);
+        shapes.push((format!("synth-{family_name}-{i}"), mesh, features));
+    }
+    Ok(shapes)
+}
+
+/// A fresh copy of `anchor` with every coordinate scaled by an
+/// independent `1 ± SYNTH_JITTER` factor. Zero coordinates stay zero,
+/// so structurally-empty dimensions (e.g. an anchor with no skeleton
+/// loops) remain empty across its synthetic family.
+fn jitter_features(anchor: &FeatureSet, rng: &mut StdRng) -> FeatureSet {
+    let mut f = anchor.clone();
+    for field in [
+        &mut f.moment_invariants,
+        &mut f.geometric,
+        &mut f.principal_moments,
+        &mut f.eigenvalues,
+        &mut f.higher_order,
+        &mut f.shape_distribution,
+        &mut f.shell_histogram,
+    ] {
+        for x in field.iter_mut() {
+            *x *= 1.0 + rng.gen_range(-SYNTH_JITTER..SYNTH_JITTER);
+        }
+    }
+    f
+}
+
+/// A four-vertex tetrahedron with jittered scale and position — the
+/// cheapest watertight stand-in mesh (the features above are indexed;
+/// this is storage ballast shaped like a real record).
+fn placeholder_mesh(rng: &mut StdRng) -> TriMesh {
+    let s = rng.gen_range(0.5..2.0);
+    let c = Vec3::new(
+        rng.gen_range(-10.0..10.0),
+        rng.gen_range(-10.0..10.0),
+        rng.gen_range(-10.0..10.0),
+    );
+    TriMesh {
+        vertices: vec![
+            Vec3::new(c.x + s, c.y + s, c.z + s),
+            Vec3::new(c.x + s, c.y - s, c.z - s),
+            Vec3::new(c.x - s, c.y + s, c.z - s),
+            Vec3::new(c.x - s, c.y - s, c.z + s),
+        ],
+        triangles: vec![[0, 1, 2], [0, 3, 1], [0, 2, 3], [1, 3, 2]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdess_features::FeatureKind;
+
+    fn extractor() -> FeatureExtractor {
+        FeatureExtractor {
+            voxel_resolution: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let ex = extractor();
+        let a = synth_corpus(&ex, 7, 60).unwrap();
+        let b = synth_corpus(&ex, 7, 60).unwrap();
+        assert_eq!(a.len(), b.len());
+        for ((na, ma, fa), (nb, mb, fb)) in a.iter().zip(&b) {
+            assert_eq!(na, nb);
+            assert_eq!(ma.vertices.len(), mb.vertices.len());
+            for (va, vb) in ma.vertices.iter().zip(&mb.vertices) {
+                assert_eq!(va.x.to_bits(), vb.x.to_bits());
+                assert_eq!(va.y.to_bits(), vb.y.to_bits());
+                assert_eq!(va.z.to_bits(), vb.z.to_bits());
+            }
+            for kind in FeatureKind::ALL {
+                let (xa, xb) = (fa.get(kind), fb.get(kind));
+                assert_eq!(xa.len(), xb.len());
+                for (p, q) in xa.iter().zip(xb) {
+                    assert_eq!(p.to_bits(), q.to_bits(), "{kind:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let ex = extractor();
+        let a = synth_corpus(&ex, 1, 30).unwrap();
+        let b = synth_corpus(&ex, 2, 30).unwrap();
+        let differs = a.iter().zip(&b).any(|((_, _, fa), (_, _, fb))| {
+            fa.get(FeatureKind::GeometricParams) != fb.get(FeatureKind::GeometricParams)
+        });
+        assert!(differs, "seed must influence the jitter");
+    }
+
+    #[test]
+    fn vectors_have_extractor_dims_and_are_finite() {
+        let ex = extractor();
+        let shapes = synth_corpus(&ex, 42, 120).unwrap();
+        assert_eq!(shapes.len(), 120);
+        for (name, mesh, f) in &shapes {
+            assert!(name.starts_with("synth-"), "{name}");
+            assert_eq!(mesh.vertices.len(), 4);
+            assert_eq!(mesh.triangles.len(), 4);
+            for kind in FeatureKind::ALL {
+                let v = f.get(kind);
+                assert_eq!(v.len(), ex.dim(kind), "{kind:?}");
+                assert!(v.iter().all(|x| x.is_finite()), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_covers_every_family() {
+        let ex = extractor();
+        let shapes = synth_corpus(&ex, 3, Family::ALL.len() * 2).unwrap();
+        for family in Family::ALL {
+            let members = shapes
+                .iter()
+                .filter(|(n, _, _)| n.contains(family.name()))
+                .count();
+            assert!(members >= 2, "{} missing members", family.name());
+        }
+    }
+}

@@ -16,5 +16,5 @@ pub mod stats;
 
 pub use linear::LinearScan;
 pub use rect::Rect;
-pub use rtree::{RTree, RTreeConfig};
+pub use rtree::{RTree, RTreeConfig, TreeError};
 pub use stats::QueryStats;

@@ -46,6 +46,18 @@ impl Rect {
         self.min.len()
     }
 
+    /// Midpoint of the rectangle along `axis` (the sort key used by
+    /// sort-tile-recursive bulk loading).
+    #[inline]
+    pub fn center(&self, axis: usize) -> f64 {
+        0.5 * (self.min[axis] + self.max[axis])
+    }
+
+    /// Whether every coordinate of both corners is finite.
+    pub fn is_finite(&self) -> bool {
+        self.min.iter().chain(&self.max).all(|v| v.is_finite())
+    }
+
     /// Grows this rectangle to cover `other`.
     pub fn union_in_place(&mut self, other: &Rect) {
         for d in 0..self.dim() {
@@ -163,6 +175,24 @@ mod tests {
         assert_eq!(r.min_dist_sq(&[3.0, 3.0]), 2.0);
         // Boundary: zero.
         assert_eq!(r.min_dist_sq(&[2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let r = Rect::new(vec![0.0, 2.0], vec![4.0, 3.0]);
+        assert_eq!(r.center(0), 2.0);
+        assert_eq!(r.center(1), 2.5);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let r = Rect::new(vec![0.0], vec![1.0]);
+        assert!(r.is_finite());
+        let bad = Rect {
+            min: vec![f64::NAN],
+            max: vec![1.0],
+        };
+        assert!(!bad.is_finite());
     }
 
     #[test]

@@ -30,6 +30,87 @@ impl Default for RTreeConfig {
     }
 }
 
+impl RTreeConfig {
+    /// Checks `1 ≤ min_entries ≤ max_entries / 2` — the precondition
+    /// `RTree::new` asserts, exposed as a fallible check so snapshot
+    /// loaders can reject hostile configs instead of panicking later.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        if self.min_entries >= 1 && self.min_entries * 2 <= self.max_entries {
+            Ok(())
+        } else {
+            Err(TreeError::BadConfig {
+                min_entries: self.min_entries,
+                max_entries: self.max_entries,
+            })
+        }
+    }
+}
+
+/// Why a deserialized or snapshot-loaded R-tree was rejected.
+///
+/// `RTree::new` enforces its preconditions with assertions because a
+/// bad config in code is a programming error; data read from disk gets
+/// this typed error instead, so a corrupt or hostile snapshot fails
+/// loudly at load time rather than underflowing a split later.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// `min_entries`/`max_entries` violate `1 ≤ m ≤ M/2`.
+    BadConfig {
+        /// Stored minimum fan-out.
+        min_entries: usize,
+        /// Stored maximum fan-out.
+        max_entries: usize,
+    },
+    /// Zero-dimensional tree.
+    ZeroDim,
+    /// A node's entry count is outside what the config permits.
+    BadFanout {
+        /// Entries found in the offending node.
+        found: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// A stored point or bounding rect is malformed (wrong dimension,
+    /// non-finite coordinate, inverted corners, or not covering its
+    /// child).
+    BadGeometry(String),
+    /// Leaves at differing depths.
+    UnevenDepth,
+    /// Stored `len` disagrees with the number of leaf entries.
+    LenMismatch {
+        /// `len` recorded in the snapshot.
+        stored: usize,
+        /// Entries actually present.
+        counted: usize,
+    },
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::BadConfig {
+                min_entries,
+                max_entries,
+            } => write!(
+                f,
+                "invalid fan-out config: need 1 <= min_entries <= max_entries/2, \
+                 got min {min_entries}, max {max_entries}"
+            ),
+            TreeError::ZeroDim => write!(f, "tree dimension must be positive"),
+            TreeError::BadFanout { found, max } => {
+                write!(f, "node fan-out {found} outside [1, {max}]")
+            }
+            TreeError::BadGeometry(why) => write!(f, "malformed geometry: {why}"),
+            TreeError::UnevenDepth => write!(f, "leaves at differing depths"),
+            TreeError::LenMismatch { stored, counted } => {
+                write!(f, "stored len {stored} != counted entries {counted}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node<T> {
     Leaf(Vec<(Vec<f64>, T)>),
@@ -48,12 +129,18 @@ impl<T> Node<T> {
         let mut r: Option<Rect> = None;
         match self {
             Node::Leaf(entries) => {
-                for (p, _) in entries {
-                    let pr = Rect::from_point(p);
-                    match &mut r {
-                        Some(acc) => acc.union_in_place(&pr),
-                        None => r = Some(pr),
+                // Widen two corner vectors in place rather than
+                // building a degenerate Rect per point — this runs
+                // once per leaf during bulk loads and splits.
+                if let Some(((p0, _), rest)) = entries.split_first() {
+                    let mut rect = Rect::from_point(p0);
+                    for (p, _) in rest {
+                        for (d, &v) in p.iter().enumerate() {
+                            rect.min[d] = rect.min[d].min(v);
+                            rect.max[d] = rect.max[d].max(v);
+                        }
                     }
+                    r = Some(rect);
                 }
             }
             Node::Inner(entries) => {
@@ -83,12 +170,36 @@ impl<T> Node<T> {
 /// let nearest = tree.knn(&[0.2, 0.1], 1, &mut stats);
 /// assert_eq!(*nearest[0].1, "origin");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct RTree<T> {
     config: RTreeConfig,
     dim: usize,
     len: usize,
     root: Node<T>,
+}
+
+// Hand-written rather than derived: a derive would reconstruct the
+// struct field-by-field and bypass every invariant `RTree::new` and
+// `insert` enforce, so a corrupt or hostile snapshot (min_entries: 0,
+// overflowing nodes, NaN coordinates) would load silently. Deserialize
+// the fields, then run the same structural validation the binary
+// snapshot loader uses.
+impl<T: Deserialize> Deserialize for RTree<T> {
+    fn from_value(v: &serde::Value) -> Result<RTree<T>, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::custom(format!("RTree: missing field `{name}`")))
+        };
+        let tree = RTree {
+            config: RTreeConfig::from_value(field("config")?)?,
+            dim: usize::from_value(field("dim")?)?,
+            len: usize::from_value(field("len")?)?,
+            root: Node::<T>::from_value(field("root")?)?,
+        };
+        tree.validate()
+            .map_err(|e| serde::Error::custom(format!("invalid R-tree: {e}")))?;
+        Ok(tree)
+    }
 }
 
 impl<T: Clone> RTree<T> {
@@ -110,6 +221,95 @@ impl<T: Clone> RTree<T> {
     /// Creates an empty tree with the default fan-out.
     pub fn with_dim(dim: usize) -> RTree<T> {
         RTree::new(dim, RTreeConfig::default())
+    }
+
+    /// Builds a tree from a batch of points in one pass using
+    /// sort-tile-recursive (STR) packing (Leutenegger et al.).
+    ///
+    /// Points are partitioned into even slabs by their first
+    /// coordinate (quantile selection, no full sort), and each slab
+    /// recursively tiled on the remaining axes until a tile fits in
+    /// one leaf; upper levels are packed the same way on node-rect
+    /// centers. Tiles are split as evenly as possible, so every node
+    /// holds at least `max_entries / 2 ≥ min_entries` entries and the
+    /// result satisfies [`RTree::check_invariants`]. Compared to
+    /// repeated [`RTree::insert`], the packed tree is built in near
+    /// linear time instead of amortized quadratic-split work, and its
+    /// full, low-overlap nodes need no more node accesses per query.
+    ///
+    /// Deterministic: the same entry sequence produces a byte-identical
+    /// tree (keys compared with `total_cmp`, ties broken by position,
+    /// so the tiling order is a pure function of the input sequence).
+    pub fn bulk_load(dim: usize, config: RTreeConfig, entries: Vec<(Vec<f64>, T)>) -> RTree<T> {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            config.min_entries >= 1 && config.min_entries * 2 <= config.max_entries,
+            "need 1 <= min_entries <= max_entries/2"
+        );
+        // Per-point preconditions are a caller contract, checked in
+        // debug builds: every call site (feature extraction, snapshot
+        // decode) has already validated dimensionality and finiteness,
+        // and an O(n·d) rescan here is measurable on the snapshot
+        // load path at 10⁵ entries.
+        for (p, _) in &entries {
+            debug_assert_eq!(p.len(), dim, "point dimension mismatch");
+            debug_assert!(p.iter().all(|v| v.is_finite()), "point must be finite");
+        }
+        let len = entries.len();
+        let tile_axes = dim.min(STR_TILE_AXES);
+        // Tile indices, not entries: the sorts move one machine word
+        // per element instead of a (point, payload) tuple, and the
+        // entries themselves move exactly once, into their leaf.
+        let mut leaf_index_groups: Vec<Vec<usize>> = Vec::new();
+        str_tile(
+            (0..len).collect(),
+            0,
+            tile_axes,
+            config.max_entries,
+            &|&i: &usize, axis| entries[i].0[axis],
+            &mut leaf_index_groups,
+        );
+        let mut slots: Vec<Option<(Vec<f64>, T)>> = entries.into_iter().map(Some).collect();
+        let mut level: Vec<(Rect, Node<T>)> = leaf_index_groups
+            .into_iter()
+            .map(|g| {
+                let node = Node::Leaf(
+                    g.into_iter()
+                        // lint: allow(unwrap) — str_tile emits every index exactly once
+                        .map(|i| slots[i].take().expect("index tiled once"))
+                        .collect(),
+                );
+                (node.bounding_rect(dim), node)
+            })
+            .collect();
+        while level.len() > 1 {
+            let mut groups: Vec<Vec<(Rect, Node<T>)>> = Vec::new();
+            str_tile(
+                level,
+                0,
+                tile_axes,
+                config.max_entries,
+                &|e: &(Rect, Node<T>), axis| e.0.center(axis),
+                &mut groups,
+            );
+            level = groups
+                .into_iter()
+                .map(|g| {
+                    let node = Node::Inner(g);
+                    (node.bounding_rect(dim), node)
+                })
+                .collect();
+        }
+        let root = match level.pop() {
+            Some((_, node)) => node,
+            None => Node::Leaf(Vec::new()),
+        };
+        RTree {
+            config,
+            dim,
+            len,
+            root,
+        }
     }
 
     /// Number of stored points.
@@ -517,6 +717,221 @@ impl<T: Clone> RTree<T> {
     }
 }
 
+impl<T> RTree<T> {
+    /// The fan-out configuration this tree was built with.
+    pub fn config(&self) -> RTreeConfig {
+        self.config
+    }
+
+    /// Validates a tree whose fields came from untrusted bytes: config
+    /// sanity, positive dimension, uniform leaf depth, per-node
+    /// fan-out within `[1, max_entries]`, point/rect dimensions and
+    /// finiteness, rects covering their children, and `len` matching
+    /// the actual entry count.
+    ///
+    /// Minimum occupancy is deliberately *not* enforced here: it is a
+    /// packing-quality property, not a safety one, and the root is
+    /// exempt from it anyway. Everything checked here is a property
+    /// whose violation can panic or corrupt later operations.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        fn walk<T>(
+            node: &Node<T>,
+            dim: usize,
+            max: usize,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+            is_root: bool,
+        ) -> Result<usize, TreeError> {
+            match node {
+                Node::Leaf(entries) => {
+                    match *leaf_depth {
+                        None => *leaf_depth = Some(depth),
+                        Some(d) if d != depth => return Err(TreeError::UnevenDepth),
+                        Some(_) => {}
+                    }
+                    if entries.len() > max || (!is_root && entries.is_empty()) {
+                        return Err(TreeError::BadFanout {
+                            found: entries.len(),
+                            max,
+                        });
+                    }
+                    for (p, _) in entries {
+                        if p.len() != dim {
+                            // hotpath: allow(hot-alloc) — error path: formats once, then validation aborts
+                            return Err(TreeError::BadGeometry(format!(
+                                "point dimension {} != tree dimension {dim}",
+                                p.len()
+                            )));
+                        }
+                        if !p.iter().all(|v| v.is_finite()) {
+                            return Err(TreeError::BadGeometry("non-finite point".into()));
+                        }
+                    }
+                    Ok(entries.len())
+                }
+                Node::Inner(entries) => {
+                    if entries.is_empty() || entries.len() > max {
+                        return Err(TreeError::BadFanout {
+                            found: entries.len(),
+                            max,
+                        });
+                    }
+                    let mut total = 0;
+                    for (r, child) in entries {
+                        if r.dim() != dim || r.max.len() != dim {
+                            return Err(TreeError::BadGeometry(format!(
+                                "rect dimension {} != tree dimension {dim}",
+                                r.dim()
+                            )));
+                        }
+                        if !r.is_finite() || !r.is_ordered() {
+                            return Err(TreeError::BadGeometry(
+                                "non-finite or inverted bounding rect".into(),
+                            ));
+                        }
+                        let cr = child.bounding_rect(dim);
+                        if !(r.contains_point(&cr.min) && r.contains_point(&cr.max)) {
+                            return Err(TreeError::BadGeometry(
+                                "bounding rect does not cover child".into(),
+                            ));
+                        }
+                        total += walk(child, dim, max, depth + 1, leaf_depth, false)?;
+                    }
+                    Ok(total)
+                }
+            }
+        }
+
+        self.config.validate()?;
+        if self.dim == 0 {
+            return Err(TreeError::ZeroDim);
+        }
+        let mut leaf_depth = None;
+        let counted = walk(
+            &self.root,
+            self.dim,
+            self.config.max_entries,
+            1,
+            &mut leaf_depth,
+            true,
+        )?;
+        if counted != self.len {
+            return Err(TreeError::LenMismatch {
+                stored: self.len,
+                counted,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Splits decorated `items` into `parts` groups in key order, group
+/// sizes differing by at most one, via recursive quickselect —
+/// `O(n log parts)` comparisons instead of a full sort's
+/// `O(n log n)`. Groups come back ordered by key range but unsorted
+/// internally; STR only needs slab *membership*, never the order
+/// within a slab. `select_nth_unstable_by` is deterministic and the
+/// positional tie-break makes the order total, so the partition is a
+/// pure function of the input sequence.
+fn split_even<I>(
+    mut items: Vec<(f64, usize, I)>,
+    parts: usize,
+    out: &mut Vec<Vec<(f64, usize, I)>>,
+) {
+    if parts <= 1 {
+        out.push(items);
+        return;
+    }
+    let n = items.len();
+    let (base, extra) = (n / parts, n % parts);
+    let left_parts = parts / 2;
+    // Exactly what the first `left_parts` groups of an even split
+    // over `parts` hold, so group sizes stay even down the recursion.
+    let left_len = base * left_parts + left_parts.min(extra);
+    items.select_nth_unstable_by(left_len, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let right = items.split_off(left_len);
+    split_even(items, left_parts, out);
+    split_even(right, parts - left_parts, out);
+}
+
+/// Whether `r^k >= target`, without overflowing.
+fn pow_at_least(r: usize, k: usize, target: usize) -> bool {
+    let mut acc: usize = 1;
+    for _ in 0..k {
+        acc = acc.saturating_mul(r);
+        if acc >= target {
+            return true;
+        }
+    }
+    acc >= target
+}
+
+/// Smallest `r` with `r^k >= target` (`ceil(target^(1/k))`).
+fn nth_root_ceil(target: usize, k: usize) -> usize {
+    let mut r = 1;
+    while !pow_at_least(r, k, target) {
+        r += 1;
+    }
+    r
+}
+
+/// Number of axes STR tiling actually sorts on. Tiling every axis of a
+/// 64-dimensional histogram space degenerates into ~log₂(nodes) binary
+/// slab splits — a full stable sort of the level per axis — while the
+/// packing quality comes almost entirely from the first few axes.
+/// Capping keeps bulk builds at a constant number of sorting passes
+/// regardless of feature dimensionality.
+const STR_TILE_AXES: usize = 3;
+
+/// Sort-tile-recursive partitioning: partitions `items` into even
+/// slabs by their `axis` coordinate and recurses on the next axis
+/// until a tile fits in one node of `max` entries. Every emitted
+/// group holds at least `max/2` items (when more than `max` items are
+/// tiled), because slab and chunk boundaries are distributed evenly.
+/// Slabs are carved out with [`split_even`] rather than a full sort —
+/// STR needs quantile membership, not sorted order.
+///
+/// `dim` is the number of axes to tile over, already capped by the
+/// caller (see [`STR_TILE_AXES`]), not the full point dimensionality.
+fn str_tile<I>(
+    items: Vec<I>,
+    axis: usize,
+    dim: usize,
+    max: usize,
+    key: &impl Fn(&I, usize) -> f64,
+    out: &mut Vec<Vec<I>>,
+) {
+    let n = items.len();
+    if n <= max {
+        out.push(items);
+        return;
+    }
+    let nodes = n.div_ceil(max);
+    let axes_left = dim - axis;
+    let parts = if axes_left <= 1 {
+        nodes
+    } else {
+        nth_root_ceil(nodes, axes_left)
+    };
+    // Decorate with (key, position): each comparison reads two inline
+    // f64s instead of chasing the key closure's indirections.
+    let dec: Vec<(f64, usize, I)> = items
+        .into_iter()
+        .enumerate()
+        .map(|(i, it)| (key(&it, axis), i, it))
+        .collect();
+    let mut groups: Vec<Vec<(f64, usize, I)>> = Vec::with_capacity(parts);
+    split_even(dec, parts, &mut groups);
+    for group in groups {
+        let slab: Vec<I> = group.into_iter().map(|(_, _, it)| it).collect();
+        if axes_left <= 1 {
+            out.push(slab);
+        } else {
+            str_tile(slab, axis + 1, dim, max, key, out);
+        }
+    }
+}
+
 /// Collects all leaf entries beneath `node` into `out`.
 fn collect_entries<T>(node: Node<T>, out: &mut Vec<(Vec<f64>, T)>) {
     match node {
@@ -832,6 +1247,200 @@ mod tests {
     fn wrong_dimension_rejected() {
         let mut t: RTree<u32> = RTree::with_dim(3);
         t.insert(vec![1.0, 2.0], 0);
+    }
+
+    fn pseudo_random_points(n: usize, dim: usize, mut seed: u64) -> Vec<Vec<f64>> {
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 * 10.0
+        };
+        (0..n).map(|_| (0..dim).map(|_| rnd()).collect()).collect()
+    }
+
+    #[test]
+    fn bulk_load_satisfies_invariants_at_many_sizes() {
+        for n in [0usize, 1, 5, 16, 17, 33, 97, 256, 1000] {
+            let pts = pseudo_random_points(n, 3, 42);
+            let entries: Vec<(Vec<f64>, usize)> =
+                pts.into_iter().enumerate().map(|(i, p)| (p, i)).collect();
+            let t = RTree::bulk_load(3, RTreeConfig::default(), entries);
+            assert_eq!(t.len(), n);
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            t.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bulk_load_queries_match_incremental_tree() {
+        let pts = pseudo_random_points(500, 4, 7);
+        let mut incremental: RTree<usize> = RTree::with_dim(4);
+        for (i, p) in pts.iter().enumerate() {
+            incremental.insert(p.clone(), i);
+        }
+        let packed = RTree::bulk_load(
+            4,
+            RTreeConfig::default(),
+            pts.iter().cloned().zip(0..).collect(),
+        );
+        for q in pts.iter().step_by(37) {
+            let a = incremental.knn(q, 8, &mut QueryStats::default());
+            let b = packed.knn(q, 8, &mut QueryStats::default());
+            let da: Vec<u64> = a.iter().map(|r| r.2.to_bits()).collect();
+            let db: Vec<u64> = b.iter().map(|r| r.2.to_bits()).collect();
+            assert_eq!(da, db, "knn distances differ at query {q:?}");
+            let wa = incremental.within_distance(q, 1.5, &mut QueryStats::default());
+            let wb = packed.within_distance(q, 1.5, &mut QueryStats::default());
+            assert_eq!(wa.len(), wb.len());
+        }
+    }
+
+    #[test]
+    fn bulk_load_is_deterministic() {
+        let pts = pseudo_random_points(300, 3, 99);
+        let entries = || {
+            pts.iter()
+                .cloned()
+                .zip(0..)
+                .collect::<Vec<(Vec<f64>, u32)>>()
+        };
+        let a: RTree<u32> = RTree::bulk_load(3, RTreeConfig::default(), entries());
+        let b: RTree<u32> = RTree::bulk_load(3, RTreeConfig::default(), entries());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn bulk_load_needs_no_more_node_accesses_than_incremental() {
+        let pts = pseudo_random_points(2000, 3, 11);
+        let mut incremental: RTree<usize> = RTree::with_dim(3);
+        for (i, p) in pts.iter().enumerate() {
+            incremental.insert(p.clone(), i);
+        }
+        let packed = RTree::bulk_load(
+            3,
+            RTreeConfig::default(),
+            pts.iter().cloned().zip(0..).collect(),
+        );
+        let mut inc_stats = QueryStats::default();
+        let mut str_stats = QueryStats::default();
+        for q in pts.iter().step_by(29) {
+            incremental.knn(q, 10, &mut inc_stats);
+            packed.knn(q, 10, &mut str_stats);
+        }
+        assert!(
+            str_stats.nodes_visited <= inc_stats.nodes_visited,
+            "STR tree visited {} nodes vs incremental {}",
+            str_stats.nodes_visited,
+            inc_stats.nodes_visited
+        );
+    }
+
+    #[test]
+    fn bulk_load_with_duplicates() {
+        let entries: Vec<(Vec<f64>, u32)> = (0..50).map(|i| (vec![1.0, 2.0], i)).collect();
+        let t = RTree::bulk_load(2, RTreeConfig::default(), entries);
+        t.check_invariants().unwrap();
+        let got = t.knn(&[1.0, 2.0], 50, &mut QueryStats::default());
+        assert_eq!(got.len(), 50);
+    }
+
+    #[test]
+    fn deserialize_roundtrips_valid_trees() {
+        let pts = pseudo_random_points(120, 3, 3);
+        let mut incremental: RTree<usize> = RTree::with_dim(3);
+        for (i, p) in pts.iter().enumerate() {
+            incremental.insert(p.clone(), i);
+        }
+        let packed = RTree::bulk_load(
+            3,
+            RTreeConfig::default(),
+            pts.iter().cloned().zip(0..).collect(),
+        );
+        for tree in [&incremental, &packed] {
+            let restored = RTree::<usize>::from_value(&tree.to_value()).unwrap();
+            assert_eq!(restored.len(), tree.len());
+            restored.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_hostile_config() {
+        let mut t: RTree<u32> = RTree::with_dim(2);
+        t.insert(vec![0.0, 0.0], 1);
+        let mut v = t.to_value();
+        // Corrupt min_entries to 0 in the serialized form.
+        if let serde::Value::Obj(fields) = &mut v {
+            for (name, fv) in fields.iter_mut() {
+                if name == "config" {
+                    if let serde::Value::Obj(cfg) = fv {
+                        for (cname, cv) in cfg.iter_mut() {
+                            if cname == "min_entries" {
+                                *cv = serde::Value::Int(0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = RTree::<u32>::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("invalid fan-out config"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_rejects_len_mismatch_and_bad_points() {
+        let mut t: RTree<u32> = RTree::with_dim(2);
+        t.insert(vec![0.0, 0.0], 1);
+        t.insert(vec![1.0, 1.0], 2);
+        // len lies about the entry count.
+        let mut v = t.to_value();
+        if let serde::Value::Obj(fields) = &mut v {
+            for (name, fv) in fields.iter_mut() {
+                if name == "len" {
+                    *fv = serde::Value::Int(99);
+                }
+            }
+        }
+        let err = RTree::<u32>::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("stored len"), "{err}");
+        // A NaN coordinate in a stored point.
+        let mut t2: RTree<u32> = RTree::with_dim(1);
+        t2.insert(vec![0.5], 7);
+        let mut v2 = t2.to_value();
+        fn poison(v: &mut serde::Value) {
+            match v {
+                serde::Value::Float(f) => *f = f64::NAN,
+                serde::Value::Arr(items) => items.iter_mut().for_each(poison),
+                serde::Value::Obj(fields) => fields.iter_mut().for_each(|(_, x)| poison(x)),
+                _ => {}
+            }
+        }
+        poison(&mut v2);
+        assert!(RTree::<u32>::from_value(&v2).is_err());
+    }
+
+    #[test]
+    fn config_validate_matches_constructor_rules() {
+        assert!(RTreeConfig::default().validate().is_ok());
+        assert!(RTreeConfig {
+            max_entries: 16,
+            min_entries: 0
+        }
+        .validate()
+        .is_err());
+        assert!(RTreeConfig {
+            max_entries: 10,
+            min_entries: 6
+        }
+        .validate()
+        .is_err());
+        assert!(RTreeConfig {
+            max_entries: 2,
+            min_entries: 1
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

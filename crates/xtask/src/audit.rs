@@ -44,10 +44,11 @@ pub const AUDIT_RULES: [&str; 4] = [RULE_LOCK, RULE_ORDERING, RULE_THREAD, RULE_
 /// Files (workspace-relative prefixes) whose allocations decode wire
 /// or file input and therefore fall under `wire-alloc`. The dataset
 /// crate *generates* meshes procedurally and is deliberately absent.
-const WIRE_AUDITED_PREFIXES: [&str; 3] = [
+const WIRE_AUDITED_PREFIXES: [&str; 4] = [
     "crates/net/src/",
     "crates/geom/src/io.rs",
     "crates/core/src/persist.rs",
+    "crates/core/src/snapshot.rs",
 ];
 
 /// Line fragments that block: I/O, channel ops, sleeping, joining, or

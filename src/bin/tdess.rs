@@ -2,7 +2,14 @@
 //!
 //! ```text
 //! tdess corpus <dir>                         generate & export the 113-shape corpus
+//! tdess synth  <db> --count N [options]      generate a large synthetic database
+//!        --count N                shapes to generate    (required)
+//!        --seed S                 RNG seed              (default 2004)
+//!        --resolution N           voxel resolution      (default 48)
+//!        --format json|binary     snapshot format       (default binary)
 //! tdess index  <db.json> <mesh>...           create/extend a database from STL/OFF files
+//! tdess convert <src> <dst> [--format F]     re-encode a snapshot (JSON <-> TDSS binary)
+//!        --format json|binary     target format         (default: the other one)
 //! tdess info   <db.json>                     database statistics
 //! tdess query  <db.json> <mesh> [options]    query by example
 //!        --kind mi|gp|pm|ev|ho    feature vector        (default pm)
@@ -39,10 +46,10 @@ use std::process::ExitCode;
 
 use threedess::cluster::HierarchyParams;
 use threedess::core::{
-    load_from_path, save_to_path, BrowseTree, MultiStepPlan, Query, QueryMode, SearchServer,
-    ServerMetrics, ShapeDatabase, Weights,
+    load_from_path, save_to_path_as, sniff_format, BrowseTree, MultiStepPlan, Query, QueryMode,
+    SearchServer, ServerMetrics, ShapeDatabase, SnapshotFormat, Weights,
 };
-use threedess::dataset::build_corpus;
+use threedess::dataset::{build_corpus, synth_corpus};
 use threedess::features::{FeatureExtractor, FeatureKind};
 use threedess::geom::io::{load_mesh, save_mesh};
 use threedess::geom::{render, RenderParams};
@@ -67,7 +74,9 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     match cmd.as_str() {
         "corpus" => cmd_corpus(&args[1..]),
+        "synth" => cmd_synth(&args[1..]),
         "index" => cmd_index(&args[1..]),
+        "convert" => cmd_convert(&args[1..]),
         "info" => cmd_info(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "multistep" => cmd_multistep(&args[1..]),
@@ -83,8 +92,19 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: tdess <corpus|index|info|query|multistep|browse|serve|remote|help> ... (see `tdess help`)"
+    "usage: tdess <corpus|synth|index|convert|info|query|multistep|browse|serve|remote|help> ... (see `tdess help`)"
         .into()
+}
+
+/// Parses a `--format json|binary` flag value.
+fn parse_format(s: &str) -> Result<SnapshotFormat, String> {
+    match s {
+        "json" => Ok(SnapshotFormat::Json),
+        "binary" | "bin" => Ok(SnapshotFormat::Binary),
+        other => Err(format!(
+            "unknown snapshot format `{other}` (expected json|binary)"
+        )),
+    }
 }
 
 /// Parses a feature-kind flag value.
@@ -211,24 +231,34 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
 fn cmd_index(args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
     let [db_path, meshes @ ..] = &pos[..] else {
-        return Err("usage: tdess index <db.json> <mesh>... [--resolution N]".into());
+        return Err(
+            "usage: tdess index <db.json> <mesh>... [--resolution N] [--format json|binary]".into(),
+        );
     };
     if meshes.is_empty() {
         return Err("no mesh files given".into());
     }
     let db_path = Path::new(db_path);
-    let mut db = if db_path.exists() {
-        load_from_path(db_path).map_err(|e| e.to_string())?
+    // An existing database keeps its on-disk format; a new one
+    // defaults to JSON (override with --format).
+    let (mut db, format) = if db_path.exists() {
+        let format = sniff_format(db_path).unwrap_or(SnapshotFormat::Json);
+        (load_from_path(db_path).map_err(|e| e.to_string())?, format)
     } else {
         let resolution = flag(&flags, "resolution")
             .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
             .transpose()?
             .unwrap_or(48);
-        ShapeDatabase::new(FeatureExtractor {
+        let db = ShapeDatabase::new(FeatureExtractor {
             voxel_resolution: resolution,
             ..Default::default()
-        })
+        });
+        (db, SnapshotFormat::Json)
     };
+    let format = flag(&flags, "format")
+        .map(parse_format)
+        .transpose()?
+        .unwrap_or(format);
     for m in meshes {
         let path = Path::new(m);
         let mesh = load_mesh(path).map_err(|e| format!("{m}: {e}"))?;
@@ -242,12 +272,72 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("{m}: {e}"))?;
         println!("indexed {name} as id {id}");
     }
-    save_to_path(&db, db_path).map_err(|e| e.to_string())?;
+    save_to_path_as(&db, db_path, format).map_err(|e| e.to_string())?;
     println!(
         "database saved to {} ({} shapes)",
         db_path.display(),
         db.len()
     );
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let [src, dst] = &pos[..] else {
+        return Err("usage: tdess convert <src> <dst> [--format json|binary]".into());
+    };
+    let (src, dst) = (Path::new(src), Path::new(dst));
+    let from = sniff_format(src).ok_or_else(|| format!("cannot read {}", src.display()))?;
+    // Without --format, convert to the other encoding — that is what
+    // "convert" means for a two-format system.
+    let to = flag(&flags, "format")
+        .map(parse_format)
+        .transpose()?
+        .unwrap_or(match from {
+            SnapshotFormat::Json => SnapshotFormat::Binary,
+            SnapshotFormat::Binary => SnapshotFormat::Json,
+        });
+    let db = load_from_path(src).map_err(|e| e.to_string())?;
+    save_to_path_as(&db, dst, to).map_err(|e| e.to_string())?;
+    println!(
+        "converted {} ({from:?}) -> {} ({to:?}, {} shapes)",
+        src.display(),
+        dst.display(),
+        db.len()
+    );
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let db_path = pos
+        .first()
+        .ok_or("usage: tdess synth <db> --count N [--seed S] [--resolution N] [--format F]")?;
+    let count = flag(&flags, "count")
+        .ok_or("synth needs --count N")?
+        .parse::<usize>()
+        .map_err(|e| e.to_string())?;
+    let seed = flag(&flags, "seed")
+        .map(|v| v.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(2004);
+    let resolution = flag(&flags, "resolution")
+        .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(48);
+    let format = flag(&flags, "format")
+        .map(parse_format)
+        .transpose()?
+        .unwrap_or(SnapshotFormat::Binary);
+    let extractor = FeatureExtractor {
+        voxel_resolution: resolution,
+        ..Default::default()
+    };
+    let shapes = synth_corpus(&extractor, seed, count).map_err(|e| e.to_string())?;
+    let mut db = ShapeDatabase::new(extractor);
+    db.insert_batch_precomputed(shapes);
+    save_to_path_as(&db, Path::new(db_path), format).map_err(|e| e.to_string())?;
+    println!("wrote {count} synthetic shapes (seed {seed}) to {db_path} ({format:?})");
     Ok(())
 }
 
