@@ -1,0 +1,160 @@
+//! Singleflight request coalescing.
+//!
+//! When N requests miss on the same key at the same moment, running N
+//! identical extractions multiplies the worst case by the herd size.
+//! The flight table turns that around: the first thread to miss opens
+//! a *flight* (a shared [`OnceLock`] cell), every later thread joins
+//! it, and `OnceLock::get_or_init` guarantees exactly one closure run
+//! — the leader extracts once, the followers block until the value is
+//! published and then share it. The thundering herd becomes a single
+//! extraction plus N−1 cheap waits.
+//!
+//! ## Races closed here
+//!
+//! * **Miss → landed**: a thread can miss in the store, then lose the
+//!   CPU while another flight for the same key completes, lands in the
+//!   store, and retires. [`FlightMap::enter`] therefore re-checks the
+//!   store *under the flight-table write lock*: retirement also takes
+//!   that lock and only runs after the store admit, so a re-check that
+//!   misses proves the value was not yet admitted and the returned
+//!   cell is live.
+//! * **Leader identification**: the leader is whichever thread's
+//!   `get_or_init` closure actually ran (observed via a flag set
+//!   inside the closure), not whichever created the cell — creation
+//!   and initialization can interleave across threads.
+//!
+//! Lock order is strictly flight table → shard lock (inside the store
+//! re-check); nothing takes them in the other order, and the
+//! extraction itself runs outside both.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+use tdess_features::FeatureSet;
+
+use crate::key::CacheKey;
+use crate::lru::ShardedLru;
+
+/// The shared cell one coalesced extraction publishes through.
+pub(crate) type FlightCell = Arc<OnceLock<Arc<FeatureSet>>>;
+
+/// What [`FlightMap::enter`] found for a key.
+pub(crate) enum Joined {
+    /// The value landed in the store between the caller's miss and the
+    /// re-check — no extraction needed.
+    Resident(Arc<FeatureSet>),
+    /// A live flight: call `get_or_init` on it; exactly one caller's
+    /// closure will run.
+    Flight(FlightCell),
+}
+
+/// Table of in-progress extractions, keyed by content key.
+pub(crate) struct FlightMap {
+    flights: RwLock<HashMap<CacheKey, FlightCell>>,
+}
+
+impl FlightMap {
+    pub(crate) fn empty() -> FlightMap {
+        FlightMap {
+            flights: RwLock::new(HashMap::default()),
+        }
+    }
+
+    /// Joins (or opens) the flight for `key`, re-checking `store`
+    /// under the table lock first (see module docs for why).
+    pub(crate) fn enter(&self, key: &CacheKey, store: &ShardedLru) -> Joined {
+        let mut flights = self.flights.write();
+        if let Some(v) = store.lookup(key) {
+            return Joined::Resident(v);
+        }
+        if let Some(cell) = flights.get(key) {
+            return Joined::Flight(Arc::clone(cell));
+        }
+        Joined::Flight(Arc::clone(flights.entry(*key).or_default()))
+    }
+
+    /// Drops the flight for `key`. Called by the leader only, *after*
+    /// the value is admitted to the store — so any thread that misses
+    /// afterwards re-extracts from a fresh flight only if the entry
+    /// was already evicted again.
+    pub(crate) fn retire(&self, key: &CacheKey) {
+        // `retain` rather than `remove`: the table only ever holds the
+        // currently-in-flight keys (a handful), and `remove` would
+        // alias unrelated workspace methods in the static hot-path
+        // scan.
+        self.flights.write().retain(|k, _| k != key);
+    }
+
+    /// Number of currently open flights.
+    #[cfg(test)]
+    pub(crate) fn open_flights(&self) -> usize {
+        self.flights.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdess_features::{normalize, FeatureExtractor};
+    use tdess_geom::{primitives, Vec3};
+
+    fn key(i: u64) -> CacheKey {
+        let mesh = primitives::box_mesh(Vec3::new(1.0 + i as f64, 1.0, 0.5));
+        CacheKey::derive(&normalize(&mesh).unwrap(), &FeatureExtractor::default())
+    }
+
+    fn fs() -> Arc<FeatureSet> {
+        Arc::new(FeatureSet {
+            moment_invariants: vec![1.0],
+            geometric: Vec::new(),
+            principal_moments: Vec::new(),
+            eigenvalues: Vec::new(),
+            higher_order: Vec::new(),
+            shape_distribution: Vec::new(),
+            shell_histogram: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn same_key_joins_same_flight() {
+        let store = ShardedLru::with_budget(1 << 20, 4);
+        let map = FlightMap::empty();
+        let k = key(1);
+        let (a, b) = match (map.enter(&k, &store), map.enter(&k, &store)) {
+            (Joined::Flight(a), Joined::Flight(b)) => (a, b),
+            _ => panic!("expected two flights"),
+        };
+        assert!(Arc::ptr_eq(&a, &b), "concurrent misses must share a cell");
+        assert_eq!(map.open_flights(), 1);
+    }
+
+    #[test]
+    fn resident_value_short_circuits() {
+        let store = ShardedLru::with_budget(1 << 20, 4);
+        let map = FlightMap::empty();
+        let k = key(1);
+        store.admit(k, fs(), 64);
+        match map.enter(&k, &store) {
+            Joined::Resident(v) => assert_eq!(v.moment_invariants, vec![1.0]),
+            Joined::Flight(_) => panic!("resident entry must not open a flight"),
+        }
+        assert_eq!(map.open_flights(), 0);
+    }
+
+    #[test]
+    fn retire_clears_only_the_given_key() {
+        let store = ShardedLru::with_budget(1 << 20, 4);
+        let map = FlightMap::empty();
+        let (k1, k2) = (key(1), key(2));
+        let _ = map.enter(&k1, &store);
+        let _ = map.enter(&k2, &store);
+        assert_eq!(map.open_flights(), 2);
+        map.retire(&k1);
+        assert_eq!(map.open_flights(), 1);
+        match map.enter(&k2, &store) {
+            Joined::Flight(_) => {}
+            Joined::Resident(_) => panic!("k2 flight should still be open"),
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! # tdess-cache — content-addressed feature-extraction cache
+//!
+//! Extraction dominates query latency (skeletonization alone is two
+//! orders of magnitude slower than the index search), and real
+//! retrieval workloads replay the same queries: benchmark protocols
+//! re-run fixed query sets, and the paper's multi-step search
+//! re-queries one shape across several feature spaces. This crate
+//! makes every repeat a near-free hit:
+//!
+//! * [`CacheKey`] — a 128-bit *content* key over the canonical
+//!   (pose-normalized, coordinate-quantized) mesh, the full extraction
+//!   configuration, and [`PIPELINE_VERSION`]. Two exports of the same
+//!   part collide; anything that would change the extracted vectors
+//!   misses. See `key.rs` for the invariance contract.
+//! * a sharded, byte-budgeted LRU over extracted `FeatureSet`s
+//!   (`lru.rs`) — per-shard locks, exact cost accounting, strict
+//!   budget.
+//! * singleflight coalescing (`flight.rs`) — N concurrent identical
+//!   queries run exactly one extraction; the rest block on the shared
+//!   cell and reuse its result.
+//!
+//! [`FeatureCache::get_or_extract`] composes the three:
+//!
+//! ```text
+//! lookup ──hit──────────────────────────────▶ Arc<FeatureSet>
+//!   │ miss
+//! enter flight (re-checks store under table lock)
+//!   ├─ resident ──────────────────────────────▶ hit
+//!   └─ flight: get_or_init
+//!        ├─ leader: extract, admit, retire ───▶ miss
+//!        └─ follower: block on leader ────────▶ coalesced wait
+//! ```
+//!
+//! The extraction closure runs outside every cache lock; the cache
+//! never re-enters itself. Counters are plain atomics — reading stats
+//! never contends with the data path.
+
+#![forbid(unsafe_code)]
+
+mod flight;
+mod key;
+mod lru;
+
+pub use key::{CacheKey, PIPELINE_VERSION};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use tdess_features::FeatureSet;
+
+use flight::{FlightMap, Joined};
+use lru::ShardedLru;
+
+/// Fixed per-entry overhead charged on top of the vector payload:
+/// node, hash-map slot, and `Arc` bookkeeping.
+const ENTRY_OVERHEAD_BYTES: u64 = 256;
+
+/// Configuration for a [`FeatureCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total byte budget across all shards.
+    pub max_bytes: u64,
+    /// Shard count; rounded up to a power of two, minimum 1.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_bytes: 256 << 20,
+            shards: 16,
+        }
+    }
+}
+
+/// Monotonic counters + gauges. All cross-thread; RMWs use `AcqRel`
+/// and reads `Acquire` so a stats snapshot taken after an operation
+/// observes that operation's effects.
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced_waits: AtomicU64,
+    evictions: AtomicU64,
+    resident_bytes: AtomicU64,
+    entries: AtomicU64,
+}
+
+/// One consistent-enough reading of the cache counters, serializable
+/// for the stats wire protocol and the metrics endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStatsSnapshot {
+    /// Lookups answered from the store (including flight re-checks
+    /// that found the value already landed).
+    pub hits: u64,
+    /// Extractions actually run (one per flight).
+    pub misses: u64,
+    /// Requests that blocked on another request's extraction instead
+    /// of running their own.
+    pub coalesced_waits: u64,
+    /// Entries evicted to stay inside the byte budget.
+    pub evictions: u64,
+    /// Accounted bytes currently resident. Never exceeds
+    /// `capacity_bytes`.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Configured byte budget.
+    pub capacity_bytes: u64,
+}
+
+/// The content-addressed extraction cache. Cheap to share: wrap it in
+/// an `Arc` and hand clones to every worker.
+pub struct FeatureCache {
+    store: ShardedLru,
+    flights: FlightMap,
+    counters: Counters,
+    capacity_bytes: u64,
+}
+
+impl FeatureCache {
+    /// Builds a cache with the given budget and sharding.
+    pub fn with_config(config: CacheConfig) -> FeatureCache {
+        let shards = config.shards.next_power_of_two().max(1);
+        FeatureCache {
+            store: ShardedLru::with_budget(config.max_bytes, shards),
+            flights: FlightMap::empty(),
+            counters: Counters::default(),
+            capacity_bytes: config.max_bytes,
+        }
+    }
+
+    /// Returns the cached `FeatureSet` for `key`, or runs
+    /// `produce_features` exactly once across all concurrent callers
+    /// with this key and caches its result.
+    ///
+    /// The closure runs outside every cache lock. It must not call
+    /// back into this cache (it has no reason to — it is the raw
+    /// extraction pipeline).
+    pub fn get_or_extract<F>(&self, key: CacheKey, produce_features: F) -> Arc<FeatureSet>
+    where
+        F: FnOnce() -> FeatureSet,
+    {
+        if let Some(v) = self.store.lookup(&key) {
+            self.counters.hits.fetch_add(1, Ordering::AcqRel);
+            return v;
+        }
+        match self.flights.enter(&key, &self.store) {
+            Joined::Resident(v) => {
+                self.counters.hits.fetch_add(1, Ordering::AcqRel);
+                v
+            }
+            Joined::Flight(cell) => {
+                let mut led = false;
+                let v = Arc::clone(cell.get_or_init(|| {
+                    led = true;
+                    Arc::new(produce_features())
+                }));
+                if led {
+                    self.counters.misses.fetch_add(1, Ordering::AcqRel);
+                    let outcome = self.store.admit(key, Arc::clone(&v), entry_cost(&v));
+                    self.apply(&outcome);
+                    self.flights.retire(&key);
+                } else {
+                    self.counters.coalesced_waits.fetch_add(1, Ordering::AcqRel);
+                }
+                v
+            }
+        }
+    }
+
+    /// Folds one LRU outcome into the gauges as net deltas, so an
+    /// observer never sees `resident_bytes` transiently above the
+    /// budget.
+    fn apply(&self, outcome: &lru::LruOutcome) {
+        if outcome.bytes_added >= outcome.bytes_evicted {
+            self.counters
+                .resident_bytes
+                .fetch_add(outcome.bytes_added - outcome.bytes_evicted, Ordering::AcqRel);
+        } else {
+            self.counters
+                .resident_bytes
+                .fetch_sub(outcome.bytes_evicted - outcome.bytes_added, Ordering::AcqRel);
+        }
+        let added = u64::from(outcome.inserted);
+        if added >= outcome.evicted {
+            self.counters
+                .entries
+                .fetch_add(added - outcome.evicted, Ordering::AcqRel);
+        } else {
+            self.counters
+                .entries
+                .fetch_sub(outcome.evicted - added, Ordering::AcqRel);
+        }
+        if outcome.evicted > 0 {
+            self.counters
+                .evictions
+                .fetch_add(outcome.evicted, Ordering::AcqRel);
+        }
+    }
+
+    /// A point-in-time reading of every counter and gauge.
+    pub fn stats_snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.counters.hits.load(Ordering::Acquire),
+            misses: self.counters.misses.load(Ordering::Acquire),
+            coalesced_waits: self.counters.coalesced_waits.load(Ordering::Acquire),
+            evictions: self.counters.evictions.load(Ordering::Acquire),
+            resident_bytes: self.counters.resident_bytes.load(Ordering::Acquire),
+            entries: self.counters.entries.load(Ordering::Acquire),
+            capacity_bytes: self.capacity_bytes,
+        }
+    }
+}
+
+/// Accounted cost of one cached entry: fixed overhead plus the feature
+/// vectors' payload.
+fn entry_cost(features: &FeatureSet) -> u64 {
+    let floats = features.moment_invariants.len()
+        + features.geometric.len()
+        + features.principal_moments.len()
+        + features.eigenvalues.len()
+        + features.higher_order.len()
+        + features.shape_distribution.len()
+        + features.shell_histogram.len();
+    ENTRY_OVERHEAD_BYTES + 8 * floats as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use tdess_features::{normalize, FeatureExtractor};
+    use tdess_geom::{primitives, Vec3};
+
+    fn key(i: u64) -> CacheKey {
+        let mesh = primitives::box_mesh(Vec3::new(1.0 + i as f64, 1.0, 0.5));
+        CacheKey::derive(&normalize(&mesh).unwrap(), &FeatureExtractor::default())
+    }
+
+    fn features(tag: f64) -> FeatureSet {
+        FeatureSet {
+            moment_invariants: vec![tag; 3],
+            geometric: vec![tag; 5],
+            principal_moments: vec![tag; 3],
+            eigenvalues: vec![tag; 8],
+            higher_order: vec![tag; 7],
+            shape_distribution: vec![tag; 64],
+            shell_histogram: vec![tag; 32],
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_first_extraction_bit_identical() {
+        let cache = FeatureCache::with_config(CacheConfig::default());
+        let calls = AtomicUsize::new(0);
+        let k = key(1);
+        let first = cache.get_or_extract(k, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            features(0.25)
+        });
+        let second = cache.get_or_extract(k, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            features(0.75)
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "second call must hit");
+        assert!(Arc::ptr_eq(&first, &second), "hit returns the same value");
+        let s = cache.stats_snapshot();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.resident_bytes, entry_cost(&first));
+        assert_eq!(s.capacity_bytes, CacheConfig::default().max_bytes);
+    }
+
+    #[test]
+    fn distinct_keys_extract_separately() {
+        let cache = FeatureCache::with_config(CacheConfig::default());
+        let a = cache.get_or_extract(key(1), || features(1.0));
+        let b = cache.get_or_extract(key(2), || features(2.0));
+        assert_eq!(a.moment_invariants[0], 1.0);
+        assert_eq!(b.moment_invariants[0], 2.0);
+        assert_eq!(cache.stats_snapshot().misses, 2);
+    }
+
+    #[test]
+    fn zero_budget_cache_still_serves_but_retains_nothing() {
+        let cache = FeatureCache::with_config(CacheConfig {
+            max_bytes: 0,
+            shards: 2,
+        });
+        let v = cache.get_or_extract(key(1), || features(1.0));
+        assert_eq!(v.moment_invariants[0], 1.0);
+        let s = cache.stats_snapshot();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.resident_bytes, 0);
+        assert_eq!(s.evictions, 1);
+        // Re-query extracts again — still correct, never stale.
+        let again = cache.get_or_extract(key(1), || features(3.0));
+        assert_eq!(again.moment_invariants[0], 3.0);
+    }
+
+    #[test]
+    fn shard_count_is_normalized_to_power_of_two() {
+        // Odd shard counts must not panic or mis-route keys.
+        let cache = FeatureCache::with_config(CacheConfig {
+            max_bytes: 1 << 20,
+            shards: 7,
+        });
+        for i in 0..32 {
+            let v = cache.get_or_extract(key(i), || features(i as f64));
+            assert_eq!(v.moment_invariants[0], i as f64);
+        }
+        assert_eq!(cache.stats_snapshot().entries, 32);
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips_through_serde() {
+        let cache = FeatureCache::with_config(CacheConfig::default());
+        let _ = cache.get_or_extract(key(1), || features(1.0));
+        let s = cache.stats_snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CacheStatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,321 @@
+//! Sharded, byte-budgeted LRU storage for extraction results.
+//!
+//! Entries are spread across `shards` independent shards by key bits;
+//! each shard is its own `parking_lot::RwLock` around a hash map plus
+//! an intrusive doubly-linked recency list over a slab, so a lookup
+//! touches exactly one shard lock for a few pointer updates and never
+//! serializes behind another shard's traffic (or behind an extraction,
+//! which runs entirely outside these locks).
+//!
+//! The byte budget is enforced per shard (`budget / shards` each): an
+//! admit evicts from that shard's cold tail until the shard is inside
+//! its slice of the budget, so the cache as a whole never holds more
+//! than `budget` bytes of accounted cost. Cost accounting is exact —
+//! every byte added by an admit is subtracted when its entry is
+//! evicted — and each operation reports its net effect to the caller
+//! in one [`LruOutcome`], so the global gauges can be updated with a
+//! single atomic delta and an observer never sees a transiently
+//! over-budget reading.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use tdess_features::FeatureSet;
+
+use crate::key::CacheKey;
+
+/// Slab index meaning "no node".
+const NIL: usize = usize::MAX;
+
+/// One resident entry. The value is `None` only while the slot sits on
+/// the free list.
+struct Node {
+    key: CacheKey,
+    value: Option<Arc<FeatureSet>>,
+    cost: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: key → slab index, plus the recency list (head = MRU).
+struct Shard {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: u64,
+}
+
+impl Shard {
+    fn empty() -> Shard {
+        Shard {
+            map: HashMap::default(),
+            slab: Vec::default(),
+            free: Vec::default(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    /// Unlinks node `i` from the recency list (it stays in the slab).
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    /// Links node `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Removes the least-recently-used entry, returning its cost.
+    fn evict_tail(&mut self) -> u64 {
+        let i = self.tail;
+        if i == NIL {
+            return 0;
+        }
+        self.unlink(i);
+        let victim = self.slab[i].key;
+        // `retain` rather than `remove`: one entry per key, and the
+        // shard map is small; eviction runs on the miss path where an
+        // extraction already dominates by orders of magnitude.
+        self.map.retain(|k, _| *k != victim);
+        let cost = self.slab[i].cost;
+        self.bytes -= cost;
+        self.slab[i].value = None;
+        self.free.push(i);
+        cost
+    }
+}
+
+/// Net effect of one LRU operation, for the caller's atomic gauges.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct LruOutcome {
+    /// Whether a new entry was created (false when the key was already
+    /// resident and only its recency was refreshed).
+    pub inserted: bool,
+    /// Entries evicted to make room.
+    pub evicted: u64,
+    /// Bytes of accounted cost added by this admit.
+    pub bytes_added: u64,
+    /// Bytes released by evictions.
+    pub bytes_evicted: u64,
+}
+
+/// The sharded store. All methods are `&self`; interior mutability is
+/// per-shard.
+pub(crate) struct ShardedLru {
+    shards: Vec<RwLock<Shard>>,
+    shard_budget: u64,
+}
+
+impl ShardedLru {
+    /// `shards` must be a power of two; each shard gets an equal slice
+    /// of `budget_bytes`.
+    pub(crate) fn with_budget(budget_bytes: u64, shards: usize) -> ShardedLru {
+        debug_assert!(shards.is_power_of_two());
+        let mut v = Vec::with_capacity(shards.max(1));
+        for _ in 0..shards {
+            v.push(RwLock::new(Shard::empty()));
+        }
+        ShardedLru {
+            shards: v,
+            shard_budget: budget_bytes / shards.max(1) as u64,
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &RwLock<Shard> {
+        &self.shards[key.shard(self.shards.len())]
+    }
+
+    /// Looks `key` up and, on a hit, bumps it to most-recently-used.
+    pub(crate) fn lookup(&self, key: &CacheKey) -> Option<Arc<FeatureSet>> {
+        let mut shard = self.shard(key).write();
+        let &i = shard.map.get(key)?;
+        if shard.head != i {
+            shard.unlink(i);
+            shard.link_front(i);
+        }
+        shard.slab[i].value.as_ref().map(Arc::clone)
+    }
+
+    /// Admits `value` at most-recently-used with the given accounted
+    /// cost, then evicts from the cold tail until the shard is inside
+    /// its budget slice. Admitting a key that is already resident only
+    /// refreshes its recency. The new entry itself is evicted last —
+    /// if it alone exceeds the shard budget, the shard ends up empty
+    /// (callers still hold the value; it is just not retained).
+    pub(crate) fn admit(&self, key: CacheKey, value: Arc<FeatureSet>, cost: u64) -> LruOutcome {
+        let mut out = LruOutcome::default();
+        let mut shard = self.shard(&key).write();
+        if let Some(&i) = shard.map.get(&key) {
+            // A concurrent flight for the same key already landed (or
+            // the entry survived since our lookup); keep the resident
+            // value, just refresh recency.
+            if shard.head != i {
+                shard.unlink(i);
+                shard.link_front(i);
+            }
+            return out;
+        }
+        let node = Node {
+            key,
+            value: Some(value),
+            cost,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match shard.free.pop() {
+            Some(slot) => {
+                shard.slab[slot] = node;
+                slot
+            }
+            None => {
+                shard.slab.push(node);
+                shard.slab.len() - 1
+            }
+        };
+        shard.map.entry(key).or_insert(i);
+        shard.link_front(i);
+        shard.bytes += cost;
+        out.inserted = true;
+        out.bytes_added = cost;
+        while shard.bytes > self.shard_budget && shard.head != NIL {
+            let released = shard.evict_tail();
+            out.evicted += 1;
+            out.bytes_evicted += released;
+        }
+        out
+    }
+
+    /// Number of resident entries across all shards.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().map.len()).sum()
+    }
+
+    /// Accounted resident bytes across all shards.
+    #[cfg(test)]
+    pub(crate) fn bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs(floats: usize) -> Arc<FeatureSet> {
+        Arc::new(FeatureSet {
+            moment_invariants: vec![0.5; floats],
+            geometric: Vec::new(),
+            principal_moments: Vec::new(),
+            eigenvalues: Vec::new(),
+            higher_order: Vec::new(),
+            shape_distribution: Vec::new(),
+            shell_histogram: Vec::new(),
+        })
+    }
+
+    fn key(i: u64) -> CacheKey {
+        // Real key derivation on distinct boxes gives distinct,
+        // deterministic keys.
+        use tdess_features::{normalize, FeatureExtractor};
+        use tdess_geom::{primitives, Vec3};
+        let mesh = primitives::box_mesh(Vec3::new(1.0 + i as f64, 1.0, 0.5));
+        CacheKey::derive(&normalize(&mesh).unwrap(), &FeatureExtractor::default())
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let lru = ShardedLru::with_budget(1 << 20, 4);
+        let k = key(1);
+        assert!(lru.lookup(&k).is_none());
+        lru.admit(k, fs(4), 100);
+        let v = lru.lookup(&k).unwrap();
+        assert_eq!(v.moment_invariants.len(), 4);
+    }
+
+    #[test]
+    fn eviction_is_lru_ordered_and_budgeted() {
+        // Single shard, budget 300: three 100-cost entries fit, the
+        // fourth evicts the least recently used.
+        let lru = ShardedLru::with_budget(300, 1);
+        let (a, b, c, d) = (key(1), key(2), key(3), key(4));
+        lru.admit(a, fs(1), 100);
+        lru.admit(b, fs(1), 100);
+        lru.admit(c, fs(1), 100);
+        assert_eq!(lru.len(), 3);
+        // Touch `a` so `b` is now coldest.
+        assert!(lru.lookup(&a).is_some());
+        let out = lru.admit(d, fs(1), 100);
+        assert!(out.inserted);
+        assert_eq!(out.evicted, 1);
+        assert_eq!(out.bytes_evicted, 100);
+        assert!(lru.lookup(&b).is_none(), "coldest entry must go first");
+        assert!(lru.lookup(&a).is_some());
+        assert!(lru.lookup(&c).is_some());
+        assert!(lru.lookup(&d).is_some());
+        assert!(lru.bytes() <= 300);
+    }
+
+    #[test]
+    fn oversized_entry_is_not_retained() {
+        let lru = ShardedLru::with_budget(100, 1);
+        let k = key(1);
+        let out = lru.admit(k, fs(1), 1000);
+        assert!(out.inserted);
+        assert_eq!(out.evicted, 1, "the entry itself is evicted");
+        assert_eq!(out.bytes_added, 1000);
+        assert_eq!(out.bytes_evicted, 1000);
+        assert_eq!(lru.len(), 0);
+        assert_eq!(lru.bytes(), 0);
+    }
+
+    #[test]
+    fn duplicate_admit_refreshes_without_double_accounting() {
+        let lru = ShardedLru::with_budget(1 << 20, 1);
+        let k = key(1);
+        lru.admit(k, fs(1), 100);
+        let out = lru.admit(k, fs(2), 100);
+        assert!(!out.inserted);
+        assert_eq!(out.bytes_added, 0);
+        assert_eq!(lru.bytes(), 100);
+        assert_eq!(lru.len(), 1);
+        // The first value wins (flights guarantee both are identical
+        // in real use).
+        assert_eq!(lru.lookup(&k).unwrap().moment_invariants.len(), 1);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let lru = ShardedLru::with_budget(250, 1);
+        for i in 0..50 {
+            lru.admit(key(i), fs(1), 100);
+        }
+        assert!(lru.len() <= 2);
+        assert!(lru.bytes() <= 250);
+        let slab_len = lru.shards[0].read().slab.len();
+        assert!(slab_len <= 3, "slab grew to {slab_len} despite recycling");
+    }
+}

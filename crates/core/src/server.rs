@@ -27,7 +27,12 @@
 //! * [`bulk_insert`] — feature extraction fanned out across worker
 //!   threads (extraction dominates insert cost by orders of
 //!   magnitude), with the index updates applied in one batch so ids
-//!   remain deterministic in input order.
+//!   remain deterministic in input order;
+//! * [`SearchServer::with_cache`] — an optional content-addressed
+//!   extraction cache (`tdess-cache`): repeat query meshes skip the
+//!   extraction pipeline entirely, and N concurrent identical queries
+//!   coalesce into one extraction. Counters via
+//!   [`SearchServer::cache_stats`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -35,7 +40,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use tdess_features::FeatureSet;
+use tdess_cache::{CacheConfig, CacheKey, CacheStatsSnapshot, FeatureCache};
+use tdess_features::{normalize, FeatureSet};
 use tdess_geom::TriMesh;
 use tdess_index::QueryStats;
 use tdess_obs::{Histogram, HistogramSnapshot, Stage, StageTimer};
@@ -153,6 +159,9 @@ struct ServerInner {
     /// Serializes writers (clone → mutate → publish).
     writer: Mutex<()>,
     metrics: Mutex<MetricsAccum>,
+    /// Content-addressed extraction cache shared by every handle
+    /// clone, or `None` when caching is disabled.
+    cache: Option<Arc<FeatureCache>>,
 }
 
 /// A thread-safe, cloneable handle to a [`ShapeDatabase`] with
@@ -167,15 +176,36 @@ pub struct SearchServer {
 type BatchSlot = (Vec<SearchHit>, QueryStats, Duration);
 
 impl SearchServer {
-    /// Wraps a database in a server handle.
+    /// Wraps a database in a server handle with extraction caching
+    /// disabled (every query mesh is extracted from scratch).
     pub fn new(db: ShapeDatabase) -> SearchServer {
+        Self::build(db, None)
+    }
+
+    /// Wraps a database in a server handle with a content-addressed
+    /// extraction cache: repeat query meshes (byte-identical re-sends
+    /// *and* pose/scale-transformed copies of the same part) skip the
+    /// extraction pipeline, and concurrent identical queries coalesce
+    /// into a single extraction.
+    pub fn with_cache(db: ShapeDatabase, config: CacheConfig) -> SearchServer {
+        Self::build(db, Some(Arc::new(FeatureCache::with_config(config))))
+    }
+
+    fn build(db: ShapeDatabase, cache: Option<Arc<FeatureCache>>) -> SearchServer {
         SearchServer {
             inner: Arc::new(ServerInner {
                 snapshot: RwLock::new(Arc::new(db)),
                 writer: Mutex::new(()),
                 metrics: Mutex::new(MetricsAccum::default()),
+                cache,
             }),
         }
+    }
+
+    /// A point-in-time reading of the extraction-cache counters, or
+    /// `None` when the server was built without a cache.
+    pub fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        self.inner.cache.as_ref().map(|c| c.stats_snapshot())
     }
 
     /// The current database snapshot. The read-lock critical section
@@ -206,10 +236,36 @@ impl SearchServer {
     }
 
     /// Extracts features for a query mesh, timing the whole extraction
-    /// under the `query_extract` stage.
-    fn extract_timed(snap: &ShapeDatabase, mesh: &TriMesh) -> Result<FeatureSet, DbError> {
+    /// (including any cache interaction) under the `query_extract`
+    /// stage.
+    ///
+    /// With a cache, the mesh is normalized once — both to derive the
+    /// content key and to feed the pipeline on a miss — and the
+    /// extraction closure runs under the cache's singleflight, so N
+    /// concurrent identical queries cost one extraction. Cached
+    /// results are bit-identical to the uncached path
+    /// ([`FeatureExtractor::extract_from_normalized`] shares the exact
+    /// pipeline with [`FeatureExtractor::extract`]).
+    ///
+    /// [`FeatureExtractor::extract`]: tdess_features::FeatureExtractor::extract
+    /// [`FeatureExtractor::extract_from_normalized`]: tdess_features::FeatureExtractor::extract_from_normalized
+    fn extract_timed(&self, snap: &ShapeDatabase, mesh: &TriMesh) -> Result<Arc<FeatureSet>, DbError> {
         let _stage = StageTimer::start(Stage::QueryExtract);
-        snap.extractor().extract(mesh).map_err(DbError::Extraction)
+        match &self.inner.cache {
+            Some(cache) => {
+                let normalized = normalize(mesh).map_err(DbError::Extraction)?;
+                let extractor = snap.extractor();
+                let key = CacheKey::derive(&normalized, extractor);
+                Ok(cache.get_or_extract(key, || {
+                    extractor.extract_from_normalized(mesh, &normalized)
+                }))
+            }
+            None => snap
+                .extractor()
+                .extract(mesh)
+                .map(Arc::new)
+                .map_err(DbError::Extraction),
+        }
     }
 
     /// Runs a one-shot search against the current snapshot. No lock
@@ -217,7 +273,7 @@ impl SearchServer {
     pub fn search_mesh(&self, mesh: &TriMesh, query: &Query) -> Result<Vec<SearchHit>, DbError> {
         let snap = self.snapshot();
         let t0 = Instant::now();
-        let features = Self::extract_timed(&snap, mesh)?;
+        let features = self.extract_timed(&snap, mesh)?;
         let mut stats = QueryStats::default();
         let hits = snap.search_with_stats(&features, query, &mut stats);
         self.record(QueryClass::OneShot, t0.elapsed(), &stats);
@@ -244,7 +300,7 @@ impl SearchServer {
     ) -> Result<Vec<SearchHit>, DbError> {
         let snap = self.snapshot();
         let t0 = Instant::now();
-        let features = Self::extract_timed(&snap, mesh)?;
+        let features = self.extract_timed(&snap, mesh)?;
         let mut stats = QueryStats::default();
         let hits = multi_step_search_with_stats(&snap, &features, plan, &mut stats);
         self.record(QueryClass::MultiStep, t0.elapsed(), &stats);
@@ -302,7 +358,7 @@ impl SearchServer {
 
         let run_one = |mesh: &TriMesh| -> Result<BatchSlot, DbError> {
             let t0 = Instant::now();
-            let features = Self::extract_timed(&snap, mesh)?;
+            let features = self.extract_timed(&snap, mesh)?;
             let mut stats = QueryStats::default();
             let hits = run(&snap, &features, &mut stats);
             Ok((hits, stats, t0.elapsed()))
@@ -733,5 +789,78 @@ mod tests {
         assert!(m.index_stats.nodes_visited > 0);
         assert!(m.index_stats.entries_checked > 0);
         assert_eq!(m.snapshot_swaps, 0);
+    }
+
+    #[test]
+    fn cache_stats_absent_without_cache() {
+        let server = SearchServer::new(ShapeDatabase::new(extractor()));
+        assert!(server.cache_stats().is_none());
+    }
+
+    #[test]
+    fn cached_results_bit_identical_to_uncached() {
+        let mut db = ShapeDatabase::new(extractor());
+        bulk_insert(&mut db, meshes(6), 2).unwrap();
+        let plain = SearchServer::new(db.clone());
+        let cached = SearchServer::with_cache(db, CacheConfig::default());
+        let query = Query::top_k(FeatureKind::MomentInvariants, 4);
+        let plan = MultiStepPlan {
+            steps: vec![FeatureKind::PrincipalMoments, FeatureKind::MomentInvariants],
+            candidates: 5,
+            presented: 3,
+        };
+
+        for (_, mesh) in meshes(4) {
+            let want = plain.search_mesh(&mesh, &query).unwrap();
+            // Cold (miss) and warm (hit) answers must both match the
+            // uncached server exactly — same ids, same f64 distances.
+            let cold = cached.search_mesh(&mesh, &query).unwrap();
+            let warm = cached.search_mesh(&mesh, &query).unwrap();
+            assert_eq!(want, cold);
+            assert_eq!(want, warm);
+
+            let want_ms = plain.multi_step_mesh(&mesh, &plan).unwrap();
+            let warm_ms = cached.multi_step_mesh(&mesh, &plan).unwrap();
+            assert_eq!(want_ms, warm_ms);
+        }
+
+        let s = cached.cache_stats().unwrap();
+        assert_eq!(s.misses, 4, "one extraction per distinct query mesh");
+        assert_eq!(s.hits, 8, "repeat + multi-step queries all hit: {s:?}");
+        assert_eq!(s.entries, 4);
+        assert!(s.resident_bytes > 0);
+    }
+
+    #[test]
+    fn concurrent_identical_queries_extract_once() {
+        let mut db = ShapeDatabase::new(extractor());
+        bulk_insert(&mut db, meshes(5), 2).unwrap();
+        let server = SearchServer::with_cache(db, CacheConfig::default());
+        let mesh = primitives::box_mesh(Vec3::new(2.05, 1.0, 0.5));
+        let query = Query::top_k(FeatureKind::PrincipalMoments, 3);
+
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let server = server.clone();
+                let mesh = mesh.clone();
+                let query = &query;
+                handles.push(scope.spawn(move |_| server.search_mesh(&mesh, query).unwrap()));
+            }
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for r in &results[1..] {
+                assert_eq!(r, &results[0], "coalesced queries agree exactly");
+            }
+        })
+        .unwrap();
+
+        let s = server.cache_stats().unwrap();
+        assert_eq!(s.misses, 1, "the herd coalesces into one extraction");
+        assert_eq!(
+            s.hits + s.coalesced_waits,
+            7,
+            "every other query either hit or waited on the flight: {s:?}"
+        );
+        assert_eq!(s.entries, 1);
     }
 }

@@ -156,6 +156,45 @@ impl FeatureExtractor {
         Ok(features)
     }
 
+    /// Runs the pipeline on a model the caller already normalized —
+    /// the extraction cache normalizes once to derive the content key
+    /// and hands the result here, skipping a second normalization.
+    ///
+    /// `normalized` must be [`normalize`]\(`mesh`\)'s output for this
+    /// same `mesh`; results are then bit-identical to
+    /// [`FeatureExtractor::extract`]. Reuses the per-thread scratch
+    /// like `extract`.
+    pub fn extract_from_normalized(
+        &self,
+        mesh: &TriMesh,
+        normalized: &NormalizedModel,
+    ) -> FeatureSet {
+        EXTRACT_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => {
+                let ExtractScratch {
+                    voxels,
+                    skeleton,
+                    flood,
+                    thin,
+                } = &mut *scratch;
+                self.run_pipeline(mesh, normalized, voxels, skeleton, flood, thin)
+                    .1
+            }
+            // Reentrant call: fresh buffers, same output.
+            Err(_) => {
+                let mut scratch = ExtractScratch::default();
+                let ExtractScratch {
+                    voxels,
+                    skeleton,
+                    flood,
+                    thin,
+                } = &mut scratch;
+                self.run_pipeline(mesh, normalized, voxels, skeleton, flood, thin)
+                    .1
+            }
+        })
+    }
+
     /// Extracts features and returns every intermediate artifact.
     pub fn extract_detailed(&self, mesh: &TriMesh) -> Result<PipelineArtifacts, NormalizeError> {
         let normalized = normalize(mesh)?;

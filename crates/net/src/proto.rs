@@ -32,7 +32,7 @@ use std::io::{Read, Write};
 use bytes::{Buf, BufMut};
 use serde::{Deserialize, Serialize};
 use tdess_core::MultiStepPlan;
-use tdess_core::{Query, SearchHit, ServerMetrics, ShapeDatabase, ShapeId};
+use tdess_core::{CacheStatsSnapshot, Query, SearchHit, ServerMetrics, ShapeDatabase, ShapeId};
 use tdess_features::{FeatureKind, FeatureSet};
 use tdess_geom::TriMesh;
 
@@ -311,6 +311,10 @@ pub struct StatsReport {
     /// ignored by pre-obs clients).
     #[serde(default)]
     pub stages: Vec<StageStats>,
+    /// Extraction-cache counters; `None` from servers running without
+    /// a cache (or predating one), so older reports still decode.
+    #[serde(default)]
+    pub cache: Option<CacheStatsSnapshot>,
 }
 
 /// Machine-readable category of a server-reported error.
@@ -701,13 +705,15 @@ mod tests {
                 stage: "voxelize".into(),
                 latency: ServerLatency::default(),
             }],
+            cache: Some(CacheStatsSnapshot::default()),
         };
         let mut value = report.to_value();
         if let serde::Value::Obj(pairs) = &mut value {
-            pairs.retain(|(k, _)| k != "stages");
+            pairs.retain(|(k, _)| k != "stages" && k != "cache");
         }
         let back = StatsReport::from_value(&value).unwrap();
         assert_eq!(back.shapes, 3);
         assert!(back.stages.is_empty());
+        assert!(back.cache.is_none(), "missing cache key defaults to None");
     }
 }

@@ -321,6 +321,45 @@ fn render_metrics(shared: &NetShared) -> String {
         "Pipeline stage durations, labeled by stage.",
         &labeled,
     );
+    // Extraction-cache families only exist when the server runs one,
+    // so a scrape distinguishes "cache off" from "cache cold".
+    if let Some(cache) = shared.search.cache_stats() {
+        page.counter(
+            "tdess_cache_hits_total",
+            "Query extractions answered from the feature cache.",
+            cache.hits,
+        );
+        page.counter(
+            "tdess_cache_misses_total",
+            "Query extractions actually run (cache misses).",
+            cache.misses,
+        );
+        page.counter(
+            "tdess_cache_coalesced_waits_total",
+            "Queries that waited on another query's in-flight extraction.",
+            cache.coalesced_waits,
+        );
+        page.counter(
+            "tdess_cache_evictions_total",
+            "Cache entries evicted to stay inside the byte budget.",
+            cache.evictions,
+        );
+        page.gauge(
+            "tdess_cache_resident_bytes",
+            "Bytes of feature vectors currently cached.",
+            cache.resident_bytes as f64,
+        );
+        page.gauge(
+            "tdess_cache_entries",
+            "Feature sets currently cached.",
+            cache.entries as f64,
+        );
+        page.gauge(
+            "tdess_cache_capacity_bytes",
+            "Configured cache byte budget.",
+            cache.capacity_bytes as f64,
+        );
+    }
     page.finish()
 }
 
@@ -832,6 +871,7 @@ fn dispatch(shared: &NetShared, req: Request) -> Response {
             server: search.metrics(),
             transport: shared.counters.snapshot(),
             stages: StageStats::collect(),
+            cache: search.cache_stats(),
         }),
         Request::Ping => Response::Pong,
     }

@@ -7,7 +7,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use tdess_core::{Query, SearchServer, ShapeDatabase};
+use tdess_core::{CacheConfig, Query, SearchServer, ShapeDatabase};
 use tdess_features::{FeatureExtractor, FeatureKind};
 use tdess_geom::{primitives, Vec3};
 use tdess_net::{MetricsServer, NetClient, NetServer, NetServerConfig};
@@ -146,6 +146,73 @@ fn metrics_endpoint_serves_prometheus_text() {
 
     metrics.shutdown();
     server.shutdown();
+}
+
+/// A server running with the extraction cache must answer repeat
+/// queries identically to an uncached one, report the cache counters
+/// over the stats verb, and expose `tdess_cache_*` families on
+/// `/metrics` — while an uncached server omits both.
+#[test]
+fn cache_counters_surface_on_stats_and_metrics() {
+    let mut db = ShapeDatabase::new(FeatureExtractor {
+        voxel_resolution: 12,
+        ..Default::default()
+    });
+    db.insert("box", primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5)))
+        .unwrap();
+    db.insert("sphere", primitives::uv_sphere(1.0, 10, 5))
+        .unwrap();
+    let cached = SearchServer::with_cache(db.clone(), CacheConfig::default());
+
+    let mut server = NetServer::bind("127.0.0.1:0", cached, NetServerConfig::default()).unwrap();
+    let mut plain_server =
+        NetServer::bind("127.0.0.1:0", SearchServer::new(db), NetServerConfig::default()).unwrap();
+    let metrics = MetricsServer::bind("127.0.0.1:0", server.metrics_renderer()).unwrap();
+    let plain_metrics =
+        MetricsServer::bind("127.0.0.1:0", plain_server.metrics_renderer()).unwrap();
+
+    let mut client = NetClient::connect_default(server.local_addr()).unwrap();
+    let mut plain_client = NetClient::connect_default(plain_server.local_addr()).unwrap();
+    let query = Query::top_k(FeatureKind::PrincipalMoments, 2);
+    let mesh = primitives::box_mesh(Vec3::ONE);
+
+    let want = plain_client.search_mesh(&mesh, &query).unwrap();
+    for _ in 0..3 {
+        let got = client.search_mesh(&mesh, &query).unwrap();
+        assert_eq!(want, got, "cached answers match the uncached server");
+    }
+
+    let report = client.stats().unwrap();
+    let c = report.cache.expect("cached server reports cache stats");
+    assert_eq!(c.misses, 1, "one extraction for three identical queries");
+    assert_eq!(c.hits, 2);
+    assert_eq!(c.entries, 1);
+    assert!(c.resident_bytes > 0);
+    assert!(plain_client.stats().unwrap().cache.is_none());
+
+    let body = scrape(&metrics, "/metrics");
+    for family in [
+        "# TYPE tdess_cache_hits_total counter",
+        "# TYPE tdess_cache_misses_total counter",
+        "# TYPE tdess_cache_coalesced_waits_total counter",
+        "# TYPE tdess_cache_evictions_total counter",
+        "# TYPE tdess_cache_resident_bytes gauge",
+        "# TYPE tdess_cache_entries gauge",
+        "# TYPE tdess_cache_capacity_bytes gauge",
+    ] {
+        assert!(body.contains(family), "missing {family:?} in:\n{body}");
+    }
+    assert!(body.contains("tdess_cache_hits_total 2"), "{body}");
+    assert!(body.contains("tdess_cache_misses_total 1"), "{body}");
+    // Cache-off exposition carries no cache families at all.
+    let plain_body = scrape(&plain_metrics, "/metrics");
+    assert!(
+        !plain_body.contains("tdess_cache_"),
+        "uncached server must not expose cache families:\n{plain_body}"
+    );
+
+    server.shutdown();
+    plain_server.shutdown();
 }
 
 /// Issues one raw HTTP/1.0 request and returns the full response text.

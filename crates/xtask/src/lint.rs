@@ -26,9 +26,9 @@ use std::path::{Path, PathBuf};
 use crate::scan::{mask, push_finding, test_lines, workspace_units, Report, Tool, Waiver};
 
 /// Crates whose library code must be panic-free (rule `unwrap`).
-const PANIC_FREE_CRATES: [&str; 11] = [
-    "geom", "voxel", "skeleton", "features", "index", "cluster", "core", "dataset", "eval", "net",
-    "obs",
+const PANIC_FREE_CRATES: [&str; 12] = [
+    "geom", "voxel", "skeleton", "features", "cache", "index", "cluster", "core", "dataset",
+    "eval", "net", "obs",
 ];
 
 /// Crates whose `as` casts are audited (rule `lossy-cast`).

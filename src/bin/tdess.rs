@@ -26,6 +26,8 @@
 //!        --workers N              worker threads        (default 4)
 //!        --queue N                accept-queue depth    (default 64)
 //!        --metrics-addr HOST:PORT also serve Prometheus `GET /metrics`
+//!        --cache-bytes N          extraction-cache byte budget (default 268435456)
+//!        --cache-off              disable the extraction cache
 //! tdess remote <addr> <verb> [options]       talk to a running server
 //!        verbs: query <mesh>, multistep <mesh>, info, stats, ping
 //!        (query/multistep take the same flags as their local forms)
@@ -46,8 +48,8 @@ use std::process::ExitCode;
 
 use threedess::cluster::HierarchyParams;
 use threedess::core::{
-    load_from_path, save_to_path_as, sniff_format, BrowseTree, MultiStepPlan, Query, QueryMode,
-    SearchServer, ServerMetrics, ShapeDatabase, SnapshotFormat, Weights,
+    load_from_path, save_to_path_as, sniff_format, BrowseTree, CacheConfig, MultiStepPlan, Query,
+    QueryMode, SearchServer, ServerMetrics, ShapeDatabase, SnapshotFormat, Weights,
 };
 use threedess::dataset::{build_corpus, synth_corpus};
 use threedess::features::{FeatureExtractor, FeatureKind};
@@ -125,7 +127,7 @@ fn parse_kind(s: &str) -> Result<FeatureKind, String> {
 type ParsedArgs = (Vec<String>, Vec<(String, String)>);
 
 /// Flags that take no value; present means "true".
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "cache-off"];
 
 /// Extracts `--flag value` pairs (and valueless [`BOOL_FLAGS`]);
 /// returns (positional, flags).
@@ -533,7 +535,7 @@ fn print_node(
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
     let db_path = pos.first().ok_or(
-        "usage: tdess serve <db.json> [--addr 127.0.0.1:7333] [--workers 4] [--queue 64] [--metrics-addr 127.0.0.1:0]",
+        "usage: tdess serve <db.json> [--addr 127.0.0.1:7333] [--workers 4] [--queue 64] [--metrics-addr 127.0.0.1:0] [--cache-bytes N] [--cache-off]",
     )?;
     let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
     let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:7333");
@@ -545,7 +547,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cfg.queue_depth = q.parse::<usize>().map_err(|e| e.to_string())?;
     }
     let shapes = db.len();
-    let server = NetServer::bind(addr, SearchServer::new(db), cfg).map_err(|e| e.to_string())?;
+    // The extraction cache is on by default; `--cache-off` restores
+    // the uncached extract-every-query behaviour.
+    let search = if has_flag(&flags, "cache-off") {
+        SearchServer::new(db)
+    } else {
+        let mut cache_cfg = CacheConfig::default();
+        if let Some(b) = flag(&flags, "cache-bytes") {
+            cache_cfg.max_bytes = b
+                .parse::<u64>()
+                .map_err(|e| format!("--cache-bytes: {e}"))?;
+        }
+        SearchServer::with_cache(db, cache_cfg)
+    };
+    let server = NetServer::bind(addr, search, cfg).map_err(|e| e.to_string())?;
     // Optional Prometheus exposition endpoint; kept alive for the
     // life of the process by the binding below.
     let metrics = match flag(&flags, "metrics-addr") {
@@ -650,6 +665,20 @@ fn cmd_remote(args: &[String]) -> Result<(), String> {
                 t.decode_errors,
                 t.requests_served
             );
+            if let Some(c) = &report.cache {
+                println!(
+                    "cache: {} hits, {} misses, {} coalesced, {} evictions, {} entries, {}/{} bytes",
+                    c.hits,
+                    c.misses,
+                    c.coalesced_waits,
+                    c.evictions,
+                    c.entries,
+                    c.resident_bytes,
+                    c.capacity_bytes
+                );
+            } else {
+                println!("cache: off");
+            }
             if !report.stages.is_empty() {
                 println!("pipeline stages:");
                 for s in &report.stages {
