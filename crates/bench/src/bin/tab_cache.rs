@@ -165,7 +165,9 @@ fn main() {
     let speedup = cold_p50 / warm_p50;
 
     let table = render_table(
-        &["workload", "queries", "p50 ms", "p90 ms", "mean ms", "total s"],
+        &[
+            "workload", "queries", "p50 ms", "p90 ms", "mean ms", "total s",
+        ],
         &rows
             .iter()
             .map(|(label, s)| {
@@ -247,10 +249,7 @@ fn main() {
 
 /// Builds a fresh cached server over the same corpus, so timing starts
 /// from a genuinely empty cache.
-fn rebuild_cached(
-    shapes: &[(String, TriMesh)],
-    resolution: usize,
-) -> Result<SearchServer, String> {
+fn rebuild_cached(shapes: &[(String, TriMesh)], resolution: usize) -> Result<SearchServer, String> {
     let mut db = ShapeDatabase::new(FeatureExtractor {
         voxel_resolution: resolution,
         ..Default::default()

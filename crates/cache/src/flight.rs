@@ -35,9 +35,19 @@ use tdess_features::FeatureSet;
 
 use crate::key::CacheKey;
 use crate::lru::ShardedLru;
+use crate::SpanLink;
+
+/// What a flight leader publishes through the shared cell: the
+/// extracted features plus the leader's span address, so followers
+/// can link (rather than duplicate) the one extraction that actually
+/// ran into their own request traces.
+pub(crate) struct Landed {
+    pub(crate) value: Arc<FeatureSet>,
+    pub(crate) leader: SpanLink,
+}
 
 /// The shared cell one coalesced extraction publishes through.
-pub(crate) type FlightCell = Arc<OnceLock<Arc<FeatureSet>>>;
+pub(crate) type FlightCell = Arc<OnceLock<Landed>>;
 
 /// What [`FlightMap::enter`] found for a key.
 pub(crate) enum Joined {

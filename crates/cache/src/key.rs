@@ -196,7 +196,10 @@ impl KeyHasher {
     }
 
     fn finish128(self) -> (u64, u64) {
-        (finish_state(&self.a, self.len), finish_state(&self.b, self.len))
+        (
+            finish_state(&self.a, self.len),
+            finish_state(&self.b, self.len),
+        )
     }
 }
 
@@ -252,7 +255,10 @@ mod tests {
     #[test]
     fn identical_meshes_share_a_key() {
         let mesh = primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5));
-        assert_eq!(key_of(&mesh, &extractor()), key_of(&mesh.clone(), &extractor()));
+        assert_eq!(
+            key_of(&mesh, &extractor()),
+            key_of(&mesh.clone(), &extractor())
+        );
     }
 
     #[test]
@@ -269,13 +275,21 @@ mod tests {
         let mut moved = base.clone();
         moved.rotate(&Mat3::rotation_axis_angle(Vec3::new(0.3, 1.0, -0.2), 1.1));
         moved.translate(Vec3::new(5.0, -2.0, 3.0));
-        assert_eq!(key_of(&moved, &ex), k0, "rigid motion must not change the key");
+        assert_eq!(
+            key_of(&moved, &ex),
+            k0,
+            "rigid motion must not change the key"
+        );
 
         // A uniformly scaled copy has different geometric parameters
         // (S/V, scale, volume) — the key must differ.
         let mut scaled = base.clone();
         scaled.scale_uniform(2.0);
-        assert_ne!(key_of(&scaled, &ex), k0, "scaling changes features, so the key");
+        assert_ne!(
+            key_of(&scaled, &ex),
+            k0,
+            "scaling changes features, so the key"
+        );
     }
 
     #[test]
@@ -286,13 +300,7 @@ mod tests {
         // Per-vertex relative noise at 1e-10, the level of a float
         // round trip through a different exporter.
         let mut noisy = base.clone();
-        noisy.map_vertices(|v| {
-            Vec3::new(
-                v.x * (1.0 + 1e-10),
-                v.y * (1.0 - 1e-10),
-                v.z + 1e-10,
-            )
-        });
+        noisy.map_vertices(|v| Vec3::new(v.x * (1.0 + 1e-10), v.y * (1.0 - 1e-10), v.z + 1e-10));
         assert_eq!(key_of(&noisy, &ex), k0, "float noise must quantize away");
     }
 
@@ -331,7 +339,11 @@ mod tests {
             voxel_resolution: 48,
             ..base
         };
-        assert_ne!(key_of(&mesh, &res), k0, "voxel resolution must be in the key");
+        assert_ne!(
+            key_of(&mesh, &res),
+            k0,
+            "voxel resolution must be in the key"
+        );
         let dim = FeatureExtractor {
             spectrum_dim: 12,
             ..base
@@ -347,7 +359,10 @@ mod tests {
         let k1 = CacheKey::derive_versioned(&nm, &ex, 1);
         let k2 = CacheKey::derive_versioned(&nm, &ex, 2);
         assert_ne!(k1, k2, "a pipeline version bump must miss");
-        assert_eq!(CacheKey::derive(&nm, &ex), CacheKey::derive_versioned(&nm, &ex, PIPELINE_VERSION));
+        assert_eq!(
+            CacheKey::derive(&nm, &ex),
+            CacheKey::derive_versioned(&nm, &ex, PIPELINE_VERSION)
+        );
     }
 
     #[test]

@@ -49,8 +49,32 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use tdess_features::FeatureSet;
 
-use flight::{FlightMap, Joined};
+use flight::{FlightMap, Joined, Landed};
 use lru::ShardedLru;
+
+/// Address of a span in some request trace: `(trace id, span id)`.
+///
+/// Kept as plain data so this crate stays decoupled from the obs
+/// tier: callers that collect span trees pass their current span's
+/// address in, and coalesced followers get the *leader's* address
+/// back to link into their own traces.
+pub type SpanLink = Option<(Arc<str>, u32)>;
+
+/// How a [`FeatureCache::get_or_extract_with`] call was satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the resident store (including a flight re-check
+    /// that found the value already landed).
+    Hit,
+    /// This caller ran the extraction (it led the flight).
+    Miss,
+    /// This caller blocked on another request's extraction; `leader`
+    /// is that request's span address (when it was tracing).
+    Coalesced {
+        /// Span address the flight leader published with the value.
+        leader: SpanLink,
+    },
+}
 
 /// Fixed per-entry overhead charged on top of the vector payload:
 /// node, hash-map slot, and `Arc` bookkeeping.
@@ -142,30 +166,59 @@ impl FeatureCache {
     where
         F: FnOnce() -> FeatureSet,
     {
+        self.get_or_extract_with(key, None, produce_features).0
+    }
+
+    /// [`get_or_extract`](FeatureCache::get_or_extract), plus span
+    /// linkage: `my_link` is the caller's current span address (pass
+    /// `None` when not tracing); if this caller leads the flight the
+    /// link is published with the value, and a coalesced follower
+    /// receives the *leader's* link in its [`CacheOutcome`] so the one
+    /// real extraction span can be referenced — not duplicated — from
+    /// the follower's trace.
+    pub fn get_or_extract_with<F>(
+        &self,
+        key: CacheKey,
+        my_link: SpanLink,
+        produce_features: F,
+    ) -> (Arc<FeatureSet>, CacheOutcome)
+    where
+        F: FnOnce() -> FeatureSet,
+    {
         if let Some(v) = self.store.lookup(&key) {
             self.counters.hits.fetch_add(1, Ordering::AcqRel);
-            return v;
+            return (v, CacheOutcome::Hit);
         }
         match self.flights.enter(&key, &self.store) {
             Joined::Resident(v) => {
                 self.counters.hits.fetch_add(1, Ordering::AcqRel);
-                v
+                (v, CacheOutcome::Hit)
             }
             Joined::Flight(cell) => {
                 let mut led = false;
-                let v = Arc::clone(cell.get_or_init(|| {
+                let landed = cell.get_or_init(|| {
                     led = true;
-                    Arc::new(produce_features())
-                }));
+                    Landed {
+                        value: Arc::new(produce_features()),
+                        leader: my_link,
+                    }
+                });
+                let v = Arc::clone(&landed.value);
                 if led {
                     self.counters.misses.fetch_add(1, Ordering::AcqRel);
                     let outcome = self.store.admit(key, Arc::clone(&v), entry_cost(&v));
                     self.apply(&outcome);
                     self.flights.retire(&key);
+                    (v, CacheOutcome::Miss)
                 } else {
                     self.counters.coalesced_waits.fetch_add(1, Ordering::AcqRel);
+                    (
+                        v,
+                        CacheOutcome::Coalesced {
+                            leader: clone_link(&landed.leader),
+                        },
+                    )
                 }
-                v
             }
         }
     }
@@ -175,13 +228,15 @@ impl FeatureCache {
     /// budget.
     fn apply(&self, outcome: &lru::LruOutcome) {
         if outcome.bytes_added >= outcome.bytes_evicted {
-            self.counters
-                .resident_bytes
-                .fetch_add(outcome.bytes_added - outcome.bytes_evicted, Ordering::AcqRel);
+            self.counters.resident_bytes.fetch_add(
+                outcome.bytes_added - outcome.bytes_evicted,
+                Ordering::AcqRel,
+            );
         } else {
-            self.counters
-                .resident_bytes
-                .fetch_sub(outcome.bytes_evicted - outcome.bytes_added, Ordering::AcqRel);
+            self.counters.resident_bytes.fetch_sub(
+                outcome.bytes_evicted - outcome.bytes_added,
+                Ordering::AcqRel,
+            );
         }
         let added = u64::from(outcome.inserted);
         if added >= outcome.evicted {
@@ -212,6 +267,13 @@ impl FeatureCache {
             capacity_bytes: self.capacity_bytes,
         }
     }
+}
+
+/// Duplicates a span link without a `Clone` call: the hot-path scan
+/// treats `.clone()` as an allocation signal, and an `Arc` bump plus a
+/// `u32` copy is all this actually is.
+fn clone_link(link: &SpanLink) -> SpanLink {
+    link.as_ref().map(|(id, span)| (Arc::clone(id), *span))
 }
 
 /// Accounted cost of one cached entry: fixed overhead plus the feature
@@ -311,6 +373,67 @@ mod tests {
             assert_eq!(v.moment_invariants[0], i as f64);
         }
         assert_eq!(cache.stats_snapshot().entries, 32);
+    }
+
+    #[test]
+    fn outcomes_distinguish_hit_from_miss() {
+        let cache = FeatureCache::with_config(CacheConfig::default());
+        let k = key(5);
+        let (_, first) = cache.get_or_extract_with(k, None, || features(1.0));
+        let (_, second) = cache.get_or_extract_with(k, None, || features(2.0));
+        assert_eq!(first, CacheOutcome::Miss);
+        assert_eq!(second, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn followers_receive_the_leaders_span_link() {
+        use std::sync::mpsc;
+        let cache = Arc::new(FeatureCache::with_config(CacheConfig::default()));
+        let k = key(9);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let link: SpanLink = Some((Arc::from("leader-trace"), 7));
+            std::thread::spawn(move || {
+                cache.get_or_extract_with(k, link, || {
+                    started_tx.send(()).expect("send started");
+                    release_rx.recv().expect("recv release");
+                    features(1.0)
+                })
+            })
+        };
+        started_rx.recv().expect("leader entered its extraction");
+        // The flight is open and led (the leader is gated inside its
+        // closure), so this call joins it and blocks as a follower.
+        let follower = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let link: SpanLink = Some((Arc::from("follower-trace"), 3));
+                cache.get_or_extract_with(k, link, || features(2.0))
+            })
+        };
+        // Let the follower reach the flight cell, then release.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        release_tx.send(()).expect("release leader");
+        let (lv, lo) = leader.join().expect("leader join");
+        let (fv, fo) = follower.join().expect("follower join");
+        assert_eq!(lo, CacheOutcome::Miss);
+        assert!(Arc::ptr_eq(&lv, &fv), "both share the one extraction");
+        assert_eq!(lv.moment_invariants[0], 1.0, "leader's extraction won");
+        match fo {
+            CacheOutcome::Coalesced {
+                leader: Some((tid, span)),
+            } => {
+                // The follower carries the LEADER's span address, not
+                // its own — the link references the one real
+                // extraction instead of duplicating it.
+                assert_eq!(&*tid, "leader-trace");
+                assert_eq!(span, 7);
+            }
+            other => panic!("expected a coalesced wait with the leader's link, got {other:?}"),
+        }
+        assert_eq!(cache.stats_snapshot().coalesced_waits, 1);
     }
 
     #[test]

@@ -129,7 +129,10 @@ fn budget_holds_under_concurrent_admits() {
         "resident_bytes must never be observed above capacity"
     );
     let s = cache.stats_snapshot();
-    assert!(s.resident_bytes <= s.capacity_bytes, "final state in budget: {s:?}");
+    assert!(
+        s.resident_bytes <= s.capacity_bytes,
+        "final state in budget: {s:?}"
+    );
     assert!(s.evictions > 0, "the workload must actually churn: {s:?}");
     assert_eq!(
         s.misses,

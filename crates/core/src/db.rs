@@ -483,11 +483,10 @@ impl ShapeDatabase {
             let index = &self.indexes[&query.kind];
             match query.mode {
                 QueryMode::TopK(k) => {
-                    let raw = {
-                        let _stage = StageTimer::start(Stage::IndexSearch);
-                        index.knn(q, k, stats)
-                    };
-                    let _stage = StageTimer::start(Stage::SimilarityCombine);
+                    let timer = StageTimer::start(Stage::IndexSearch);
+                    let raw = index.knn(q, k, stats);
+                    // Adjacent stages share one boundary clock read.
+                    let _stage = timer.handoff(Stage::SimilarityCombine);
                     raw.into_iter()
                         .map(|(_, &id, d)| SearchHit {
                             id,
@@ -513,11 +512,9 @@ impl ShapeDatabase {
                     // weighted scan would.
                     let radius = threshold_to_radius(t, dmax);
                     let radius = radius * (1.0 + 1e-12);
-                    let raw = {
-                        let _stage = StageTimer::start(Stage::IndexSearch);
-                        index.within_distance(q, radius, stats)
-                    };
-                    let _stage = StageTimer::start(Stage::SimilarityCombine);
+                    let timer = StageTimer::start(Stage::IndexSearch);
+                    let raw = index.within_distance(q, radius, stats);
+                    let _stage = timer.handoff(Stage::SimilarityCombine);
                     let mut hits: Vec<SearchHit> = raw
                         .into_iter()
                         .map(|(_, &id, d)| SearchHit {
@@ -534,22 +531,21 @@ impl ShapeDatabase {
         } else {
             // Weighted scan: the linear distance pass plays the role
             // of the index traversal for stage accounting.
-            let mut hits: Vec<SearchHit> = {
-                let _stage = StageTimer::start(Stage::IndexSearch);
-                self.shapes
-                    .iter()
-                    .map(|s| {
-                        stats.entries_checked += 1;
-                        let d = weighted_distance(q, s.features.get(query.kind), &query.weights);
-                        SearchHit {
-                            id: s.id,
-                            distance: d,
-                            similarity: similarity(d, dmax),
-                        }
-                    })
-                    .collect()
-            };
-            let _stage = StageTimer::start(Stage::SimilarityCombine);
+            let timer = StageTimer::start(Stage::IndexSearch);
+            let mut hits: Vec<SearchHit> = self
+                .shapes
+                .iter()
+                .map(|s| {
+                    stats.entries_checked += 1;
+                    let d = weighted_distance(q, s.features.get(query.kind), &query.weights);
+                    SearchHit {
+                        id: s.id,
+                        distance: d,
+                        similarity: similarity(d, dmax),
+                    }
+                })
+                .collect();
+            let _stage = timer.handoff(Stage::SimilarityCombine);
             hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
             match query.mode {
                 QueryMode::TopK(k) => {
@@ -570,23 +566,22 @@ impl ShapeDatabase {
         dmax: f64,
         stats: &mut QueryStats,
     ) -> Vec<SearchHit> {
-        let mut hits: Vec<SearchHit> = {
-            let _stage = StageTimer::start(Stage::IndexSearch);
-            self.shapes
-                .iter()
-                .map(|s| {
-                    stats.entries_checked += 1;
-                    let d = weighted_distance(q, s.features.get(query.kind), &Weights::unit());
-                    SearchHit {
-                        id: s.id,
-                        distance: d,
-                        similarity: similarity(d, dmax),
-                    }
-                })
-                // hotpath: allow(hot-alloc) — the sorted hit list is the returned artifact
-                .collect()
-        };
-        let _stage = StageTimer::start(Stage::SimilarityCombine);
+        let timer = StageTimer::start(Stage::IndexSearch);
+        let mut hits: Vec<SearchHit> = self
+            .shapes
+            .iter()
+            .map(|s| {
+                stats.entries_checked += 1;
+                let d = weighted_distance(q, s.features.get(query.kind), &Weights::unit());
+                SearchHit {
+                    id: s.id,
+                    distance: d,
+                    similarity: similarity(d, dmax),
+                }
+            })
+            // hotpath: allow(hot-alloc) — the sorted hit list is the returned artifact
+            .collect();
+        let _stage = timer.handoff(Stage::SimilarityCombine);
         hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
         hits
     }

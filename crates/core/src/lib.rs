@@ -43,8 +43,8 @@ pub use persist::{
     FileOp, PersistError, SnapshotFormat,
 };
 pub use server::{bulk_insert, LatencySnapshots, LatencyStats, SearchServer, ServerMetrics};
-pub use tdess_cache::{CacheConfig, CacheStatsSnapshot, FeatureCache};
 pub use similarity::{similarity, threshold_to_radius, weighted_distance, Weights};
 pub use snapshot::{
     checksum64, load_binary, load_binary_bytes, save_binary, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
+pub use tdess_cache::{CacheConfig, CacheStatsSnapshot, FeatureCache};

@@ -40,11 +40,11 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use tdess_cache::{CacheConfig, CacheKey, CacheStatsSnapshot, FeatureCache};
+use tdess_cache::{CacheConfig, CacheKey, CacheOutcome, CacheStatsSnapshot, FeatureCache};
 use tdess_features::{normalize, FeatureSet};
 use tdess_geom::TriMesh;
 use tdess_index::QueryStats;
-use tdess_obs::{Histogram, HistogramSnapshot, Stage, StageTimer};
+use tdess_obs::{Histogram, HistogramSnapshot, Stage, StageTimer, TagValue};
 
 use crate::db::{DbError, Query, SearchHit, ShapeDatabase, ShapeId};
 use crate::multistep::{multi_step_search_with_stats, MultiStepPlan};
@@ -249,16 +249,27 @@ impl SearchServer {
     ///
     /// [`FeatureExtractor::extract`]: tdess_features::FeatureExtractor::extract
     /// [`FeatureExtractor::extract_from_normalized`]: tdess_features::FeatureExtractor::extract_from_normalized
-    fn extract_timed(&self, snap: &ShapeDatabase, mesh: &TriMesh) -> Result<Arc<FeatureSet>, DbError> {
+    fn extract_timed(
+        &self,
+        snap: &ShapeDatabase,
+        mesh: &TriMesh,
+    ) -> Result<Arc<FeatureSet>, DbError> {
         let _stage = StageTimer::start(Stage::QueryExtract);
         match &self.inner.cache {
             Some(cache) => {
                 let normalized = normalize(mesh).map_err(DbError::Extraction)?;
                 let extractor = snap.extractor();
                 let key = CacheKey::derive(&normalized, extractor);
-                Ok(cache.get_or_extract(key, || {
+                // When this request is collecting a span tree, the
+                // innermost span here is `query_extract`; the cache
+                // publishes it to coalesced followers as the address
+                // of the one extraction that actually ran.
+                let link = tdess_obs::current_span_link();
+                let (features, outcome) = cache.get_or_extract_with(key, link, || {
                     extractor.extract_from_normalized(mesh, &normalized)
-                }))
+                });
+                annotate_cache_outcome(&outcome);
+                Ok(features)
             }
             None => snap
                 .extractor()
@@ -555,6 +566,25 @@ pub fn bulk_insert(
         .map(|((name, mesh), fs)| (name, mesh, fs))
         .collect();
     Ok(db.insert_batch_precomputed(items))
+}
+
+/// Annotates the current span (the live `query_extract` span) with the
+/// cache outcome. A coalesced follower additionally records the
+/// *leader's* span address — linking, not duplicating, the one
+/// extraction that ran into this request's trace. No-ops when the
+/// request is not collecting spans.
+fn annotate_cache_outcome(outcome: &CacheOutcome) {
+    match outcome {
+        CacheOutcome::Hit => tdess_obs::annotate("cache", TagValue::Str("hit")),
+        CacheOutcome::Miss => tdess_obs::annotate("cache", TagValue::Str("miss")),
+        CacheOutcome::Coalesced { leader } => {
+            tdess_obs::annotate("cache", TagValue::Str("coalesced"));
+            if let Some((trace_id, span)) = leader {
+                tdess_obs::annotate("leader_trace", TagValue::Shared(Arc::clone(trace_id)));
+                tdess_obs::annotate("leader_span", TagValue::U64(u64::from(*span)));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -862,5 +892,115 @@ mod tests {
             "every other query either hit or waited on the flight: {s:?}"
         );
         assert_eq!(s.entries, 1);
+    }
+
+    /// Regression for the `tab_obs_overhead` blind spot where the
+    /// query loop used pre-extracted features and `query_extract` (and
+    /// every extraction stage under it) recorded zero samples: a mesh
+    /// query must bump *every* stage it passes through. Deltas, not
+    /// absolute counts — the stage histograms are process-wide and
+    /// other tests in this binary record into them concurrently.
+    #[test]
+    fn every_stage_hit_by_a_mesh_query_records_samples() {
+        use tdess_obs::stage_histogram;
+        let mut db = ShapeDatabase::new(extractor());
+        bulk_insert(&mut db, meshes(4), 2).unwrap();
+        let server = SearchServer::new(db);
+        let before: Vec<u64> = Stage::ALL
+            .iter()
+            .map(|&s| stage_histogram(s).snapshot().count())
+            .collect();
+
+        let mesh = primitives::box_mesh(Vec3::new(2.0, 1.0, 0.5));
+        server
+            .search_mesh(&mesh, &Query::top_k(FeatureKind::PrincipalMoments, 3))
+            .unwrap();
+        // Two steps so the rerank stage runs too.
+        server
+            .multi_step_mesh(
+                &mesh,
+                &MultiStepPlan {
+                    steps: vec![FeatureKind::PrincipalMoments, FeatureKind::MomentInvariants],
+                    candidates: 4,
+                    presented: 2,
+                },
+            )
+            .unwrap();
+
+        for (i, &s) in Stage::ALL.iter().enumerate() {
+            let after = stage_histogram(s).snapshot().count();
+            assert!(
+                after > before[i],
+                "stage {} recorded no samples for a mesh query",
+                Stage::name(s)
+            );
+        }
+    }
+
+    /// One traced request over a cached server yields a span tree with
+    /// the stage hierarchy and cache hit/miss annotations in place.
+    #[test]
+    fn request_trace_captures_stage_spans_and_cache_outcomes() {
+        use tdess_obs::SpanRecord;
+        let mut db = ShapeDatabase::new(extractor());
+        bulk_insert(&mut db, meshes(3), 2).unwrap();
+        let server = SearchServer::with_cache(db, CacheConfig::default());
+        let mesh = primitives::uv_sphere(1.0, 16, 8);
+        let query = Query::top_k(FeatureKind::PrincipalMoments, 2);
+
+        let guard = tdess_obs::begin_request("core-span-test", "search_mesh");
+        server.search_mesh(&mesh, &query).unwrap(); // cold: miss
+        server.search_mesh(&mesh, &query).unwrap(); // warm: hit
+        let t = tdess_obs::TraceGuard::finish(guard, false).expect("trace collected");
+
+        assert_eq!(t.trace_id, "core-span-test");
+        assert_eq!(t.spans[0].name, "search_mesh");
+        let extracts: Vec<&SpanRecord> = t
+            .spans
+            .iter()
+            .filter(|s| s.name == "query_extract")
+            .collect();
+        assert_eq!(extracts.len(), 2, "one query_extract span per search");
+        let cache_tag = |s: &SpanRecord| {
+            s.tags
+                .iter()
+                .find(|(k, _)| k == "cache")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(cache_tag(extracts[0]).as_deref(), Some("miss"));
+        assert_eq!(cache_tag(extracts[1]).as_deref(), Some("hit"));
+        // Both extractions hang directly off the request root...
+        assert!(extracts.iter().all(|s| s.parent == 1));
+        // ...and the cold one encloses the full extraction pipeline.
+        let cold_id = extracts[0].id;
+        for name in [
+            "normalize",
+            "voxelize",
+            "skeletonize",
+            "graph_build",
+            "eigen",
+        ] {
+            assert!(
+                t.spans
+                    .iter()
+                    .any(|s| s.name == name && s.parent == cold_id),
+                "missing nested {name} span under the cold query_extract"
+            );
+        }
+        // The index search runs outside extraction, under the root.
+        assert!(t
+            .spans
+            .iter()
+            .any(|s| s.name == "index_search" && s.parent == 1));
+        // The warm extraction still normalizes (the content key needs
+        // the normalized mesh) but skips the rest of the pipeline.
+        let warm_id = extracts[1].id;
+        let warm_children: Vec<&str> = t
+            .spans
+            .iter()
+            .filter(|s| s.parent == warm_id)
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(warm_children, ["normalize"]);
     }
 }

@@ -24,7 +24,7 @@ use tdess_geom::TriMesh;
 
 use crate::proto::{
     decode, encode, read_frame, write_frame, Hello, HitsReport, InfoReport, Request, Response,
-    StatsReport, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    StatsReport, TracesReport, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 
 /// Tuning knobs for a [`NetClient`].
@@ -264,6 +264,16 @@ impl NetClient {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Recent request traces from the server's flight recorder.
+    /// `last > 0` limits to the most recent traces; `slow` keeps only
+    /// slow/error retentions.
+    pub fn traces(&mut self, last: usize, slow: bool) -> Result<TracesReport, WireError> {
+        match self.request(&Request::Traces { last, slow })? {
+            Response::Traces(report) => Ok(report),
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 /// Maps an off-script response onto a typed error: server error
@@ -288,6 +298,7 @@ fn variant_name(resp: &Response) -> &'static str {
         Response::Removed { .. } => "Removed",
         Response::Info(_) => "Info",
         Response::Stats(_) => "Stats",
+        Response::Traces(_) => "Traces",
         Response::Pong => "Pong",
         Response::Error(_) => "Error",
     }

@@ -35,10 +35,10 @@ pub mod proto;
 pub mod server;
 
 pub use client::{NetClient, NetClientConfig};
-pub use metrics::{MetricsRenderer, MetricsServer};
+pub use metrics::{MetricsRenderer, MetricsRoute, MetricsServer};
 pub use proto::{
     ErrorKind, ErrorReply, Hello, HitsReport, InfoReport, NamedHit, Request, RequestEnvelope,
-    Response, SpaceInfo, StageStats, StatsReport, TransportStats, WireError, DEFAULT_MAX_FRAME_LEN,
-    MAGIC, PROTOCOL_VERSION,
+    Response, SpaceInfo, StageStats, StatsReport, TracesReport, TransportStats, WireError,
+    DEFAULT_MAX_FRAME_LEN, MAGIC, PROTOCOL_VERSION,
 };
 pub use server::{NetServer, NetServerConfig, TransportCounters};

@@ -1,19 +1,22 @@
-//! A minimal HTTP/1.0 responder for Prometheus text exposition.
+//! A minimal HTTP/1.0 responder for operational endpoints.
 //!
-//! [`MetricsServer`] answers `GET /metrics` with whatever the supplied
-//! renderer closure produces (normally
-//! [`crate::NetServer::metrics_renderer`]) and 404s everything else.
-//! It speaks just enough HTTP for a scraper: one request per
-//! connection, `Connection: close`, no keep-alive, no chunking. The
-//! request line is read with a short socket timeout so a stalled peer
-//! cannot pin the single serving thread for long.
+//! [`MetricsServer`] serves a small fixed route table: classically
+//! `GET /metrics` with whatever the supplied renderer closure produces
+//! (normally [`crate::NetServer::metrics_renderer`]), and — when bound
+//! via [`MetricsServer::bind_routes`] — additional routes such as
+//! `/healthz` (liveness) and `/traces` (Chrome trace-event JSON from
+//! the flight recorder). Everything else 404s. It speaks just enough
+//! HTTP for a scraper: one request per connection,
+//! `Connection: close`, no keep-alive, no chunking. The request line
+//! is read with a short socket timeout so a stalled peer cannot pin
+//! the single serving thread for long.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tdess_obs::event;
 
@@ -30,8 +33,61 @@ const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 /// A render callback producing the current exposition text.
 pub type MetricsRenderer = Arc<dyn Fn() -> String + Send + Sync>;
 
-/// A background thread serving `GET /metrics` over plain HTTP.
-/// Dropping the handle shuts it down.
+/// One HTTP route: an exact path, the content type of its body, and a
+/// closure rendering that body per request.
+#[derive(Clone)]
+pub struct MetricsRoute {
+    /// Exact request path (a trailing slash is tolerated on match).
+    pub path: &'static str,
+    /// `Content-Type` header value for this route's responses.
+    pub content_type: &'static str,
+    /// Renders the response body afresh on every request.
+    pub render: MetricsRenderer,
+}
+
+impl MetricsRoute {
+    /// The classic Prometheus exposition route at `/metrics`.
+    pub fn metrics(render: MetricsRenderer) -> MetricsRoute {
+        MetricsRoute {
+            path: "/metrics",
+            content_type: CONTENT_TYPE,
+            render,
+        }
+    }
+
+    /// A `/healthz` liveness route: `200 OK` with the process uptime
+    /// (measured from this call) and a caller-supplied generation
+    /// counter (normally the server's snapshot-swap count, so two
+    /// probes can tell a live-but-frozen process from a serving one).
+    pub fn healthz(generation: Arc<dyn Fn() -> u64 + Send + Sync>) -> MetricsRoute {
+        let started = Instant::now();
+        MetricsRoute {
+            path: "/healthz",
+            content_type: "text/plain; charset=utf-8",
+            render: Arc::new(move || {
+                format!(
+                    "ok\nuptime_seconds {}\nsnapshot_generation {}\n",
+                    started.elapsed().as_secs(),
+                    generation()
+                )
+            }),
+        }
+    }
+
+    /// A `/traces` route serving a body that is already JSON (normally
+    /// [`tdess_obs::chrome_trace_json`] over a flight-recorder
+    /// snapshot).
+    pub fn traces(render: MetricsRenderer) -> MetricsRoute {
+        MetricsRoute {
+            path: "/traces",
+            content_type: "application/json",
+            render,
+        }
+    }
+}
+
+/// A background thread serving a fixed HTTP route table. Dropping the
+/// handle shuts it down.
 pub struct MetricsServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
@@ -39,11 +95,23 @@ pub struct MetricsServer {
 }
 
 impl MetricsServer {
-    /// Binds `addr` (port 0 for ephemeral) and starts the serving
-    /// thread. Each scrape calls `render` afresh.
+    /// Binds `addr` (port 0 for ephemeral) and serves `render` at
+    /// `/metrics` — the single-route form predating
+    /// [`MetricsServer::bind_routes`].
     pub fn bind(
         addr: impl ToSocketAddrs,
         render: MetricsRenderer,
+    ) -> std::io::Result<MetricsServer> {
+        Self::bind_routes(addr, vec![MetricsRoute::metrics(render)])
+    }
+
+    /// Binds `addr` (port 0 for ephemeral) and starts the serving
+    /// thread over `routes`. Each request calls the matched route's
+    /// renderer afresh; unmatched paths 404 with a hint listing the
+    /// available routes.
+    pub fn bind_routes(
+        addr: impl ToSocketAddrs,
+        routes: Vec<MetricsRoute>,
     ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -51,7 +119,7 @@ impl MetricsServer {
         let thread_shutdown = Arc::clone(&shutdown);
         let thread = std::thread::Builder::new()
             .name("tdess-metrics".to_string())
-            .spawn(move || serve_loop(&listener, &thread_shutdown, &render))?;
+            .spawn(move || serve_loop(&listener, &thread_shutdown, &routes))?;
         event!(Info, TARGET, "metrics endpoint listening on {local_addr}");
         Ok(MetricsServer {
             local_addr,
@@ -89,18 +157,19 @@ impl Drop for MetricsServer {
 }
 
 /// Accepts scrape connections one at a time until shutdown.
-fn serve_loop(listener: &TcpListener, shutdown: &AtomicBool, render: &MetricsRenderer) {
+fn serve_loop(listener: &TcpListener, shutdown: &AtomicBool, routes: &[MetricsRoute]) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::Acquire) {
             return;
         }
         let Ok(stream) = stream else { continue };
-        serve_one(stream, render);
+        serve_one(stream, routes);
     }
 }
 
-/// Handles a single scrape: parse the request line, answer, close.
-fn serve_one(stream: TcpStream, render: &MetricsRenderer) {
+/// Handles a single request: parse the request line, match the route
+/// table, answer, close.
+fn serve_one(stream: TcpStream, routes: &[MetricsRoute]) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let mut reader = BufReader::new(stream);
@@ -123,20 +192,50 @@ fn serve_one(stream: TcpStream, render: &MetricsRenderer) {
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    if method == "GET" && (path == "/metrics" || path == "/metrics/") {
-        let body = render();
-        event!(Debug, TARGET, "served /metrics ({} bytes)", body.len());
-        let _ = write_response(&mut stream, "200 OK", &body);
-    } else {
-        event!(Debug, TARGET, "rejected {method} {path}");
-        let _ = write_response(&mut stream, "404 Not Found", "not found; try /metrics\n");
+    let path = path
+        .strip_suffix('/')
+        .filter(|p| !p.is_empty())
+        .unwrap_or(path);
+    let route = routes.iter().find(|r| r.path == path);
+    match route {
+        Some(route) if method == "GET" => {
+            let body = (route.render)();
+            event!(
+                Debug,
+                TARGET,
+                "served {} ({} bytes)",
+                route.path,
+                body.len()
+            );
+            let _ = write_response(&mut stream, "200 OK", route.content_type, &body);
+        }
+        _ => {
+            event!(Debug, TARGET, "rejected {method} {path}");
+            let mut hint = String::from("not found; try");
+            for r in routes {
+                hint.push(' ');
+                hint.push_str(r.path);
+            }
+            hint.push('\n');
+            let _ = write_response(
+                &mut stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                &hint,
+            );
+        }
     }
 }
 
 /// Writes one complete HTTP/1.0 response.
-fn write_response(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let header = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: {CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(header.as_bytes())?;

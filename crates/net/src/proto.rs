@@ -35,6 +35,7 @@ use tdess_core::MultiStepPlan;
 use tdess_core::{CacheStatsSnapshot, Query, SearchHit, ServerMetrics, ShapeDatabase, ShapeId};
 use tdess_features::{FeatureKind, FeatureSet};
 use tdess_geom::TriMesh;
+use tdess_obs::RequestTrace;
 
 /// Version of the wire protocol spoken by this build. Bumped on any
 /// incompatible frame or payload change; the handshake rejects peers
@@ -119,6 +120,17 @@ pub enum Request {
     Info,
     /// Query + transport metrics.
     Stats,
+    /// Recent request traces from the server's flight recorder.
+    Traces {
+        /// Return at most this many traces, newest last (0 = all
+        /// currently retained).
+        #[serde(default)]
+        last: usize,
+        /// Only traces the tail sampler marked interesting (slow or
+        /// error), dropping the probabilistic baseline sample.
+        #[serde(default)]
+        slow: bool,
+    },
     /// Liveness probe.
     Ping,
 }
@@ -317,6 +329,25 @@ pub struct StatsReport {
     pub cache: Option<CacheStatsSnapshot>,
 }
 
+/// Payload of a Traces response: completed request traces retained by
+/// the server's flight recorder, oldest first. Also the `--format
+/// jsonl` source of the `tdess remote <addr> trace` verb.
+///
+/// Traces ride the wire as plain [`RequestTrace`] values (the `Arc` is
+/// a server-side sharing detail that serializes transparently), so the
+/// report decodes against any build carrying the span types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracesReport {
+    /// The slow-over-this-threshold retention cutoff, microseconds —
+    /// lets clients label "slow" consistently with the server.
+    #[serde(default)]
+    pub slow_threshold_us: u64,
+    /// Retained traces, oldest first (empty from pre-trace servers,
+    /// and ignored by pre-trace clients).
+    #[serde(default)]
+    pub traces: Vec<std::sync::Arc<RequestTrace>>,
+}
+
 /// Machine-readable category of a server-reported error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ErrorKind {
@@ -393,6 +424,8 @@ pub enum Response {
     Info(InfoReport),
     /// Query + transport metrics.
     Stats(StatsReport),
+    /// Flight-recorder traces.
+    Traces(TracesReport),
     /// Liveness reply.
     Pong,
     /// The request failed; the connection stays usable.
@@ -715,5 +748,42 @@ mod tests {
         assert_eq!(back.shapes, 3);
         assert!(back.stages.is_empty());
         assert!(back.cache.is_none(), "missing cache key defaults to None");
+    }
+
+    #[test]
+    fn traces_request_and_report_tolerate_missing_fields() {
+        // `Traces` sent by a minimal client (`{"Traces":{}}`) decodes
+        // with both knobs defaulted.
+        let req: Request = decode(b"{\"Traces\": {}}").unwrap();
+        assert!(matches!(
+            req,
+            Request::Traces {
+                last: 0,
+                slow: false
+            }
+        ));
+        assert!(req.is_idempotent(), "trace reads are safe to retry");
+
+        // A populated report round-trips through the wire encoding.
+        let report = TracesReport {
+            slow_threshold_us: 1_000_000,
+            traces: vec![std::sync::Arc::new(tdess_obs::RequestTrace {
+                trace_id: "aabb".into(),
+                name: "SearchMesh".into(),
+                ts_unix_us: 7,
+                dur_us: 1_500_000,
+                error: false,
+                retained: "slow".into(),
+                dropped_spans: 0,
+                spans: Vec::new(),
+            })],
+        };
+        let back: TracesReport = decode(&encode(&report).unwrap()).unwrap();
+        assert_eq!(back, report);
+
+        // And a pre-trace peer's empty object still decodes.
+        let bare: TracesReport = decode(b"{}").unwrap();
+        assert!(bare.traces.is_empty());
+        assert_eq!(bare.slow_threshold_us, 0);
     }
 }

@@ -32,12 +32,12 @@ use std::time::{Duration, Instant};
 use crossbeam::channel;
 use tdess_core::{DbError, QueryMode, SearchServer, Weights};
 use tdess_features::{FeatureKind, FeatureSet};
-use tdess_obs::event;
+use tdess_obs::{event, FlightRecorder, RecorderConfig, TraceGuard};
 
 use crate::proto::{
     decode, decode_request, encode, write_frame, ErrorKind, ErrorReply, Hello, HitsReport,
-    InfoReport, Request, Response, StageStats, StatsReport, TransportStats, WireError,
-    DEFAULT_MAX_FRAME_LEN, MAGIC, PROTOCOL_VERSION,
+    InfoReport, Request, Response, StageStats, StatsReport, TracesReport, TransportStats,
+    WireError, DEFAULT_MAX_FRAME_LEN, MAGIC, PROTOCOL_VERSION,
 };
 
 /// Event target for this module's structured log events.
@@ -61,8 +61,14 @@ pub struct NetServerConfig {
     /// How often a blocked read wakes to check the shutdown flag.
     pub poll_interval: Duration,
     /// Requests slower than this emit a warn-level slow-query event
-    /// carrying the request's trace id.
+    /// carrying the request's trace id, and are always retained by the
+    /// flight recorder (the tail sampler's "slow" class).
     pub slow_request: Duration,
+    /// Flight-recorder ring capacity in traces.
+    pub trace_capacity: usize,
+    /// Keep one in this many unremarkable traces (slow and error
+    /// traces are always kept); `0` or `1` keeps every trace.
+    pub trace_sample_one_in: u64,
 }
 
 impl Default for NetServerConfig {
@@ -75,6 +81,8 @@ impl Default for NetServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             poll_interval: Duration::from_millis(25),
             slow_request: Duration::from_secs(1),
+            trace_capacity: 128,
+            trace_sample_one_in: 16,
         }
     }
 }
@@ -123,6 +131,9 @@ struct NetShared {
     cfg: NetServerConfig,
     shutdown: AtomicBool,
     counters: TransportCounters,
+    /// Completed request traces under tail-based sampling, served by
+    /// the `Traces` wire request and the `/traces` metrics route.
+    recorder: Arc<FlightRecorder>,
     /// Receiver clone used only to observe the waiting-connection
     /// count for the metrics page; workers hold their own clones, so
     /// this one never gates shutdown (that is keyed on the Senders).
@@ -155,6 +166,11 @@ impl NetServer {
             cfg: cfg.clone(),
             shutdown: AtomicBool::new(false),
             counters: TransportCounters::default(),
+            recorder: Arc::new(FlightRecorder::new(RecorderConfig {
+                capacity: cfg.trace_capacity,
+                slow: cfg.slow_request,
+                sample_one_in: cfg.trace_sample_one_in,
+            })),
             queue: rx.clone(),
         });
 
@@ -242,6 +258,13 @@ impl NetServer {
     pub fn metrics_renderer(&self) -> Arc<dyn Fn() -> String + Send + Sync> {
         let shared = Arc::clone(&self.shared);
         Arc::new(move || render_metrics(&shared))
+    }
+
+    /// The server's flight recorder — share it with a
+    /// [`crate::metrics::MetricsServer`] so the `/traces` route reads
+    /// the same ring the `Traces` wire request serves.
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.recorder)
     }
 }
 
@@ -651,17 +674,23 @@ fn handle_connection(shared: &NetShared, stream: TcpStream) {
     }
 }
 
-/// Dispatches one decoded request under its trace id (when the client
-/// sent one), emitting a debug event per request and a warn-level
-/// slow-query event past [`NetServerConfig::slow_request`].
+/// Dispatches one decoded request under its trace id (generating one
+/// when the client sent none), collecting the request's span tree and
+/// offering it to the flight recorder, emitting a debug event per
+/// request and a warn-level slow-query event past
+/// [`NetServerConfig::slow_request`].
 fn serve_request(
     shared: &NetShared,
     trace_id: Option<String>,
     req: Request,
     t0: Instant,
 ) -> Response {
+    let trace_id = trace_id.unwrap_or_else(tdess_obs::gen_trace_id);
+    let kind = request_name(&req);
+    // The root span opens before dispatch so every StageTimer the
+    // request reaches hangs its span off this tree (same thread).
+    let guard = tdess_obs::begin_request(&trace_id, kind);
     let run = || {
-        let kind = request_name(&req);
         let resp = dispatch(shared, req);
         let elapsed = t0.elapsed();
         event!(
@@ -680,7 +709,14 @@ fn serve_request(
         }
         resp
     };
-    tdess_obs::with_trace_id(trace_id, run)
+    let resp = tdess_obs::with_trace_id(Some(trace_id), run);
+    let errored = matches!(resp, Response::Error(_));
+    // Fully qualified: `.finish(...)` would pull every workspace
+    // `finish` into the static hot-path scan's reachable set.
+    if let Some(trace) = TraceGuard::finish(guard, errored) {
+        shared.recorder.offer(trace);
+    }
+    resp
 }
 
 /// Stable request-variant label for log events.
@@ -693,6 +729,7 @@ fn request_name(req: &Request) -> &'static str {
         Request::Remove { .. } => "Remove",
         Request::Info => "Info",
         Request::Stats => "Stats",
+        Request::Traces { .. } => "Traces",
         Request::Ping => "Ping",
     }
 }
@@ -872,6 +909,10 @@ fn dispatch(shared: &NetShared, req: Request) -> Response {
             transport: shared.counters.snapshot(),
             stages: StageStats::collect(),
             cache: search.cache_stats(),
+        }),
+        Request::Traces { last, slow } => Response::Traces(TracesReport {
+            slow_threshold_us: shared.recorder.slow_threshold_us(),
+            traces: shared.recorder.snapshot(last, slow),
         }),
         Request::Ping => Response::Pong,
     }

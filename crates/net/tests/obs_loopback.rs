@@ -165,8 +165,12 @@ fn cache_counters_surface_on_stats_and_metrics() {
     let cached = SearchServer::with_cache(db.clone(), CacheConfig::default());
 
     let mut server = NetServer::bind("127.0.0.1:0", cached, NetServerConfig::default()).unwrap();
-    let mut plain_server =
-        NetServer::bind("127.0.0.1:0", SearchServer::new(db), NetServerConfig::default()).unwrap();
+    let mut plain_server = NetServer::bind(
+        "127.0.0.1:0",
+        SearchServer::new(db),
+        NetServerConfig::default(),
+    )
+    .unwrap();
     let metrics = MetricsServer::bind("127.0.0.1:0", server.metrics_renderer()).unwrap();
     let plain_metrics =
         MetricsServer::bind("127.0.0.1:0", plain_server.metrics_renderer()).unwrap();

@@ -1,0 +1,174 @@
+//! Chrome trace-event JSON export.
+//!
+//! Serializes [`RequestTrace`]s into the Trace Event Format's JSON
+//! object form (`{"traceEvents": [...]}`), loadable in Perfetto and
+//! `chrome://tracing`. Each trace becomes one synthetic thread
+//! (`tid` = position in the batch) named after its request kind and
+//! trace id, so a batch of requests renders as parallel waterfalls;
+//! each span becomes a complete (`"ph":"X"`) event whose nesting the
+//! viewer reconstructs from time containment. Span annotations, the
+//! parent id, and the retention reason ride in `args`.
+//!
+//! This is the cold half of the tracing subsystem — it runs on
+//! `GET /traces` and in the CLI, never on the request path — so it
+//! favours clarity over allocation thrift.
+
+use crate::span::RequestTrace;
+use crate::trace::push_json_escaped;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Serializes `traces` as a Chrome trace-event JSON object.
+///
+/// Traces are laid out on one process (`pid` 1) with one thread per
+/// trace; timestamps are absolute microseconds since the Unix epoch,
+/// which Perfetto normalizes to the earliest event.
+pub fn chrome_trace_json(traces: &[Arc<RequestTrace>]) -> String {
+    let mut out = String::with_capacity(256 + traces.len() * 512);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (ix, t) in traces.iter().enumerate() {
+        let tid = ix + 1;
+        // Thread-name metadata event: labels the lane in the viewer.
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\""
+        );
+        push_json_escaped(&mut out, &t.name);
+        out.push(' ');
+        push_json_escaped(&mut out, &t.trace_id);
+        out.push_str("\"}}");
+        for s in &t.spans {
+            out.push(',');
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"cat\":\"tdess\",\"name\":\""
+            );
+            push_json_escaped(&mut out, &s.name);
+            let ts = t.ts_unix_us.saturating_add(s.start_us);
+            let _ = write!(out, "\",\"ts\":{ts},\"dur\":{},\"args\":{{", s.dur_us);
+            if s.parent == 0 {
+                // Root span: carry the trace-level metadata.
+                out.push_str("\"trace_id\":\"");
+                push_json_escaped(&mut out, &t.trace_id);
+                let _ = write!(
+                    out,
+                    "\",\"retained\":\"{}\",\"error\":{},\"dropped_spans\":{}",
+                    t.retained, t.error, t.dropped_spans
+                );
+            } else {
+                let _ = write!(out, "\"parent\":{}", s.parent);
+            }
+            for (k, v) in &s.tags {
+                out.push_str(",\"");
+                push_json_escaped(&mut out, k);
+                out.push_str("\":\"");
+                push_json_escaped(&mut out, v);
+                out.push('"');
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanRecord;
+
+    fn sample_trace() -> RequestTrace {
+        RequestTrace {
+            trace_id: "deadbeef00000000".to_string(),
+            name: "SearchMesh".to_string(),
+            ts_unix_us: 1_000_000,
+            dur_us: 950,
+            error: false,
+            retained: "slow".to_string(),
+            dropped_spans: 0,
+            spans: vec![
+                SpanRecord {
+                    id: 1,
+                    parent: 0,
+                    name: "SearchMesh".to_string(),
+                    start_us: 0,
+                    dur_us: 950,
+                    tags: vec![],
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: 1,
+                    name: "query_extract".to_string(),
+                    start_us: 10,
+                    dur_us: 800,
+                    tags: vec![("cache".to_string(), "miss".to_string())],
+                },
+                SpanRecord {
+                    id: 3,
+                    parent: 2,
+                    name: "voxel\"ize".to_string(), // exercises escaping
+                    start_us: 20,
+                    dur_us: 500,
+                    tags: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_shape() {
+        let traces = vec![Arc::new(sample_trace())];
+        let json = chrome_trace_json(&traces);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("traceEvents array");
+        // 1 metadata + 3 spans.
+        assert_eq!(events.len(), 4);
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| {
+                e.get("ph").and_then(|p| match p {
+                    serde_json::Value::Str(s) => Some(s.as_str()),
+                    _ => None,
+                })
+            })
+            .collect();
+        assert_eq!(phases, vec!["M", "X", "X", "X"]);
+        // The root event carries trace metadata; children carry parent.
+        let root = &events[1];
+        assert_eq!(
+            root.get("args").and_then(|a| a.get("retained")),
+            Some(&serde_json::Value::Str("slow".to_string()))
+        );
+        let child = &events[2];
+        assert_eq!(
+            child.get("args").and_then(|a| a.get("parent")),
+            Some(&serde_json::Value::Int(1))
+        );
+        assert_eq!(
+            child.get("args").and_then(|a| a.get("cache")),
+            Some(&serde_json::Value::Str("miss".to_string()))
+        );
+        // Absolute timestamps: base + offset.
+        assert_eq!(child.get("ts"), Some(&serde_json::Value::Int(1_000_010)));
+    }
+
+    #[test]
+    fn empty_batch_exports_empty_events() {
+        let json = chrome_trace_json(&[]);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(
+            v.get("traceEvents")
+                .and_then(|e| e.as_arr())
+                .map(<[_]>::len),
+            Some(0)
+        );
+    }
+}

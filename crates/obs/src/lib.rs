@@ -1,6 +1,8 @@
 //! # tdess-obs — the 3DESS observability tier
 //!
-//! A zero-dependency crate providing, for every other tier:
+//! Self-contained except for the workspace's vendored `serde` shim
+//! (used only for the wire-portable trace payload types), providing,
+//! for every other tier:
 //!
 //! * **tracing** ([`trace`]) — leveled, env-filtered (`TDESS_LOG`)
 //!   structured events as JSON lines to a redirectable sink, with
@@ -15,22 +17,40 @@
 //!   fed by drop-guard [`StageTimer`]s across the extraction pipeline
 //!   (normalize → voxelize → skeletonize → graph → eigen) and query
 //!   path (extract, index search, similarity combine, re-rank);
+//! * **request spans** ([`span`]) — hierarchical per-request span
+//!   trees ([`begin_request`] / [`RequestTrace`]) fed by the same
+//!   stage timers, with cross-request links and annotations;
+//! * **flight recorder** ([`recorder`]) — a fixed-capacity ring of
+//!   completed request traces under tail-based sampling (always keep
+//!   slow and error traces, sample the rest);
+//! * **export** ([`export`]) — a Chrome trace-event JSON serializer
+//!   ([`chrome_trace_json`]) whose output loads in Perfetto and
+//!   `chrome://tracing`;
 //! * **exposition** ([`prom`]) — a [`PromText`] builder for the
 //!   Prometheus text format served by `tdess serve --metrics-addr`.
 //!
-//! See DESIGN.md §"OBS tier" for the span model, bucket scheme, and
-//! trace-id propagation rules.
+//! See DESIGN.md §"OBS tier" for the span model, bucket scheme,
+//! tail-sampling policy, and trace-id propagation rules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod hist;
 pub mod prom;
+pub mod recorder;
+pub mod span;
 pub mod stage;
 pub mod trace;
 
+pub use export::chrome_trace_json;
 pub use hist::{Histogram, HistogramSnapshot};
 pub use prom::PromText;
+pub use recorder::{FlightRecorder, RecorderConfig, RecorderStats};
+pub use span::{
+    annotate, begin_request, current_span_link, mark_error, trace_active, RequestTrace, SpanRecord,
+    TagValue, TraceGuard,
+};
 pub use stage::{stage_histogram, stage_snapshots, Stage, StageTimer};
 pub use trace::{
     current_trace_id, emit, enabled, gen_trace_id, level, set_level, set_sink, sink_to_stderr,

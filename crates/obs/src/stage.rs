@@ -97,20 +97,80 @@ pub fn stage_snapshots() -> Vec<(Stage, HistogramSnapshot)> {
 
 /// Times one stage execution: started with [`StageTimer::start`], it
 /// records the elapsed duration into the stage's histogram when
-/// dropped. A no-op (not even a clock read) when the level is `off`.
+/// dropped and, when the thread is collecting a request trace, opens
+/// a span in the tree (sharing the timer's single clock read). A
+/// no-op (not even a clock read) when the level is `off` and no trace
+/// is active.
 #[derive(Debug)]
 pub struct StageTimer {
     stage: Stage,
     start: Option<Instant>,
+    /// Record into the stage histogram (level above off at start).
+    hist: bool,
+    /// Span id in the active request trace; 0 when not tracing.
+    span: u32,
 }
 
 impl StageTimer {
     /// Starts timing `stage`.
     pub fn start(stage: Stage) -> StageTimer {
+        // Any level except Off keeps histograms recording.
+        let hist = enabled(Level::Error);
+        let tracing = crate::span::trace_active();
+        if !hist && !tracing {
+            return StageTimer {
+                stage,
+                start: None,
+                hist: false,
+                span: 0,
+            };
+        }
+        let now = Instant::now();
+        let span = if tracing {
+            crate::span::open_span(Stage::name(stage), now)
+        } else {
+            0
+        };
         StageTimer {
             stage,
-            // Any level except Off keeps histograms recording.
-            start: enabled(Level::Error).then(Instant::now),
+            start: Some(now),
+            hist,
+            span,
+        }
+    }
+
+    /// Ends this timer and starts one for `next`, reading the clock
+    /// exactly once at the boundary — for back-to-back stages (index
+    /// search → similarity combine) where two full timers would pay
+    /// two extra clock reads per query. The boundary skips the
+    /// trace-level per-stage event (the span tree carries the same
+    /// timing); the histogram record and span close/open are
+    /// identical to drop-then-start.
+    pub fn handoff(mut self, next: Stage) -> StageTimer {
+        let Some(t0) = self.start.take() else {
+            return StageTimer {
+                stage: next,
+                start: None,
+                hist: false,
+                span: 0,
+            };
+        };
+        let now = Instant::now();
+        let elapsed = now.saturating_duration_since(t0);
+        if self.hist {
+            stage_histogram(self.stage).record(elapsed);
+        }
+        crate::span::close_span(self.span, elapsed);
+        let span = if crate::span::trace_active() {
+            crate::span::open_span(Stage::name(next), now)
+        } else {
+            0
+        };
+        StageTimer {
+            stage: next,
+            start: Some(now),
+            hist: self.hist,
+            span,
         }
     }
 }
@@ -119,8 +179,11 @@ impl Drop for StageTimer {
     fn drop(&mut self) {
         if let Some(t0) = self.start {
             let elapsed = t0.elapsed();
-            stage_histogram(self.stage).record(elapsed);
-            if enabled(Level::Trace) {
+            if self.hist {
+                stage_histogram(self.stage).record(elapsed);
+            }
+            crate::span::close_span(self.span, elapsed);
+            if self.hist && enabled(Level::Trace) {
                 emit(
                     Level::Trace,
                     "tdess.stage",
@@ -150,6 +213,51 @@ mod tests {
                 .chars()
                 .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit()));
         }
+    }
+
+    #[test]
+    fn stage_timer_contributes_spans_to_active_trace() {
+        let guard = crate::span::begin_request("stage-span-test", "req");
+        {
+            let _outer = StageTimer::start(Stage::IndexSearch);
+            let _inner = StageTimer::start(Stage::SimilarityCombine);
+        }
+        let t = guard.finish(false).expect("trace");
+        assert_eq!(t.spans.len(), 3);
+        assert_eq!(t.spans[1].name, "index_search");
+        assert_eq!(t.spans[1].parent, 1);
+        assert_eq!(t.spans[2].name, "similarity_combine");
+        // Opened while index_search was still open → nested under it.
+        assert_eq!(t.spans[2].parent, 2);
+    }
+
+    #[test]
+    fn handoff_closes_one_span_and_opens_the_next_as_siblings() {
+        let guard = crate::span::begin_request("handoff-test", "req");
+        {
+            let timer = StageTimer::start(Stage::IndexSearch);
+            let _next = timer.handoff(Stage::SimilarityCombine);
+        }
+        let t = guard.finish(false).expect("trace");
+        assert_eq!(t.spans.len(), 3);
+        assert_eq!(t.spans[1].name, "index_search");
+        assert_eq!(t.spans[2].name, "similarity_combine");
+        // The handoff closed the first span before opening the second,
+        // so they are siblings under the root, not nested.
+        assert_eq!(t.spans[1].parent, 1);
+        assert_eq!(t.spans[2].parent, 1);
+        // And contiguous, to within microsecond truncation.
+        let boundary = t.spans[1].start_us + t.spans[1].dur_us;
+        assert!(t.spans[2].start_us.abs_diff(boundary) <= 1);
+    }
+
+    #[test]
+    fn handoff_from_inert_timer_stays_inert() {
+        // No trace active: with the level above off the timer is live
+        // for histograms only; handing off must not open spans.
+        let timer = StageTimer::start(Stage::IndexSearch);
+        let next = timer.handoff(Stage::SimilarityCombine);
+        assert_eq!(next.span, 0);
     }
 
     #[test]

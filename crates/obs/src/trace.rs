@@ -217,7 +217,7 @@ pub fn gen_trace_id() -> String {
     format!("{x:016x}")
 }
 
-fn push_json_escaped(out: &mut String, s: &str) {
+pub(crate) fn push_json_escaped(out: &mut String, s: &str) {
     use std::fmt::Write as _;
     for ch in s.chars() {
         match ch {

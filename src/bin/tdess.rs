@@ -25,12 +25,20 @@
 //!        --addr HOST:PORT         bind address          (default 127.0.0.1:7333)
 //!        --workers N              worker threads        (default 4)
 //!        --queue N                accept-queue depth    (default 64)
-//!        --metrics-addr HOST:PORT also serve Prometheus `GET /metrics`
+//!        --metrics-addr HOST:PORT also serve HTTP `GET /metrics`
+//!                                 (Prometheus), `/healthz` (liveness),
+//!                                 and `/traces` (Chrome trace JSON)
 //!        --cache-bytes N          extraction-cache byte budget (default 268435456)
 //!        --cache-off              disable the extraction cache
+//!        --trace-sample N         flight-recorder sampling: keep 1-in-N
+//!                                 non-slow, non-error traces (default 16;
+//!                                 1 keeps everything)
 //! tdess remote <addr> <verb> [options]       talk to a running server
-//!        verbs: query <mesh>, multistep <mesh>, info, stats, ping
-//!        (query/multistep take the same flags as their local forms)
+//!        verbs: query <mesh>, multistep <mesh>, info, stats, ping,
+//!               trace [--last N] [--slow] [--format chrome|jsonl]
+//!        (query/multistep take the same flags as their local forms;
+//!        trace pulls the server's flight recorder — `--slow` keeps
+//!        only slow/error traces, `chrome` output loads in Perfetto)
 //! ```
 //!
 //! `query`, `multistep`, `info`, and every `remote` verb accept
@@ -127,7 +135,7 @@ fn parse_kind(s: &str) -> Result<FeatureKind, String> {
 type ParsedArgs = (Vec<String>, Vec<(String, String)>);
 
 /// Flags that take no value; present means "true".
-const BOOL_FLAGS: &[&str] = &["json", "cache-off"];
+const BOOL_FLAGS: &[&str] = &["json", "cache-off", "slow"];
 
 /// Extracts `--flag value` pairs (and valueless [`BOOL_FLAGS`]);
 /// returns (positional, flags).
@@ -535,7 +543,7 @@ fn print_node(
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
     let db_path = pos.first().ok_or(
-        "usage: tdess serve <db.json> [--addr 127.0.0.1:7333] [--workers 4] [--queue 64] [--metrics-addr 127.0.0.1:0] [--cache-bytes N] [--cache-off]",
+        "usage: tdess serve <db.json> [--addr 127.0.0.1:7333] [--workers 4] [--queue 64] [--metrics-addr 127.0.0.1:0] [--cache-bytes N] [--cache-off] [--trace-sample N]",
     )?;
     let db = load_from_path(Path::new(db_path)).map_err(|e| e.to_string())?;
     let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:7333");
@@ -545,6 +553,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(q) = flag(&flags, "queue") {
         cfg.queue_depth = q.parse::<usize>().map_err(|e| e.to_string())?;
+    }
+    // Tail-sampling rate for the flight recorder: keep 1-in-N traces
+    // that are neither slow nor errored (those are always kept).
+    // `--trace-sample 1` retains everything — handy for smoke tests
+    // and short debugging sessions.
+    if let Some(s) = flag(&flags, "trace-sample") {
+        cfg.trace_sample_one_in = s
+            .parse::<u64>()
+            .map_err(|e| format!("--trace-sample: {e}"))?;
     }
     let shapes = db.len();
     // The extraction cache is on by default; `--cache-off` restores
@@ -560,14 +577,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         SearchServer::with_cache(db, cache_cfg)
     };
-    let server = NetServer::bind(addr, search, cfg).map_err(|e| e.to_string())?;
-    // Optional Prometheus exposition endpoint; kept alive for the
-    // life of the process by the binding below.
+    let server = NetServer::bind(addr, search.clone(), cfg).map_err(|e| e.to_string())?;
+    // Optional HTTP side-channel (Prometheus exposition, liveness,
+    // request traces); kept alive for the life of the process by the
+    // binding below.
     let metrics = match flag(&flags, "metrics-addr") {
-        Some(maddr) => Some(
-            threedess::net::MetricsServer::bind(maddr, server.metrics_renderer())
+        Some(maddr) => {
+            let recorder = server.recorder();
+            let health = search.clone();
+            Some(
+                threedess::net::MetricsServer::bind_routes(
+                    maddr,
+                    vec![
+                        threedess::net::MetricsRoute::metrics(server.metrics_renderer()),
+                        threedess::net::MetricsRoute::healthz(std::sync::Arc::new(move || {
+                            health.metrics().snapshot_swaps
+                        })),
+                        threedess::net::MetricsRoute::traces(std::sync::Arc::new(move || {
+                            tdess_obs::chrome_trace_json(&recorder.snapshot(0, false))
+                        })),
+                    ],
+                )
                 .map_err(|e| e.to_string())?,
-        ),
+            )
+        }
         None => None,
     };
     // The first lines of output are machine-parseable: smoke tests and
@@ -600,7 +633,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 fn cmd_remote(args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
     let usage =
-        "usage: tdess remote <addr> <query <mesh>|multistep <mesh>|info|stats|ping> [flags]";
+        "usage: tdess remote <addr> <query <mesh>|multistep <mesh>|info|stats|trace|ping> [flags]";
     let [addr, verb, rest @ ..] = &pos[..] else {
         return Err(usage.into());
     };
@@ -686,6 +719,34 @@ fn cmd_remote(args: &[String]) -> Result<(), String> {
                 }
             }
             Ok(())
+        }
+        "trace" => {
+            let last = match flag(&flags, "last") {
+                Some(v) => v.parse::<usize>().map_err(|e| format!("--last: {e}"))?,
+                None => 0,
+            };
+            let report = client
+                .traces(last, has_flag(&flags, "slow"))
+                .map_err(|e| e.to_string())?;
+            match flag(&flags, "format").unwrap_or("chrome") {
+                // Perfetto / chrome://tracing loadable; pipe to a file.
+                "chrome" => {
+                    println!("{}", tdess_obs::chrome_trace_json(&report.traces));
+                    Ok(())
+                }
+                // One RequestTrace JSON object per line, for jq-style
+                // filtering.
+                "jsonl" => {
+                    for t in &report.traces {
+                        println!(
+                            "{}",
+                            serde_json::to_string(t.as_ref()).map_err(|e| e.to_string())?
+                        );
+                    }
+                    Ok(())
+                }
+                other => Err(format!("unknown trace format `{other}` (chrome|jsonl)")),
+            }
         }
         "ping" => {
             client.ping().map_err(|e| e.to_string())?;

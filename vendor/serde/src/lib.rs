@@ -244,6 +244,21 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// Mirrors real serde's `rc` feature: serializing an `Arc` serializes
+// the pointee (shared structure is not preserved); deserializing
+// allocates a fresh one.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<std::sync::Arc<T>, Error> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -448,6 +463,18 @@ mod tests {
         map.insert(42u64, "x".to_string());
         let back = HashMap::<u64, String>::from_value(&map.to_value()).unwrap();
         assert_eq!(back, map);
+    }
+
+    #[test]
+    fn arc_roundtrips_transparently() {
+        let a = std::sync::Arc::new("shared".to_string());
+        // The Arc is invisible on the wire: same Value as the pointee.
+        assert_eq!(a.to_value(), "shared".to_string().to_value());
+        let back = std::sync::Arc::<String>::from_value(&a.to_value()).unwrap();
+        assert_eq!(*back, "shared");
+        let v: Vec<std::sync::Arc<u64>> = vec![std::sync::Arc::new(7)];
+        let back = Vec::<std::sync::Arc<u64>>::from_value(&v.to_value()).unwrap();
+        assert_eq!(*back[0], 7);
     }
 
     #[test]
