@@ -311,11 +311,15 @@ impl ShapeDatabase {
         ids
     }
 
-    /// The fan-out configuration of this database's R-trees.
+    /// The fan-out configuration of this database's R-trees. Every
+    /// tree shares one config, but the probe walks `FeatureKind::ALL`
+    /// rather than hash order so the answer never depends on map
+    /// iteration (`values().next()` picks a RandomState-ordered
+    /// element).
     pub(crate) fn index_config(&self) -> RTreeConfig {
-        self.indexes
-            .values()
-            .next()
+        FeatureKind::ALL
+            .iter()
+            .find_map(|kind| self.indexes.get(kind))
             .map(|t| t.config())
             .unwrap_or_default()
     }

@@ -283,6 +283,7 @@ impl SearchServer {
     /// is held during extraction or search.
     pub fn search_mesh(&self, mesh: &TriMesh, query: &Query) -> Result<Vec<SearchHit>, DbError> {
         let snap = self.snapshot();
+        // determinism: allow(time-taint) — t0 feeds the query-class latency histograms only; search hits carry no clock values
         let t0 = Instant::now();
         let features = self.extract_timed(&snap, mesh)?;
         let mut stats = QueryStats::default();
@@ -310,6 +311,7 @@ impl SearchServer {
         plan: &MultiStepPlan,
     ) -> Result<Vec<SearchHit>, DbError> {
         let snap = self.snapshot();
+        // determinism: allow(time-taint) — t0 feeds the query-class latency histograms only; search hits carry no clock values
         let t0 = Instant::now();
         let features = self.extract_timed(&snap, mesh)?;
         let mut stats = QueryStats::default();
@@ -368,6 +370,7 @@ impl SearchServer {
         let n = queries.len();
 
         let run_one = |mesh: &TriMesh| -> Result<BatchSlot, DbError> {
+            // determinism: allow(time-taint) — per-query timing feeds the batch latency histograms; result slots carry no clock values
             let t0 = Instant::now();
             let features = self.extract_timed(&snap, mesh)?;
             let mut stats = QueryStats::default();

@@ -647,6 +647,7 @@ fn handle_connection(shared: &NetShared, stream: TcpStream) {
                 }
             }
             Ok(Incoming::Frame(payload)) => {
+                // determinism: allow(time-taint) — transport latency feeds the metrics histograms; reply frames never embed it
                 let t0 = Instant::now();
                 let resp = match decode_request(&payload) {
                     Ok((trace_id, req)) => {
@@ -692,6 +693,7 @@ fn serve_request(
     let guard = tdess_obs::begin_request(&trace_id, kind);
     let run = || {
         let resp = dispatch(shared, req);
+        // determinism: allow(time-taint) — elapsed drives the debug event and the slow-query recorder threshold, not the response bytes
         let elapsed = t0.elapsed();
         event!(
             Debug,

@@ -1,0 +1,914 @@
+//! The rule engine behind `cargo xtask determinism` — reproducibility
+//! taint analysis.
+//!
+//! Every correctness claim the repo makes rests on bit-exactness:
+//! seeded corpora byte-identical across runs, warm-vs-cold and
+//! cached-vs-uncached extraction gates, JSON-vs-binary snapshot
+//! equivalence, and the double-run index/query gate (`tab_repro`).
+//! This pass statically guards that property by taint-tracking
+//! nondeterminism *sources* toward output *sinks* over the shared
+//! call graph ([`crate::graph`]):
+//!
+//! * **sinks** — functions whose bodies persist bytes (`save_to_path*`,
+//!   `atomic_write`, `File::create`, `fs::write`), encode the wire
+//!   (`write_frame`, `.write_all`), or export telemetry
+//!   (`PromText::new`, `chrome_trace_json`). Sink-shaped writes inside
+//!   the telemetry tier (`crates/obs/`, the `/metrics`//`/healthz`/
+//!   `/traces` endpoint file) classify as telemetry, not persistence —
+//!   logs and metrics are allowed to carry wall-clock values,
+//!   persisted artifacts are not;
+//! * **taint scope** — reverse reachability: every function that can
+//!   reach a sink (it, or anything it calls, writes output) is in
+//!   scope for the flow rules below. Like `hotpath`, the graph is
+//!   deliberately over-approximate.
+//!
+//! Five rule families:
+//!
+//! * `unordered-iter` *(flow, function granularity)* — iteration over
+//!   a `HashMap`/`HashSet` (declared in the same file: `let`
+//!   bindings, struct fields, parameters) inside a sink-reaching
+//!   function, with no intervening `.sort*`/`BTree*` before the
+//!   function ends. Hash iteration order varies per process
+//!   (`RandomState`), so it must never shape persisted or exported
+//!   bytes;
+//! * `time-taint` *(flow, function granularity)* — clock reads
+//!   (`Instant::now`, `SystemTime::now`, `.elapsed`, `UNIX_EPOCH`)
+//!   inside a function that reaches a *persist* sink. Benches
+//!   (`crates/bench/src/`) are exempt — timing artifacts are their
+//!   product — and telemetry sinks don't trigger it (latency belongs
+//!   in metrics);
+//! * `rng-discipline` *(site granularity, everywhere)* — RNG
+//!   construction that bypasses explicit seeding (`thread_rng`,
+//!   `from_entropy`, `OsRng`, `rand::random`). Seeded constructors
+//!   (`seed_from_u64`, `from_seed`) are the only reproducible way in;
+//! * `float-reduction` *(site granularity, everywhere)* — parallel or
+//!   worker-chunked float accumulation (`.par_iter().sum()`-style, or
+//!   explicit float folds in a thread-spawning function). Float
+//!   addition is non-associative, so the reduction order must be
+//!   fixed and the justification written down — the waiver *is* the
+//!   written justification;
+//! * `addr-hash` *(site granularity, everywhere)* — pointer identity
+//!   laundered into hashes or comparators (`ptr::hash`,
+//!   `.as_ptr() as usize`). Addresses change run to run.
+//!
+//! `#[cfg(test)]` regions contribute neither sinks, edges, nor
+//! findings. Waivers use the unified grammar:
+//! `// determinism: allow(<rule>) — <reason>`.
+
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+
+use crate::graph::{has_pattern, load_workspace_sources, CallGraph, COLD_LINE_PREFIXES};
+use crate::scan::{push_finding, Report, Tool};
+
+pub use crate::graph::SourceFile;
+
+/// Rule names (shared with waiver `allow(...)` syntax).
+pub const RULE_UNORDERED_ITER: &str = "unordered-iter";
+pub const RULE_RNG_DISCIPLINE: &str = "rng-discipline";
+pub const RULE_TIME_TAINT: &str = "time-taint";
+pub const RULE_FLOAT_REDUCTION: &str = "float-reduction";
+pub const RULE_ADDR_HASH: &str = "addr-hash";
+
+/// All determinism rule names, for waiver-inventory validation.
+pub const DETERMINISM_RULES: [&str; 5] = [
+    RULE_UNORDERED_ITER,
+    RULE_RNG_DISCIPLINE,
+    RULE_TIME_TAINT,
+    RULE_FLOAT_REDUCTION,
+    RULE_ADDR_HASH,
+];
+
+/// Calls that persist bytes: snapshot/results writes and wire
+/// encoding. Anything these produce is compared in a bit-exactness
+/// gate somewhere (CI double-run, warm-vs-cold, JSON-vs-binary).
+const PERSIST_SINK_PATTERNS: [&str; 6] = [
+    "save_to_path",
+    "atomic_write(",
+    "File::create(",
+    "fs::write(",
+    "write_frame(",
+    ".write_all(",
+];
+
+/// Telemetry exports whose byte layout should still be stable
+/// (repeated scrapes of an idle server must be byte-identical), but
+/// which are allowed to carry wall-clock values.
+const TELEMETRY_SINK_PATTERNS: [&str; 2] = ["PromText::new(", "chrome_trace_json("];
+
+/// Files whose writes are logs/metrics/traces by construction: the
+/// obs crate (structured log writer, histogram export) and the net
+/// metrics endpoint (`/metrics`, `/healthz`, `/traces`). Persist-shaped
+/// writes there classify as telemetry sinks.
+const TELEMETRY_TIER_PREFIXES: [&str; 2] = ["crates/obs/src/", "crates/net/src/metrics.rs"];
+
+/// Bench binaries persist timing tables on purpose — wall-clock in
+/// their artifacts is the product, not taint.
+const TIME_EXEMPT_PREFIXES: [&str; 1] = ["crates/bench/src/"];
+
+/// Clock reads.
+const TIME_PATTERNS: [&str; 4] = [
+    "Instant::now(",
+    "SystemTime::now(",
+    ".elapsed(",
+    "UNIX_EPOCH",
+];
+
+/// RNG constructions that draw from ambient entropy.
+const RNG_PATTERNS: [&str; 4] = ["thread_rng(", "from_entropy(", "OsRng", "rand::random("];
+
+/// Pointer identity in hash/comparator position.
+const ADDR_PATTERNS: [&str; 4] = [
+    "ptr::hash(",
+    ".as_ptr() as usize",
+    "as *const _ as usize",
+    "as *mut _ as usize",
+];
+
+/// Rayon-style parallel iterator entry points.
+const PAR_ITER_PATTERNS: [&str; 5] = [
+    ".par_iter(",
+    ".par_iter_mut(",
+    ".into_par_iter(",
+    ".par_chunks(",
+    ".par_bridge(",
+];
+
+/// Any reduction shape (used to decide whether a parallel iterator in
+/// the function feeds an accumulation).
+const REDUCE_ANY: [&str; 4] = [".sum", ".product", ".reduce(", ".fold("];
+
+/// Explicitly-float accumulations (flagged in thread-spawning
+/// functions, where worker merge order is the question).
+const FLOAT_ACC_PATTERNS: [&str; 5] = [
+    ".sum::<f32",
+    ".sum::<f64",
+    ".fold(0.0",
+    ".fold(0f",
+    ".reduce(",
+];
+
+/// Iteration methods that expose hash order when called on a
+/// HashMap/HashSet. Lookup methods (`.get`, `.entry`, `.contains*`)
+/// are deliberately absent — they don't observe order.
+const ITER_METHODS: [&str; 9] = [
+    "iter()",
+    "iter_mut()",
+    "keys()",
+    "values()",
+    "values_mut()",
+    "into_iter()",
+    "into_keys()",
+    "into_values()",
+    "drain(",
+];
+
+/// Analyzes the workspace rooted at `root`. The call graph always
+/// covers the full tree; `changed` only restricts which files'
+/// findings are emitted.
+pub fn determinism_root(root: &Path, changed: Option<&HashSet<PathBuf>>) -> Result<Report, String> {
+    let files = load_workspace_sources(root, changed)?;
+    Ok(analyze(&files))
+}
+
+fn analyze(files: &[SourceFile]) -> Report {
+    let g = CallGraph::build(files);
+    let file_lines: Vec<Vec<&str>> = g.infos.iter().map(|i| i.masked.lines().collect()).collect();
+
+    // Sink classification: a definition is a seed when its own body
+    // contains a sink call. Telemetry-tier files downgrade
+    // persist-shaped writes to telemetry.
+    let mut persist_seeds: Vec<usize> = Vec::new();
+    let mut telemetry_seeds: Vec<usize> = Vec::new();
+    for (di, d) in g.defs.iter().enumerate() {
+        if d.in_test {
+            continue;
+        }
+        let telemetry_tier = TELEMETRY_TIER_PREFIXES
+            .iter()
+            .any(|p| files[d.file].rel.starts_with(p));
+        let lines = &file_lines[d.file];
+        let mut is_persist = false;
+        let mut is_telemetry = false;
+        for (idx, &line) in lines
+            .iter()
+            .enumerate()
+            .take(d.end.min(lines.len()))
+            .skip(d.start - 1)
+        {
+            if g.infos[d.file].in_test[idx] || g.fn_of_line[d.file][idx] != Some(di) {
+                continue;
+            }
+            if PERSIST_SINK_PATTERNS.iter().any(|p| has_pattern(line, p)) {
+                if telemetry_tier {
+                    is_telemetry = true;
+                } else {
+                    is_persist = true;
+                }
+            }
+            if TELEMETRY_SINK_PATTERNS.iter().any(|p| has_pattern(line, p)) {
+                is_telemetry = true;
+            }
+        }
+        if is_persist {
+            persist_seeds.push(di);
+        }
+        if is_telemetry {
+            telemetry_seeds.push(di);
+        }
+    }
+    let persist_reach = g.reverse_reach(&persist_seeds);
+    let telemetry_reach = g.reverse_reach(&telemetry_seeds);
+
+    // Unordered container names, per file.
+    let unordered: Vec<HashSet<String>> = file_lines
+        .iter()
+        .map(|lines| unordered_names(lines))
+        .collect();
+
+    let mut report = Report {
+        files_scanned: files.iter().filter(|f| f.eligible).count(),
+        ..Report::default()
+    };
+
+    for (di, d) in g.defs.iter().enumerate() {
+        if d.in_test || !files[d.file].eligible {
+            continue;
+        }
+        let rel = &files[d.file].rel;
+        let info = &g.infos[d.file];
+        let lines = &file_lines[d.file];
+        let persist_sink = persist_reach.get(&di).copied();
+        let telemetry_sink = telemetry_reach.get(&di).copied();
+        let time_exempt = TIME_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p));
+
+        let mut iter_sites: Vec<(usize, String)> = Vec::new();
+        let mut time_sites: Vec<(usize, &str)> = Vec::new();
+        let mut par_sites: Vec<(usize, &str)> = Vec::new();
+        let mut float_acc_sites: Vec<(usize, &str)> = Vec::new();
+        let mut fn_has_reduce = false;
+        let mut fn_has_spawn = false;
+
+        for idx in d.start - 1..d.end.min(lines.len()) {
+            if info.in_test[idx] || g.fn_of_line[d.file][idx] != Some(di) {
+                continue;
+            }
+            let line = lines[idx];
+            let trimmed = line.trim_start();
+            if COLD_LINE_PREFIXES.iter().any(|p| trimmed.starts_with(p)) {
+                continue;
+            }
+
+            // Site-granularity source rules, applied everywhere.
+            if let Some(pat) = RNG_PATTERNS.iter().find(|p| has_pattern(line, p)) {
+                push_finding(
+                    &mut report,
+                    &info.waivers,
+                    lines,
+                    rel,
+                    idx + 1,
+                    Tool::Determinism,
+                    RULE_RNG_DISCIPLINE,
+                    format!(
+                        "nondeterministic RNG source `{}` — construct RNGs from an \
+                         explicit seed (seed_from_u64 / from_seed) so runs reproduce, \
+                         or waive with a reason",
+                        pat.trim_end_matches('('),
+                    ),
+                );
+            }
+            if let Some(pat) = ADDR_PATTERNS.iter().find(|p| has_pattern(line, p)) {
+                push_finding(
+                    &mut report,
+                    &info.waivers,
+                    lines,
+                    rel,
+                    idx + 1,
+                    Tool::Determinism,
+                    RULE_ADDR_HASH,
+                    format!(
+                        "pointer identity `{}` in hash/comparator position — addresses \
+                         change run to run; key on content instead, or waive with a reason",
+                        pat.trim_end_matches('('),
+                    ),
+                );
+            }
+
+            if REDUCE_ANY.iter().any(|p| line.contains(p)) {
+                fn_has_reduce = true;
+            }
+            if has_pattern(line, "spawn(") {
+                fn_has_spawn = true;
+            }
+            if let Some(pat) = PAR_ITER_PATTERNS.iter().find(|p| has_pattern(line, p)) {
+                par_sites.push((idx + 1, pat));
+            }
+            if let Some(pat) = FLOAT_ACC_PATTERNS.iter().find(|p| line.contains(*p)) {
+                float_acc_sites.push((idx + 1, pat));
+            }
+
+            // Flow rules, gated on sink reachability.
+            if persist_sink.is_some() || telemetry_sink.is_some() {
+                for name in &unordered[d.file] {
+                    if let Some(how) = iterates(line, name) {
+                        if !sorted_later(lines, idx, d.end) {
+                            iter_sites.push((idx + 1, how));
+                        }
+                        break;
+                    }
+                }
+            }
+            if persist_sink.is_some() && !time_exempt {
+                if let Some(pat) = TIME_PATTERNS.iter().find(|p| has_pattern(line, p)) {
+                    time_sites.push((idx + 1, pat));
+                }
+            }
+        }
+
+        // float-reduction: parallel-iterator reductions, plus explicit
+        // float accumulations in worker-spawning functions. One
+        // finding per site, deduplicated by line.
+        let mut float_sites: BTreeMap<usize, &str> = BTreeMap::new();
+        if fn_has_reduce {
+            for (l, p) in &par_sites {
+                float_sites.entry(*l).or_insert(p);
+            }
+        }
+        if fn_has_spawn {
+            for (l, p) in &float_acc_sites {
+                float_sites.entry(*l).or_insert(p);
+            }
+        }
+        for (lineno, pat) in float_sites {
+            push_finding(
+                &mut report,
+                &info.waivers,
+                lines,
+                rel,
+                lineno,
+                Tool::Determinism,
+                RULE_FLOAT_REDUCTION,
+                format!(
+                    "parallel/chunked float accumulation `{}` in `{}` — float addition \
+                     is non-associative, so the reduction order must be fixed; waive \
+                     with the written ordering argument",
+                    pat.trim_end_matches('('),
+                    d.name,
+                ),
+            );
+        }
+
+        // Function-granularity flow findings, anchored at the first
+        // site (mirrors hotpath).
+        let (sink_name, class) = match (persist_sink, telemetry_sink) {
+            (Some(s), _) => (g.defs[s].name.as_str(), "persisted output"),
+            (None, Some(s)) => (g.defs[s].name.as_str(), "telemetry export"),
+            (None, None) => ("", ""),
+        };
+        if let Some((lineno, how)) = iter_sites.first() {
+            let more = if iter_sites.len() > 1 {
+                let rest: Vec<String> =
+                    iter_sites[1..].iter().map(|(l, _)| l.to_string()).collect();
+                format!(
+                    " (+{} more: line {})",
+                    iter_sites.len() - 1,
+                    rest.join(", ")
+                )
+            } else {
+                String::new()
+            };
+            push_finding(
+                &mut report,
+                &info.waivers,
+                lines,
+                rel,
+                *lineno,
+                Tool::Determinism,
+                RULE_UNORDERED_ITER,
+                format!(
+                    "fn `{}` feeds {class} (via `{sink_name}`) but iterates hash order: \
+                     {how}{more} — iterate a sorted view (collect+sort, fixed key list, \
+                     or BTreeMap), or waive with a reason",
+                    d.name,
+                ),
+            );
+        }
+        if let Some(&(lineno, pat)) = time_sites.first() {
+            let more = if time_sites.len() > 1 {
+                let rest: Vec<String> =
+                    time_sites[1..].iter().map(|(l, _)| l.to_string()).collect();
+                format!(
+                    " (+{} more: line {})",
+                    time_sites.len() - 1,
+                    rest.join(", ")
+                )
+            } else {
+                String::new()
+            };
+            push_finding(
+                &mut report,
+                &info.waivers,
+                lines,
+                rel,
+                lineno,
+                Tool::Determinism,
+                RULE_TIME_TAINT,
+                format!(
+                    "fn `{}` feeds persisted output (via `{sink_name}`) and reads the \
+                     clock: `{}`{more} — keep wall-clock values out of persisted \
+                     artifacts (route them to logs/metrics), or waive with a reason",
+                    d.name,
+                    pat.trim_end_matches('('),
+                ),
+            );
+        }
+    }
+    report.sort();
+    report
+}
+
+/// Identifier names in one (masked) file that hold HashMap/HashSet
+/// values: `let` bindings initialized or annotated with one, and
+/// `name: ... Hash{Map,Set}` annotations (struct fields, parameters,
+/// typed lets).
+fn unordered_names(lines: &[&str]) -> HashSet<String> {
+    let mut names = HashSet::new();
+    for line in lines {
+        if !(line.contains("HashMap") || line.contains("HashSet")) {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        let let_body = trimmed.strip_prefix("let ").or_else(|| {
+            trimmed
+                .strip_prefix("pub ")
+                .and_then(|r| r.strip_prefix("let "))
+        });
+        if let Some(rest) = let_body {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                names.insert(name);
+            }
+        }
+        for kw in ["HashMap", "HashSet"] {
+            let mut start = 0;
+            while let Some(pos) = line[start..].find(kw) {
+                let abs = start + pos;
+                start = abs + kw.len();
+                // Identifier boundary on the right (`HashMapLike` is
+                // not a std map).
+                let after_ok = line[abs + kw.len()..]
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+                if !after_ok {
+                    continue;
+                }
+                if let Some(name) = name_before_colon(&line[..abs]) {
+                    names.insert(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// The identifier annotated by the nearest type-annotation `:` to the
+/// left of a type occurrence, when everything between is type syntax
+/// (`Option<&HashSet<..>>` resolves through `Option<&`). Returns
+/// `None` across `::` paths (`collections::HashMap` is a use/path,
+/// not an annotation).
+fn name_before_colon(before: &str) -> Option<String> {
+    let chars: Vec<char> = before.chars().collect();
+    let mut i = chars.len();
+    while i > 0 {
+        let c = chars[i - 1];
+        if c.is_alphanumeric() || c == '_' || matches!(c, '&' | '<' | '>' | '\'' | ' ' | ',' | '(')
+        {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    if i == 0 || chars[i - 1] != ':' || (i >= 2 && chars[i - 2] == ':') {
+        return None;
+    }
+    let mut j = i - 1; // position of the ':'
+    let mut name = String::new();
+    while j > 0 {
+        let c = chars[j - 1];
+        if c.is_alphanumeric() || c == '_' {
+            name.insert(0, c);
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    (!name.is_empty()).then_some(name)
+}
+
+/// Describes how `line` iterates the unordered container `name`, if
+/// it does: a hash-order method call (`name.keys()`, `self.name.iter()`)
+/// or direct `for .. in [&mut ][self.]name` iteration.
+fn iterates(line: &str, name: &str) -> Option<String> {
+    for m in ITER_METHODS {
+        let needle = format!("{name}.{m}");
+        if has_pattern(line, &needle) {
+            return Some(format!("`{name}.{}`", m.trim_end_matches('(')));
+        }
+    }
+    if line.contains("for ") {
+        if let Some(pos) = line.find(" in ") {
+            let mut rest = line[pos + 4..].trim_start();
+            rest = rest.strip_prefix("&mut ").unwrap_or(rest);
+            rest = rest.strip_prefix('&').unwrap_or(rest);
+            rest = rest.strip_prefix("self.").unwrap_or(rest);
+            if let Some(after) = rest.strip_prefix(name) {
+                let boundary = after
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !(c.is_alphanumeric() || c == '_' || c == '.'));
+                if boundary {
+                    return Some(format!("`for .. in {name}`"));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Does a sort (or an ordered BTree collection) appear at or after the
+/// iteration site before the function ends? If so the iteration's
+/// order is (heuristically) re-established before anything escapes.
+fn sorted_later(lines: &[&str], site_idx: usize, end: usize) -> bool {
+    lines[site_idx..end.min(lines.len())]
+        .iter()
+        .any(|l| l.contains(".sort") || l.contains("BTreeMap") || l.contains("BTreeSet"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Report {
+        let files: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, src)| SourceFile {
+                rel: rel.to_string(),
+                source: src.to_string(),
+                eligible: true,
+            })
+            .collect();
+        analyze(&files)
+    }
+
+    #[test]
+    fn unordered_iteration_reaching_a_persist_sink_is_flagged() {
+        let src = "\
+use std::collections::HashMap;
+pub struct Db {
+    pub counts: HashMap<String, u64>,
+}
+pub fn encode(db: &Db, out: &mut Vec<u8>) {
+    for (k, v) in db.counts.iter() {
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    persist(out);
+}
+fn persist(bytes: &[u8]) {
+    std::fs::write(\"snapshot.tdss\", bytes).ok();
+}
+pub fn cold_iterates(db: &Db) -> usize {
+    db.counts.values().count()
+}
+";
+        let r = run(&[("crates/core/src/lib.rs", src)]);
+        let iter: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == RULE_UNORDERED_ITER)
+            .collect();
+        // `encode` reaches the sink through `persist`; `cold_iterates`
+        // never feeds output and stays silent.
+        assert_eq!(iter.len(), 1, "{:?}", r.findings);
+        assert_eq!(iter[0].line, 6);
+        assert!(iter[0].message.contains("`encode`"), "{}", iter[0].message);
+        assert!(
+            iter[0].message.contains("counts.iter"),
+            "{}",
+            iter[0].message
+        );
+        assert!(
+            iter[0].message.contains("persisted output"),
+            "{}",
+            iter[0].message
+        );
+    }
+
+    #[test]
+    fn intervening_sort_exempts_iteration() {
+        let src = "\
+use std::collections::HashMap;
+pub fn encode(map: &HashMap<u32, u32>, out: &mut Vec<u8>) {
+    let mut pairs: Vec<(u32, u32)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+    pairs.sort_unstable();
+    for (k, v) in pairs {
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(\"out.bin\", &out).ok();
+}
+pub fn encode_btree(map: &HashMap<u32, u32>) -> Vec<u8> {
+    let ordered: std::collections::BTreeMap<u32, u32> = map.iter().map(|(k, v)| (*k, *v)).collect();
+    let bytes: Vec<u8> = ordered.keys().map(|k| *k as u8).collect();
+    std::fs::write(\"out2.bin\", &bytes).ok();
+    bytes
+}
+";
+        let r = run(&[("crates/core/src/lib.rs", src)]);
+        assert!(
+            r.findings.is_empty(),
+            "sorted iteration must not fire: {:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn lookups_do_not_fire() {
+        let src = "\
+use std::collections::HashMap;
+pub fn encode(map: &HashMap<u32, u32>, keys: &[u32], out: &mut Vec<u8>) {
+    for k in keys {
+        if let Some(v) = map.get(k) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    std::fs::write(\"out.bin\", &out).ok();
+}
+";
+        let r = run(&[("crates/core/src/lib.rs", src)]);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn telemetry_sinks_catch_iteration_but_not_time() {
+        let src = "\
+use std::collections::HashMap;
+pub fn render(series: &HashMap<String, f64>) -> String {
+    let started = Instant::now();
+    let mut text = PromText::new();
+    for (name, value) in series.iter() {
+        text.push(name, *value);
+    }
+    let _ = started.elapsed();
+    text.finish()
+}
+";
+        let r = run(&[("crates/net/src/server.rs", src)]);
+        let rules: Vec<&str> = r.findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec![RULE_UNORDERED_ITER], "{:?}", r.findings);
+        assert!(
+            r.findings[0].message.contains("telemetry export"),
+            "{}",
+            r.findings[0].message
+        );
+    }
+
+    #[test]
+    fn clock_reads_feeding_persistence_are_flagged() {
+        let src = "\
+pub fn snapshot(out_path: &str, payload: &[u8]) {
+    let stamp = SystemTime::now();
+    let secs = stamp.duration_since(UNIX_EPOCH).unwrap().as_secs();
+    let mut bytes = secs.to_le_bytes().to_vec();
+    bytes.extend_from_slice(payload);
+    std::fs::write(out_path, &bytes).ok();
+}
+";
+        let r = run(&[("crates/core/src/snapshot.rs", src)]);
+        let time: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == RULE_TIME_TAINT)
+            .collect();
+        assert_eq!(time.len(), 1, "{:?}", r.findings);
+        assert_eq!(time[0].line, 2);
+        assert!(time[0].message.contains("+1 more"), "{}", time[0].message);
+    }
+
+    #[test]
+    fn bench_and_obs_clock_reads_are_exempt() {
+        let bench = "\
+pub fn measure(out: &str) {
+    let t = Instant::now();
+    work();
+    let json = render(t.elapsed());
+    std::fs::write(out, json).ok();
+}
+";
+        let obs = "\
+pub fn write_event(line: &str, w: &mut impl Write) {
+    let now = SystemTime::now();
+    w.write_all(line.as_bytes()).ok();
+    let _ = now;
+}
+";
+        let r = run(&[
+            ("crates/bench/src/bin/tab_x.rs", bench),
+            ("crates/obs/src/writer.rs", obs),
+        ]);
+        let time: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == RULE_TIME_TAINT)
+            .collect();
+        assert!(time.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn unseeded_rng_is_flagged_seeded_is_not() {
+        let src = "\
+pub fn scramble() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+pub fn corpus() -> u64 {
+    let mut rng = StdRng::seed_from_u64(2004);
+    rng.next_u64()
+}
+";
+        let r = run(&[("crates/dataset/src/lib.rs", src)]);
+        let rng: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == RULE_RNG_DISCIPLINE)
+            .collect();
+        assert_eq!(rng.len(), 1, "{:?}", r.findings);
+        assert_eq!(rng[0].line, 2);
+    }
+
+    #[test]
+    fn parallel_float_reduction_needs_justification_sequential_does_not() {
+        let src = "\
+pub fn par_total(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * x).sum()
+}
+pub fn seq_total(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, x| a + x)
+}
+";
+        let r = run(&[("crates/core/src/features.rs", src)]);
+        let float: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == RULE_FLOAT_REDUCTION)
+            .collect();
+        assert_eq!(float.len(), 1, "{:?}", r.findings);
+        assert_eq!(float[0].line, 2);
+    }
+
+    #[test]
+    fn float_accumulation_in_spawning_fn_is_flagged() {
+        let src = "\
+pub fn chunked_total(xs: &[f64]) -> f64 {
+    let partials = std::thread::scope(|s| {
+        let handles: Vec<_> = xs.chunks(64).map(|c| s.spawn(move || c.len())).collect();
+        handles
+    });
+    partials.into_iter().map(|h| h as f64).sum::<f64>()
+}
+";
+        let r = run(&[("crates/core/src/features.rs", src)]);
+        let float: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == RULE_FLOAT_REDUCTION)
+            .collect();
+        assert_eq!(float.len(), 1, "{:?}", r.findings);
+        assert_eq!(float[0].line, 6);
+    }
+
+    #[test]
+    fn pointer_identity_is_flagged() {
+        let src = "\
+pub fn bucket_of(item: &Item) -> usize {
+    let addr = item as *const _ as usize;
+    addr % 16
+}
+";
+        let r = run(&[("crates/core/src/lib.rs", src)]);
+        let addr: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == RULE_ADDR_HASH)
+            .collect();
+        assert_eq!(addr.len(), 1, "{:?}", r.findings);
+        assert_eq!(addr[0].line, 2);
+    }
+
+    #[test]
+    fn waivers_silence_and_cross_tool_waivers_do_not() {
+        let src = "\
+pub fn scramble() -> u64 {
+    let mut rng = thread_rng(); // determinism: allow(rng-discipline) — jitter only, never persisted
+    let addr = std::ptr::hash(&rng, &mut h); // lint: allow(addr-hash) — wrong tool
+    rng.next_u64()
+}
+";
+        let r = run(&[("crates/core/src/lib.rs", src)]);
+        assert_eq!(r.waived_count(), 1, "{:?}", r.findings);
+        assert_eq!(r.unwaived_count(), 1);
+        assert_eq!(r.unwaived().next().unwrap().rule, RULE_ADDR_HASH);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_invisible() {
+        let src = "\
+pub fn lib_code() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in m.iter() {
+            std::fs::write(\"x\", format!(\"{k}{v}\")).ok();
+        }
+        let _ = thread_rng();
+    }
+}
+";
+        let r = run(&[("crates/core/src/lib.rs", src)]);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn unordered_name_extraction_covers_lets_fields_and_params() {
+        let lines = vec![
+            "    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();",
+            "    pub indexes: HashMap<FeatureKind, RTree>,",
+            "pub fn f(changed: Option<&HashSet<PathBuf>>) {}",
+            "use std::collections::HashMap;",
+            "    let plain = HashSet::new();",
+        ];
+        let names = unordered_names(&lines);
+        assert!(names.contains("by_name"), "{names:?}");
+        assert!(names.contains("indexes"), "{names:?}");
+        assert!(names.contains("changed"), "{names:?}");
+        assert!(names.contains("plain"), "{names:?}");
+        // `use` paths never contribute a name.
+        assert!(!names.contains("collections"), "{names:?}");
+        assert!(!names.contains("std"), "{names:?}");
+    }
+
+    #[test]
+    fn for_in_iteration_is_detected_with_boundaries() {
+        assert!(iterates("    for k in &counts {", "counts").is_some());
+        assert!(iterates("    for k in counts_by_kind {", "counts").is_none());
+        // Method-call chains report through the method form, not for-in.
+        let how = iterates("    for k in self.counts.keys() {", "counts").unwrap();
+        assert!(how.contains("counts.keys"), "{how}");
+    }
+
+    #[test]
+    fn ineligible_files_stay_in_the_graph_but_emit_nothing() {
+        let sink = "\
+pub fn persist(bytes: &[u8]) {
+    std::fs::write(\"snapshot.tdss\", bytes).ok();
+}
+";
+        let caller = "\
+use std::collections::HashMap;
+pub fn encode(map: &HashMap<u32, u32>) {
+    let mut out = Vec::new();
+    for (k, _) in map.iter() {
+        out.push(*k as u8);
+    }
+    persist(&out);
+}
+";
+        let files = vec![
+            SourceFile {
+                rel: "crates/core/src/persist.rs".to_string(),
+                source: sink.to_string(),
+                eligible: false,
+            },
+            SourceFile {
+                rel: "crates/core/src/encode.rs".to_string(),
+                source: caller.to_string(),
+                eligible: true,
+            },
+        ];
+        let r = analyze(&files);
+        // The sink file is filtered out of reporting, but its sink
+        // still taints the caller.
+        assert_eq!(r.files_scanned, 1);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].file, "crates/core/src/encode.rs");
+        assert_eq!(r.findings[0].rule, RULE_UNORDERED_ITER);
+    }
+}

@@ -2,21 +2,17 @@
 //! allocation and blocking analysis.
 //!
 //! Unlike `lint` and `audit`, which scan every line, this pass first
-//! builds a lightweight intra-workspace call graph over the masked
-//! sources and only judges functions *reachable from the hot path*:
+//! builds the shared intra-workspace call graph ([`crate::graph`])
+//! over the masked sources and only judges functions *reachable from
+//! the hot path*:
 //!
 //! * **roots** — every function whose body starts a stage timer
 //!   (`StageTimer::start(`), i.e. the nine instrumented pipeline
 //!   stages, plus the net request-dispatch path (`dispatch` /
 //!   `serve_request` in `crates/net/src/`);
-//! * **edges** — call sites resolved by name against workspace
-//!   function definitions. Qualified calls (`Type::fn`) resolve
-//!   against `impl Type` blocks when the type is defined in the
-//!   workspace and are dropped when it is foreign (`Vec::new` never
-//!   drags every workspace `new` into the graph); `Self::fn` uses the
-//!   caller's impl type; module-path and method calls fall back to
-//!   name-only resolution. This is deliberately over-approximate —
-//!   a method call reaches every workspace function of that name.
+//! * **edges** — the shared graph's name-resolved call edges (see
+//!   `graph.rs` for the resolution rules and their deliberate
+//!   over-approximation).
 //!
 //! Two rule families fire inside reachable functions, at **function
 //! granularity** — one finding per (function, rule), anchored at the
@@ -36,11 +32,14 @@
 //! only run on failure). Waivers use the unified grammar:
 //! `// hotpath: allow(<rule>) — <reason>`.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
 use crate::audit::{suspicious_size_var, BLOCKING_PATTERNS};
-use crate::scan::{mask, push_finding, test_lines, workspace_units, Report, Tool, Waiver};
+use crate::graph::{has_pattern, load_workspace_sources, CallGraph, COLD_LINE_PREFIXES};
+use crate::scan::{push_finding, Report, Tool};
+
+pub use crate::graph::SourceFile;
 
 /// Rule names (shared with waiver `allow(...)` syntax).
 pub const RULE_HOT_ALLOC: &str = "hot-alloc";
@@ -81,155 +80,37 @@ const PIPELINE_CALLS: [&str; 6] = [
     "bulk_insert(",
 ];
 
-/// Lines whose trailing arguments only evaluate on failure (assert /
-/// panic family) or behind the trace-level guard (obs event macros
-/// expand to `if enabled(level) { ... }`) — eager allocation there is
-/// free on the fast path.
-const COLD_LINE_PREFIXES: [&str; 11] = [
-    "assert!",
-    "assert_eq!",
-    "assert_ne!",
-    "debug_assert",
-    "panic!",
-    "unreachable!",
-    "todo!",
-    "unimplemented!",
-    "event!(",
-    "event_kv!(",
-    "tdess_obs::event",
-];
-
-/// One input file for [`analyze`]: workspace-relative path, raw
-/// source, and whether findings in it should be emitted (`--changed`
-/// keeps every file in the graph but only reports on changed ones).
-pub struct SourceFile {
-    pub rel: String,
-    pub source: String,
-    pub eligible: bool,
-}
-
 /// Analyzes the workspace rooted at `root`. The call graph always
 /// covers the full tree; `changed` only restricts which files'
 /// findings are emitted.
 pub fn hotpath_root(root: &Path, changed: Option<&HashSet<PathBuf>>) -> Result<Report, String> {
-    let mut files = Vec::new();
-    for unit in workspace_units(root, None)? {
-        for file in &unit.files {
-            let source = std::fs::read_to_string(file)
-                .map_err(|e| format!("read {}: {e}", file.display()))?;
-            let rel = file
-                .strip_prefix(root)
-                .unwrap_or(file)
-                .to_string_lossy()
-                .into_owned();
-            let eligible = changed.is_none_or(|set| {
-                std::fs::canonicalize(file)
-                    .map(|abs| set.contains(&abs))
-                    .unwrap_or(false)
-            });
-            files.push(SourceFile {
-                rel,
-                source,
-                eligible,
-            });
-        }
-    }
+    let files = load_workspace_sources(root, changed)?;
     Ok(analyze(&files))
 }
 
-/// A function definition discovered in the masked source.
-#[derive(Debug)]
-struct FnDef {
-    file: usize,
-    name: String,
-    /// The `impl` block's type name, when defined inside one.
-    impl_type: Option<String>,
-    /// 1-based line of the `fn` keyword.
-    start: usize,
-    /// 1-based line of the closing brace (>= start).
-    end: usize,
-    in_test: bool,
-}
-
-/// One call site inside a function body.
-#[derive(Debug)]
-enum Call {
-    /// `foo(` or `.foo(` — resolved by name alone.
-    Name(String),
-    /// `Qual::foo(` — resolved against `impl Qual` when `Qual` is a
-    /// workspace type (capitalized); by name for module paths.
-    Qualified(String, String),
-}
-
-struct FileInfo {
-    masked: String,
-    in_test: Vec<bool>,
-    waivers: Vec<Waiver>,
-}
-
 fn analyze(files: &[SourceFile]) -> Report {
-    // Pass 1: mask + definitions.
-    let mut infos: Vec<FileInfo> = Vec::with_capacity(files.len());
-    let mut defs: Vec<FnDef> = Vec::new();
-    for (fi, f) in files.iter().enumerate() {
-        let masked = mask(&f.source);
-        let lines: Vec<&str> = masked.text.lines().collect();
-        let in_test = test_lines(&lines);
-        extract_defs(fi, &lines, &in_test, &mut defs);
-        infos.push(FileInfo {
-            masked: masked.text,
-            in_test,
-            waivers: masked.waivers,
-        });
-    }
+    let g = CallGraph::build(files);
 
-    // Resolution maps over non-test definitions.
-    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
-    let mut by_type: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
-    for (di, d) in defs.iter().enumerate() {
-        if d.in_test {
-            continue;
-        }
-        by_name.entry(&d.name).or_default().push(di);
-        if let Some(ty) = &d.impl_type {
-            by_type.entry((ty.as_str(), &d.name)).or_default().push(di);
-        }
-    }
-
-    // Innermost enclosing function per line, per file.
-    let mut fn_of_line: Vec<Vec<Option<usize>>> = infos
-        .iter()
-        .map(|info| vec![None; info.masked.lines().count()])
-        .collect();
-    for (di, d) in defs.iter().enumerate() {
-        // Definitions are pushed outer-before-inner, so later (inner)
-        // entries override within their narrower range.
-        for slot in &mut fn_of_line[d.file][d.start - 1..d.end] {
-            *slot = Some(di);
-        }
-    }
-
-    // Pass 2: per-fn call lists and roots.
-    let mut calls: Vec<Vec<Call>> = (0..defs.len()).map(|_| Vec::new()).collect();
+    // Roots: stage-timer starts (in file/line order), then the net
+    // dispatch entry points.
     let mut roots: Vec<usize> = Vec::new();
-    for (fi, info) in infos.iter().enumerate() {
+    for (fi, info) in g.infos.iter().enumerate() {
         for (idx, line) in info.masked.lines().enumerate() {
             if info.in_test[idx] {
                 continue;
             }
-            let Some(di) = fn_of_line[fi][idx] else {
+            let Some(di) = g.fn_of_line[fi][idx] else {
                 continue;
             };
-            if defs[di].in_test {
+            if g.defs[di].in_test {
                 continue;
             }
             if line.contains("StageTimer::start(") && !roots.contains(&di) {
                 roots.push(di);
             }
-            collect_calls(line, &mut calls[di]);
         }
     }
-    for (di, d) in defs.iter().enumerate() {
+    for (di, d) in g.defs.iter().enumerate() {
         if !d.in_test
             && (d.name == "dispatch" || d.name == "serve_request")
             && files[d.file].rel.starts_with("crates/net/src/")
@@ -239,65 +120,33 @@ fn analyze(files: &[SourceFile]) -> Report {
         }
     }
 
-    // BFS with root provenance.
-    let mut reach: HashMap<usize, &str> = HashMap::new();
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    for &r in &roots {
-        reach.entry(r).or_insert(defs[r].name.as_str());
-        queue.push_back(r);
-    }
-    while let Some(di) = queue.pop_front() {
-        let root = reach[&di];
-        for call in &calls[di] {
-            let targets: &[usize] = match call {
-                Call::Name(name) => by_name.get(name.as_str()).map_or(&[], Vec::as_slice),
-                Call::Qualified(q, name) => {
-                    let ty = if q == "Self" {
-                        defs[di].impl_type.as_deref()
-                    } else {
-                        Some(q.as_str())
-                    };
-                    match ty.and_then(|t| by_type.get(&(t, name.as_str()))) {
-                        Some(ids) => ids.as_slice(),
-                        // Capitalized qualifiers are type paths; when
-                        // the type is foreign (Vec, String, ...) there
-                        // is no workspace edge. Lowercase qualifiers
-                        // are module paths — resolve by name.
-                        None if q.chars().next().is_some_and(char::is_uppercase) => &[],
-                        None => by_name.get(name.as_str()).map_or(&[], Vec::as_slice),
-                    }
-                }
-            };
-            for &t in targets {
-                if let std::collections::hash_map::Entry::Vacant(e) = reach.entry(t) {
-                    e.insert(root);
-                    queue.push_back(t);
-                }
-            }
-        }
-    }
+    let reach = g.forward_reach(&roots);
 
-    // Pass 3: findings, one per (reachable fn, rule family).
+    // Findings, one per (reachable fn, rule family).
     let mut report = Report {
         files_scanned: files.iter().filter(|f| f.eligible).count(),
         ..Report::default()
     };
-    for (di, d) in defs.iter().enumerate() {
+    for (di, d) in g.defs.iter().enumerate() {
         let Some(&root) = reach.get(&di) else {
             continue;
         };
         if !files[d.file].eligible {
             continue;
         }
-        let info = &infos[d.file];
+        let info = &g.infos[d.file];
         let lines: Vec<&str> = info.masked.lines().collect();
         let mut alloc_sites: Vec<(usize, &str)> = Vec::new();
         let mut block_sites: Vec<(usize, &str)> = Vec::new();
-        for idx in d.start - 1..d.end.min(lines.len()) {
-            if info.in_test[idx] || fn_of_line[d.file][idx] != Some(di) {
+        for (idx, &line) in lines
+            .iter()
+            .enumerate()
+            .take(d.end.min(lines.len()))
+            .skip(d.start - 1)
+        {
+            if info.in_test[idx] || g.fn_of_line[d.file][idx] != Some(di) {
                 continue;
             }
-            let line = lines[idx];
             let trimmed = line.trim_start();
             if COLD_LINE_PREFIXES.iter().any(|p| trimmed.starts_with(p)) {
                 continue;
@@ -344,7 +193,7 @@ fn analyze(files: &[SourceFile]) -> Report {
                     "hot fn `{}` (reachable from `{}`) {verb}: `{}`{more} — {advice}, \
                      or waive with a reason",
                     d.name,
-                    root,
+                    g.defs[root].name,
                     pat.trim_end_matches('('),
                 ),
             );
@@ -379,242 +228,6 @@ fn block_pattern(line: &str) -> Option<&'static str> {
         .chain(std::iter::once(&".lock()"))
         .find(|p| has_pattern(line, p))
         .copied()
-}
-
-/// Substring match that, when the pattern starts with an identifier
-/// character, requires a non-identifier character (or line start)
-/// before it — `connect(` must not match inside `is_disconnect(`.
-fn has_pattern(line: &str, pat: &str) -> bool {
-    let ident_start = pat
-        .as_bytes()
-        .first()
-        .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_');
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(pat) {
-        let abs = start + pos;
-        if !ident_start
-            || !line[..abs]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_')
-        {
-            return true;
-        }
-        start = abs + 1;
-    }
-    false
-}
-
-/// Extracts function definitions (with enclosing `impl` type and line
-/// ranges) from one file's masked lines.
-fn extract_defs(file: usize, lines: &[&str], in_test: &[bool], defs: &mut Vec<FnDef>) {
-    let mut depth = 0usize;
-    // (type name, block depth)
-    let mut impl_stack: Vec<(String, usize)> = Vec::new();
-    let mut pending_impl: Option<String> = None;
-    // (name, header line)
-    let mut pending_fn: Option<(String, usize)> = None;
-    // (defs index, body depth)
-    let mut open_fns: Vec<(usize, usize)> = Vec::new();
-
-    for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if pending_impl.is_none() && pending_fn.is_none() {
-            if let Some(ty) = impl_header(line) {
-                pending_impl = Some(ty);
-            }
-        }
-        if pending_fn.is_none() {
-            if let Some(name) = fn_header(line) {
-                pending_fn = Some((name, lineno));
-            }
-        }
-        for ch in line.chars() {
-            match ch {
-                '{' => {
-                    depth += 1;
-                    // On `impl Foo { fn bar() {` the first brace
-                    // belongs to the impl, the second to the fn.
-                    if let Some(ty) = pending_impl.take() {
-                        impl_stack.push((ty, depth));
-                    } else if let Some((name, start)) = pending_fn.take() {
-                        let impl_type = impl_stack.last().map(|(t, _)| t.clone());
-                        defs.push(FnDef {
-                            file,
-                            name,
-                            impl_type,
-                            start,
-                            end: start,
-                            in_test: in_test[start - 1],
-                        });
-                        open_fns.push((defs.len() - 1, depth));
-                    }
-                }
-                '}' => {
-                    if let Some(&(di, d)) = open_fns.last() {
-                        if d == depth {
-                            defs[di].end = lineno;
-                            open_fns.pop();
-                        }
-                    }
-                    if impl_stack.last().is_some_and(|&(_, d)| d == depth) {
-                        impl_stack.pop();
-                    }
-                    depth = depth.saturating_sub(1);
-                }
-                // A `;` before the body brace is a bodyless
-                // declaration (trait method signature).
-                ';' => pending_fn = None,
-                _ => {}
-            }
-        }
-    }
-    // Unclosed trailing fns (truncated file) keep end == start.
-    for (di, _) in open_fns {
-        defs[di].end = lines.len().max(defs[di].start);
-    }
-}
-
-/// The function name when `line` opens a definition (`fn name...`).
-fn fn_header(line: &str) -> Option<String> {
-    let bytes = line.as_bytes();
-    let mut start = 0;
-    while let Some(pos) = line[start..].find("fn") {
-        let abs = start + pos;
-        let prev_ok = abs == 0
-            || !{
-                let c = bytes[abs - 1];
-                c.is_ascii_alphanumeric() || c == b'_'
-            };
-        let after = abs + 2;
-        let next_ws = bytes.get(after).is_some_and(u8::is_ascii_whitespace);
-        if prev_ok && next_ws {
-            let name: String = line[after..]
-                .trim_start()
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                return Some(name);
-            }
-        }
-        start = after;
-    }
-    None
-}
-
-/// The implemented type's name when `line` opens an `impl` block
-/// (`impl Foo`, `impl<T> Foo<T>`, `impl Trait for Foo`).
-fn impl_header(line: &str) -> Option<String> {
-    let t = line.trim_start();
-    let rest = t.strip_prefix("impl")?;
-    let rest = if let Some(r) = rest.strip_prefix('<') {
-        // Skip the generic parameter list.
-        let mut depth = 1usize;
-        let mut cut = r.len();
-        for (i, c) in r.char_indices() {
-            match c {
-                '<' => depth += 1,
-                '>' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        cut = i + 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        &r[cut..]
-    } else if rest.starts_with(char::is_whitespace) {
-        rest
-    } else {
-        return None;
-    };
-    let rest = rest.trim_start();
-    let target = match rest.find(" for ") {
-        Some(pos) => rest[pos + 5..].trim_start(),
-        None => rest,
-    };
-    // Strip leading `&`/`mut` (impl for references is rare but legal).
-    let target = target.trim_start_matches(['&', ' ']);
-    let name: String = target
-        .chars()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    (!name.is_empty()).then_some(name)
-}
-
-/// Appends the call sites found on one masked line.
-fn collect_calls(line: &str, out: &mut Vec<Call>) {
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        let b = bytes[i];
-        if !(b.is_ascii_alphabetic() || b == b'_') {
-            i += 1;
-            continue;
-        }
-        let start = i;
-        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
-            i += 1;
-        }
-        // Numeric-literal suffix (`100usize`).
-        if start > 0 && bytes[start - 1].is_ascii_digit() {
-            continue;
-        }
-        // Macros are not function edges.
-        if bytes.get(i) == Some(&b'!') {
-            continue;
-        }
-        let name = &line[start..i];
-        // Skip a turbofish between name and argument list.
-        let mut j = i;
-        if line[j..].starts_with("::<") {
-            let mut depth = 0usize;
-            let mut k = j + 2;
-            while k < bytes.len() {
-                match bytes[k] {
-                    b'<' => depth += 1,
-                    b'>' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            k += 1;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                k += 1;
-            }
-            j = k;
-        }
-        if bytes.get(j) != Some(&b'(') {
-            continue;
-        }
-        let before = line[..start].trim_end();
-        // The name in `fn name(` is a definition, not a call.
-        if before.ends_with("fn")
-            && !before[..before.len() - 2].ends_with(|c: char| c.is_alphanumeric() || c == '_')
-        {
-            continue;
-        }
-        if let Some(path) = before.strip_suffix("::") {
-            let qual: String = path
-                .chars()
-                .rev()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect::<String>()
-                .chars()
-                .rev()
-                .collect();
-            if !qual.is_empty() {
-                out.push(Call::Qualified(qual, name.to_string()));
-                continue;
-            }
-        }
-        out.push(Call::Name(name.to_string()));
-    }
 }
 
 #[cfg(test)]

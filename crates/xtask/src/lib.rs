@@ -1,6 +1,6 @@
 //! Workspace automation tasks (the cargo-xtask pattern).
 //!
-//! Three static-analysis passes share one scanning core ([`scan`]):
+//! Four static-analysis passes share one scanning core ([`scan`]):
 //!
 //! * `lint` — panic-freedom and NaN-safety policy (`cargo xtask lint`);
 //! * `audit` — concurrency and resource-safety policy: lock
@@ -8,30 +8,38 @@
 //!   allocations (`cargo xtask audit`);
 //! * `hotpath` — hot-path allocation/blocking discipline over the
 //!   functions reachable from the instrumented pipeline stages and
-//!   the net dispatch path (`cargo xtask hotpath`).
+//!   the net dispatch path (`cargo xtask hotpath`);
+//! * `determinism` — reproducibility discipline: nondeterminism
+//!   sources (hash iteration order, ambient RNG, wall-clock, parallel
+//!   float reduction, pointer identity) taint-tracked toward
+//!   persist/wire/telemetry sinks (`cargo xtask determinism`).
 //!
-//! A fourth task, `cargo xtask waivers`, emits the combined waiver
-//! inventory across all passes and fails on malformed waivers.
+//! The reachability passes (`hotpath`, `determinism`) share the
+//! intra-workspace call graph in [`graph`]. A fifth task,
+//! `cargo xtask waivers`, emits the combined waiver inventory across
+//! all passes and fails on malformed waivers.
 //!
 //! The scanner is intentionally a line/token heuristic, not a full
 //! parser: it masks comments and string literals, tracks `#[cfg(test)]`
 //! regions by brace depth, and pattern-matches the rules. That keeps
 //! the tools instant and dependency-free at the cost of line-local
 //! matching (multi-line violations are invisible). The waiver syntax
-//! (`// lint: allow(<rule>) — <reason>`,
-//! `// audit: allow(<rule>) — <reason>`,
-//! `// hotpath: allow(<rule>) — <reason>`, and the audit shorthand
-//! `// audit: ordering(<reason>)`) is the escape hatch for justified
-//! exceptions — the reason text is mandatory.
+//! (`// <tool>: allow(<rule>) — <reason>` for each of the four tools,
+//! plus the audit shorthand `// audit: ordering(<reason>)`) is the
+//! escape hatch for justified exceptions — the reason text is
+//! mandatory.
 
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod determinism;
+pub mod graph;
 pub mod hotpath;
 pub mod lint;
 pub mod scan;
 
 pub use audit::audit_root;
+pub use determinism::determinism_root;
 pub use hotpath::hotpath_root;
 pub use lint::{lint_root, Rule};
 pub use scan::{changed_files, waiver_inventory, Finding, Inventory, Report, Tool};

@@ -7,9 +7,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xtask::audit::AUDIT_RULES;
+use xtask::determinism::DETERMINISM_RULES;
 use xtask::hotpath::HOTPATH_RULES;
 use xtask::scan::Tool;
-use xtask::{audit_root, changed_files, hotpath_root, lint_root, waiver_inventory, Report, Rule};
+use xtask::{
+    audit_root, changed_files, determinism_root, hotpath_root, lint_root, waiver_inventory, Report,
+    Rule,
+};
 
 const USAGE: &str = "\
 cargo xtask <task>
@@ -24,16 +28,22 @@ tasks:
          check allocation/blocking discipline in functions reachable
          from the pipeline stage roots and net dispatch
          (hot-alloc, hot-block)
+  determinism [--json] [--root <dir>] [--changed]
+         check reproducibility discipline: nondeterminism sources
+         taint-tracked toward persist/wire/telemetry sinks
+         (unordered-iter, rng-discipline, time-taint,
+         float-reduction, addr-hash)
   waivers [--json] [--root <dir>]
-         list every lint/audit/hotpath waiver in the tree; fails on
-         malformed waivers (missing reason, unknown rule)
+         list every lint/audit/hotpath/determinism waiver in the
+         tree; fails on malformed waivers (missing reason, unknown
+         rule)
 
 flags:
   --json     emit machine-readable output
   --root     override the workspace root
   --changed  report only on files differing from the merge-base with
-             main (hotpath still builds its call graph over the full
-             tree)
+             main (hotpath and determinism still build their call
+             graphs over the full tree)
 ";
 
 fn main() -> ExitCode {
@@ -42,6 +52,7 @@ fn main() -> ExitCode {
         Some("lint") => scan_command(Tool::Lint, &args[1..]),
         Some("audit") => scan_command(Tool::Audit, &args[1..]),
         Some("hotpath") => scan_command(Tool::Hotpath, &args[1..]),
+        Some("determinism") => scan_command(Tool::Determinism, &args[1..]),
         Some("waivers") => waivers_command(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`\n{USAGE}");
@@ -122,6 +133,7 @@ fn scan_command(tool: Tool, args: &[String]) -> ExitCode {
         Tool::Lint => lint_root(&flags.root, changed_set.as_ref()),
         Tool::Audit => audit_root(&flags.root, changed_set.as_ref()),
         Tool::Hotpath => hotpath_root(&flags.root, changed_set.as_ref()),
+        Tool::Determinism => determinism_root(&flags.root, changed_set.as_ref()),
     };
     let report = match run {
         Ok(report) => report,
@@ -171,9 +183,10 @@ fn waivers_command(args: &[String]) -> ExitCode {
         lint_root(&flags.root, None),
         audit_root(&flags.root, None),
         hotpath_root(&flags.root, None),
+        determinism_root(&flags.root, None),
     ) {
-        (Ok(l), Ok(a), Ok(h)) => (l, a, h),
-        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+        (Ok(l), Ok(a), Ok(h), Ok(d)) => (l, a, h, d),
+        (Err(e), _, _, _) | (_, Err(e), _, _) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
             eprintln!("xtask waivers: {e}");
             return ExitCode::from(2);
         }
@@ -182,6 +195,7 @@ fn waivers_command(args: &[String]) -> ExitCode {
         (Tool::Lint, &reports.0),
         (Tool::Audit, &reports.1),
         (Tool::Hotpath, &reports.2),
+        (Tool::Determinism, &reports.3),
     ]
     .into_iter()
     .flat_map(|(tool, report)| {
@@ -203,6 +217,7 @@ fn waivers_command(args: &[String]) -> ExitCode {
                 Tool::Lint => lint_rules.contains(&e.waiver.rule.as_str()),
                 Tool::Audit => AUDIT_RULES.contains(&e.waiver.rule.as_str()),
                 Tool::Hotpath => HOTPATH_RULES.contains(&e.waiver.rule.as_str()),
+                Tool::Determinism => DETERMINISM_RULES.contains(&e.waiver.rule.as_str()),
             };
             if !known {
                 unknown_rule += 1;

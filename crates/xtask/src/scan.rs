@@ -1,6 +1,7 @@
-//! Shared scanning infrastructure for the `lint` and `audit` passes.
+//! Shared scanning infrastructure for the `lint`, `audit`, `hotpath`,
+//! and `determinism` passes.
 //!
-//! Both static-analysis passes work the same way: walk the workspace's
+//! The static-analysis passes work the same way: walk the workspace's
 //! `src/` trees, blank out comments and string literals (preserving
 //! byte-for-byte line structure so findings carry real line numbers),
 //! extract waiver comments, and pattern-match rules on the masked
@@ -8,8 +9,8 @@
 //!
 //! * [`mask`] — the comment/string masker, moved here from the old
 //!   `mask` module unchanged in behavior;
-//! * the unified waiver grammar — `// lint: allow(<rule>) — <reason>`
-//!   and `// audit: allow(<rule>) — <reason>`, plus the audit-only
+//! * the unified waiver grammar — `// <tool>: allow(<rule>) — <reason>`
+//!   for each of the four tools, plus the audit-only
 //!   shorthand `// audit: ordering(<reason>)` which desugars to a
 //!   waiver for the `atomic-ordering` rule. Waiver-shaped comments
 //!   that fail the grammar (no reason, no rule) are collected as
@@ -36,16 +37,19 @@ pub enum Tool {
     Audit,
     /// The hot-path allocation/blocking pass (`cargo xtask hotpath`).
     Hotpath,
+    /// The reproducibility taint pass (`cargo xtask determinism`).
+    Determinism,
 }
 
 impl Tool {
-    /// The comment prefix (`lint` / `audit` / `hotpath`) naming this
-    /// pass.
+    /// The comment prefix (`lint` / `audit` / `hotpath` /
+    /// `determinism`) naming this pass.
     pub fn name(self) -> &'static str {
         match self {
             Tool::Lint => "lint",
             Tool::Audit => "audit",
             Tool::Hotpath => "hotpath",
+            Tool::Determinism => "determinism",
         }
     }
 }
@@ -342,6 +346,7 @@ fn strip_separator(reason: &str) -> &str {
 /// * `lint: allow(<rule>) <dash> <reason>`
 /// * `audit: allow(<rule>) <dash> <reason>`
 /// * `hotpath: allow(<rule>) <dash> <reason>`
+/// * `determinism: allow(<rule>) <dash> <reason>`
 /// * `audit: ordering(<reason>)` — shorthand for
 ///   `audit: allow(atomic-ordering) — <reason>`
 ///
@@ -361,6 +366,8 @@ fn flush_comment(
         (Tool::Audit, rest.trim_start())
     } else if let Some(rest) = text.strip_prefix("hotpath:") {
         (Tool::Hotpath, rest.trim_start())
+    } else if let Some(rest) = text.strip_prefix("determinism:") {
+        (Tool::Determinism, rest.trim_start())
     } else {
         return;
     };
@@ -856,6 +863,27 @@ c(); // hotpath: allow(hot-alloc)
         assert_eq!(m.waivers[1].rule, "hot-block");
         assert!(!m.waivers[1].inline);
         // Reason-less hotpath waivers are malformed, same as lint/audit.
+        assert_eq!(m.malformed.len(), 1);
+        assert_eq!(m.malformed[0].line, 4);
+    }
+
+    #[test]
+    fn determinism_waivers_parse_like_the_others() {
+        let src = "\
+a(); // determinism: allow(unordered-iter) — rendered through a sorted Vec below
+// determinism: allow(time-taint) - latency feeds metrics only, never the artifact
+b();
+c(); // determinism: allow(float-reduction)
+";
+        let m = mask(src);
+        assert_eq!(m.waivers.len(), 2);
+        assert_eq!(m.waivers[0].tool, Tool::Determinism);
+        assert_eq!(m.waivers[0].rule, "unordered-iter");
+        assert!(m.waivers[0].inline);
+        assert_eq!(m.waivers[1].rule, "time-taint");
+        assert!(!m.waivers[1].inline);
+        // Reason-less determinism waivers are malformed, same as the
+        // other tools.
         assert_eq!(m.malformed.len(), 1);
         assert_eq!(m.malformed[0].line, 4);
     }

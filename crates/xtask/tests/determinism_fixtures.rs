@@ -1,0 +1,256 @@
+//! Integration tests for `cargo xtask determinism`: fixture trees as
+//! library calls and through the built binary, covering all five rule
+//! families, cross-crate sink provenance, cfg(test) exclusion,
+//! waivers, `--json`, and the full-graph/filtered-findings
+//! `--changed` split.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use xtask::determinism::{
+    RULE_ADDR_HASH, RULE_FLOAT_REDUCTION, RULE_RNG_DISCIPLINE, RULE_TIME_TAINT, RULE_UNORDERED_ITER,
+};
+use xtask::determinism_root;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn positive_fixture_trips_every_rule_family_once() {
+    let report = determinism_root(&fixture("determinism-positive"), None).unwrap();
+    assert_eq!(report.waived_count(), 0);
+    let rules: Vec<&str> = report.unwaived().map(|f| f.rule).collect();
+    for rule in [
+        RULE_UNORDERED_ITER,
+        RULE_TIME_TAINT,
+        RULE_RNG_DISCIPLINE,
+        RULE_FLOAT_REDUCTION,
+        RULE_ADDR_HASH,
+    ] {
+        assert_eq!(
+            rules.iter().filter(|r| **r == rule).count(),
+            1,
+            "rule {rule}: {rules:?}"
+        );
+    }
+    assert_eq!(report.unwaived_count(), 5);
+
+    // Flow findings name the tainted fn and its cross-crate sink.
+    let iter = report
+        .unwaived()
+        .find(|f| f.rule == RULE_UNORDERED_ITER)
+        .unwrap();
+    assert!(iter.message.contains("`export_index`"), "{}", iter.message);
+    assert!(
+        iter.message.contains("via `save_index`"),
+        "{}",
+        iter.message
+    );
+    assert!(
+        iter.message.contains("persisted output"),
+        "{}",
+        iter.message
+    );
+    assert!(
+        iter.message.contains("`for .. in counts`"),
+        "{}",
+        iter.message
+    );
+    let time = report
+        .unwaived()
+        .find(|f| f.rule == RULE_TIME_TAINT)
+        .unwrap();
+    assert!(time.message.contains("`stamp_header`"), "{}", time.message);
+    assert!(
+        time.message.contains("`SystemTime::now`"),
+        "{}",
+        time.message
+    );
+
+    // The sink-free iteration and the cfg(test) RNG stay silent.
+    for f in &report.findings {
+        assert!(!f.message.contains("count_only"), "{f:?}");
+        assert!(!f.file.contains("net"), "the sink itself is clean: {f:?}");
+    }
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == RULE_RNG_DISCIPLINE && f.line > 45),
+        "cfg(test) rng leaked into findings"
+    );
+}
+
+#[test]
+fn negative_fixture_is_clean_with_waivers_counted() {
+    let report = determinism_root(&fixture("determinism-negative"), None).unwrap();
+    assert_eq!(
+        report.unwaived_count(),
+        0,
+        "unexpected findings: {:?}",
+        report.unwaived().collect::<Vec<_>>()
+    );
+    // The waived build-duration stamp and exact-sum parallel reduction.
+    assert_eq!(report.waived_count(), 2);
+    for f in &report.findings {
+        let reason = f.waiver.as_deref().unwrap_or("");
+        assert!(!reason.is_empty(), "waiver without a reason: {f:?}");
+    }
+}
+
+#[test]
+fn binary_exits_nonzero_on_positive_and_zero_on_negative() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+
+    let out = Command::new(bin)
+        .args(["determinism", "--root"])
+        .arg(fixture("determinism-positive"))
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        RULE_UNORDERED_ITER,
+        RULE_TIME_TAINT,
+        RULE_RNG_DISCIPLINE,
+        RULE_FLOAT_REDUCTION,
+        RULE_ADDR_HASH,
+    ] {
+        assert!(text.contains(rule), "stdout missing {rule}: {text}");
+    }
+
+    let out = Command::new(bin)
+        .args(["determinism", "--json", "--root"])
+        .arg(fixture("determinism-negative"))
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"unwaived\": 0"), "json: {json}");
+    assert!(json.contains("\"waived\": 2"), "json: {json}");
+    assert!(json.contains("\"waiver_reason\""), "json: {json}");
+}
+
+#[test]
+fn waivers_inventory_sees_determinism_waivers_as_active() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let out = Command::new(bin)
+        .args(["waivers", "--json", "--root"])
+        .arg(fixture("determinism-negative"))
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"tool\": \"determinism\""), "json: {json}");
+    assert!(json.contains("\"rule\": \"time-taint\""), "json: {json}");
+    assert!(
+        json.contains("\"rule\": \"float-reduction\""),
+        "json: {json}"
+    );
+    assert!(json.contains("\"status\": \"active\""), "json: {json}");
+    assert!(!json.contains("\"status\": \"stale\""), "json: {json}");
+    assert!(
+        !json.contains("\"status\": \"unknown-rule\""),
+        "json: {json}"
+    );
+}
+
+/// `--changed` filters *findings* to modified files, but the call
+/// graph still spans the whole tree: an unchanged sink keeps a changed
+/// caller in taint scope.
+#[test]
+fn changed_mode_keeps_the_full_graph() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let dir =
+        std::env::temp_dir().join(format!("tdess_determinism_changed_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let src_a = dir.join("crates/a/src");
+    let src_b = dir.join("crates/b/src");
+    std::fs::create_dir_all(&src_a).unwrap();
+    std::fs::create_dir_all(&src_b).unwrap();
+    // A holds the persist sink (with its own rng violation) and is
+    // committed untouched; B holds the exporter, committed clean.
+    std::fs::write(
+        src_a.join("lib.rs"),
+        "pub fn save(rows: &[String]) {\n    let _ = std::fs::write(\"out.txt\", rows.join(\"\\n\"));\n    let _rng = rand::thread_rng();\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        src_b.join("lib.rs"),
+        "pub fn export(m: &std::collections::HashMap<String, u32>) -> usize {\n    m.len()\n}\n",
+    )
+    .unwrap();
+
+    let git = |args: &[&str]| {
+        let out = Command::new("git")
+            .arg("-C")
+            .arg(&dir)
+            .args([
+                "-c",
+                "user.name=fixture",
+                "-c",
+                "user.email=fixture@example.invalid",
+            ])
+            .args(args)
+            .output()
+            .expect("run git");
+        assert!(
+            out.status.success(),
+            "git {args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    git(&["init", "-q"]);
+    git(&["add", "."]);
+    git(&["commit", "-q", "-m", "seed"]);
+
+    // Uncommitted edit: the exporter in B starts feeding hash order
+    // into the unchanged sink in A.
+    std::fs::write(
+        src_b.join("lib.rs"),
+        "use std::collections::HashMap;\npub fn export(m: &HashMap<String, u32>) {\n    let rows: Vec<String> = m.keys().cloned().collect();\n    save(&rows);\n}\n",
+    )
+    .unwrap();
+
+    let full = Command::new(bin)
+        .args(["determinism", "--json", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run xtask");
+    let full_json = String::from_utf8_lossy(&full.stdout);
+    // Full tree: A's thread_rng and B's hash-order export.
+    assert!(full_json.contains("\"unwaived\": 2"), "json: {full_json}");
+
+    let changed = Command::new(bin)
+        .args(["determinism", "--json", "--changed", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run xtask");
+    assert_eq!(changed.status.code(), Some(1));
+    let changed_json = String::from_utf8_lossy(&changed.stdout);
+    // Only B changed, so only B's finding is reported — but it is
+    // reported, which requires the unchanged sink in A to be in the
+    // graph.
+    assert!(
+        changed_json.contains("\"unwaived\": 1"),
+        "json: {changed_json}"
+    );
+    assert!(
+        changed_json.contains("crates/b/src/lib.rs"),
+        "{changed_json}"
+    );
+    assert!(
+        !changed_json.contains("crates/a/src/lib.rs"),
+        "{changed_json}"
+    );
+    assert!(changed_json.contains("unordered-iter"), "{changed_json}");
+    assert!(
+        changed_json.contains("\"files_scanned\": 1"),
+        "{changed_json}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

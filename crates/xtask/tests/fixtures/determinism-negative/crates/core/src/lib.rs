@@ -1,0 +1,38 @@
+//! Determinism negative fixture — core crate: disciplined
+//! reproducibility (sorted views before persisting, seeded RNG) next
+//! to two justified waivers, so the tree is clean.
+
+use std::collections::HashMap;
+
+/// Persist sink for the fixture.
+fn persist(rows: &[String]) {
+    std::fs::write("manifest.txt", rows.join("\n")).ok();
+}
+
+/// Collects and sorts before anything escapes: no finding.
+pub fn export_sorted(counts: &HashMap<String, u32>) {
+    let mut rows: Vec<String> = counts.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    rows.sort();
+    persist(&rows);
+}
+
+/// Seeded RNG is the reproducible way in: no finding.
+pub fn sample_rows(rows: &mut Vec<String>) {
+    let mut rng = StdRng::seed_from_u64(2004);
+    rows.shuffle(&mut rng);
+}
+
+/// The manifest records how long the build took, by design.
+pub fn persist_with_duration(rows: &mut Vec<String>) {
+    // determinism: allow(time-taint) — the build-seconds field is informational; the bit-exactness gate masks it before diffing
+    let t0 = std::time::Instant::now();
+    rows.push(format!("build_secs={}", t0.elapsed().as_secs()));
+    persist(rows);
+}
+
+/// Integer-valued part masses: the sum is exact in f64, so worker
+/// merge order cannot change it.
+pub fn total_mass(parts: &[f64]) -> f64 {
+    // determinism: allow(float-reduction) — every part mass is an integer count scaled by 1.0, so the f64 sum is exact and order-free
+    parts.par_iter().sum::<f64>()
+}

@@ -1,0 +1,54 @@
+//! Determinism positive fixture — core crate: every nondeterminism
+//! source the pass knows, feeding the cross-crate persist sink, plus
+//! unreachable and test-only code that must stay silent.
+
+use std::collections::HashMap;
+
+/// Reaches the persist sink cross-crate while iterating hash order:
+/// `unordered-iter` fires with `save_index` provenance.
+pub fn export_index(counts: &HashMap<String, u32>) {
+    let mut out = Vec::new();
+    for (name, n) in counts {
+        out.push(format!("{name}={n}"));
+    }
+    save_index(&out);
+}
+
+/// Stamps the wall clock into the persisted artifact: `time-taint`.
+pub fn stamp_header(out: &mut Vec<String>) {
+    let built_at = std::time::SystemTime::now();
+    out.push(format!("built_at={built_at:?}"));
+    save_index(out);
+}
+
+/// Ambient entropy, no seed: `rng-discipline` fires even though
+/// nothing here reaches a sink — it is a site rule.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+/// Parallel float accumulation: `float-reduction`.
+pub fn mean_energy(vals: &[f64]) -> f64 {
+    let total: f64 = vals.par_iter().sum::<f64>();
+    total / vals.len() as f64
+}
+
+/// Pointer identity as a key: `addr-hash`.
+pub fn identity_key(buf: &[u8]) -> usize {
+    buf.as_ptr() as usize
+}
+
+/// Iterates hash order but reaches no sink: the flow rule stays quiet.
+pub fn count_only(counts: &HashMap<String, u32>) -> usize {
+    counts.values().map(|n| *n as usize).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_rng_is_invisible_to_determinism() {
+        let mut rng = rand::thread_rng();
+        let _: u64 = rng.gen();
+    }
+}

@@ -1,0 +1,9 @@
+//! Determinism positive fixture — net crate: the persist sink the
+//! core crate's sources are taint-tracked toward.
+
+/// Persist sink: the index bytes land on disk, so everything that can
+/// reach this function is in scope for the flow rules.
+pub fn save_index(lines: &[String]) {
+    let joined = lines.join("\n");
+    std::fs::write("index.txt", joined).ok();
+}
